@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Bechamel Benchmark Float Fmt Hashtbl Int64 Measure Monotonic_clock Printf Staged Test Time Toolkit

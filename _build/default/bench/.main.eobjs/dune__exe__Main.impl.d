@@ -1,0 +1,1 @@
+bench/main.ml: Array B2b Echo Ecode Fmt Harness Lazy List Morph Option Pbio Printf Ptype Ptype_dsl Sizeof String Sys Transport Value Wire Xmlkit Xslt

@@ -1,0 +1,75 @@
+(* Measurement harness for the evaluation benchmarks.
+
+   Fast operations are measured with Bechamel (OLS fit of time against run
+   count); operations whose single run exceeds ~10 ms are measured by direct
+   repetition with the monotonic clock (Bechamel's geometric run growth
+   would make multi-second XSLT runs at the 1 MB point take minutes). *)
+
+open Bechamel
+
+let ns_now () = Int64.to_float (Monotonic_clock.now ())
+
+(* One timed execution, in nanoseconds. *)
+let time_once (f : unit -> unit) : float =
+  let t0 = ns_now () in
+  f ();
+  ns_now () -. t0
+
+let measure_manual ?(budget_ns = 1.2e9) (f : unit -> unit) (first : float) : float =
+  let reps = max 2 (int_of_float (budget_ns /. Float.max first 1.0)) in
+  let reps = min reps 50 in
+  let best = ref first in
+  for _ = 1 to reps - 1 do
+    let t = time_once f in
+    if t < !best then best := t
+  done;
+  !best
+
+let measure_bechamel ?(quota_s = 0.4) ~name (f : unit -> unit) : float =
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second quota_s) ~kde:None ~stabilize:false ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raws = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raws in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
+  | [ r ] ->
+    (match Analyze.OLS.estimates r with
+     | Some [ est ] -> est
+     | Some _ | None -> Float.nan)
+  | _ -> Float.nan
+
+(* Nanoseconds per execution of [f].  Fast operations take the best of two
+   Bechamel OLS fits (scheduler blips on a shared container otherwise leak
+   into single estimates); slow ones repeat directly. *)
+let measure ~(name : string) (f : unit -> unit) : float =
+  f (); (* warm up: fill caches, trigger compilation paths *)
+  let first = time_once f in
+  if first < 1e7 then
+    Float.min (measure_bechamel ~name f) (measure_bechamel ~name f)
+  else measure_manual f first
+
+(* --- output helpers --------------------------------------------------------- *)
+
+let pp_ns ppf (ns : float) =
+  if Float.is_nan ns then Fmt.string ppf "n/a"
+  else if ns < 1e3 then Fmt.pf ppf "%.0f ns" ns
+  else if ns < 1e6 then Fmt.pf ppf "%.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Fmt.pf ppf "%.2f ms" (ns /. 1e6)
+  else Fmt.pf ppf "%.2f s" (ns /. 1e9)
+
+let ns_to_ms ns = ns /. 1e6
+
+let pp_bytes ppf (n : int) =
+  if n < 1024 then Fmt.pf ppf "%dB" n
+  else if n < 1024 * 1024 then Fmt.pf ppf "%dKB" (n / 1024)
+  else Fmt.pf ppf "%dMB" (n / (1024 * 1024))
+
+let section title detail =
+  Printf.printf "\n== %s ==\n   %s\n" title detail
+
+let row fmt = Printf.printf fmt

@@ -1,0 +1,420 @@
+(* Benchmark suite reproducing every table and figure of the paper's
+   evaluation (Section 5), plus the ablations listed in DESIGN.md.
+
+     fig8-encoding    Figure 8: encoding cost, PBIO vs XML
+     fig9-decoding    Figure 9: decoding cost without evolution
+     table1-sizes     Table 1: ChannelOpenResponse sizes per representation
+     fig10-evolution  Figure 10: decoding + format evolution,
+                      PBIO morphing vs XML/XSLT
+     abl1-dcg         compiled Ecode closures vs naive interpreter
+     abl2-cache       cold (MaxMatch + codegen) vs cached receiver path
+     abl3-maxmatch    MaxMatch cost vs number of candidate formats
+     abl4-b2b         broker-side XSLT vs receiver-side morphing (Figs 6/7)
+
+   The workload is the paper's: a ChannelOpenResponse v2.0 message whose
+   member list is sized so the unencoded struct is 100 B ... 1 MB.
+
+   Usage: dune exec bench/main.exe [-- --quick] [-- --only fig8,table1] *)
+
+open Pbio
+module WF = Echo.Wire_formats
+module H = Harness
+
+(* --- workload ---------------------------------------------------------------- *)
+
+let full_sizes = [ 100; 1_000; 10_000; 100_000; 1_000_000 ]
+let quick_sizes = [ 100; 1_000; 10_000 ]
+
+type point = {
+  label : string;
+  members : int;
+  v2_value : Value.t;
+  v2_wire : string Lazy.t;
+  v2_xml : string Lazy.t;
+}
+
+let make_point requested =
+  let members = WF.members_for_unencoded_bytes requested in
+  let v2_value = WF.gen_response_v2_full members in
+  {
+    label = Fmt.str "%a" H.pp_bytes requested;
+    members;
+    v2_value;
+    v2_wire = lazy (Wire.encode ~format_id:1 WF.channel_open_response_v2 v2_value);
+    v2_xml = lazy (Xmlkit.Pbio_xml.encode WF.channel_open_response_v2 v2_value);
+  }
+
+let ns = Fmt.str "%a" H.pp_ns
+
+(* --- Figure 8: encoding cost -------------------------------------------------- *)
+
+let fig8 points =
+  H.section "fig8-encoding"
+    "Figure 8: cost of encoding ChannelOpenResponse v2.0, PBIO vs XML \
+     (paper: XML is at least 2x PBIO at every size)";
+  H.row "   %-8s %10s %14s %14s %9s\n" "size" "members" "PBIO" "XML" "XML/PBIO";
+  List.iter
+    (fun p ->
+       let pbio_ns =
+         H.measure ~name:("fig8/pbio/" ^ p.label) (fun () ->
+             ignore (Wire.encode ~format_id:1 WF.channel_open_response_v2 p.v2_value))
+       in
+       let xml_ns =
+         H.measure ~name:("fig8/xml/" ^ p.label) (fun () ->
+             ignore (Xmlkit.Pbio_xml.encode WF.channel_open_response_v2 p.v2_value))
+       in
+       H.row "   %-8s %10d %14s %14s %8.1fx\n" p.label p.members (ns pbio_ns)
+         (ns xml_ns) (xml_ns /. pbio_ns))
+    points
+
+(* --- Figure 9: decoding cost without evolution --------------------------------- *)
+
+let fig9 points =
+  H.section "fig9-decoding"
+    "Figure 9: cost of decoding into the native v2.0 structure, PBIO vs XML \
+     (paper: PBIO is much cheaper thanks to generated conversion code)";
+  H.row "   %-8s %14s %14s %9s\n" "size" "PBIO" "XML" "XML/PBIO";
+  List.iter
+    (fun p ->
+       let wire = Lazy.force p.v2_wire in
+       let xml = Lazy.force p.v2_xml in
+       let pbio_ns =
+         H.measure ~name:("fig9/pbio/" ^ p.label) (fun () ->
+             ignore (Wire.decode WF.channel_open_response_v2 wire))
+       in
+       let xml_ns =
+         H.measure ~name:("fig9/xml/" ^ p.label) (fun () ->
+             match Xmlkit.Pbio_xml.decode WF.channel_open_response_v2 xml with
+             | Ok _ -> ()
+             | Error e -> failwith e)
+       in
+       H.row "   %-8s %14s %14s %8.1fx\n" p.label (ns pbio_ns) (ns xml_ns)
+         (xml_ns /. pbio_ns))
+    points
+
+(* --- Table 1: message sizes ----------------------------------------------------- *)
+
+let table1 points =
+  H.section "table1-sizes"
+    "Table 1: ChannelOpenResponse size (bytes) by representation (paper: PBIO \
+     adds <30 bytes; v1.0 triples the list data; XML is several times larger)";
+  H.row "   %-8s %12s %12s %12s %12s %12s\n" "size" "unenc v2.0" "PBIO v2.0"
+    "unenc v1.0" "XML v2.0" "XML v1.0";
+  List.iter
+    (fun p ->
+       let v1_value =
+         match
+           Morph.morph_to WF.response_v2_meta ~target:WF.channel_open_response_v1
+             p.v2_value
+         with
+         | Ok v -> v
+         | Error e -> failwith e
+       in
+       let unenc_v2 = Sizeof.unencoded WF.channel_open_response_v2 p.v2_value in
+       let pbio_v2 = String.length (Lazy.force p.v2_wire) in
+       let unenc_v1 = Sizeof.unencoded WF.channel_open_response_v1 v1_value in
+       let xml_v2 = String.length (Lazy.force p.v2_xml) in
+       let xml_v1 =
+         String.length (Xmlkit.Pbio_xml.encode WF.channel_open_response_v1 v1_value)
+       in
+       H.row "   %-8s %12d %12d %12d %12d %12d\n" p.label unenc_v2 pbio_v2 unenc_v1
+         xml_v2 xml_v1)
+    points
+
+(* --- Figure 10: decoding with evolution ------------------------------------------ *)
+
+let fig10 points =
+  H.section "fig10-evolution"
+    "Figure 10: decode an incoming v2.0 message and convert it to v1.0 — PBIO \
+     + compiled Ecode morphing vs XML parse + XSLT + tree traversal (paper: \
+     XML/XSLT is an order of magnitude slower)";
+  let morph_pipeline =
+    (* what a receiver caches after the first message of this format *)
+    let xform =
+      match
+        Ecode.compile_xform ~src:WF.channel_open_response_v2
+          ~dst:WF.channel_open_response_v1 WF.response_v2_to_v1_code
+      with
+      | Ok f -> f
+      | Error e -> failwith e
+    in
+    fun wire -> xform (Wire.decode WF.channel_open_response_v2 wire)
+  in
+  let sheet = Xslt.Stylesheet.of_string WF.response_v2_to_v1_stylesheet in
+  let xslt_pipeline xml =
+    match Xmlkit.Xml_parser.parse xml with
+    | Error e -> failwith e
+    | Ok doc ->
+      let out = Xslt.Engine.apply_to_element sheet doc in
+      Xmlkit.Pbio_xml.of_xml WF.channel_open_response_v1 out
+  in
+  H.row "   %-8s %16s %16s %10s\n" "size" "PBIO morphing" "XML/XSLT" "XSLT/PBIO";
+  List.iter
+    (fun p ->
+       let wire = Lazy.force p.v2_wire in
+       let xml = Lazy.force p.v2_xml in
+       (* the two pipelines must agree before we time them *)
+       assert (Value.equal (morph_pipeline wire) (xslt_pipeline xml));
+       let pbio_ns =
+         H.measure ~name:("fig10/pbio/" ^ p.label) (fun () ->
+             ignore (morph_pipeline wire))
+       in
+       let xslt_ns =
+         H.measure ~name:("fig10/xslt/" ^ p.label) (fun () ->
+             ignore (xslt_pipeline xml))
+       in
+       H.row "   %-8s %16s %16s %9.1fx\n" p.label (ns pbio_ns) (ns xslt_ns)
+         (xslt_ns /. pbio_ns))
+    points
+
+(* --- Ablation 1: code generation vs interpretation -------------------------------- *)
+
+let abl1 () =
+  H.section "abl1-dcg"
+    "Ablation: the Figure 5 transformation via compiled closures (the DCG \
+     analogue) vs the naive tree-walking interpreter (10 KB message)";
+  let p = make_point 10_000 in
+  let get = function Ok f -> f | Error e -> failwith e in
+  let compiled =
+    get
+      (Ecode.compile_xform ~src:WF.channel_open_response_v2
+         ~dst:WF.channel_open_response_v1 WF.response_v2_to_v1_code)
+  in
+  let interpreted =
+    get
+      (Ecode.interpret_xform ~src:WF.channel_open_response_v2
+         ~dst:WF.channel_open_response_v1 WF.response_v2_to_v1_code)
+  in
+  assert (Value.equal (compiled p.v2_value) (interpreted p.v2_value));
+  let c = H.measure ~name:"abl1/compiled" (fun () -> ignore (compiled p.v2_value)) in
+  let i =
+    H.measure ~name:"abl1/interpreted" (fun () -> ignore (interpreted p.v2_value))
+  in
+  H.row "   compiled closures:   %s\n" (ns c);
+  H.row "   naive interpreter:   %s\n" (ns i);
+  H.row "   codegen speedup:     %.1fx\n" (i /. c)
+
+(* --- Ablation 2: cold path vs cached hot path -------------------------------------- *)
+
+let abl2 () =
+  H.section "abl2-cache"
+    "Ablation: first-message cold path (MaxMatch + Ecode compilation + \
+     pipeline build) vs cached hot path (1 KB message)";
+  let p = make_point 1_000 in
+  let cold () =
+    let r = Morph.Receiver.create () in
+    Morph.Receiver.register r WF.channel_open_response_v1 (fun _ -> ());
+    match Morph.Receiver.deliver r WF.response_v2_meta p.v2_value with
+    | Morph.Receiver.Delivered _ -> ()
+    | o -> Fmt.failwith "unexpected outcome %a" Morph.Receiver.pp_outcome o
+  in
+  let hot =
+    let r = Morph.Receiver.create () in
+    Morph.Receiver.register r WF.channel_open_response_v1 (fun _ -> ());
+    ignore (Morph.Receiver.deliver r WF.response_v2_meta p.v2_value);
+    fun () -> ignore (Morph.Receiver.deliver r WF.response_v2_meta p.v2_value)
+  in
+  let cold_ns = H.measure ~name:"abl2/cold" cold in
+  let hot_ns = H.measure ~name:"abl2/hot" hot in
+  H.row "   cold path (plan + codegen + run): %s\n" (ns cold_ns);
+  H.row "   hot path  (cached pipeline):      %s\n" (ns hot_ns);
+  H.row "   one-off cost amortised after:     %.1f messages\n"
+    ((cold_ns -. hot_ns) /. hot_ns)
+
+(* --- Ablation 3: MaxMatch scaling ---------------------------------------------------- *)
+
+let abl3 () =
+  H.section "abl3-maxmatch"
+    "Ablation: MaxMatch cost against the number of registered candidate \
+     formats (same-name variants of ChannelOpenResponse)";
+  let variant i =
+    let extra =
+      List.init (i mod 7) (fun j ->
+          Ptype.field (Printf.sprintf "extra_%d_%d" i j) Ptype.int_)
+    in
+    { WF.channel_open_response_v1 with
+      Ptype.fields = WF.channel_open_response_v1.Ptype.fields @ extra }
+  in
+  H.row "   %-12s %14s\n" "candidates" "MaxMatch";
+  List.iter
+    (fun n ->
+       let candidates = List.init n variant in
+       let t =
+         H.measure ~name:(Printf.sprintf "abl3/%d" n) (fun () ->
+             ignore
+               (Morph.Maxmatch.max_match [ WF.channel_open_response_v2 ] candidates))
+       in
+       H.row "   %-12d %14s\n" n (ns t))
+    [ 1; 4; 16; 64; 256 ]
+
+(* --- Ablation 4: broker placement (Figures 6/7) --------------------------------------- *)
+
+let abl4 () =
+  H.section "abl4-b2b"
+    "Ablation: end-to-end supply-chain run (200 orders + 200 statuses): XSLT \
+     at the broker (Figure 6) vs morphing at the receivers (Figure 7)";
+  let bench mode name =
+    let result = ref None in
+    let t =
+      H.measure ~name:("abl4/" ^ name) (fun () ->
+          result := Some (B2b.Scenario.run ~orders:200 mode))
+    in
+    (t, Option.get !result)
+  in
+  let xslt_ns, xslt_r = bench B2b.Broker.Xslt_at_broker "xslt" in
+  let morph_ns, morph_r = bench B2b.Broker.Morph_at_receiver "morph" in
+  H.row "   %-20s %14s %18s %14s\n" "mode" "wall time" "broker transforms"
+    "wire bytes";
+  H.row "   %-20s %14s %18d %14d\n" "xslt-at-broker" (ns xslt_ns)
+    xslt_r.B2b.Scenario.broker_transforms xslt_r.B2b.Scenario.network_bytes;
+  H.row "   %-20s %14s %18d %14d\n" "morph-at-receiver" (ns morph_ns)
+    morph_r.B2b.Scenario.broker_transforms morph_r.B2b.Scenario.network_bytes;
+  H.row "   end-to-end speedup: %.1fx; 100%% of transforms moved off the broker\n"
+    (xslt_ns /. morph_ns)
+
+(* --- Ablation 5: transformation chain depth ------------------------------------------ *)
+
+let abl5 () =
+  H.section "abl5-chains"
+    "Ablation: morphing through multi-hop retro-transformation chains \
+     (Figure 1 lineages): per-message cost against chain depth (1 KB \
+     payload per revision field)";
+  (* revision k has k+1 integer-array fields; hop k+1 -> k folds one away *)
+  let max_depth = 5 in
+  let rev k =
+    Ptype_dsl.format_of_string_exn
+      (Printf.sprintf "format Lineage { int n; int payload[n]; %s }"
+         (String.concat " " (List.init (k + 1) (fun i -> Printf.sprintf "int g%d;" i))))
+  in
+  let hop k =
+    let code =
+      String.concat "\n"
+        ([ "old.n = new.n;"; "int i;";
+           "for (i = 0; i < new.n; i++) old.payload[i] = new.payload[i];" ]
+         @ [ Printf.sprintf "old.g0 = new.g0 + new.g%d;" (k + 1) ]
+         @ List.init k (fun i -> Printf.sprintf "old.g%d = new.g%d;" (i + 1) (i + 1)))
+    in
+    Morph.xform ~source:(rev (k + 1)) ~target:(rev k) code
+  in
+  let payload = List.init 250 (fun i -> Value.Int i) in
+  H.row "   %-8s %16s %16s\n" "hops" "cold plan" "per message";
+  List.iter
+    (fun depth ->
+       let newest = rev depth in
+       let specs =
+         List.init depth (fun i ->
+             let k = depth - 1 - i in
+             let x = hop k in
+             if k + 1 = depth then { x with Pbio.Meta.source = None } else x)
+       in
+       let meta = Morph.meta newest ~xforms:specs in
+       let v =
+         Value.record
+           (( "n", Value.Int 250 )
+            :: ( "payload", Value.array_of_list payload )
+            :: List.init (depth + 1) (fun i -> (Printf.sprintf "g%d" i, Value.Int i)))
+       in
+       let cold () =
+         let r = Morph.Receiver.create () in
+         Morph.Receiver.register r (rev 0) (fun _ -> ());
+         match Morph.Receiver.deliver r meta v with
+         | Morph.Receiver.Delivered _ -> ()
+         | o -> Fmt.failwith "unexpected outcome %a" Morph.Receiver.pp_outcome o
+       in
+       let hot =
+         let r = Morph.Receiver.create () in
+         Morph.Receiver.register r (rev 0) (fun _ -> ());
+         ignore (Morph.Receiver.deliver r meta v);
+         fun () -> ignore (Morph.Receiver.deliver r meta v)
+       in
+       let cold_ns = H.measure ~name:(Printf.sprintf "abl5/cold/%d" depth) cold in
+       let hot_ns = H.measure ~name:(Printf.sprintf "abl5/hot/%d" depth) hot in
+       H.row "   %-8d %16s %16s\n" depth (ns cold_ns) (ns hot_ns))
+    (List.init max_depth (fun i -> i + 1))
+
+(* --- Ablation 6: end-to-end event throughput, ECho -------------------------------- *)
+
+let abl6 () =
+  H.section "abl6-echo-throughput"
+    "Ablation: end-to-end ECho event delivery (creator + publisher + 4 \
+     sinks, 500 events through the simulated network): homogeneous v2.0 \
+     network vs mixed network where every sink is v1.0 and morphs each \
+     event";
+  let run_events sink_version =
+    let net = Transport.Netsim.create () in
+    let creator = Echo.Node.create net ~host:"creator" ~port:1 Echo.Node.V2 in
+    let src = Echo.Node.create net ~host:"src" ~port:2 Echo.Node.V2 in
+    Echo.Node.create_channel creator "bench" ~as_source:false ~as_sink:false;
+    let received = ref 0 in
+    let sinks =
+      List.init 4 (fun i ->
+          let n =
+            Echo.Node.create net ~host:(Printf.sprintf "sink%d" i) ~port:(10 + i)
+              sink_version
+          in
+          Echo.Node.subscribe_events n "bench" (fun _ -> incr received);
+          Echo.Node.join n ~creator:(Echo.Node.contact creator) "bench"
+            ~as_source:false ~as_sink:true;
+          n)
+    in
+    Echo.Node.join src ~creator:(Echo.Node.contact creator) "bench" ~as_source:true
+      ~as_sink:false;
+    ignore (Echo.settle net);
+    for i = 1 to 500 do
+      Echo.Node.publish ~priority:(i mod 4) src "bench" (Printf.sprintf "event-%d" i)
+    done;
+    ignore (Echo.settle net);
+    assert (!received = 4 * 500);
+    List.iter
+      (fun n -> assert ((Echo.Node.counters n).Echo.Node.rejected = 0))
+      sinks
+  in
+  let v2_ns = H.measure ~name:"abl6/all-v2" (fun () -> run_events Echo.Node.V2) in
+  let v1_ns = H.measure ~name:"abl6/v1-sinks" (fun () -> run_events Echo.Node.V1) in
+  H.row "   %-36s %14s\n" "homogeneous v2.0 (exact matches)" (ns v2_ns);
+  H.row "   %-36s %14s\n" "v1.0 sinks (morph every event)" (ns v1_ns);
+  H.row "   morphing overhead on the full stack: %.0f%%\n"
+    ((v1_ns -. v2_ns) /. v2_ns *. 100.)
+
+(* --- driver ------------------------------------------------------------------------ *)
+
+let contains (hay : string) (needle : string) : bool =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let only =
+    let rec find i =
+      if i >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--only" && i + 1 < Array.length Sys.argv then
+        Some (String.split_on_char ',' Sys.argv.(i + 1))
+      else find (i + 1)
+    in
+    find 1
+  in
+  let want name =
+    match only with
+    | None -> true
+    | Some names -> List.exists (fun n -> contains name n) names
+  in
+  let sizes = if quick then quick_sizes else full_sizes in
+  Printf.printf
+    "Message Morphing evaluation (ICDCS 2005 reproduction)%s\n\
+     workload: ChannelOpenResponse v2.0, member list sized for unencoded \
+     targets %s\n"
+    (if quick then " [quick]" else "")
+    (String.concat ", " (List.map (Fmt.str "%a" H.pp_bytes) sizes));
+  let points = List.map make_point sizes in
+  if want "fig8" then fig8 points;
+  if want "fig9" then fig9 points;
+  if want "table1" then table1 points;
+  if want "fig10" then fig10 points;
+  if want "abl1" then abl1 ();
+  if want "abl2" then abl2 ();
+  if want "abl3" then abl3 ();
+  if want "abl4" then abl4 ();
+  if want "abl5" then abl5 ();
+  if want "abl6" then abl6 ();
+  print_newline ()

@@ -1,0 +1,329 @@
+(* morphctl: a command-line companion for the message-morphing library.
+
+     morphctl show FILE         pretty-print formats declared in a DSL file
+     morphctl diff FILE         pairwise diff / Mismatch Ratio table
+     morphctl maxmatch FILE     run MaxMatch between two declared format sets
+     morphctl encode FILE       wire-encode a default-valued record, show hex
+     morphctl sizes             Table-1-style size table for the ECho workload
+     morphctl demo              run the ECho evolution scenario
+
+   Format files use the DSL of Pbio.Ptype_dsl, e.g.:
+
+     record Member { string info; int id; bool is_source; bool is_sink; }
+     format ChannelOpenResponse { int n; Member members[n]; }
+*)
+
+open Cmdliner
+open Pbio
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_formats path : (string * Ptype.record) list =
+  match Ptype_dsl.parse_formats (read_file path) with
+  | Ok [] -> Fmt.failwith "%s: no 'format' declarations found" path
+  | Ok fs -> fs
+  | Error msg -> Fmt.failwith "%s: %s" path msg
+
+(* --- show ------------------------------------------------------------------ *)
+
+let show_cmd =
+  let run path =
+    List.iter
+      (fun (_, r) ->
+         Format.printf "%a@." Ptype.pp_record r;
+         Format.printf "  weight W_f = %d@.@." (Ptype.weight r))
+      (load_formats path)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "show" ~doc:"Pretty-print the formats declared in FILE")
+    Term.(const run $ path)
+
+(* --- diff ------------------------------------------------------------------ *)
+
+let diff_cmd =
+  let run path =
+    let fs = load_formats path in
+    Format.printf "%-24s %-24s %6s %6s %8s@." "f1" "f2" "diff" "diff'" "Mr";
+    List.iteri
+      (fun i (n1, f1) ->
+         List.iteri
+           (fun j (n2, f2) ->
+              if i <> j then begin
+                let m = Morph.Maxmatch.evaluate_pair f1 f2 in
+                Format.printf "%-24s %-24s %6d %6d %8.3f%s@." n1 n2
+                  m.Morph.Maxmatch.diff12 m.diff21 m.ratio
+                  (if Morph.Maxmatch.is_perfect m then "  perfect" else "")
+              end)
+           fs)
+      fs
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Pairwise diff (Algorithm 1) and Mismatch Ratio between all formats in FILE")
+    Term.(const run $ path)
+
+(* --- maxmatch --------------------------------------------------------------- *)
+
+let maxmatch_cmd =
+  let run path dt mt =
+    let fs = load_formats path in
+    let thresholds = { Morph.Maxmatch.diff_threshold = dt; mismatch_threshold = mt } in
+    let records = List.map snd fs in
+    Format.printf "thresholds: diff <= %d, Mr <= %.3f@." dt mt;
+    (match Morph.Maxmatch.max_match ~thresholds records records with
+     | Some m -> Format.printf "MaxMatch: %a@." Morph.Maxmatch.pp_match m
+     | None -> Format.printf "MaxMatch: no qualifying pair@.");
+    Format.printf "ranked qualifying pairs:@.";
+    List.iter
+      (fun m ->
+         if not (Ptype.equal_record m.Morph.Maxmatch.f1 m.Morph.Maxmatch.f2) then
+           Format.printf "  %a@." Morph.Maxmatch.pp_match m)
+      (Morph.Maxmatch.ranked ~thresholds records records)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let dt =
+    Arg.(value & opt int Morph.Maxmatch.default_thresholds.diff_threshold
+         & info [ "diff-threshold"; "d" ] ~docv:"N" ~doc:"DIFF_THRESHOLD")
+  in
+  let mt =
+    Arg.(value & opt float Morph.Maxmatch.default_thresholds.mismatch_threshold
+         & info [ "mismatch-threshold"; "m" ] ~docv:"R" ~doc:"MISMATCH_THRESHOLD")
+  in
+  Cmd.v
+    (Cmd.info "maxmatch" ~doc:"Run MaxMatch over the formats declared in FILE")
+    Term.(const run $ path $ dt $ mt)
+
+(* --- encode ------------------------------------------------------------------ *)
+
+let hexdump (s : string) : unit =
+  String.iteri
+    (fun i c ->
+       if i mod 16 = 0 then Printf.printf "%s%04x  " (if i > 0 then "\n" else "") i;
+       Printf.printf "%02x " (Char.code c))
+    s;
+  print_newline ()
+
+let encode_cmd =
+  let run path name big =
+    let fs = load_formats path in
+    let _, r =
+      match name with
+      | Some n ->
+        (match List.find_opt (fun (fn, _) -> fn = n) fs with
+         | Some f -> f
+         | None -> Fmt.failwith "no format named %S in %s" n path)
+      | None -> List.hd fs
+    in
+    let v = Value.default_record r in
+    let endian = if big then Wire.Big else Wire.Little in
+    let bytes = Wire.encode ~endian ~format_id:1 r v in
+    Format.printf "format %s, default value:@.  %a@." r.Ptype.rname Value.pp v;
+    Printf.printf "unencoded size: %d bytes\n" (Sizeof.unencoded r v);
+    Printf.printf "wire size:      %d bytes (%d header + %d payload)\n"
+      (String.length bytes) Wire.header_size
+      (String.length bytes - Wire.header_size);
+    hexdump bytes;
+    (* prove it round-trips *)
+    let back = Wire.decode r bytes in
+    assert (Value.equal v back);
+    print_endline "round-trip: ok"
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let fmt_name =
+    Arg.(value & opt (some string) None & info [ "format"; "f" ] ~docv:"NAME")
+  in
+  let big = Arg.(value & flag & info [ "big-endian"; "B" ] ~doc:"Encode big-endian") in
+  Cmd.v
+    (Cmd.info "encode"
+       ~doc:"Wire-encode a default-valued record of a format in FILE and hex-dump it")
+    Term.(const run $ path $ fmt_name $ big)
+
+(* --- xform ------------------------------------------------------------------- *)
+
+(* A deterministic, human-readable sample value: more interesting than
+   all-zero defaults when demonstrating a transformation. *)
+let sample_value (r : Ptype.record) : Value.t =
+  let counter = ref 0 in
+  let next () = incr counter; !counter in
+  let rec of_type path (ty : Ptype.t) : Value.t =
+    match ty with
+    | Basic Int -> Value.Int (next ())
+    | Basic Uint -> Value.Uint (next ())
+    | Basic Float -> Value.Float (float_of_int (next ()) +. 0.5)
+    | Basic Char -> Value.Char (Char.chr (Char.code 'a' + (next () mod 26)))
+    | Basic Bool -> Value.Bool (next () mod 2 = 0)
+    | Basic String -> Value.String (path ^ "-" ^ string_of_int (next ()))
+    | Basic (Enum e) ->
+      let case, n = List.nth e.cases (next () mod List.length e.cases) in
+      Value.Enum (case, n)
+    | Record r -> of_record path r
+    | Array { elem; size = Fixed n } ->
+      Value.array_of_list (List.init n (fun i -> of_type (path ^ string_of_int i) elem))
+    | Array { elem; size = Length_field _ } ->
+      Value.array_of_list (List.init 2 (fun i -> of_type (path ^ string_of_int i) elem))
+  and of_record path (r : Ptype.record) : Value.t =
+    let v =
+      Value.record
+        (List.map
+           (fun (f : Ptype.field) ->
+              (f.Ptype.fname, of_type (if path = "" then f.Ptype.fname else path ^ "." ^ f.Ptype.fname) f.Ptype.ftype))
+           r.Ptype.fields)
+    in
+    Value.sync_lengths r v;
+    v
+  in
+  of_record "" r
+
+let xform_cmd =
+  let run path from_name to_name code_path =
+    let fs = load_formats path in
+    let find n =
+      match List.assoc_opt n fs with
+      | Some r -> r
+      | None -> Fmt.failwith "no format named %S in %s" n path
+    in
+    let src = find from_name and dst = find to_name in
+    let code = read_file code_path in
+    let input = sample_value src in
+    Format.printf "input (%s):@.  %a@.@." from_name Value.pp input;
+    let meta = Morph.meta src ~xforms:[ Morph.xform ~target:dst code ] in
+    (match Morph.check_meta meta with
+     | Ok () -> ()
+     | Error e -> Fmt.failwith "transformation does not compile: %s" e);
+    match Morph.morph_to meta ~target:dst input with
+    | Ok out -> Format.printf "morphed (%s):@.  %a@." to_name Value.pp out
+    | Error e -> Fmt.failwith "morphing failed: %s" e
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FORMATS") in
+  let code = Arg.(required & pos 1 (some file) None & info [] ~docv:"ECODE_FILE") in
+  let from_name =
+    Arg.(required & opt (some string) None & info [ "from" ] ~docv:"NAME")
+  in
+  let to_name = Arg.(required & opt (some string) None & info [ "to" ] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "xform"
+       ~doc:"Apply an Ecode transformation between two formats on a generated sample")
+    Term.(const run $ path $ from_name $ to_name $ code)
+
+(* --- explain ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let run path incoming registered code_path dt mt =
+    let fs = load_formats path in
+    let find n =
+      match List.assoc_opt n fs with
+      | Some r -> r
+      | None -> Fmt.failwith "no format named %S in %s" n path
+    in
+    let incoming_fmt = find incoming in
+    let xforms =
+      match code_path, registered with
+      | None, _ -> []
+      | Some cp, first :: _ ->
+        [ Morph.xform ~target:(find first) (read_file cp) ]
+      | Some _, [] -> Fmt.failwith "--code requires at least one --registered format"
+    in
+    let meta = Morph.meta incoming_fmt ~xforms in
+    (match Morph.check_meta meta with
+     | Ok () -> ()
+     | Error e -> Fmt.failwith "attached code does not compile: %s" e);
+    let receiver =
+      Morph.Receiver.create
+        ~thresholds:{ Morph.Maxmatch.diff_threshold = dt; mismatch_threshold = mt } ()
+    in
+    List.iter (fun n -> Morph.Receiver.register receiver (find n) (fun _ -> ())) registered;
+    Printf.printf "incoming:   %s\n" incoming;
+    Printf.printf "registered: %s\n" (String.concat ", " registered);
+    Printf.printf "plan:       %s\n" (Morph.Receiver.explain receiver meta)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FORMATS") in
+  let incoming =
+    Arg.(required & opt (some string) None & info [ "incoming"; "i" ] ~docv:"NAME")
+  in
+  let registered =
+    Arg.(value & opt_all string [] & info [ "registered"; "r" ] ~docv:"NAME")
+  in
+  let code =
+    Arg.(value & opt (some file) None
+         & info [ "code"; "c" ] ~docv:"ECODE_FILE"
+             ~doc:"Attach this transformation (target = first --registered format)")
+  in
+  let dt =
+    Arg.(value & opt int Morph.Maxmatch.default_thresholds.diff_threshold
+         & info [ "diff-threshold"; "d" ] ~docv:"N")
+  in
+  let mt =
+    Arg.(value & opt float Morph.Maxmatch.default_thresholds.mismatch_threshold
+         & info [ "mismatch-threshold"; "m" ] ~docv:"R")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Describe what Algorithm 2 would do with a format, without delivering")
+    Term.(const run $ path $ incoming $ registered $ code $ dt $ mt)
+
+(* --- sizes ------------------------------------------------------------------- *)
+
+let sizes_cmd =
+  let run members =
+    let open Echo.Wire_formats in
+    let v2 = gen_response_v2 members in
+    let v1 =
+      match Morph.morph_to response_v2_meta ~target:channel_open_response_v1 v2 with
+      | Ok v -> v
+      | Error e -> Fmt.failwith "%s" e
+    in
+    let xml2 = Xmlkit.Pbio_xml.encode channel_open_response_v2 v2 in
+    let xml1 = Xmlkit.Pbio_xml.encode channel_open_response_v1 v1 in
+    Printf.printf "ChannelOpenResponse with %d members:\n" members;
+    Printf.printf "  %-22s %10s\n" "representation" "bytes";
+    List.iter
+      (fun (label, n) -> Printf.printf "  %-22s %10d\n" label n)
+      [
+        ("unencoded v2.0", Sizeof.unencoded channel_open_response_v2 v2);
+        ("PBIO encoded v2.0",
+         String.length (Wire.encode ~format_id:1 channel_open_response_v2 v2));
+        ("unencoded v1.0", Sizeof.unencoded channel_open_response_v1 v1);
+        ("XML v2.0", String.length xml2);
+        ("XML v1.0", String.length xml1);
+      ]
+  in
+  let members =
+    Arg.(value & opt int 100 & info [ "members"; "n" ] ~docv:"N" ~doc:"member-list length")
+  in
+  Cmd.v
+    (Cmd.info "sizes" ~doc:"Table-1-style message sizes for the ECho workload")
+    Term.(const run $ members)
+
+(* --- demo --------------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run () =
+    let net = Transport.Netsim.create () in
+    let creator = Echo.Node.create net ~host:"creator" ~port:1 Echo.Node.V2 in
+    let old_sink = Echo.Node.create net ~host:"legacy" ~port:2 Echo.Node.V1 in
+    Echo.Node.create_channel creator "demo" ~as_source:true ~as_sink:false;
+    let got = ref 0 in
+    Echo.Node.subscribe_events old_sink "demo" (fun _ -> incr got);
+    Echo.Node.join old_sink ~creator:(Echo.Node.contact creator) "demo"
+      ~as_source:false ~as_sink:true;
+    ignore (Echo.settle net);
+    Echo.Node.publish creator "demo" "hello";
+    ignore (Echo.settle net);
+    Printf.printf
+      "ECho-2.0 creator, ECho-1.0 subscriber: %d event(s) delivered across versions\n" !got;
+    if !got = 1 then print_endline "demo: ok" else exit 1
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run a two-node cross-version ECho demo")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "morphctl" ~version:"1.0.0"
+      ~doc:"Message-morphing toolkit (ICDCS 2005 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/b2b_broker.ml: B2b List Logs Morph Pbio Printf

@@ -1,0 +1,1 @@
+examples/b2b_broker.mli:

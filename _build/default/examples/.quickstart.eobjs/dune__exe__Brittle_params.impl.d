@@ -1,0 +1,1 @@
+examples/brittle_params.ml: Format List Meta Morph Pbio Printf Ptype_dsl Value

@@ -1,0 +1,1 @@
+examples/brittle_params.mli:

@@ -1,0 +1,1 @@
+examples/chain_lineage.ml: Fmt Format List Meta Morph Pbio Printf Ptype Ptype_dsl Value

@@ -1,0 +1,1 @@
+examples/echo_evolution.ml: Echo Format List Logs Morph Printf Transport

@@ -1,0 +1,1 @@
+examples/echo_evolution.mli:

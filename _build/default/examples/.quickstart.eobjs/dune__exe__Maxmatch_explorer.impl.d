@@ -1,0 +1,1 @@
+examples/maxmatch_explorer.ml: Echo Format List Morph Pbio Printf Ptype_dsl

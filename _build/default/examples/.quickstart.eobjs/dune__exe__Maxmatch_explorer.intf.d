@@ -1,0 +1,1 @@
+examples/maxmatch_explorer.mli:

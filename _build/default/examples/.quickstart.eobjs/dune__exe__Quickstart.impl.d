@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Morph Pbio Printf Ptype Value

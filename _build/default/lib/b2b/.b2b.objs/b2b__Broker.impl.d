@@ -1,0 +1,1 @@
+lib/b2b/broker.ml: Formats Hashtbl Lazy List Logs Meta Option Pbio Ptype String Transport Value Xmlkit Xslt

@@ -1,0 +1,1 @@
+lib/b2b/broker.mli: Meta Pbio Transport

@@ -1,0 +1,1 @@
+lib/b2b/formats.ml: List Meta Pbio Printf Ptype Value

@@ -1,0 +1,1 @@
+lib/b2b/formats.mli: Meta Pbio Ptype Value

@@ -1,0 +1,1 @@
+lib/b2b/retailer.ml: Broker Formats Logs Meta Morph Pbio Transport Value Xmlkit

@@ -1,0 +1,1 @@
+lib/b2b/retailer.mli: Broker Morph Pbio Transport Value

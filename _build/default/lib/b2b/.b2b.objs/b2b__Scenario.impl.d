@@ -1,0 +1,1 @@
+lib/b2b/scenario.ml: Broker Fmt Formats Fun Int List Morph Pbio Printf Retailer Supplier Transport

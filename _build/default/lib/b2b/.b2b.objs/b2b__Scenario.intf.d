@@ -1,0 +1,1 @@
+lib/b2b/scenario.mli: Broker Format

@@ -1,0 +1,1 @@
+lib/b2b/supplier.ml: Broker Formats List Logs Meta Morph Pbio Transport Value Xmlkit

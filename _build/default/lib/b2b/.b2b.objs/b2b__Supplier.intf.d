@@ -1,0 +1,1 @@
+lib/b2b/supplier.mli: Broker Morph Transport

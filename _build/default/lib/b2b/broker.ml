@@ -1,0 +1,190 @@
+(* The integration broker of Section 4.2, in both of the paper's
+   configurations:
+
+   - [Xslt_at_broker] (Figure 6, Oracle-AQ style): applications exchange
+     XML; the broker parses every message, applies the appropriate XSL
+     stylesheet and re-serialises before forwarding.  All conversion work
+     concentrates at the broker.
+
+   - [Morph_at_receiver] (Figure 7): applications exchange PBIO binary; the
+     broker merely associates an Ecode segment with the incoming message's
+     meta-data and forwards it.  Conversion happens at each receiver, the
+     broker does no per-byte transformation work. *)
+
+module Xml = Xmlkit.Xml
+module Xml_parser = Xmlkit.Xml_parser
+module Xml_print = Xmlkit.Xml_print
+
+open Pbio
+
+type mode =
+  | Xslt_at_broker
+  | Morph_at_receiver
+
+type counters = {
+  mutable routed : int;
+  mutable transforms : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+type t = {
+  contact : Transport.Contact.t;
+  mutable retailers : Transport.Contact.t list;
+  mutable suppliers : Transport.Contact.t list;
+  (* orders round-robin across suppliers; statuses return to the retailer
+     that placed the order, found by its purchase-order id *)
+  mutable rr : int;
+  po_origin : (int, Transport.Contact.t) Hashtbl.t;
+  counters : counters;
+  (* XSLT mode state *)
+  order_sheet : Xslt.Stylesheet.t Lazy.t;
+  status_sheet : Xslt.Stylesheet.t Lazy.t;
+  (* morph mode state *)
+  mutable endpoint : Transport.Conn.endpoint option;
+}
+
+let counters t = t.counters
+
+type direction =
+  | From_retailer
+  | From_supplier
+  | Unknown_peer
+
+let direction t ~(src : Transport.Contact.t) : direction =
+  if List.exists (Transport.Contact.equal src) t.retailers then From_retailer
+  else if List.exists (Transport.Contact.equal src) t.suppliers then From_supplier
+  else Unknown_peer
+
+(* Route an order: remember which retailer placed purchase order [po], pick
+   the next supplier round-robin. *)
+let route_order t ~(src : Transport.Contact.t) ~(po : int) : Transport.Contact.t option =
+  match t.suppliers with
+  | [] -> None
+  | suppliers ->
+    Hashtbl.replace t.po_origin po src;
+    let dst = List.nth suppliers (t.rr mod List.length suppliers) in
+    t.rr <- t.rr + 1;
+    Some dst
+
+(* Route a status back to whichever retailer placed the order. *)
+let route_status t ~(po : int) : Transport.Contact.t option =
+  match Hashtbl.find_opt t.po_origin po with
+  | Some r -> Some r
+  | None -> (match t.retailers with r :: _ -> Some r | [] -> None)
+
+(* --- XSLT mode -------------------------------------------------------------- *)
+
+let int_child (doc : Xml.t) (tag : string) : int option =
+  match doc with
+  | Xml.Element e ->
+    Option.bind (Xml.find_child e tag) (fun c ->
+        int_of_string_opt (String.trim (Xml.text_content (Xml.Element c))))
+  | Xml.Text _ -> None
+
+let handle_xml t (net : Transport.Netsim.t) ~src (payload : string) : unit =
+  t.counters.bytes_in <- t.counters.bytes_in + String.length payload;
+  match Xml_parser.parse payload with
+  | Error msg ->
+    Logs.warn (fun m -> m "broker: bad XML from %a: %s" Transport.Contact.pp src msg)
+  | Ok doc ->
+    let routed =
+      match direction t ~src, Xml.tag_of doc with
+      | From_retailer, Some "Order" ->
+        Option.map
+          (fun dst -> (dst, Lazy.force t.order_sheet))
+          (route_order t ~src ~po:(Option.value ~default:0 (int_child doc "order_id")))
+      | From_supplier, Some "OrderStatus" ->
+        Option.map
+          (fun dst -> (dst, Lazy.force t.status_sheet))
+          (route_status t ~po:(Option.value ~default:0 (int_child doc "po")))
+      | _, _ -> None
+    in
+    (match routed with
+     | None ->
+       Logs.warn (fun m ->
+           m "broker: no route for message from %a" Transport.Contact.pp src)
+     | Some (dst, sheet) ->
+       let out = Xslt.Engine.apply_to_element sheet doc in
+       let out_str = Xml_print.to_string out in
+       t.counters.transforms <- t.counters.transforms + 1;
+       t.counters.routed <- t.counters.routed + 1;
+       t.counters.bytes_out <- t.counters.bytes_out + String.length out_str;
+       Transport.Netsim.send net ~src:t.contact ~dst out_str)
+
+(* --- morphing mode ------------------------------------------------------------ *)
+
+(* Attach the retro-transformation for the destination, leaving meta that
+   already carries transformations untouched. *)
+let augment_meta (meta : Meta.format_meta) : Meta.format_meta =
+  if meta.Meta.xforms <> [] then meta
+  else
+    match meta.Meta.body.Ptype.rname with
+    | "Order" when Ptype.equal_record meta.Meta.body Formats.retail_order ->
+      Formats.order_with_xform
+    | "OrderStatus" when Ptype.equal_record meta.Meta.body Formats.supplier_status ->
+      Formats.status_with_xform
+    | _ -> meta
+
+let int_field (v : Value.t) (name : string) : int option =
+  if Value.has_field v name then Some (Value.to_int (Value.get_field v name)) else None
+
+let handle_binary t ~src (meta : Meta.format_meta) (v : Value.t) : unit =
+  let dst =
+    match direction t ~src, meta.Meta.body.Ptype.rname with
+    | From_retailer, "Order" ->
+      route_order t ~src ~po:(Option.value ~default:0 (int_field v "order_id"))
+    | From_supplier, "OrderStatus" ->
+      route_status t ~po:(Option.value ~default:0 (int_field v "po"))
+    | _, _ -> None
+  in
+  match dst, t.endpoint with
+  | Some dst, Some ep ->
+    let meta = augment_meta meta in
+    t.counters.routed <- t.counters.routed + 1;
+    Transport.Conn.send ep ~dst meta v
+  | _, _ ->
+    Logs.warn (fun m -> m "broker: no route for message from %a" Transport.Contact.pp src)
+
+(* --- construction --------------------------------------------------------------- *)
+
+let create (net : Transport.Netsim.t) ~(host : string) ~(port : int) (mode : mode) : t =
+  let contact = Transport.Contact.make host port in
+  let t =
+    {
+      contact;
+      retailers = [];
+      suppliers = [];
+      rr = 0;
+      po_origin = Hashtbl.create 64;
+      counters = { routed = 0; transforms = 0; bytes_in = 0; bytes_out = 0 };
+      order_sheet = lazy (Xslt.Stylesheet.of_string Formats.retail_to_supplier_order_xslt);
+      status_sheet = lazy (Xslt.Stylesheet.of_string Formats.supplier_to_retail_status_xslt);
+      endpoint = None;
+    }
+  in
+  (match mode with
+   | Xslt_at_broker ->
+     Transport.Netsim.add_node net contact (fun ~src payload ->
+         handle_xml t net ~src payload)
+   | Morph_at_receiver ->
+     let ep = Transport.Conn.create net contact in
+     t.endpoint <- Some ep;
+     Transport.Conn.set_handler ep (fun ~src meta v ->
+         t.counters.bytes_in <- t.counters.bytes_in + 1;
+         handle_binary t ~src meta v));
+  t
+
+let contact t = t.contact
+
+let add_retailer t (c : Transport.Contact.t) : unit =
+  if not (List.exists (Transport.Contact.equal c) t.retailers) then
+    t.retailers <- t.retailers @ [ c ]
+
+let add_supplier t (c : Transport.Contact.t) : unit =
+  if not (List.exists (Transport.Contact.equal c) t.suppliers) then
+    t.suppliers <- t.suppliers @ [ c ]
+
+let connect t ~(retailer : Transport.Contact.t) ~(supplier : Transport.Contact.t) : unit =
+  add_retailer t retailer;
+  add_supplier t supplier

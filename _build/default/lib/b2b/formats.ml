@@ -1,0 +1,171 @@
+(* Message formats for the business-process-messaging scenario (paper,
+   Section 4.2, Figures 6 and 7): a retailer and a supplier exchange orders
+   and order statuses through a broker, each speaking its own vendor format.
+   Both the Ecode transformations (morphing mode) and the equivalent XSLT
+   stylesheets (Oracle-AQ-style broker mode) live here. *)
+
+open Pbio
+
+(* --- retailer-side formats ------------------------------------------------- *)
+
+let ship_to : Ptype.record =
+  Ptype.record "ShipTo"
+    [
+      Ptype.field "street" Ptype.string_;
+      Ptype.field "city" Ptype.string_;
+      Ptype.field "zip" Ptype.string_;
+    ]
+
+let retail_order : Ptype.record =
+  Ptype.record "Order"
+    [
+      Ptype.field "order_id" Ptype.int_;
+      Ptype.field "sku" Ptype.string_;
+      Ptype.field "quantity" Ptype.int_;
+      Ptype.field "unit_price" Ptype.float_;
+      Ptype.field "customer" Ptype.string_;
+      Ptype.field "ship_to" (Ptype.Record ship_to);
+    ]
+
+let retail_status : Ptype.record =
+  Ptype.record "OrderStatus"
+    [
+      Ptype.field "order_id" Ptype.int_;
+      Ptype.field "status" Ptype.string_;
+      Ptype.field "estimated_days" Ptype.int_;
+    ]
+
+(* --- supplier-side formats -------------------------------------------------- *)
+
+let order_state : Ptype.enum =
+  { Ptype.ename = "order_state";
+    cases = [ ("received", 0); ("shipped", 1); ("backorder", 2) ] }
+
+let supplier_order : Ptype.record =
+  Ptype.record "Order"
+    [
+      Ptype.field "po" Ptype.int_;
+      Ptype.field "part" Ptype.string_;
+      Ptype.field "count" Ptype.int_;
+      Ptype.field "price_cents" Ptype.int_;
+      Ptype.field "deliver_to" Ptype.string_;
+      Ptype.field "notes" Ptype.string_;
+    ]
+
+let supplier_status : Ptype.record =
+  Ptype.record "OrderStatus"
+    [
+      Ptype.field "po" Ptype.int_;
+      Ptype.field "state" (Ptype.Basic (Enum order_state));
+      Ptype.field "eta_days" Ptype.int_;
+    ]
+
+(* --- Ecode transformations (morphing mode) ---------------------------------- *)
+
+let retail_to_supplier_order_code : string =
+  {|
+  old.po = new.order_id;
+  old.part = new.sku;
+  old.count = new.quantity;
+  old.price_cents = int(new.unit_price * 100.0 + 0.5);
+  old.deliver_to = new.ship_to.street + ", " + new.ship_to.city + " " + new.ship_to.zip;
+  old.notes = "customer: " + new.customer;
+|}
+
+let supplier_to_retail_status_code : string =
+  {|
+  old.order_id = new.po;
+  switch (new.state) {
+    case 0: old.status = "received"; break;
+    case 1: old.status = "shipped"; break;
+    case 2: old.status = "backorder"; break;
+  }
+  old.estimated_days = new.eta_days;
+|}
+
+(* Meta blocks the morphing broker attaches before forwarding. *)
+let order_with_xform : Meta.format_meta =
+  {
+    Meta.body = retail_order;
+    xforms = [ { Meta.source = None; target = supplier_order; code = retail_to_supplier_order_code } ];
+  }
+
+let status_with_xform : Meta.format_meta =
+  {
+    Meta.body = supplier_status;
+    xforms = [ { Meta.source = None; target = retail_status; code = supplier_to_retail_status_code } ];
+  }
+
+(* --- XSLT stylesheets (broker-conversion mode) -------------------------------- *)
+
+let retail_to_supplier_order_xslt : string =
+  {|<xsl:stylesheet version="1.0">
+  <xsl:template match="/Order">
+    <Order>
+      <po><xsl:value-of select="order_id"/></po>
+      <part><xsl:value-of select="sku"/></part>
+      <count><xsl:value-of select="quantity"/></count>
+      <price_cents><xsl:value-of select="round(unit_price * 100)"/></price_cents>
+      <deliver_to><xsl:value-of select="concat(ship_to/street, ', ', ship_to/city, ' ', ship_to/zip)"/></deliver_to>
+      <notes><xsl:value-of select="concat('customer: ', customer)"/></notes>
+    </Order>
+  </xsl:template>
+</xsl:stylesheet>|}
+
+let supplier_to_retail_status_xslt : string =
+  {|<xsl:stylesheet version="1.0">
+  <xsl:template match="/OrderStatus">
+    <OrderStatus>
+      <order_id><xsl:value-of select="po"/></order_id>
+      <status><xsl:value-of select="state"/></status>
+      <estimated_days><xsl:value-of select="eta_days"/></estimated_days>
+    </OrderStatus>
+  </xsl:template>
+</xsl:stylesheet>|}
+
+(* --- value builders and workload --------------------------------------------- *)
+
+let retail_order_value ~order_id ~sku ~quantity ~unit_price ~customer ~street ~city ~zip :
+  Value.t =
+  Value.record
+    [
+      ("order_id", Value.Int order_id);
+      ("sku", Value.String sku);
+      ("quantity", Value.Int quantity);
+      ("unit_price", Value.Float unit_price);
+      ("customer", Value.String customer);
+      ("ship_to",
+       Value.record
+         [
+           ("street", Value.String street);
+           ("city", Value.String city);
+           ("zip", Value.String zip);
+         ]);
+    ]
+
+let supplier_status_value ~po ~state ~eta_days : Value.t =
+  let case, n =
+    match List.find_opt (fun (c, _) -> c = state) order_state.Ptype.cases with
+    | Some (c, n) -> (c, n)
+    | None -> invalid_arg ("unknown order state " ^ state)
+  in
+  Value.record
+    [
+      ("po", Value.Int po);
+      ("state", Value.Enum (case, n));
+      ("eta_days", Value.Int eta_days);
+    ]
+
+(* Deterministic order stream. *)
+let gen_order (i : int) : Value.t =
+  retail_order_value ~order_id:(1000 + i)
+    ~sku:(Printf.sprintf "SKU-%05d" (i * 7 mod 99999))
+    ~quantity:(1 + (i mod 12))
+    ~unit_price:(4.99 +. float_of_int (i mod 40))
+    ~customer:(Printf.sprintf "customer-%03d" (i mod 250))
+    ~street:(Printf.sprintf "%d Peachtree St" (100 + (i mod 900)))
+    ~city:"Atlanta" ~zip:"30332"
+
+let gen_status_for ~(po : int) (i : int) : Value.t =
+  let state = match i mod 3 with 0 -> "received" | 1 -> "shipped" | _ -> "backorder" in
+  supplier_status_value ~po ~state ~eta_days:(1 + (i mod 9))

@@ -1,0 +1,65 @@
+(* The retailer application: emits orders in the retailer's own format and
+   consumes order statuses, oblivious to what format the supplier speaks. *)
+
+module Pbio_xml = Xmlkit.Pbio_xml
+
+open Pbio
+
+type t = {
+  mode : Broker.mode;
+  contact : Transport.Contact.t;
+  net : Transport.Netsim.t;
+  broker : Transport.Contact.t;
+  mutable statuses : (int * string * int) list; (* order_id, status, days; newest first *)
+  mutable orders_sent : int;
+  mutable endpoint : Transport.Conn.endpoint option;
+  receiver : Morph.Receiver.t;
+}
+
+let record_status t (v : Value.t) : unit =
+  t.statuses <-
+    ( Value.to_int (Value.get_field v "order_id"),
+      Value.to_string_exn (Value.get_field v "status"),
+      Value.to_int (Value.get_field v "estimated_days") )
+    :: t.statuses
+
+let create ?(thresholds = Morph.Maxmatch.default_thresholds)
+    (net : Transport.Netsim.t) ~(host : string) ~(port : int)
+    ~(broker : Transport.Contact.t) (mode : Broker.mode) : t =
+  let contact = Transport.Contact.make host port in
+  let receiver = Morph.Receiver.create ~thresholds () in
+  let t =
+    { mode; contact; net; broker; statuses = []; orders_sent = 0;
+      endpoint = None; receiver }
+  in
+  Morph.Receiver.register receiver Formats.retail_status (record_status t);
+  (match mode with
+   | Broker.Xslt_at_broker ->
+     Transport.Netsim.add_node net contact (fun ~src:_ payload ->
+         match Pbio_xml.decode Formats.retail_status payload with
+         | Ok v -> record_status t v
+         | Error msg -> Logs.warn (fun m -> m "retailer: bad status XML: %s" msg))
+   | Broker.Morph_at_receiver ->
+     let ep = Transport.Conn.create net contact in
+     t.endpoint <- Some ep;
+     Transport.Conn.set_handler ep (fun ~src:_ meta v ->
+         match Morph.Receiver.deliver receiver meta v with
+         | Morph.Receiver.Delivered _ | Morph.Receiver.Defaulted -> ()
+         | Morph.Receiver.Rejected reason ->
+           Logs.warn (fun m -> m "retailer: rejected: %s" reason)));
+  t
+
+let send_order t (order : Value.t) : unit =
+  t.orders_sent <- t.orders_sent + 1;
+  match t.mode, t.endpoint with
+  | Broker.Xslt_at_broker, _ ->
+    Transport.Netsim.send t.net ~src:t.contact ~dst:t.broker
+      (Pbio_xml.encode Formats.retail_order order)
+  | Broker.Morph_at_receiver, Some ep ->
+    Transport.Conn.send ep ~dst:t.broker (Meta.plain Formats.retail_order) order
+  | Broker.Morph_at_receiver, None -> assert false
+
+let contact t = t.contact
+let statuses t = t.statuses
+let orders_sent t = t.orders_sent
+let receiver t = t.receiver

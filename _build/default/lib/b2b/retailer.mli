@@ -1,0 +1,25 @@
+(** The retailer application: emits orders in the retailer's own format and
+    consumes order statuses, oblivious to what format the supplier
+    speaks. *)
+
+open Pbio
+
+type t
+
+val create :
+  ?thresholds:Morph.Maxmatch.thresholds ->
+  Transport.Netsim.t ->
+  host:string ->
+  port:int ->
+  broker:Transport.Contact.t ->
+  Broker.mode ->
+  t
+
+val send_order : t -> Value.t -> unit
+val contact : t -> Transport.Contact.t
+
+(** Received statuses, newest first: (order id, status, estimated days). *)
+val statuses : t -> (int * string * int) list
+
+val orders_sent : t -> int
+val receiver : t -> Morph.Receiver.t

@@ -1,0 +1,1 @@
+lib/core/morph.ml: Diff Fmt List Maxmatch Meta Pbio Ptype Receiver Value Weighted Xform

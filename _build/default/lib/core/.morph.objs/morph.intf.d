@@ -1,0 +1,1 @@
+lib/core/morph.mli: Diff Maxmatch Meta Pbio Ptype Receiver Value Weighted Xform

@@ -1,0 +1,1 @@
+lib/core/diff.ml: List Pbio Ptype

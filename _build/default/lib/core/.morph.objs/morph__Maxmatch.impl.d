@@ -1,0 +1,1 @@
+lib/core/maxmatch.ml: Diff Float Fmt Int List Pbio Ptype

@@ -1,0 +1,1 @@
+lib/core/maxmatch.mli: Format Pbio Ptype

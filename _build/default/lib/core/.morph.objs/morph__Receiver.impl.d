@@ -1,0 +1,1 @@
+lib/core/receiver.ml: Convert Fmt Hashtbl List Maxmatch Meta Option Pbio Ptype Value Weighted Wire Xform

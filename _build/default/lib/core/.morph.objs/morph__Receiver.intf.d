@@ -1,0 +1,1 @@
+lib/core/receiver.mli: Format Maxmatch Meta Pbio Ptype Value Weighted Xform

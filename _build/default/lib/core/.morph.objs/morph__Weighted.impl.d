@@ -1,0 +1,1 @@
+lib/core/weighted.ml: Diff Fmt Hashtbl List Pbio Ptype

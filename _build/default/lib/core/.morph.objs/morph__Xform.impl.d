@@ -1,0 +1,1 @@
+lib/core/xform.ml: Ecode Fmt Meta Pbio Ptype Value

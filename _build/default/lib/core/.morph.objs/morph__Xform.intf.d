@@ -1,0 +1,1 @@
+lib/core/xform.mli: Meta Pbio Ptype Value

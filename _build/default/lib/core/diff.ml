@@ -1,0 +1,71 @@
+(* Algorithm 1 of the paper: the recursive [diff] between two formats.
+
+   diff(f1, f2) is the total number of basic-type fields present in f1 but
+   not in f2.  Basic fields match when f2 has a field with the same name and
+   the same basic type.  A complex field looks for a complex field of the
+   same name and kind in f2: if none exists the whole weight of the field is
+   charged, otherwise the difference recurses. *)
+
+open Pbio
+
+let weight = Ptype.weight
+let weight_of_type = Ptype.weight_of_type
+
+(* Two basic types are "the same" for matching purposes when their wire
+   interpretation coincides; enums match by name. *)
+let same_basic (b1 : Ptype.basic) (b2 : Ptype.basic) : bool =
+  match b1, b2 with
+  | Enum e1, Enum e2 -> e1.ename = e2.ename
+  | (Int | Uint | Float | Char | Bool | String | Enum _), _ -> b1 = b2
+
+let rec diff (f1 : Ptype.record) (f2 : Ptype.record) : int =
+  List.fold_left (fun acc f -> acc + diff_field f f2) 0 f1.fields
+
+and diff_field (f : Ptype.field) (f2 : Ptype.record) : int =
+  match f.ftype with
+  | Basic b ->
+    let present =
+      List.exists
+        (fun (g : Ptype.field) ->
+           g.fname = f.fname
+           && (match g.ftype with Basic b' -> same_basic b b' | _ -> false))
+        f2.fields
+    in
+    if present then 0 else 1
+  | Record r ->
+    (match find_complex f.fname `Record f2 with
+     | Some (Ptype.Record r') -> diff r r'
+     | Some _ | None -> Ptype.weight r)
+  | Array a ->
+    (match find_complex f.fname `Array f2 with
+     | Some (Ptype.Array a') -> diff_elem a.elem a'.elem
+     | Some _ | None -> weight_of_type f.ftype)
+
+and find_complex fname kind (f2 : Ptype.record) : Ptype.t option =
+  let matches (g : Ptype.field) =
+    g.fname = fname
+    && (match g.ftype, kind with
+        | Ptype.Record _, `Record -> true
+        | Ptype.Array _, `Array -> true
+        | _ -> false)
+  in
+  match List.find_opt matches f2.fields with
+  | Some g -> Some g.ftype
+  | None -> None
+
+and diff_elem (e1 : Ptype.t) (e2 : Ptype.t) : int =
+  match e1, e2 with
+  | Basic b1, Basic b2 -> if same_basic b1 b2 then 0 else 1
+  | Record r1, Record r2 -> diff r1 r2
+  | Array a1, Array a2 -> diff_elem a1.elem a2.elem
+  | (Basic _ | Record _ | Array _), _ -> weight_of_type e1
+
+(* A perfect matching pair (paper): diff both ways is zero. *)
+let perfect_match (f1 : Ptype.record) (f2 : Ptype.record) : bool =
+  diff f1 f2 = 0 && diff f2 f1 = 0
+
+(* Mismatch Ratio M_r(f1, f2): fields present in f2 and absent from f1,
+   normalised by the weight of f2. *)
+let mismatch_ratio (f1 : Ptype.record) (f2 : Ptype.record) : float =
+  let w2 = weight f2 in
+  if w2 = 0 then 0.0 else float_of_int (diff f2 f1) /. float_of_int w2

@@ -1,0 +1,83 @@
+(* The MaxMatch comparison algorithm (paper, Section 3.2).
+
+   MaxMatch(F1, F2) returns the pair (f1, f2), f1 ∈ F1, f2 ∈ F2, such that
+     (iii) diff(f1, f2) <= DIFF_THRESHOLD,
+     (iv)  M_r(f1, f2)  <= MISMATCH_THRESHOLD,
+     (v)   among qualifying pairs, least M_r first, then least diff,
+           remaining ties broken arbitrarily (here: first in given order).
+
+   The thresholds control how much mismatch a particular system tolerates;
+   DIFF_THRESHOLD = 0 admits only perfect forward matches. *)
+
+open Pbio
+
+type thresholds = {
+  diff_threshold : int;
+  mismatch_threshold : float;
+}
+
+(* Defaults generous enough for the paper's examples; systems wanting strict
+   matching pass { diff_threshold = 0; mismatch_threshold = 0.0 }. *)
+let default_thresholds = { diff_threshold = 8; mismatch_threshold = 0.5 }
+
+let strict_thresholds = { diff_threshold = 0; mismatch_threshold = 0.0 }
+
+type match_result = {
+  f1 : Ptype.record;
+  f2 : Ptype.record;
+  diff12 : int;
+  diff21 : int;
+  ratio : float;
+}
+
+let pp_match ppf m =
+  Fmt.pf ppf "%s -> %s (diff=%d, diff'=%d, Mr=%.3f)"
+    m.f1.Ptype.rname m.f2.Ptype.rname m.diff12 m.diff21 m.ratio
+
+let is_perfect m = m.diff12 = 0 && m.diff21 = 0
+
+let evaluate_pair (f1 : Ptype.record) (f2 : Ptype.record) : match_result =
+  let diff12 = Diff.diff f1 f2 in
+  let diff21 = Diff.diff f2 f1 in
+  let w2 = Diff.weight f2 in
+  let ratio = if w2 = 0 then 0.0 else float_of_int diff21 /. float_of_int w2 in
+  { f1; f2; diff12; diff21; ratio }
+
+let qualifies t m = m.diff12 <= t.diff_threshold && m.ratio <= t.mismatch_threshold
+
+(* Strictly better under criterion (v). *)
+let better (a : match_result) (b : match_result) : bool =
+  a.ratio < b.ratio || (a.ratio = b.ratio && a.diff12 < b.diff12)
+
+let max_match ?(thresholds = default_thresholds)
+    (set1 : Ptype.record list) (set2 : Ptype.record list) : match_result option =
+  let consider best f1 f2 =
+    let m = evaluate_pair f1 f2 in
+    if not (qualifies thresholds m) then best
+    else
+      match best with
+      | None -> Some m
+      | Some b -> if better m b then Some m else Some b
+  in
+  (* Double fold, keeping the first qualifying pair on ties in the given
+     order (f1-major): the paper breaks remaining ties arbitrarily. *)
+  List.fold_left
+    (fun best f1 ->
+       List.fold_left (fun best f2 -> consider best f1 f2) best set2)
+    None set1
+
+(* All qualifying pairs, ranked best-first — useful for diagnostics and for
+   the CLI explorer. *)
+let ranked ?(thresholds = default_thresholds) set1 set2 : match_result list =
+  let pairs =
+    List.concat_map
+      (fun f1 -> List.map (fun f2 -> evaluate_pair f1 f2) set2)
+      set1
+  in
+  let qualifying = List.filter (qualifies thresholds) pairs in
+  List.stable_sort
+    (fun a b ->
+       match Float.compare a.ratio b.ratio with
+       | 0 -> Int.compare a.diff12 b.diff12
+       | c -> c)
+    qualifying

@@ -1,0 +1,55 @@
+(** The MaxMatch comparison algorithm (paper, Section 3.2).
+
+    MaxMatch(F1, F2) returns the pair (f1, f2), f1 ∈ F1, f2 ∈ F2, such that
+    diff(f1, f2) ≤ [diff_threshold], M{_r}(f1, f2) ≤ [mismatch_threshold],
+    and among qualifying pairs M{_r} is least, then diff(f1, f2) is least,
+    remaining ties broken arbitrarily (here: first in the given order).
+
+    The thresholds control how much mismatch a particular system tolerates;
+    a [diff_threshold] of 0 admits only perfect forward matches. *)
+
+open Pbio
+
+type thresholds = {
+  diff_threshold : int;
+  mismatch_threshold : float;
+}
+
+(** Generous enough for the paper's examples: diff ≤ 8, M{_r} ≤ 0.5. *)
+val default_thresholds : thresholds
+
+(** Perfect matches only: diff ≤ 0, M{_r} ≤ 0. *)
+val strict_thresholds : thresholds
+
+type match_result = {
+  f1 : Ptype.record;
+  f2 : Ptype.record;
+  diff12 : int;  (** diff(f1, f2) *)
+  diff21 : int;  (** diff(f2, f1) *)
+  ratio : float;  (** M{_r}(f1, f2) *)
+}
+
+val pp_match : Format.formatter -> match_result -> unit
+
+(** Both diffs are zero. *)
+val is_perfect : match_result -> bool
+
+(** All four quantities for one pair. *)
+val evaluate_pair : Ptype.record -> Ptype.record -> match_result
+
+(** Does the pair satisfy conditions (iii) and (iv)? *)
+val qualifies : thresholds -> match_result -> bool
+
+(** The MaxMatch pair between two sets of formats, if any qualifies. *)
+val max_match :
+  ?thresholds:thresholds ->
+  Ptype.record list ->
+  Ptype.record list ->
+  match_result option
+
+(** All qualifying pairs, best first — for diagnostics and the CLI. *)
+val ranked :
+  ?thresholds:thresholds ->
+  Ptype.record list ->
+  Ptype.record list ->
+  match_result list

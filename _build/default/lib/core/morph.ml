@@ -1,0 +1,77 @@
+(* Message Morphing — public facade.
+
+   The paper's primary contribution: combine out-of-band binary meta-data
+   (PBIO format descriptions, {!Pbio}) with dynamically generated
+   transformation code ({!Ecode}) so receivers convert incoming messages of
+   unknown formats into formats they understand, with no negotiation and no
+   application changes.
+
+   Typical use:
+
+   {[
+     (* writer side: describe the new format and how to roll it back *)
+     let meta =
+       Morph.meta v2_format
+         ~xforms:[ Morph.xform ~target:v1_format retro_code ]
+     in
+     (* reader side *)
+     let recv = Morph.Receiver.create () in
+     Morph.Receiver.register recv v1_format my_v1_handler;
+     ignore (Morph.Receiver.deliver recv meta incoming_value)
+   ]} *)
+
+module Diff = Diff
+module Maxmatch = Maxmatch
+module Weighted = Weighted
+module Xform = Xform
+module Receiver = Receiver
+
+open Pbio
+
+(* Writer-side helpers *)
+
+let xform ?source ~(target : Ptype.record) (code : string) : Meta.xform_spec =
+  { Meta.source; target; code }
+
+let meta ?(xforms = []) (body : Ptype.record) : Meta.format_meta =
+  (match Ptype.validate body with
+   | Ok () -> ()
+   | Error e -> invalid_arg (Fmt.str "Morph.meta: %s: %s" e.Ptype.where e.Ptype.what));
+  List.iter
+    (fun (x : Meta.xform_spec) ->
+       match Ptype.validate x.target with
+       | Ok () -> ()
+       | Error e ->
+         invalid_arg (Fmt.str "Morph.meta: transformation target %s: %s"
+                        e.Ptype.where e.Ptype.what))
+    xforms;
+  { Meta.body; xforms }
+
+(* Writer-side sanity check: compile every attached transformation once so a
+   broken snippet is reported at registration, not at receivers. *)
+let check_meta (m : Meta.format_meta) : (unit, string) result =
+  let rec go = function
+    | [] -> Ok ()
+    | x :: rest ->
+      (match Xform.check ~source:m.Meta.body x with
+       | Ok () -> go rest
+       | Error _ as e -> e)
+  in
+  go m.Meta.xforms
+
+(* One-shot morphing without a receiver: convert [value] of format
+   [m.body] into [target] using the attached transformations and structural
+   conversion, if the thresholds allow it. *)
+let morph_to ?(thresholds = Maxmatch.default_thresholds) ?(engine = Xform.Compiled)
+    (m : Meta.format_meta) ~(target : Ptype.record) (value : Value.t) :
+  (Value.t, string) result =
+  let r = Receiver.create ~thresholds ~engine () in
+  let result = ref None in
+  Receiver.register r target (fun v -> result := Some v);
+  match Receiver.deliver r m value with
+  | Receiver.Delivered _ ->
+    (match !result with
+     | Some v -> Ok v
+     | None -> Error "internal: handler did not run")
+  | Receiver.Defaulted -> Error "fell through to default handler"
+  | Receiver.Rejected reason -> Error reason

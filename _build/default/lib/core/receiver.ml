@@ -1,0 +1,306 @@
+(* Receiver-side message processing — Algorithm 2 of the paper.
+
+   The expensive steps (MaxMatch over candidate formats, Ecode compilation,
+   conversion planning) run only the first time a given incoming format is
+   seen; the resulting pipeline — transform, then handler — is cached and
+   reused for every later message of that format. *)
+
+open Pbio
+
+type handler = Value.t -> unit
+
+type registered = {
+  fmt : Ptype.record;
+  handler : handler;
+}
+
+(* How a delivered message reached its handler. *)
+type via =
+  | Exact                  (* same structure; no work per message *)
+  | Reordered              (* perfect match, different field order *)
+  | Converted              (* imperfect match: defaults filled, extras dropped *)
+  | Morphed of string      (* Ecode retro-transformation to the named format *)
+  | Morphed_converted of string (* transformation, then structural conversion *)
+
+let pp_via ppf = function
+  | Exact -> Fmt.string ppf "exact"
+  | Reordered -> Fmt.string ppf "reordered"
+  | Converted -> Fmt.string ppf "converted"
+  | Morphed t -> Fmt.pf ppf "morphed(%s)" t
+  | Morphed_converted t -> Fmt.pf ppf "morphed+converted(%s)" t
+
+type outcome =
+  | Delivered of { format_name : string; via : via }
+  | Defaulted
+  | Rejected of string
+
+let pp_outcome ppf = function
+  | Delivered { format_name; via } ->
+    Fmt.pf ppf "delivered to %s via %a" format_name pp_via via
+  | Defaulted -> Fmt.string ppf "default handler"
+  | Rejected reason -> Fmt.pf ppf "rejected: %s" reason
+
+type stats = {
+  mutable cache_hits : int;
+  mutable cold_paths : int;
+  mutable delivered : int;
+  mutable rejected : int;
+  mutable defaulted : int;
+}
+
+type pipeline =
+  | Accept of {
+      format_name : string;
+      via : via;
+      transform : Value.t -> Value.t; (* identity when [via] is Exact *)
+      handler : handler;
+    }
+  | Reject of string
+
+type cache_entry = {
+  key : Meta.format_meta;
+  pipeline : pipeline;
+}
+
+type t = {
+  thresholds : Maxmatch.thresholds;
+  weights : Weighted.t option;
+  (* when set, MaxMatch runs importance-weighted: the thresholds are
+     interpreted on the weighted scale *)
+  engine : Xform.engine;
+  mutable registered : registered list; (* registration order *)
+  mutable default_handler : (Meta.format_meta -> Value.t -> unit) option;
+  cache : (int, cache_entry list) Hashtbl.t;
+  stats : stats;
+}
+
+let create ?(thresholds = Maxmatch.default_thresholds) ?weights
+    ?(engine = Xform.Compiled) () =
+  {
+    thresholds;
+    weights;
+    engine;
+    registered = [];
+    default_handler = None;
+    cache = Hashtbl.create 32;
+    stats = { cache_hits = 0; cold_paths = 0; delivered = 0; rejected = 0; defaulted = 0 };
+  }
+
+let register t (fmt : Ptype.record) (handler : handler) : unit =
+  (match Ptype.validate fmt with
+   | Ok () -> ()
+   | Error e -> invalid_arg (Fmt.str "Receiver.register: %s: %s" e.Ptype.where e.Ptype.what));
+  t.registered <- t.registered @ [ { fmt; handler } ];
+  (* Registered formats change the matching space: throw away planned
+     pipelines so they are recomputed against the new set. *)
+  Hashtbl.reset t.cache
+
+let set_default_handler t f = t.default_handler <- Some f
+
+let stats t = t.stats
+
+let registered_formats t = List.map (fun r -> r.fmt) t.registered
+
+let handler_for t (fmt : Ptype.record) : handler option =
+  List.find_map
+    (fun r -> if Ptype.equal_record r.fmt fmt then Some r.handler else None)
+    t.registered
+
+(* --- planning (the cold path) ------------------------------------------- *)
+
+let identity_transform (v : Value.t) = v
+
+(* MaxMatch under the receiver's configuration: plain Algorithm 1 scale, or
+   the importance-weighted generalisation when weights are set.  Either way
+   the result is reduced to the (f1, f2, perfect?) the planner needs. *)
+let run_max_match t (set1 : Ptype.record list) (set2 : Ptype.record list) :
+  (Ptype.record * Ptype.record * bool) option =
+  match t.weights with
+  | None ->
+    Option.map
+      (fun (m : Maxmatch.match_result) -> (m.f1, m.f2, Maxmatch.is_perfect m))
+      (Maxmatch.max_match ~thresholds:t.thresholds set1 set2)
+  | Some w ->
+    let thresholds =
+      { Weighted.diff_threshold = float_of_int t.thresholds.Maxmatch.diff_threshold;
+        mismatch_threshold = t.thresholds.Maxmatch.mismatch_threshold }
+    in
+    Option.map
+      (fun (m : Weighted.match_result) ->
+         (m.f1, m.f2, m.Weighted.diff12 = 0.0 && m.Weighted.diff21 = 0.0))
+      (Weighted.max_match ~weights:w ~thresholds set1 set2)
+
+(* Build the per-format pipeline following Algorithm 2, lines 11-30. *)
+let plan t (meta : Meta.format_meta) : pipeline =
+  let fm = meta.Meta.body in
+  (* The set of formats fm can be transformed to — including multi-hop
+     chains: a spec whose source is a previously reachable format extends
+     the chain (Figure 1's Rev 2.0 -> Rev 1.0 -> Rev 0.0 lineage).
+     Breadth-first over the transformation graph keeps each reachable
+     format's shortest spec path; cycles stop at the visited check. *)
+  let reachable : (Ptype.record * Meta.xform_spec list) list =
+    let visited = ref [ fm ] in
+    let seen f = List.exists (Ptype.equal_record f) !visited in
+    let rec bfs acc frontier =
+      match frontier with
+      | [] -> List.rev acc
+      | (f, path) :: rest ->
+        let extensions =
+          List.filter_map
+            (fun (x : Meta.xform_spec) ->
+               let src = Option.value x.source ~default:fm in
+               if Ptype.equal_record src f && not (seen x.target) then begin
+                 visited := x.target :: !visited;
+                 Some (x.target, path @ [ x ])
+               end
+               else None)
+            meta.Meta.xforms
+        in
+        bfs ((f, path) :: acc) (rest @ extensions)
+    in
+    bfs [] [ (fm, []) ]
+  in
+  (* Candidate registered formats: same name as fm (the paper's rule), or
+     the name of any transformation target on offer — a transformation
+     declares the role equivalence that names normally imply. *)
+  let names = List.map (fun (f, _) -> f.Ptype.rname) reachable in
+  let fr =
+    List.filter_map
+      (fun r -> if List.mem r.fmt.Ptype.rname names then Some r.fmt else None)
+      t.registered
+  in
+  if fr = [] then
+    Reject (Fmt.str "no registered format named %S" fm.Ptype.rname)
+  else
+    (* Line 11: MaxMatch(fm, Fr) over same-name formats; only a perfect
+       match short-circuits. *)
+    let fr_same = List.filter (fun f -> f.Ptype.rname = fm.Ptype.rname) fr in
+    let direct = run_max_match t [ fm ] fr_same in
+    match direct with
+    | Some (_, f2, true) ->
+      let via, transform =
+        if Ptype.equal_record fm f2 then (Exact, identity_transform)
+        else (Reordered, Convert.compile ~from_:fm ~into:f2)
+      in
+      let handler = Option.get (handler_for t f2) in
+      Accept { format_name = f2.Ptype.rname; via; transform; handler }
+    | Some _ | None ->
+      (* Line 16: MaxMatch(Ft, Fr). *)
+      let ft = List.map fst reachable in
+      (match run_max_match t ft fr with
+       | None ->
+         Reject
+           (Fmt.str "no acceptable match for format %S within thresholds \
+                     (diff <= %d, Mr <= %.2f)"
+              fm.Ptype.rname t.thresholds.Maxmatch.diff_threshold
+              t.thresholds.Maxmatch.mismatch_threshold)
+       | Some (mf1, mf2, perfect) ->
+         let morph_step =
+           if Ptype.equal_record mf1 fm then Ok None
+           else begin
+             (* Lines 21-24: generate the fm -> f1 transformation code,
+                composing each hop of the chain. *)
+             let path =
+               List.find_map
+                 (fun (f, path) ->
+                    if Ptype.equal_record f mf1 then Some path else None)
+                 reachable
+             in
+             match path with
+             | None | Some [] ->
+               Error "internal: matched transformation target has no spec path"
+             | Some specs ->
+               let rec compile_chain source acc = function
+                 | [] -> Ok (Some acc)
+                 | (spec : Meta.xform_spec) :: rest ->
+                   (match Xform.compile ~engine:t.engine ~source spec with
+                    | Error e -> Error e
+                    | Ok compiled ->
+                      let step = compiled.Xform.run in
+                      compile_chain spec.target
+                        (fun v -> step (acc v))
+                        rest)
+               in
+               compile_chain fm (fun v -> v) specs
+           end
+         in
+         (match morph_step with
+          | Error e -> Reject e
+          | Ok morph ->
+            (* Lines 26-29: imperfect match — fill defaults for missing
+               fields, drop fields absent from f2. *)
+            let finish =
+              if perfect then
+                if Ptype.equal_record mf1 mf2 then None
+                else Some (Convert.compile ~from_:mf1 ~into:mf2)
+              else Some (Convert.compile ~from_:mf1 ~into:mf2)
+            in
+            let transform, via =
+              match morph, finish with
+              | None, None -> (identity_transform, Exact)
+              | None, Some conv ->
+                let via = if perfect then Reordered else Converted in
+                (conv, via)
+              | Some run, None -> (run, Morphed mf1.Ptype.rname)
+              | Some run, Some conv ->
+                ((fun v -> conv (run v)), Morphed_converted mf1.Ptype.rname)
+            in
+            let handler = Option.get (handler_for t mf2) in
+            Accept { format_name = mf2.Ptype.rname; via; transform; handler }))
+
+(* --- delivery ------------------------------------------------------------ *)
+
+let find_cached t (meta : Meta.format_meta) : pipeline option =
+  let h = Meta.hash meta in
+  match Hashtbl.find_opt t.cache h with
+  | None -> None
+  | Some entries ->
+    List.find_map
+      (fun e -> if Meta.equal e.key meta then Some e.pipeline else None)
+      entries
+
+let cache_pipeline t (meta : Meta.format_meta) (p : pipeline) : unit =
+  let h = Meta.hash meta in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.cache h) in
+  Hashtbl.replace t.cache h ({ key = meta; pipeline = p } :: prev)
+
+let run_pipeline t (meta : Meta.format_meta) (p : pipeline) (v : Value.t) : outcome =
+  match p with
+  | Accept { format_name; via; transform; handler } ->
+    handler (transform v);
+    t.stats.delivered <- t.stats.delivered + 1;
+    Delivered { format_name; via }
+  | Reject reason ->
+    (match t.default_handler with
+     | Some f ->
+       f meta v;
+       t.stats.defaulted <- t.stats.defaulted + 1;
+       Defaulted
+     | None ->
+       t.stats.rejected <- t.stats.rejected + 1;
+       Rejected reason)
+
+let deliver t (meta : Meta.format_meta) (v : Value.t) : outcome =
+  match find_cached t meta with
+  | Some p ->
+    t.stats.cache_hits <- t.stats.cache_hits + 1;
+    run_pipeline t meta p v
+  | None ->
+    t.stats.cold_paths <- t.stats.cold_paths + 1;
+    let p = plan t meta in
+    cache_pipeline t meta p;
+    run_pipeline t meta p v
+
+(* Decode a whole wire message (as produced by [Pbio.Wire.encode]) and
+   deliver it.  [meta] must describe the message's wire format. *)
+let deliver_wire t (meta : Meta.format_meta) (message : string) : outcome =
+  let v = Wire.decode meta.Meta.body message in
+  deliver t meta v
+
+(* Describe, without delivering or caching, what Algorithm 2 would do with
+   messages of this format — for diagnostics and operator tooling. *)
+let explain t (meta : Meta.format_meta) : string =
+  match plan t meta with
+  | Reject reason -> Fmt.str "reject: %s" reason
+  | Accept { format_name; via; _ } ->
+    Fmt.str "deliver to %s via %a" format_name pp_via via

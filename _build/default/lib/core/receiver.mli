@@ -1,0 +1,81 @@
+(** Receiver-side message processing — Algorithm 2 of the paper.
+
+    The expensive steps (MaxMatch over candidate formats, Ecode
+    compilation, conversion planning) run only the first time a given
+    incoming format is seen; the resulting pipeline — transform, then
+    handler — is cached and reused for every later message of that
+    format. *)
+
+open Pbio
+
+type handler = Value.t -> unit
+
+(** How a delivered message reached its handler. *)
+type via =
+  | Exact  (** same structure; no per-message work *)
+  | Reordered  (** perfect match, different field order *)
+  | Converted  (** imperfect match: defaults filled, extras dropped *)
+  | Morphed of string  (** Ecode retro-transformation to the named format *)
+  | Morphed_converted of string
+      (** transformation, then structural conversion to the registered
+          format *)
+
+val pp_via : Format.formatter -> via -> unit
+
+type outcome =
+  | Delivered of {
+      format_name : string;
+      via : via;
+    }
+  | Defaulted  (** no match; the default handler ran *)
+  | Rejected of string  (** no match and no default handler *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type stats = {
+  mutable cache_hits : int;
+  mutable cold_paths : int;
+  mutable delivered : int;
+  mutable rejected : int;
+  mutable defaulted : int;
+}
+
+type t
+
+(** [create ()] makes an empty receiver.  [engine] selects how attached
+    transformations execute (compiled closures by default; the interpreter
+    exists for the A1 ablation).  When [weights] is given, MaxMatch runs
+    importance-weighted and the thresholds apply on the weighted scale. *)
+val create :
+  ?thresholds:Maxmatch.thresholds ->
+  ?weights:Weighted.t ->
+  ?engine:Xform.engine ->
+  unit ->
+  t
+
+(** Register a format the application understands, with the handler invoked
+    for (possibly morphed) messages delivered in that format.  Clears
+    planned pipelines, since the matching space changed.  Raises
+    [Invalid_argument] on an ill-formed format. *)
+val register : t -> Ptype.record -> handler -> unit
+
+(** Handler for messages no registered format accepts (the paper's default
+    handler, Algorithm 2 fallback). *)
+val set_default_handler : t -> (Meta.format_meta -> Value.t -> unit) -> unit
+
+(** Process one incoming message given its format meta-data: cache lookup,
+    else plan (MaxMatch over the format and its transformation targets,
+    code generation, conversion), cache, run. *)
+val deliver : t -> Meta.format_meta -> Value.t -> outcome
+
+(** Decode a complete wire message (as produced by {!Pbio.Wire.encode}
+    under [meta]'s body format) and deliver it. *)
+val deliver_wire : t -> Meta.format_meta -> string -> outcome
+
+(** Describe, without delivering or caching, what Algorithm 2 would do
+    with messages of this format — for diagnostics and operator tooling. *)
+val explain : t -> Meta.format_meta -> string
+
+val stats : t -> stats
+val registered_formats : t -> Ptype.record list
+val handler_for : t -> Ptype.record -> handler option

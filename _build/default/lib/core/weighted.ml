@@ -1,0 +1,137 @@
+(* Importance-weighted matching — the extension sketched in the paper's
+   future work: "the ability to weight different fields and sub-fields based
+   on some measure of importance".
+
+   A weighting assigns every basic field a non-negative importance, looked
+   up by its dotted path from the base format (array elements share their
+   element type's paths, e.g. "member_list.info.host").  The plain
+   Algorithm 1 quantities are recovered with the default weighting (every
+   field weighs 1.0); a weight of 0 declares a field irrelevant to
+   compatibility, larger weights make its absence count for more. *)
+
+open Pbio
+
+type t = {
+  default_weight : float;
+  overrides : (string, float) Hashtbl.t;
+}
+
+let uniform = { default_weight = 1.0; overrides = Hashtbl.create 0 }
+
+let make ?(default_weight = 1.0) (overrides : (string * float) list) : t =
+  if default_weight < 0.0 then invalid_arg "Weighted.make: negative default weight";
+  let tbl = Hashtbl.create (List.length overrides) in
+  List.iter
+    (fun (path, w) ->
+       if w < 0.0 then invalid_arg ("Weighted.make: negative weight for " ^ path);
+       Hashtbl.replace tbl path w)
+    overrides;
+  { default_weight; overrides = tbl }
+
+let weight_of t path =
+  match Hashtbl.find_opt t.overrides path with
+  | Some w -> w
+  | None -> t.default_weight
+
+let join path fname = if path = "" then fname else path ^ "." ^ fname
+
+(* Weighted total of the basic fields in a type, rooted at [path]. *)
+let rec weight_of_type t path (ty : Ptype.t) : float =
+  match ty with
+  | Basic _ -> weight_of t path
+  | Record r -> weight_record_at t path r
+  | Array a -> weight_of_type t path a.elem
+
+and weight_record_at t path (r : Ptype.record) : float =
+  List.fold_left
+    (fun acc (f : Ptype.field) -> acc +. weight_of_type t (join path f.fname) f.ftype)
+    0.0 r.fields
+
+let weight t r = weight_record_at t "" r
+
+(* Weighted Algorithm 1: the importance mass of f1's fields absent from f2.
+   Paths are evaluated on the f1 side — importance belongs to the format
+   whose information would be lost. *)
+let rec diff_at t path (f1 : Ptype.record) (f2 : Ptype.record) : float =
+  List.fold_left (fun acc f -> acc +. diff_field t path f f2) 0.0 f1.fields
+
+and diff_field t path (f : Ptype.field) (f2 : Ptype.record) : float =
+  let fpath = join path f.fname in
+  match f.ftype with
+  | Basic b ->
+    let present =
+      List.exists
+        (fun (g : Ptype.field) ->
+           g.fname = f.fname
+           && (match g.ftype with Basic b' -> Diff.same_basic b b' | _ -> false))
+        f2.fields
+    in
+    if present then 0.0 else weight_of t fpath
+  | Record r ->
+    (match Diff.find_complex f.fname `Record f2 with
+     | Some (Ptype.Record r') -> diff_at t fpath r r'
+     | Some _ | None -> weight_record_at t fpath r)
+  | Array a ->
+    (match Diff.find_complex f.fname `Array f2 with
+     | Some (Ptype.Array a') -> diff_elem t fpath a.elem a'.elem
+     | Some _ | None -> weight_of_type t fpath f.ftype)
+
+and diff_elem t path (e1 : Ptype.t) (e2 : Ptype.t) : float =
+  match e1, e2 with
+  | Basic b1, Basic b2 -> if Diff.same_basic b1 b2 then 0.0 else weight_of t path
+  | Record r1, Record r2 -> diff_at t path r1 r2
+  | Array a1, Array a2 -> diff_elem t path a1.elem a2.elem
+  | (Basic _ | Record _ | Array _), _ -> weight_of_type t path e1
+
+let diff t f1 f2 = diff_at t "" f1 f2
+
+let mismatch_ratio t (f1 : Ptype.record) (f2 : Ptype.record) : float =
+  let w2 = weight t f2 in
+  if w2 = 0.0 then 0.0 else diff t f2 f1 /. w2
+
+(* Weighted MaxMatch: same selection rule as {!Maxmatch.max_match}, with
+   weighted quantities and float thresholds. *)
+
+type thresholds = {
+  diff_threshold : float;
+  mismatch_threshold : float;
+}
+
+let default_thresholds = { diff_threshold = 8.0; mismatch_threshold = 0.5 }
+
+type match_result = {
+  f1 : Ptype.record;
+  f2 : Ptype.record;
+  diff12 : float;
+  diff21 : float;
+  ratio : float;
+}
+
+let evaluate_pair t f1 f2 : match_result =
+  let diff12 = diff t f1 f2 in
+  let diff21 = diff t f2 f1 in
+  let w2 = weight t f2 in
+  let ratio = if w2 = 0.0 then 0.0 else diff21 /. w2 in
+  { f1; f2; diff12; diff21; ratio }
+
+let qualifies th m = m.diff12 <= th.diff_threshold && m.ratio <= th.mismatch_threshold
+
+let better a b = a.ratio < b.ratio || (a.ratio = b.ratio && a.diff12 < b.diff12)
+
+let max_match ?(weights = uniform) ?(thresholds = default_thresholds)
+    (set1 : Ptype.record list) (set2 : Ptype.record list) : match_result option =
+  let consider best f1 f2 =
+    let m = evaluate_pair weights f1 f2 in
+    if not (qualifies thresholds m) then best
+    else
+      match best with
+      | None -> Some m
+      | Some b -> if better m b then Some m else Some b
+  in
+  List.fold_left
+    (fun best f1 -> List.fold_left (fun best f2 -> consider best f1 f2) best set2)
+    None set1
+
+let pp_match ppf m =
+  Fmt.pf ppf "%s -> %s (diff=%.2f, diff'=%.2f, Mr=%.3f)"
+    m.f1.Ptype.rname m.f2.Ptype.rname m.diff12 m.diff21 m.ratio

@@ -1,0 +1,50 @@
+(* Retro-transformations: the Ecode snippets a writer associates with a new
+   format so that receivers can convert messages into older formats
+   (paper, Figure 1).  This module compiles transformation specs shipped in
+   format meta-data into executable converters. *)
+
+open Pbio
+
+type spec = Meta.xform_spec = {
+  source : Ptype.record option;
+  target : Ptype.record;
+  code : string;
+}
+
+type compiled = {
+  source : Ptype.record;
+  spec : spec;
+  run : Value.t -> Value.t;
+}
+
+(* Engine choice exists for the A1 ablation; production paths use the
+   compiled (code-generated) engine. *)
+type engine =
+  | Compiled
+  | Interpreted
+
+let compile ?(engine = Compiled) ~(source : Ptype.record) (spec : spec) :
+  (compiled, string) result =
+  let build =
+    match engine with
+    | Compiled -> Ecode.compile_xform
+    | Interpreted -> Ecode.interpret_xform
+  in
+  match build ~src:source ~dst:spec.target spec.code with
+  | Error e ->
+    Error
+      (Fmt.str "transformation %s -> %s: %s"
+         source.Ptype.rname spec.target.Ptype.rname e)
+  | Ok run -> Ok { source; spec; run }
+
+(* Convenience constructor for writer-side registration. *)
+let spec ?source ~(target : Ptype.record) (code : string) : spec =
+  { source; target; code }
+
+(* Validate a spec without keeping the compiled form: writers call this at
+   registration time so broken transformation code fails fast, at the
+   sender, not at some receiver. *)
+let check ~(source : Ptype.record) (spec : spec) : (unit, string) result =
+  match compile ~source spec with
+  | Ok _ -> Ok ()
+  | Error _ as e -> e

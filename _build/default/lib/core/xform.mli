@@ -1,0 +1,39 @@
+(** Retro-transformations: the Ecode snippets a writer associates with a
+    new format so receivers can convert messages into older formats
+    (paper, Figure 1). *)
+
+open Pbio
+
+type spec = Meta.xform_spec = {
+  source : Ptype.record option;
+      (** the format the snippet reads from; [None] = the base format of
+          the meta it is attached to *)
+  target : Ptype.record;
+  code : string;
+}
+
+type compiled = {
+  source : Ptype.record;
+  spec : spec;
+  run : Value.t -> Value.t;
+}
+
+(** Execution engine for transformation code.  Production paths use
+    [Compiled] (closure compilation, the dynamic-code-generation analogue);
+    [Interpreted] exists for the A1 ablation. *)
+type engine =
+  | Compiled
+  | Interpreted
+
+(** Convenience constructor for writer-side registration.  [source]
+    defaults to the base format of the meta the spec is attached to. *)
+val spec : ?source:Ptype.record -> target:Ptype.record -> string -> spec
+
+(** Parse, typecheck and compile a transformation from messages of
+    [source] format into the spec's target. *)
+val compile : ?engine:engine -> source:Ptype.record -> spec -> (compiled, string) result
+
+(** Validate without keeping the compiled form: writers call this at
+    registration time so broken snippets fail at the sender, not at some
+    receiver. *)
+val check : source:Ptype.record -> spec -> (unit, string) result

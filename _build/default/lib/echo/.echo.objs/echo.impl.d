@@ -1,0 +1,1 @@
+lib/echo/echo.ml: Node Transport Wire_formats

@@ -1,0 +1,1 @@
+lib/echo/echo.mli: Node Transport Wire_formats

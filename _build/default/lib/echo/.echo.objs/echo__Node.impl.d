@@ -1,0 +1,1 @@
+lib/echo/node.ml: Fmt Hashtbl List Logs Meta Morph Pbio Transport Value Wire_formats

@@ -1,0 +1,1 @@
+lib/echo/node.mli: Format Morph Transport

@@ -1,0 +1,1 @@
+lib/echo/wire_formats.ml: List Meta Pbio Printf Ptype Sizeof Value

@@ -1,0 +1,1 @@
+lib/echo/wire_formats.mli: Meta Pbio Ptype Value

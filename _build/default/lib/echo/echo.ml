@@ -1,0 +1,14 @@
+(* ECho: a channel-based publish/subscribe event-delivery middleware in the
+   style of the system the paper evolves (Section 4.1).
+
+   {!Wire_formats} holds the protocol formats of both ECho versions,
+   including the v2.0 -> v1.0 ChannelOpenResponse retro-transformation of
+   Figure 5; {!Node} implements processes, channels and event routing over
+   the simulated network. *)
+
+module Wire_formats = Wire_formats
+module Node = Node
+
+(* Convenience: run the network until every in-flight message is handled,
+   returning the number of deliveries. *)
+let settle (net : Transport.Netsim.t) : int = Transport.Netsim.run net

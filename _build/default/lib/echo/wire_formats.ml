@@ -1,0 +1,251 @@
+(* The message formats of the ECho event-delivery scenario (paper,
+   Section 4.1, Figures 4 and 5), plus workload generators used by the
+   examples, the tests and every benchmark that reproduces the paper's
+   evaluation (the ChannelOpenResponse member-list sweep). *)
+
+open Pbio
+
+(* --- formats -------------------------------------------------------------- *)
+
+let contact_info : Ptype.record =
+  Ptype.record "CMcontact_info"
+    [ Ptype.field "host" Ptype.string_; Ptype.field "port" Ptype.int_ ]
+
+(* v2.0 member entry: one list with source/sink booleans (Figure 4.b). *)
+let member_v2 : Ptype.record =
+  Ptype.record "Member"
+    [
+      Ptype.field "info" (Ptype.Record contact_info);
+      Ptype.field "ID" Ptype.int_;
+      Ptype.field "is_source" Ptype.bool_;
+      Ptype.field "is_sink" Ptype.bool_;
+    ]
+
+(* v1.0 member entry: contact info and channel ID only (Figure 4.a). *)
+let member_v1 : Ptype.record =
+  Ptype.record "Member"
+    [ Ptype.field "info" (Ptype.Record contact_info); Ptype.field "ID" Ptype.int_ ]
+
+let channel_open_response_v2 : Ptype.record =
+  Ptype.record "ChannelOpenResponse"
+    [
+      Ptype.field "channel" Ptype.string_;
+      Ptype.field "member_count" Ptype.int_;
+      Ptype.field "member_list" (Ptype.array_var "member_count" (Ptype.Record member_v2));
+    ]
+
+let channel_open_response_v1 : Ptype.record =
+  Ptype.record "ChannelOpenResponse"
+    [
+      Ptype.field "channel" Ptype.string_;
+      Ptype.field "member_count" Ptype.int_;
+      Ptype.field "member_list" (Ptype.array_var "member_count" (Ptype.Record member_v1));
+      Ptype.field "src_count" Ptype.int_;
+      Ptype.field "src_list" (Ptype.array_var "src_count" (Ptype.Record member_v1));
+      Ptype.field "sink_count" Ptype.int_;
+      Ptype.field "sink_list" (Ptype.array_var "sink_count" (Ptype.Record member_v1));
+    ]
+
+let channel_open_request : Ptype.record =
+  Ptype.record "ChannelOpenRequest"
+    [
+      Ptype.field "channel" Ptype.string_;
+      Ptype.field "requester" (Ptype.Record contact_info);
+      Ptype.field "requester_id" Ptype.int_;
+      Ptype.field "as_source" Ptype.bool_;
+      Ptype.field "as_sink" Ptype.bool_;
+    ]
+
+let event_msg : Ptype.record =
+  Ptype.record "EventMsg"
+    [
+      Ptype.field "channel" Ptype.string_;
+      Ptype.field "seq" Ptype.int_;
+      Ptype.field "origin" (Ptype.Record contact_info);
+      Ptype.field "payload" Ptype.string_;
+    ]
+
+(* ECho 2.0 events add a delivery priority; the retro-transformation folds
+   it into the payload text so 1.0 sinks still see it.  This puts morphing
+   on the *hot* event path, not just the channel-open control path. *)
+let event_msg_v2 : Ptype.record =
+  Ptype.record "EventMsg"
+    [
+      Ptype.field "channel" Ptype.string_;
+      Ptype.field "seq" Ptype.int_;
+      Ptype.field "origin" (Ptype.Record contact_info);
+      Ptype.field "priority" Ptype.int_;
+      Ptype.field "payload" Ptype.string_;
+    ]
+
+let event_v2_to_v1_code : string =
+  {|
+  old.channel = new.channel;
+  old.seq = new.seq;
+  old.origin = new.origin;
+  if (new.priority > 0) old.payload = "[p" + new.priority + "] " + new.payload;
+  else old.payload = new.payload;
+|}
+
+let event_v2_meta : Meta.format_meta =
+  {
+    Meta.body = event_msg_v2;
+    xforms = [ { Meta.source = None; target = event_msg; code = event_v2_to_v1_code } ];
+  }
+
+let event_v1_meta : Meta.format_meta = Meta.plain event_msg
+
+(* --- the Figure 5 retro-transformation ----------------------------------- *)
+
+(* Verbatim shape of the paper's Figure 5 code, with the channel name copied
+   through and explicit final count stores. *)
+let response_v2_to_v1_code : string =
+  {|
+  int i, sink_count = 0, src_count = 0;
+  old.channel = new.channel;
+  old.member_count = new.member_count;
+  for (i = 0; i < new.member_count; i++) {
+    old.member_list[i].info = new.member_list[i].info;
+    old.member_list[i].ID = new.member_list[i].ID;
+    if (new.member_list[i].is_source) {
+      old.src_list[src_count].info = new.member_list[i].info;
+      old.src_list[src_count].ID = new.member_list[i].ID;
+      src_count++;
+    }
+    if (new.member_list[i].is_sink) {
+      old.sink_list[sink_count].info = new.member_list[i].info;
+      old.sink_list[sink_count].ID = new.member_list[i].ID;
+      sink_count++;
+    }
+  }
+  old.src_count = src_count;
+  old.sink_count = sink_count;
+|}
+
+let response_v2_meta : Meta.format_meta =
+  {
+    Meta.body = channel_open_response_v2;
+    xforms = [ { Meta.source = None; target = channel_open_response_v1; code = response_v2_to_v1_code } ];
+  }
+
+let response_v1_meta : Meta.format_meta = Meta.plain channel_open_response_v1
+
+(* --- the equivalent XSLT stylesheet (evaluation baseline) ----------------- *)
+
+let response_v2_to_v1_stylesheet : string =
+  {|<xsl:stylesheet version="1.0">
+  <xsl:template match="/ChannelOpenResponse">
+    <ChannelOpenResponse>
+      <channel><xsl:value-of select="channel"/></channel>
+      <member_count><xsl:value-of select="member_count"/></member_count>
+      <xsl:for-each select="member_list">
+        <member_list><xsl:copy-of select="info"/><ID><xsl:value-of select="ID"/></ID></member_list>
+      </xsl:for-each>
+      <src_count><xsl:value-of select="count(member_list[is_source='1'])"/></src_count>
+      <xsl:for-each select="member_list[is_source='1']">
+        <src_list><xsl:copy-of select="info"/><ID><xsl:value-of select="ID"/></ID></src_list>
+      </xsl:for-each>
+      <sink_count><xsl:value-of select="count(member_list[is_sink='1'])"/></sink_count>
+      <xsl:for-each select="member_list[is_sink='1']">
+        <sink_list><xsl:copy-of select="info"/><ID><xsl:value-of select="ID"/></ID></sink_list>
+      </xsl:for-each>
+    </ChannelOpenResponse>
+  </xsl:template>
+</xsl:stylesheet>|}
+
+(* --- value builders -------------------------------------------------------- *)
+
+let contact_value (host, port) =
+  Value.record [ ("host", Value.String host); ("port", Value.Int port) ]
+
+let member_v2_value ~host ~port ~id ~is_source ~is_sink : Value.t =
+  Value.record
+    [
+      ("info", contact_value (host, port));
+      ("ID", Value.Int id);
+      ("is_source", Value.Bool is_source);
+      ("is_sink", Value.Bool is_sink);
+    ]
+
+let member_v1_value ~host ~port ~id : Value.t =
+  Value.record [ ("info", contact_value (host, port)); ("ID", Value.Int id) ]
+
+let response_v2_value ~channel (members : Value.t list) : Value.t =
+  Value.record
+    [
+      ("channel", Value.String channel);
+      ("member_count", Value.Int (List.length members));
+      ("member_list", Value.array_of_list members);
+    ]
+
+let request_value ~channel ~host ~port ~id ~as_source ~as_sink : Value.t =
+  Value.record
+    [
+      ("channel", Value.String channel);
+      ("requester", contact_value (host, port));
+      ("requester_id", Value.Int id);
+      ("as_source", Value.Bool as_source);
+      ("as_sink", Value.Bool as_sink);
+    ]
+
+let event_value ~channel ~seq ~origin:(host, port) ~payload : Value.t =
+  Value.record
+    [
+      ("channel", Value.String channel);
+      ("seq", Value.Int seq);
+      ("origin", contact_value (host, port));
+      ("payload", Value.String payload);
+    ]
+
+let event_v2_value ~channel ~seq ~origin:(host, port) ~priority ~payload : Value.t =
+  Value.record
+    [
+      ("channel", Value.String channel);
+      ("seq", Value.Int seq);
+      ("origin", contact_value (host, port));
+      ("priority", Value.Int priority);
+      ("payload", Value.String payload);
+    ]
+
+(* --- workload generation --------------------------------------------------- *)
+
+(* Deterministic member lists like the paper's experiments: every third
+   member is a source, every second a sink (so roll-back roughly triples
+   the list data, as in Table 1). *)
+let gen_members (n : int) : Value.t list =
+  List.init n (fun i ->
+      member_v2_value
+        ~host:(Printf.sprintf "node%04d.cc.gatech.edu" i)
+        ~port:(7000 + (i mod 1000))
+        ~id:i
+        ~is_source:(i mod 3 = 0)
+        ~is_sink:(i mod 2 = 0))
+
+let gen_response_v2 (n : int) : Value.t =
+  response_v2_value ~channel:"evolution-demo" (gen_members n)
+
+(* Benchmark variant matching the paper's Table 1 setting: every member is
+   both a source and a sink, so rolling back to v1.0 copies the whole list
+   into all three lists (the "message size increases by three times" case,
+   and the deliberately expensive Figure 5 transformation). *)
+let gen_members_full (n : int) : Value.t list =
+  List.init n (fun i ->
+      member_v2_value
+        ~host:(Printf.sprintf "node%04d.cc.gatech.edu" i)
+        ~port:(7000 + (i mod 1000))
+        ~id:i ~is_source:true ~is_sink:true)
+
+let gen_response_v2_full (n : int) : Value.t =
+  response_v2_value ~channel:"evolution-demo" (gen_members_full n)
+
+(* Unencoded size of one generated v2.0 member entry (constant because the
+   generated host strings have fixed width). *)
+let member_unencoded_size : int =
+  let m = List.nth (gen_members 1) 0 in
+  Sizeof.unencoded_type (Ptype.Record member_v2) m
+
+(* Member count needed so the unencoded v2.0 response is close to [bytes]
+   (the x-axis of Figures 8-10 and the rows of Table 1). *)
+let members_for_unencoded_bytes (bytes : int) : int =
+  let base = Sizeof.unencoded channel_open_response_v2 (gen_response_v2 0) in
+  max 1 ((bytes - base) / member_unencoded_size)

@@ -1,0 +1,1 @@
+lib/ecode/ecode.mli: Ast Compile Interp Lexer Parser Pbio Pp Ptype Token Typecheck Value

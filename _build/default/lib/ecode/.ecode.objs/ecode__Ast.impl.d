@@ -1,0 +1,1 @@
+lib/ecode/ast.ml: Fmt Token

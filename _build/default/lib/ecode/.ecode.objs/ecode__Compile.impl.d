@@ -1,0 +1,1 @@
+lib/ecode/compile.ml: Array Char Float Fmt Hashtbl List Option Pbio Printf Ptype String Typecheck Value

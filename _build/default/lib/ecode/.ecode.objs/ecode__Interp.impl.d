@@ -1,0 +1,1 @@
+lib/ecode/interp.ml: Ast Char Compile Float Fmt Hashtbl List Option Pbio String Value

@@ -1,0 +1,1 @@
+lib/ecode/lexer.ml: Buffer Fmt List String Token

@@ -1,0 +1,1 @@
+lib/ecode/parser.ml: Ast Char Fmt Lexer List Option Result Token

@@ -1,0 +1,1 @@
+lib/ecode/pp.ml: Ast Buffer Float Fmt List String

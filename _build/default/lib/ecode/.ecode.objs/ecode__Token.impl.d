@@ -1,0 +1,1 @@
+lib/ecode/token.ml: Fmt

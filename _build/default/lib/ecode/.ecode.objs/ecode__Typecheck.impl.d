@@ -1,0 +1,1 @@
+lib/ecode/typecheck.ml: Array Ast Fmt List Option Pbio Ptype Result Token Value

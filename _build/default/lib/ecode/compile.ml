@@ -1,0 +1,426 @@
+(* Closure compilation of typed Ecode — the dynamic-code-generation stage.
+
+   Every typed node becomes an OCaml closure over a small runtime frame;
+   composition happens once, at compile time, so executing a transformation
+   is a chain of direct calls with no name resolution, no operator dispatch
+   and no type tests beyond unwrapping values.  This plays the role of
+   PBIO/Ecode's native code generation (DESIGN.md, substitution S1). *)
+
+open Pbio
+open Typecheck
+
+exception Runtime_error of string
+
+let runtime_error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type frame = {
+  locals : Value.t array;
+  params : Value.t array;
+}
+
+exception Brk
+exception Cont
+exception Ret
+exception Retv of Value.t
+
+type ecode_fn = Value.t array -> unit
+(* Run the program against an array of parameter values (same order as the
+   [params] given to {!Typecheck.check}). *)
+
+(* --- helpers ------------------------------------------------------------- *)
+
+let vint n = Value.Int n
+let as_int v = Value.to_int v
+let as_float v = Value.to_float v
+let as_bool v = Value.to_bool v
+
+let u32 n = n land 0xFFFF_FFFF
+
+let string_of_value (v : Value.t) : string =
+  match v with
+  | String s -> s
+  | Int n | Uint n -> string_of_int n
+  | Float x ->
+    if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+    else Printf.sprintf "%g" x
+  | Char c -> String.make 1 c
+  | Bool b -> if b then "true" else "false"
+  | Enum (case, _) -> case
+  | Record _ | Array _ -> Value.to_string v
+
+(* --- expressions --------------------------------------------------------- *)
+
+(* Compiled user functions, patched after all bodies are compiled so that
+   (mutual) recursion works. *)
+type impls = (Value.t array -> Value.t) array
+
+let rec compile_expr (impls : impls) (e : texpr) : frame -> Value.t =
+  let compile_expr = compile_expr impls in
+  match e.n with
+  | Tconst v ->
+    (match v with
+     | Record _ | Array _ -> fun _ -> Value.copy v
+     | _ -> fun _ -> v)
+  | Tlocal slot -> fun f -> f.locals.(slot)
+  | Tparam slot -> fun f -> f.params.(slot)
+  | Tfield (base, idx) ->
+    let cb = compile_expr base in
+    fun f -> Value.field_at (cb f) idx
+  | Tindex (base, ix) ->
+    let cb = compile_expr base in
+    let ci = compile_expr ix in
+    fun f -> Value.array_get (cb f) (as_int (ci f))
+  | Tarith (op, a, b) -> compile_arith impls op a b
+  | Tcmp (op, kind, a, b) -> compile_cmp impls op kind a b
+  | Tand (a, b) ->
+    let ca = compile_expr a and cb = compile_expr b in
+    fun f -> Value.Bool (as_bool (ca f) && as_bool (cb f))
+  | Tor (a, b) ->
+    let ca = compile_expr a and cb = compile_expr b in
+    fun f -> Value.Bool (as_bool (ca f) || as_bool (cb f))
+  | Tneg a ->
+    let ca = compile_expr a in
+    fun f -> vint (-as_int (ca f))
+  | Tfneg a ->
+    let ca = compile_expr a in
+    fun f -> Value.Float (-.as_float (ca f))
+  | Tnot a ->
+    let ca = compile_expr a in
+    fun f -> Value.Bool (not (as_bool (ca f)))
+  | Tbnot a ->
+    let ca = compile_expr a in
+    fun f -> vint (lnot (as_int (ca f)))
+  | Tcond (c, a, b) ->
+    let cc = compile_expr c and ca = compile_expr a and cb = compile_expr b in
+    fun f -> if as_bool (cc f) then ca f else cb f
+  | Tcall (bi, args) -> compile_call impls bi args
+  | Tcoerce (co, a) -> compile_coerce impls co a
+  | Tufcall (idx, args) ->
+    let cargs = Array.of_list (List.map compile_expr args) in
+    fun f -> impls.(idx) (Array.map (fun c -> c f) cargs)
+  | Tassign (lv, rhs) ->
+    let set = compile_store impls lv in
+    let cr = compile_expr rhs in
+    let deep = match lv.lty with Record _ | Array _ -> true | _ -> false in
+    fun f ->
+      let v = cr f in
+      let v = if deep then Value.copy v else v in
+      set f v;
+      v
+  | Tincr { pre; delta; is_float; lv } ->
+    let loc = compile_location impls lv in
+    if is_float then
+      let d = float_of_int delta in
+      fun f ->
+        let get, set = loc f in
+        let old = as_float (get ()) in
+        let nv = Value.Float (old +. d) in
+        set nv;
+        if pre then nv else Value.Float old
+    else
+      fun f ->
+        let get, set = loc f in
+        let old = as_int (get ()) in
+        let nv = vint (old + delta) in
+        set nv;
+        if pre then nv else vint old
+
+and compile_arith impls op a b : frame -> Value.t =
+  let compile_expr = compile_expr impls in
+  let ca = compile_expr a and cb = compile_expr b in
+  match op with
+  | Iadd -> fun f -> vint (as_int (ca f) + as_int (cb f))
+  | Isub -> fun f -> vint (as_int (ca f) - as_int (cb f))
+  | Imul -> fun f -> vint (as_int (ca f) * as_int (cb f))
+  | Idiv ->
+    fun f ->
+      let d = as_int (cb f) in
+      if d = 0 then runtime_error "division by zero";
+      vint (as_int (ca f) / d)
+  | Imod ->
+    fun f ->
+      let d = as_int (cb f) in
+      if d = 0 then runtime_error "modulo by zero";
+      vint (as_int (ca f) mod d)
+  | Iband -> fun f -> vint (as_int (ca f) land as_int (cb f))
+  | Ibor -> fun f -> vint (as_int (ca f) lor as_int (cb f))
+  | Ibxor -> fun f -> vint (as_int (ca f) lxor as_int (cb f))
+  | Ishl -> fun f -> vint (as_int (ca f) lsl (as_int (cb f) land 63))
+  | Ishr -> fun f -> vint (as_int (ca f) asr (as_int (cb f) land 63))
+  | Fadd -> fun f -> Value.Float (as_float (ca f) +. as_float (cb f))
+  | Fsub -> fun f -> Value.Float (as_float (ca f) -. as_float (cb f))
+  | Fmul -> fun f -> Value.Float (as_float (ca f) *. as_float (cb f))
+  | Fdiv -> fun f -> Value.Float (as_float (ca f) /. as_float (cb f))
+  | Sconcat ->
+    fun f -> Value.String (string_of_value (ca f) ^ string_of_value (cb f))
+
+and compile_cmp impls op kind a b : frame -> Value.t =
+  let compile_expr = compile_expr impls in
+  let ca = compile_expr a and cb = compile_expr b in
+  let wrap (cmp : frame -> bool) = fun f -> Value.Bool (cmp f) in
+  match kind, op with
+  | Kint, Ceq -> wrap (fun f -> as_int (ca f) = as_int (cb f))
+  | Kint, Cne -> wrap (fun f -> as_int (ca f) <> as_int (cb f))
+  | Kint, Clt -> wrap (fun f -> as_int (ca f) < as_int (cb f))
+  | Kint, Cle -> wrap (fun f -> as_int (ca f) <= as_int (cb f))
+  | Kint, Cgt -> wrap (fun f -> as_int (ca f) > as_int (cb f))
+  | Kint, Cge -> wrap (fun f -> as_int (ca f) >= as_int (cb f))
+  | Kfloat, Ceq -> wrap (fun f -> as_float (ca f) = as_float (cb f))
+  | Kfloat, Cne -> wrap (fun f -> as_float (ca f) <> as_float (cb f))
+  | Kfloat, Clt -> wrap (fun f -> as_float (ca f) < as_float (cb f))
+  | Kfloat, Cle -> wrap (fun f -> as_float (ca f) <= as_float (cb f))
+  | Kfloat, Cgt -> wrap (fun f -> as_float (ca f) > as_float (cb f))
+  | Kfloat, Cge -> wrap (fun f -> as_float (ca f) >= as_float (cb f))
+  | Kstring, _ ->
+    let scmp : string -> string -> bool =
+      match op with
+      | Ceq -> ( = ) | Cne -> ( <> ) | Clt -> ( < )
+      | Cle -> ( <= ) | Cgt -> ( > ) | Cge -> ( >= )
+    in
+    wrap (fun f -> scmp (Value.to_string_exn (ca f)) (Value.to_string_exn (cb f)))
+  | Kvalue, Ceq -> wrap (fun f -> Value.equal (ca f) (cb f))
+  | Kvalue, Cne -> wrap (fun f -> not (Value.equal (ca f) (cb f)))
+  | Kvalue, (Clt | Cle | Cgt | Cge) -> assert false (* rejected by typecheck *)
+
+and compile_call impls bi args : frame -> Value.t =
+  let cargs = Array.of_list (List.map (compile_expr impls) args) in
+  let a0 = cargs.(0) in
+  match bi with
+  | Bstrlen -> fun f -> vint (String.length (Value.to_string_exn (a0 f)))
+  | Blen -> fun f -> vint (Value.array_len (a0 f))
+  | Babs -> fun f -> vint (abs (as_int (a0 f)))
+  | Bfabs -> fun f -> Value.Float (Float.abs (as_float (a0 f)))
+  | Bmin_int ->
+    let a1 = cargs.(1) in
+    fun f -> vint (min (as_int (a0 f)) (as_int (a1 f)))
+  | Bmax_int ->
+    let a1 = cargs.(1) in
+    fun f -> vint (max (as_int (a0 f)) (as_int (a1 f)))
+  | Bmin_float ->
+    let a1 = cargs.(1) in
+    fun f -> Value.Float (Float.min (as_float (a0 f)) (as_float (a1 f)))
+  | Bmax_float ->
+    let a1 = cargs.(1) in
+    fun f -> Value.Float (Float.max (as_float (a0 f)) (as_float (a1 f)))
+  | Bfloor -> fun f -> Value.Float (Float.floor (as_float (a0 f)))
+  | Bceil -> fun f -> Value.Float (Float.ceil (as_float (a0 f)))
+  | Bsqrt -> fun f -> Value.Float (Float.sqrt (as_float (a0 f)))
+  | Bpow ->
+    let a1 = cargs.(1) in
+    fun f -> Value.Float (Float.pow (as_float (a0 f)) (as_float (a1 f)))
+
+and compile_coerce impls co a : frame -> Value.t =
+  let ca = compile_expr impls a in
+  match co with
+  | To_int ->
+    (match a.ty with
+     | Basic Float -> fun f -> vint (int_of_float (as_float (ca f)))
+     | _ -> fun f -> vint (as_int (ca f)))
+  | To_uint ->
+    (match a.ty with
+     | Basic Float -> fun f -> Value.Uint (u32 (int_of_float (as_float (ca f))))
+     | _ -> fun f -> Value.Uint (u32 (as_int (ca f))))
+  | To_float -> fun f -> Value.Float (as_float (ca f))
+  | To_char -> fun f -> Value.Char (Char.chr (as_int (ca f) land 0xff))
+  | To_bool -> fun f -> Value.Bool (as_bool (ca f))
+  | To_string -> fun f -> Value.String (string_of_value (ca f))
+  | To_enum en ->
+    fun f ->
+      let n = as_int (ca f) in
+      (match List.find_opt (fun (_, v) -> v = n) en.Ptype.cases with
+       | Some (case, _) -> Value.Enum (case, n)
+       | None -> runtime_error "no case of enum %s has value %d" en.Ptype.ename n)
+
+(* Compile an lvalue to a per-access location: navigation happens once,
+   then the caller can read or write.  Intermediate array steps auto-grow so
+   that code like [old.list[count].f = x] extends the list. *)
+and compile_location impls (lv : tlval) : frame -> (unit -> Value.t) * (Value.t -> unit) =
+  let steps = Array.of_list lv.steps in
+  let nsteps = Array.length steps in
+  let compiled_steps =
+    Array.map
+      (function
+        | Sfield i -> `Field i
+        | Sindex (ix, elem_ty) ->
+          let ci = compile_expr impls ix in
+          let fill = Value.default elem_ty in
+          `Index (ci, fill))
+      steps
+  in
+  let base_get : frame -> Value.t =
+    match lv.base with
+    | Lbase_local slot -> fun f -> f.locals.(slot)
+    | Lbase_param slot -> fun f -> f.params.(slot)
+  in
+  let base_set : frame -> Value.t -> unit =
+    match lv.base with
+    | Lbase_local slot -> fun f v -> f.locals.(slot) <- v
+    | Lbase_param slot -> fun f v -> f.params.(slot) <- v
+  in
+  if nsteps = 0 then
+    fun f -> ((fun () -> base_get f), base_set f)
+  else
+    fun f ->
+      (* Navigate to the container of the final step, growing variable
+         arrays along the way when an index lands one past the end. *)
+      let rec nav v i =
+        if i = nsteps - 1 then v
+        else
+          let v' =
+            match compiled_steps.(i) with
+            | `Field idx -> Value.field_at v idx
+            | `Index (ci, fill) ->
+              let ix = as_int (ci f) in
+              if ix = Value.array_len v then Value.array_set ~fill:(Value.copy fill) v ix (Value.copy fill);
+              Value.array_get v ix
+          in
+          nav v' (i + 1)
+      in
+      let container = nav (base_get f) 0 in
+      match compiled_steps.(nsteps - 1) with
+      | `Field idx ->
+        ( (fun () -> Value.field_at container idx),
+          fun v -> Value.set_at container idx v )
+      | `Index (ci, fill) ->
+        let ix = as_int (ci f) in
+        ( (fun () -> Value.array_get container ix),
+          fun v -> Value.array_set ~fill:(Value.copy fill) container ix v )
+
+and compile_store impls (lv : tlval) : frame -> Value.t -> unit =
+  let loc = compile_location impls lv in
+  fun f v ->
+    let _, set = loc f in
+    set v
+
+(* --- statements ---------------------------------------------------------- *)
+
+let rec compile_stmt (impls : impls) (s : tstmt) : frame -> unit =
+  let compile_expr = compile_expr impls in
+  let compile_stmt = compile_stmt impls in
+  match s with
+  | TSnop -> fun _ -> ()
+  | TSexpr e ->
+    let ce = compile_expr e in
+    fun f -> ignore (ce f)
+  | TSif (c, t, None) ->
+    let cc = compile_expr c in
+    let ct = compile_stmt t in
+    fun f -> if as_bool (cc f) then ct f
+  | TSif (c, t, Some e) ->
+    let cc = compile_expr c in
+    let ct = compile_stmt t in
+    let ce = compile_stmt e in
+    fun f -> if as_bool (cc f) then ct f else ce f
+  | TSwhile (c, body) ->
+    let cc = compile_expr c in
+    let cb = compile_stmt body in
+    fun f ->
+      (try
+         while as_bool (cc f) do
+           try cb f with Cont -> ()
+         done
+       with Brk -> ())
+  | TSdo (body, c) ->
+    let cb = compile_stmt body in
+    let cc = compile_expr c in
+    fun f ->
+      (try
+         let continue_ = ref true in
+         while !continue_ do
+           (try cb f with Cont -> ());
+           continue_ := as_bool (cc f)
+         done
+       with Brk -> ())
+  | TSfor (init, cond, step, body) ->
+    let ci = Option.map compile_stmt init in
+    let cc = Option.map compile_expr cond in
+    let cs = Option.map compile_expr step in
+    let cb = compile_stmt body in
+    fun f ->
+      (match ci with Some g -> g f | None -> ());
+      (try
+         let check () = match cc with Some g -> as_bool (g f) | None -> true in
+         while check () do
+           (try cb f with Cont -> ());
+           match cs with Some g -> ignore (g f) | None -> ()
+         done
+       with Brk -> ())
+  | TSswitch (scrutinee, arms) ->
+    let csc = compile_expr scrutinee in
+    let bodies =
+      Array.of_list
+        (List.map (fun (a : Typecheck.tarm) ->
+             Array.of_list (List.map compile_stmt a.Typecheck.t_body))
+           arms)
+    in
+    let table = Hashtbl.create 8 in
+    let default_idx = ref None in
+    List.iteri
+      (fun i (a : Typecheck.tarm) ->
+         List.iter (fun v -> Hashtbl.replace table v i) a.Typecheck.t_labels;
+         if a.Typecheck.t_default && !default_idx = None then default_idx := Some i)
+      arms;
+    let default_idx = !default_idx in
+    let n = Array.length bodies in
+    fun f ->
+      let v = as_int (csc f) in
+      (match
+         (match Hashtbl.find_opt table v with
+          | Some i -> Some i
+          | None -> default_idx)
+       with
+       | None -> ()
+       | Some start ->
+         (try
+            for j = start to n - 1 do
+              Array.iter (fun g -> g f) bodies.(j)
+            done
+          with Brk -> ()))
+  | TSblock ss ->
+    let cs = Array.of_list (List.map compile_stmt ss) in
+    fun f -> Array.iter (fun g -> g f) cs
+  | TSreturn None -> fun _ -> raise Ret
+  | TSreturn (Some e) ->
+    let ce = compile_expr e in
+    fun f -> raise (Retv (ce f))
+  | TSbreak -> fun _ -> raise Brk
+  | TScontinue -> fun _ -> raise Cont
+
+let compile (prog : tprog) : ecode_fn =
+  (* compile user functions first; bodies reference the [impls] array at
+     call time, so (mutual) recursion resolves after patching *)
+  let nfuns = Array.length prog.tfuns in
+  let impls : impls = Array.make nfuns (fun _ -> Value.Int 0) in
+  Array.iteri
+    (fun i (tf : Typecheck.tfun) ->
+       let body = Array.of_list (List.map (compile_stmt impls) tf.tf_body) in
+       let nlocals = tf.tf_nlocals in
+       let nparams = List.length tf.tf_params in
+       let fallthrough_ret =
+         match tf.tf_ret with
+         | Some ty -> Value.default ty
+         | None -> Value.Int 0 (* void: result is never observed *)
+       in
+       impls.(i) <-
+         (fun args ->
+            if Array.length args <> nparams then
+              runtime_error "%s expects %d arguments, got %d" tf.tf_name nparams
+                (Array.length args);
+            (* parameters occupy the first local slots *)
+            let f = { locals = Array.make (max 1 nlocals) (Value.Int 0); params = [||] } in
+            Array.blit args 0 f.locals 0 (Array.length args);
+            try
+              Array.iter (fun g -> g f) body;
+              fallthrough_ret
+            with
+            | Ret -> fallthrough_ret
+            | Retv v -> v))
+    prog.tfuns;
+  let body = Array.of_list (List.map (compile_stmt impls) prog.body) in
+  let nlocals = prog.nlocals in
+  let nparams = List.length prog.params in
+  fun params ->
+    if Array.length params <> nparams then
+      runtime_error "expected %d parameters, got %d" nparams (Array.length params);
+    let f = { locals = Array.make (max 1 nlocals) (Value.Int 0); params } in
+    try Array.iter (fun g -> g f) body with Ret | Retv _ -> ()

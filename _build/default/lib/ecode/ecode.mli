@@ -1,0 +1,44 @@
+(** Ecode: the C-subset transformation language of the paper (Section 3.2,
+    Figure 5), with both a closure compiler (the dynamic-code-generation
+    analogue used in production paths) and a naive interpreter (the A1
+    ablation baseline).
+
+    The conventional entry point for message morphing is {!compile_xform}:
+    the snippet sees the incoming message as [new] and the outgoing message
+    as [old], exactly as in the paper's Figure 5 code. *)
+
+module Token : module type of Token
+module Lexer : module type of Lexer
+module Ast : module type of Ast
+module Parser : module type of Parser
+module Typecheck : module type of Typecheck
+module Compile : module type of Compile
+module Interp : module type of Interp
+module Pp : module type of Pp
+
+open Pbio
+
+type program = Ast.prog
+
+val parse : string -> (program, string) result
+
+val typecheck :
+  params:(string * Ptype.t) list -> program -> (Typecheck.tprog, string) result
+
+(** Parse, check and compile a program against named parameters.  The
+    resulting function takes the parameter values in declaration order. *)
+val compile :
+  params:(string * Ptype.t) list -> string -> (Value.t array -> unit, string) result
+
+(** The paper's transformation shape: convert a [src]-format message into a
+    fresh [dst]-format message.  Inside the snippet, [new] is the incoming
+    message and [old] the outgoing one (initialised to the target format's
+    defaults; variable-array length fields are re-synchronised after the
+    snippet runs). *)
+val compile_xform :
+  src:Ptype.record -> dst:Ptype.record -> string -> (Value.t -> Value.t, string) result
+
+(** Interpreted variant of {!compile_xform}; same semantics, no code
+    generation. *)
+val interpret_xform :
+  src:Ptype.record -> dst:Ptype.record -> string -> (Value.t -> Value.t, string) result

@@ -1,0 +1,132 @@
+(* Pretty-printing Ecode back to source text.
+
+   Used by tooling that displays transformation code shipped in meta-data,
+   and by the test suite: printing a parsed program and re-parsing it must
+   reach a fixed point (print . parse . print = print).  Expressions are
+   fully parenthesised, so no precedence reasoning is required. *)
+
+let dtyp_name : Ast.dtyp -> string = function
+  | Dint -> "int"
+  | Duint -> "unsigned"
+  | Dfloat -> "float"
+  | Dchar -> "char"
+  | Dbool -> "bool"
+  | Dstring -> "string"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_char = function
+  | '\'' -> "\\'"
+  | '\\' -> "\\\\"
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\x00' -> "\\0"
+  | c -> String.make 1 c
+
+let rec pp_expr ppf (e : Ast.expr) =
+  match e.Ast.e with
+  | Int_lit n -> if n < 0 then Fmt.pf ppf "(%d)" n else Fmt.int ppf n
+  | Float_lit x ->
+    (* keep a decimal point so the literal re-lexes as a float *)
+    if Float.is_integer x && Float.abs x < 1e15 then Fmt.pf ppf "%.1f" x
+    else Fmt.pf ppf "%.17g" x
+  | Char_lit c -> Fmt.pf ppf "'%s'" (escape_char c)
+  | String_lit s -> Fmt.pf ppf "\"%s\"" (escape_string s)
+  | Bool_lit b -> Fmt.bool ppf b
+  | Ident s -> Fmt.string ppf s
+  | Field (b, name) -> Fmt.pf ppf "%a.%s" pp_expr b name
+  | Index (b, i) -> Fmt.pf ppf "%a[%a]" pp_expr b pp_expr i
+  | Unop (op, a) ->
+    let sym = match op with Ast.Neg -> "-" | Not -> "!" | Bnot -> "~" in
+    Fmt.pf ppf "(%s%a)" sym pp_expr a
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (Ast.binop_name op) pp_expr b
+  | Cond (c, a, b) -> Fmt.pf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Call (name, args) -> Fmt.pf ppf "%s(%a)" name (Fmt.list ~sep:Fmt.comma pp_expr) args
+  | Assign (op, lhs, rhs) ->
+    let sym =
+      match op with
+      | Ast.Set -> "=" | Add_eq -> "+=" | Sub_eq -> "-=" | Mul_eq -> "*="
+      | Div_eq -> "/=" | Mod_eq -> "%="
+    in
+    Fmt.pf ppf "(%a %s %a)" pp_expr lhs sym pp_expr rhs
+  | Incr (kind, lhs) ->
+    (match kind with
+     | Ast.Pre_incr -> Fmt.pf ppf "(++%a)" pp_expr lhs
+     | Pre_decr -> Fmt.pf ppf "(--%a)" pp_expr lhs
+     | Post_incr -> Fmt.pf ppf "(%a++)" pp_expr lhs
+     | Post_decr -> Fmt.pf ppf "(%a--)" pp_expr lhs)
+
+let rec pp_stmt ppf (s : Ast.stmt) =
+  match s.Ast.s with
+  | Empty -> Fmt.string ppf ";"
+  | Expr e -> Fmt.pf ppf "%a;" pp_expr e
+  | Decl (dt, ds) ->
+    let pp_decl ppf (d : Ast.decl) =
+      match d.dinit with
+      | None -> Fmt.string ppf d.dname
+      | Some e -> Fmt.pf ppf "%s = %a" d.dname pp_expr e
+    in
+    Fmt.pf ppf "%s %a;" (dtyp_name dt) (Fmt.list ~sep:Fmt.comma pp_decl) ds
+  | If (c, t, None) -> Fmt.pf ppf "@[<v 2>if (%a)@,%a@]" pp_expr c pp_stmt t
+  | If (c, t, Some e) ->
+    Fmt.pf ppf "@[<v 2>if (%a)@,%a@]@,@[<v 2>else@,%a@]" pp_expr c pp_stmt t pp_stmt e
+  | While (c, body) -> Fmt.pf ppf "@[<v 2>while (%a)@,%a@]" pp_expr c pp_stmt body
+  | Do_while (body, c) ->
+    Fmt.pf ppf "@[<v 2>do@,%a@]@,while (%a);" pp_stmt body pp_expr c
+  | For (init, cond, step, body) ->
+    let pp_init ppf = function
+      | None -> Fmt.string ppf ";"
+      | Some (s : Ast.stmt) -> pp_stmt ppf s (* carries its own ';' *)
+    in
+    Fmt.pf ppf "@[<v 2>for (%a %a; %a)@,%a@]" pp_init init
+      (Fmt.option pp_expr) cond (Fmt.option pp_expr) step pp_stmt body
+  | Switch (e, arms) ->
+    Fmt.pf ppf "@[<v 2>switch (%a) {" pp_expr e;
+    List.iter
+      (fun (a : Ast.switch_arm) ->
+         List.iter (fun v -> Fmt.pf ppf "@,case %d:" v) a.labels;
+         if a.has_default then Fmt.pf ppf "@,default:";
+         List.iter (fun s -> Fmt.pf ppf "@,%a" pp_stmt s) a.body)
+      arms;
+    Fmt.pf ppf "@]@,}"
+  | Block ss ->
+    Fmt.pf ppf "@[<v 2>{%a@]@,}"
+      (fun ppf ss -> List.iter (fun s -> Fmt.pf ppf "@,%a" pp_stmt s) ss)
+      ss
+  | Return None -> Fmt.string ppf "return;"
+  | Return (Some e) -> Fmt.pf ppf "return %a;" pp_expr e
+  | Break -> Fmt.string ppf "break;"
+  | Continue -> Fmt.string ppf "continue;"
+
+let pp_fundef ppf (f : Ast.fundef) =
+  let ret = match f.Ast.fret with None -> "void" | Some d -> dtyp_name d in
+  let pp_param ppf (d, name) = Fmt.pf ppf "%s %s" (dtyp_name d) name in
+  Fmt.pf ppf "@[<v 2>%s %s(%a) {%a@]@,}" ret f.Ast.fdname
+    (Fmt.list ~sep:Fmt.comma pp_param)
+    f.Ast.fparams
+    (fun ppf ss -> List.iter (fun s -> Fmt.pf ppf "@,%a" pp_stmt s) ss)
+    f.Ast.fbody
+
+let pp_prog ppf (p : Ast.prog) =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun f -> Fmt.pf ppf "%a@,@," pp_fundef f) p.Ast.funs;
+  (match p.Ast.main with
+   | [] -> ()
+   | first :: rest ->
+     pp_stmt ppf first;
+     List.iter (fun s -> Fmt.pf ppf "@,%a" pp_stmt s) rest);
+  Fmt.pf ppf "@]"
+
+let program_to_string (p : Ast.prog) : string = Fmt.str "%a" pp_prog p

@@ -1,0 +1,1 @@
+lib/pbio/convert.ml: Array Char List Ptype Value

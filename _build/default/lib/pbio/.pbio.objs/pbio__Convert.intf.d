@@ -1,0 +1,1 @@
+lib/pbio/convert.mli: Ptype Value

@@ -1,0 +1,1 @@
+lib/pbio/meta.ml: Buffer Fmt Hashtbl Int32 Int64 List Option Ptype String

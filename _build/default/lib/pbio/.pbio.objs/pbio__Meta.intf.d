@@ -1,0 +1,1 @@
+lib/pbio/meta.mli: Ptype

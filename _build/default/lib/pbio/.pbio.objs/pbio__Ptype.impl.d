@@ -1,0 +1,1 @@
+lib/pbio/ptype.ml: Buffer Fmt Hashtbl List Printf String

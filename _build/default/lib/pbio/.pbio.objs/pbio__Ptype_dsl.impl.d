@@ -1,0 +1,1 @@
+lib/pbio/ptype_dsl.ml: Buffer Fmt List Printf Ptype String

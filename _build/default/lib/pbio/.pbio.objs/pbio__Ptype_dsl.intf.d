@@ -1,0 +1,1 @@
+lib/pbio/ptype_dsl.mli: Ptype

@@ -1,0 +1,1 @@
+lib/pbio/registry.ml: Hashtbl List Meta Option Ptype

@@ -1,0 +1,1 @@
+lib/pbio/registry.mli: Meta

@@ -1,0 +1,1 @@
+lib/pbio/sizeof.ml: List Ptype String Value

@@ -1,0 +1,1 @@
+lib/pbio/sizeof.mli: Ptype Value

@@ -1,0 +1,1 @@
+lib/pbio/value.ml: Array Char Fmt List Option Ptype

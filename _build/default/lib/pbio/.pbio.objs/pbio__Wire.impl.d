@@ -1,0 +1,1 @@
+lib/pbio/wire.ml: Array Buffer Char Fmt Int32 Int64 List Ptype String Value

@@ -1,0 +1,30 @@
+(** Structural format conversion, compiled once per format pair.
+
+    This is the PBIO piece of "dynamic code generation": given the wire
+    format of an incoming record and the (different) format the receiver
+    registered, {!compile} produces a specialised closure chain in which
+    every field-name lookup, type dispatch and coercion has been resolved
+    ahead of time.  Per message, only direct calls remain.
+
+    Semantics follow the paper's imperfect-match step (Algorithm 2, lines
+    26-29): fields are matched by name; target fields missing from the
+    source take their default values; source fields absent from the target
+    are dropped; numeric types coerce, enums map by case name, nested
+    records and arrays recurse; target length fields are re-synchronised. *)
+
+type conv = Value.t -> Value.t
+
+(** [compile ~from_ ~into] builds the specialised converter.  The plan is
+    reusable across any number of messages of the [from_] format. *)
+val compile : from_:Ptype.record -> into:Ptype.record -> conv
+
+(** One-shot conversion (compiles, then applies). *)
+val convert : from_:Ptype.record -> into:Ptype.record -> Value.t -> Value.t
+
+(** A conversion is unnecessary exactly when the formats are structurally
+    equal. *)
+val is_identity : from_:Ptype.record -> into:Ptype.record -> bool
+
+(** Coercion between basic types, or [None] when no sensible coercion
+    exists (the target field then takes its default). *)
+val coerce_basic : Ptype.basic -> Ptype.basic -> conv option

@@ -1,0 +1,287 @@
+(* A small textual DSL for format declarations, mirroring the paper's
+   Figure 2 IOField tables.  Used by the CLI, the examples and the tests.
+
+     enum mode { optional = 0, required = 1 }
+     record Member { string info; int id; bool is_source; bool is_sink; }
+     format ChannelOpenResponse {
+       int member_count;
+       Member member_list[member_count];
+       mode m = optional;
+       float qos = 1.5;
+     }
+
+   [record] declares a reusable complex type; [format] additionally marks a
+   top-level (base) format.  Array sizes are an integer literal (fixed) or
+   the name of a preceding integer field (variable).  Defaults follow [=]. *)
+
+type decl =
+  | Denum of Ptype.enum
+  | Drecord of Ptype.record
+  | Dformat of Ptype.record
+
+(* --- lexer -------------------------------------------------------------- *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Char_lit of char
+  | String_lit of string
+  | Punct of char (* one of { } [ ] ; , = *)
+  | Eof
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit t = toks := t :: !toks in
+  let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_ident c = is_ident_start c || (c >= '0' && c <= '9') in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec go i =
+    if i >= n then emit Eof
+    else
+      match src.[i] with
+      | '\n' -> incr line; go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then parse_error "line %d: unterminated comment" !line
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else begin
+            if src.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      | ('{' | '}' | '[' | ']' | ';' | ',' | '=') as c -> emit (Punct c); go (i + 1)
+      | '\'' ->
+        if i + 2 < n && src.[i + 1] <> '\\' && src.[i + 2] = '\'' then begin
+          emit (Char_lit src.[i + 1]);
+          go (i + 3)
+        end
+        else if i + 3 < n && src.[i + 1] = '\\' && src.[i + 3] = '\'' then begin
+          let c =
+            match src.[i + 2] with
+            | 'n' -> '\n' | 't' -> '\t' | '0' -> '\x00'
+            | '\\' -> '\\' | '\'' -> '\''
+            | c -> c
+          in
+          emit (Char_lit c);
+          go (i + 4)
+        end
+        else parse_error "line %d: bad character literal" !line
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then parse_error "line %d: unterminated string" !line
+          else
+            match src.[j] with
+            | '"' -> j + 1
+            | '\\' when j + 1 < n ->
+              let c =
+                match src.[j + 1] with
+                | 'n' -> '\n' | 't' -> '\t' | '"' -> '"' | '\\' -> '\\'
+                | c -> c
+              in
+              Buffer.add_char buf c;
+              str (j + 2)
+            | c -> Buffer.add_char buf c; str (j + 1)
+        in
+        let i' = str (i + 1) in
+        emit (String_lit (Buffer.contents buf));
+        go i'
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit src.[i + 1]) ->
+        let rec num j = if j < n && (is_digit src.[j] || src.[j] = '.') then num (j + 1) else j in
+        let j = num (i + 1) in
+        let text = String.sub src i (j - i) in
+        if String.contains text '.' then emit (Float_lit (float_of_string text))
+        else emit (Int_lit (int_of_string text));
+        go j
+      | c when is_ident_start c ->
+        let rec ident j = if j < n && is_ident src.[j] then ident (j + 1) else j in
+        let j = ident i in
+        emit (Ident (String.sub src i (j - i)));
+        go j
+      | c -> parse_error "line %d: unexpected character %C" !line c
+  in
+  go 0;
+  List.rev !toks
+
+(* --- parser ------------------------------------------------------------- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Eof | t :: _ -> t
+
+let next st =
+  match st.toks with
+  | [] -> Eof
+  | t :: rest ->
+    st.toks <- rest;
+    t
+
+let expect_punct st c =
+  match next st with
+  | Punct c' when c' = c -> ()
+  | t ->
+    parse_error "expected %C, got %s" c
+      (match t with
+       | Ident s -> s
+       | Punct c -> String.make 1 c
+       | Int_lit n -> string_of_int n
+       | Float_lit x -> string_of_float x
+       | Char_lit c -> Printf.sprintf "%C" c
+       | String_lit s -> Printf.sprintf "%S" s
+       | Eof -> "<eof>")
+
+let expect_ident st =
+  match next st with
+  | Ident s -> s
+  | _ -> parse_error "expected identifier"
+
+type env = {
+  mutable enums : (string * Ptype.enum) list;
+  mutable records : (string * Ptype.record) list;
+}
+
+let base_type env name : Ptype.t =
+  match name with
+  | "int" | "long" -> Ptype.int_
+  | "unsigned" | "uint" -> Ptype.uint
+  | "float" | "double" -> Ptype.float_
+  | "char" -> Ptype.char_
+  | "bool" | "boolean" -> Ptype.bool_
+  | "string" -> Ptype.string_
+  | _ ->
+    (match List.assoc_opt name env.enums with
+     | Some e -> Ptype.Basic (Enum e)
+     | None ->
+       (match List.assoc_opt name env.records with
+        | Some r -> Ptype.Record r
+        | None -> parse_error "unknown type %S" name))
+
+let parse_const st : Ptype.const =
+  match next st with
+  | Int_lit n -> Cint n
+  | Float_lit x -> Cfloat x
+  | Char_lit c -> Cchar c
+  | String_lit s -> Cstring s
+  | Ident "true" -> Cbool true
+  | Ident "false" -> Cbool false
+  | Ident s -> Cenum s
+  | _ -> parse_error "expected constant"
+
+let parse_field env st : Ptype.field =
+  let tname = expect_ident st in
+  let ty = base_type env tname in
+  let fname = expect_ident st in
+  let ty =
+    match peek st with
+    | Punct '[' ->
+      ignore (next st);
+      let size =
+        match next st with
+        | Int_lit n -> Ptype.Fixed n
+        | Ident name -> Ptype.Length_field name
+        | _ -> parse_error "expected array size in field %S" fname
+      in
+      expect_punct st ']';
+      Ptype.Array { elem = ty; size }
+    | _ -> ty
+  in
+  let fdefault =
+    match peek st with
+    | Punct '=' ->
+      ignore (next st);
+      Some (parse_const st)
+    | _ -> None
+  in
+  expect_punct st ';';
+  { Ptype.fname; ftype = ty; fdefault }
+
+let parse_record_body env st rname : Ptype.record =
+  expect_punct st '{';
+  let rec fields acc =
+    match peek st with
+    | Punct '}' ->
+      ignore (next st);
+      List.rev acc
+    | _ -> fields (parse_field env st :: acc)
+  in
+  { Ptype.rname; fields = fields [] }
+
+let parse_enum_body st ename : Ptype.enum =
+  expect_punct st '{';
+  let rec cases acc n =
+    match next st with
+    | Punct '}' -> List.rev acc
+    | Ident case ->
+      let v, nxt =
+        match peek st with
+        | Punct '=' ->
+          ignore (next st);
+          (match next st with
+           | Int_lit v -> (v, v + 1)
+           | _ -> parse_error "expected integer after = in enum %s" ename)
+        | _ -> (n, n + 1)
+      in
+      (match peek st with
+       | Punct ',' -> ignore (next st)
+       | _ -> ());
+      cases ((case, v) :: acc) nxt
+    | _ -> parse_error "expected case name in enum %s" ename
+  in
+  { Ptype.ename; cases = cases [] 0 }
+
+let parse (src : string) : (decl list, string) result =
+  try
+    let st = { toks = tokenize src } in
+    let env = { enums = []; records = [] } in
+    let rec go acc =
+      match next st with
+      | Eof -> List.rev acc
+      | Ident "enum" ->
+        let name = expect_ident st in
+        let e = parse_enum_body st name in
+        env.enums <- (name, e) :: env.enums;
+        go (Denum e :: acc)
+      | Ident (("record" | "format") as kw) ->
+        let name = expect_ident st in
+        let r = parse_record_body env st name in
+        (match Ptype.validate r with
+         | Ok () -> ()
+         | Error e -> parse_error "%s: %s" e.Ptype.where e.Ptype.what);
+        env.records <- (name, r) :: env.records;
+        go ((if kw = "format" then Dformat r else Drecord r) :: acc)
+      | Ident s -> parse_error "expected 'enum', 'record' or 'format', got %S" s
+      | _ -> parse_error "expected declaration"
+    in
+    Ok (go [])
+  with
+  | Parse_error msg -> Error msg
+  | Failure msg -> Error msg
+
+(* Convenience: parse and return the declared base formats by name. *)
+let parse_formats (src : string) : ((string * Ptype.record) list, string) result =
+  match parse src with
+  | Error _ as e -> e
+  | Ok decls ->
+    Ok
+      (List.filter_map
+         (function Dformat r -> Some (r.Ptype.rname, r) | Drecord _ | Denum _ -> None)
+         decls)
+
+let format_of_string_exn (src : string) : Ptype.record =
+  match parse_formats src with
+  | Ok [ (_, r) ] -> r
+  | Ok [] -> parse_error "no format declared"
+  | Ok _ -> parse_error "more than one format declared"
+  | Error msg -> parse_error "%s" msg

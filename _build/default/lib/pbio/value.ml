@@ -1,0 +1,311 @@
+(* Dynamic record values carried by the messaging layer.
+
+   A value mirrors a {!Ptype.t}: records are arrays of mutable named entries
+   (mutability is what lets compiled Ecode transformations write into a
+   target message in place), arrays are growable so transformation code can
+   append entries one at a time, as the paper's Figure 5 code does. *)
+
+type t =
+  | Int of int
+  | Uint of int
+  | Float of float
+  | Char of char
+  | Bool of bool
+  | Enum of string * int (* case name, numeric value *)
+  | String of string
+  | Record of entry array
+  | Array of dynarray
+
+and entry = {
+  name : string;
+  mutable v : t;
+}
+
+and dynarray = {
+  mutable items : t array;
+  mutable len : int;
+  mutable model : t option;
+  (* A model element used to fill gaps when the array grows and no explicit
+     fill is supplied (e.g. by the untyped Ecode interpreter); [default]
+     seeds it from the element type. *)
+}
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+(* Constructors *)
+
+let record fields = Record (Array.of_list (List.map (fun (name, v) -> { name; v }) fields))
+
+let array_of_list vs =
+  let items = Array.of_list vs in
+  let model = if Array.length items > 0 then Some (items.(0)) else None in
+  Array { items; len = Array.length items; model }
+
+let empty_array ?model () = Array { items = [||]; len = 0; model }
+
+(* Accessors *)
+
+let to_int = function
+  | Int n | Uint n | Enum (_, n) -> n
+  | Char c -> Char.code c
+  | Bool b -> if b then 1 else 0
+  | v -> type_error "expected integer value, got %s"
+           (match v with
+            | Float _ -> "float" | String _ -> "string"
+            | Record _ -> "record" | Array _ -> "array"
+            | Int _ | Uint _ | Enum _ | Char _ | Bool _ -> assert false)
+
+let to_float = function
+  | Float x -> x
+  | Int n | Uint n | Enum (_, n) -> float_of_int n
+  | Char c -> float_of_int (Char.code c)
+  | Bool b -> if b then 1.0 else 0.0
+  | _ -> type_error "expected numeric value"
+
+let to_bool = function
+  | Bool b -> b
+  | Int n | Uint n | Enum (_, n) -> n <> 0
+  | Char c -> c <> '\x00'
+  | Float x -> x <> 0.0
+  | _ -> type_error "expected boolean value"
+
+let to_string_exn = function
+  | String s -> s
+  | _ -> type_error "expected string value"
+
+let entries = function
+  | Record es -> es
+  | _ -> type_error "expected record value"
+
+let dyn = function
+  | Array d -> d
+  | _ -> type_error "expected array value"
+
+(* Record field access by name (slow path; compiled code resolves indexes
+   once and uses {!field_at}/{!set_at}). *)
+
+let field_index es name =
+  let rec go i =
+    if i >= Array.length es then None
+    else if es.(i).name = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let get_field v name =
+  let es = entries v in
+  match field_index es name with
+  | Some i -> es.(i).v
+  | None -> type_error "record has no field %S" name
+
+let set_field v name x =
+  let es = entries v in
+  match field_index es name with
+  | Some i -> es.(i).v <- x
+  | None -> type_error "record has no field %S" name
+
+let has_field v name = field_index (entries v) name <> None
+
+let field_at v i = (entries v).(i).v
+let set_at v i x = (entries v).(i).v <- x
+
+(* Deep copy (also used to fill growing arrays). *)
+let rec copy = function
+  | (Int _ | Uint _ | Float _ | Char _ | Bool _ | Enum _ | String _) as v -> v
+  | Record es -> Record (Array.map (fun e -> { e with v = copy e.v }) es)
+  | Array d ->
+    let items = Array.init d.len (fun i -> copy d.items.(i)) in
+    Array { items; len = d.len; model = Option.map copy d.model }
+
+(* Array access.  [array_set] grows the array on writes one past the end so
+   that transformation code can build a target list incrementally. *)
+
+let array_len v = (dyn v).len
+
+let array_get v i =
+  let d = dyn v in
+  if i < 0 || i >= d.len then type_error "array index %d out of bounds (len %d)" i d.len;
+  d.items.(i)
+
+let grow d fill wanted =
+  let cap = Array.length d.items in
+  if wanted > cap then begin
+    let cap' = max wanted (max 4 (cap * 2)) in
+    let items' = Array.make cap' fill in
+    Array.blit d.items 0 items' 0 d.len;
+    d.items <- items'
+  end
+
+let array_push v x =
+  let d = dyn v in
+  grow d x (d.len + 1);
+  d.items.(d.len) <- x;
+  d.len <- d.len + 1
+
+let fill_for d =
+  match d.model with
+  | Some m -> copy m
+  | None -> if d.len > 0 then copy d.items.(d.len - 1) else Int 0
+
+let array_set ?fill v i x =
+  let d = dyn v in
+  if i < 0 then type_error "negative array index %d" i;
+  if i >= d.len then begin
+    let fill = match fill with Some f -> f | None -> fill_for d in
+    grow d fill (i + 1);
+    for j = d.len to i do d.items.(j) <- fill done;
+    d.len <- i + 1
+  end;
+  d.items.(i) <- x
+
+let array_truncate v n =
+  let d = dyn v in
+  if n < 0 || n > d.len then type_error "truncate length %d out of range" n;
+  d.len <- n
+
+(* Deep operations *)
+
+let rec equal v1 v2 =
+  match v1, v2 with
+  | Int a, Int b | Uint a, Uint b -> a = b
+  | Float a, Float b -> a = b
+  | Char a, Char b -> a = b
+  | Bool a, Bool b -> a = b
+  | Enum (n1, v1), Enum (n2, v2) -> n1 = n2 && v1 = v2
+  | String a, String b -> a = b
+  | Record e1, Record e2 ->
+    Array.length e1 = Array.length e2
+    && Array.for_all2 (fun a b -> a.name = b.name && equal a.v b.v) e1 e2
+  | Array d1, Array d2 ->
+    d1.len = d2.len
+    && (let rec go i = i >= d1.len || (equal d1.items.(i) d2.items.(i) && go (i + 1)) in
+        go 0)
+  | (Int _ | Uint _ | Float _ | Char _ | Bool _ | Enum _ | String _
+    | Record _ | Array _), _ -> false
+
+let rec pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Uint n -> Fmt.pf ppf "%uu" n
+  | Float x -> Fmt.float ppf x
+  | Char c -> Fmt.pf ppf "%C" c
+  | Bool b -> Fmt.bool ppf b
+  | Enum (n, v) -> Fmt.pf ppf "%s(%d)" n v
+  | String s -> Fmt.pf ppf "%S" s
+  | Record es ->
+    Fmt.pf ppf "@[<hv 1>{%a}@]"
+      (Fmt.array ~sep:Fmt.semi (fun ppf e -> Fmt.pf ppf "%s=%a" e.name pp e.v))
+      es
+  | Array d ->
+    Fmt.pf ppf "@[<hv 1>[%a]@]"
+      (Fmt.iter ~sep:Fmt.semi
+         (fun f d -> for i = 0 to d.len - 1 do f d.items.(i) done)
+         pp)
+      d
+
+let to_string v = Fmt.str "%a" pp v
+
+(* Default values, honouring per-field default constants. *)
+
+let of_const (c : Ptype.const) ~(ty : Ptype.basic) =
+  match c, ty with
+  | Cint n, Int -> Int n
+  | Cint n, Uint -> Uint n
+  | Cint n, Float -> Float (float_of_int n)
+  | Cfloat x, Float -> Float x
+  | Cchar c, Char -> Char c
+  | Cbool b, Bool -> Bool b
+  | Cint n, Bool -> Bool (n <> 0)
+  | Cstring s, String -> String s
+  | Cenum case, Enum e ->
+    (match List.assoc_opt case e.cases with
+     | Some n -> Enum (case, n)
+     | None -> type_error "enum %s has no case %S" e.ename case)
+  | Cint n, Enum e ->
+    (match List.find_opt (fun (_, v) -> v = n) e.cases with
+     | Some (case, _) -> Enum (case, n)
+     | None -> type_error "enum %s has no case with value %d" e.ename n)
+  | _ -> type_error "default constant does not fit field type"
+
+let zero_basic : Ptype.basic -> t = function
+  | Int -> Int 0
+  | Uint -> Uint 0
+  | Float -> Float 0.0
+  | Char -> Char '\x00'
+  | Bool -> Bool false
+  | String -> String ""
+  | Enum e ->
+    (match e.cases with
+     | (case, n) :: _ -> Enum (case, n)
+     | [] -> type_error "enum %s has no cases" e.ename)
+
+let rec default (ty : Ptype.t) : t =
+  match ty with
+  | Basic b -> zero_basic b
+  | Record r -> default_record r
+  | Array { size = Fixed n; elem } ->
+    let items = Array.init n (fun _ -> default elem) in
+    Array { items; len = n; model = Some (default elem) }
+  | Array { size = Length_field _; elem } -> empty_array ~model:(default elem) ()
+
+and default_record (r : Ptype.record) : t =
+  let entry (f : Ptype.field) =
+    let v =
+      match f.fdefault, f.ftype with
+      | Some c, Basic b -> of_const c ~ty:b
+      | Some _, _ -> type_error "default constant on complex field %S" f.fname
+      | None, ty -> default ty
+    in
+    { name = f.fname; v }
+  in
+  Record (Array.of_list (List.map entry r.fields))
+
+(* Check that a value conforms to a type description. *)
+
+let rec conforms (ty : Ptype.t) (v : t) : bool =
+  match ty, v with
+  | Basic Int, Int _ -> true
+  | Basic Uint, Uint n -> n >= 0
+  | Basic Float, Float _ -> true
+  | Basic Char, Char _ -> true
+  | Basic Bool, Bool _ -> true
+  | Basic String, String _ -> true
+  | Basic (Enum e), Enum (case, n) -> List.assoc_opt case e.cases = Some n
+  | Record r, Record es ->
+    List.length r.fields = Array.length es
+    && List.for_all2
+      (fun (f : Ptype.field) (e : entry) -> f.fname = e.name && conforms f.ftype e.v)
+      r.fields (Array.to_list es)
+  | Array { elem; size }, Array d ->
+    (match size with Fixed n -> d.len = n | Length_field _ -> true)
+    && (let rec go i = i >= d.len || (conforms elem d.items.(i) && go (i + 1)) in
+        go 0)
+  | (Basic _ | Record _ | Array _), _ -> false
+
+(* Variable-array length fields must agree with the actual array lengths;
+   [sync_lengths] fixes up the integer fields from the arrays (used by
+   encoders and by the morphing pipeline after a transformation runs). *)
+
+let rec sync_lengths (r : Ptype.record) (v : t) : unit =
+  let es = entries v in
+  List.iteri
+    (fun i (f : Ptype.field) ->
+       match f.ftype with
+       | Basic _ -> ()
+       | Record r' -> sync_lengths r' es.(i).v
+       | Array { elem; size } ->
+         (match size with
+          | Fixed _ -> ()
+          | Length_field name ->
+            let n = array_len es.(i).v in
+            (match field_index es name with
+             | Some j ->
+               es.(j).v <- (match es.(j).v with Uint _ -> Uint n | _ -> Int n)
+             | None -> type_error "missing length field %S" name));
+         (match elem with
+          | Record r' ->
+            let d = dyn es.(i).v in
+            for k = 0 to d.len - 1 do sync_lengths r' d.items.(k) done
+          | Basic _ | Array _ -> ()))
+    r.fields

@@ -1,0 +1,61 @@
+(** Binary wire codec for PBIO records.
+
+    Message layout: a 16-byte header (magic, byte order, version, sender-
+    local format id, payload length) followed by the fields in declaration
+    order — 4-byte ints/unsigneds/enums, 8-byte IEEE floats, 1-byte chars
+    and booleans, length-prefixed strings, records inline, array elements
+    inline.  A variable array's count is the value of its (earlier) length
+    field; no count travels on the wire.
+
+    The sender writes in its native byte order (PBIO's "native data
+    representation"); the receiver byte-swaps only when orders differ. *)
+
+type endian =
+  | Little
+  | Big
+
+exception Encode_error of string
+exception Decode_error of string
+
+(** Header size in bytes (16 — the paper reports PBIO adds <30 bytes). *)
+val header_size : int
+
+val magic : string
+val wire_version : int
+
+type header = {
+  endian : endian;
+  format_id : int;
+  payload_len : int;
+}
+
+(** {1 Encoding} *)
+
+(** [encode ~endian ~format_id fmt v] is the complete wire message (header
+    plus payload).  Raises {!Encode_error} if [v] does not conform to
+    [fmt], an int exceeds 32 bits, a fixed array has the wrong length, or a
+    variable array disagrees with its length field (call
+    {!Value.sync_lengths} first). *)
+val encode : ?endian:endian -> format_id:int -> Ptype.record -> Value.t -> string
+
+(** Payload only, without the header. *)
+val encode_payload : ?endian:endian -> Ptype.record -> Value.t -> string
+
+(** {1 Decoding} *)
+
+(** Parse and check the 16-byte header. Raises {!Decode_error}. *)
+val read_header : string -> header
+
+(** [decode fmt message] decodes a complete wire message against [fmt]
+    (which must be the {e writer's} format — conversion to the reader's
+    format is the morphing layer's job).  Raises {!Decode_error} on
+    malformed input; corrupted length fields are rejected before any large
+    allocation. *)
+val decode : Ptype.record -> string -> Value.t
+
+(** Decode a bare payload (no header) in the given byte order. *)
+val decode_payload : ?endian:endian -> Ptype.record -> string -> Value.t
+
+(** Minimum wire footprint of one value of a type, used to validate length
+    fields. *)
+val min_wire_size : Ptype.t -> int

@@ -1,0 +1,1 @@
+lib/transport/conn.ml: Contact Framing Hashtbl Logs Meta Netsim Pbio Queue Registry Value Wire

@@ -1,0 +1,1 @@
+lib/transport/conn.mli: Contact Hashtbl Meta Netsim Pbio Queue Registry Value Wire

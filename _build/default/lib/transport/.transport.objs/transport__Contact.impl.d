@@ -1,0 +1,1 @@
+lib/transport/contact.ml: Fmt Hashtbl Int Printf String

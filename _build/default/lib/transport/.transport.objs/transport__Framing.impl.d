@@ -1,0 +1,1 @@
+lib/transport/framing.ml: Buffer Fmt Int32 String

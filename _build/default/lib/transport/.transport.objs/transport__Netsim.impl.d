@@ -1,0 +1,1 @@
+lib/transport/netsim.ml: Contact Float Hashtbl Option Pqueue String

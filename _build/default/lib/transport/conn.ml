@@ -1,0 +1,138 @@
+(* Connection endpoints implementing PBIO's out-of-band meta-data protocol
+   over the simulated network.
+
+   A writer pushes a format's meta-data (description plus attached
+   retro-transformations) to each peer once, before the first record of
+   that format, so every Data frame carries only a small integer id.  A
+   receiver that somehow lacks the meta for an id (e.g. it restarted)
+   parks the message and sends a Meta_request; the peer replies and parked
+   messages flush in order. *)
+
+open Pbio
+
+type message_handler = src:Contact.t -> Meta.format_meta -> Value.t -> unit
+
+type peer_key = {
+  peer : Contact.t;
+  id : int;
+}
+
+type endpoint = {
+  net : Netsim.t;
+  contact : Contact.t;
+  registry : Registry.t; (* local (writer-side) formats *)
+  peer_formats : (peer_key, Meta.format_meta) Hashtbl.t;
+  announced : (peer_key, unit) Hashtbl.t;
+  parked : (peer_key, (Contact.t * string) Queue.t) Hashtbl.t;
+  mutable on_message : message_handler;
+  mutable endian : Wire.endian;
+}
+
+let default_handler ~src _meta _v =
+  ignore src
+
+let handle_frame ep ~src (payload : string) : unit =
+  match Framing.decode payload with
+  | exception Framing.Frame_error msg ->
+    Logs.warn (fun m ->
+        m "%a: dropping malformed frame from %a: %s" Contact.pp ep.contact
+          Contact.pp src msg)
+  | Framing.Meta { format_id; meta } ->
+    (match Meta.decode meta with
+     | Error msg ->
+       Logs.warn (fun m ->
+           m "%a: bad meta-data from %a: %s" Contact.pp ep.contact Contact.pp src msg)
+     | Ok fm ->
+       let key = { peer = src; id = format_id } in
+       Hashtbl.replace ep.peer_formats key fm;
+       (* flush anything parked waiting for this meta *)
+       (match Hashtbl.find_opt ep.parked key with
+        | None -> ()
+        | Some q ->
+          Hashtbl.remove ep.parked key;
+          Queue.iter
+            (fun (src, message) ->
+               match Wire.decode fm.Meta.body message with
+               | v -> ep.on_message ~src fm v
+               | exception (Wire.Decode_error msg | Value.Type_error msg) ->
+                 Logs.warn (fun m ->
+                     m "%a: dropping undecodable parked message from %a: %s"
+                       Contact.pp ep.contact Contact.pp src msg))
+            q))
+  | Framing.Data { format_id; message } ->
+    let key = { peer = src; id = format_id } in
+    (match Hashtbl.find_opt ep.peer_formats key with
+     | Some fm ->
+       (match Wire.decode fm.Meta.body message with
+        | v -> ep.on_message ~src fm v
+        | exception (Wire.Decode_error msg | Value.Type_error msg) ->
+          (* a corrupted record must not take the endpoint down *)
+          Logs.warn (fun m ->
+              m "%a: dropping undecodable message from %a: %s" Contact.pp
+                ep.contact Contact.pp src msg))
+     | None ->
+       (* park and ask for the meta-data *)
+       let q =
+         match Hashtbl.find_opt ep.parked key with
+         | Some q -> q
+         | None ->
+           let q = Queue.create () in
+           Hashtbl.replace ep.parked key q;
+           Netsim.send ep.net ~src:ep.contact ~dst:src
+             (Framing.encode (Framing.Meta_request { format_id }));
+           q
+       in
+       Queue.add (src, message) q)
+  | Framing.Meta_request { format_id } ->
+    (match Registry.find ep.registry format_id with
+     | None ->
+       Logs.warn (fun m ->
+           m "%a: meta request for unknown format %d from %a"
+             Contact.pp ep.contact format_id Contact.pp src)
+     | Some f ->
+       Netsim.send ep.net ~src:ep.contact ~dst:src
+         (Framing.encode
+            (Framing.Meta { format_id; meta = Meta.encode f.Registry.meta })))
+
+let create ?(endian = Wire.Little) (net : Netsim.t) (contact : Contact.t) : endpoint =
+  let ep =
+    {
+      net;
+      contact;
+      registry = Registry.create ();
+      peer_formats = Hashtbl.create 16;
+      announced = Hashtbl.create 16;
+      parked = Hashtbl.create 4;
+      on_message = default_handler;
+      endian;
+    }
+  in
+  Netsim.add_node net contact (fun ~src payload -> handle_frame ep ~src payload);
+  ep
+
+let set_handler ep f = ep.on_message <- f
+
+(* Register a format for sending; idempotent. *)
+let register ep (meta : Meta.format_meta) : Registry.fmt =
+  Registry.register ep.registry meta
+
+let send ep ~(dst : Contact.t) (meta : Meta.format_meta) (v : Value.t) : unit =
+  let f = register ep meta in
+  let key = { peer = dst; id = f.Registry.id } in
+  if not (Hashtbl.mem ep.announced key) then begin
+    Hashtbl.replace ep.announced key ();
+    Netsim.send ep.net ~src:ep.contact ~dst
+      (Framing.encode
+         (Framing.Meta { format_id = f.Registry.id; meta = Meta.encode meta }))
+  end;
+  let message =
+    Wire.encode ~endian:ep.endian ~format_id:f.Registry.id meta.Meta.body v
+  in
+  Netsim.send ep.net ~src:ep.contact ~dst
+    (Framing.encode (Framing.Data { format_id = f.Registry.id; message }))
+
+(* Simulate a receiver losing its soft state (format caches): subsequent
+   unknown Data frames trigger the Meta_request recovery path. *)
+let forget_peer_formats ep = Hashtbl.reset ep.peer_formats
+
+let known_peer_formats ep = Hashtbl.length ep.peer_formats

@@ -1,0 +1,48 @@
+(** Connection endpoints implementing PBIO's out-of-band meta-data protocol
+    over the simulated network.
+
+    A writer pushes a format's meta-data (description plus attached
+    retro-transformations) to each peer once, before the first record of
+    that format, so every Data frame carries only a small integer id.  A
+    receiver that lacks the meta for an id (e.g. it restarted) parks the
+    message and sends a [Meta_request]; the peer replies and parked
+    messages flush in order. *)
+
+open Pbio
+
+type message_handler = src:Contact.t -> Meta.format_meta -> Value.t -> unit
+
+type endpoint = {
+  net : Netsim.t;
+  contact : Contact.t;
+  registry : Registry.t;
+  peer_formats : (peer_key, Meta.format_meta) Hashtbl.t;
+  announced : (peer_key, unit) Hashtbl.t;
+  parked : (peer_key, (Contact.t * string) Queue.t) Hashtbl.t;
+  mutable on_message : message_handler;
+  mutable endian : Wire.endian;
+}
+
+and peer_key = {
+  peer : Contact.t;
+  id : int;
+}
+
+(** Create an endpoint and register it on the network.  [endian] is the
+    sender's native byte order (receivers handle either). *)
+val create : ?endian:Wire.endian -> Netsim.t -> Contact.t -> endpoint
+
+val set_handler : endpoint -> message_handler -> unit
+
+(** Register a format for sending; idempotent. *)
+val register : endpoint -> Meta.format_meta -> Registry.fmt
+
+(** Send one record, pushing the format meta-data first if this peer has
+    not seen it. *)
+val send : endpoint -> dst:Contact.t -> Meta.format_meta -> Value.t -> unit
+
+(** Simulate losing soft state (format caches): subsequent unknown Data
+    frames exercise the recovery path. *)
+val forget_peer_formats : endpoint -> unit
+
+val known_peer_formats : endpoint -> int

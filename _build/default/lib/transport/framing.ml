@@ -1,0 +1,53 @@
+(* Frames carried by the simulated network.
+
+   A frame is one of:
+     - Meta: out-of-band format meta-data for a sender-local format id —
+       pushed once per (peer, format) before the first Data frame;
+     - Data: a PBIO-encoded record (complete wire message, header included);
+     - Meta_request: ask a peer to (re)send meta-data for an id, used on
+       recovery paths (e.g. a receiver restarted and lost its format cache).
+
+   Layout: 1-byte kind, 4-byte LE format id, 4-byte LE body length, body. *)
+
+type frame =
+  | Meta of { format_id : int; meta : string }
+  | Data of { format_id : int; message : string }
+  | Meta_request of { format_id : int }
+
+exception Frame_error of string
+
+let frame_error fmt = Fmt.kstr (fun s -> raise (Frame_error s)) fmt
+
+let kind_byte = function
+  | Meta _ -> '\x01'
+  | Data _ -> '\x02'
+  | Meta_request _ -> '\x03'
+
+let encode (f : frame) : string =
+  let format_id, body =
+    match f with
+    | Meta { format_id; meta } -> (format_id, meta)
+    | Data { format_id; message } -> (format_id, message)
+    | Meta_request { format_id } -> (format_id, "")
+  in
+  let buf = Buffer.create (9 + String.length body) in
+  Buffer.add_char buf (kind_byte f);
+  Buffer.add_int32_le buf (Int32.of_int format_id);
+  Buffer.add_int32_le buf (Int32.of_int (String.length body));
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let decode (s : string) : frame =
+  if String.length s < 9 then frame_error "short frame (%d bytes)" (String.length s);
+  let format_id = Int32.to_int (String.get_int32_le s 1) in
+  let len = Int32.to_int (String.get_int32_le s 5) in
+  if len < 0 || 9 + len <> String.length s then
+    frame_error "frame length %d does not match size %d" len (String.length s);
+  let body = String.sub s 9 len in
+  match s.[0] with
+  | '\x01' -> Meta { format_id; meta = body }
+  | '\x02' -> Data { format_id; message = body }
+  | '\x03' -> Meta_request { format_id }
+  | c -> frame_error "unknown frame kind %C" c
+
+let overhead = 9

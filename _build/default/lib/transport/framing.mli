@@ -1,0 +1,23 @@
+(** Frames carried by the simulated network: out-of-band format meta-data,
+    PBIO-encoded records, and meta-data re-requests for recovery. *)
+
+type frame =
+  | Meta of {
+      format_id : int;
+      meta : string;  (** {!Pbio.Meta.encode} output *)
+    }
+  | Data of {
+      format_id : int;
+      message : string;  (** a complete {!Pbio.Wire.encode} message *)
+    }
+  | Meta_request of { format_id : int }
+
+exception Frame_error of string
+
+val encode : frame -> string
+
+(** Raises {!Frame_error} on malformed frames. *)
+val decode : string -> frame
+
+(** Per-frame byte overhead. *)
+val overhead : int

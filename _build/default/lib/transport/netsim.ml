@@ -1,0 +1,126 @@
+(* A deterministic discrete-event network simulator (DESIGN.md, substitution
+   S3).  Message delivery costs a per-link latency plus a serialisation
+   delay proportional to message size; links can be taken down for failure
+   injection.  Time is simulated seconds. *)
+
+type link_state =
+  | Up
+  | Down
+
+type config = {
+  latency_s : float;           (* one-way propagation delay *)
+  bandwidth_bytes_per_s : float; (* serialisation rate; infinity = free *)
+}
+
+let default_config = { latency_s = 100e-6; bandwidth_bytes_per_s = 125_000_000. }
+(* 100us / ~1 Gbit: the sort of LAN the paper's testbed used *)
+
+type handler = src:Contact.t -> string -> unit
+
+type node = { mutable handler : handler }
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable dropped : int;
+}
+
+type event = {
+  dst : Contact.t;
+  src : Contact.t;
+  payload : string;
+}
+
+type t = {
+  config : config;
+  mutable corrupt : (string -> string) option;
+  (* fault injection: applied to every delivered payload when set *)
+  mutable now : float;
+  queue : event Pqueue.t;
+  nodes : (Contact.t, node) Hashtbl.t;
+  down_links : (Contact.t * Contact.t, unit) Hashtbl.t;
+  last_arrival : (Contact.t * Contact.t, float) Hashtbl.t;
+  (* links are FIFO, like the stream connections PBIO runs over: a message
+     never overtakes an earlier one on the same (src, dst) link *)
+  stats : stats;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    corrupt = None;
+    now = 0.0;
+    queue = Pqueue.create ();
+    nodes = Hashtbl.create 16;
+    down_links = Hashtbl.create 4;
+    last_arrival = Hashtbl.create 16;
+    stats = { messages = 0; bytes = 0; dropped = 0 };
+  }
+
+let now t = t.now
+let stats t = t.stats
+
+(* Install (or clear) a payload-corruption fault: every subsequent delivery
+   passes through [f] first. *)
+let set_corruption t f = t.corrupt <- f
+
+exception Duplicate_node of Contact.t
+exception Unknown_node of Contact.t
+
+let add_node t (contact : Contact.t) (handler : handler) : unit =
+  if Hashtbl.mem t.nodes contact then raise (Duplicate_node contact);
+  Hashtbl.replace t.nodes contact { handler }
+
+let set_handler t contact handler =
+  match Hashtbl.find_opt t.nodes contact with
+  | Some n -> n.handler <- handler
+  | None -> raise (Unknown_node contact)
+
+let remove_node t contact = Hashtbl.remove t.nodes contact
+
+let set_link t ~src ~dst (state : link_state) =
+  match state with
+  | Down -> Hashtbl.replace t.down_links (src, dst) ()
+  | Up -> Hashtbl.remove t.down_links (src, dst)
+
+let link_up t ~src ~dst = not (Hashtbl.mem t.down_links (src, dst))
+
+(* Queue a message for delivery.  Unknown destinations and downed links drop
+   silently (like UDP), counted in [stats.dropped]. *)
+let send t ~(src : Contact.t) ~(dst : Contact.t) (payload : string) : unit =
+  if (not (Hashtbl.mem t.nodes dst)) || not (link_up t ~src ~dst) then
+    t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    let delay =
+      t.config.latency_s
+      +. (float_of_int (String.length payload) /. t.config.bandwidth_bytes_per_s)
+    in
+    let earliest = Option.value ~default:0.0 (Hashtbl.find_opt t.last_arrival (src, dst)) in
+    let arrival = Float.max (t.now +. delay) earliest in
+    Hashtbl.replace t.last_arrival (src, dst) arrival;
+    Pqueue.push t.queue arrival { dst; src; payload }
+  end
+
+(* Deliver the next pending message; false when the queue is empty. *)
+let step t : bool =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (at, ev) ->
+    t.now <- Float.max t.now at;
+    (match Hashtbl.find_opt t.nodes ev.dst with
+     | None -> t.stats.dropped <- t.stats.dropped + 1
+     | Some node ->
+       t.stats.messages <- t.stats.messages + 1;
+       t.stats.bytes <- t.stats.bytes + String.length ev.payload;
+       let payload =
+         match t.corrupt with Some f -> f ev.payload | None -> ev.payload
+       in
+       node.handler ~src:ev.src payload);
+    true
+
+(* Run until quiescent (handlers may send more messages). *)
+let run ?(max_steps = max_int) t : int =
+  let rec go n = if n >= max_steps then n else if step t then go (n + 1) else n in
+  go 0
+
+let pending t = Pqueue.length t.queue

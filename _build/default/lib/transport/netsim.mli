@@ -1,0 +1,58 @@
+(** A deterministic discrete-event network simulator (DESIGN.md,
+    substitution S3).
+
+    Message delivery costs a per-link latency plus a serialisation delay
+    proportional to message size; links are FIFO (like the stream
+    connections PBIO runs over) and can be taken down for failure
+    injection.  Time is simulated seconds. *)
+
+type link_state =
+  | Up
+  | Down
+
+type config = {
+  latency_s : float;  (** one-way propagation delay *)
+  bandwidth_bytes_per_s : float;
+}
+
+(** 100 us latency, ~1 Gbit/s — the sort of LAN the paper's testbed used. *)
+val default_config : config
+
+type handler = src:Contact.t -> string -> unit
+
+type stats = {
+  mutable messages : int;  (** delivered *)
+  mutable bytes : int;
+  mutable dropped : int;  (** unknown destination or downed link *)
+}
+
+type t
+
+exception Duplicate_node of Contact.t
+exception Unknown_node of Contact.t
+
+val create : ?config:config -> unit -> t
+val now : t -> float
+val stats : t -> stats
+val add_node : t -> Contact.t -> handler -> unit
+val set_handler : t -> Contact.t -> handler -> unit
+val remove_node : t -> Contact.t -> unit
+val set_link : t -> src:Contact.t -> dst:Contact.t -> link_state -> unit
+
+(** Fault injection: when set, every delivered payload passes through the
+    function first (bit flips, truncation, ...).  [None] clears it. *)
+val set_corruption : t -> (string -> string) option -> unit
+val link_up : t -> src:Contact.t -> dst:Contact.t -> bool
+
+(** Queue a message; unknown destinations and downed links drop silently
+    (counted in [stats.dropped]). *)
+val send : t -> src:Contact.t -> dst:Contact.t -> string -> unit
+
+(** Deliver the next pending message; [false] when the queue is empty. *)
+val step : t -> bool
+
+(** Run until quiescent (handlers may send more messages); returns the
+    number of deliveries. *)
+val run : ?max_steps:int -> t -> int
+
+val pending : t -> int

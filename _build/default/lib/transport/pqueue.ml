@@ -1,0 +1,73 @@
+(* A small binary min-heap keyed by float priority, for the discrete-event
+   scheduler.  Entries with equal priority dequeue in insertion order. *)
+
+type 'a entry = {
+  prio : float;
+  seq : int;
+  item : 'a;
+}
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.data.(i) q.data.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && before q.data.(l) q.data.(!smallest) then smallest := l;
+  if r < q.size && before q.data.(r) q.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q prio item =
+  let e = { prio; seq = q.next_seq; item } in
+  q.next_seq <- q.next_seq + 1;
+  let cap = Array.length q.data in
+  if q.size = cap then begin
+    let data = Array.make (max 16 (cap * 2)) e in
+    Array.blit q.data 0 data 0 q.size;
+    q.data <- data
+  end;
+  q.data.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q : (float * 'a) option =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.prio, top.item)
+  end
+
+let peek q : (float * 'a) option =
+  if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).item)

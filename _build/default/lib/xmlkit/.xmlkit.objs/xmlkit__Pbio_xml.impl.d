@@ -1,0 +1,1 @@
+lib/xmlkit/pbio_xml.ml: Array Buffer Fmt List Pbio Printf Ptype String Value Xml Xml_parser Xml_print

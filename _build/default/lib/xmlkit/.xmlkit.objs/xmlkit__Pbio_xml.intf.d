@@ -1,0 +1,1 @@
+lib/xmlkit/pbio_xml.mli: Buffer Pbio Ptype Value Xml

@@ -1,0 +1,1 @@
+lib/xmlkit/str_search.ml: String

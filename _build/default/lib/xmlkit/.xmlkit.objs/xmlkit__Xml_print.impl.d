@@ -1,0 +1,1 @@
+lib/xmlkit/xml_print.ml: Buffer List String Xml

@@ -1,0 +1,1 @@
+lib/xmlkit/xml_print.mli: Buffer Xml

@@ -1,0 +1,1 @@
+lib/xmlkit/xml_sax.ml: Buffer Char Fmt List Result Str_search String Xml

@@ -1,0 +1,22 @@
+(* Substring search used by the XML parser to skip comments, CDATA and
+   processing instructions. *)
+
+(* Find the first occurrence of [needle] in [hay] at or after [from].
+   Plain quadratic scan; needles here are 2-3 bytes. *)
+let find (hay : string) (needle : string) (from : int) : int option =
+  let n = String.length needle in
+  let limit = String.length hay - n in
+  if n = 0 then Some from
+  else begin
+    let c0 = needle.[0] in
+    let rec go i =
+      if i > limit then None
+      else
+        match String.index_from_opt hay i c0 with
+        | None -> None
+        | Some j when j > limit -> None
+        | Some j ->
+          if String.sub hay j n = needle then Some j else go (j + 1)
+    in
+    go from
+  end

@@ -1,0 +1,291 @@
+(* A pull (SAX-style) XML parser.
+
+   The paper's Section 2 contrasts SAX and DOM interfaces to
+   self-describing messages; this module provides the streaming half.
+   Events are pulled one at a time without materialising a tree, so
+   constant-memory consumers (field counters, filters, selective readers)
+   are possible.  The DOM builder {!to_tree} is cross-checked against
+   {!Xml_parser} in the test suite. *)
+
+type event =
+  | Start_element of {
+      tag : string;
+      attrs : (string * string) list;
+      self_closing : bool;
+    }
+  | End_element of string
+  | Chars of string
+
+exception Error of string * int
+
+let error pos fmt = Fmt.kstr (fun s -> raise (Error (s, pos))) fmt
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable stack : string list; (* open elements, innermost first *)
+  mutable pending_end : string option; (* End for a self-closed element *)
+  mutable started : bool;
+  mutable finished : bool;
+}
+
+let create src = { src; pos = 0; stack = []; pending_end = None; started = false; finished = false }
+
+let peek t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let looking_at t s =
+  let n = String.length s in
+  t.pos + n <= String.length t.src && String.sub t.src t.pos n = s
+
+let skip t n = t.pos <- t.pos + n
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws t = while (match peek t with Some c -> is_ws c | None -> false) do skip t 1 done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name t =
+  let start = t.pos in
+  (match peek t with
+   | Some c when is_name_start c -> skip t 1
+   | _ -> error t.pos "expected a name");
+  while (match peek t with Some c -> is_name_char c | None -> false) do skip t 1 done;
+  String.sub t.src start (t.pos - start)
+
+let decode_entity t =
+  match String.index_from_opt t.src t.pos ';' with
+  | Some i when i - t.pos <= 10 ->
+    let name = String.sub t.src t.pos (i - t.pos) in
+    t.pos <- i + 1;
+    (match name with
+     | "lt" -> "<"
+     | "gt" -> ">"
+     | "amp" -> "&"
+     | "quot" -> "\""
+     | "apos" -> "'"
+     | _ ->
+       if String.length name > 1 && name.[0] = '#' then
+         let code =
+           try
+             if name.[1] = 'x' || name.[1] = 'X' then
+               int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+             else int_of_string (String.sub name 1 (String.length name - 1))
+           with Failure _ -> error t.pos "bad character reference &%s;" name
+         in
+         if code < 0x80 then String.make 1 (Char.chr code)
+         else begin
+           (* minimal UTF-8 *)
+           let buf = Buffer.create 4 in
+           if code < 0x800 then begin
+             Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else if code < 0x10000 then begin
+             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end;
+           Buffer.contents buf
+         end
+       else error t.pos "unknown entity &%s;" name)
+  | _ -> error t.pos "unterminated entity reference"
+
+let parse_attr_value t =
+  let quote =
+    match peek t with
+    | Some (('"' | '\'') as q) -> skip t 1; q
+    | _ -> error t.pos "expected quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek t with
+    | None -> error t.pos "unterminated attribute value"
+    | Some c when c = quote -> skip t 1
+    | Some '&' ->
+      skip t 1;
+      Buffer.add_string buf (decode_entity t);
+      go ()
+    | Some c ->
+      skip t 1;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let skip_to t marker what =
+  match Str_search.find t.src marker t.pos with
+  | Some i -> t.pos <- i + String.length marker
+  | None -> error t.pos "unterminated %s" what
+
+let rec skip_misc t =
+  skip_ws t;
+  if looking_at t "<!--" then begin
+    skip t 4;
+    skip_to t "-->" "comment";
+    skip_misc t
+  end
+  else if looking_at t "<?" then begin
+    skip t 2;
+    skip_to t "?>" "processing instruction";
+    skip_misc t
+  end
+  else if looking_at t "<!DOCTYPE" then begin
+    (match String.index_from_opt t.src t.pos '>' with
+     | Some i -> t.pos <- i + 1
+     | None -> error t.pos "unterminated doctype");
+    skip_misc t
+  end
+
+let parse_start_tag t : event =
+  skip t 1; (* '<' *)
+  let tag = parse_name t in
+  let rec attrs acc =
+    skip_ws t;
+    match peek t with
+    | Some '>' ->
+      skip t 1;
+      t.stack <- tag :: t.stack;
+      Start_element { tag; attrs = List.rev acc; self_closing = false }
+    | Some '/' when looking_at t "/>" ->
+      skip t 2;
+      t.pending_end <- Some tag;
+      Start_element { tag; attrs = List.rev acc; self_closing = true }
+    | Some c when is_name_start c ->
+      let name = parse_name t in
+      skip_ws t;
+      (match peek t with
+       | Some '=' -> skip t 1
+       | _ -> error t.pos "expected '=' after attribute %S" name);
+      skip_ws t;
+      let v = parse_attr_value t in
+      attrs ((name, v) :: acc)
+    | _ -> error t.pos "malformed start tag <%s" tag
+  in
+  attrs []
+
+let parse_end_tag t : event =
+  skip t 2; (* '</' *)
+  let tag = parse_name t in
+  skip_ws t;
+  (match peek t with
+   | Some '>' -> skip t 1
+   | _ -> error t.pos "malformed end tag </%s" tag);
+  (match t.stack with
+   | top :: rest when top = tag -> t.stack <- rest
+   | top :: _ -> error t.pos "mismatched end tag </%s> for <%s>" tag top
+   | [] -> error t.pos "end tag </%s> with no open element" tag);
+  End_element tag
+
+(* Pull the next event; [None] at end of document. *)
+let next (t : t) : event option =
+  match t.pending_end with
+  | Some tag ->
+    t.pending_end <- None;
+    Some (End_element tag)
+  | None ->
+    if t.finished then None
+    else if not t.started then begin
+      skip_misc t;
+      (match peek t with
+       | Some '<' when not (looking_at t "</") ->
+         t.started <- true;
+         Some (parse_start_tag t)
+       | _ -> error t.pos "expected root element")
+    end
+    else if t.stack = [] && t.pending_end = None then begin
+      skip_misc t;
+      if t.pos <> String.length t.src then error t.pos "trailing content after root element";
+      t.finished <- true;
+      None
+    end
+    else begin
+      let buf = Buffer.create 16 in
+      let rec chars () =
+        match peek t with
+        | None -> error t.pos "unterminated element <%s>" (List.hd t.stack)
+        | Some '<' ->
+          if looking_at t "<!--" then begin
+            flushed_or_markup ()
+          end
+          else if looking_at t "<![CDATA[" then begin
+            skip t 9;
+            let start = t.pos in
+            (match Str_search.find t.src "]]>" start with
+             | Some i ->
+               Buffer.add_string buf (String.sub t.src start (i - start));
+               t.pos <- i + 3
+             | None -> error t.pos "unterminated CDATA section");
+            chars ()
+          end
+          else if looking_at t "<?" then flushed_or_markup ()
+          else if Buffer.length buf > 0 then Some (Chars (Buffer.contents buf))
+          else if looking_at t "</" then Some (parse_end_tag t)
+          else Some (parse_start_tag t)
+        | Some '&' ->
+          skip t 1;
+          Buffer.add_string buf (decode_entity t);
+          chars ()
+        | Some c ->
+          skip t 1;
+          Buffer.add_char buf c;
+          chars ()
+      and flushed_or_markup () =
+        if Buffer.length buf > 0 then Some (Chars (Buffer.contents buf))
+        else begin
+          if looking_at t "<!--" then begin
+            skip t 4;
+            skip_to t "-->" "comment"
+          end
+          else begin
+            skip t 2;
+            skip_to t "?>" "processing instruction"
+          end;
+          chars ()
+        end
+      in
+      chars ()
+    end
+
+(* Fold over all events. *)
+let fold (src : string) ~(init : 'a) ~(f : 'a -> event -> 'a) : ('a, string) result =
+  try
+    let t = create src in
+    let rec go acc =
+      match next t with
+      | None -> Ok acc
+      | Some ev -> go (f acc ev)
+    in
+    go init
+  with Error (msg, pos) -> Result.Error (Fmt.str "XML error at offset %d: %s" pos msg)
+
+(* Build a DOM through the pull interface — cross-checked against
+   {!Xml_parser.parse} in the tests. *)
+let to_tree (src : string) : (Xml.t, string) result =
+  (* stack of (element under construction, reversed children) *)
+  let build stack ev =
+    match ev, stack with
+    | Start_element { tag; attrs; _ }, _ -> ((tag, attrs), []) :: stack
+    | Chars s, (elt, kids) :: rest -> (elt, Xml.Text s :: kids) :: rest
+    | Chars _, [] -> stack (* cannot happen: chars outside root *)
+    | End_element _, ((tag, attrs), kids) :: rest ->
+      let node = Xml.Element { tag; attrs; children = List.rev kids } in
+      (match rest with
+       | (elt, kids') :: rest' -> (elt, node :: kids') :: rest'
+       | [] -> (("#done", []), [ node ]) :: [])
+    | End_element _, [] -> stack
+  in
+  match fold src ~init:[] ~f:build with
+  | Error _ as e -> e
+  | Ok [ (("#done", _), [ root ]) ] -> Ok root
+  | Ok _ -> Error "XML error: unbalanced document"

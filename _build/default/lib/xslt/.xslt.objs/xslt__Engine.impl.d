@@ -1,0 +1,1 @@
+lib/xslt/engine.ml: Buffer Fmt List String Stylesheet Xmlkit Xpath

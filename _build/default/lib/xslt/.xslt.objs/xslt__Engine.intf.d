@@ -1,0 +1,1 @@
+lib/xslt/engine.mli: Stylesheet Xmlkit

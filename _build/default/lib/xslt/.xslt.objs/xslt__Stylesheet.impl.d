@@ -1,0 +1,1 @@
+lib/xslt/stylesheet.ml: Float Fmt Int List String Xmlkit

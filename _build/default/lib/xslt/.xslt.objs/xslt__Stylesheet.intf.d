@@ -1,0 +1,1 @@
+lib/xslt/stylesheet.mli: Xmlkit

@@ -1,0 +1,1 @@
+lib/xslt/xpath.ml: Float Fmt List String Xmlkit

@@ -1,0 +1,1 @@
+lib/xslt/xpath.mli: Xmlkit

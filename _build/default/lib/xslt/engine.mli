@@ -1,0 +1,14 @@
+(** The XSLT execution engine: applies a stylesheet to a document, standing
+    in for libxslt in the Figure 10 baseline. *)
+
+module Xml = Xmlkit.Xml
+
+exception Error of string
+
+(** Apply the stylesheet; returns the result nodes (usually one element).
+    Built-in rules recurse through unmatched elements and copy text out. *)
+val apply : Stylesheet.t -> Xml.t -> Xml.t list
+
+(** Like {!apply} but expects (at least) one root element; multiple roots
+    are wrapped in a [<result>] fragment. *)
+val apply_to_element : Stylesheet.t -> Xml.t -> Xml.t

@@ -1,0 +1,156 @@
+module Xml = Xmlkit.Xml
+module Xml_parser = Xmlkit.Xml_parser
+
+(* XSLT stylesheet representation and parsing (from an XML document).
+
+   Supported instruction set — enough to express the paper's message
+   transformations, business-messaging stylesheets and identity transforms:
+   template/match, apply-templates, value-of, copy-of, for-each, if,
+   choose/when/otherwise, element, attribute, text, plus literal result
+   elements with {path} attribute value templates. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* Match patterns: an optional root anchor and a chain of node tests the
+   node and its nearest ancestors must satisfy, e.g. "/", "member_list",
+   "ChannelOpenResponse/member_list", "*", "text()". *)
+type ptest =
+  | Pname of string
+  | Pany
+  | Ptext
+
+type pattern = {
+  anchored : bool;
+  tests : ptest list; (* outermost first *)
+}
+
+let parse_pattern (src : string) : pattern =
+  let src = String.trim src in
+  if src = "/" then { anchored = true; tests = [] }
+  else begin
+    let anchored = String.length src > 0 && src.[0] = '/' in
+    let body = if anchored then String.sub src 1 (String.length src - 1) else src in
+    let parts = String.split_on_char '/' body in
+    let tests =
+      List.map
+        (fun part ->
+           match String.trim part with
+           | "*" -> Pany
+           | "text()" -> Ptext
+           | "" -> error "empty step in match pattern %S" src
+           | name -> Pname name)
+        parts
+    in
+    { anchored; tests }
+  end
+
+(* Template priority, loosely following XSLT's default priorities: more
+   specific patterns win. *)
+let priority (p : pattern) : float =
+  let base = float_of_int (List.length p.tests) in
+  let anchor = if p.anchored then 10.0 else 0.0 in
+  let spec =
+    match List.rev p.tests with
+    | Pname _ :: _ -> 0.5
+    | Ptext :: _ -> 0.25
+    | Pany :: _ | [] -> 0.0
+  in
+  anchor +. base +. spec
+
+type template = {
+  pattern : pattern;
+  prio : float;
+  order : int; (* document order, later wins ties as in XSLT *)
+  body : Xml.t list;
+}
+
+type t = {
+  templates : template list; (* sorted best-first *)
+}
+
+(* Strip whitespace-only text nodes from stylesheet bodies (as XSLT does),
+   keeping the content of xsl:text verbatim. *)
+let rec strip_body (nodes : Xml.t list) : Xml.t list =
+  List.filter_map
+    (fun node ->
+       match node with
+       | Xml.Text s -> if Xml.is_blank s then None else Some node
+       | Xml.Element e when e.tag = "xsl:text" -> Some node
+       | Xml.Element e -> Some (Xml.Element { e with children = strip_body e.children }))
+    nodes
+
+let of_xml (doc : Xml.t) : t =
+  match doc with
+  | Xml.Element root when root.tag = "xsl:stylesheet" || root.tag = "xsl:transform" ->
+    let templates =
+      List.filteri (fun _ _ -> true) root.children
+      |> List.filter_map (function
+          | Xml.Element e when e.tag = "xsl:template" -> Some e
+          | Xml.Element e when e.tag <> "xsl:output" && String.length e.tag > 4
+                            && String.sub e.tag 0 4 = "xsl:" ->
+            error "unsupported top-level instruction <%s>" e.tag
+          | _ -> None)
+      |> List.mapi (fun order (e : Xml.element) ->
+          match Xml.attr e "match" with
+          | None -> error "xsl:template requires a match attribute"
+          | Some m ->
+            let pattern = parse_pattern m in
+            let prio =
+              match Xml.attr e "priority" with
+              | Some p -> float_of_string p
+              | None -> priority pattern
+            in
+            { pattern; prio; order; body = strip_body e.children })
+    in
+    let sorted =
+      List.stable_sort
+        (fun a b ->
+           match Float.compare b.prio a.prio with
+           | 0 -> Int.compare b.order a.order
+           | c -> c)
+        templates
+    in
+    { templates = sorted }
+  | Xml.Element e -> error "expected <xsl:stylesheet>, got <%s>" e.tag
+  | Xml.Text _ -> error "expected <xsl:stylesheet>"
+
+let of_string (src : string) : t =
+  match Xml_parser.parse src with
+  | Ok doc -> of_xml doc
+  | Error msg -> error "stylesheet: %s" msg
+
+(* Does [pattern] match a node with the given tag (None for text nodes),
+   under the given ancestor tags (nearest first)?  [at_root] says whether
+   the node is the document root element. *)
+let matches (p : pattern) ~(tag : string option) ~(ancestors : string list) : bool =
+  let test_ok t (tag : string option) =
+    match t, tag with
+    | Pname n, Some tag -> n = tag
+    | Pany, Some _ -> true
+    | Ptext, None -> true
+    | (Pname _ | Pany), None | Ptext, Some _ -> false
+  in
+  match List.rev p.tests with
+  | [] -> (* pattern "/" matches only the root, represented by tag = None &
+             ancestors = [] handled by the engine directly *) false
+  | last :: rest_rev ->
+    test_ok last tag
+    && (let rec up tests ancs =
+          match tests, ancs with
+          | [], _ -> true
+          | t :: ts, a :: ancs -> test_ok t (Some a) && up ts ancs
+          | _ :: _, [] -> false
+        in
+        up rest_rev ancestors)
+    && (not p.anchored
+        || List.length ancestors = List.length p.tests - 1)
+
+(* Best template for a node; templates are pre-sorted best-first. *)
+let find (t : t) ~(tag : string option) ~(ancestors : string list) : template option =
+  List.find_opt (fun tpl -> matches tpl.pattern ~tag ~ancestors) t.templates
+
+(* Template matching the document root ("/" pattern). *)
+let find_root (t : t) : template option =
+  List.find_opt (fun tpl -> tpl.pattern.anchored && tpl.pattern.tests = []) t.templates

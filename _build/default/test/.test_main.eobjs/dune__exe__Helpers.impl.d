@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Echo Float Fmt List Pbio Printf Ptype QCheck QCheck_alcotest String Value Xmlkit

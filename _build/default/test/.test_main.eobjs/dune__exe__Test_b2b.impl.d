@@ -1,0 +1,1 @@
+test/test_b2b.ml: Alcotest B2b Fmt Helpers List Morph Pbio Printf Transport Value Xmlkit Xslt

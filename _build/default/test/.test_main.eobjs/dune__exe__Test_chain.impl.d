@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Helpers List Meta Morph Pbio Printf Ptype_dsl String Value

@@ -1,0 +1,1 @@
+test/test_convert.ml: Alcotest Convert Helpers Pbio Ptype Ptype_dsl QCheck Value

@@ -1,0 +1,1 @@
+test/test_diff_maxmatch.ml: Alcotest Helpers List Morph Pbio Printf Ptype_dsl QCheck String

@@ -1,0 +1,1 @@
+test/test_echo.ml: Alcotest Array Echo List Morph Pbio Printf Transport

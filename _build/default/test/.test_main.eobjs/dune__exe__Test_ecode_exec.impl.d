@@ -1,0 +1,1 @@
+test/test_ecode_exec.ml: Alcotest Ecode Helpers Pbio Printf Ptype Ptype_dsl QCheck String Value

@@ -1,0 +1,1 @@
+test/test_ecode_syntax.ml: Alcotest B2b Echo Ecode Helpers List Pbio Ptype Ptype_dsl

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Echo Helpers List Meta Morph Pbio Printf Ptype_dsl Transport Value Wire

@@ -1,0 +1,1 @@
+test/test_meta_registry.ml: Alcotest Helpers List Meta Pbio Ptype Ptype_dsl QCheck Registry String

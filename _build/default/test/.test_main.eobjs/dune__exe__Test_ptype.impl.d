@@ -1,0 +1,1 @@
+test/test_ptype.ml: Alcotest Helpers List Pbio Ptype Ptype_dsl QCheck Result

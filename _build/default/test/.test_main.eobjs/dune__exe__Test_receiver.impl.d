@@ -1,0 +1,1 @@
+test/test_receiver.ml: Alcotest Helpers List Meta Morph Pbio Ptype Ptype_dsl QCheck Value Wire

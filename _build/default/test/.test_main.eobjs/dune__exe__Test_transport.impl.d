@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Float Helpers List Meta Pbio Ptype_dsl QCheck String Transport Value Wire

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Char Helpers Pbio Ptype Ptype_dsl QCheck Sizeof Value

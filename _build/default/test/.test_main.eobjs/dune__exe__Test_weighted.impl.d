@@ -1,0 +1,1 @@
+test/test_weighted.ml: Alcotest Float Helpers List Morph Pbio Ptype Ptype_dsl QCheck Value

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes Char Helpers List Pbio Ptype_dsl QCheck Sizeof String Value Wire

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Helpers List Pbio Ptype Ptype_dsl QCheck String Value Wire Xmlkit

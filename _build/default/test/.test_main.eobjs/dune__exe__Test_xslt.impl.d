@@ -1,0 +1,1 @@
+test/test_xslt.ml: Alcotest Array Echo Helpers Lazy List Morph Pbio Printf QCheck String Xmlkit Xslt

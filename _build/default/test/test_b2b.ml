@@ -1,0 +1,150 @@
+(* Tests for the business-process-messaging scenario (Section 4.2): the two
+   broker configurations must produce equivalent application-level results,
+   with the conversion work in different places. *)
+
+open Pbio
+
+let test_order_xform_fields () =
+  let order = B2b.Formats.gen_order 1 in
+  let converted =
+    Helpers.check_ok
+      (Morph.morph_to B2b.Formats.order_with_xform ~target:B2b.Formats.supplier_order order)
+  in
+  Alcotest.(check int) "po = order_id" 1001 (Value.to_int (Value.get_field converted "po"));
+  Alcotest.(check string) "part = sku"
+    (Value.to_string_exn (Value.get_field order "sku"))
+    (Value.to_string_exn (Value.get_field converted "part"));
+  let cents = Value.to_int (Value.get_field converted "price_cents") in
+  let price = Value.to_float (Value.get_field order "unit_price") in
+  Alcotest.(check int) "cents rounded" (int_of_float ((price *. 100.0) +. 0.5)) cents;
+  Alcotest.(check string) "address flattened" "101 Peachtree St, Atlanta 30332"
+    (Value.to_string_exn (Value.get_field converted "deliver_to"));
+  Alcotest.(check string) "notes" "customer: customer-001"
+    (Value.to_string_exn (Value.get_field converted "notes"))
+
+let test_status_xform_enum_to_string () =
+  List.iter
+    (fun (state, expected) ->
+       let status = B2b.Formats.supplier_status_value ~po:5 ~state ~eta_days:2 in
+       let converted =
+         Helpers.check_ok
+           (Morph.morph_to B2b.Formats.status_with_xform ~target:B2b.Formats.retail_status
+              status)
+       in
+       Alcotest.(check string) ("state " ^ state) expected
+         (Value.to_string_exn (Value.get_field converted "status"));
+       Alcotest.(check int) "order id" 5 (Value.to_int (Value.get_field converted "order_id"));
+       Alcotest.(check int) "days" 2
+         (Value.to_int (Value.get_field converted "estimated_days")))
+    [ ("received", "received"); ("shipped", "shipped"); ("backorder", "backorder") ]
+
+let test_xslt_order_sheet_equals_morphing () =
+  let order = B2b.Formats.gen_order 3 in
+  let morphed =
+    Helpers.check_ok
+      (Morph.morph_to B2b.Formats.order_with_xform ~target:B2b.Formats.supplier_order order)
+  in
+  let sheet = Xslt.Stylesheet.of_string B2b.Formats.retail_to_supplier_order_xslt in
+  let xml = Xmlkit.Pbio_xml.to_xml B2b.Formats.retail_order order in
+  let out = Xslt.Engine.apply_to_element sheet xml in
+  let via_xslt = Xmlkit.Pbio_xml.of_xml B2b.Formats.supplier_order out in
+  Alcotest.check Helpers.value "XSLT equals Ecode" morphed via_xslt
+
+let test_xslt_status_sheet_equals_morphing () =
+  let status = B2b.Formats.gen_status_for ~po:9 4 in
+  let morphed =
+    Helpers.check_ok
+      (Morph.morph_to B2b.Formats.status_with_xform ~target:B2b.Formats.retail_status status)
+  in
+  let sheet = Xslt.Stylesheet.of_string B2b.Formats.supplier_to_retail_status_xslt in
+  let xml = Xmlkit.Pbio_xml.to_xml B2b.Formats.supplier_status status in
+  let out = Xslt.Engine.apply_to_element sheet xml in
+  let via_xslt = Xmlkit.Pbio_xml.of_xml B2b.Formats.retail_status out in
+  Alcotest.check Helpers.value "XSLT equals Ecode" morphed via_xslt
+
+let run_mode mode = B2b.Scenario.run ~orders:25 mode
+
+let test_both_modes_complete () =
+  let xslt = run_mode B2b.Broker.Xslt_at_broker in
+  let morph = run_mode B2b.Broker.Morph_at_receiver in
+  Alcotest.(check int) "xslt mode statuses" 25 xslt.B2b.Scenario.statuses_received;
+  Alcotest.(check int) "morph mode statuses" 25 morph.B2b.Scenario.statuses_received
+
+let test_work_placement () =
+  let xslt = run_mode B2b.Broker.Xslt_at_broker in
+  let morph = run_mode B2b.Broker.Morph_at_receiver in
+  (* 25 orders + 25 statuses, each converted exactly once *)
+  Alcotest.(check int) "broker does all transforms in XSLT mode" 50
+    xslt.B2b.Scenario.broker_transforms;
+  Alcotest.(check int) "no receiver morphs in XSLT mode" 0 xslt.B2b.Scenario.receiver_morphs;
+  Alcotest.(check int) "broker does none in morph mode" 0
+    morph.B2b.Scenario.broker_transforms;
+  Alcotest.(check int) "receivers morph in morph mode" 50
+    morph.B2b.Scenario.receiver_morphs
+
+let test_modes_agree_on_application_state () =
+  (* drive the two modes directly and compare what the supplier recorded *)
+  let record_orders mode =
+    let net = Transport.Netsim.create () in
+    let broker = B2b.Broker.create net ~host:"broker" ~port:1 mode in
+    let retailer =
+      B2b.Retailer.create net ~host:"retailer" ~port:2 ~broker:(B2b.Broker.contact broker) mode
+    in
+    let supplier =
+      B2b.Supplier.create net ~host:"supplier" ~port:3 ~broker:(B2b.Broker.contact broker) mode
+    in
+    B2b.Broker.connect broker ~retailer:(B2b.Retailer.contact retailer)
+      ~supplier:(B2b.Supplier.contact supplier);
+    for i = 1 to 10 do
+      B2b.Retailer.send_order retailer (B2b.Formats.gen_order i)
+    done;
+    ignore (Transport.Netsim.run net);
+    (List.rev (B2b.Supplier.orders supplier), List.rev (B2b.Retailer.statuses retailer))
+  in
+  let orders_x, statuses_x = record_orders B2b.Broker.Xslt_at_broker in
+  let orders_m, statuses_m = record_orders B2b.Broker.Morph_at_receiver in
+  let order_t =
+    Alcotest.testable
+      (fun ppf (po, part, count, cents) ->
+         Fmt.pf ppf "(%d, %s, %d, %d)" po part count cents)
+      ( = )
+  in
+  Alcotest.(check (list order_t)) "suppliers saw the same orders" orders_x orders_m;
+  Alcotest.(check (list (triple int string int))) "retailers saw the same statuses"
+    statuses_x statuses_m
+
+let test_morph_mode_smaller_wire () =
+  (* binary + morphing moves fewer bytes than XML through the broker *)
+  let xslt = run_mode B2b.Broker.Xslt_at_broker in
+  let morph = run_mode B2b.Broker.Morph_at_receiver in
+  Alcotest.(check bool) "fewer bytes on the wire" true
+    (morph.B2b.Scenario.network_bytes < xslt.B2b.Scenario.network_bytes)
+
+let test_multi_peer_routing () =
+  List.iter
+    (fun mode ->
+       let results = B2b.Scenario.run_multi ~retailers:3 ~suppliers:2 ~orders_each:8 mode in
+       List.iteri
+         (fun i (placed, answered) ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "retailer %d got exactly its own statuses" i)
+              placed answered)
+         results)
+    [ B2b.Broker.Xslt_at_broker; B2b.Broker.Morph_at_receiver ]
+
+let suite =
+  [
+    Alcotest.test_case "order transformation fields" `Quick test_order_xform_fields;
+    Alcotest.test_case "status transformation (enum -> string)" `Quick
+      test_status_xform_enum_to_string;
+    Alcotest.test_case "order: XSLT sheet = Ecode morphing" `Quick
+      test_xslt_order_sheet_equals_morphing;
+    Alcotest.test_case "status: XSLT sheet = Ecode morphing" `Quick
+      test_xslt_status_sheet_equals_morphing;
+    Alcotest.test_case "both broker modes complete" `Quick test_both_modes_complete;
+    Alcotest.test_case "work placement per mode" `Quick test_work_placement;
+    Alcotest.test_case "modes agree on application state" `Quick
+      test_modes_agree_on_application_state;
+    Alcotest.test_case "morphing mode moves fewer bytes" `Quick test_morph_mode_smaller_wire;
+    Alcotest.test_case "multi-peer content routing" `Quick test_multi_peer_routing;
+  ]

@@ -1,0 +1,195 @@
+(* Multi-hop transformation chains (Figure 1: Rev 2.0 -> Rev 1.0 ->
+   Rev 0.0): a format ships its whole retro-transformation lineage and
+   receivers compose as many hops as they need. *)
+
+open Pbio
+module Receiver = Morph.Receiver
+
+let fmt = Ptype_dsl.format_of_string_exn
+
+(* Three revisions of a sensor report. *)
+let rev0 = fmt "format Report { int total; }"
+let rev1 = fmt "format Report { int ok; int failed; }"
+let rev2 = fmt "format Report { int ok; int failed; int retried; string site; }"
+
+let rev2_to_rev1 = "old.ok = new.ok; old.failed = new.failed + new.retried;"
+let rev1_to_rev0 = "old.total = new.ok + new.failed;"
+
+(* Rev 2.0's meta-data carries its whole lineage. *)
+let rev2_meta =
+  Morph.meta rev2
+    ~xforms:
+      [
+        Morph.xform ~target:rev1 rev2_to_rev1;
+        Morph.xform ~source:rev1 ~target:rev0 rev1_to_rev0;
+      ]
+
+let sample =
+  Value.record
+    [
+      ("ok", Value.Int 10);
+      ("failed", Value.Int 2);
+      ("retried", Value.Int 3);
+      ("site", Value.String "cc.gatech.edu");
+    ]
+
+let test_two_hop_chain () =
+  (* a receiver that only understands Rev 0.0 composes both hops *)
+  let r = Receiver.create () in
+  let got = ref [] in
+  Receiver.register r rev0 (fun v -> got := v :: !got);
+  (match Receiver.deliver r rev2_meta sample with
+   | Receiver.Delivered { via = Receiver.Morphed _; _ } -> ()
+   | o -> Alcotest.failf "expected Morphed, got %a" Receiver.pp_outcome o);
+  (* ok=10, failed=2+3=5, total=15 *)
+  Alcotest.(check int) "composed arithmetic" 15
+    (Value.to_int (Value.get_field (List.hd !got) "total"))
+
+let test_single_hop_still_preferred () =
+  (* a Rev 1.0 receiver uses only the first hop *)
+  let r = Receiver.create () in
+  let got = ref [] in
+  Receiver.register r rev1 (fun v -> got := v :: !got);
+  (match Receiver.deliver r rev2_meta sample with
+   | Receiver.Delivered _ -> ()
+   | o -> Alcotest.failf "expected delivery, got %a" Receiver.pp_outcome o);
+  Alcotest.(check int) "one hop: failed includes retries" 5
+    (Value.to_int (Value.get_field (List.hd !got) "failed"))
+
+let test_shortest_chain_wins () =
+  (* both Rev 1.0 and Rev 0.0 registered: both are perfect targets, the
+     shorter chain (fewer hops, earlier in reachable order) is chosen *)
+  let r = Receiver.create () in
+  let hit1 = ref 0 and hit0 = ref 0 in
+  Receiver.register r rev0 (fun _ -> incr hit0);
+  Receiver.register r rev1 (fun _ -> incr hit1);
+  ignore (Receiver.deliver r rev2_meta sample);
+  Alcotest.(check int) "one-hop target used" 1 !hit1;
+  Alcotest.(check int) "two-hop target unused" 0 !hit0
+
+let test_spec_order_irrelevant () =
+  let shuffled =
+    Morph.meta rev2
+      ~xforms:
+        [
+          Morph.xform ~source:rev1 ~target:rev0 rev1_to_rev0;
+          Morph.xform ~target:rev1 rev2_to_rev1;
+        ]
+  in
+  let out = Helpers.check_ok (Morph.morph_to shuffled ~target:rev0 sample) in
+  Alcotest.(check int) "order of specs does not matter" 15
+    (Value.to_int (Value.get_field out "total"))
+
+let test_chain_then_conversion () =
+  (* the registered format is near Rev 0.0 but not identical: chain then
+     structural conversion *)
+  let registered = fmt "format Report { int total; string unit = \"events\"; }" in
+  let r = Receiver.create () in
+  let got = ref [] in
+  Receiver.register r registered (fun v -> got := v :: !got);
+  (match Receiver.deliver r rev2_meta sample with
+   | Receiver.Delivered { via = Receiver.Morphed_converted _; _ } -> ()
+   | o -> Alcotest.failf "expected Morphed_converted, got %a" Receiver.pp_outcome o);
+  let out = List.hd !got in
+  Alcotest.(check int) "total through chain" 15 (Value.to_int (Value.get_field out "total"));
+  Alcotest.(check string) "default filled" "events"
+    (Value.to_string_exn (Value.get_field out "unit"))
+
+let test_cycles_terminate () =
+  (* a cyclic transformation graph must not loop the planner *)
+  let a = fmt "format Cyc { int x; }" in
+  let b = fmt "format Cyc { int y; }" in
+  let meta =
+    Morph.meta a
+      ~xforms:
+        [
+          Morph.xform ~target:b "old.y = new.x;";
+          Morph.xform ~source:b ~target:a "old.x = new.y;";
+        ]
+  in
+  let r = Receiver.create () in
+  let got = ref [] in
+  Receiver.register r b (fun v -> got := v :: !got);
+  (match Receiver.deliver r meta (Value.record [ ("x", Value.Int 7) ]) with
+   | Receiver.Delivered _ -> ()
+   | o -> Alcotest.failf "expected delivery, got %a" Receiver.pp_outcome o);
+  Alcotest.(check int) "value crossed the cycle once" 7
+    (Value.to_int (Value.get_field (List.hd !got) "y"))
+
+let test_broken_hop_rejects () =
+  (* a broken second hop must reject cleanly *)
+  let meta =
+    Morph.meta rev2
+      ~xforms:
+        [
+          Morph.xform ~target:rev1 rev2_to_rev1;
+          Morph.xform ~source:rev1 ~target:rev0 "old.total = new.nonexistent;";
+        ]
+  in
+  let r = Receiver.create () in
+  Receiver.register r rev0 (fun _ -> ());
+  (match Receiver.deliver r meta sample with
+   | Receiver.Rejected _ -> ()
+   | o -> Alcotest.failf "expected rejection, got %a" Receiver.pp_outcome o)
+
+let test_chain_meta_survives_wire () =
+  (* sources round-trip through the out-of-band encoding *)
+  let m = Helpers.check_ok (Meta.decode (Meta.encode rev2_meta)) in
+  Alcotest.(check bool) "meta equal" true (Meta.equal rev2_meta m);
+  let out = Helpers.check_ok (Morph.morph_to m ~target:rev0 sample) in
+  Alcotest.(check int) "morphs from decoded meta" 15
+    (Value.to_int (Value.get_field out "total"))
+
+let test_long_chain () =
+  (* a 5-revision lineage, each dropping one field *)
+  let revs =
+    List.init 6 (fun k ->
+        let fields = List.init (k + 1) (fun i -> Printf.sprintf "f%d int_field_%d;" 0 i) in
+        ignore fields;
+        fmt
+          (Printf.sprintf "format Lineage { %s }"
+             (String.concat " "
+                (List.init (k + 1) (fun i -> Printf.sprintf "int g%d;" i)))))
+  in
+  let rev k = List.nth revs k in
+  (* hop k+1 -> k: drop field g(k+1), add its value into g0 *)
+  let hops =
+    List.init 5 (fun k ->
+        let src = rev (k + 1) and dst = rev k in
+        let code =
+          String.concat "\n"
+            (Printf.sprintf "old.g0 = new.g0 + new.g%d;" (k + 1)
+             :: List.init k (fun i -> Printf.sprintf "old.g%d = new.g%d;" (i + 1) (i + 1)))
+        in
+        Morph.xform ~source:src ~target:dst code)
+  in
+  let newest = rev 5 in
+  let meta =
+    (* sources are explicit everywhere; the base-format hop uses None *)
+    Morph.meta newest
+      ~xforms:
+        (List.mapi
+           (fun i (x : Meta.xform_spec) ->
+              if i = 4 then { x with Meta.source = None } else x)
+           hops)
+  in
+  let v =
+    Value.record (List.init 6 (fun i -> (Printf.sprintf "g%d" i, Value.Int (i + 1))))
+  in
+  let out = Helpers.check_ok (Morph.morph_to meta ~target:(rev 0) v) in
+  (* all values folded into g0: 1+2+3+4+5+6 = 21 *)
+  Alcotest.(check int) "five hops composed" 21
+    (Value.to_int (Value.get_field out "g0"))
+
+let suite =
+  [
+    Alcotest.test_case "two-hop chain composes" `Quick test_two_hop_chain;
+    Alcotest.test_case "single hop still works" `Quick test_single_hop_still_preferred;
+    Alcotest.test_case "shortest chain wins" `Quick test_shortest_chain_wins;
+    Alcotest.test_case "spec order irrelevant" `Quick test_spec_order_irrelevant;
+    Alcotest.test_case "chain then structural conversion" `Quick test_chain_then_conversion;
+    Alcotest.test_case "cyclic graphs terminate" `Quick test_cycles_terminate;
+    Alcotest.test_case "broken hop rejects" `Quick test_broken_hop_rejects;
+    Alcotest.test_case "chain meta survives the wire" `Quick test_chain_meta_survives_wire;
+    Alcotest.test_case "five-hop lineage" `Quick test_long_chain;
+  ]

@@ -1,0 +1,208 @@
+(* Tests for Algorithm 1 (diff), the Mismatch Ratio and MaxMatch. *)
+
+open Pbio
+module Diff = Morph.Diff
+module Maxmatch = Morph.Maxmatch
+
+let fmt = Ptype_dsl.format_of_string_exn
+
+let test_diff_identical () =
+  Alcotest.(check int) "self" 0 (Diff.diff Helpers.response_v2 Helpers.response_v2);
+  Alcotest.(check bool) "perfect" true
+    (Diff.perfect_match Helpers.response_v2 Helpers.response_v2)
+
+let test_diff_paper_formats () =
+  (* v2 has is_source/is_sink that v1 lacks: diff(v2,v1) = 2.
+     v1 has src_count/src_list(3)/sink_count/sink_list(3) that v2 lacks:
+     diff(v1,v2) = 8. *)
+  Alcotest.(check int) "diff(v2,v1)" 2 (Diff.diff Helpers.response_v2 Helpers.response_v1);
+  Alcotest.(check int) "diff(v1,v2)" 8 (Diff.diff Helpers.response_v1 Helpers.response_v2);
+  Alcotest.(check (float 1e-9)) "Mr(v2,v1) = 8/13" (8.0 /. 13.0)
+    (Diff.mismatch_ratio Helpers.response_v2 Helpers.response_v1);
+  Alcotest.(check (float 1e-9)) "Mr(v1,v2) = 2/7" (2.0 /. 7.0)
+    (Diff.mismatch_ratio Helpers.response_v1 Helpers.response_v2)
+
+let test_diff_basic_type_must_match () =
+  let a = fmt "format F { int x; }" in
+  let b = fmt "format F { float x; }" in
+  Alcotest.(check int) "same name, different type" 1 (Diff.diff a b)
+
+let test_diff_field_order_irrelevant () =
+  let a = fmt "format F { int x; string s; }" in
+  let b = fmt "format F { string s; int x; }" in
+  Alcotest.(check int) "reorder is free" 0 (Diff.diff a b);
+  Alcotest.(check bool) "perfect" true (Diff.perfect_match a b)
+
+let test_diff_complex_missing_charges_weight () =
+  let a = fmt "record In { int a; int b; int c; } format F { In inner; }" in
+  let b = fmt "format F { int other; }" in
+  Alcotest.(check int) "whole weight charged" 3 (Diff.diff a b)
+
+let test_diff_complex_recurses () =
+  let a = fmt "record In { int a; int b; } format F { In inner; int top; }" in
+  let b = fmt "record In { int a; } format F { In inner; int top; }" in
+  Alcotest.(check int) "nested diff" 1 (Diff.diff a b);
+  Alcotest.(check int) "other direction" 0 (Diff.diff b a)
+
+let test_diff_arrays () =
+  let a = fmt "record E { int x; int y; } format F { int n; E xs[n]; }" in
+  let b = fmt "record E { int x; } format F { int n; E xs[n]; }" in
+  Alcotest.(check int) "array elems recurse" 1 (Diff.diff a b);
+  let c = fmt "format F { int n; float xs[3]; }" in
+  let d = fmt "format F { int n; int xs[3]; }" in
+  Alcotest.(check int) "basic elem mismatch" 1 (Diff.diff c d)
+
+let test_diff_kind_mismatch () =
+  (* same field name, one a record and one basic: no match *)
+  let a = fmt "record In { int a; int b; } format F { In x; }" in
+  let b = fmt "format F { int x; }" in
+  Alcotest.(check int) "record vs basic" 2 (Diff.diff a b);
+  Alcotest.(check int) "basic vs record" 1 (Diff.diff b a)
+
+let test_mismatch_ratio_normalises () =
+  (* the paper's example: a 2-field total mismatch is worse than a wide pair
+     with 4 uncommon fields *)
+  let t1 = fmt "format F { int a; }" in
+  let t2 = fmt "format F { int b; }" in
+  let wide_common =
+    String.concat " " (List.init 100 (fun i -> Printf.sprintf "int c%d;" i))
+  in
+  let w1 = fmt ("format F { " ^ wide_common ^ " int only1; int only2; }") in
+  let w2 = fmt ("format F { " ^ wide_common ^ " int only3; int only4; }") in
+  Alcotest.(check bool) "tiny pair has smaller diff" true
+    (Diff.diff t1 t2 < Diff.diff w1 w2);
+  Alcotest.(check bool) "wide pair has smaller Mr" true
+    (Diff.mismatch_ratio w1 w2 < Diff.mismatch_ratio t1 t2)
+
+(* --- MaxMatch ----------------------------------------------------------------- *)
+
+let test_maxmatch_prefers_low_ratio () =
+  let t1 = fmt "format F { int a; }" in
+  let t2 = fmt "format F { int b; }" in
+  let w1 = fmt "format F { int c0; int c1; int c2; int c3; int only1; }" in
+  let w2 = fmt "format F { int c0; int c1; int c2; int c3; int only2; }" in
+  match Maxmatch.max_match [ t1; w1 ] [ t2; w2 ] with
+  | Some m ->
+    Alcotest.check Helpers.record_t "picks the wide f1" w1 m.Maxmatch.f1;
+    Alcotest.check Helpers.record_t "picks the wide f2" w2 m.Maxmatch.f2
+  | None -> Alcotest.fail "expected a match"
+
+let test_maxmatch_thresholds () =
+  let a = fmt "format F { int x; int y; }" in
+  let b = fmt "format F { int x; int z; }" in
+  (* diff(a,b) = 1, Mr(a,b) = 1/2 *)
+  let loose = { Maxmatch.diff_threshold = 1; mismatch_threshold = 0.5 } in
+  Alcotest.(check bool) "within thresholds" true
+    (Maxmatch.max_match ~thresholds:loose [ a ] [ b ] <> None);
+  let tight_diff = { Maxmatch.diff_threshold = 0; mismatch_threshold = 0.5 } in
+  Alcotest.(check bool) "diff threshold rejects" true
+    (Maxmatch.max_match ~thresholds:tight_diff [ a ] [ b ] = None);
+  let tight_ratio = { Maxmatch.diff_threshold = 1; mismatch_threshold = 0.4 } in
+  Alcotest.(check bool) "ratio threshold rejects" true
+    (Maxmatch.max_match ~thresholds:tight_ratio [ a ] [ b ] = None)
+
+let test_maxmatch_strict_only_perfect () =
+  let a = fmt "format F { int x; }" in
+  let b = fmt "format F { int x; }" in
+  let c = fmt "format F { int x; int y; }" in
+  Alcotest.(check bool) "perfect accepted" true
+    (Maxmatch.max_match ~thresholds:Maxmatch.strict_thresholds [ a ] [ b ] <> None);
+  Alcotest.(check bool) "imperfect rejected" true
+    (Maxmatch.max_match ~thresholds:Maxmatch.strict_thresholds [ c ] [ b ] = None)
+
+let test_maxmatch_tie_breaking_on_diff () =
+  (* equal ratios: the pair with lower diff12 wins *)
+  let f1a = fmt "format F { int a; int b; int extra1; int extra2; }" in
+  let f1b = fmt "format F { int a; int b; }" in
+  let f2 = fmt "format F { int a; int b; int c; int d; }" in
+  (* Mr(f1a,f2) = diff(f2,f1a)/W = 2/4; Mr(f1b,f2) = 2/4; diff(f1a,f2)=2, diff(f1b,f2)=0 *)
+  match Maxmatch.max_match [ f1a; f1b ] [ f2 ] with
+  | Some m -> Alcotest.check Helpers.record_t "lower diff wins" f1b m.Maxmatch.f1
+  | None -> Alcotest.fail "expected a match"
+
+let test_ranked_sorted () =
+  let a = fmt "format F { int x; }" in
+  let b = fmt "format F { int x; int y; }" in
+  let c = fmt "format F { int x; int y; int z; }" in
+  let thresholds = { Maxmatch.diff_threshold = 5; mismatch_threshold = 1.0 } in
+  let ranked = Maxmatch.ranked ~thresholds [ a; b; c ] [ a; b; c ] in
+  Alcotest.(check bool) "nonempty" true (ranked <> []);
+  let rec is_sorted = function
+    | a :: (b :: _ as rest) ->
+      (a.Maxmatch.ratio < b.Maxmatch.ratio
+       || (a.Maxmatch.ratio = b.Maxmatch.ratio && a.Maxmatch.diff12 <= b.Maxmatch.diff12))
+      && is_sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "best-first" true (is_sorted ranked)
+
+let test_maxmatch_empty_sets () =
+  Alcotest.(check bool) "empty f1" true (Maxmatch.max_match [] [ Helpers.response_v1 ] = None);
+  Alcotest.(check bool) "empty f2" true (Maxmatch.max_match [ Helpers.response_v1 ] [] = None)
+
+(* --- properties ---------------------------------------------------------------- *)
+
+let prop_diff_self_zero =
+  QCheck.Test.make ~name:"diff(f, f) = 0" ~count:300 Helpers.arb_format
+    (fun r -> Diff.diff r r = 0)
+
+let prop_diff_nonnegative_bounded =
+  QCheck.Test.make ~name:"0 <= diff(f1,f2) <= weight f1" ~count:300
+    QCheck.(pair Helpers.arb_format Helpers.arb_format)
+    (fun (r1, r2) ->
+       let d = Diff.diff r1 r2 in
+       d >= 0 && d <= Diff.weight r1)
+
+let prop_ratio_bounded =
+  QCheck.Test.make ~name:"0 <= Mr <= 1" ~count:300
+    QCheck.(pair Helpers.arb_format Helpers.arb_format)
+    (fun (r1, r2) ->
+       let m = Diff.mismatch_ratio r1 r2 in
+       m >= 0.0 && m <= 1.0)
+
+(* MaxMatch agrees with a brute-force search over qualifying pairs. *)
+let prop_maxmatch_optimal =
+  QCheck.Test.make ~name:"MaxMatch picks a minimal qualifying pair" ~count:100
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 0 4) Helpers.arb_format)
+              (list_of_size (QCheck.Gen.int_range 0 4) Helpers.arb_format))
+    (fun (set1, set2) ->
+       let thresholds = { Maxmatch.diff_threshold = 10; mismatch_threshold = 0.9 } in
+       let all =
+         List.concat_map (fun f1 -> List.map (Maxmatch.evaluate_pair f1) set2) set1
+         |> List.filter (Maxmatch.qualifies thresholds)
+       in
+       match Maxmatch.max_match ~thresholds set1 set2, all with
+       | None, [] -> true
+       | None, _ :: _ -> false
+       | Some _, [] -> false
+       | Some m, pairs ->
+         List.for_all
+           (fun p ->
+              p.Maxmatch.ratio > m.Maxmatch.ratio
+              || (p.Maxmatch.ratio = m.Maxmatch.ratio
+                  && p.Maxmatch.diff12 >= m.Maxmatch.diff12))
+           pairs)
+
+let suite =
+  [
+    Alcotest.test_case "diff: identical formats" `Quick test_diff_identical;
+    Alcotest.test_case "diff: the paper's v1/v2 formats" `Quick test_diff_paper_formats;
+    Alcotest.test_case "diff: basic type must match" `Quick test_diff_basic_type_must_match;
+    Alcotest.test_case "diff: field order irrelevant" `Quick test_diff_field_order_irrelevant;
+    Alcotest.test_case "diff: missing complex charges weight" `Quick
+      test_diff_complex_missing_charges_weight;
+    Alcotest.test_case "diff: complex fields recurse" `Quick test_diff_complex_recurses;
+    Alcotest.test_case "diff: arrays" `Quick test_diff_arrays;
+    Alcotest.test_case "diff: kind mismatch" `Quick test_diff_kind_mismatch;
+    Alcotest.test_case "Mr normalises (paper example)" `Quick test_mismatch_ratio_normalises;
+    Alcotest.test_case "maxmatch: prefers low ratio" `Quick test_maxmatch_prefers_low_ratio;
+    Alcotest.test_case "maxmatch: thresholds" `Quick test_maxmatch_thresholds;
+    Alcotest.test_case "maxmatch: strict = perfect only" `Quick test_maxmatch_strict_only_perfect;
+    Alcotest.test_case "maxmatch: diff tie-break" `Quick test_maxmatch_tie_breaking_on_diff;
+    Alcotest.test_case "maxmatch: ranked is sorted" `Quick test_ranked_sorted;
+    Alcotest.test_case "maxmatch: empty sets" `Quick test_maxmatch_empty_sets;
+    Helpers.qtest prop_diff_self_zero;
+    Helpers.qtest prop_diff_nonnegative_bounded;
+    Helpers.qtest prop_ratio_bounded;
+    Helpers.qtest prop_maxmatch_optimal;
+  ]

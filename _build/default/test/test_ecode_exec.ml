@@ -1,0 +1,512 @@
+(* Execution-semantics tests for Ecode, run against BOTH engines — the
+   closure compiler (the DCG analogue) and the naive interpreter — plus
+   property tests that the two agree. *)
+
+open Pbio
+
+(* Run [code] with a single in/out record parameter [io] of format [fmt],
+   under the given engine; returns the (mutated) record. *)
+let run_with ~engine ~(fmt : Ptype.record) (code : string) (io : Value.t) : Value.t =
+  match engine with
+  | `Compiled ->
+    (match Ecode.compile ~params:[ ("io", Ptype.Record fmt) ] code with
+     | Ok f ->
+       f [| io |];
+       io
+     | Error e -> Alcotest.failf "compile failed: %s" e)
+  | `Interp ->
+    (match Ecode.parse code with
+     | Ok prog ->
+       Ecode.Interp.run ~params:[ ("io", io) ] prog;
+       io
+     | Error e -> Alcotest.failf "parse failed: %s" e)
+
+let scratch_fmt =
+  Ptype_dsl.format_of_string_exn
+    {|format Scratch {
+        int i1; int i2; float x1; float x2; string s1; string s2;
+        bool b1; char c1; unsigned u1;
+        int n;
+        int xs[n];
+      }|}
+
+let fresh () = Value.default_record scratch_fmt
+
+let both name code (checks : Value.t -> unit) : unit Alcotest.test_case list =
+  let case engine label =
+    Alcotest.test_case (name ^ " [" ^ label ^ "]") `Quick (fun () ->
+        checks (run_with ~engine ~fmt:scratch_fmt code (fresh ())))
+  in
+  [ case `Compiled "compiled"; case `Interp "interp" ]
+
+let geti v f = Value.to_int (Value.get_field v f)
+let getf v f = Value.to_float (Value.get_field v f)
+let gets v f = Value.to_string_exn (Value.get_field v f)
+let getb v f = Value.to_bool (Value.get_field v f)
+
+let arithmetic_cases =
+  both "arithmetic"
+    {| io.i1 = 7 + 3 * 4 - 10 / 3;
+       io.i2 = 17 % 5;
+       io.x1 = 1.5 * 4.0 + 1;
+       io.x2 = 7 / 2.0; |}
+    (fun v ->
+       Alcotest.(check int) "int expr" 16 (geti v "i1");
+       Alcotest.(check int) "mod" 2 (geti v "i2");
+       Alcotest.(check (float 1e-9)) "float expr" 7.0 (getf v "x1");
+       Alcotest.(check (float 1e-9)) "mixed division" 3.5 (getf v "x2"))
+
+let bitwise_cases =
+  both "bitwise and shifts"
+    {| io.i1 = (12 & 10) | (1 ^ 3);
+       io.i2 = (1 << 5) >> 2; |}
+    (fun v ->
+       Alcotest.(check int) "masks" ((12 land 10) lor (1 lxor 3)) (geti v "i1");
+       Alcotest.(check int) "shifts" 8 (geti v "i2"))
+
+let comparison_cases =
+  both "comparisons and logic"
+    {| io.b1 = (1 < 2) && (2 <= 2) && (3 > 2) && (2 >= 2) && (1 == 1) && (1 != 2);
+       io.i1 = (("abc" < "abd") && ("a" == "a")) ? 1 : 0;
+       io.i2 = (1.5 > 1.0 || false) ? 10 : 20; |}
+    (fun v ->
+       Alcotest.(check bool) "chain" true (getb v "b1");
+       Alcotest.(check int) "string compare" 1 (geti v "i1");
+       Alcotest.(check int) "ternary" 10 (geti v "i2"))
+
+let unary_cases =
+  both "unary operators"
+    {| io.i1 = -5 + +3;
+       io.b1 = !(1 == 2);
+       io.i2 = ~0;
+       io.x1 = -(2.5); |}
+    (fun v ->
+       Alcotest.(check int) "neg" (-2) (geti v "i1");
+       Alcotest.(check bool) "not" true (getb v "b1");
+       Alcotest.(check int) "bnot" (-1) (geti v "i2");
+       Alcotest.(check (float 1e-9)) "fneg" (-2.5) (getf v "x1"))
+
+let loop_cases =
+  both "loops"
+    {| int i, acc = 0;
+       for (i = 1; i <= 10; i++) acc = acc + i;
+       io.i1 = acc;
+       int j = 0; acc = 0;
+       while (j < 5) { acc = acc + 2; j++; }
+       io.i2 = acc;
+       int k = 0;
+       do { k++; } while (k < 3);
+       io.u1 = k; |}
+    (fun v ->
+       Alcotest.(check int) "for" 55 (geti v "i1");
+       Alcotest.(check int) "while" 10 (geti v "i2");
+       Alcotest.(check int) "do-while" 3 (geti v "u1"))
+
+let break_continue_cases =
+  both "break and continue"
+    {| int i, acc = 0;
+       for (i = 0; i < 100; i++) {
+         if (i % 2 == 0) continue;
+         if (i > 8) break;
+         acc = acc + i;
+       }
+       io.i1 = acc; |}
+    (fun v -> Alcotest.(check int) "1+3+5+7" 16 (geti v "i1"))
+
+let return_cases =
+  both "return stops execution"
+    {| io.i1 = 1;
+       return;
+       io.i1 = 2; |}
+    (fun v -> Alcotest.(check int) "stopped" 1 (geti v "i1"))
+
+let nested_loop_break_cases =
+  both "break only exits the inner loop"
+    {| int i, j, acc = 0;
+       for (i = 0; i < 3; i++) {
+         for (j = 0; j < 10; j++) {
+           if (j == 2) break;
+           acc++;
+         }
+       }
+       io.i1 = acc; |}
+    (fun v -> Alcotest.(check int) "3 * 2" 6 (geti v "i1"))
+
+let string_cases =
+  both "string operations"
+    {| io.s1 = "a" + "b" + 1 + true + 'x';
+       io.i1 = strlen(io.s1);
+       io.s2 = string(3.5) + "|" + string(42); |}
+    (fun v ->
+       Alcotest.(check string) "concat coerces" "ab1truex" (gets v "s1");
+       Alcotest.(check int) "strlen" 8 (geti v "i1");
+       Alcotest.(check string) "casts" "3.5|42" (gets v "s2"))
+
+let builtin_cases =
+  both "builtins"
+    {| io.i1 = abs(-5) + min(3, 7) + max(3, 7);
+       io.x1 = fabs(-2.5) + floor(1.9) + ceil(0.1) + sqrt(16.0);
+       io.x2 = min(1.5, 2) + max(0.5, 0.25) + pow(2.0, 10.0); |}
+    (fun v ->
+       Alcotest.(check int) "int builtins" 15 (geti v "i1");
+       Alcotest.(check (float 1e-9)) "float builtins" 8.5 (getf v "x1");
+       Alcotest.(check (float 1e-9)) "mixed minmax + pow" 1026.0 (getf v "x2"))
+
+let cast_cases =
+  both "casts"
+    {| io.i1 = int(3.99);
+       io.x1 = float(7);
+       io.c1 = char(65);
+       io.b1 = bool(2);
+       io.u1 = unsigned(5);
+       io.i2 = int('A'); |}
+    (fun v ->
+       Alcotest.(check int) "float->int" 3 (geti v "i1");
+       Alcotest.(check (float 1e-9)) "int->float" 7.0 (getf v "x1");
+       Alcotest.(check int) "char cast" 65 (geti v "c1");
+       Alcotest.(check bool) "bool cast" true (getb v "b1");
+       Alcotest.(check int) "unsigned" 5 (geti v "u1");
+       Alcotest.(check int) "char->int" 65 (geti v "i2"))
+
+let incr_cases =
+  both "increment and decrement"
+    {| int i = 5;
+       io.i1 = i++;
+       io.i2 = i;
+       int j = 5;
+       io.u1 = ++j;
+       io.x1 = 1.0;
+       io.x1++;
+       int k = 3;
+       io.n = --k + k--; |}
+    (fun v ->
+       Alcotest.(check int) "post returns old" 5 (geti v "i1");
+       Alcotest.(check int) "then incremented" 6 (geti v "i2");
+       Alcotest.(check int) "pre returns new" 6 (geti v "u1");
+       Alcotest.(check (float 1e-9)) "float incr" 2.0 (getf v "x1");
+       Alcotest.(check int) "mixed" 4 (geti v "n"))
+
+let compound_assign_cases =
+  both "compound assignment"
+    {| int a = 10;
+       a += 5; a -= 3; a *= 2; a /= 4; a %= 4;
+       io.i1 = a;
+       io.x1 = 10.0;
+       io.x1 /= 4; |}
+    (fun v ->
+       Alcotest.(check int) "chain" 2 (geti v "i1");
+       Alcotest.(check (float 1e-9)) "float compound" 2.5 (getf v "x1"))
+
+let array_cases =
+  both "arrays: write, read, autogrow"
+    {| int i;
+       for (i = 0; i < 5; i++) io.xs[i] = i * i;
+       io.n = 5;
+       io.i1 = io.xs[3];
+       io.i2 = len(io.xs); |}
+    (fun v ->
+       Alcotest.(check int) "element" 9 (geti v "i1");
+       Alcotest.(check int) "len builtin" 5 (geti v "i2");
+       Alcotest.(check int) "grown" 5 (Value.array_len (Value.get_field v "xs")))
+
+let assignment_as_expression_cases =
+  both "assignment yields the stored value"
+    {| int a, b;
+       a = b = 4;
+       io.i1 = a + b;
+       io.i2 = (a = 7) + 1; |}
+    (fun v ->
+       Alcotest.(check int) "chained" 8 (geti v "i1");
+       Alcotest.(check int) "value of assignment" 8 (geti v "i2"))
+
+let coercion_on_field_assign_cases =
+  both "assigning across numeric field types coerces"
+    {| io.i1 = 3.99;
+       io.x1 = 4;
+       io.c1 = 66;
+       io.b1 = 3; |}
+    (fun v ->
+       Alcotest.(check int) "float->int field" 3 (geti v "i1");
+       Alcotest.(check (float 1e-9)) "int->float field" 4.0 (getf v "x1");
+       Alcotest.(check int) "int->char field" 66 (geti v "c1");
+       Alcotest.(check bool) "int->bool field" true (getb v "b1"))
+
+let switch_cases =
+  both "switch: dispatch and break"
+    {| int k;
+       for (k = 0; k < 5; k++) {
+         switch (k) {
+           case 0: io.i1 = io.i1 + 1; break;
+           case 1:
+           case 2: io.i2 = io.i2 + 10; break;
+           default: io.n = io.n + 100; break;
+         }
+       } |}
+    (fun v ->
+       Alcotest.(check int) "case 0 once" 1 (geti v "i1");
+       Alcotest.(check int) "cases 1,2 grouped" 20 (geti v "i2");
+       Alcotest.(check int) "default twice" 200 (geti v "n"))
+
+let switch_fallthrough_cases =
+  both "switch: fallthrough"
+    {| switch (2) {
+         case 1: io.i1 = io.i1 + 1;
+         case 2: io.i1 = io.i1 + 10;
+         case 3: io.i1 = io.i1 + 100; break;
+         case 4: io.i1 = io.i1 + 1000;
+       }
+       switch ('x') {
+         case 'x': io.i2 = 7;
+         default: io.i2 = io.i2 + 1;
+       } |}
+    (fun v ->
+       Alcotest.(check int) "fell through 2 -> 3, stopped at break" 110 (geti v "i1");
+       Alcotest.(check int) "char labels + fallthrough to default" 8 (geti v "i2"))
+
+let switch_no_match_cases =
+  both "switch: no match, no default"
+    {| io.i1 = 5;
+       switch (99) { case 1: io.i1 = 0; break; } |}
+    (fun v -> Alcotest.(check int) "untouched" 5 (geti v "i1"))
+
+let switch_in_loop_cases =
+  both "switch: break exits switch, not the loop"
+    {| int k;
+       for (k = 0; k < 4; k++) {
+         switch (k) { case 1: break; default: io.i1 = io.i1 + 1; break; }
+         io.i2 = io.i2 + 1;
+       } |}
+    (fun v ->
+       Alcotest.(check int) "default arm ran 3 times" 3 (geti v "i1");
+       Alcotest.(check int) "loop ran all 4 iterations" 4 (geti v "i2"))
+
+let function_cases =
+  both "functions: definition and call"
+    {| int clamp(int x, int lo, int hi) {
+         if (x < lo) return lo;
+         if (x > hi) return hi;
+         return x;
+       }
+       string label(int n) {
+         if (n > 0) return "pos";
+         return "nonpos";
+       }
+       io.i1 = clamp(15, 0, 10);
+       io.i2 = clamp(-3, 0, 10) + clamp(5, 0, 10);
+       io.s1 = label(io.i1); |}
+    (fun v ->
+       Alcotest.(check int) "clamped high" 10 (geti v "i1");
+       Alcotest.(check int) "clamped low + pass" 5 (geti v "i2");
+       Alcotest.(check string) "string return" "pos" (gets v "s1"))
+
+let recursion_cases =
+  both "functions: recursion"
+    {| int fib(int n) {
+         if (n < 2) return n;
+         return fib(n - 1) + fib(n - 2);
+       }
+       io.i1 = fib(15); |}
+    (fun v -> Alcotest.(check int) "fib 15" 610 (geti v "i1"))
+
+let mutual_recursion_cases =
+  both "functions: mutual recursion"
+    {| int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+       int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+       io.i1 = is_even(10);
+       io.i2 = is_odd(10); |}
+    (fun v ->
+       Alcotest.(check int) "even" 1 (geti v "i1");
+       Alcotest.(check int) "odd" 0 (geti v "i2"))
+
+let void_function_cases =
+  both "functions: void and fallthrough returns"
+    {| int counter() { return 0; }
+       void noop(int x) { if (x > 100) return; }
+       int no_explicit_return(int x) { if (x > 0) return x; }
+       noop(5);
+       io.i1 = no_explicit_return(7);
+       io.i2 = no_explicit_return(-7); |}
+    (fun v ->
+       Alcotest.(check int) "explicit path" 7 (geti v "i1");
+       Alcotest.(check int) "fallthrough yields default" 0 (geti v "i2"))
+
+let function_arg_coercion_cases =
+  both "functions: argument and return coercions"
+    {| float half(float x) { return x / 2; }
+       int trunc2(float x) { return int(x); }
+       io.x1 = half(7);
+       io.i1 = trunc2(9.9); |}
+    (fun v ->
+       Alcotest.(check (float 1e-9)) "int arg to float param" 3.5 (getf v "x1");
+       Alcotest.(check int) "float to int return" 9 (geti v "i1"))
+
+let function_shadow_builtin_cases =
+  both "functions: user definitions shadow builtins"
+    {| int max(int a, int b) { return 42; }
+       io.i1 = max(1, 2); |}
+    (fun v -> Alcotest.(check int) "user max wins" 42 (geti v "i1"))
+
+let test_function_static_errors () =
+  let expect_err src =
+    match Ecode.compile ~params:[ ("io", Ptype.Record scratch_fmt) ] src with
+    | Ok _ -> Alcotest.failf "expected error for %S" src
+    | Error _ -> ()
+  in
+  expect_err "int f(int a) { return a; } int f(int b) { return b; }";
+  expect_err "int f(int a) { return a; } io.i1 = f();";
+  expect_err "int f(int a) { return a; } io.i1 = f(1, 2);";
+  expect_err "void f() { return 1; } f();";
+  expect_err "int f() { return; } io.i1 = f();";
+  expect_err "void f() { } io.i1 = f();";
+  expect_err "int f(string s) { return s; } io.i1 = f(\"x\");";
+  expect_err "int f() { return g(); }"
+
+let test_switch_static_errors () =
+  let expect_err src =
+    match Ecode.compile ~params:[ ("io", Ptype.Record scratch_fmt) ] src with
+    | Ok _ -> Alcotest.failf "expected error for %S" src
+    | Error _ -> ()
+  in
+  expect_err "switch (1) { case 1: break; case 1: break; }";
+  expect_err "switch (1) { default: break; default: break; }";
+  expect_err "switch (io.s1) { case 1: break; }";
+  expect_err "switch (1) { case 1.5: break; }"
+
+(* --- runtime errors -------------------------------------------------------- *)
+
+let test_division_by_zero_compiled () =
+  try
+    ignore
+      (run_with ~engine:`Compiled ~fmt:scratch_fmt "io.i1 = 1 / (io.i2);" (fresh ()));
+    Alcotest.fail "expected Runtime_error"
+  with Ecode.Compile.Runtime_error _ -> ()
+
+let test_division_by_zero_interp () =
+  try
+    ignore (run_with ~engine:`Interp ~fmt:scratch_fmt "io.i1 = 1 / (io.i2);" (fresh ()));
+    Alcotest.fail "expected Runtime_error"
+  with Ecode.Interp.Runtime_error _ -> ()
+
+(* --- the paper's Figure 5 transformation ----------------------------------- *)
+
+let test_fig5_transformation_both_engines () =
+  let v2_msg = Helpers.sample_v2 30 in
+  let compiled =
+    Helpers.check_ok
+      (Ecode.compile_xform ~src:Helpers.response_v2 ~dst:Helpers.response_v1
+         Helpers.fig5_code)
+  in
+  let interpreted =
+    Helpers.check_ok
+      (Ecode.interpret_xform ~src:Helpers.response_v2 ~dst:Helpers.response_v1
+         Helpers.fig5_code)
+  in
+  let a = compiled v2_msg in
+  let b = interpreted v2_msg in
+  Alcotest.check Helpers.value "engines agree" a b;
+  Alcotest.(check bool) "conforms to v1" true
+    (Value.conforms (Ptype.Record Helpers.response_v1) a);
+  (* every third member is a source, every second a sink *)
+  Alcotest.(check int) "src count" 10 (Value.to_int (Value.get_field a "src_count"));
+  Alcotest.(check int) "sink count" 15 (Value.to_int (Value.get_field a "sink_count"));
+  Alcotest.(check int) "member_list intact" 30
+    (Value.array_len (Value.get_field a "member_list"));
+  (* the input message is untouched *)
+  Alcotest.check Helpers.value "input preserved" (Helpers.sample_v2 30) v2_msg
+
+(* --- equivalence property ---------------------------------------------------- *)
+
+(* Random straight-line integer/float programs over the scratch format. *)
+let gen_program : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let int_fields = [ "io.i1"; "io.i2"; "io.n" ] in
+  let float_fields = [ "io.x1"; "io.x2" ] in
+  let gen_int_expr =
+    let leaf = oneof [ map string_of_int (int_range (-50) 50); oneofl int_fields ] in
+    let* a = leaf and* b = leaf and* op = oneofl [ "+"; "-"; "*" ] in
+    return (Printf.sprintf "(%s %s %s)" a op b)
+  in
+  let gen_float_expr =
+    let leaf =
+      oneof
+        [ map (fun n -> Printf.sprintf "%d.5" n) (int_range (-50) 50); oneofl float_fields ]
+    in
+    let* a = leaf and* b = leaf and* op = oneofl [ "+"; "-"; "*" ] in
+    return (Printf.sprintf "(%s %s %s)" a op b)
+  in
+  let gen_stmt =
+    oneof
+      [
+        (let* f = oneofl int_fields and* e = gen_int_expr in
+         return (Printf.sprintf "%s = %s;" f e));
+        (let* f = oneofl float_fields and* e = gen_float_expr in
+         return (Printf.sprintf "%s = %s;" f e));
+        (let* f = oneofl int_fields and* e = gen_int_expr and* g = oneofl int_fields in
+         return (Printf.sprintf "if (%s > 0) %s = %s;" f g e));
+        (let* f = oneofl int_fields and* e = gen_int_expr in
+         return (Printf.sprintf "{ int t = %s; %s = t + 1; }" e f));
+        (let* f = oneofl int_fields and* n = int_range 0 6 and* e = gen_int_expr in
+         return
+           (Printf.sprintf "{ int k; for (k = 0; k < %d; k++) %s += %s %% 1000; }" n f e));
+        (let* f = oneofl int_fields and* c = gen_int_expr
+         and* a = gen_int_expr and* b = gen_int_expr in
+         return (Printf.sprintf "%s = (%s > 0) ? %s : %s;" f c a b));
+        (let* f = oneofl int_fields and* e = gen_int_expr in
+         return
+           (Printf.sprintf
+              "switch (%s %% 3) { case 0: %s += 1; break; case 1: %s -= 2; default: %s += 5; }"
+              e f f f));
+        (let* e = gen_int_expr in
+         return (Printf.sprintf "io.s1 = io.s1 + (%s %% 100);" e));
+        (let* f = oneofl int_fields in
+         return (Printf.sprintf "%s++;" f));
+      ]
+  in
+  let* n = int_range 1 10 in
+  let* stmts = list_repeat n gen_stmt in
+  return (String.concat "\n" stmts)
+
+let prop_pp_roundtrip =
+  QCheck.Test.make ~name:"pretty-printed programs re-parse and run identically"
+    ~count:200
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun code ->
+       let p1 = match Ecode.parse code with Ok p -> p | Error e -> failwith e in
+       let printed = Ecode.Pp.program_to_string p1 in
+       let p2 =
+         match Ecode.parse printed with
+         | Ok p -> p
+         | Error e -> QCheck.Test.fail_reportf "reprint does not parse: %s\n%s" e printed
+       in
+       let fixed = Ecode.Pp.program_to_string p2 = printed in
+       let a = run_with ~engine:`Compiled ~fmt:scratch_fmt code (fresh ()) in
+       let b = run_with ~engine:`Compiled ~fmt:scratch_fmt printed (fresh ()) in
+       fixed && Value.equal a b)
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"compiled and interpreted engines agree" ~count:300
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    (fun code ->
+       let a = run_with ~engine:`Compiled ~fmt:scratch_fmt code (fresh ()) in
+       let b = run_with ~engine:`Interp ~fmt:scratch_fmt code (fresh ()) in
+       Value.equal a b)
+
+let suite =
+  arithmetic_cases @ bitwise_cases @ comparison_cases @ unary_cases @ loop_cases
+  @ break_continue_cases @ return_cases @ nested_loop_break_cases @ string_cases
+  @ builtin_cases @ cast_cases @ incr_cases @ compound_assign_cases @ array_cases
+  @ assignment_as_expression_cases @ coercion_on_field_assign_cases
+  @ switch_cases @ switch_fallthrough_cases @ switch_no_match_cases
+  @ switch_in_loop_cases @ function_cases @ recursion_cases
+  @ mutual_recursion_cases @ void_function_cases @ function_arg_coercion_cases
+  @ function_shadow_builtin_cases
+  @ [
+      Alcotest.test_case "functions: static errors" `Quick test_function_static_errors;
+      Alcotest.test_case "switch: static errors" `Quick test_switch_static_errors;
+      Alcotest.test_case "division by zero (compiled)" `Quick test_division_by_zero_compiled;
+      Alcotest.test_case "division by zero (interp)" `Quick test_division_by_zero_interp;
+      Alcotest.test_case "Figure 5 transformation, both engines" `Quick
+        test_fig5_transformation_both_engines;
+      Helpers.qtest prop_engines_agree;
+      Helpers.qtest prop_pp_roundtrip;
+    ]

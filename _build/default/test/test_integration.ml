@@ -1,0 +1,148 @@
+(* Cross-library integration tests: full wire paths from encoder through the
+   simulated network into the morphing receiver. *)
+
+open Pbio
+module Contact = Transport.Contact
+module Netsim = Transport.Netsim
+module Conn = Transport.Conn
+
+(* A v2 writer streaming responses to a v1 reader over the network, checking
+   values survive encode -> frame -> net -> decode -> morph intact. *)
+let test_full_pipeline_v2_to_v1 () =
+  let net = Netsim.create () in
+  let writer = Conn.create net (Contact.make "w" 1) in
+  let reader = Conn.create net (Contact.make "r" 2) in
+  let receiver = Morph.Receiver.create () in
+  let seen = ref [] in
+  Morph.Receiver.register receiver Helpers.response_v1 (fun v -> seen := v :: !seen);
+  Conn.set_handler reader (fun ~src:_ meta v ->
+      match Morph.Receiver.deliver receiver meta v with
+      | Morph.Receiver.Delivered _ -> ()
+      | o -> Alcotest.failf "unexpected outcome %a" Morph.Receiver.pp_outcome o);
+  for i = 1 to 20 do
+    Conn.send writer ~dst:(Contact.make "r" 2) Helpers.response_v2_meta
+      (Helpers.sample_v2 i)
+  done;
+  ignore (Netsim.run net);
+  Alcotest.(check int) "all messages" 20 (List.length !seen);
+  (* compare against direct (no network) morphing *)
+  let direct =
+    Helpers.check_ok
+      (Morph.morph_to Helpers.response_v2_meta ~target:Helpers.response_v1
+         (Helpers.sample_v2 20))
+  in
+  Alcotest.check Helpers.value "network path = direct path" direct (List.hd !seen);
+  let s = Morph.Receiver.stats receiver in
+  Alcotest.(check int) "planned once for the whole stream" 1 s.Morph.Receiver.cold_paths
+
+let test_pipeline_with_big_endian_writer () =
+  let net = Netsim.create () in
+  let writer = Conn.create ~endian:Wire.Big net (Contact.make "w" 1) in
+  let reader = Conn.create net (Contact.make "r" 2) in
+  let receiver = Morph.Receiver.create () in
+  let seen = ref [] in
+  Morph.Receiver.register receiver Helpers.response_v1 (fun v -> seen := v :: !seen);
+  Conn.set_handler reader (fun ~src:_ meta v ->
+      ignore (Morph.Receiver.deliver receiver meta v));
+  Conn.send writer ~dst:(Contact.make "r" 2) Helpers.response_v2_meta (Helpers.sample_v2 4);
+  ignore (Netsim.run net);
+  let direct =
+    Helpers.check_ok
+      (Morph.morph_to Helpers.response_v2_meta ~target:Helpers.response_v1
+         (Helpers.sample_v2 4))
+  in
+  Alcotest.check Helpers.value "byte-swapped and morphed" direct (List.hd !seen)
+
+let test_mixed_format_stream () =
+  (* one connection carrying three different formats; the receiver handles
+     each appropriately: exact, morphed, rejected-to-default *)
+  let net = Netsim.create () in
+  let writer = Conn.create net (Contact.make "w" 1) in
+  let reader = Conn.create net (Contact.make "r" 2) in
+  let receiver = Morph.Receiver.create () in
+  let v1_hits = ref 0 and exact_hits = ref 0 and defaults = ref 0 in
+  Morph.Receiver.register receiver Helpers.response_v1 (fun _ -> incr v1_hits);
+  Morph.Receiver.register receiver Echo.Wire_formats.event_msg (fun _ -> incr exact_hits);
+  Morph.Receiver.set_default_handler receiver (fun _ _ -> incr defaults);
+  Conn.set_handler reader (fun ~src:_ meta v ->
+      ignore (Morph.Receiver.deliver receiver meta v));
+  let unrelated = Ptype_dsl.format_of_string_exn "format Alien { int z; }" in
+  let dst = Contact.make "r" 2 in
+  for i = 1 to 3 do
+    Conn.send writer ~dst Helpers.response_v2_meta (Helpers.sample_v2 i);
+    Conn.send writer ~dst (Meta.plain Echo.Wire_formats.event_msg)
+      (Echo.Wire_formats.event_value ~channel:"c" ~seq:i ~origin:("w", 1) ~payload:"p");
+    Conn.send writer ~dst (Meta.plain unrelated) (Value.record [ ("z", Value.Int i) ])
+  done;
+  ignore (Netsim.run net);
+  Alcotest.(check int) "morphed stream" 3 !v1_hits;
+  Alcotest.(check int) "exact stream" 3 !exact_hits;
+  Alcotest.(check int) "unknown stream to default" 3 !defaults
+
+let test_receiver_restart_recovery () =
+  (* the reader loses its format cache mid-stream; the Meta_request path
+     recovers and no message is lost *)
+  let net = Netsim.create () in
+  let writer = Conn.create net (Contact.make "w" 1) in
+  let reader = Conn.create net (Contact.make "r" 2) in
+  let receiver = Morph.Receiver.create () in
+  let count = ref 0 in
+  Morph.Receiver.register receiver Helpers.response_v1 (fun _ -> incr count);
+  Conn.set_handler reader (fun ~src:_ meta v ->
+      ignore (Morph.Receiver.deliver receiver meta v));
+  let dst = Contact.make "r" 2 in
+  Conn.send writer ~dst Helpers.response_v2_meta (Helpers.sample_v2 1);
+  ignore (Netsim.run net);
+  Conn.forget_peer_formats reader;
+  for i = 2 to 5 do
+    Conn.send writer ~dst Helpers.response_v2_meta (Helpers.sample_v2 i)
+  done;
+  ignore (Netsim.run net);
+  Alcotest.(check int) "no losses across restart" 5 !count
+
+let test_many_formats_stress () =
+  (* a writer announcing 50 distinct formats, each delivered and planned
+     independently by the receiver *)
+  let net = Netsim.create () in
+  let writer = Conn.create net (Contact.make "w" 1) in
+  let reader = Conn.create net (Contact.make "r" 2) in
+  let receiver = Morph.Receiver.create () in
+  let delivered = ref 0 in
+  Conn.set_handler reader (fun ~src:_ meta v ->
+      ignore meta;
+      ignore v;
+      incr delivered);
+  let dst = Contact.make "r" 2 in
+  for i = 0 to 49 do
+    let fmt =
+      Ptype_dsl.format_of_string_exn
+        (Printf.sprintf "format F%d { int a%d; string s; }" i i)
+    in
+    let v = Value.record [ (Printf.sprintf "a%d" i, Value.Int i); ("s", Value.String "x") ] in
+    Conn.send writer ~dst (Meta.plain fmt) v
+  done;
+  ignore (Netsim.run net);
+  Alcotest.(check int) "all 50 delivered" 50 !delivered;
+  Alcotest.(check int) "reader knows 50 formats" 50 (Conn.known_peer_formats reader);
+  ignore receiver
+
+let test_morphing_off_meta_roundtrip () =
+  (* meta encoded to bytes, decoded, and used for morphing: the code path a
+     real receiver takes (the transformation source text crossed the wire) *)
+  let bytes = Meta.encode Helpers.response_v2_meta in
+  let meta = Helpers.check_ok (Meta.decode bytes) in
+  let out =
+    Helpers.check_ok (Morph.morph_to meta ~target:Helpers.response_v1 (Helpers.sample_v2 3))
+  in
+  Alcotest.(check int) "morphed from wire meta" 3
+    (Value.to_int (Value.get_field out "member_count"))
+
+let suite =
+  [
+    Alcotest.test_case "full pipeline v2 -> v1" `Quick test_full_pipeline_v2_to_v1;
+    Alcotest.test_case "big-endian writer" `Quick test_pipeline_with_big_endian_writer;
+    Alcotest.test_case "mixed-format stream" `Quick test_mixed_format_stream;
+    Alcotest.test_case "receiver restart recovery" `Quick test_receiver_restart_recovery;
+    Alcotest.test_case "many formats stress" `Quick test_many_formats_stress;
+    Alcotest.test_case "morphing from wire meta-data" `Quick test_morphing_off_meta_roundtrip;
+  ]

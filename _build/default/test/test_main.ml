@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "message-morphing"
+    [
+      ("ptype", Test_ptype.suite);
+      ("value", Test_value.suite);
+      ("wire", Test_wire.suite);
+      ("meta+registry", Test_meta_registry.suite);
+      ("convert", Test_convert.suite);
+      ("ecode syntax", Test_ecode_syntax.suite);
+      ("ecode exec", Test_ecode_exec.suite);
+      ("diff+maxmatch", Test_diff_maxmatch.suite);
+      ("weighted", Test_weighted.suite);
+      ("receiver", Test_receiver.suite);
+      ("chains", Test_chain.suite);
+      ("xml", Test_xml.suite);
+      ("xslt", Test_xslt.suite);
+      ("transport", Test_transport.suite);
+      ("echo", Test_echo.suite);
+      ("b2b", Test_b2b.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,206 @@
+(* Unit tests for Pbio.Ptype: weights, equality, hashing, validation and the
+   format-declaration DSL. *)
+
+open Pbio
+
+let simple =
+  Ptype.record "Msg"
+    [
+      Ptype.field "load" Ptype.int_;
+      Ptype.field "mem" Ptype.int_;
+      Ptype.field "net" Ptype.int_;
+    ]
+
+let test_weight_basic () =
+  Alcotest.(check int) "flat record" 3 (Ptype.weight simple);
+  Alcotest.(check int) "contact" 2 (Ptype.weight Helpers.contact);
+  (* member_v2 = info{host,port} + ID + 2 bools = 5 basic fields *)
+  Alcotest.(check int) "member v2" 5 (Ptype.weight Helpers.member_v2);
+  Alcotest.(check int) "member v1" 3 (Ptype.weight Helpers.member_v1)
+
+let test_weight_arrays () =
+  (* arrays weigh as one element, independent of runtime length *)
+  let r =
+    Ptype.record "A"
+      [
+        Ptype.field "n" Ptype.int_;
+        Ptype.field "xs" (Ptype.array_var "n" (Ptype.Record Helpers.member_v2));
+      ]
+  in
+  Alcotest.(check int) "var array" (1 + 5) (Ptype.weight r);
+  let rf =
+    Ptype.record "B" [ Ptype.field "xs" (Ptype.array_fixed 10 Ptype.int_) ]
+  in
+  Alcotest.(check int) "fixed array of basic" 1 (Ptype.weight rf)
+
+let test_weight_paper_formats () =
+  (* v2: channel + member_count + member(5) = 7; v1: channel + 3 counts + 3 lists(3 each) = 13 *)
+  Alcotest.(check int) "v2 weight" 7 (Ptype.weight Helpers.response_v2);
+  Alcotest.(check int) "v1 weight" 13 (Ptype.weight Helpers.response_v1)
+
+let test_equal_and_hash () =
+  Alcotest.(check bool) "equal self" true
+    (Ptype.equal_record Helpers.response_v2 Helpers.response_v2);
+  Alcotest.(check bool) "v1 <> v2" false
+    (Ptype.equal_record Helpers.response_v1 Helpers.response_v2);
+  Alcotest.(check int) "hash stable" (Ptype.hash_record simple) (Ptype.hash_record simple);
+  (* field order matters *)
+  let reordered =
+    Ptype.record "Msg"
+      [
+        Ptype.field "mem" Ptype.int_;
+        Ptype.field "load" Ptype.int_;
+        Ptype.field "net" Ptype.int_;
+      ]
+  in
+  Alcotest.(check bool) "order-sensitive" false (Ptype.equal_record simple reordered)
+
+let test_validate_ok () =
+  Helpers.check_valid (Ptype.validate Helpers.response_v1);
+  Helpers.check_valid (Ptype.validate Helpers.response_v2)
+
+let expect_invalid name r =
+  match Ptype.validate r with
+  | Ok () -> Alcotest.failf "%s: expected validation failure" name
+  | Error _ -> ()
+
+let test_validate_duplicate_field () =
+  expect_invalid "dup"
+    (Ptype.record "D" [ Ptype.field "x" Ptype.int_; Ptype.field "x" Ptype.float_ ])
+
+let test_validate_missing_length_field () =
+  expect_invalid "missing length"
+    (Ptype.record "D" [ Ptype.field "xs" (Ptype.array_var "n" Ptype.int_) ])
+
+let test_validate_length_field_after_array () =
+  expect_invalid "length declared after array"
+    (Ptype.record "D"
+       [
+         Ptype.field "xs" (Ptype.array_var "n" Ptype.int_);
+         Ptype.field "n" Ptype.int_;
+       ])
+
+let test_validate_length_field_wrong_type () =
+  expect_invalid "non-integer length"
+    (Ptype.record "D"
+       [
+         Ptype.field "n" Ptype.float_;
+         Ptype.field "xs" (Ptype.array_var "n" Ptype.int_);
+       ])
+
+let test_validate_empty_enum () =
+  expect_invalid "empty enum"
+    (Ptype.record "D" [ Ptype.field "e" (Ptype.enum "void" []) ])
+
+let test_validate_negative_fixed () =
+  expect_invalid "negative fixed size"
+    (Ptype.record "D" [ Ptype.field "xs" (Ptype.array_fixed (-1) Ptype.int_) ])
+
+(* --- the DSL ---------------------------------------------------------------- *)
+
+let test_dsl_roundtrip () =
+  let src =
+    {|
+      enum color { red, green = 4, blue }
+      record Inner { string s; float x; }
+      format Outer {
+        int n;
+        Inner items[n];
+        color c = green;
+        char grade = 'b';
+        bool flag = true;
+        unsigned u;
+        Inner one;
+        int fixed_block[3];
+      }
+    |}
+  in
+  let fs = Helpers.check_ok (Ptype_dsl.parse_formats src) in
+  Alcotest.(check int) "one format" 1 (List.length fs);
+  let _, outer = List.hd fs in
+  Alcotest.(check int) "fields" 8 (List.length outer.Ptype.fields);
+  (match Ptype.find_field outer "c" with
+   | Some { ftype = Ptype.Basic (Enum e); fdefault = Some (Cenum "green"); _ } ->
+     Alcotest.(check (list (pair string int)))
+       "enum cases" [ ("red", 0); ("green", 4); ("blue", 5) ] e.Ptype.cases
+   | _ -> Alcotest.fail "enum field shape");
+  (match Ptype.find_field outer "items" with
+   | Some { ftype = Ptype.Array { size = Length_field "n"; elem = Record r }; _ } ->
+     Alcotest.(check string) "elem record" "Inner" r.Ptype.rname
+   | _ -> Alcotest.fail "array field shape")
+
+let test_dsl_comments_and_errors () =
+  let ok = Ptype_dsl.parse_formats "// comment\nformat F { int x; /* block */ }" in
+  Alcotest.(check int) "comments ok" 1 (List.length (Helpers.check_ok ok));
+  let expect_err src =
+    match Ptype_dsl.parse_formats src with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" src
+    | Error _ -> ()
+  in
+  expect_err "format F { int x }"; (* missing ; *)
+  expect_err "format F { unknown_t x; }";
+  expect_err "format F { int x; float x; }"; (* validation: dup *)
+  expect_err "format F { Inner y; }"; (* unknown record *)
+  expect_err "oops F { }";
+  expect_err "format F { int x; " (* unterminated *)
+
+let test_dsl_format_of_string_exn () =
+  let r = Ptype_dsl.format_of_string_exn "format F { int a; string b; }" in
+  Alcotest.(check string) "name" "F" r.Ptype.rname;
+  (try
+     ignore (Ptype_dsl.format_of_string_exn "record R { int a; }");
+     Alcotest.fail "expected failure: no format"
+   with Ptype_dsl.Parse_error _ -> ())
+
+let test_pp_roundtrips_through_dsl () =
+  (* pretty-printing a DSL-parsed format and re-parsing it yields an
+     equal format (for formats without nested anonymous records) *)
+  let src = "format Flat { int a; float b; string c; bool d; char e; }" in
+  let r = Ptype_dsl.format_of_string_exn src in
+  let printed = Ptype.record_to_string r in
+  let r2 = Ptype_dsl.format_of_string_exn printed in
+  Alcotest.check Helpers.record_t "pp/parse roundtrip" r r2
+
+(* --- properties --------------------------------------------------------------- *)
+
+let prop_generated_formats_valid =
+  QCheck.Test.make ~name:"generated formats validate" ~count:200 Helpers.arb_format
+    (fun r -> Result.is_ok (Ptype.validate r))
+
+let prop_hash_respects_equality =
+  QCheck.Test.make ~name:"structural hash respects equality" ~count:100
+    Helpers.arb_format (fun r ->
+        let copy =
+          { r with Ptype.fields = List.map (fun f -> { f with Ptype.fname = f.Ptype.fname }) r.Ptype.fields }
+        in
+        Ptype.hash_record r = Ptype.hash_record copy && Ptype.equal_record r copy)
+
+let prop_weight_positive =
+  QCheck.Test.make ~name:"weight >= number of top-level basic fields" ~count:200
+    Helpers.arb_format (fun r ->
+        let basics =
+          List.length (List.filter (fun f -> Ptype.is_basic f.Ptype.ftype) r.Ptype.fields)
+        in
+        Ptype.weight r >= basics)
+
+let suite =
+  [
+    Alcotest.test_case "weight: basic" `Quick test_weight_basic;
+    Alcotest.test_case "weight: arrays" `Quick test_weight_arrays;
+    Alcotest.test_case "weight: paper formats" `Quick test_weight_paper_formats;
+    Alcotest.test_case "equality and hashing" `Quick test_equal_and_hash;
+    Alcotest.test_case "validate: ok" `Quick test_validate_ok;
+    Alcotest.test_case "validate: duplicate field" `Quick test_validate_duplicate_field;
+    Alcotest.test_case "validate: missing length field" `Quick test_validate_missing_length_field;
+    Alcotest.test_case "validate: length after array" `Quick test_validate_length_field_after_array;
+    Alcotest.test_case "validate: non-integer length" `Quick test_validate_length_field_wrong_type;
+    Alcotest.test_case "validate: empty enum" `Quick test_validate_empty_enum;
+    Alcotest.test_case "validate: negative fixed size" `Quick test_validate_negative_fixed;
+    Alcotest.test_case "dsl: roundtrip" `Quick test_dsl_roundtrip;
+    Alcotest.test_case "dsl: comments and errors" `Quick test_dsl_comments_and_errors;
+    Alcotest.test_case "dsl: format_of_string_exn" `Quick test_dsl_format_of_string_exn;
+    Alcotest.test_case "dsl: pp/parse roundtrip" `Quick test_pp_roundtrips_through_dsl;
+    Helpers.qtest prop_generated_formats_valid;
+    Helpers.qtest prop_hash_respects_equality;
+    Helpers.qtest prop_weight_positive;
+  ]

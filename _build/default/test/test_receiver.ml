@@ -1,0 +1,304 @@
+(* Tests for receiver-side message processing — Algorithm 2 and its cache. *)
+
+open Pbio
+module Receiver = Morph.Receiver
+
+let fmt = Ptype_dsl.format_of_string_exn
+
+let make_receiver ?thresholds ?engine target =
+  let r = Receiver.create ?thresholds ?engine () in
+  let got = ref [] in
+  Receiver.register r target (fun v -> got := v :: !got);
+  (r, got)
+
+let via_of = function
+  | Receiver.Delivered { via; _ } -> via
+  | o -> Alcotest.failf "expected delivery, got %a" Receiver.pp_outcome o
+
+let test_exact_match () =
+  let r, got = make_receiver Helpers.response_v2 in
+  let v = Helpers.sample_v2 2 in
+  let outcome = Receiver.deliver r (Meta.plain Helpers.response_v2) v in
+  Alcotest.(check bool) "exact" true (via_of outcome = Receiver.Exact);
+  Alcotest.(check int) "handler ran" 1 (List.length !got);
+  Alcotest.check Helpers.value "value untouched" v (List.hd !got)
+
+let test_reordered_perfect_match () =
+  let a = fmt "format R { int x; string s; }" in
+  let b = fmt "format R { string s; int x; }" in
+  let r, got = make_receiver b in
+  let v = Value.record [ ("x", Value.Int 1); ("s", Value.String "q") ] in
+  let outcome = Receiver.deliver r (Meta.plain a) v in
+  Alcotest.(check bool) "reordered" true (via_of outcome = Receiver.Reordered);
+  let out = List.hd !got in
+  Alcotest.(check bool) "conforms to registered format" true
+    (Value.conforms (Ptype.Record b) out);
+  Alcotest.(check int) "x preserved" 1 (Value.to_int (Value.get_field out "x"))
+
+let test_converted_imperfect_match () =
+  (* no transformation attached; close-enough format converts structurally *)
+  let incoming = fmt "format R { int x; int extra; }" in
+  let registered = fmt "format R { int x; int missing = 5; }" in
+  let r, got = make_receiver registered in
+  let v = Value.record [ ("x", Value.Int 3); ("extra", Value.Int 9) ] in
+  let outcome = Receiver.deliver r (Meta.plain incoming) v in
+  Alcotest.(check bool) "converted" true (via_of outcome = Receiver.Converted);
+  let out = List.hd !got in
+  Alcotest.(check int) "kept" 3 (Value.to_int (Value.get_field out "x"));
+  Alcotest.(check int) "default filled" 5 (Value.to_int (Value.get_field out "missing"));
+  Alcotest.(check bool) "extra dropped" false (Value.has_field out "extra")
+
+let test_morphed_via_transformation () =
+  let r, got = make_receiver Helpers.response_v1 in
+  let v = Helpers.sample_v2 6 in
+  let outcome = Receiver.deliver r Helpers.response_v2_meta v in
+  (match via_of outcome with
+   | Receiver.Morphed _ -> ()
+   | via -> Alcotest.failf "expected Morphed, got %a" Receiver.pp_via via);
+  let out = List.hd !got in
+  Alcotest.(check bool) "conforms to v1" true
+    (Value.conforms (Ptype.Record Helpers.response_v1) out);
+  Alcotest.(check int) "sinks extracted" 3 (Value.to_int (Value.get_field out "sink_count"))
+
+let test_morphed_then_converted () =
+  (* the transformation targets a format that is close to but not exactly
+     the registered one: morph, then structural conversion *)
+  let registered =
+    fmt
+      {|record CMcontact_info { string host; int port; }
+        record Member { CMcontact_info info; int ID; }
+        format ChannelOpenResponse {
+          string channel;
+          int member_count;
+          Member member_list[member_count];
+          int src_count;
+          Member src_list[src_count];
+          int sink_count;
+          Member sink_list[sink_count];
+          int protocol_rev = 1;
+        }|}
+  in
+  let r, got = make_receiver registered in
+  let outcome = Receiver.deliver r Helpers.response_v2_meta (Helpers.sample_v2 4) in
+  (match via_of outcome with
+   | Receiver.Morphed_converted _ -> ()
+   | via -> Alcotest.failf "expected Morphed_converted, got %a" Receiver.pp_via via);
+  let out = List.hd !got in
+  Alcotest.(check int) "extra field defaulted" 1
+    (Value.to_int (Value.get_field out "protocol_rev"))
+
+let test_rejected_no_name () =
+  let r, _ = make_receiver Helpers.response_v1 in
+  let other = fmt "format Unrelated { int x; }" in
+  (match Receiver.deliver r (Meta.plain other) (Value.record [ ("x", Value.Int 1) ]) with
+   | Receiver.Rejected _ -> ()
+   | o -> Alcotest.failf "expected rejection, got %a" Receiver.pp_outcome o);
+  Alcotest.(check int) "stat counted" 1 (Receiver.stats r).Receiver.rejected
+
+let test_rejected_over_threshold () =
+  let strict = Morph.Maxmatch.strict_thresholds in
+  let r, _ = make_receiver ~thresholds:strict Helpers.response_v1 in
+  (* v2 -> v1 via the transformation is a perfect match even under strict
+     thresholds, so morphing still works *)
+  (match Receiver.deliver r Helpers.response_v2_meta (Helpers.sample_v2 2) with
+   | Receiver.Delivered _ -> ()
+   | o -> Alcotest.failf "expected delivery, got %a" Receiver.pp_outcome o);
+  (* but without the transformation the mismatch exceeds zero: reject *)
+  let r2, _ = make_receiver ~thresholds:strict Helpers.response_v1 in
+  (match Receiver.deliver r2 (Meta.plain Helpers.response_v2) (Helpers.sample_v2 2) with
+   | Receiver.Rejected _ -> ()
+   | o -> Alcotest.failf "expected rejection, got %a" Receiver.pp_outcome o)
+
+let test_default_handler () =
+  let r, _ = make_receiver Helpers.response_v1 in
+  let hits = ref 0 in
+  Receiver.set_default_handler r (fun _ _ -> incr hits);
+  let other = fmt "format Unrelated { int x; }" in
+  (match Receiver.deliver r (Meta.plain other) (Value.record [ ("x", Value.Int 1) ]) with
+   | Receiver.Defaulted -> ()
+   | o -> Alcotest.failf "expected default, got %a" Receiver.pp_outcome o);
+  Alcotest.(check int) "default handler ran" 1 !hits
+
+let test_cache_behaviour () =
+  let r, got = make_receiver Helpers.response_v1 in
+  for _ = 1 to 10 do
+    ignore (Receiver.deliver r Helpers.response_v2_meta (Helpers.sample_v2 1))
+  done;
+  let s = Receiver.stats r in
+  Alcotest.(check int) "one cold path" 1 s.Receiver.cold_paths;
+  Alcotest.(check int) "nine hits" 9 s.Receiver.cache_hits;
+  Alcotest.(check int) "all delivered" 10 (List.length !got)
+
+let test_cache_keyed_on_meta_not_name () =
+  (* two distinct incoming formats with the same name plan separately *)
+  let r, _ = make_receiver Helpers.response_v1 in
+  ignore (Receiver.deliver r Helpers.response_v2_meta (Helpers.sample_v2 1));
+  ignore (Receiver.deliver r (Meta.plain Helpers.response_v1) (Value.default_record Helpers.response_v1));
+  let s = Receiver.stats r in
+  Alcotest.(check int) "two cold paths" 2 s.Receiver.cold_paths
+
+let test_register_resets_cache () =
+  let r, _ = make_receiver Helpers.response_v1 in
+  ignore (Receiver.deliver r Helpers.response_v2_meta (Helpers.sample_v2 1));
+  Receiver.register r Helpers.response_v2 (fun _ -> ());
+  (* the new registration makes an exact match possible; the cache must not
+     keep routing to the morphed pipeline *)
+  let outcome = Receiver.deliver r Helpers.response_v2_meta (Helpers.sample_v2 1) in
+  Alcotest.(check bool) "now exact" true (via_of outcome = Receiver.Exact)
+
+let test_rejection_is_cached_too () =
+  let r, _ = make_receiver Helpers.response_v1 in
+  let other = fmt "format Unrelated { int x; }" in
+  ignore (Receiver.deliver r (Meta.plain other) (Value.record [ ("x", Value.Int 1) ]));
+  ignore (Receiver.deliver r (Meta.plain other) (Value.record [ ("x", Value.Int 2) ]));
+  let s = Receiver.stats r in
+  Alcotest.(check int) "planned once" 1 s.Receiver.cold_paths;
+  Alcotest.(check int) "hit the cached rejection" 1 s.Receiver.cache_hits;
+  Alcotest.(check int) "both rejected" 2 s.Receiver.rejected
+
+let test_bad_transformation_rejects () =
+  (* broken Ecode in the meta-data must reject, not crash *)
+  let meta =
+    { Meta.body = Helpers.response_v2;
+      xforms = [ { Meta.source = None; target = Helpers.response_v1; code = "this is not C" } ] }
+  in
+  let r, _ = make_receiver Helpers.response_v1 in
+  (match Receiver.deliver r meta (Helpers.sample_v2 1) with
+   | Receiver.Rejected _ -> ()
+   | o -> Alcotest.failf "expected rejection, got %a" Receiver.pp_outcome o)
+
+let test_multiple_registered_picks_best () =
+  (* registered: v1 and v2; incoming v2 with xform: exact match to v2 wins *)
+  let r = Receiver.create () in
+  let hits_v1 = ref 0 and hits_v2 = ref 0 in
+  Receiver.register r Helpers.response_v1 (fun _ -> incr hits_v1);
+  Receiver.register r Helpers.response_v2 (fun _ -> incr hits_v2);
+  ignore (Receiver.deliver r Helpers.response_v2_meta (Helpers.sample_v2 1));
+  Alcotest.(check int) "v2 handler" 1 !hits_v2;
+  Alcotest.(check int) "v1 untouched" 0 !hits_v1
+
+let test_deliver_wire () =
+  let r, got = make_receiver Helpers.response_v1 in
+  let v = Helpers.sample_v2 3 in
+  let message = Wire.encode ~format_id:5 Helpers.response_v2 v in
+  (match Receiver.deliver_wire r Helpers.response_v2_meta message with
+   | Receiver.Delivered _ -> ()
+   | o -> Alcotest.failf "expected delivery, got %a" Receiver.pp_outcome o);
+  Alcotest.(check int) "decoded and morphed" 3
+    (Value.to_int (Value.get_field (List.hd !got) "member_count"))
+
+let test_interpreted_engine_equivalent () =
+  let rc, gc = make_receiver ~engine:Morph.Xform.Compiled Helpers.response_v1 in
+  let ri, gi = make_receiver ~engine:Morph.Xform.Interpreted Helpers.response_v1 in
+  ignore (Receiver.deliver rc Helpers.response_v2_meta (Helpers.sample_v2 5));
+  ignore (Receiver.deliver ri Helpers.response_v2_meta (Helpers.sample_v2 5));
+  Alcotest.check Helpers.value "engines agree" (List.hd !gc) (List.hd !gi)
+
+let test_morph_to_facade () =
+  let out =
+    Helpers.check_ok
+      (Morph.morph_to Helpers.response_v2_meta ~target:Helpers.response_v1
+         (Helpers.sample_v2 4))
+  in
+  Alcotest.(check bool) "conforms" true
+    (Value.conforms (Ptype.Record Helpers.response_v1) out);
+  (match Morph.morph_to (Meta.plain Helpers.response_v2)
+           ~target:(fmt "format Unrelated { int q; }") (Helpers.sample_v2 1) with
+   | Ok _ -> Alcotest.fail "expected failure"
+   | Error _ -> ())
+
+let test_cross_name_morphing () =
+  (* a transformation target may carry a different format name: the
+     transformation itself declares the role equivalence that names
+     normally imply *)
+  let incoming = fmt "format TelemetryV2 { int user_load; int sys_load; }" in
+  let registered = fmt "format Telemetry { int load; }" in
+  let meta =
+    Morph.meta incoming
+      ~xforms:[ Morph.xform ~target:registered "old.load = new.user_load + new.sys_load;" ]
+  in
+  let r, got = make_receiver registered in
+  (match Receiver.deliver r meta
+           (Value.record [ ("user_load", Value.Int 2); ("sys_load", Value.Int 3) ]) with
+   | Receiver.Delivered { via = Receiver.Morphed _; _ } -> ()
+   | o -> Alcotest.failf "expected Morphed, got %a" Receiver.pp_outcome o);
+  Alcotest.(check int) "summed" 5 (Value.to_int (Value.get_field (List.hd !got) "load"));
+  (* without the transformation, different names still reject *)
+  let r2, _ = make_receiver registered in
+  (match Receiver.deliver r2 (Meta.plain incoming)
+           (Value.record [ ("user_load", Value.Int 1); ("sys_load", Value.Int 1) ]) with
+   | Receiver.Rejected _ -> ()
+   | o -> Alcotest.failf "expected rejection, got %a" Receiver.pp_outcome o)
+
+let test_explain () =
+  let r, _ = make_receiver Helpers.response_v1 in
+  let s1 = Receiver.explain r Helpers.response_v2_meta in
+  Alcotest.(check bool) "explains morphing" true (Helpers.contains s1 "morphed");
+  let s2 = Receiver.explain r (Meta.plain (fmt "format Unrelated { int q; }")) in
+  Alcotest.(check bool) "explains rejection" true (Helpers.contains s2 "reject");
+  (* explain does not populate the cache *)
+  ignore (Receiver.deliver r Helpers.response_v2_meta (Helpers.sample_v2 1));
+  Alcotest.(check int) "still a cold path after explain" 1
+    (Receiver.stats r).Receiver.cold_paths
+
+let test_check_meta () =
+  Helpers.check_ok (Morph.check_meta Helpers.response_v2_meta);
+  let bad =
+    { Meta.body = Helpers.response_v2;
+      xforms = [ { Meta.source = None; target = Helpers.response_v1; code = "old.nope = 1;" } ] }
+  in
+  (match Morph.check_meta bad with
+   | Ok () -> Alcotest.fail "expected check_meta failure"
+   | Error _ -> ())
+
+(* Robustness: whatever formats arrive, deliver returns an outcome — it
+   never raises, even when the incoming format shares a name but nothing
+   else with the registered one. *)
+let prop_deliver_total =
+  QCheck.Test.make ~name:"deliver never raises on arbitrary format pairs" ~count:200
+    QCheck.(pair Helpers.arb_format_and_value Helpers.arb_format)
+    (fun ((src, v), dst) ->
+       let dst = { dst with Ptype.rname = src.Ptype.rname } in
+       let r = Receiver.create () in
+       Receiver.register r dst (fun _ -> ());
+       match Receiver.deliver r (Meta.plain src) v with
+       | Receiver.Delivered _ | Receiver.Defaulted | Receiver.Rejected _ -> true)
+
+let prop_delivered_value_conforms =
+  QCheck.Test.make ~name:"delivered values conform to the registered format" ~count:200
+    QCheck.(pair Helpers.arb_format_and_value Helpers.arb_format)
+    (fun ((src, v), dst) ->
+       let dst = { dst with Ptype.rname = src.Ptype.rname } in
+       let r = Receiver.create () in
+       let ok = ref true in
+       Receiver.register r dst (fun out ->
+           ok := Value.conforms (Ptype.Record dst) out);
+       match Receiver.deliver r (Meta.plain src) v with
+       | Receiver.Delivered _ -> !ok
+       | Receiver.Defaulted | Receiver.Rejected _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "exact match" `Quick test_exact_match;
+    Alcotest.test_case "perfect match with reorder" `Quick test_reordered_perfect_match;
+    Alcotest.test_case "imperfect match converts" `Quick test_converted_imperfect_match;
+    Alcotest.test_case "morphed via transformation" `Quick test_morphed_via_transformation;
+    Alcotest.test_case "morphed then converted" `Quick test_morphed_then_converted;
+    Alcotest.test_case "rejects unknown name" `Quick test_rejected_no_name;
+    Alcotest.test_case "thresholds gate acceptance" `Quick test_rejected_over_threshold;
+    Alcotest.test_case "default handler" `Quick test_default_handler;
+    Alcotest.test_case "cache: cold once, hits after" `Quick test_cache_behaviour;
+    Alcotest.test_case "cache: keyed on full meta" `Quick test_cache_keyed_on_meta_not_name;
+    Alcotest.test_case "cache: reset on register" `Quick test_register_resets_cache;
+    Alcotest.test_case "cache: rejections cached" `Quick test_rejection_is_cached_too;
+    Alcotest.test_case "broken transformation rejects" `Quick test_bad_transformation_rejects;
+    Alcotest.test_case "best registered format wins" `Quick test_multiple_registered_picks_best;
+    Alcotest.test_case "deliver_wire decodes first" `Quick test_deliver_wire;
+    Alcotest.test_case "interpreted engine equivalent" `Quick test_interpreted_engine_equivalent;
+    Alcotest.test_case "morph_to facade" `Quick test_morph_to_facade;
+    Alcotest.test_case "cross-name morphing" `Quick test_cross_name_morphing;
+    Alcotest.test_case "explain" `Quick test_explain;
+    Alcotest.test_case "check_meta validates snippets" `Quick test_check_meta;
+    Helpers.qtest prop_deliver_total;
+    Helpers.qtest prop_delivered_value_conforms;
+  ]

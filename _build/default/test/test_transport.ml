@@ -1,0 +1,286 @@
+(* Tests for the simulated transport: contacts, the event queue, the network
+   simulator, framing and the out-of-band meta-data connection protocol. *)
+
+open Pbio
+module Contact = Transport.Contact
+module Pqueue = Transport.Pqueue
+module Netsim = Transport.Netsim
+module Framing = Transport.Framing
+module Conn = Transport.Conn
+
+let test_contact () =
+  let c = Contact.make "host.example" 8080 in
+  Alcotest.(check string) "to_string" "host.example:8080" (Contact.to_string c);
+  (match Contact.of_string "a.b.c:99" with
+   | Ok c' -> Alcotest.(check int) "port" 99 c'.Contact.port
+   | Error e -> Alcotest.fail e);
+  (match Contact.of_string "noport" with
+   | Ok _ -> Alcotest.fail "expected error"
+   | Error _ -> ());
+  (match Contact.of_string "x:notanum" with
+   | Ok _ -> Alcotest.fail "expected error"
+   | Error _ -> ());
+  Alcotest.(check bool) "equal" true (Contact.equal c (Contact.make "host.example" 8080));
+  Alcotest.(check bool) "not equal" false (Contact.equal c (Contact.make "host.example" 1))
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  Pqueue.push q 3.0 "c";
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 2.0 "b";
+  Pqueue.push q 1.0 "a2"; (* same priority: insertion order *)
+  let pop () = match Pqueue.pop q with Some (_, x) -> x | None -> "<empty>" in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "fifo tie" "a2" (pop ());
+  Alcotest.(check string) "then b" "b" (pop ());
+  Alcotest.(check string) "then c" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Pqueue.pop q = None)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue drains in priority order" ~count:200
+    QCheck.(list (float_bound_inclusive 100.0))
+    (fun prios ->
+       let q = Pqueue.create () in
+       List.iteri (fun i p -> Pqueue.push q p i) prios;
+       let rec drain acc =
+         match Pqueue.pop q with
+         | None -> List.rev acc
+         | Some (p, _) -> drain (p :: acc)
+       in
+       let out = drain [] in
+       out = List.stable_sort Float.compare prios)
+
+let test_netsim_delivery_and_latency () =
+  let config = { Netsim.latency_s = 0.001; bandwidth_bytes_per_s = 1000.0 } in
+  let net = Netsim.create ~config () in
+  let a = Contact.make "a" 1 and b = Contact.make "b" 2 in
+  let got = ref [] in
+  Netsim.add_node net a (fun ~src:_ _ -> ());
+  Netsim.add_node net b (fun ~src payload -> got := (src, payload) :: !got);
+  Netsim.send net ~src:a ~dst:b (String.make 100 'x');
+  Alcotest.(check int) "queued" 1 (Netsim.pending net);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "delivered" 1 (List.length !got);
+  (* 1ms latency + 100 bytes / 1000 B/s = 0.101 s *)
+  Alcotest.(check (float 1e-9)) "sim time" 0.101 (Netsim.now net);
+  let s = Netsim.stats net in
+  Alcotest.(check int) "bytes" 100 s.Netsim.bytes
+
+let test_netsim_ordering () =
+  (* messages to the same destination arrive in send order when sizes are
+     equal; an earlier large message can be overtaken by later small ones
+     only if delays differ *)
+  let net = Netsim.create () in
+  let a = Contact.make "a" 1 and b = Contact.make "b" 2 in
+  let got = ref [] in
+  Netsim.add_node net a (fun ~src:_ _ -> ());
+  Netsim.add_node net b (fun ~src:_ payload -> got := payload :: !got);
+  List.iter (fun p -> Netsim.send net ~src:a ~dst:b p) [ "1"; "2"; "3" ];
+  ignore (Netsim.run net);
+  Alcotest.(check (list string)) "in order" [ "3"; "2"; "1" ] !got
+
+let test_netsim_drops () =
+  let net = Netsim.create () in
+  let a = Contact.make "a" 1 and b = Contact.make "b" 2 in
+  Netsim.add_node net a (fun ~src:_ _ -> ());
+  Netsim.add_node net b (fun ~src:_ _ -> ());
+  (* unknown destination *)
+  Netsim.send net ~src:a ~dst:(Contact.make "ghost" 9) "x";
+  Alcotest.(check int) "dropped unknown" 1 (Netsim.stats net).Netsim.dropped;
+  (* downed link *)
+  Netsim.set_link net ~src:a ~dst:b Netsim.Down;
+  Netsim.send net ~src:a ~dst:b "x";
+  Alcotest.(check int) "dropped on down link" 2 (Netsim.stats net).Netsim.dropped;
+  (* link back up *)
+  Netsim.set_link net ~src:a ~dst:b Netsim.Up;
+  Netsim.send net ~src:a ~dst:b "x";
+  ignore (Netsim.run net);
+  Alcotest.(check int) "delivered after repair" 1 (Netsim.stats net).Netsim.messages
+
+let test_netsim_duplicate_node () =
+  let net = Netsim.create () in
+  let a = Contact.make "a" 1 in
+  Netsim.add_node net a (fun ~src:_ _ -> ());
+  (try
+     Netsim.add_node net a (fun ~src:_ _ -> ());
+     Alcotest.fail "expected Duplicate_node"
+   with Netsim.Duplicate_node _ -> ())
+
+let test_netsim_cascading () =
+  (* handlers that send more messages keep the run going *)
+  let net = Netsim.create () in
+  let a = Contact.make "a" 1 and b = Contact.make "b" 2 in
+  let hops = ref 0 in
+  Netsim.add_node net a (fun ~src:_ payload ->
+      incr hops;
+      if String.length payload < 5 then Netsim.send net ~src:a ~dst:b (payload ^ "a"));
+  Netsim.add_node net b (fun ~src:_ payload ->
+      incr hops;
+      if String.length payload < 5 then Netsim.send net ~src:b ~dst:a (payload ^ "b"));
+  Netsim.send net ~src:a ~dst:b "x";
+  let steps = Netsim.run net in
+  Alcotest.(check int) "ping-pong until length 5" 5 steps
+
+(* --- framing -------------------------------------------------------------------- *)
+
+let test_framing_roundtrip () =
+  let frames =
+    [
+      Framing.Meta { format_id = 3; meta = "metadata-bytes" };
+      Framing.Data { format_id = 77; message = String.make 100 '\x00' };
+      Framing.Meta_request { format_id = 12 };
+    ]
+  in
+  List.iter
+    (fun f ->
+       let f' = Framing.decode (Framing.encode f) in
+       Alcotest.(check bool) "roundtrip" true (f = f'))
+    frames
+
+let test_framing_errors () =
+  let expect_err s =
+    try
+      ignore (Framing.decode s);
+      Alcotest.fail "expected Frame_error"
+    with Framing.Frame_error _ -> ()
+  in
+  expect_err "";
+  expect_err "\x02short";
+  expect_err ("\x09" ^ String.make 8 '\x00'); (* bad kind *)
+  let good = Framing.encode (Framing.Data { format_id = 1; message = "abc" }) in
+  expect_err (good ^ "x");
+  expect_err (String.sub good 0 (String.length good - 1))
+
+(* --- connection protocol ---------------------------------------------------------- *)
+
+let fmt = Ptype_dsl.format_of_string_exn "format Ping { int seq; string tag; }"
+
+let ping seq = Value.record [ ("seq", Value.Int seq); ("tag", Value.String "t") ]
+
+let setup () =
+  let net = Netsim.create () in
+  let a = Conn.create net (Contact.make "a" 1) in
+  let b = Conn.create net (Contact.make "b" 2) in
+  (net, a, b)
+
+let test_conn_meta_sent_once () =
+  let net, a, b = setup () in
+  let got = ref [] in
+  Conn.set_handler b (fun ~src:_ _meta v -> got := v :: !got);
+  for i = 1 to 5 do
+    Conn.send a ~dst:(Contact.make "b" 2) (Meta.plain fmt) (ping i)
+  done;
+  ignore (Netsim.run net);
+  Alcotest.(check int) "all delivered" 5 (List.length !got);
+  (* 1 meta + 5 data *)
+  Alcotest.(check int) "meta pushed once" 6 (Netsim.stats net).Netsim.messages;
+  Alcotest.(check int) "peer learned one format" 1 (Conn.known_peer_formats b)
+
+let test_conn_meta_carries_xforms () =
+  let net, a, b = setup () in
+  let seen = ref None in
+  Conn.set_handler b (fun ~src:_ meta _ -> seen := Some meta);
+  Conn.send a ~dst:(Contact.make "b" 2) Helpers.response_v2_meta (Helpers.sample_v2 2);
+  ignore (Netsim.run net);
+  match !seen with
+  | Some meta ->
+    Alcotest.(check int) "transformation shipped" 1 (List.length meta.Meta.xforms)
+  | None -> Alcotest.fail "no message seen"
+
+let test_conn_recovery_via_meta_request () =
+  let net, a, b = setup () in
+  let got = ref 0 in
+  Conn.set_handler b (fun ~src:_ _ _ -> incr got);
+  let dst = Contact.make "b" 2 in
+  Conn.send a ~dst (Meta.plain fmt) (ping 1);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "first delivered" 1 !got;
+  (* the receiver loses its soft state; the sender won't re-announce *)
+  Conn.forget_peer_formats b;
+  Conn.send a ~dst (Meta.plain fmt) (ping 2);
+  Conn.send a ~dst (Meta.plain fmt) (ping 3);
+  ignore (Netsim.run net);
+  (* both parked messages flush, in order, after one Meta_request *)
+  Alcotest.(check int) "recovered" 3 !got
+
+let test_conn_multiple_formats_and_peers () =
+  let net = Netsim.create () in
+  let a = Conn.create net (Contact.make "a" 1) in
+  let b = Conn.create net (Contact.make "b" 2) in
+  let c = Conn.create net (Contact.make "c" 3) in
+  let got_b = ref 0 and got_c = ref 0 in
+  Conn.set_handler b (fun ~src:_ _ _ -> incr got_b);
+  Conn.set_handler c (fun ~src:_ _ _ -> incr got_c);
+  let other = Ptype_dsl.format_of_string_exn "format Pong { float x; }" in
+  Conn.send a ~dst:(Contact.make "b" 2) (Meta.plain fmt) (ping 1);
+  Conn.send a ~dst:(Contact.make "c" 3) (Meta.plain fmt) (ping 2);
+  Conn.send a ~dst:(Contact.make "b" 2) (Meta.plain other)
+    (Value.record [ ("x", Value.Float 1.5) ]);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "b got both formats" 2 !got_b;
+  Alcotest.(check int) "c got one" 1 !got_c;
+  Alcotest.(check int) "b knows 2 formats" 2 (Conn.known_peer_formats b);
+  Alcotest.(check int) "c knows 1 format" 1 (Conn.known_peer_formats c)
+
+let test_conn_big_endian_sender () =
+  let net = Netsim.create () in
+  let a = Conn.create ~endian:Wire.Big net (Contact.make "a" 1) in
+  let b = Conn.create net (Contact.make "b" 2) in
+  ignore a;
+  let got = ref [] in
+  Conn.set_handler b (fun ~src:_ _ v -> got := v :: !got);
+  Conn.send a ~dst:(Contact.make "b" 2) (Meta.plain fmt) (ping 9);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "byte-swapped correctly" 9
+    (Value.to_int (Value.get_field (List.hd !got) "seq"))
+
+let test_conn_survives_corruption () =
+  (* a faulty link flipping bytes must not take the endpoint down; clean
+     messages keep flowing once the fault clears *)
+  let net = Netsim.create () in
+  let a = Conn.create net (Contact.make "a" 1) in
+  let b = Conn.create net (Contact.make "b" 2) in
+  let got = ref 0 in
+  Conn.set_handler b (fun ~src:_ _ _ -> incr got);
+  let dst = Contact.make "b" 2 in
+  (* establish the format first so corruption hits Data frames *)
+  Conn.send a ~dst (Meta.plain fmt) (ping 0);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "clean delivery" 1 !got;
+  (* truncate every payload: frames arrive malformed *)
+  Netsim.set_corruption net
+    (Some (fun payload -> String.sub payload 0 (String.length payload - 1)));
+  for i = 1 to 5 do
+    Conn.send a ~dst (Meta.plain fmt) (ping i)
+  done;
+  ignore (Netsim.run net);
+  (* corrupted messages were dropped, not crashed on *)
+  Alcotest.(check int) "corrupted messages dropped" 1 !got;
+  Netsim.set_corruption net None;
+  Conn.send a ~dst (Meta.plain fmt) (ping 99);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "healthy again" 2 !got
+
+let suite =
+  [
+    Alcotest.test_case "contact parse/print" `Quick test_contact;
+    Alcotest.test_case "pqueue ordering" `Quick test_pqueue_ordering;
+    Helpers.qtest prop_pqueue_sorted;
+    Alcotest.test_case "netsim: delivery and latency" `Quick test_netsim_delivery_and_latency;
+    Alcotest.test_case "netsim: fifo per link" `Quick test_netsim_ordering;
+    Alcotest.test_case "netsim: drops and link failure" `Quick test_netsim_drops;
+    Alcotest.test_case "netsim: duplicate node" `Quick test_netsim_duplicate_node;
+    Alcotest.test_case "netsim: cascading handlers" `Quick test_netsim_cascading;
+    Alcotest.test_case "framing roundtrip" `Quick test_framing_roundtrip;
+    Alcotest.test_case "framing errors" `Quick test_framing_errors;
+    Alcotest.test_case "conn: meta pushed once" `Quick test_conn_meta_sent_once;
+    Alcotest.test_case "conn: meta carries transformations" `Quick
+      test_conn_meta_carries_xforms;
+    Alcotest.test_case "conn: recovery via meta request" `Quick
+      test_conn_recovery_via_meta_request;
+    Alcotest.test_case "conn: multiple formats and peers" `Quick
+      test_conn_multiple_formats_and_peers;
+    Alcotest.test_case "conn: big-endian sender" `Quick test_conn_big_endian_sender;
+    Alcotest.test_case "conn: survives corrupted frames" `Quick
+      test_conn_survives_corruption;
+  ]

@@ -1,0 +1,209 @@
+(* Unit tests for Pbio.Value: dynamic values, accessors, defaults, deep
+   operations and length-field synchronisation. *)
+
+open Pbio
+
+let test_accessors () =
+  Alcotest.(check int) "int" 42 (Value.to_int (Value.Int 42));
+  Alcotest.(check int) "uint" 7 (Value.to_int (Value.Uint 7));
+  Alcotest.(check int) "char" 65 (Value.to_int (Value.Char 'A'));
+  Alcotest.(check int) "bool" 1 (Value.to_int (Value.Bool true));
+  Alcotest.(check int) "enum" 5 (Value.to_int (Value.Enum ("blue", 5)));
+  Alcotest.(check (float 1e-9)) "float of int" 3.0 (Value.to_float (Value.Int 3));
+  Alcotest.(check bool) "bool of int" true (Value.to_bool (Value.Int (-2)));
+  Alcotest.(check bool) "bool of float" false (Value.to_bool (Value.Float 0.0));
+  Alcotest.(check string) "string" "hi" (Value.to_string_exn (Value.String "hi"))
+
+let test_accessor_type_errors () =
+  let expect_type_error f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Type_error"
+    with Value.Type_error _ -> ()
+  in
+  expect_type_error (fun () -> Value.to_int (Value.String "x"));
+  expect_type_error (fun () -> Value.to_int (Value.Float 1.0));
+  expect_type_error (fun () -> Value.to_float (Value.String "x"));
+  expect_type_error (fun () -> Value.to_string_exn (Value.Int 1));
+  expect_type_error (fun () -> Value.get_field (Value.Int 1) "f");
+  expect_type_error (fun () -> Value.get_field (Value.record []) "missing");
+  expect_type_error (fun () -> Value.array_get (Value.record []) 0)
+
+let test_record_fields () =
+  let r = Value.record [ ("a", Value.Int 1); ("b", Value.String "x") ] in
+  Alcotest.(check bool) "has a" true (Value.has_field r "a");
+  Alcotest.(check bool) "no c" false (Value.has_field r "c");
+  Value.set_field r "a" (Value.Int 9);
+  Alcotest.(check int) "updated" 9 (Value.to_int (Value.get_field r "a"));
+  Alcotest.check Helpers.value "field_at" (Value.String "x") (Value.field_at r 1);
+  Value.set_at r 1 (Value.String "y");
+  Alcotest.(check string) "set_at" "y" (Value.to_string_exn (Value.get_field r "b"))
+
+let test_array_ops () =
+  let a = Value.array_of_list [ Value.Int 1; Value.Int 2 ] in
+  Alcotest.(check int) "len" 2 (Value.array_len a);
+  Alcotest.(check int) "get" 2 (Value.to_int (Value.array_get a 1));
+  Value.array_push a (Value.Int 3);
+  Alcotest.(check int) "push len" 3 (Value.array_len a);
+  Value.array_set a 1 (Value.Int 20);
+  Alcotest.(check int) "set" 20 (Value.to_int (Value.array_get a 1));
+  (* growth beyond the end fills the gap *)
+  Value.array_set a 5 (Value.Int 50);
+  Alcotest.(check int) "grown len" 6 (Value.array_len a);
+  Alcotest.(check int) "grown end" 50 (Value.to_int (Value.array_get a 5));
+  Value.array_truncate a 2;
+  Alcotest.(check int) "truncated" 2 (Value.array_len a);
+  (try
+     ignore (Value.array_get a 2);
+     Alcotest.fail "expected out of bounds"
+   with Value.Type_error _ -> ())
+
+let test_array_growth_uses_model () =
+  (* the default of a variable array carries the element type as a model;
+     growth without an explicit fill produces well-shaped fresh elements *)
+  let fmt =
+    Ptype.record "R"
+      [
+        Ptype.field "n" Ptype.int_;
+        Ptype.field "xs" (Ptype.array_var "n" (Ptype.Record Helpers.contact));
+      ]
+  in
+  let v = Value.default_record fmt in
+  let xs = Value.get_field v "xs" in
+  let elem = Value.fill_for (Value.dyn xs) in
+  Value.array_set xs 2 elem;
+  Alcotest.(check int) "grown to 3" 3 (Value.array_len xs);
+  (* the gap elements are records with the contact shape *)
+  let gap = Value.array_get xs 0 in
+  Alcotest.(check bool) "gap conforms" true
+    (Value.conforms (Ptype.Record Helpers.contact) gap);
+  Value.sync_lengths fmt v;
+  Alcotest.(check int) "length resynced" 3 (Value.to_int (Value.get_field v "n"))
+
+let test_copy_is_deep () =
+  let inner = Value.record [ ("x", Value.Int 1) ] in
+  let v = Value.record [ ("inner", inner); ("xs", Value.array_of_list [ Value.Int 5 ]) ] in
+  let c = Value.copy v in
+  Value.set_field inner "x" (Value.Int 99);
+  Value.array_set (Value.get_field v "xs") 0 (Value.Int 50);
+  Alcotest.(check int) "nested record isolated" 1
+    (Value.to_int (Value.get_field (Value.get_field c "inner") "x"));
+  Alcotest.(check int) "array isolated" 5
+    (Value.to_int (Value.array_get (Value.get_field c "xs") 0))
+
+let test_equal () =
+  let v1 = Helpers.sample_v2 3 in
+  let v2 = Helpers.sample_v2 3 in
+  Alcotest.(check bool) "structurally equal" true (Value.equal v1 v2);
+  Value.set_field v2 "channel" (Value.String "other");
+  Alcotest.(check bool) "detects difference" false (Value.equal v1 v2);
+  Alcotest.(check bool) "different shapes" false
+    (Value.equal (Value.Int 1) (Value.Float 1.0))
+
+let test_defaults () =
+  let fmt =
+    Ptype_dsl.format_of_string_exn
+      {|format D {
+          int a = 7; float b = 2.5; string s = "hey"; bool t = true; char c = 'z';
+          int plain;
+          int n;
+          int xs[n];
+          int fixed[3];
+        }|}
+  in
+  let v = Value.default_record fmt in
+  Alcotest.(check int) "int default" 7 (Value.to_int (Value.get_field v "a"));
+  Alcotest.(check (float 1e-9)) "float default" 2.5 (Value.to_float (Value.get_field v "b"));
+  Alcotest.(check string) "string default" "hey" (Value.to_string_exn (Value.get_field v "s"));
+  Alcotest.(check bool) "bool default" true (Value.to_bool (Value.get_field v "t"));
+  Alcotest.(check int) "char default" (Char.code 'z') (Value.to_int (Value.get_field v "c"));
+  Alcotest.(check int) "plain zero" 0 (Value.to_int (Value.get_field v "plain"));
+  Alcotest.(check int) "var array empty" 0 (Value.array_len (Value.get_field v "xs"));
+  Alcotest.(check int) "fixed array sized" 3 (Value.array_len (Value.get_field v "fixed"));
+  Alcotest.(check bool) "default conforms" true (Value.conforms (Ptype.Record fmt) v)
+
+let test_of_const_enum () =
+  let e = { Ptype.ename = "c"; cases = [ ("on", 1); ("off", 0) ] } in
+  Alcotest.check Helpers.value "by name" (Value.Enum ("off", 0))
+    (Value.of_const (Ptype.Cenum "off") ~ty:(Ptype.Enum e));
+  Alcotest.check Helpers.value "by value" (Value.Enum ("on", 1))
+    (Value.of_const (Ptype.Cint 1) ~ty:(Ptype.Enum e));
+  (try
+     ignore (Value.of_const (Ptype.Cenum "nope") ~ty:(Ptype.Enum e));
+     Alcotest.fail "expected Type_error"
+   with Value.Type_error _ -> ())
+
+let test_conforms () =
+  let v = Helpers.sample_v2 4 in
+  Alcotest.(check bool) "v2 sample conforms to v2" true
+    (Value.conforms (Ptype.Record Helpers.response_v2) v);
+  Alcotest.(check bool) "v2 sample does not conform to v1" false
+    (Value.conforms (Ptype.Record Helpers.response_v1) v);
+  (* negative uint breaks conformance *)
+  Alcotest.(check bool) "uint must be non-negative" false
+    (Value.conforms Ptype.uint (Value.Uint (-1)))
+
+let test_sync_lengths () =
+  let v = Helpers.sample_v2 5 in
+  Value.set_field v "member_count" (Value.Int 0);
+  Value.sync_lengths Helpers.response_v2 v;
+  Alcotest.(check int) "resynced" 5 (Value.to_int (Value.get_field v "member_count"))
+
+let test_pp_smoke () =
+  let s = Value.to_string (Helpers.sample_v2 2) in
+  Alcotest.(check bool) "mentions field" true
+    (Helpers.contains s "member_count")
+
+let test_sizeof_unencoded_model () =
+  (* the C-layout model behind Table 1's "unencoded" rows: 4-byte ints and
+     bools, 8-byte floats, 1-byte chars, strings with a NUL terminator *)
+  let fmt =
+    Ptype_dsl.format_of_string_exn
+      "format S { int a; bool b; float f; char c; string s; }"
+  in
+  let v =
+    Value.record
+      [ ("a", Value.Int 1); ("b", Value.Bool true); ("f", Value.Float 2.0);
+        ("c", Value.Char 'x'); ("s", Value.String "abcde") ]
+  in
+  Alcotest.(check int) "4+4+8+1+(5+1)" 23 (Sizeof.unencoded fmt v);
+  (* variable arrays scale linearly with their element count *)
+  let base = Sizeof.unencoded Helpers.response_v2 (Helpers.sample_v2 0) in
+  let one = Sizeof.unencoded Helpers.response_v2 (Helpers.sample_v2 1) in
+  let ten = Sizeof.unencoded Helpers.response_v2 (Helpers.sample_v2 10) in
+  Alcotest.(check int) "linear in members" (base + (10 * (one - base))) ten
+
+(* --- properties ---------------------------------------------------------------- *)
+
+let prop_copy_equal =
+  QCheck.Test.make ~name:"copy is equal" ~count:200 Helpers.arb_format_and_value
+    (fun (_, v) -> Value.equal v (Value.copy v))
+
+let prop_default_conforms =
+  QCheck.Test.make ~name:"default value conforms to its format" ~count:200
+    Helpers.arb_format (fun r ->
+        Value.conforms (Ptype.Record r) (Value.default_record r))
+
+let prop_generated_value_conforms =
+  QCheck.Test.make ~name:"generated values conform" ~count:200
+    Helpers.arb_format_and_value (fun (r, v) -> Value.conforms (Ptype.Record r) v)
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "accessor type errors" `Quick test_accessor_type_errors;
+    Alcotest.test_case "record fields" `Quick test_record_fields;
+    Alcotest.test_case "array operations" `Quick test_array_ops;
+    Alcotest.test_case "array growth model" `Quick test_array_growth_uses_model;
+    Alcotest.test_case "copy is deep" `Quick test_copy_is_deep;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "of_const on enums" `Quick test_of_const_enum;
+    Alcotest.test_case "conforms" `Quick test_conforms;
+    Alcotest.test_case "sync_lengths" `Quick test_sync_lengths;
+    Alcotest.test_case "pretty-printer" `Quick test_pp_smoke;
+    Alcotest.test_case "sizeof: unencoded C-layout model" `Quick test_sizeof_unencoded_model;
+    Helpers.qtest prop_copy_equal;
+    Helpers.qtest prop_default_conforms;
+    Helpers.qtest prop_generated_value_conforms;
+  ]

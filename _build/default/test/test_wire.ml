@@ -1,0 +1,213 @@
+(* Unit and property tests for the PBIO wire codec. *)
+
+open Pbio
+
+let roundtrip ?(endian = Wire.Little) r v =
+  let bytes = Wire.encode ~endian ~format_id:42 r v in
+  let h = Wire.read_header bytes in
+  Alcotest.(check int) "format id" 42 h.Wire.format_id;
+  Wire.decode r bytes
+
+let test_roundtrip_all_basics () =
+  let fmt =
+    Ptype_dsl.format_of_string_exn
+      {|
+        enum color { red, green, blue = 9 }
+        format All {
+          int i; unsigned u; float f; char c; bool b; string s; color e;
+        }
+      |}
+  in
+  let v =
+    Value.record
+      [
+        ("i", Value.Int (-123456));
+        ("u", Value.Uint 4000000000);
+        ("f", Value.Float 3.14159);
+        ("c", Value.Char '\xff');
+        ("b", Value.Bool true);
+        ("s", Value.String "hello \x00 world \xe2\x82\xac");
+        ("e", Value.Enum ("blue", 9));
+      ]
+  in
+  Alcotest.check Helpers.value "little" v (roundtrip fmt v);
+  Alcotest.check Helpers.value "big" v (roundtrip ~endian:Wire.Big fmt v)
+
+let test_roundtrip_nested () =
+  let v = Helpers.sample_v2 7 in
+  Alcotest.check Helpers.value "nested LE" v (roundtrip Helpers.response_v2 v);
+  Alcotest.check Helpers.value "nested BE" v (roundtrip ~endian:Wire.Big Helpers.response_v2 v)
+
+let test_roundtrip_empty_arrays () =
+  let v = Helpers.sample_v2 0 in
+  Alcotest.check Helpers.value "empty member list" v (roundtrip Helpers.response_v2 v)
+
+let test_fixed_arrays () =
+  let fmt = Ptype_dsl.format_of_string_exn "format F { int xs[4]; }" in
+  let v =
+    Value.record [ ("xs", Value.array_of_list (List.init 4 (fun i -> Value.Int i))) ]
+  in
+  Alcotest.check Helpers.value "fixed" v (roundtrip fmt v);
+  (* wrong element count is an encode error *)
+  let bad = Value.record [ ("xs", Value.array_of_list [ Value.Int 1 ]) ] in
+  (try
+     ignore (Wire.encode ~format_id:1 fmt bad);
+     Alcotest.fail "expected Encode_error"
+   with Wire.Encode_error _ -> ())
+
+let test_header_size_overhead () =
+  (* the paper reports PBIO adds < 30 bytes to the unencoded message *)
+  Alcotest.(check bool) "header under 30 bytes" true (Wire.header_size < 30);
+  let v = Helpers.sample_v2 100 in
+  let wire = String.length (Wire.encode ~format_id:1 Helpers.response_v2 v) in
+  let unenc = Sizeof.unencoded Helpers.response_v2 v in
+  (* strings carry a 4-byte length instead of a NUL, ints stay 4 bytes:
+     encoded size stays within a few percent of unencoded *)
+  Alcotest.(check bool) "within 10% of unencoded" true
+    (abs (wire - unenc) * 10 <= unenc)
+
+let test_sizeof_agrees_with_encoder () =
+  let v = Helpers.sample_v2 13 in
+  let wire = Wire.encode ~format_id:1 Helpers.response_v2 v in
+  Alcotest.(check int) "payload size prediction"
+    (String.length wire - Wire.header_size)
+    (Sizeof.wire_payload Helpers.response_v2 v)
+
+let test_length_field_mismatch_rejected () =
+  let v = Helpers.sample_v2 3 in
+  Value.set_field v "member_count" (Value.Int 2);
+  (try
+     ignore (Wire.encode ~format_id:1 Helpers.response_v2 v);
+     Alcotest.fail "expected Encode_error"
+   with Wire.Encode_error _ -> ())
+
+let test_int_range_checked () =
+  let fmt = Ptype_dsl.format_of_string_exn "format F { int x; }" in
+  let v = Value.record [ ("x", Value.Int 0x1_0000_0000) ] in
+  (try
+     ignore (Wire.encode ~format_id:1 fmt v);
+     Alcotest.fail "expected Encode_error"
+   with Wire.Encode_error _ -> ())
+
+let expect_decode_error f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Decode_error"
+  with Wire.Decode_error _ -> ()
+
+let test_decode_errors () =
+  let fmt = Ptype_dsl.format_of_string_exn "format F { int x; string s; }" in
+  let v = Value.record [ ("x", Value.Int 5); ("s", Value.String "abc") ] in
+  let good = Wire.encode ~format_id:1 fmt v in
+  expect_decode_error (fun () -> Wire.decode fmt "short");
+  expect_decode_error (fun () -> Wire.decode fmt ("XXXX" ^ String.sub good 4 (String.length good - 4)));
+  (* truncated payload *)
+  expect_decode_error (fun () -> Wire.read_header (String.sub good 0 (String.length good - 1)));
+  (* bad endian flag *)
+  let bad = Bytes.of_string good in
+  Bytes.set bad 4 '\x07';
+  expect_decode_error (fun () -> Wire.decode fmt (Bytes.to_string bad));
+  (* bad version *)
+  let bad = Bytes.of_string good in
+  Bytes.set bad 5 '\x09';
+  expect_decode_error (fun () -> Wire.decode fmt (Bytes.to_string bad));
+  (* string length pointing past the end *)
+  let payload_off = Wire.header_size + 4 in
+  let bad = Bytes.of_string good in
+  Bytes.set_int32_le bad payload_off 1000l;
+  expect_decode_error (fun () -> Wire.decode fmt (Bytes.to_string bad))
+
+let test_decode_with_wrong_format_fails_or_differs () =
+  (* decoding v2 bytes with the v1 format must not silently produce the
+     same value (this is exactly the failure morphing avoids) *)
+  let v = Helpers.sample_v2 2 in
+  let bytes = Wire.encode ~format_id:1 Helpers.response_v2 v in
+  (match Wire.decode Helpers.response_v1 bytes with
+   | exception Wire.Decode_error _ -> ()
+   | exception Value.Type_error _ -> ()
+   | v' ->
+     Alcotest.(check bool) "misdecoded value differs" false (Value.equal v v'))
+
+let test_negative_length_field_rejected () =
+  let fmt = Ptype_dsl.format_of_string_exn "format F { int n; int xs[n]; }" in
+  let v = Value.record [ ("n", Value.Int 2);
+                         ("xs", Value.array_of_list [ Value.Int 1; Value.Int 2 ]) ] in
+  let good = Wire.encode ~format_id:1 fmt v in
+  let bad = Bytes.of_string good in
+  Bytes.set_int32_le bad Wire.header_size (-5l);
+  expect_decode_error (fun () -> Wire.decode fmt (Bytes.to_string bad))
+
+(* --- properties ----------------------------------------------------------------- *)
+
+let prop_roundtrip_le =
+  QCheck.Test.make ~name:"wire roundtrip (little-endian)" ~count:300
+    Helpers.arb_format_and_value (fun (r, v) ->
+        Value.equal v (Wire.decode r (Wire.encode ~format_id:7 r v)))
+
+let prop_roundtrip_be =
+  QCheck.Test.make ~name:"wire roundtrip (big-endian)" ~count:300
+    Helpers.arb_format_and_value (fun (r, v) ->
+        Value.equal v (Wire.decode r (Wire.encode ~endian:Wire.Big ~format_id:7 r v)))
+
+let prop_sizeof_exact =
+  QCheck.Test.make ~name:"Sizeof.wire_payload predicts encoder output" ~count:300
+    Helpers.arb_format_and_value (fun (r, v) ->
+        String.length (Wire.encode ~format_id:1 r v) - Wire.header_size
+        = Sizeof.wire_payload r v)
+
+(* Robustness: a corrupted byte anywhere in a valid message must produce a
+   controlled decode failure (or a value), never a crash, hang or
+   uncontrolled allocation. *)
+let prop_fuzz_single_byte_corruption =
+  QCheck.Test.make ~name:"single-byte corruption fails cleanly" ~count:400
+    QCheck.(pair Helpers.arb_format_and_value (pair small_nat small_nat))
+    (fun ((r, v), (pos_seed, byte_seed)) ->
+       let good = Wire.encode ~format_id:1 r v in
+       let pos = pos_seed mod String.length good in
+       let bad = Bytes.of_string good in
+       let newbyte = Char.chr ((Char.code (Bytes.get bad pos) + 1 + byte_seed) land 0xff) in
+       Bytes.set bad pos newbyte;
+       match Wire.decode r (Bytes.to_string bad) with
+       | _ -> true
+       | exception Wire.Decode_error _ -> true
+       | exception Value.Type_error _ -> true)
+
+let prop_truncation_fails_cleanly =
+  QCheck.Test.make ~name:"truncated messages fail cleanly" ~count:200
+    QCheck.(pair Helpers.arb_format_and_value small_nat)
+    (fun ((r, v), cut_seed) ->
+       let good = Wire.encode ~format_id:1 r v in
+       let keep = cut_seed mod String.length good in
+       match Wire.decode r (String.sub good 0 keep) with
+       | _ -> false (* a strict prefix can never decode completely *)
+       | exception Wire.Decode_error _ -> true
+       | exception Value.Type_error _ -> true)
+
+let prop_endianness_size_invariant =
+  QCheck.Test.make ~name:"byte order does not change message size" ~count:200
+    Helpers.arb_format_and_value (fun (r, v) ->
+        String.length (Wire.encode ~format_id:1 r v)
+        = String.length (Wire.encode ~endian:Wire.Big ~format_id:1 r v))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip: all basic types" `Quick test_roundtrip_all_basics;
+    Alcotest.test_case "roundtrip: nested records + var arrays" `Quick test_roundtrip_nested;
+    Alcotest.test_case "roundtrip: empty arrays" `Quick test_roundtrip_empty_arrays;
+    Alcotest.test_case "fixed arrays" `Quick test_fixed_arrays;
+    Alcotest.test_case "header overhead < 30 bytes (paper)" `Quick test_header_size_overhead;
+    Alcotest.test_case "sizeof agrees with encoder" `Quick test_sizeof_agrees_with_encoder;
+    Alcotest.test_case "length-field mismatch rejected" `Quick test_length_field_mismatch_rejected;
+    Alcotest.test_case "32-bit int range checked" `Quick test_int_range_checked;
+    Alcotest.test_case "decode error handling" `Quick test_decode_errors;
+    Alcotest.test_case "wrong format does not silently decode" `Quick
+      test_decode_with_wrong_format_fails_or_differs;
+    Alcotest.test_case "negative length field rejected" `Quick
+      test_negative_length_field_rejected;
+    Helpers.qtest prop_roundtrip_le;
+    Helpers.qtest prop_roundtrip_be;
+    Helpers.qtest prop_sizeof_exact;
+    Helpers.qtest prop_fuzz_single_byte_corruption;
+    Helpers.qtest prop_truncation_fails_cleanly;
+    Helpers.qtest prop_endianness_size_invariant;
+  ]
