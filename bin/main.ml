@@ -321,9 +321,55 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run a two-node cross-version ECho demo")
     Term.(const run $ const ())
 
+(* --- morphcheck --------------------------------------------------------------- *)
+
+let morphcheck_cmd =
+  let run seed count oracle =
+    let module O = Morphcheck.Oracle in
+    let names =
+      match oracle with
+      | "all" -> O.names
+      | "fuzz" -> O.fuzz_names
+      | name when List.mem name O.names -> [ name ]
+      | name ->
+        Printf.eprintf "morphcheck: unknown oracle %S (expected all, fuzz, or one of: %s)\n"
+          name (String.concat ", " O.names);
+        exit 2
+    in
+    if count < 0 then begin
+      Printf.eprintf "morphcheck: --count must be non-negative\n";
+      exit 2
+    end;
+    Printf.printf "morphcheck: seed=%d count=%d\n" seed count;
+    let reports = O.run ~names ~seed ~count () in
+    List.iter (fun r -> Format.printf "%a@." O.pp_report r) reports;
+    let failed = List.filter (fun r -> not (O.passed r)) reports in
+    if failed = [] then print_endline "morphcheck: ok"
+    else begin
+      Printf.printf "morphcheck: %d oracle(s) failed; reproduce with --seed %d\n"
+        (List.length failed) seed;
+      exit 1
+    end
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"N" ~doc:"Campaign seed")
+  in
+  let count =
+    Arg.(value & opt int 1000 & info [ "count"; "n" ] ~docv:"N" ~doc:"Cases per oracle")
+  in
+  let oracle =
+    Arg.(value & opt string "all"
+         & info [ "oracle"; "o" ] ~docv:"NAME"
+             ~doc:"Oracle to run: all, fuzz, or a single oracle name")
+  in
+  Cmd.v
+    (Cmd.info "morphcheck"
+       ~doc:"Run the randomized differential oracles and mutation fuzzer")
+    Term.(const run $ seed $ count $ oracle)
+
 let () =
   let info =
     Cmd.info "morphctl" ~version:"1.0.0"
       ~doc:"Message-morphing toolkit (ICDCS 2005 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; morphcheck_cmd ]))

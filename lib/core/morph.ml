@@ -52,8 +52,11 @@ let meta ?(xforms = []) (body : Ptype.record) : Meta.format_meta =
 let check_meta (m : Meta.format_meta) : (unit, string) result =
   let rec go = function
     | [] -> Ok ()
-    | x :: rest ->
-      (match Xform.check ~source:m.Meta.body x with
+    | (x : Meta.xform_spec) :: rest ->
+      (* A chained spec compiles against its declared source, not the base
+         format — exactly as the receiver will compile it. *)
+      let source = Option.value x.source ~default:m.Meta.body in
+      (match Xform.check ~source x with
        | Ok () -> go rest
        | Error _ as e -> e)
   in

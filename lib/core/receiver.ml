@@ -267,9 +267,21 @@ let cache_pipeline t (meta : Meta.format_meta) (p : pipeline) : unit =
 let run_pipeline t (meta : Meta.format_meta) (p : pipeline) (v : Value.t) : outcome =
   match p with
   | Accept { format_name; via; transform; handler } ->
-    handler (transform v);
-    t.stats.delivered <- t.stats.delivered + 1;
-    Delivered { format_name; via }
+    (* A transformation can still fail at run time on values its code never
+       anticipated (hostile or corrupt input); that rejects the message
+       rather than crashing the receiver.  Handler exceptions propagate:
+       they are application bugs, not message faults. *)
+    (match transform v with
+     | v' ->
+       handler v';
+       t.stats.delivered <- t.stats.delivered + 1;
+       Delivered { format_name; via }
+     | exception
+         (Value.Type_error msg
+         | Ecode.Compile.Runtime_error msg
+         | Ecode.Interp.Runtime_error msg) ->
+       t.stats.rejected <- t.stats.rejected + 1;
+       Rejected (Fmt.str "transformation failed: %s" msg))
   | Reject reason ->
     (match t.default_handler with
      | Some f ->
@@ -294,8 +306,11 @@ let deliver t (meta : Meta.format_meta) (v : Value.t) : outcome =
 (* Decode a whole wire message (as produced by [Pbio.Wire.encode]) and
    deliver it.  [meta] must describe the message's wire format. *)
 let deliver_wire t (meta : Meta.format_meta) (message : string) : outcome =
-  let v = Wire.decode meta.Meta.body message in
-  deliver t meta v
+  match Wire.decode_result meta.Meta.body message with
+  | Ok v -> deliver t meta v
+  | Error e ->
+    t.stats.rejected <- t.stats.rejected + 1;
+    Rejected (Fmt.str "wire decode failed: %s" e)
 
 (* Describe, without delivering or caching, what Algorithm 2 would do with
    messages of this format — for diagnostics and operator tooling. *)

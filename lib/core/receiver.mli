@@ -69,7 +69,9 @@ val set_default_handler : t -> (Meta.format_meta -> Value.t -> unit) -> unit
 val deliver : t -> Meta.format_meta -> Value.t -> outcome
 
 (** Decode a complete wire message (as produced by {!Pbio.Wire.encode}
-    under [meta]'s body format) and deliver it. *)
+    under [meta]'s body format) and deliver it.  Malformed or truncated
+    messages are {!Rejected}, never an exception: receivers stay up under
+    hostile input. *)
 val deliver_wire : t -> Meta.format_meta -> string -> outcome
 
 (** Describe, without delivering or caching, what Algorithm 2 would do

@@ -1,0 +1,118 @@
+(* Sized random generators for PBIO formats and conforming values.
+
+   Promoted out of test/helpers.ml so that the test suites, the morphcheck
+   CLI campaigns and the benchmarks all draw structures from the same
+   distribution.  Invariants maintained by construction:
+     - field names are unique within each record;
+     - a variable array is immediately preceded by its integer length field;
+     - generated values conform to their format with length fields synced
+       (ready for {!Pbio.Wire.encode}). *)
+
+open Pbio
+open Rgen
+
+let basic : Ptype.basic t =
+  frequencyl
+    [
+      (4, Ptype.Int);
+      (2, Ptype.Uint);
+      (3, Ptype.Float);
+      (2, Ptype.Char);
+      (3, Ptype.Bool);
+      (4, Ptype.String);
+      (1, Ptype.Enum { ename = "color"; cases = [ ("red", 0); ("green", 1); ("blue", 5) ] });
+    ]
+
+let field_name i = Printf.sprintf "f%d" i
+
+(* Generate a record with [nfields] field slots at [depth]; a variable array
+   consumes one slot but contributes two fields (length + array). *)
+let rec record_sized (depth : int) (nfields : int) : Ptype.record t =
+  let* name_tag = int_range 0 999 in
+  let rec build i acc_rev =
+    if i >= nfields then return (List.rev acc_rev)
+    else
+      let* choice =
+        if depth <= 0 then pure `Basic
+        else frequencyl [ (6, `Basic); (1, `Record); (2, `Array) ]
+      in
+      match choice with
+      | `Basic ->
+        let* b = basic in
+        build (i + 1) ({ Ptype.fname = field_name i; ftype = Basic b; fdefault = None } :: acc_rev)
+      | `Record ->
+        let* sub = record_sized (depth - 1) 3 in
+        build (i + 1) ({ Ptype.fname = field_name i; ftype = Record sub; fdefault = None } :: acc_rev)
+      | `Array ->
+        let* elem =
+          if depth <= 1 then
+            let* b = basic in
+            pure (Ptype.Basic b)
+          else
+            let* sub = record_sized (depth - 1) 2 in
+            pure (Ptype.Record sub)
+        in
+        let* fixed = bool in
+        if fixed then
+          let* n = int_range 0 4 in
+          build (i + 1)
+            ({ Ptype.fname = field_name i; ftype = Array { elem; size = Fixed n }; fdefault = None }
+             :: acc_rev)
+        else begin
+          let len_name = field_name i ^ "_len" in
+          let len_field = { Ptype.fname = len_name; ftype = Ptype.int_; fdefault = None } in
+          let arr_field =
+            { Ptype.fname = field_name i;
+              ftype = Array { elem; size = Length_field len_name };
+              fdefault = None }
+          in
+          build (i + 1) (arr_field :: len_field :: acc_rev)
+        end
+  in
+  let* fields = build 0 [] in
+  return { Ptype.rname = Printf.sprintf "R%d" name_tag; fields }
+
+let record : Ptype.record t =
+  let* n = int_range 1 6 in
+  record_sized 2 n
+
+(* A value conforming to [r], with synced length fields. *)
+let value_for (r : Ptype.record) : Value.t t =
+  let gen_string = string_size ~gen:(char_range 'a' 'z') (int_range 0 12) in
+  let rec gen_type (ty : Ptype.t) : Value.t t =
+    match ty with
+    | Basic Int -> map (fun n -> Value.Int n) (int_range (-1000000) 1000000)
+    | Basic Uint -> map (fun n -> Value.Uint n) (int_range 0 2000000)
+    | Basic Float ->
+      map (fun x -> Value.Float (Float.of_int x /. 16.)) (int_range (-100000) 100000)
+    | Basic Char -> map (fun c -> Value.Char c) (char_range ' ' '~')
+    | Basic Bool -> map (fun b -> Value.Bool b) bool
+    | Basic String -> map (fun s -> Value.String s) gen_string
+    | Basic (Enum e) -> map (fun (c, n) -> Value.Enum (c, n)) (oneofl e.Ptype.cases)
+    | Record r -> gen_rec r
+    | Array { elem; size = Fixed n } ->
+      let* items = list_repeat n (gen_type elem) in
+      return (Value.array_of_list items)
+    | Array { elem; size = Length_field _ } ->
+      let* n = int_range 0 5 in
+      let* items = list_repeat n (gen_type elem) in
+      return (Value.array_of_list items)
+  and gen_rec (r : Ptype.record) : Value.t t =
+    let rec go fields acc_rev =
+      match fields with
+      | [] ->
+        let v = Value.Record (Array.of_list (List.rev acc_rev)) in
+        Value.sync_lengths r v;
+        return v
+      | (f : Ptype.field) :: rest ->
+        let* v = gen_type f.ftype in
+        go rest ({ Value.name = f.fname; v } :: acc_rev)
+    in
+    go r.Ptype.fields []
+  in
+  gen_rec r
+
+let format_and_value : (Ptype.record * Value.t) t =
+  let* r = record in
+  let* v = value_for r in
+  return (r, v)

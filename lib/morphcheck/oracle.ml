@@ -1,0 +1,267 @@
+(* Differential oracles and fuzz targets, with a deterministic campaign
+   runner.
+
+   Each oracle is a single randomized test case over one fresh RNG substream
+   derived from (campaign seed, case index), so any failing case is
+   reproducible from the numbers in its report line alone.
+
+   The four differential oracles:
+     roundtrip  wire encode/decode is the identity on conforming values
+     engines    compiled and interpreted Ecode agree on evolution rollbacks
+     chain      a receiver morphing v_n -> v_0 through a spec chain equals
+                the direct composition of the generated hop transformations
+     weighted   uniform-weight Weighted matching reproduces the plain
+                integer Diff / Maxmatch quantities and selections
+
+   The fuzz targets corrupt encoded buffers and require structured [Error]s
+   (never an escaping exception) from the wire, meta, framing and receiver
+   decode paths. *)
+
+open Pbio
+
+type failure = {
+  case : int;
+  detail : string;
+}
+
+type report = {
+  oracle : string;
+  cases : int;
+  failures : failure list; (* first-seen order, capped *)
+}
+
+let passed (r : report) = r.failures = []
+
+exception Counterexample of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Counterexample s)) fmt
+
+let max_recorded_failures = 10
+
+(* Independent, reproducible substream per case. *)
+let case_state ~seed i = Random.State.make [| 0x6d63; seed; i |]
+
+let run_cases ~oracle ~seed ~count (case : Random.State.t -> unit) : report =
+  let failures = ref [] in
+  let nfail = ref 0 in
+  for i = 0 to count - 1 do
+    let record detail =
+      incr nfail;
+      if !nfail <= max_recorded_failures then failures := { case = i; detail } :: !failures
+    in
+    match case (case_state ~seed i) with
+    | () -> ()
+    | exception Counterexample msg -> record msg
+    | exception e -> record ("uncaught exception: " ^ Printexc.to_string e)
+  done;
+  { oracle; cases = count; failures = List.rev !failures }
+
+(* --- differential oracles ------------------------------------------------- *)
+
+let roundtrip_case st =
+  let r, v = Gen.format_and_value st in
+  let endian = if Rgen.bool st then Wire.Little else Wire.Big in
+  let format_id = Rgen.int_range 0 0xffff st in
+  let msg = Wire.encode ~endian ~format_id r v in
+  (match Wire.decode_result r msg with
+   | Error e -> fail "decode failed on own encoding: %s@ format %s" e (Ptype.record_to_string r)
+   | Ok v' ->
+     if not (Value.equal v v') then
+       fail "roundtrip mismatch:@ format %s@ in  %s@ out %s"
+         (Ptype.record_to_string r) (Value.to_string v) (Value.to_string v'));
+  (match Wire.read_header_result msg with
+   | Error e -> fail "header rejected: %s" e
+   | Ok h ->
+     if h.Wire.format_id <> format_id then
+       fail "header format id %d, expected %d" h.Wire.format_id format_id);
+  let payload = Wire.encode_payload ~endian r v in
+  match Wire.decode_payload_result ~endian r payload with
+  | Error e -> fail "payload decode failed: %s" e
+  | Ok v' ->
+    if not (Value.equal v v') then fail "payload roundtrip mismatch on format %s"
+        (Ptype.record_to_string r)
+
+let engines_case st =
+  let before = Gen.record st in
+  let s = Evolve.step before st in
+  let v = Gen.value_for s.Evolve.after st in
+  let compiled =
+    match Ecode.compile_xform ~src:s.Evolve.after ~dst:s.Evolve.before s.Evolve.code with
+    | Ok f -> f
+    | Error e ->
+      fail "generated rollback rejected by compiler (%a): %s@ code:@ %s"
+        Evolve.pp_op s.Evolve.op e s.Evolve.code
+  in
+  let interpreted =
+    match Ecode.interpret_xform ~src:s.Evolve.after ~dst:s.Evolve.before s.Evolve.code with
+    | Ok f -> f
+    | Error e ->
+      fail "generated rollback rejected by interpreter (%a): %s" Evolve.pp_op s.Evolve.op e
+  in
+  let a = compiled (Value.copy v) in
+  let b = interpreted (Value.copy v) in
+  if not (Value.equal a b) then
+    fail "engines disagree on %a:@ input %s@ compiled %s@ interpreted %s"
+      Evolve.pp_op s.Evolve.op (Value.to_string v) (Value.to_string a) (Value.to_string b)
+
+let chain_case st =
+  let base = Gen.record st in
+  let c = Evolve.chain base st in
+  let hd = Evolve.head c in
+  let v = Gen.value_for hd st in
+  let meta = Evolve.meta_of_chain c in
+  (* direct composition of the generated hop transformations, newest first *)
+  let rollbacks =
+    List.rev_map
+      (fun (s : Evolve.step) ->
+         match Ecode.compile_xform ~src:s.after ~dst:s.before s.code with
+         | Ok f -> f
+         | Error e -> fail "hop %a does not compile: %s" Evolve.pp_op s.op e)
+      c.Evolve.steps
+  in
+  let expected = List.fold_left (fun x f -> f x) (Value.copy v) rollbacks in
+  match Morph.morph_to meta ~target:c.Evolve.base (Value.copy v) with
+  | Error e ->
+    fail "receiver rejected a valid %d-hop chain: %s" (List.length c.Evolve.steps) e
+  | Ok got ->
+    if not (Value.equal got expected) then
+      fail "chain mismatch over %d hops [%a]:@ input %s@ receiver %s@ direct %s"
+        (List.length c.Evolve.steps)
+        (Fmt.list ~sep:Fmt.comma Evolve.pp_op)
+        (List.map (fun (s : Evolve.step) -> s.op) c.Evolve.steps)
+        (Value.to_string v) (Value.to_string got) (Value.to_string expected)
+
+let weighted_case st =
+  let open Morph in
+  let n1 = Rgen.int_range 1 3 st in
+  let n2 = Rgen.int_range 1 3 st in
+  let set1 = List.init n1 (fun _ -> Gen.record st) in
+  let set2 = List.init n2 (fun _ -> Gen.record st) in
+  let feq a b = Float.abs (a -. b) <= 1e-9 in
+  List.iter
+    (fun f1 ->
+       List.iter
+         (fun f2 ->
+            let d = float_of_int (Diff.diff f1 f2) in
+            let wd = Weighted.diff Weighted.uniform f1 f2 in
+            if not (feq d wd) then
+              fail "uniform weighted diff %g, plain diff %g (%s vs %s)" wd d
+                f1.Ptype.rname f2.Ptype.rname;
+            let r = Diff.mismatch_ratio f1 f2 in
+            let wr = Weighted.mismatch_ratio Weighted.uniform f1 f2 in
+            if not (feq r wr) then
+              fail "uniform weighted Mr %g, plain Mr %g (%s vs %s)" wr r
+                f1.Ptype.rname f2.Ptype.rname)
+         set2)
+    set1;
+  let plain = Maxmatch.max_match ~thresholds:Maxmatch.default_thresholds set1 set2 in
+  let weighted =
+    Weighted.max_match ~weights:Weighted.uniform
+      ~thresholds:
+        { Weighted.diff_threshold =
+            float_of_int Maxmatch.default_thresholds.Maxmatch.diff_threshold;
+          mismatch_threshold = Maxmatch.default_thresholds.Maxmatch.mismatch_threshold }
+      set1 set2
+  in
+  match plain, weighted with
+  | None, None -> ()
+  | Some m, None ->
+    fail "plain MaxMatch selects %s -> %s, weighted finds nothing"
+      m.Maxmatch.f1.Ptype.rname m.Maxmatch.f2.Ptype.rname
+  | None, Some m ->
+    fail "weighted MaxMatch selects %s -> %s, plain finds nothing"
+      m.Weighted.f1.Ptype.rname m.Weighted.f2.Ptype.rname
+  | Some m, Some w ->
+    if not (Ptype.equal_record m.Maxmatch.f1 w.Weighted.f1
+            && Ptype.equal_record m.Maxmatch.f2 w.Weighted.f2) then
+      fail "MaxMatch selections differ: plain %s -> %s, weighted %s -> %s"
+        m.Maxmatch.f1.Ptype.rname m.Maxmatch.f2.Ptype.rname
+        w.Weighted.f1.Ptype.rname w.Weighted.f2.Ptype.rname;
+    if not (feq (float_of_int m.Maxmatch.diff12) w.Weighted.diff12
+            && feq (float_of_int m.Maxmatch.diff21) w.Weighted.diff21
+            && feq m.Maxmatch.ratio w.Weighted.ratio) then
+      fail "MaxMatch quantities differ: plain (%d, %d, %.3f), weighted (%.1f, %.1f, %.3f)"
+        m.Maxmatch.diff12 m.Maxmatch.diff21 m.Maxmatch.ratio
+        w.Weighted.diff12 w.Weighted.diff21 w.Weighted.ratio
+
+(* --- fuzz targets --------------------------------------------------------- *)
+
+let fuzz_wire_case st =
+  let r, v = Gen.format_and_value st in
+  let msg = Wire.encode ~format_id:3 r v in
+  let bad = Fuzz.mutate msg st in
+  (* must return, never raise *)
+  (match Wire.read_header_result bad with Ok _ | Error _ -> ());
+  (match Wire.decode_result r bad with Ok _ | Error _ -> ());
+  match Wire.decode_payload_result r bad with Ok _ | Error _ -> ()
+
+let fuzz_meta_case st =
+  let base = Gen.record st in
+  let c = Evolve.chain base st in
+  let encoded = Meta.encode (Evolve.meta_of_chain c) in
+  let bad = Fuzz.mutate encoded st in
+  match Meta.decode bad with
+  | Error _ -> ()
+  | Ok m ->
+    (* a decoded-but-corrupt format must still be safe to validate *)
+    (match Ptype.validate m.Meta.body with Ok () | Error _ -> ())
+
+let fuzz_framing_case st =
+  let r, v = Gen.format_and_value st in
+  let frame =
+    Rgen.frequencyl
+      [ (3, Transport.Framing.Data { format_id = 7; message = Wire.encode ~format_id:7 r v });
+        (2, Transport.Framing.Meta { format_id = 7; meta = Meta.encode (Meta.plain r) });
+        (1, Transport.Framing.Meta_request { format_id = 7 }) ]
+      st
+  in
+  let bad = Fuzz.mutate (Transport.Framing.encode frame) st in
+  match Transport.Framing.decode_result bad with Ok _ | Error _ -> ()
+
+let fuzz_receiver_case st =
+  let base = Gen.record st in
+  let c = Evolve.chain ~max_steps:2 base st in
+  let meta = Evolve.meta_of_chain c in
+  let hd = Evolve.head c in
+  let v = Gen.value_for hd st in
+  let recv = Morph.Receiver.create () in
+  Morph.Receiver.register recv c.Evolve.base (fun _ -> ());
+  let msg = Wire.encode ~format_id:5 hd v in
+  let bad = Fuzz.mutate msg st in
+  (* any outcome is fine — Rejected included — but no exception may escape *)
+  ignore (Morph.Receiver.deliver_wire recv meta bad)
+
+(* --- campaign ------------------------------------------------------------- *)
+
+let oracles : (string * (Random.State.t -> unit)) list =
+  [
+    ("roundtrip", roundtrip_case);
+    ("engines", engines_case);
+    ("chain", chain_case);
+    ("weighted", weighted_case);
+    ("fuzz-wire", fuzz_wire_case);
+    ("fuzz-meta", fuzz_meta_case);
+    ("fuzz-framing", fuzz_framing_case);
+    ("fuzz-receiver", fuzz_receiver_case);
+  ]
+
+let names = List.map fst oracles
+
+let fuzz_names = List.filter (fun n -> String.length n > 5 && String.sub n 0 5 = "fuzz-") names
+
+let run ?names:(selected = names) ~seed ~count () : report list =
+  List.map
+    (fun name ->
+       match List.assoc_opt name oracles with
+       | None -> invalid_arg ("Oracle.run: unknown oracle " ^ name)
+       | Some case -> run_cases ~oracle:name ~seed ~count case)
+    selected
+
+let pp_report ppf (r : report) =
+  if passed r then Fmt.pf ppf "%-14s %6d cases  ok" r.oracle r.cases
+  else
+    Fmt.pf ppf "%-14s %6d cases  %d FAILED@,%a" r.oracle r.cases
+      (List.length r.failures)
+      (Fmt.list ~sep:Fmt.cut
+         (fun ppf f -> Fmt.pf ppf "  case %d: %s" f.case f.detail))
+      r.failures

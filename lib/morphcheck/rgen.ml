@@ -1,0 +1,62 @@
+(* Minimal random-generator combinators over an explicit [Random.State.t].
+
+   The representation ['a t = Random.State.t -> 'a] is deliberately the same
+   as [QCheck.Gen.t], so the test suites can wrap these generators into
+   QCheck arbitraries unchanged while bin/ and bench/ use them without a
+   QCheck dependency. *)
+
+type 'a t = Random.State.t -> 'a
+
+let return x : 'a t = fun _ -> x
+let pure = return
+let map f (g : 'a t) : 'b t = fun st -> f (g st)
+let bind (g : 'a t) (f : 'a -> 'b t) : 'b t = fun st -> f (g st) st
+let ( let* ) = bind
+
+(* Inclusive on both ends. *)
+let int_range lo hi : int t =
+  if hi < lo then invalid_arg "Rgen.int_range";
+  fun st -> lo + Random.State.int st (hi - lo + 1)
+
+let bool : bool t = fun st -> Random.State.bool st
+
+let oneofl (l : 'a list) : 'a t =
+  match l with
+  | [] -> invalid_arg "Rgen.oneofl: empty list"
+  | _ ->
+    let n = List.length l in
+    fun st -> List.nth l (Random.State.int st n)
+
+let frequencyl (l : (int * 'a) list) : 'a t =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 l in
+  if total <= 0 then invalid_arg "Rgen.frequencyl: non-positive total weight";
+  fun st ->
+    let k = Random.State.int st total in
+    let rec pick k = function
+      | [] -> assert false
+      | (w, x) :: rest -> if k < w then x else pick (k - w) rest
+    in
+    pick k l
+
+let list_repeat n (g : 'a t) : 'a list t =
+  fun st -> List.init n (fun _ -> g st)
+
+let char_range lo hi : char t =
+  map Char.chr (int_range (Char.code lo) (Char.code hi))
+
+let string_size ?(gen = char_range 'a' 'z') (size : int t) : string t =
+  fun st ->
+    let n = size st in
+    String.init n (fun _ -> gen st)
+
+(* Fisher-Yates over a copy of the list. *)
+let shuffle (l : 'a list) : 'a list t =
+  fun st ->
+    let a = Array.of_list l in
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    Array.to_list a

@@ -132,11 +132,13 @@ let rec take_type cur : Ptype.t =
   | 'e' ->
     let ename = take_str cur in
     let n = take_int cur in
+    if n < 0 then meta_error "negative enum case count";
     let cases = List.init n (fun _ -> let c = take_str cur in (c, take_int cur)) in
     Basic (Enum { ename; cases })
   | 'R' -> Record (take_record cur)
   | 'A' ->
     let n = take_int cur in
+    if n < 0 then meta_error "negative fixed array size";
     Array { size = Fixed n; elem = take_type cur }
   | 'V' ->
     let name = take_str cur in

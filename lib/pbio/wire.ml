@@ -191,7 +191,7 @@ let rec min_wire_size (ty : Ptype.t) : int =
   | Basic (Char | Bool) -> 1
   | Record r ->
     List.fold_left (fun acc (f : Ptype.field) -> acc + min_wire_size f.ftype) 0 r.fields
-  | Array { elem; size = Fixed k } -> k * min_wire_size elem
+  | Array { elem; size = Fixed k } -> max k 0 * min_wire_size elem
   | Array { size = Length_field _; _ } -> 0
 
 let rec decode_type endian cur (ty : Ptype.t) ~(length_of : string -> int) : Value.t =
@@ -215,17 +215,21 @@ let rec decode_type endian cur (ty : Ptype.t) ~(length_of : string -> int) : Val
     Value.String (read_bytes cur n)
   | Record r -> decode_record_inner endian cur r
   | Array { elem; size } ->
+    (* Both size sources are untrusted here: length fields come off the wire
+       and fixed sizes may come from a hostile format description (shipped
+       meta-data), so both are bounds-checked before any allocation. *)
+    let check_len ~what n =
+      if n < 0 then decode_error "negative array length %d for %s" n what;
+      let remaining = cur.limit - cur.pos in
+      let m = min_wire_size elem in
+      if (m > 0 && n > remaining / m) || (m = 0 && n > cur.limit) then
+        decode_error "array length %d for %s exceeds message size" n what;
+      n
+    in
     let n =
       match size with
-      | Fixed k -> k
-      | Length_field name ->
-        let n = length_of name in
-        if n < 0 then decode_error "negative array length %d for %S" n name;
-        let remaining = cur.limit - cur.pos in
-        let m = min_wire_size elem in
-        if (m > 0 && n > remaining / m) || (m = 0 && n > cur.limit) then
-          decode_error "array length %d for %S exceeds message size" n name;
-        n
+      | Fixed k -> check_len ~what:"fixed-size array" k
+      | Length_field name -> check_len ~what:(Printf.sprintf "%S" name) (length_of name)
     in
     let items = Array.init n (fun _ -> decode_type endian cur elem ~length_of) in
     Value.Array { items; len = n; model = Some (Value.default elem) }
@@ -280,3 +284,19 @@ let decode (r : Ptype.record) (data : string) : Value.t =
   if cur.pos <> cur.limit then
     decode_error "trailing garbage after record %s" r.rname;
   v
+
+(* --- result-typed decoding ----------------------------------------------- *)
+
+(* Total variants for untrusted input: every decoding failure — including a
+   type error surfaced while interpreting a hostile format description —
+   comes back as [Error] instead of an exception. *)
+
+let wrap (f : unit -> 'a) : ('a, string) result =
+  match f () with
+  | v -> Ok v
+  | exception Decode_error msg -> Error msg
+  | exception Value.Type_error msg -> Error msg
+
+let read_header_result data = wrap (fun () -> read_header data)
+let decode_result r data = wrap (fun () -> decode r data)
+let decode_payload_result ?endian r data = wrap (fun () -> decode_payload ?endian r data)

@@ -56,6 +56,18 @@ val decode : Ptype.record -> string -> Value.t
 (** Decode a bare payload (no header) in the given byte order. *)
 val decode_payload : ?endian:endian -> Ptype.record -> string -> Value.t
 
+(** {1 Result-typed decoding}
+
+    Total variants for untrusted input: any decoding failure — including a
+    type error surfaced while interpreting a hostile format description —
+    is returned as [Error] instead of raising. *)
+
+val read_header_result : string -> (header, string) result
+val decode_result : Ptype.record -> string -> (Value.t, string) result
+
+val decode_payload_result :
+  ?endian:endian -> Ptype.record -> string -> (Value.t, string) result
+
 (** Minimum wire footprint of one value of a type, used to validate length
     fields. *)
 val min_wire_size : Ptype.t -> int

@@ -50,4 +50,10 @@ let decode (s : string) : frame =
   | '\x03' -> Meta_request { format_id }
   | c -> frame_error "unknown frame kind %C" c
 
+(* Total variant for untrusted input. *)
+let decode_result (s : string) : (frame, string) result =
+  match decode s with
+  | f -> Ok f
+  | exception Frame_error msg -> Error msg
+
 let overhead = 9

@@ -19,5 +19,8 @@ val encode : frame -> string
 (** Raises {!Frame_error} on malformed frames. *)
 val decode : string -> frame
 
+(** Total variant: malformed frames come back as [Error]. *)
+val decode_result : string -> (frame, string) result
+
 (** Per-frame byte overhead. *)
 val overhead : int

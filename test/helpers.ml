@@ -43,119 +43,17 @@ let contains (hay : string) (needle : string) : bool =
 
 (* --- random format + value generation (for property tests) ------------------ *)
 
-(* A generator of valid random record formats: unique field names, variable
-   arrays always preceded by their integer length field, bounded depth. *)
+(* The generators live in Morphcheck.Gen (shared with the morphcheck CLI
+   campaigns and the benchmarks); [Morphcheck.Rgen.t] is the same type as
+   [QCheck.Gen.t], so they plug into QCheck arbitraries unchanged. *)
 
-let gen_basic : Ptype.basic QCheck.Gen.t =
-  QCheck.Gen.frequencyl
-    [
-      (4, Ptype.Int);
-      (2, Ptype.Uint);
-      (3, Ptype.Float);
-      (2, Ptype.Char);
-      (3, Ptype.Bool);
-      (4, Ptype.String);
-      (1, Ptype.Enum { ename = "color"; cases = [ ("red", 0); ("green", 1); ("blue", 5) ] });
-    ]
+let gen_basic : Ptype.basic QCheck.Gen.t = Morphcheck.Gen.basic
+let gen_record_sized = Morphcheck.Gen.record_sized
+let gen_record : Ptype.record QCheck.Gen.t = Morphcheck.Gen.record
+let gen_value_for (r : Ptype.record) : Value.t QCheck.Gen.t = Morphcheck.Gen.value_for r
 
-let field_name i = Printf.sprintf "f%d" i
-
-(* Generate a record with [n] fields at [depth]; a fresh counter keeps field
-   names unique within each record. *)
-let rec gen_record_sized (depth : int) (nfields : int) : Ptype.record QCheck.Gen.t =
-  let open QCheck.Gen in
-  let* name_tag = int_range 0 999 in
-  let rec build i acc_rev gens =
-    if i >= nfields then List.rev acc_rev |> return
-    else
-      let* choice = if depth <= 0 then pure `Basic else frequencyl [ (6, `Basic); (1, `Record); (2, `Array) ] in
-      match choice with
-      | `Basic ->
-        let* b = gen_basic in
-        build (i + 1) ({ Ptype.fname = field_name i; ftype = Basic b; fdefault = None } :: acc_rev) gens
-      | `Record ->
-        let* sub = gen_record_sized (depth - 1) 3 in
-        build (i + 1) ({ Ptype.fname = field_name i; ftype = Record sub; fdefault = None } :: acc_rev) gens
-      | `Array ->
-        let* elem =
-          if depth <= 1 then
-            let* b = gen_basic in
-            pure (Ptype.Basic b)
-          else
-            let* sub = gen_record_sized (depth - 1) 2 in
-            pure (Ptype.Record sub)
-        in
-        let* fixed = bool in
-        if fixed then
-          let* n = int_range 0 4 in
-          build (i + 1)
-            ({ Ptype.fname = field_name i; ftype = Array { elem; size = Fixed n }; fdefault = None }
-             :: acc_rev)
-            gens
-        else begin
-          (* length field, then the array *)
-          let len_name = field_name i ^ "_len" in
-          let len_field = { Ptype.fname = len_name; ftype = Ptype.int_; fdefault = None } in
-          let arr_field =
-            { Ptype.fname = field_name i;
-              ftype = Array { elem; size = Length_field len_name };
-              fdefault = None }
-          in
-          build (i + 1) (arr_field :: len_field :: acc_rev) gens
-        end
-  in
-  let* fields = build 0 [] () in
-  return { Ptype.rname = Printf.sprintf "R%d" name_tag; fields }
-
-let gen_record : Ptype.record QCheck.Gen.t =
-  let open QCheck.Gen in
-  let* n = int_range 1 6 in
-  gen_record_sized 2 n
-
-(* A value conforming to a given format, with synced length fields. *)
-let gen_value_for (r : Ptype.record) : Value.t QCheck.Gen.t =
-  let open QCheck.Gen in
-  let gen_string = string_size ~gen:(char_range 'a' 'z') (int_range 0 12) in
-  let rec gen_type (ty : Ptype.t) : Value.t QCheck.Gen.t =
-    match ty with
-    | Basic Int -> map (fun n -> Value.Int n) (int_range (-1000000) 1000000)
-    | Basic Uint -> map (fun n -> Value.Uint n) (int_range 0 2000000)
-    | Basic Float ->
-      map (fun x -> Value.Float (Float.of_int x /. 16.)) (int_range (-100000) 100000)
-    | Basic Char -> map (fun c -> Value.Char c) (char_range ' ' '~')
-    | Basic Bool -> map (fun b -> Value.Bool b) bool
-    | Basic String -> map (fun s -> Value.String s) gen_string
-    | Basic (Enum e) ->
-      map (fun (c, n) -> Value.Enum (c, n)) (oneofl e.Ptype.cases)
-    | Record r -> gen_rec r
-    | Array { elem; size = Fixed n } ->
-      let* items = list_repeat n (gen_type elem) in
-      return (Value.array_of_list items)
-    | Array { elem; size = Length_field _ } ->
-      let* n = int_range 0 5 in
-      let* items = list_repeat n (gen_type elem) in
-      return (Value.array_of_list items)
-  and gen_rec (r : Ptype.record) : Value.t QCheck.Gen.t =
-    let rec go fields acc_rev =
-      match fields with
-      | [] ->
-        let v = Value.Record (Array.of_list (List.rev acc_rev)) in
-        Value.sync_lengths r v;
-        return v
-      | (f : Ptype.field) :: rest ->
-        let* v = gen_type f.ftype in
-        go rest ({ Value.name = f.fname; v } :: acc_rev)
-    in
-    go r.Ptype.fields []
-  in
-  gen_rec r
-
-(* Paired (format, value) generator. *)
 let gen_format_and_value : (Ptype.record * Value.t) QCheck.Gen.t =
-  let open QCheck.Gen in
-  let* r = gen_record in
-  let* v = gen_value_for r in
-  return (r, v)
+  Morphcheck.Gen.format_and_value
 
 let arb_format_and_value : (Ptype.record * Value.t) QCheck.arbitrary =
   QCheck.make
@@ -165,5 +63,28 @@ let arb_format_and_value : (Ptype.record * Value.t) QCheck.arbitrary =
 let arb_format : Ptype.record QCheck.arbitrary =
   QCheck.make ~print:Ptype.record_to_string gen_record
 
-(* Convert a qcheck test into an alcotest case. *)
-let qtest t = QCheck_alcotest.to_alcotest t
+(* --- deterministic QCheck runs ----------------------------------------------- *)
+
+(* Properties run under a fixed seed so CI is reproducible; export
+   QCHECK_SEED to rerun a failure (QCheck itself also honours that
+   variable, taking precedence over the state passed here). *)
+
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (try int_of_string (String.trim s) with _ -> 42)
+  | None -> 42
+
+(* Convert a qcheck test into an alcotest case, pinning the seed and naming
+   it on failure. *)
+let qtest t =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed |]) t
+  in
+  ( name,
+    speed,
+    fun () ->
+      try run ()
+      with e ->
+        Printf.eprintf "[qcheck] %S failed; reproduce with QCHECK_SEED=%d\n%!"
+          name qcheck_seed;
+        raise e )

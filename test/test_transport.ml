@@ -151,6 +151,41 @@ let test_framing_errors () =
   expect_err (good ^ "x");
   expect_err (String.sub good 0 (String.length good - 1))
 
+let test_framing_decode_result () =
+  (* every strict prefix of a valid frame is a structured error; the full
+     frame decodes back to itself *)
+  let frames =
+    [
+      Framing.Meta { format_id = 3; meta = "metadata-bytes" };
+      Framing.Data { format_id = 77; message = "payload" };
+      Framing.Meta_request { format_id = 12 };
+    ]
+  in
+  List.iter
+    (fun f ->
+       let enc = Framing.encode f in
+       for n = 0 to String.length enc - 1 do
+         match Framing.decode_result (String.sub enc 0 n) with
+         | Ok _ -> Alcotest.failf "accepted a %d-byte prefix of a %d-byte frame" n (String.length enc)
+         | Error _ -> ()
+       done;
+       match Framing.decode_result enc with
+       | Ok f' -> Alcotest.(check bool) "full frame roundtrips" true (f = f')
+       | Error e -> Alcotest.failf "rejected a well-formed frame: %s" e)
+    frames
+
+let test_framing_garbage_kinds () =
+  (* an unknown kind byte with an otherwise plausible header is an error *)
+  List.iter
+    (fun k ->
+       let bogus = String.make 1 (Char.chr k) ^ String.make 8 '\x00' in
+       match Framing.decode_result bogus with
+       | Ok _ -> Alcotest.failf "accepted kind byte %d" k
+       | Error e ->
+         Alcotest.(check bool) "mentions the kind" true
+           (Helpers.contains e "kind"))
+    [ 0; 4; 9; 0x41; 255 ]
+
 (* --- connection protocol ---------------------------------------------------------- *)
 
 let fmt = Ptype_dsl.format_of_string_exn "format Ping { int seq; string tag; }"
@@ -261,6 +296,44 @@ let test_conn_survives_corruption () =
   ignore (Netsim.run net);
   Alcotest.(check int) "healthy again" 2 !got
 
+let test_conn_mid_stream_link_drop () =
+  (* the link fails after the stream is established: in-flight traffic is
+     lost, both endpoints stay up, and the stream resumes once the link is
+     repaired — without re-announcing meta-data *)
+  let net, a, b = setup () in
+  let got = ref 0 in
+  Conn.set_handler b (fun ~src:_ _ _ -> incr got);
+  let src = Contact.make "a" 1 and dst = Contact.make "b" 2 in
+  Conn.send a ~dst (Meta.plain fmt) (ping 1);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "established" 1 !got;
+  Netsim.set_link net ~src ~dst:dst Netsim.Down;
+  Conn.send a ~dst (Meta.plain fmt) (ping 2);
+  Conn.send a ~dst (Meta.plain fmt) (ping 3);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "nothing crosses a down link" 1 !got;
+  Netsim.set_link net ~src ~dst:dst Netsim.Up;
+  Conn.send a ~dst (Meta.plain fmt) (ping 4);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "stream resumes after repair" 2 !got;
+  Alcotest.(check int) "no second meta push" 1 (Conn.known_peer_formats b)
+
+let test_conn_meta_lost_in_flight () =
+  (* the meta announcement itself is destroyed mid-stream; the following
+     Data frame arrives for an unknown format, triggering the Meta_request
+     recovery path, after which the parked message is delivered *)
+  let net, a, b = setup () in
+  let got = ref 0 in
+  Conn.set_handler b (fun ~src:_ _ _ -> incr got);
+  let dst = Contact.make "b" 2 in
+  let first = ref true in
+  Netsim.set_corruption net
+    (Some (fun payload -> if !first then (first := false; "\xff" ^ payload) else payload));
+  Conn.send a ~dst (Meta.plain fmt) (ping 1);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "recovered via meta request" 1 !got;
+  Alcotest.(check int) "format learned on the retry" 1 (Conn.known_peer_formats b)
+
 let suite =
   [
     Alcotest.test_case "contact parse/print" `Quick test_contact;
@@ -273,6 +346,9 @@ let suite =
     Alcotest.test_case "netsim: cascading handlers" `Quick test_netsim_cascading;
     Alcotest.test_case "framing roundtrip" `Quick test_framing_roundtrip;
     Alcotest.test_case "framing errors" `Quick test_framing_errors;
+    Alcotest.test_case "framing: truncated frames are errors" `Quick
+      test_framing_decode_result;
+    Alcotest.test_case "framing: garbage kind bytes" `Quick test_framing_garbage_kinds;
     Alcotest.test_case "conn: meta pushed once" `Quick test_conn_meta_sent_once;
     Alcotest.test_case "conn: meta carries transformations" `Quick
       test_conn_meta_carries_xforms;
@@ -283,4 +359,6 @@ let suite =
     Alcotest.test_case "conn: big-endian sender" `Quick test_conn_big_endian_sender;
     Alcotest.test_case "conn: survives corrupted frames" `Quick
       test_conn_survives_corruption;
+    Alcotest.test_case "conn: mid-stream link drop" `Quick test_conn_mid_stream_link_drop;
+    Alcotest.test_case "conn: meta lost in flight" `Quick test_conn_meta_lost_in_flight;
   ]

@@ -181,6 +181,84 @@ let test_if_choose () =
     (Helpers.check_ok (Xml_parser.parse "<o><big/><three/></o>"))
     out
 
+let attr_of node name =
+  match node with Xml.Element e -> Xml.attr e name | Xml.Text _ -> None
+
+let test_empty_nodesets () =
+  (* value-of, for-each and count over selections that match nothing *)
+  let out =
+    apply
+      {|<xsl:stylesheet>
+          <xsl:template match="/l">
+            <o c="{count(zzz)}">
+              <xsl:value-of select="zzz"/>
+              <xsl:for-each select="zzz"><never/></xsl:for-each>
+              <xsl:if test="zzz"><nope/></xsl:if>
+              <xsl:apply-templates select="zzz"/>
+            </o>
+          </xsl:template>
+        </xsl:stylesheet>|}
+      "<l><i>1</i></l>"
+  in
+  Alcotest.(check string) "no text from empty value-of" "" (Xml.text_content out);
+  Alcotest.(check int) "no elements materialised" 0 (List.length (Xml.child_elements out));
+  Alcotest.(check (option string)) "count is 0" (Some "0") (attr_of out "c")
+
+let test_missing_attributes () =
+  (* absent attributes read as empty strings in AVTs and value-of, and as
+     empty node-sets in tests *)
+  let out =
+    apply
+      {|<xsl:stylesheet>
+          <xsl:template match="/d">
+            <o a="{@missing}" b="{item/@ghost}">
+              <xsl:if test="not(@missing)"><none/></xsl:if>
+              <xsl:value-of select="item/@ghost"/>
+            </o>
+          </xsl:template>
+        </xsl:stylesheet>|}
+      "<d><item present='x'/></d>"
+  in
+  Alcotest.(check (option string)) "AVT of missing attr" (Some "") (attr_of out "a");
+  Alcotest.(check (option string)) "AVT of missing nested attr" (Some "") (attr_of out "b");
+  Alcotest.(check string) "value-of is empty" "" (Xml.text_content out);
+  (match Xml.child_elements out with
+   | [ e ] -> Alcotest.(check string) "not(@missing) fired" "none" e.Xml.tag
+   | es -> Alcotest.failf "expected exactly <none/>, got %d elements" (List.length es))
+
+let test_nested_choose () =
+  let sheet =
+    {|<xsl:stylesheet>
+        <xsl:template match="/n">
+          <o>
+            <xsl:choose>
+              <xsl:when test="a">
+                <xsl:choose>
+                  <xsl:when test="a = 1"><one/></xsl:when>
+                  <xsl:otherwise>
+                    <xsl:choose>
+                      <xsl:when test="a = 2"><two/></xsl:when>
+                      <xsl:otherwise><many/></xsl:otherwise>
+                    </xsl:choose>
+                  </xsl:otherwise>
+                </xsl:choose>
+              </xsl:when>
+              <xsl:otherwise><empty/></xsl:otherwise>
+            </xsl:choose>
+          </o>
+        </xsl:template>
+      </xsl:stylesheet>|}
+  in
+  let expect doc want =
+    Alcotest.check Helpers.xml doc
+      (Helpers.check_ok (Xml_parser.parse want))
+      (apply sheet doc)
+  in
+  expect "<n><a>1</a></n>" "<o><one/></o>";
+  expect "<n><a>2</a></n>" "<o><two/></o>";
+  expect "<n><a>9</a></n>" "<o><many/></o>";
+  expect "<n/>" "<o><empty/></o>"
+
 let test_copy_of_element_attribute () =
   let out =
     apply
@@ -344,6 +422,9 @@ let suite =
     Alcotest.test_case "engine: value-of and text" `Quick test_value_of_and_text;
     Alcotest.test_case "engine: for-each, position, AVT" `Quick test_for_each_and_position;
     Alcotest.test_case "engine: if and choose" `Quick test_if_choose;
+    Alcotest.test_case "engine: empty node-sets" `Quick test_empty_nodesets;
+    Alcotest.test_case "engine: missing attributes" `Quick test_missing_attributes;
+    Alcotest.test_case "engine: nested choose" `Quick test_nested_choose;
     Alcotest.test_case "engine: element/attribute/copy-of" `Quick
       test_copy_of_element_attribute;
     Alcotest.test_case "engine: variables" `Quick test_variables;
