@@ -367,9 +367,69 @@ let morphcheck_cmd =
        ~doc:"Run the randomized differential oracles and mutation fuzzer")
     Term.(const run $ seed $ count $ oracle)
 
+(* --- chaos --------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let run seed cases records loss dup reorder jitter no_partition =
+    if cases < 1 || records < 1 then begin
+      Printf.eprintf "chaos: --cases and --records must be positive\n";
+      exit 2
+    end;
+    let module C = Morphcheck.Chaos in
+    let profile =
+      { C.loss; duplication = dup; reorder; jitter_s = jitter;
+        partition = not no_partition }
+    in
+    Printf.printf "chaos: seed=%d cases=%d records=%d loss=%.3f dup=%.3f \
+                   reorder=%.3f jitter=%gs partition=%b\n"
+      seed cases records loss dup reorder jitter (not no_partition);
+    let report = C.run ~profile ~seed ~cases ~records () in
+    Format.printf "%a@." C.pp_report report;
+    if not (C.passed report) then begin
+      Printf.printf "chaos: reproduce with --seed %d\n" seed;
+      exit 1
+    end
+  in
+  let d = Morphcheck.Chaos.default_profile in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"N" ~doc:"Campaign seed")
+  in
+  let cases =
+    Arg.(value & opt int 20 & info [ "cases"; "n" ] ~docv:"N" ~doc:"Chaos cases to run")
+  in
+  let records =
+    Arg.(value & opt int 25
+         & info [ "records" ] ~docv:"N" ~doc:"Records published per case")
+  in
+  let loss =
+    Arg.(value & opt float d.Morphcheck.Chaos.loss
+         & info [ "loss" ] ~docv:"P" ~doc:"Per-frame loss probability")
+  in
+  let dup =
+    Arg.(value & opt float d.Morphcheck.Chaos.duplication
+         & info [ "dup" ] ~docv:"P" ~doc:"Per-frame duplication probability")
+  in
+  let reorder =
+    Arg.(value & opt float d.Morphcheck.Chaos.reorder
+         & info [ "reorder" ] ~docv:"P" ~doc:"Per-frame reordering probability")
+  in
+  let jitter =
+    Arg.(value & opt float d.Morphcheck.Chaos.jitter_s
+         & info [ "jitter" ] ~docv:"S" ~doc:"Max extra latency, simulated seconds")
+  in
+  let no_partition =
+    Arg.(value & flag
+         & info [ "no-partition" ] ~doc:"Skip the timed network partition")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Soak the ECho and B2B stacks under a lossy-network fault profile")
+    Term.(const run $ seed $ cases $ records $ loss $ dup $ reorder $ jitter
+          $ no_partition)
+
 let () =
   let info =
     Cmd.info "morphctl" ~version:"1.0.0"
       ~doc:"Message-morphing toolkit (ICDCS 2005 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; morphcheck_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; morphcheck_cmd; chaos_cmd ]))

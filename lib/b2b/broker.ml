@@ -148,7 +148,8 @@ let handle_binary t ~src (meta : Meta.format_meta) (v : Value.t) : unit =
 
 (* --- construction --------------------------------------------------------------- *)
 
-let create (net : Transport.Netsim.t) ~(host : string) ~(port : int) (mode : mode) : t =
+let create ?(reliable = false) (net : Transport.Netsim.t) ~(host : string)
+    ~(port : int) (mode : mode) : t =
   let contact = Transport.Contact.make host port in
   let t =
     {
@@ -168,7 +169,7 @@ let create (net : Transport.Netsim.t) ~(host : string) ~(port : int) (mode : mod
      Transport.Netsim.add_node net contact (fun ~src payload ->
          handle_xml t net ~src payload)
    | Morph_at_receiver ->
-     let ep = Transport.Conn.create net contact in
+     let ep = Transport.Conn.create ~reliable net contact in
      t.endpoint <- Some ep;
      Transport.Conn.set_handler ep (fun ~src meta v ->
          t.counters.bytes_in <- t.counters.bytes_in + 1;

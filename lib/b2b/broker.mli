@@ -22,7 +22,9 @@ type counters = {
 
 type t
 
-val create : Transport.Netsim.t -> host:string -> port:int -> mode -> t
+(** [reliable] (morphing mode only) runs the broker's endpoint under the
+    connection layer's ack + retransmit protocol. *)
+val create : ?reliable:bool -> Transport.Netsim.t -> host:string -> port:int -> mode -> t
 val contact : t -> Transport.Contact.t
 
 (** Register peers.  Orders round-robin across suppliers; statuses return

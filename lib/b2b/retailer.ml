@@ -23,7 +23,7 @@ let record_status t (v : Value.t) : unit =
       Value.to_int (Value.get_field v "estimated_days") )
     :: t.statuses
 
-let create ?(thresholds = Morph.Maxmatch.default_thresholds)
+let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
     (net : Transport.Netsim.t) ~(host : string) ~(port : int)
     ~(broker : Transport.Contact.t) (mode : Broker.mode) : t =
   let contact = Transport.Contact.make host port in
@@ -40,7 +40,7 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds)
          | Ok v -> record_status t v
          | Error msg -> Logs.warn (fun m -> m "retailer: bad status XML: %s" msg))
    | Broker.Morph_at_receiver ->
-     let ep = Transport.Conn.create net contact in
+     let ep = Transport.Conn.create ~reliable net contact in
      t.endpoint <- Some ep;
      Transport.Conn.set_handler ep (fun ~src:_ meta v ->
          match Morph.Receiver.deliver receiver meta v with

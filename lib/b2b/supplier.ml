@@ -35,7 +35,7 @@ let handle_order t (v : Value.t) : unit =
     :: t.orders;
   reply_status t ~po (List.length t.orders)
 
-let create ?(thresholds = Morph.Maxmatch.default_thresholds)
+let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
     (net : Transport.Netsim.t) ~(host : string) ~(port : int)
     ~(broker : Transport.Contact.t) (mode : Broker.mode) : t =
   let contact = Transport.Contact.make host port in
@@ -51,7 +51,7 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds)
          | Ok v -> handle_order t v
          | Error msg -> Logs.warn (fun m -> m "supplier: bad order XML: %s" msg))
    | Broker.Morph_at_receiver ->
-     let ep = Transport.Conn.create net contact in
+     let ep = Transport.Conn.create ~reliable net contact in
      t.endpoint <- Some ep;
      Transport.Conn.set_handler ep (fun ~src:_ meta v ->
          match Morph.Receiver.deliver receiver meta v with

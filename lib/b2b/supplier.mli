@@ -5,6 +5,7 @@ type t
 
 val create :
   ?thresholds:Morph.Maxmatch.thresholds ->
+  ?reliable:bool ->
   Transport.Netsim.t ->
   host:string ->
   port:int ->

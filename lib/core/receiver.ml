@@ -46,6 +46,8 @@ type stats = {
   mutable delivered : int;
   mutable rejected : int;
   mutable defaulted : int;
+  mutable transform_failures : int;
+  mutable quarantined : int;
 }
 
 type pipeline =
@@ -59,7 +61,10 @@ type pipeline =
 
 type cache_entry = {
   key : Meta.format_meta;
-  pipeline : pipeline;
+  mutable pipeline : pipeline;
+  mutable consecutive_failures : int;
+  (* run-time transform failures since the last success; reaching the
+     quarantine threshold replaces the pipeline with a fast Reject *)
 }
 
 type t = {
@@ -68,22 +73,29 @@ type t = {
   (* when set, MaxMatch runs importance-weighted: the thresholds are
      interpreted on the weighted scale *)
   engine : Xform.engine;
+  quarantine_after : int;
   mutable registered : registered list; (* registration order *)
   mutable default_handler : (Meta.format_meta -> Value.t -> unit) option;
+  mutable probe : (Value.t option -> outcome -> unit) option;
   cache : (int, cache_entry list) Hashtbl.t;
   stats : stats;
 }
 
 let create ?(thresholds = Maxmatch.default_thresholds) ?weights
-    ?(engine = Xform.Compiled) () =
+    ?(engine = Xform.Compiled) ?(quarantine_after = 3) () =
+  if quarantine_after < 1 then invalid_arg "Receiver.create: quarantine_after";
   {
     thresholds;
     weights;
     engine;
+    quarantine_after;
     registered = [];
     default_handler = None;
+    probe = None;
     cache = Hashtbl.create 32;
-    stats = { cache_hits = 0; cold_paths = 0; delivered = 0; rejected = 0; defaulted = 0 };
+    stats =
+      { cache_hits = 0; cold_paths = 0; delivered = 0; rejected = 0; defaulted = 0;
+        transform_failures = 0; quarantined = 0 };
   }
 
 let register t (fmt : Ptype.record) (handler : handler) : unit =
@@ -96,6 +108,11 @@ let register t (fmt : Ptype.record) (handler : handler) : unit =
   Hashtbl.reset t.cache
 
 let set_default_handler t f = t.default_handler <- Some f
+
+(* Observe every processed message: the transformed value (when one was
+   produced) and the outcome.  Used by the chaos harness to compare
+   per-record morphing outcomes across runs. *)
+let set_delivery_probe t f = t.probe <- f
 
 let stats t = t.stats
 
@@ -250,58 +267,86 @@ let plan t (meta : Meta.format_meta) : pipeline =
 
 (* --- delivery ------------------------------------------------------------ *)
 
-let find_cached t (meta : Meta.format_meta) : pipeline option =
+let find_cached t (meta : Meta.format_meta) : cache_entry option =
   let h = Meta.hash meta in
   match Hashtbl.find_opt t.cache h with
   | None -> None
-  | Some entries ->
-    List.find_map
-      (fun e -> if Meta.equal e.key meta then Some e.pipeline else None)
-      entries
+  | Some entries -> List.find_opt (fun e -> Meta.equal e.key meta) entries
 
-let cache_pipeline t (meta : Meta.format_meta) (p : pipeline) : unit =
+let cache_pipeline t (meta : Meta.format_meta) (p : pipeline) : cache_entry =
   let h = Meta.hash meta in
   let prev = Option.value ~default:[] (Hashtbl.find_opt t.cache h) in
-  Hashtbl.replace t.cache h ({ key = meta; pipeline = p } :: prev)
+  let entry = { key = meta; pipeline = p; consecutive_failures = 0 } in
+  Hashtbl.replace t.cache h (entry :: prev);
+  entry
 
-let run_pipeline t (meta : Meta.format_meta) (p : pipeline) (v : Value.t) : outcome =
-  match p with
-  | Accept { format_name; via; transform; handler } ->
-    (* A transformation can still fail at run time on values its code never
-       anticipated (hostile or corrupt input); that rejects the message
-       rather than crashing the receiver.  Handler exceptions propagate:
-       they are application bugs, not message faults. *)
-    (match transform v with
-     | v' ->
-       handler v';
-       t.stats.delivered <- t.stats.delivered + 1;
-       Delivered { format_name; via }
-     | exception
-         (Value.Type_error msg
-         | Ecode.Compile.Runtime_error msg
-         | Ecode.Interp.Runtime_error msg) ->
-       t.stats.rejected <- t.stats.rejected + 1;
-       Rejected (Fmt.str "transformation failed: %s" msg))
-  | Reject reason ->
-    (match t.default_handler with
-     | Some f ->
-       f meta v;
-       t.stats.defaulted <- t.stats.defaulted + 1;
-       Defaulted
-     | None ->
-       t.stats.rejected <- t.stats.rejected + 1;
-       Rejected reason)
+let probe t (v : Value.t option) (o : outcome) : unit =
+  match t.probe with Some f -> f v o | None -> ()
+
+(* A transformation that keeps failing at run time is quarantined: its
+   cached pipeline becomes a fast Reject, so a poisonous format neither
+   crashes the receiver nor pays planning or transformation work on every
+   further message. *)
+let quarantine t (entry : cache_entry) : unit =
+  t.stats.quarantined <- t.stats.quarantined + 1;
+  entry.pipeline <-
+    Reject
+      (Fmt.str "quarantined after %d consecutive transformation failures"
+         entry.consecutive_failures)
+
+let run_pipeline t (entry : cache_entry) (meta : Meta.format_meta) (v : Value.t) :
+  outcome =
+  let outcome =
+    match entry.pipeline with
+    | Accept { format_name; via; transform; handler } ->
+      (* A transformation can still fail at run time on values its code never
+         anticipated (hostile or corrupt input); that rejects the message
+         rather than crashing the receiver.  Handler exceptions propagate:
+         they are application bugs, not message faults. *)
+      (match transform v with
+       | v' ->
+         entry.consecutive_failures <- 0;
+         handler v';
+         t.stats.delivered <- t.stats.delivered + 1;
+         let o = Delivered { format_name; via } in
+         probe t (Some v') o;
+         o
+       | exception
+           (Value.Type_error msg
+           | Ecode.Compile.Runtime_error msg
+           | Ecode.Interp.Runtime_error msg) ->
+         t.stats.rejected <- t.stats.rejected + 1;
+         t.stats.transform_failures <- t.stats.transform_failures + 1;
+         entry.consecutive_failures <- entry.consecutive_failures + 1;
+         if entry.consecutive_failures >= t.quarantine_after then quarantine t entry;
+         let o = Rejected (Fmt.str "transformation failed: %s" msg) in
+         probe t None o;
+         o)
+    | Reject reason ->
+      (match t.default_handler with
+       | Some f ->
+         f meta v;
+         t.stats.defaulted <- t.stats.defaulted + 1;
+         let o = Defaulted in
+         probe t None o;
+         o
+       | None ->
+         t.stats.rejected <- t.stats.rejected + 1;
+         let o = Rejected reason in
+         probe t None o;
+         o)
+  in
+  outcome
 
 let deliver t (meta : Meta.format_meta) (v : Value.t) : outcome =
   match find_cached t meta with
-  | Some p ->
+  | Some entry ->
     t.stats.cache_hits <- t.stats.cache_hits + 1;
-    run_pipeline t meta p v
+    run_pipeline t entry meta v
   | None ->
     t.stats.cold_paths <- t.stats.cold_paths + 1;
-    let p = plan t meta in
-    cache_pipeline t meta p;
-    run_pipeline t meta p v
+    let entry = cache_pipeline t meta (plan t meta) in
+    run_pipeline t entry meta v
 
 (* Decode a whole wire message (as produced by [Pbio.Wire.encode]) and
    deliver it.  [meta] must describe the message's wire format. *)

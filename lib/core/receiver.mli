@@ -38,6 +38,8 @@ type stats = {
   mutable delivered : int;
   mutable rejected : int;
   mutable defaulted : int;
+  mutable transform_failures : int;  (** run-time transformation errors *)
+  mutable quarantined : int;  (** pipelines replaced with a fast Reject *)
 }
 
 type t
@@ -45,11 +47,16 @@ type t
 (** [create ()] makes an empty receiver.  [engine] selects how attached
     transformations execute (compiled closures by default; the interpreter
     exists for the A1 ablation).  When [weights] is given, MaxMatch runs
-    importance-weighted and the thresholds apply on the weighted scale. *)
+    importance-weighted and the thresholds apply on the weighted scale.
+    [quarantine_after] (default 3, must be >= 1) is the number of
+    consecutive run-time transformation failures after which a cached
+    pipeline is quarantined — replaced with a fast Reject so a poisonous
+    format stops costing transformation work (see docs/FAULTS.md). *)
 val create :
   ?thresholds:Maxmatch.thresholds ->
   ?weights:Weighted.t ->
   ?engine:Xform.engine ->
+  ?quarantine_after:int ->
   unit ->
   t
 
@@ -62,6 +69,11 @@ val register : t -> Ptype.record -> handler -> unit
 (** Handler for messages no registered format accepts (the paper's default
     handler, Algorithm 2 fallback). *)
 val set_default_handler : t -> (Meta.format_meta -> Value.t -> unit) -> unit
+
+(** Observe every processed message: the transformed value (when one was
+    produced) and the outcome.  Used by the chaos harness to compare
+    per-record morphing outcomes across runs; [None] clears the probe. *)
+val set_delivery_probe : t -> (Value.t option -> outcome -> unit) option -> unit
 
 (** Process one incoming message given its format meta-data: cache lookup,
     else plan (MaxMatch over the format and its transformation targets,

@@ -11,4 +11,5 @@ module Node = Node
 
 (* Convenience: run the network until every in-flight message is handled,
    returning the number of deliveries. *)
-let settle (net : Transport.Netsim.t) : int = Transport.Netsim.run net
+let settle (net : Transport.Netsim.t) : int =
+  (Transport.Netsim.run net).Transport.Netsim.steps

@@ -48,9 +48,10 @@ type t = {
   mutable events_forwarded : int;
   mutable responses_received : int;
   mutable rejected : int;
+  mutable evicted : int;
 }
 
-let contact t = t.endpoint.Transport.Conn.contact
+let contact t = Transport.Conn.contact t.endpoint
 
 let version t = t.version
 
@@ -211,12 +212,34 @@ let handle_event t (v : Value.t) : unit =
 
 (* --- construction ----------------------------------------------------------- *)
 
+(* A member whose reliable endpoint gave up on it (retransmit budget
+   exhausted — the missed-ack heartbeat) is presumed dead and evicted from
+   every channel this node owns, so the creator stops burning forwarding
+   and retransmission work on a sink that will never ack. *)
+let evict_member t (dead : Transport.Contact.t) : unit =
+  Hashtbl.iter
+    (fun _ ch ->
+       let before = List.length ch.members in
+       ch.members <-
+         List.filter
+           (fun m -> not (Transport.Contact.equal m.contact dead))
+           ch.members;
+       let gone = before - List.length ch.members in
+       if gone > 0 then begin
+         t.evicted <- t.evicted + gone;
+         Logs.warn (fun m ->
+             m "%a: evicting unresponsive member %a from channel %S"
+               Transport.Contact.pp (contact t) Transport.Contact.pp dead
+               ch.name)
+       end)
+    t.channels
+
 let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(engine = Morph.Xform.Compiled)
-    (net : Transport.Netsim.t) ~(host : string) ~(port : int) (version : version) : t =
+    ?(reliable = false) (net : Transport.Netsim.t) ~(host : string) ~(port : int)
+    (version : version) : t =
   let contact = Transport.Contact.make host port in
-  let endpoint = Transport.Conn.create net contact in
+  let endpoint = Transport.Conn.create ~reliable net contact in
   let receiver = Morph.Receiver.create ~thresholds ~engine () in
-  ignore net;
   let t =
     {
       version;
@@ -230,8 +253,10 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(engine = Morph.Xf
       events_forwarded = 0;
       responses_received = 0;
       rejected = 0;
+      evicted = 0;
     }
   in
+  Transport.Conn.set_on_peer_failure endpoint (fun dead -> evict_member t dead);
   Morph.Receiver.register receiver Wire_formats.channel_open_request (handle_request t);
   Morph.Receiver.register receiver
     (match version with
@@ -311,12 +336,14 @@ let known_members t (name : string) : member list =
   | None -> []
 
 let receiver t = t.receiver
+let endpoint t = t.endpoint
 
 type counters = {
   events_received : int;
   events_forwarded : int;
   responses_received : int;
   rejected : int;
+  evicted : int;
 }
 
 let counters (t : t) : counters =
@@ -325,4 +352,5 @@ let counters (t : t) : counters =
     events_forwarded = t.events_forwarded;
     responses_received = t.responses_received;
     rejected = t.rejected;
+    evicted = t.evicted;
   }

@@ -24,10 +24,14 @@ type member = {
 type t
 
 (** Create a process on the network.  [thresholds] and [engine] configure
-    its morphing receiver. *)
+    its morphing receiver.  [reliable] runs the node's endpoint under the
+    connection layer's ack + retransmit protocol; a member whose retransmit
+    budget is exhausted (missed acks) is presumed dead and evicted from
+    channels this node owns (see docs/FAULTS.md). *)
 val create :
   ?thresholds:Morph.Maxmatch.thresholds ->
   ?engine:Morph.Xform.engine ->
+  ?reliable:bool ->
   Transport.Netsim.t ->
   host:string ->
   port:int ->
@@ -64,11 +68,15 @@ val known_members : t -> string -> member list
 
 val receiver : t -> Morph.Receiver.t
 
+(** The node's transport endpoint, for fault-injection tests and stats. *)
+val endpoint : t -> Transport.Conn.endpoint
+
 type counters = {
   events_received : int;
   events_forwarded : int;
   responses_received : int;
   rejected : int;
+  evicted : int;  (** members removed after their retransmit budget ran out *)
 }
 
 val counters : t -> counters

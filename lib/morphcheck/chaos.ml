@@ -1,0 +1,257 @@
+(* Chaos soak campaigns: the ECho pub/sub fleet and the B2B supply chain
+   driven over a lossy network (loss, duplication, reordering, latency
+   jitter, a timed partition), with every endpoint running the connection
+   layer's reliable envelope.
+
+   Each case runs twice from the same seed — once fault-free (the
+   baseline), once under the fault profile — and checks that faults were
+   fully absorbed by the transport: every record is eventually delivered
+   exactly once, no exception escapes, and each record's morphing outcome
+   (the receiver's [via]) is identical to the baseline's.  See
+   docs/FAULTS.md. *)
+
+open Pbio
+module Netsim = Transport.Netsim
+
+type profile = {
+  loss : float;
+  duplication : float;
+  reorder : float;
+  jitter_s : float;
+  partition : bool;  (* one 20 ms partition mid-run *)
+}
+
+let default_profile =
+  { loss = 0.05; duplication = 0.02; reorder = 0.05; jitter_s = 0.0003;
+    partition = true }
+
+type failure = {
+  case : int;
+  seed : int;  (* the case's derived sub-seed, for standalone replay *)
+  scenario : string;
+  reason : string;
+}
+
+let pp_failure ppf (f : failure) =
+  Fmt.pf ppf "case %d (%s, sub-seed %d): %s" f.case f.scenario f.seed f.reason
+
+type report = {
+  cases : int;
+  records_per_case : int;
+  failures : failure list;
+}
+
+let passed (r : report) = r.failures = []
+
+let pp_report ppf (r : report) =
+  if passed r then
+    Fmt.pf ppf "chaos: %d cases x %d records: ok" r.cases r.records_per_case
+  else
+    Fmt.pf ppf "chaos: %d cases x %d records: %d FAILED@,%a" r.cases
+      r.records_per_case
+      (List.length r.failures)
+      (Fmt.list ~sep:Fmt.cut pp_failure)
+      r.failures
+
+(* --- delivery probes -------------------------------------------------------- *)
+
+(* Record every delivered application record as key -> (via, count).  The
+   extractor names the record (event payload, order id, ...) and skips
+   values that are not application records (e.g. membership responses). *)
+let attach_probe (receiver : Morph.Receiver.t)
+    (extract : Value.t -> string option) : (string, string * int) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  Morph.Receiver.set_delivery_probe receiver
+    (Some
+       (fun v outcome ->
+          match v, outcome with
+          | Some v, Morph.Receiver.Delivered { via; _ } ->
+            (match extract v with
+             | None -> ()
+             | Some key ->
+               let via_s = Fmt.str "%a" Morph.Receiver.pp_via via in
+               (match Hashtbl.find_opt tbl key with
+                | Some (first_via, n) -> Hashtbl.replace tbl key (first_via, n + 1)
+                | None -> Hashtbl.replace tbl key (via_s, 1)))
+          | _ -> ()));
+  tbl
+
+let field_string v name =
+  match Value.to_string_exn (Value.get_field v name) with
+  | s -> Some s
+  | exception _ -> None
+
+let field_int v name =
+  match Value.to_int (Value.get_field v name) with
+  | i -> Some (string_of_int i)
+  | exception _ -> None
+
+(* --- baseline comparison ----------------------------------------------------- *)
+
+let sorted_entries tbl =
+  Hashtbl.fold (fun k (via, n) acc -> (k, via, n) :: acc) tbl []
+  |> List.sort compare
+
+(* The invariants every (sink, run) pair must satisfy: all [records]
+   delivered, each exactly once, each morphed the same way as in the
+   fault-free baseline run. *)
+let check_sink ~(sink : string) ~(records : int)
+    ~(baseline : (string, string * int) Hashtbl.t)
+    ~(faulty : (string, string * int) Hashtbl.t) : string list =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  if Hashtbl.length baseline <> records then
+    err "%s: baseline run delivered %d of %d records" sink
+      (Hashtbl.length baseline) records;
+  if Hashtbl.length faulty <> records then
+    err "%s: %d of %d records delivered" sink (Hashtbl.length faulty) records;
+  List.iter
+    (fun (key, via, n) ->
+       if n <> 1 then err "%s: record %s delivered %d times" sink key n;
+       match Hashtbl.find_opt baseline key with
+       | None -> err "%s: record %s not in the baseline run" sink key
+       | Some (base_via, _) ->
+         if via <> base_via then
+           err "%s: record %s morphed via %s, baseline via %s" sink key via
+             base_via)
+    (sorted_entries faulty);
+  List.rev !errs
+
+(* --- the ECho scenario ------------------------------------------------------- *)
+
+let netsim_faults (p : profile) =
+  { Netsim.loss = p.loss; duplication = p.duplication; reorder = p.reorder;
+    jitter_s = p.jitter_s }
+
+let max_steps = 5_000_000
+
+(* A v2.0 creator/source with one v1.0 and one v2.0 sink: every event the
+   v1 sink receives crosses the Figure 5 morphing path.  Returns the two
+   sinks' delivery tables and whether the network drained. *)
+let run_echo ~(seed : int) ~(faulty : bool) ~(profile : profile)
+    ~(records : int) () =
+  let net = Netsim.create ~seed () in
+  let creator = Echo.Node.create ~reliable:true net ~host:"creator" ~port:1 Echo.Node.V2 in
+  let sink_v1 = Echo.Node.create ~reliable:true net ~host:"sink-v1" ~port:2 Echo.Node.V1 in
+  let sink_v2 = Echo.Node.create ~reliable:true net ~host:"sink-v2" ~port:3 Echo.Node.V2 in
+  Echo.Node.create_channel creator "chaos" ~as_source:true ~as_sink:false;
+  let creator_c = Echo.Node.contact creator in
+  Echo.Node.join sink_v1 ~creator:creator_c "chaos" ~as_source:false ~as_sink:true;
+  Echo.Node.join sink_v2 ~creator:creator_c "chaos" ~as_source:false ~as_sink:true;
+  Echo.Node.subscribe_events sink_v1 "chaos" ignore;
+  Echo.Node.subscribe_events sink_v2 "chaos" ignore;
+  ignore (Netsim.run net);
+  (* membership is established fault-free; the faults hit the event stream *)
+  let extract v = field_string v "payload" in
+  let t1 = attach_probe (Echo.Node.receiver sink_v1) extract in
+  let t2 = attach_probe (Echo.Node.receiver sink_v2) extract in
+  if faulty then begin
+    Netsim.set_faults net (netsim_faults profile);
+    if profile.partition then
+      Netsim.add_partition net ~group_a:[ creator_c ]
+        ~group_b:[ Echo.Node.contact sink_v1 ]
+        ~start:(Netsim.now net +. 0.002)
+        ~stop:(Netsim.now net +. 0.022)
+  end;
+  for i = 1 to records do
+    (* a priority every third event exercises the payload-rewriting arm of
+       the v2 -> v1 retro-transformation *)
+    Echo.Node.publish ~priority:(i mod 3) creator "chaos"
+      (Printf.sprintf "ev-%04d" i);
+    ignore (Netsim.advance net 0.0005)
+  done;
+  let r = Netsim.run ~max_steps net in
+  ((t1, t2), r.Netsim.quiesced)
+
+(* --- the B2B scenario -------------------------------------------------------- *)
+
+(* Retailer -> broker -> supplier in morph-at-receiver mode, each order
+   answered by a status flowing back.  The supplier's table tracks orders
+   (by purchase-order id), the retailer's the statuses coming back. *)
+let run_b2b ~(seed : int) ~(faulty : bool) ~(profile : profile)
+    ~(records : int) () =
+  let net = Netsim.create ~seed () in
+  let mode = B2b.Broker.Morph_at_receiver in
+  let broker = B2b.Broker.create ~reliable:true net ~host:"broker" ~port:9000 mode in
+  let broker_c = B2b.Broker.contact broker in
+  let retailer =
+    B2b.Retailer.create ~reliable:true net ~host:"retailer" ~port:9001
+      ~broker:broker_c mode
+  in
+  let supplier =
+    B2b.Supplier.create ~reliable:true net ~host:"supplier" ~port:9002
+      ~broker:broker_c mode
+  in
+  B2b.Broker.connect broker ~retailer:(B2b.Retailer.contact retailer)
+    ~supplier:(B2b.Supplier.contact supplier);
+  let t_supplier =
+    attach_probe (B2b.Supplier.receiver supplier) (fun v -> field_int v "po")
+  in
+  let t_retailer =
+    attach_probe (B2b.Retailer.receiver retailer) (fun v -> field_int v "order_id")
+  in
+  if faulty then begin
+    Netsim.set_faults net (netsim_faults profile);
+    if profile.partition then
+      Netsim.add_partition net
+        ~group_a:[ B2b.Retailer.contact retailer ]
+        ~group_b:[ broker_c ]
+        ~start:(Netsim.now net +. 0.002)
+        ~stop:(Netsim.now net +. 0.022)
+  end;
+  for i = 1 to records do
+    B2b.Retailer.send_order retailer (B2b.Formats.gen_order i);
+    ignore (Netsim.advance net 0.0005)
+  done;
+  let r = Netsim.run ~max_steps net in
+  ((t_supplier, t_retailer), r.Netsim.quiesced)
+
+(* --- the campaign ------------------------------------------------------------ *)
+
+type scenario = {
+  name : string;
+  sinks : string * string;
+  run :
+    seed:int -> faulty:bool -> profile:profile -> records:int -> unit ->
+    ((string, string * int) Hashtbl.t * (string, string * int) Hashtbl.t) * bool;
+}
+
+let scenarios =
+  [
+    { name = "echo"; sinks = ("sink-v1", "sink-v2"); run = run_echo };
+    { name = "b2b"; sinks = ("supplier", "retailer"); run = run_b2b };
+  ]
+
+let run_case ~(profile : profile) ~(case : int) ~(seed : int)
+    ~(records : int) (sc : scenario) : failure list =
+  let fail reason = { case; seed; scenario = sc.name; reason } in
+  match
+    let (base_a, base_b), base_q =
+      sc.run ~seed ~faulty:false ~profile ~records ()
+    in
+    let (got_a, got_b), got_q = sc.run ~seed ~faulty:true ~profile ~records () in
+    let name_a, name_b = sc.sinks in
+    let errs =
+      (if base_q then [] else [ "baseline run did not quiesce" ])
+      @ (if got_q then [] else [ "faulty run did not quiesce" ])
+      @ check_sink ~sink:name_a ~records ~baseline:base_a ~faulty:got_a
+      @ check_sink ~sink:name_b ~records ~baseline:base_b ~faulty:got_b
+    in
+    List.map fail errs
+  with
+  | failures -> failures
+  | exception e -> [ fail (Fmt.str "escaped exception: %s" (Printexc.to_string e)) ]
+
+(* Run [cases] chaos cases of [records] records each, alternating between
+   the ECho and B2B scenarios, each under a sub-seed derived from [seed]. *)
+let run ?(profile = default_profile) ~(seed : int) ~(cases : int)
+    ~(records : int) () : report =
+  if cases < 1 then invalid_arg "Chaos.run: cases";
+  if records < 1 then invalid_arg "Chaos.run: records";
+  let failures = ref [] in
+  for case = 0 to cases - 1 do
+    let sc = List.nth scenarios (case mod List.length scenarios) in
+    let sub_seed = seed + (case * 7919) in
+    failures := !failures @ run_case ~profile ~case ~seed:sub_seed ~records sc
+  done;
+  { cases; records_per_case = records; failures = !failures }

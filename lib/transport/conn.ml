@@ -6,7 +6,24 @@
    that format, so every Data frame carries only a small integer id.  A
    receiver that somehow lacks the meta for an id (e.g. it restarted)
    parks the message and sends a Meta_request; the peer replies and parked
-   messages flush in order. *)
+   messages flush in order.
+
+   The endpoint survives a lossy network:
+
+   - Parked queues are bounded ([parked_cap] per (peer, format), oldest
+     evicted first) so a hostile or partitioned peer cannot grow memory
+     without limit.
+   - A Meta_request that goes unanswered is retried on a timer with
+     exponential backoff; when the retry budget is exhausted the parked
+     messages are dropped and counted, never leaked.
+   - An endpoint created with [~reliable:true] wraps every outgoing frame
+     in a sequence-numbered envelope, acknowledges every envelope it
+     receives, retransmits unacknowledged frames with exponential backoff,
+     and suppresses duplicate deliveries so the handler never sees a record
+     twice.  Exhausting the retransmit budget declares the peer failed and
+     invokes [on_peer_failure] (how ECho detects dead sinks).  Any
+     endpoint understands the envelope on receipt, so reliable and
+     fire-and-forget endpoints interoperate. *)
 
 open Pbio
 
@@ -17,26 +34,234 @@ type peer_key = {
   id : int;
 }
 
+(* Retry schedule: the first retry waits [initial_s], each later one
+   multiplies the wait by [multiplier] up to [max_s]; [max_attempts] counts
+   transmissions in total (first send included). *)
+type backoff = {
+  initial_s : float;
+  multiplier : float;
+  max_s : float;
+  max_attempts : int;
+}
+
+let default_retransmit =
+  { initial_s = 0.005; multiplier = 2.0; max_s = 0.25; max_attempts = 12 }
+
+let default_meta_retry =
+  { initial_s = 0.01; multiplier = 2.0; max_s = 0.5; max_attempts = 8 }
+
+type stats = {
+  mutable records_sent : int;
+  mutable records_delivered : int;
+  mutable retransmits : int;
+  mutable acks_received : int;
+  mutable duplicates_suppressed : int;
+  mutable meta_requests : int;
+  mutable meta_retries : int;
+  mutable parked_evicted : int;
+  mutable parked_dropped : int;
+  mutable peer_failures : int;
+}
+
+(* An unacknowledged reliable frame awaiting its ack; keyed by (dst, seq). *)
+type pending = {
+  p_bytes : string;
+  mutable p_attempts : int;
+}
+
+(* Received-sequence tracking per peer: every seq below [floor] has been
+   seen; [above] holds the out-of-order ones beyond it.  The set stays
+   small — it is drained into [floor] as gaps fill. *)
+type seen = {
+  mutable floor : int;
+  above : (int, unit) Hashtbl.t;
+}
+
+type park = {
+  q : (Contact.t * string) Queue.t;
+  mutable requested : bool; (* a Meta_request retry loop is running *)
+}
+
 type endpoint = {
   net : Netsim.t;
   contact : Contact.t;
   registry : Registry.t; (* local (writer-side) formats *)
   peer_formats : (peer_key, Meta.format_meta) Hashtbl.t;
   announced : (peer_key, unit) Hashtbl.t;
-  parked : (peer_key, (Contact.t * string) Queue.t) Hashtbl.t;
+  parked : (peer_key, park) Hashtbl.t;
+  parked_cap : int;
+  reliable : bool;
+  retransmit : backoff;
+  meta_retry : backoff;
+  send_seq : (Contact.t, int ref) Hashtbl.t;
+  unacked : (Contact.t * int, pending) Hashtbl.t;
+  recv_seen : (Contact.t, seen) Hashtbl.t;
+  failed_peers : (Contact.t, unit) Hashtbl.t;
+  mutable on_peer_failure : (Contact.t -> unit) option;
   mutable on_message : message_handler;
-  mutable endian : Wire.endian;
+  endian : Wire.endian;
+  stats : stats;
 }
 
 let default_handler ~src _meta _v =
   ignore src
 
-let handle_frame ep ~src (payload : string) : unit =
-  match Framing.decode payload with
-  | exception Framing.Frame_error msg ->
+let contact ep = ep.contact
+let stats ep = ep.stats
+let set_on_peer_failure ep f = ep.on_peer_failure <- Some f
+
+(* --- sending --------------------------------------------------------------- *)
+
+let raw_send ep ~dst (bytes : string) : unit =
+  Netsim.send ep.net ~src:ep.contact ~dst bytes
+
+let peer_failed ep (dst : Contact.t) : unit =
+  if not (Hashtbl.mem ep.failed_peers dst) then begin
+    Hashtbl.replace ep.failed_peers dst ();
+    ep.stats.peer_failures <- ep.stats.peer_failures + 1;
+    (* stop retransmitting everything else bound for the dead peer *)
+    let stale =
+      Hashtbl.fold
+        (fun ((d, _) as k) _ acc -> if Contact.equal d dst then k :: acc else acc)
+        ep.unacked []
+    in
+    List.iter (Hashtbl.remove ep.unacked) stale;
     Logs.warn (fun m ->
-        m "%a: dropping malformed frame from %a: %s" Contact.pp ep.contact
+        m "%a: peer %a declared failed after %d unacknowledged attempts"
+          Contact.pp ep.contact Contact.pp dst ep.retransmit.max_attempts);
+    match ep.on_peer_failure with Some f -> f dst | None -> ()
+  end
+
+let rec schedule_retransmit ep ~dst ~seq ~delay : unit =
+  Netsim.after ep.net delay (fun () ->
+      match Hashtbl.find_opt ep.unacked (dst, seq) with
+      | None -> () (* acknowledged in the meantime *)
+      | Some p ->
+        if p.p_attempts >= ep.retransmit.max_attempts then begin
+          Hashtbl.remove ep.unacked (dst, seq);
+          peer_failed ep dst
+        end
+        else begin
+          p.p_attempts <- p.p_attempts + 1;
+          ep.stats.retransmits <- ep.stats.retransmits + 1;
+          raw_send ep ~dst p.p_bytes;
+          schedule_retransmit ep ~dst ~seq
+            ~delay:(Float.min (delay *. ep.retransmit.multiplier) ep.retransmit.max_s)
+        end)
+
+(* Transmit a protocol frame, under the reliability envelope when this
+   endpoint runs reliable. *)
+let send_frame ep ~dst (f : Framing.frame) : unit =
+  if not ep.reliable then raw_send ep ~dst (Framing.encode f)
+  else begin
+    (* a fresh send to a failed peer gives it another chance *)
+    Hashtbl.remove ep.failed_peers dst;
+    let ctr =
+      match Hashtbl.find_opt ep.send_seq dst with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.replace ep.send_seq dst r;
+        r
+    in
+    let seq = !ctr in
+    incr ctr;
+    let bytes = Framing.encode (Framing.Reliable { seq; frame = f }) in
+    Hashtbl.replace ep.unacked (dst, seq) { p_bytes = bytes; p_attempts = 1 };
+    raw_send ep ~dst bytes;
+    schedule_retransmit ep ~dst ~seq ~delay:ep.retransmit.initial_s
+  end
+
+(* --- duplicate suppression -------------------------------------------------- *)
+
+let already_seen ep (src : Contact.t) (seq : int) : bool =
+  match Hashtbl.find_opt ep.recv_seen src with
+  | None -> false
+  | Some s -> seq < s.floor || Hashtbl.mem s.above seq
+
+let mark_seen ep (src : Contact.t) (seq : int) : unit =
+  let s =
+    match Hashtbl.find_opt ep.recv_seen src with
+    | Some s -> s
+    | None ->
+      let s = { floor = 0; above = Hashtbl.create 8 } in
+      Hashtbl.replace ep.recv_seen src s;
+      s
+  in
+  if seq = s.floor then begin
+    s.floor <- s.floor + 1;
+    while Hashtbl.mem s.above s.floor do
+      Hashtbl.remove s.above s.floor;
+      s.floor <- s.floor + 1
+    done
+  end
+  else if seq > s.floor then Hashtbl.replace s.above seq ()
+
+(* --- meta-data recovery ----------------------------------------------------- *)
+
+let send_meta_request ep (key : peer_key) : unit =
+  ep.stats.meta_requests <- ep.stats.meta_requests + 1;
+  (* raw on purpose: the timer loop below is the retry mechanism, and it
+     also covers the reply being lost, which an acked request would not *)
+  raw_send ep ~dst:key.peer
+    (Framing.encode (Framing.Meta_request { format_id = key.id }))
+
+let rec schedule_meta_retry ep (key : peer_key) ~attempt ~delay : unit =
+  Netsim.after ep.net delay (fun () ->
+      match Hashtbl.find_opt ep.parked key with
+      | None -> () (* the meta-data arrived and the queue flushed *)
+      | Some p ->
+        if attempt >= ep.meta_retry.max_attempts then begin
+          ep.stats.parked_dropped <- ep.stats.parked_dropped + Queue.length p.q;
+          Hashtbl.remove ep.parked key;
+          Logs.warn (fun m ->
+              m "%a: giving up on meta-data for format %d from %a after %d \
+                 requests; dropping %d parked message(s)"
+                Contact.pp ep.contact key.id Contact.pp key.peer attempt
+                (Queue.length p.q))
+        end
+        else begin
+          ep.stats.meta_retries <- ep.stats.meta_retries + 1;
+          send_meta_request ep key;
+          schedule_meta_retry ep key ~attempt:(attempt + 1)
+            ~delay:(Float.min (delay *. ep.meta_retry.multiplier) ep.meta_retry.max_s)
+        end)
+
+let park_message ep (key : peer_key) ~src (message : string) : unit =
+  let p =
+    match Hashtbl.find_opt ep.parked key with
+    | Some p -> p
+    | None ->
+      let p = { q = Queue.create (); requested = false } in
+      Hashtbl.replace ep.parked key p;
+      p
+  in
+  if not p.requested then begin
+    p.requested <- true;
+    send_meta_request ep key;
+    schedule_meta_retry ep key ~attempt:1 ~delay:ep.meta_retry.initial_s
+  end;
+  if Queue.length p.q >= ep.parked_cap then begin
+    ignore (Queue.pop p.q); (* oldest-first eviction *)
+    ep.stats.parked_evicted <- ep.stats.parked_evicted + 1
+  end;
+  Queue.add (src, message) p.q
+
+(* --- receiving -------------------------------------------------------------- *)
+
+let deliver ep ~src (fm : Meta.format_meta) (message : string) : unit =
+  match Wire.decode fm.Meta.body message with
+  | v ->
+    ep.stats.records_delivered <- ep.stats.records_delivered + 1;
+    ep.on_message ~src fm v
+  | exception (Wire.Decode_error msg | Value.Type_error msg) ->
+    (* a corrupted record must not take the endpoint down *)
+    Logs.warn (fun m ->
+        m "%a: dropping undecodable message from %a: %s" Contact.pp ep.contact
           Contact.pp src msg)
+
+let rec handle_inner ep ~src (frame : Framing.frame) : unit =
+  match frame with
   | Framing.Meta { format_id; meta } ->
     (match Meta.decode meta with
      | Error msg ->
@@ -48,41 +273,14 @@ let handle_frame ep ~src (payload : string) : unit =
        (* flush anything parked waiting for this meta *)
        (match Hashtbl.find_opt ep.parked key with
         | None -> ()
-        | Some q ->
+        | Some p ->
           Hashtbl.remove ep.parked key;
-          Queue.iter
-            (fun (src, message) ->
-               match Wire.decode fm.Meta.body message with
-               | v -> ep.on_message ~src fm v
-               | exception (Wire.Decode_error msg | Value.Type_error msg) ->
-                 Logs.warn (fun m ->
-                     m "%a: dropping undecodable parked message from %a: %s"
-                       Contact.pp ep.contact Contact.pp src msg))
-            q))
+          Queue.iter (fun (src, message) -> deliver ep ~src fm message) p.q))
   | Framing.Data { format_id; message } ->
     let key = { peer = src; id = format_id } in
     (match Hashtbl.find_opt ep.peer_formats key with
-     | Some fm ->
-       (match Wire.decode fm.Meta.body message with
-        | v -> ep.on_message ~src fm v
-        | exception (Wire.Decode_error msg | Value.Type_error msg) ->
-          (* a corrupted record must not take the endpoint down *)
-          Logs.warn (fun m ->
-              m "%a: dropping undecodable message from %a: %s" Contact.pp
-                ep.contact Contact.pp src msg))
-     | None ->
-       (* park and ask for the meta-data *)
-       let q =
-         match Hashtbl.find_opt ep.parked key with
-         | Some q -> q
-         | None ->
-           let q = Queue.create () in
-           Hashtbl.replace ep.parked key q;
-           Netsim.send ep.net ~src:ep.contact ~dst:src
-             (Framing.encode (Framing.Meta_request { format_id }));
-           q
-       in
-       Queue.add (src, message) q)
+     | Some fm -> deliver ep ~src fm message
+     | None -> park_message ep key ~src message)
   | Framing.Meta_request { format_id } ->
     (match Registry.find ep.registry format_id with
      | None ->
@@ -90,11 +288,35 @@ let handle_frame ep ~src (payload : string) : unit =
            m "%a: meta request for unknown format %d from %a"
              Contact.pp ep.contact format_id Contact.pp src)
      | Some f ->
-       Netsim.send ep.net ~src:ep.contact ~dst:src
-         (Framing.encode
-            (Framing.Meta { format_id; meta = Meta.encode f.Registry.meta })))
+       send_frame ep ~dst:src
+         (Framing.Meta { format_id; meta = Meta.encode f.Registry.meta }))
+  | Framing.Ack { seq } ->
+    ep.stats.acks_received <- ep.stats.acks_received + 1;
+    Hashtbl.remove ep.unacked (src, seq)
+  | Framing.Reliable { seq; frame } ->
+    (* always acknowledge — the previous ack may itself have been lost *)
+    raw_send ep ~dst:src (Framing.encode (Framing.Ack { seq }));
+    if already_seen ep src seq then
+      ep.stats.duplicates_suppressed <- ep.stats.duplicates_suppressed + 1
+    else begin
+      mark_seen ep src seq;
+      handle_inner ep ~src frame
+    end
 
-let create ?(endian = Wire.Little) (net : Netsim.t) (contact : Contact.t) : endpoint =
+let handle_frame ep ~src (payload : string) : unit =
+  match Framing.decode_result payload with
+  | Error msg ->
+    Logs.warn (fun m ->
+        m "%a: dropping malformed frame from %a: %s" Contact.pp ep.contact
+          Contact.pp src msg)
+  | Ok frame -> handle_inner ep ~src frame
+
+(* --- construction ----------------------------------------------------------- *)
+
+let create ?(endian = Wire.Little) ?(reliable = false)
+    ?(retransmit = default_retransmit) ?(meta_retry = default_meta_retry)
+    ?(parked_cap = 64) (net : Netsim.t) (contact : Contact.t) : endpoint =
+  if parked_cap < 1 then invalid_arg "Conn.create: parked_cap must be positive";
   let ep =
     {
       net;
@@ -103,8 +325,30 @@ let create ?(endian = Wire.Little) (net : Netsim.t) (contact : Contact.t) : endp
       peer_formats = Hashtbl.create 16;
       announced = Hashtbl.create 16;
       parked = Hashtbl.create 4;
+      parked_cap;
+      reliable;
+      retransmit;
+      meta_retry;
+      send_seq = Hashtbl.create 8;
+      unacked = Hashtbl.create 16;
+      recv_seen = Hashtbl.create 8;
+      failed_peers = Hashtbl.create 4;
+      on_peer_failure = None;
       on_message = default_handler;
       endian;
+      stats =
+        {
+          records_sent = 0;
+          records_delivered = 0;
+          retransmits = 0;
+          acks_received = 0;
+          duplicates_suppressed = 0;
+          meta_requests = 0;
+          meta_retries = 0;
+          parked_evicted = 0;
+          parked_dropped = 0;
+          peer_failures = 0;
+        };
     }
   in
   Netsim.add_node net contact (fun ~src payload -> handle_frame ep ~src payload);
@@ -119,20 +363,24 @@ let register ep (meta : Meta.format_meta) : Registry.fmt =
 let send ep ~(dst : Contact.t) (meta : Meta.format_meta) (v : Value.t) : unit =
   let f = register ep meta in
   let key = { peer = dst; id = f.Registry.id } in
+  ep.stats.records_sent <- ep.stats.records_sent + 1;
   if not (Hashtbl.mem ep.announced key) then begin
     Hashtbl.replace ep.announced key ();
-    Netsim.send ep.net ~src:ep.contact ~dst
-      (Framing.encode
-         (Framing.Meta { format_id = f.Registry.id; meta = Meta.encode meta }))
+    send_frame ep ~dst
+      (Framing.Meta { format_id = f.Registry.id; meta = Meta.encode meta })
   end;
   let message =
     Wire.encode ~endian:ep.endian ~format_id:f.Registry.id meta.Meta.body v
   in
-  Netsim.send ep.net ~src:ep.contact ~dst
-    (Framing.encode (Framing.Data { format_id = f.Registry.id; message }))
+  send_frame ep ~dst (Framing.Data { format_id = f.Registry.id; message })
 
 (* Simulate a receiver losing its soft state (format caches): subsequent
    unknown Data frames trigger the Meta_request recovery path. *)
 let forget_peer_formats ep = Hashtbl.reset ep.peer_formats
 
 let known_peer_formats ep = Hashtbl.length ep.peer_formats
+
+let parked_messages ep =
+  Hashtbl.fold (fun _ p acc -> acc + Queue.length p.q) ep.parked 0
+
+let unacked_frames ep = Hashtbl.length ep.unacked

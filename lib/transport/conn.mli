@@ -6,33 +6,80 @@
     that format, so every Data frame carries only a small integer id.  A
     receiver that lacks the meta for an id (e.g. it restarted) parks the
     message and sends a [Meta_request]; the peer replies and parked
-    messages flush in order. *)
+    messages flush in order.
+
+    The endpoint survives a lossy network: parked queues are bounded,
+    unanswered [Meta_request]s are retried with exponential backoff (and
+    eventually given up on, dropping the parked messages rather than
+    leaking them), and an endpoint created with [~reliable:true] runs a
+    sequence-number + ack + retransmit protocol with duplicate
+    suppression, declaring a peer failed when its retransmit budget is
+    exhausted.  See docs/FAULTS.md. *)
 
 open Pbio
 
 type message_handler = src:Contact.t -> Meta.format_meta -> Value.t -> unit
 
-type endpoint = {
-  net : Netsim.t;
-  contact : Contact.t;
-  registry : Registry.t;
-  peer_formats : (peer_key, Meta.format_meta) Hashtbl.t;
-  announced : (peer_key, unit) Hashtbl.t;
-  parked : (peer_key, (Contact.t * string) Queue.t) Hashtbl.t;
-  mutable on_message : message_handler;
-  mutable endian : Wire.endian;
-}
-
-and peer_key = {
+type peer_key = {
   peer : Contact.t;
   id : int;
 }
 
-(** Create an endpoint and register it on the network.  [endian] is the
-    sender's native byte order (receivers handle either). *)
-val create : ?endian:Wire.endian -> Netsim.t -> Contact.t -> endpoint
+(** Retry schedule: the first retry waits [initial_s], each later one
+    multiplies the wait by [multiplier] up to [max_s]; [max_attempts]
+    counts transmissions in total (first send included). *)
+type backoff = {
+  initial_s : float;
+  multiplier : float;
+  max_s : float;
+  max_attempts : int;
+}
 
+(** 5 ms, doubling, capped at 250 ms, 12 attempts. *)
+val default_retransmit : backoff
+
+(** 10 ms, doubling, capped at 500 ms, 8 requests. *)
+val default_meta_retry : backoff
+
+type stats = {
+  mutable records_sent : int;
+  mutable records_delivered : int;  (** handed to the message handler *)
+  mutable retransmits : int;
+  mutable acks_received : int;
+  mutable duplicates_suppressed : int;
+  mutable meta_requests : int;  (** sent, retries included *)
+  mutable meta_retries : int;
+  mutable parked_evicted : int;  (** oldest-first overflow evictions *)
+  mutable parked_dropped : int;  (** dropped when meta retries ran out *)
+  mutable peer_failures : int;
+}
+
+type endpoint
+
+(** Create an endpoint and register it on the network.  [endian] is the
+    sender's native byte order (receivers handle either).  [reliable]
+    turns on the sequence-number + ack + retransmit envelope for outgoing
+    frames — any endpoint understands the envelope on receipt, so
+    reliable and fire-and-forget endpoints interoperate.  [retransmit]
+    and [meta_retry] tune the backoff schedules; [parked_cap] bounds each
+    (peer, format) parked queue. *)
+val create :
+  ?endian:Wire.endian ->
+  ?reliable:bool ->
+  ?retransmit:backoff ->
+  ?meta_retry:backoff ->
+  ?parked_cap:int ->
+  Netsim.t ->
+  Contact.t ->
+  endpoint
+
+val contact : endpoint -> Contact.t
 val set_handler : endpoint -> message_handler -> unit
+
+(** Called when a reliable peer exhausts its retransmit budget (missed
+    acks): the peer is presumed dead.  A later fresh send to that peer
+    gives it another chance. *)
+val set_on_peer_failure : endpoint -> (Contact.t -> unit) -> unit
 
 (** Register a format for sending; idempotent. *)
 val register : endpoint -> Meta.format_meta -> Registry.fmt
@@ -46,3 +93,11 @@ val send : endpoint -> dst:Contact.t -> Meta.format_meta -> Value.t -> unit
 val forget_peer_formats : endpoint -> unit
 
 val known_peer_formats : endpoint -> int
+
+(** Messages currently parked awaiting meta-data, across all peers. *)
+val parked_messages : endpoint -> int
+
+(** Reliable frames sent but not yet acknowledged. *)
+val unacked_frames : endpoint -> int
+
+val stats : endpoint -> stats

@@ -5,14 +5,23 @@
        pushed once per (peer, format) before the first Data frame;
      - Data: a PBIO-encoded record (complete wire message, header included);
      - Meta_request: ask a peer to (re)send meta-data for an id, used on
-       recovery paths (e.g. a receiver restarted and lost its format cache).
+       recovery paths (e.g. a receiver restarted and lost its format cache);
+     - Ack: acknowledge receipt of a sequence-numbered frame;
+     - Reliable: a sequence-numbered envelope around a Meta/Data/Meta_request
+       frame, used by endpoints running the ack + retransmit protocol over a
+       lossy network.
 
-   Layout: 1-byte kind, 4-byte LE format id, 4-byte LE body length, body. *)
+   Layout: 1-byte kind, 4-byte LE id field (format id, or sequence number
+   for Ack/Reliable), 4-byte LE body length, body.  A Reliable body is the
+   complete encoding of the inner frame; nesting Reliable or Ack inside a
+   Reliable frame is a protocol error. *)
 
 type frame =
   | Meta of { format_id : int; meta : string }
   | Data of { format_id : int; message : string }
   | Meta_request of { format_id : int }
+  | Ack of { seq : int }
+  | Reliable of { seq : int; frame : frame }
 
 exception Frame_error of string
 
@@ -22,32 +31,50 @@ let kind_byte = function
   | Meta _ -> '\x01'
   | Data _ -> '\x02'
   | Meta_request _ -> '\x03'
+  | Ack _ -> '\x04'
+  | Reliable _ -> '\x05'
 
-let encode (f : frame) : string =
-  let format_id, body =
+let rec encode (f : frame) : string =
+  let id_field, body =
     match f with
     | Meta { format_id; meta } -> (format_id, meta)
     | Data { format_id; message } -> (format_id, message)
     | Meta_request { format_id } -> (format_id, "")
+    | Ack { seq } -> (seq, "")
+    | Reliable { seq; frame } ->
+      (match frame with
+       | Ack _ | Reliable _ ->
+         frame_error "cannot nest an %s frame inside a reliable envelope"
+           (match frame with Ack _ -> "ack" | _ -> "reliable")
+       | _ -> (seq, encode frame))
   in
   let buf = Buffer.create (9 + String.length body) in
   Buffer.add_char buf (kind_byte f);
-  Buffer.add_int32_le buf (Int32.of_int format_id);
+  Buffer.add_int32_le buf (Int32.of_int id_field);
   Buffer.add_int32_le buf (Int32.of_int (String.length body));
   Buffer.add_string buf body;
   Buffer.contents buf
 
-let decode (s : string) : frame =
+let rec decode (s : string) : frame =
   if String.length s < 9 then frame_error "short frame (%d bytes)" (String.length s);
-  let format_id = Int32.to_int (String.get_int32_le s 1) in
+  let id_field = Int32.to_int (String.get_int32_le s 1) in
   let len = Int32.to_int (String.get_int32_le s 5) in
   if len < 0 || 9 + len <> String.length s then
     frame_error "frame length %d does not match size %d" len (String.length s);
   let body = String.sub s 9 len in
   match s.[0] with
-  | '\x01' -> Meta { format_id; meta = body }
-  | '\x02' -> Data { format_id; message = body }
-  | '\x03' -> Meta_request { format_id }
+  | '\x01' -> Meta { format_id = id_field; meta = body }
+  | '\x02' -> Data { format_id = id_field; message = body }
+  | '\x03' -> Meta_request { format_id = id_field }
+  | '\x04' ->
+    if len <> 0 then frame_error "ack frame with a %d-byte body" len;
+    if id_field < 0 then frame_error "negative ack sequence number %d" id_field;
+    Ack { seq = id_field }
+  | '\x05' ->
+    if id_field < 0 then frame_error "negative sequence number %d" id_field;
+    (match decode body with
+     | Ack _ | Reliable _ -> frame_error "nested reliable envelope"
+     | inner -> Reliable { seq = id_field; frame = inner })
   | c -> frame_error "unknown frame kind %C" c
 
 (* Total variant for untrusted input. *)

@@ -1,5 +1,7 @@
 (** Frames carried by the simulated network: out-of-band format meta-data,
-    PBIO-encoded records, and meta-data re-requests for recovery. *)
+    PBIO-encoded records, meta-data re-requests for recovery, and the
+    sequence-numbered envelope + acknowledgement used by reliable
+    endpoints. *)
 
 type frame =
   | Meta of {
@@ -11,9 +13,17 @@ type frame =
       message : string;  (** a complete {!Pbio.Wire.encode} message *)
     }
   | Meta_request of { format_id : int }
+  | Ack of { seq : int }  (** acknowledges the {!Reliable} frame [seq] *)
+  | Reliable of {
+      seq : int;
+      frame : frame;
+          (** the enveloped frame; never itself [Reliable] or [Ack] *)
+    }
 
 exception Frame_error of string
 
+(** Raises {!Frame_error} when asked to nest [Reliable]/[Ack] inside a
+    reliable envelope. *)
 val encode : frame -> string
 
 (** Raises {!Frame_error} on malformed frames. *)

@@ -1,7 +1,15 @@
 (* A deterministic discrete-event network simulator (DESIGN.md, substitution
    S3).  Message delivery costs a per-link latency plus a serialisation
    delay proportional to message size; links can be taken down for failure
-   injection.  Time is simulated seconds. *)
+   injection.  Time is simulated seconds.
+
+   Beyond the binary link-up/link-down model, every link can run under a
+   seeded probabilistic fault profile — frame loss, duplication, reordering
+   and latency jitter — and node groups can be partitioned for a timed
+   window of simulated time.  Each drop is accounted under its reason, and
+   an optional trace hook observes every send, delivery, duplication and
+   drop.  The same event queue also drives virtual-clock timers, which is
+   what the connection layer's retransmission and backoff logic runs on. *)
 
 type link_state =
   | Up
@@ -15,37 +23,94 @@ type config = {
 let default_config = { latency_s = 100e-6; bandwidth_bytes_per_s = 125_000_000. }
 (* 100us / ~1 Gbit: the sort of LAN the paper's testbed used *)
 
+(* Per-link fault profile.  Probabilities are per frame; [jitter_s] adds a
+   uniform extra delay in [0, jitter_s].  A reordered frame escapes the
+   link's FIFO clamp and takes a random multiple of its nominal delay, so
+   later frames can overtake it. *)
+type faults = {
+  loss : float;
+  duplication : float;
+  reorder : float;
+  jitter_s : float;
+}
+
+let no_faults = { loss = 0.0; duplication = 0.0; reorder = 0.0; jitter_s = 0.0 }
+
 type handler = src:Contact.t -> string -> unit
 
 type node = { mutable handler : handler }
 
+type drop_reason =
+  | Unknown_destination
+  | Link_down       (* downed link or active partition *)
+  | Injected_loss
+  | Queue_overflow
+
+let pp_drop_reason ppf = function
+  | Unknown_destination -> Fmt.string ppf "unknown-destination"
+  | Link_down -> Fmt.string ppf "link-down"
+  | Injected_loss -> Fmt.string ppf "injected-loss"
+  | Queue_overflow -> Fmt.string ppf "queue-overflow"
+
 type stats = {
   mutable messages : int;
   mutable bytes : int;
-  mutable dropped : int;
+  mutable duplicated : int;
+  mutable drops_unknown_dst : int;
+  mutable drops_link_down : int;
+  mutable drops_loss : int;
+  mutable drops_overflow : int;
 }
 
-type event = {
-  dst : Contact.t;
-  src : Contact.t;
-  payload : string;
+let dropped (s : stats) : int =
+  s.drops_unknown_dst + s.drops_link_down + s.drops_loss + s.drops_overflow
+
+type trace_event =
+  | Trace_sent of { src : Contact.t; dst : Contact.t; bytes : int; arrival : float }
+  | Trace_delivered of { src : Contact.t; dst : Contact.t; bytes : int }
+  | Trace_dropped of { src : Contact.t; dst : Contact.t; reason : drop_reason }
+  | Trace_duplicated of { src : Contact.t; dst : Contact.t }
+  | Trace_timer_fired of { at : float }
+
+type partition = {
+  group_a : Contact.t list;
+  group_b : Contact.t list;
+  start : float;
+  stop : float;
 }
+
+type queued =
+  | Frame of {
+      dst : Contact.t;
+      src : Contact.t;
+      payload : string;
+    }
+  | Timer of (unit -> unit)
 
 type t = {
   config : config;
   mutable corrupt : (string -> string) option;
   (* fault injection: applied to every delivered payload when set *)
   mutable now : float;
-  queue : event Pqueue.t;
+  queue : queued Pqueue.t;
   nodes : (Contact.t, node) Hashtbl.t;
   down_links : (Contact.t * Contact.t, unit) Hashtbl.t;
   last_arrival : (Contact.t * Contact.t, float) Hashtbl.t;
   (* links are FIFO, like the stream connections PBIO runs over: a message
-     never overtakes an earlier one on the same (src, dst) link *)
+     never overtakes an earlier one on the same (src, dst) link — unless the
+     fault model explicitly reorders it *)
+  mutable default_faults : faults;
+  link_faults : (Contact.t * Contact.t, faults) Hashtbl.t;
+  mutable partitions : partition list;
+  mutable link_capacity : int option;
+  (* max frames in flight per (src, dst) link; None = unbounded *)
+  in_flight : (Contact.t * Contact.t, int) Hashtbl.t;
+  rng : Random.State.t;
+  mutable trace : (trace_event -> unit) option;
   stats : stats;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(seed = 0) () =
   {
     config;
     corrupt = None;
@@ -54,7 +119,23 @@ let create ?(config = default_config) () =
     nodes = Hashtbl.create 16;
     down_links = Hashtbl.create 4;
     last_arrival = Hashtbl.create 16;
-    stats = { messages = 0; bytes = 0; dropped = 0 };
+    default_faults = no_faults;
+    link_faults = Hashtbl.create 4;
+    partitions = [];
+    link_capacity = None;
+    in_flight = Hashtbl.create 16;
+    rng = Random.State.make [| 0x6e65747369; seed |];
+    trace = None;
+    stats =
+      {
+        messages = 0;
+        bytes = 0;
+        duplicated = 0;
+        drops_unknown_dst = 0;
+        drops_link_down = 0;
+        drops_loss = 0;
+        drops_overflow = 0;
+      };
   }
 
 let now t = t.now
@@ -63,6 +144,21 @@ let stats t = t.stats
 (* Install (or clear) a payload-corruption fault: every subsequent delivery
    passes through [f] first. *)
 let set_corruption t f = t.corrupt <- f
+
+let set_faults t faults = t.default_faults <- faults
+
+let set_link_faults t ~src ~dst = function
+  | Some faults -> Hashtbl.replace t.link_faults (src, dst) faults
+  | None -> Hashtbl.remove t.link_faults (src, dst)
+
+let faults_for t ~src ~dst =
+  Option.value ~default:t.default_faults (Hashtbl.find_opt t.link_faults (src, dst))
+
+let set_link_capacity t cap = t.link_capacity <- cap
+
+let set_trace t f = t.trace <- f
+
+let trace t ev = match t.trace with Some f -> f ev | None -> ()
 
 exception Duplicate_node of Contact.t
 exception Unknown_node of Contact.t
@@ -85,42 +181,148 @@ let set_link t ~src ~dst (state : link_state) =
 
 let link_up t ~src ~dst = not (Hashtbl.mem t.down_links (src, dst))
 
-(* Queue a message for delivery.  Unknown destinations and downed links drop
-   silently (like UDP), counted in [stats.dropped]. *)
+(* Sever every link between the two groups during [start, stop) of simulated
+   time; whether a frame crosses is decided at send time. *)
+let add_partition t ~group_a ~group_b ~start ~stop =
+  t.partitions <- { group_a; group_b; start; stop } :: t.partitions
+
+let partitioned t ~src ~dst =
+  let mem c l = List.exists (Contact.equal c) l in
+  List.exists
+    (fun p ->
+       t.now >= p.start && t.now < p.stop
+       && ((mem src p.group_a && mem dst p.group_b)
+           || (mem src p.group_b && mem dst p.group_a)))
+    t.partitions
+
+(* --- the event queue ------------------------------------------------------- *)
+
+let in_flight_count t link =
+  Option.value ~default:0 (Hashtbl.find_opt t.in_flight link)
+
+let enqueue_frame t ~src ~dst ~(faults : faults) (payload : string) : unit =
+  let jitter =
+    if faults.jitter_s > 0.0 then Random.State.float t.rng faults.jitter_s else 0.0
+  in
+  let delay =
+    t.config.latency_s
+    +. (float_of_int (String.length payload) /. t.config.bandwidth_bytes_per_s)
+    +. jitter
+  in
+  let reordered = faults.reorder > 0.0 && Random.State.float t.rng 1.0 < faults.reorder in
+  let arrival =
+    if reordered then
+      (* escape the FIFO clamp and linger, so later frames overtake *)
+      t.now +. (delay *. (1.0 +. Random.State.float t.rng 3.0))
+    else begin
+      let earliest =
+        Option.value ~default:0.0 (Hashtbl.find_opt t.last_arrival (src, dst))
+      in
+      let a = Float.max (t.now +. delay) earliest in
+      Hashtbl.replace t.last_arrival (src, dst) a;
+      a
+    end
+  in
+  Hashtbl.replace t.in_flight (src, dst) (in_flight_count t (src, dst) + 1);
+  trace t (Trace_sent { src; dst; bytes = String.length payload; arrival });
+  Pqueue.push t.queue arrival (Frame { dst; src; payload })
+
+(* Queue a message for delivery.  Unknown destinations, downed or
+   partitioned links, injected losses and full link queues drop silently
+   (like UDP), each counted under its reason. *)
 let send t ~(src : Contact.t) ~(dst : Contact.t) (payload : string) : unit =
-  if (not (Hashtbl.mem t.nodes dst)) || not (link_up t ~src ~dst) then
-    t.stats.dropped <- t.stats.dropped + 1
+  let drop reason =
+    (match reason with
+     | Unknown_destination -> t.stats.drops_unknown_dst <- t.stats.drops_unknown_dst + 1
+     | Link_down -> t.stats.drops_link_down <- t.stats.drops_link_down + 1
+     | Injected_loss -> t.stats.drops_loss <- t.stats.drops_loss + 1
+     | Queue_overflow -> t.stats.drops_overflow <- t.stats.drops_overflow + 1);
+    trace t (Trace_dropped { src; dst; reason })
+  in
+  if not (Hashtbl.mem t.nodes dst) then drop Unknown_destination
+  else if (not (link_up t ~src ~dst)) || partitioned t ~src ~dst then drop Link_down
   else begin
-    let delay =
-      t.config.latency_s
-      +. (float_of_int (String.length payload) /. t.config.bandwidth_bytes_per_s)
-    in
-    let earliest = Option.value ~default:0.0 (Hashtbl.find_opt t.last_arrival (src, dst)) in
-    let arrival = Float.max (t.now +. delay) earliest in
-    Hashtbl.replace t.last_arrival (src, dst) arrival;
-    Pqueue.push t.queue arrival { dst; src; payload }
+    let faults = faults_for t ~src ~dst in
+    if faults.loss > 0.0 && Random.State.float t.rng 1.0 < faults.loss then
+      drop Injected_loss
+    else
+      match t.link_capacity with
+      | Some cap when in_flight_count t (src, dst) >= cap -> drop Queue_overflow
+      | _ ->
+        enqueue_frame t ~src ~dst ~faults payload;
+        if faults.duplication > 0.0
+           && Random.State.float t.rng 1.0 < faults.duplication
+           && (match t.link_capacity with
+               | Some cap -> in_flight_count t (src, dst) < cap
+               | None -> true)
+        then begin
+          t.stats.duplicated <- t.stats.duplicated + 1;
+          trace t (Trace_duplicated { src; dst });
+          enqueue_frame t ~src ~dst ~faults payload
+        end
   end
 
-(* Deliver the next pending message; false when the queue is empty. *)
+(* Schedule [f] to run [delay] simulated seconds from now.  Timers share the
+   event queue with frames, so [step]/[run]/[advance] drive them. *)
+let after t (delay : float) (f : unit -> unit) : unit =
+  Pqueue.push t.queue (t.now +. Float.max 0.0 delay) (Timer f)
+
+(* Deliver the next pending message or fire the next timer; false when the
+   queue is empty. *)
 let step t : bool =
   match Pqueue.pop t.queue with
   | None -> false
-  | Some (at, ev) ->
+  | Some (at, item) ->
     t.now <- Float.max t.now at;
-    (match Hashtbl.find_opt t.nodes ev.dst with
-     | None -> t.stats.dropped <- t.stats.dropped + 1
-     | Some node ->
-       t.stats.messages <- t.stats.messages + 1;
-       t.stats.bytes <- t.stats.bytes + String.length ev.payload;
-       let payload =
-         match t.corrupt with Some f -> f ev.payload | None -> ev.payload
-       in
-       node.handler ~src:ev.src payload);
+    (match item with
+     | Timer f ->
+       trace t (Trace_timer_fired { at = t.now });
+       f ()
+     | Frame ev ->
+       let link = (ev.src, ev.dst) in
+       Hashtbl.replace t.in_flight link (max 0 (in_flight_count t link - 1));
+       (match Hashtbl.find_opt t.nodes ev.dst with
+        | None ->
+          t.stats.drops_unknown_dst <- t.stats.drops_unknown_dst + 1;
+          trace t
+            (Trace_dropped { src = ev.src; dst = ev.dst; reason = Unknown_destination })
+        | Some node ->
+          t.stats.messages <- t.stats.messages + 1;
+          t.stats.bytes <- t.stats.bytes + String.length ev.payload;
+          trace t
+            (Trace_delivered
+               { src = ev.src; dst = ev.dst; bytes = String.length ev.payload });
+          let payload =
+            match t.corrupt with Some f -> f ev.payload | None -> ev.payload
+          in
+          node.handler ~src:ev.src payload));
     true
 
+type run_result = {
+  steps : int;
+  quiesced : bool; (* false when the run stopped at [max_steps] *)
+}
+
 (* Run until quiescent (handlers may send more messages). *)
-let run ?(max_steps = max_int) t : int =
-  let rec go n = if n >= max_steps then n else if step t then go (n + 1) else n in
+let run ?(max_steps = max_int) t : run_result =
+  let rec go n =
+    if n >= max_steps then { steps = n; quiesced = Pqueue.is_empty t.queue }
+    else if step t then go (n + 1)
+    else { steps = n; quiesced = true }
+  in
   go 0
+
+(* Process everything due within the next [dt] simulated seconds, then move
+   the clock to exactly [now + dt].  Returns the number of events handled. *)
+let advance t (dt : float) : int =
+  let target = t.now +. Float.max 0.0 dt in
+  let rec go n =
+    match Pqueue.peek t.queue with
+    | Some (at, _) when at <= target -> if step t then go (n + 1) else n
+    | _ -> n
+  in
+  let n = go 0 in
+  t.now <- Float.max t.now target;
+  n
 
 let pending t = Pqueue.length t.queue

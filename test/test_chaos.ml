@@ -1,0 +1,39 @@
+(* The chaos soak acceptance criterion: under 5% loss, 2% duplication,
+   reordering and a timed partition, 500-record campaigns over the ECho
+   and B2B stacks achieve 100% eventual delivery with no duplicate handler
+   invocations, no escaped exceptions, and per-record morphing outcomes
+   identical to a fault-free run — across several independent seeds. *)
+
+module Chaos = Morphcheck.Chaos
+
+let soak seed () =
+  (* 20 cases x 25 records = 500 records: 10 ECho cases and 10 B2B cases *)
+  let report = Chaos.run ~seed ~cases:20 ~records:25 () in
+  if not (Chaos.passed report) then
+    Alcotest.failf "chaos campaign failed:@.%a" Chaos.pp_report report
+
+let test_partition_only () =
+  (* the timed partition alone, no probabilistic faults: recovery must come
+     purely from retransmission across the healed window *)
+  let profile =
+    { Chaos.loss = 0.0; duplication = 0.0; reorder = 0.0; jitter_s = 0.0;
+      partition = true }
+  in
+  let report = Chaos.run ~profile ~seed:99 ~cases:4 ~records:40 () in
+  if not (Chaos.passed report) then
+    Alcotest.failf "partition-only campaign failed:@.%a" Chaos.pp_report report
+
+let test_failure_replay_is_deterministic () =
+  (* equal arguments produce equal reports (byte-identical failures) *)
+  let run () = Chaos.run ~seed:3 ~cases:4 ~records:10 () in
+  Alcotest.(check bool) "replay identical" true (run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "soak: seed 1" `Slow (soak 1);
+    Alcotest.test_case "soak: seed 7" `Slow (soak 7);
+    Alcotest.test_case "soak: seed 42" `Slow (soak 42);
+    Alcotest.test_case "partition only" `Quick test_partition_only;
+    Alcotest.test_case "deterministic replay" `Quick
+      test_failure_replay_is_deterministic;
+  ]

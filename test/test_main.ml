@@ -16,6 +16,8 @@ let () =
       ("xml", Test_xml.suite);
       ("xslt", Test_xslt.suite);
       ("transport", Test_transport.suite);
+      ("faults", Test_faults.suite);
+      ("chaos", Test_chaos.suite);
       ("echo", Test_echo.suite);
       ("b2b", Test_b2b.suite);
       ("integration", Test_integration.suite);

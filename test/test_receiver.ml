@@ -251,6 +251,93 @@ let test_check_meta () =
    | Ok () -> Alcotest.fail "expected check_meta failure"
    | Error _ -> ())
 
+(* --- quarantine of repeatedly failing transformations --------------------- *)
+
+let quarantine_meta registered =
+  let incoming = fmt "format Telemetry2 { int num; int den; }" in
+  Morph.meta incoming
+    ~xforms:[ Morph.xform ~target:registered "old.q = new.num / new.den;" ]
+
+let sample ~num ~den =
+  Value.record [ ("num", Value.Int num); ("den", Value.Int den) ]
+
+let test_quarantine_after_repeated_failures () =
+  let registered = fmt "format Telemetry { int q; }" in
+  let meta = quarantine_meta registered in
+  let r, got = make_receiver registered in
+  let expect_reject needle v =
+    match Receiver.deliver r meta v with
+    | Receiver.Rejected reason ->
+      Alcotest.(check bool) (Fmt.str "mentions %S: %s" needle reason) true
+        (Helpers.contains reason needle)
+    | o -> Alcotest.failf "expected rejection, got %a" Receiver.pp_outcome o
+  in
+  (* three consecutive run-time failures: each rejects as a transformation
+     failure; the third trips the quarantine *)
+  expect_reject "transformation failed" (sample ~num:1 ~den:0);
+  expect_reject "transformation failed" (sample ~num:2 ~den:0);
+  expect_reject "transformation failed" (sample ~num:3 ~den:0);
+  let s = Receiver.stats r in
+  Alcotest.(check int) "failures counted" 3 s.Receiver.transform_failures;
+  Alcotest.(check int) "quarantined once" 1 s.Receiver.quarantined;
+  (* from now on even good values hit the fast Reject — and no re-planning
+     happens: the poisoned pipeline stays cached *)
+  expect_reject "quarantined" (sample ~num:4 ~den:2);
+  Alcotest.(check int) "no handler deliveries" 0 (List.length !got);
+  Alcotest.(check int) "planned exactly once" 1 s.Receiver.cold_paths
+
+let test_quarantine_success_resets_streak () =
+  let registered = fmt "format Telemetry { int q; }" in
+  let meta = quarantine_meta registered in
+  let r, got = make_receiver registered in
+  (* two failures, then a success, then two more failures: the streak never
+     reaches three, so the pipeline survives *)
+  ignore (Receiver.deliver r meta (sample ~num:1 ~den:0));
+  ignore (Receiver.deliver r meta (sample ~num:2 ~den:0));
+  (match Receiver.deliver r meta (sample ~num:6 ~den:3) with
+   | Receiver.Delivered _ -> ()
+   | o -> Alcotest.failf "expected delivery, got %a" Receiver.pp_outcome o);
+  ignore (Receiver.deliver r meta (sample ~num:4 ~den:0));
+  ignore (Receiver.deliver r meta (sample ~num:5 ~den:0));
+  let s = Receiver.stats r in
+  Alcotest.(check int) "four failures" 4 s.Receiver.transform_failures;
+  Alcotest.(check int) "never quarantined" 0 s.Receiver.quarantined;
+  (match Receiver.deliver r meta (sample ~num:8 ~den:4) with
+   | Receiver.Delivered _ -> ()
+   | o -> Alcotest.failf "still delivering, got %a" Receiver.pp_outcome o);
+  Alcotest.(check int) "both good values arrived" 2 (List.length !got);
+  Alcotest.(check int) "quotient" 2 (Value.to_int (Value.get_field (List.hd !got) "q"))
+
+let test_quarantine_threshold_configurable () =
+  let registered = fmt "format Telemetry { int q; }" in
+  let meta = quarantine_meta registered in
+  let r = Receiver.create ~quarantine_after:1 () in
+  Receiver.register r registered (fun _ -> ());
+  ignore (Receiver.deliver r meta (sample ~num:1 ~den:0));
+  Alcotest.(check int) "one strike is enough" 1
+    (Receiver.stats r).Receiver.quarantined;
+  (try
+     ignore (Receiver.create ~quarantine_after:0 ());
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_delivery_probe_observes_outcomes () =
+  let registered = fmt "format Telemetry { int q; }" in
+  let meta = quarantine_meta registered in
+  let r, _ = make_receiver registered in
+  let seen = ref [] in
+  Receiver.set_delivery_probe r
+    (Some (fun v o -> seen := (Option.is_some v, o) :: !seen));
+  ignore (Receiver.deliver r meta (sample ~num:6 ~den:3));
+  ignore (Receiver.deliver r meta (sample ~num:1 ~den:0));
+  (match List.rev !seen with
+   | [ (true, Receiver.Delivered _); (false, Receiver.Rejected _) ] -> ()
+   | l -> Alcotest.failf "unexpected probe trace (%d entries)" (List.length l));
+  (* clearing the probe stops observation *)
+  Receiver.set_delivery_probe r None;
+  ignore (Receiver.deliver r meta (sample ~num:6 ~den:3));
+  Alcotest.(check int) "no further entries" 2 (List.length !seen)
+
 (* Robustness: whatever formats arrive, deliver returns an outcome — it
    never raises, even when the incoming format shares a name but nothing
    else with the registered one. *)
@@ -299,6 +386,14 @@ let suite =
     Alcotest.test_case "cross-name morphing" `Quick test_cross_name_morphing;
     Alcotest.test_case "explain" `Quick test_explain;
     Alcotest.test_case "check_meta validates snippets" `Quick test_check_meta;
+    Alcotest.test_case "quarantine after repeated failures" `Quick
+      test_quarantine_after_repeated_failures;
+    Alcotest.test_case "quarantine: success resets the streak" `Quick
+      test_quarantine_success_resets_streak;
+    Alcotest.test_case "quarantine: threshold configurable" `Quick
+      test_quarantine_threshold_configurable;
+    Alcotest.test_case "delivery probe observes outcomes" `Quick
+      test_delivery_probe_observes_outcomes;
     Helpers.qtest prop_deliver_total;
     Helpers.qtest prop_delivered_value_conforms;
   ]

@@ -86,11 +86,14 @@ let test_netsim_drops () =
   Netsim.add_node net b (fun ~src:_ _ -> ());
   (* unknown destination *)
   Netsim.send net ~src:a ~dst:(Contact.make "ghost" 9) "x";
-  Alcotest.(check int) "dropped unknown" 1 (Netsim.stats net).Netsim.dropped;
+  Alcotest.(check int) "dropped unknown" 1
+    (Netsim.stats net).Netsim.drops_unknown_dst;
   (* downed link *)
   Netsim.set_link net ~src:a ~dst:b Netsim.Down;
   Netsim.send net ~src:a ~dst:b "x";
-  Alcotest.(check int) "dropped on down link" 2 (Netsim.stats net).Netsim.dropped;
+  Alcotest.(check int) "dropped on down link" 1
+    (Netsim.stats net).Netsim.drops_link_down;
+  Alcotest.(check int) "total drops" 2 (Netsim.dropped (Netsim.stats net));
   (* link back up *)
   Netsim.set_link net ~src:a ~dst:b Netsim.Up;
   Netsim.send net ~src:a ~dst:b "x";
@@ -118,8 +121,9 @@ let test_netsim_cascading () =
       incr hops;
       if String.length payload < 5 then Netsim.send net ~src:b ~dst:a (payload ^ "b"));
   Netsim.send net ~src:a ~dst:b "x";
-  let steps = Netsim.run net in
-  Alcotest.(check int) "ping-pong until length 5" 5 steps
+  let result = Netsim.run net in
+  Alcotest.(check int) "ping-pong until length 5" 5 result.Netsim.steps;
+  Alcotest.(check bool) "quiesced" true result.Netsim.quiesced
 
 (* --- framing -------------------------------------------------------------------- *)
 
@@ -184,7 +188,7 @@ let test_framing_garbage_kinds () =
        | Error e ->
          Alcotest.(check bool) "mentions the kind" true
            (Helpers.contains e "kind"))
-    [ 0; 4; 9; 0x41; 255 ]
+    [ 0; 6; 9; 0x41; 255 ]
 
 (* --- connection protocol ---------------------------------------------------------- *)
 
