@@ -43,15 +43,36 @@ let measure_bechamel ?(quota_s = 0.4) ~name (f : unit -> unit) : float =
      | Some _ | None -> Float.nan)
   | _ -> Float.nan
 
+(* Every completed measurement, in run order, for the JSON trajectory. *)
+let recorded : (string * float) list ref = ref []
+
 (* Nanoseconds per execution of [f].  Fast operations take the best of two
    Bechamel OLS fits (scheduler blips on a shared container otherwise leak
    into single estimates); slow ones repeat directly. *)
 let measure ~(name : string) (f : unit -> unit) : float =
   f (); (* warm up: fill caches, trigger compilation paths *)
   let first = time_once f in
-  if first < 1e7 then
-    Float.min (measure_bechamel ~name f) (measure_bechamel ~name f)
-  else measure_manual f first
+  let ns =
+    if first < 1e7 then
+      Float.min (measure_bechamel ~name f) (measure_bechamel ~name f)
+    else measure_manual f first
+  in
+  recorded := (name, ns) :: !recorded;
+  ns
+
+(* Write every recorded measurement to [path] through the Obs JSON sink:
+   one gauge per benchmark point, value in nanoseconds per execution. *)
+let write_json (path : string) : unit =
+  let reg = Obs.create () in
+  List.iter
+    (fun (name, ns) ->
+       if not (Float.is_nan ns) then
+         Obs.Gauge.set (Obs.Gauge.make reg ~unit_:"ns" ("bench." ^ name)) ns)
+    (List.rev !recorded);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Obs.emit reg (Obs.Json (output_string oc)))
 
 (* --- output helpers --------------------------------------------------------- *)
 

@@ -14,7 +14,8 @@
    The workload is the paper's: a ChannelOpenResponse v2.0 message whose
    member list is sized so the unencoded struct is 100 B ... 1 MB.
 
-   Usage: dune exec bench/main.exe [-- --quick] [-- --only fig8,table1] *)
+   Usage: dune exec bench/main.exe [-- --quick] [-- --only fig8,table1]
+          [-- --json FILE]   write every measurement as Obs line-JSON *)
 
 open Pbio
 module WF = Echo.Wire_formats
@@ -45,6 +46,8 @@ let make_point requested =
   }
 
 let ns = Fmt.str "%a" H.pp_ns
+
+let ok_exn = function Ok v -> v | Error e -> failwith (Err.to_string e)
 
 (* --- Figure 8: encoding cost -------------------------------------------------- *)
 
@@ -86,7 +89,7 @@ let fig9 points =
          H.measure ~name:("fig9/xml/" ^ p.label) (fun () ->
              match Xmlkit.Pbio_xml.decode WF.channel_open_response_v2 xml with
              | Ok _ -> ()
-             | Error e -> failwith e)
+             | Error e -> failwith (Err.to_string e))
        in
        H.row "   %-8s %14s %14s %8.1fx\n" p.label (ns pbio_ns) (ns xml_ns)
          (xml_ns /. pbio_ns))
@@ -108,7 +111,7 @@ let table1 points =
              p.v2_value
          with
          | Ok v -> v
-         | Error e -> failwith e
+         | Error e -> failwith (Err.to_string e)
        in
        let unenc_v2 = Sizeof.unencoded WF.channel_open_response_v2 p.v2_value in
        let pbio_v2 = String.length (Lazy.force p.v2_wire) in
@@ -138,7 +141,7 @@ let fig10 points =
       | Ok f -> f
       | Error e -> failwith e
     in
-    fun wire -> xform (Wire.decode WF.channel_open_response_v2 wire)
+    fun wire -> xform (ok_exn (Wire.decode WF.channel_open_response_v2 wire))
   in
   let sheet = Xslt.Stylesheet.of_string WF.response_v2_to_v1_stylesheet in
   let xslt_pipeline xml =
@@ -385,15 +388,17 @@ let contains (hay : string) (needle : string) : bool =
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
-  let only =
+  let opt_arg name =
     let rec find i =
       if i >= Array.length Sys.argv then None
-      else if Sys.argv.(i) = "--only" && i + 1 < Array.length Sys.argv then
-        Some (String.split_on_char ',' Sys.argv.(i + 1))
+      else if Sys.argv.(i) = name && i + 1 < Array.length Sys.argv then
+        Some Sys.argv.(i + 1)
       else find (i + 1)
     in
     find 1
   in
+  let only = Option.map (String.split_on_char ',') (opt_arg "--only") in
+  let json_path = opt_arg "--json" in
   let want name =
     match only with
     | None -> true
@@ -417,4 +422,9 @@ let () =
   if want "abl4" then abl4 ();
   if want "abl5" then abl5 ();
   if want "abl6" then abl6 ();
+  Option.iter
+    (fun path ->
+       H.write_json path;
+       Printf.printf "\nmeasurements written to %s\n" path)
+    json_path;
   print_newline ()

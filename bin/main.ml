@@ -6,6 +6,7 @@
      morphctl encode FILE       wire-encode a default-valued record, show hex
      morphctl sizes             Table-1-style size table for the ECho workload
      morphctl demo              run the ECho evolution scenario
+     morphctl stats             run an instrumented scenario, dump all metrics
 
    Format files use the DSL of Pbio.Ptype_dsl, e.g.:
 
@@ -129,8 +130,9 @@ let encode_cmd =
       (String.length bytes - Wire.header_size);
     hexdump bytes;
     (* prove it round-trips *)
-    let back = Wire.decode r bytes in
-    assert (Value.equal v back);
+    (match Wire.decode r bytes with
+     | Ok back -> assert (Value.equal v back)
+     | Error e -> Fmt.failwith "round-trip decode failed: %a" Err.pp e);
     print_endline "round-trip: ok"
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -194,10 +196,10 @@ let xform_cmd =
     let meta = Morph.meta src ~xforms:[ Morph.xform ~target:dst code ] in
     (match Morph.check_meta meta with
      | Ok () -> ()
-     | Error e -> Fmt.failwith "transformation does not compile: %s" e);
+     | Error e -> Fmt.failwith "transformation does not compile: %a" Err.pp e);
     match Morph.morph_to meta ~target:dst input with
     | Ok out -> Format.printf "morphed (%s):@.  %a@." to_name Value.pp out
-    | Error e -> Fmt.failwith "morphing failed: %s" e
+    | Error e -> Fmt.failwith "morphing failed: %a" Err.pp e
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FORMATS") in
   let code = Arg.(required & pos 1 (some file) None & info [] ~docv:"ECODE_FILE") in
@@ -231,10 +233,14 @@ let explain_cmd =
     let meta = Morph.meta incoming_fmt ~xforms in
     (match Morph.check_meta meta with
      | Ok () -> ()
-     | Error e -> Fmt.failwith "attached code does not compile: %s" e);
+     | Error e -> Fmt.failwith "attached code does not compile: %a" Err.pp e);
     let receiver =
       Morph.Receiver.create
-        ~thresholds:{ Morph.Maxmatch.diff_threshold = dt; mismatch_threshold = mt } ()
+        ~config:
+          (Morph.Receiver.Config.v
+             ~thresholds:{ Morph.Maxmatch.diff_threshold = dt; mismatch_threshold = mt }
+             ())
+        ()
     in
     List.iter (fun n -> Morph.Receiver.register receiver (find n) (fun _ -> ())) registered;
     Printf.printf "incoming:   %s\n" incoming;
@@ -275,7 +281,7 @@ let sizes_cmd =
     let v1 =
       match Morph.morph_to response_v2_meta ~target:channel_open_response_v1 v2 with
       | Ok v -> v
-      | Error e -> Fmt.failwith "%s" e
+      | Error e -> Fmt.failwith "%a" Err.pp e
     in
     let xml2 = Xmlkit.Pbio_xml.encode channel_open_response_v2 v2 in
     let xml1 = Xmlkit.Pbio_xml.encode channel_open_response_v1 v1 in
@@ -320,6 +326,69 @@ let demo_cmd =
   in
   Cmd.v (Cmd.info "demo" ~doc:"Run a two-node cross-version ECho demo")
     Term.(const run $ const ())
+
+(* --- stats --------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run scenario json orders =
+    let metrics = Obs.create () in
+    (* module-level instruments for the stateless layers *)
+    Wire.set_metrics metrics;
+    Convert.set_metrics metrics;
+    Ecode.set_metrics metrics;
+    Fun.protect
+      ~finally:(fun () ->
+          Wire.set_metrics Obs.null;
+          Convert.set_metrics Obs.null;
+          Ecode.set_metrics Obs.null)
+      (fun () ->
+         match scenario with
+         | "b2b" ->
+           let r =
+             B2b.Scenario.run ~orders ~metrics B2b.Broker.Morph_at_receiver
+           in
+           if not json then Format.printf "# %a@.@." B2b.Scenario.pp_result r
+         | "echo" ->
+           (* cross-version publish/subscribe: a 2.0 creator, a 1.0 sink *)
+           let net = Transport.Netsim.create ~metrics () in
+           let creator =
+             Echo.Node.create ~metrics net ~host:"creator" ~port:1 Echo.Node.V2
+           in
+           let old_sink =
+             Echo.Node.create ~metrics net ~host:"legacy" ~port:2 Echo.Node.V1
+           in
+           Echo.Node.create_channel creator "demo" ~as_source:true ~as_sink:false;
+           Echo.Node.subscribe_events old_sink "demo" (fun _ -> ());
+           Echo.Node.join old_sink ~creator:(Echo.Node.contact creator) "demo"
+             ~as_source:false ~as_sink:true;
+           ignore (Echo.settle net);
+           for i = 1 to orders do
+             Echo.Node.publish creator "demo" (Printf.sprintf "event-%d" i);
+             ignore (Echo.settle net)
+           done
+         | s ->
+           Printf.eprintf "stats: unknown scenario %S (expected b2b or echo)\n" s;
+           exit 2);
+    Obs.emit metrics (if json then Obs.Json print_string else Obs.Text print_string)
+  in
+  let scenario =
+    Arg.(value & opt string "b2b"
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:"Instrumented scenario to run: b2b or echo")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit line-oriented JSON instead of a table")
+  in
+  let orders =
+    Arg.(value & opt int 25
+         & info [ "orders"; "n" ] ~docv:"N"
+             ~doc:"Orders (b2b) or events (echo) to push through the scenario")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run an instrumented scenario and dump every collected metric")
+    Term.(const run $ scenario $ json $ orders)
 
 (* --- morphcheck --------------------------------------------------------------- *)
 
@@ -432,4 +501,4 @@ let () =
     Cmd.info "morphctl" ~version:"1.0.0"
       ~doc:"Message-morphing toolkit (ICDCS 2005 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; morphcheck_cmd; chaos_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; stats_cmd; morphcheck_cmd; chaos_cmd ]))

@@ -37,7 +37,7 @@ let () =
    | Ok converted ->
      Printf.printf "as the supplier sees it after morphing:\n  %s\n"
        (Pbio.Value.to_string converted)
-   | Error e -> failwith e);
+   | Error e -> failwith (Pbio.Err.to_string e));
   (* many peers through one broker: orders round-robin across suppliers and
      statuses find their way back to the right retailer by purchase order *)
   let routing = B2b.Scenario.run_multi ~retailers:3 ~suppliers:2 ~orders_each:5

@@ -51,7 +51,9 @@ let sample =
     ]
 
 let deliver ~label thresholds =
-  let receiver = Morph.Receiver.create ~thresholds () in
+  let receiver =
+    Morph.Receiver.create ~config:(Morph.Receiver.Config.v ~thresholds ()) ()
+  in
   Morph.Receiver.register receiver telemetry_v1 (fun v ->
       Printf.printf "      v1 handler: host=%s cpu=%d mem=%d\n"
         (Value.to_string_exn (Value.get_field v "host"))

@@ -45,7 +45,7 @@ let () =
   let meta = Morph.meta msg_v2 ~xforms:[ Morph.xform ~target:msg_v1 v2_to_v1 ] in
   (match Morph.check_meta meta with
    | Ok () -> ()
-   | Error e -> failwith e);
+   | Error e -> failwith (Err.to_string e));
 
   (* Reader side: an old client that only knows the v1 format. *)
   let receiver = Morph.Receiver.create () in

@@ -28,6 +28,23 @@ type counters = {
   mutable bytes_out : int;
 }
 
+(* Observability handles mirroring [counters]; inert when the broker was
+   created without a registry. *)
+type bmetrics = {
+  m_routed : Obs.Counter.h;
+  m_transforms : Obs.Counter.h;
+  m_bytes_in : Obs.Counter.h;
+  m_bytes_out : Obs.Counter.h;
+}
+
+let make_bmetrics (reg : Obs.t) : bmetrics =
+  {
+    m_routed = Obs.Counter.make reg "b2b.broker.routed";
+    m_transforms = Obs.Counter.make reg "b2b.broker.transforms";
+    m_bytes_in = Obs.Counter.make reg ~unit_:"B" "b2b.broker.bytes_in";
+    m_bytes_out = Obs.Counter.make reg ~unit_:"B" "b2b.broker.bytes_out";
+  }
+
 type t = {
   contact : Transport.Contact.t;
   mutable retailers : Transport.Contact.t list;
@@ -37,6 +54,7 @@ type t = {
   mutable rr : int;
   po_origin : (int, Transport.Contact.t) Hashtbl.t;
   counters : counters;
+  bm : bmetrics;
   (* XSLT mode state *)
   order_sheet : Xslt.Stylesheet.t Lazy.t;
   status_sheet : Xslt.Stylesheet.t Lazy.t;
@@ -84,6 +102,7 @@ let int_child (doc : Xml.t) (tag : string) : int option =
 
 let handle_xml t (net : Transport.Netsim.t) ~src (payload : string) : unit =
   t.counters.bytes_in <- t.counters.bytes_in + String.length payload;
+  Obs.Counter.add t.bm.m_bytes_in (String.length payload);
   match Xml_parser.parse payload with
   | Error msg ->
     Logs.warn (fun m -> m "broker: bad XML from %a: %s" Transport.Contact.pp src msg)
@@ -110,6 +129,9 @@ let handle_xml t (net : Transport.Netsim.t) ~src (payload : string) : unit =
        t.counters.transforms <- t.counters.transforms + 1;
        t.counters.routed <- t.counters.routed + 1;
        t.counters.bytes_out <- t.counters.bytes_out + String.length out_str;
+       Obs.Counter.incr t.bm.m_transforms;
+       Obs.Counter.incr t.bm.m_routed;
+       Obs.Counter.add t.bm.m_bytes_out (String.length out_str);
        Transport.Netsim.send net ~src:t.contact ~dst out_str)
 
 (* --- morphing mode ------------------------------------------------------------ *)
@@ -142,14 +164,15 @@ let handle_binary t ~src (meta : Meta.format_meta) (v : Value.t) : unit =
   | Some dst, Some ep ->
     let meta = augment_meta meta in
     t.counters.routed <- t.counters.routed + 1;
+    Obs.Counter.incr t.bm.m_routed;
     Transport.Conn.send ep ~dst meta v
   | _, _ ->
     Logs.warn (fun m -> m "broker: no route for message from %a" Transport.Contact.pp src)
 
 (* --- construction --------------------------------------------------------------- *)
 
-let create ?(reliable = false) (net : Transport.Netsim.t) ~(host : string)
-    ~(port : int) (mode : mode) : t =
+let create ?(reliable = false) ?(metrics = Obs.null) (net : Transport.Netsim.t)
+    ~(host : string) ~(port : int) (mode : mode) : t =
   let contact = Transport.Contact.make host port in
   let t =
     {
@@ -159,6 +182,7 @@ let create ?(reliable = false) (net : Transport.Netsim.t) ~(host : string)
       rr = 0;
       po_origin = Hashtbl.create 64;
       counters = { routed = 0; transforms = 0; bytes_in = 0; bytes_out = 0 };
+      bm = make_bmetrics metrics;
       order_sheet = lazy (Xslt.Stylesheet.of_string Formats.retail_to_supplier_order_xslt);
       status_sheet = lazy (Xslt.Stylesheet.of_string Formats.supplier_to_retail_status_xslt);
       endpoint = None;
@@ -169,10 +193,11 @@ let create ?(reliable = false) (net : Transport.Netsim.t) ~(host : string)
      Transport.Netsim.add_node net contact (fun ~src payload ->
          handle_xml t net ~src payload)
    | Morph_at_receiver ->
-     let ep = Transport.Conn.create ~reliable net contact in
+     let ep = Transport.Conn.create ~reliable ~metrics net contact in
      t.endpoint <- Some ep;
      Transport.Conn.set_handler ep (fun ~src meta v ->
          t.counters.bytes_in <- t.counters.bytes_in + 1;
+         Obs.Counter.incr t.bm.m_bytes_in;
          handle_binary t ~src meta v));
   t
 

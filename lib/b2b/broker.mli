@@ -23,8 +23,17 @@ type counters = {
 type t
 
 (** [reliable] (morphing mode only) runs the broker's endpoint under the
-    connection layer's ack + retransmit protocol. *)
-val create : ?reliable:bool -> Transport.Netsim.t -> host:string -> port:int -> mode -> t
+    connection layer's ack + retransmit protocol.  [metrics] receives the
+    broker's [b2b.broker.*] counters (mirroring {!counters}) and, in
+    morphing mode, the endpoint's [conn.*] instruments. *)
+val create :
+  ?reliable:bool ->
+  ?metrics:Obs.t ->
+  Transport.Netsim.t ->
+  host:string ->
+  port:int ->
+  mode ->
+  t
 val contact : t -> Transport.Contact.t
 
 (** Register peers.  Orders round-robin across suppliers; statuses return

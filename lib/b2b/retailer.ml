@@ -5,6 +5,10 @@ module Pbio_xml = Xmlkit.Pbio_xml
 
 open Pbio
 
+(* Buckets for the order -> status round trip in simulated seconds: link
+   latencies are milliseconds, retransmit storms push into whole seconds. *)
+let roundtrip_buckets = [ 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0 ]
+
 type t = {
   mode : Broker.mode;
   contact : Transport.Contact.t;
@@ -14,23 +18,40 @@ type t = {
   mutable orders_sent : int;
   mutable endpoint : Transport.Conn.endpoint option;
   receiver : Morph.Receiver.t;
+  metrics : Obs.t;
+  (* order_id -> sim time the order left, for the end-to-end histogram *)
+  sent_at : (int, float) Hashtbl.t;
+  m_roundtrip : Obs.Histogram.h;
 }
 
 let record_status t (v : Value.t) : unit =
+  let order_id = Value.to_int (Value.get_field v "order_id") in
+  (match Hashtbl.find_opt t.sent_at order_id with
+   | Some t0 ->
+     Hashtbl.remove t.sent_at order_id;
+     Obs.Histogram.observe t.m_roundtrip (Transport.Netsim.now t.net -. t0)
+   | None -> ());
   t.statuses <-
-    ( Value.to_int (Value.get_field v "order_id"),
+    ( order_id,
       Value.to_string_exn (Value.get_field v "status"),
       Value.to_int (Value.get_field v "estimated_days") )
     :: t.statuses
 
 let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
-    (net : Transport.Netsim.t) ~(host : string) ~(port : int)
+    ?(metrics = Obs.null) (net : Transport.Netsim.t) ~(host : string) ~(port : int)
     ~(broker : Transport.Contact.t) (mode : Broker.mode) : t =
   let contact = Transport.Contact.make host port in
-  let receiver = Morph.Receiver.create ~thresholds () in
+  let receiver =
+    Morph.Receiver.create
+      ~config:(Morph.Receiver.Config.v ~thresholds ~metrics ()) ()
+  in
   let t =
     { mode; contact; net; broker; statuses = []; orders_sent = 0;
-      endpoint = None; receiver }
+      endpoint = None; receiver; metrics;
+      sent_at = Hashtbl.create 64;
+      m_roundtrip =
+        Obs.Histogram.make metrics ~unit_:"s" ~buckets:roundtrip_buckets
+          "b2b.order_roundtrip_s" }
   in
   Morph.Receiver.register receiver Formats.retail_status (record_status t);
   (match mode with
@@ -38,12 +59,15 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
      Transport.Netsim.add_node net contact (fun ~src:_ payload ->
          match Pbio_xml.decode Formats.retail_status payload with
          | Ok v -> record_status t v
-         | Error msg -> Logs.warn (fun m -> m "retailer: bad status XML: %s" msg))
+         | Error e -> Logs.warn (fun m -> m "retailer: bad status XML: %a" Err.pp e))
    | Broker.Morph_at_receiver ->
-     let ep = Transport.Conn.create ~reliable net contact in
+     let ep = Transport.Conn.create ~reliable ~metrics net contact in
      t.endpoint <- Some ep;
      Transport.Conn.set_handler ep (fun ~src:_ meta v ->
-         match Morph.Receiver.deliver receiver meta v with
+         match
+           Obs.with_span metrics "b2b.deliver" (fun () ->
+               Morph.Receiver.deliver receiver meta v)
+         with
          | Morph.Receiver.Delivered _ | Morph.Receiver.Defaulted -> ()
          | Morph.Receiver.Rejected reason ->
            Logs.warn (fun m -> m "retailer: rejected: %s" reason)));
@@ -51,6 +75,14 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
 
 let send_order t (order : Value.t) : unit =
   t.orders_sent <- t.orders_sent + 1;
+  (if Obs.enabled t.metrics then
+     match
+       if Value.has_field order "order_id" then
+         Some (Value.to_int (Value.get_field order "order_id"))
+       else None
+     with
+     | Some id -> Hashtbl.replace t.sent_at id (Transport.Netsim.now t.net)
+     | None -> ());
   match t.mode, t.endpoint with
   | Broker.Xslt_at_broker, _ ->
     Transport.Netsim.send t.net ~src:t.contact ~dst:t.broker

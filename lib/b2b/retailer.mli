@@ -6,9 +6,13 @@ open Pbio
 
 type t
 
+(** [metrics] receives the retailer's [receiver.*]/[conn.*] instruments plus
+    the [b2b.order_roundtrip_s] histogram: simulated seconds from the order
+    leaving to its (possibly morphed) status arriving. *)
 val create :
   ?thresholds:Morph.Maxmatch.thresholds ->
   ?reliable:bool ->
+  ?metrics:Obs.t ->
   Transport.Netsim.t ->
   host:string ->
   port:int ->

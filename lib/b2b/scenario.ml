@@ -28,13 +28,13 @@ let pp_result ppf (r : result) =
    Returns, per retailer, the order ids it placed and the order ids its
    statuses answered — routing is correct when each pair matches. *)
 let run_multi ?(retailers = 3) ?(suppliers = 2) ?(orders_each = 10)
-    (mode : Broker.mode) : (int list * int list) list =
-  let net = Transport.Netsim.create () in
-  let broker = Broker.create net ~host:"broker" ~port:9000 mode in
+    ?(metrics = Obs.null) (mode : Broker.mode) : (int list * int list) list =
+  let net = Transport.Netsim.create ~metrics () in
+  let broker = Broker.create ~metrics net ~host:"broker" ~port:9000 mode in
   let rs =
     List.init retailers (fun i ->
         let r =
-          Retailer.create net
+          Retailer.create ~metrics net
             ~host:(Printf.sprintf "retailer%d" i)
             ~port:(9100 + i) ~broker:(Broker.contact broker) mode
         in
@@ -44,7 +44,7 @@ let run_multi ?(retailers = 3) ?(suppliers = 2) ?(orders_each = 10)
   List.iteri
     (fun i _ ->
        let s =
-         Supplier.create net
+         Supplier.create ~metrics net
            ~host:(Printf.sprintf "supplier%d" i)
            ~port:(9200 + i) ~broker:(Broker.contact broker) mode
        in
@@ -66,14 +66,16 @@ let run_multi ?(retailers = 3) ?(suppliers = 2) ?(orders_each = 10)
        (List.sort Int.compare placed, List.sort Int.compare answered))
     rs placed
 
-let run ?(orders = 100) (mode : Broker.mode) : result =
-  let net = Transport.Netsim.create () in
-  let broker = Broker.create net ~host:"broker" ~port:9000 mode in
+let run ?(orders = 100) ?(metrics = Obs.null) (mode : Broker.mode) : result =
+  let net = Transport.Netsim.create ~metrics () in
+  let broker = Broker.create ~metrics net ~host:"broker" ~port:9000 mode in
   let retailer =
-    Retailer.create net ~host:"retailer" ~port:9001 ~broker:(Broker.contact broker) mode
+    Retailer.create ~metrics net ~host:"retailer" ~port:9001
+      ~broker:(Broker.contact broker) mode
   in
   let supplier =
-    Supplier.create net ~host:"supplier" ~port:9002 ~broker:(Broker.contact broker) mode
+    Supplier.create ~metrics net ~host:"supplier" ~port:9002
+      ~broker:(Broker.contact broker) mode
   in
   Broker.connect broker ~retailer:(Retailer.contact retailer)
     ~supplier:(Supplier.contact supplier);

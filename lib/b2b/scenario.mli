@@ -15,7 +15,10 @@ type result = {
 
 val pp_result : Format.formatter -> result -> unit
 
-val run : ?orders:int -> Broker.mode -> result
+(** [metrics] is threaded through every component of the run — network,
+    broker, retailer, supplier — so one registry collects the whole
+    scenario's [netsim.*], [conn.*], [receiver.*] and [b2b.*] instruments. *)
+val run : ?orders:int -> ?metrics:Obs.t -> Broker.mode -> result
 
 (** Multi-peer variant: [retailers] x [suppliers] through one broker, each
     retailer placing [orders_each] orders.  Returns per retailer the sorted
@@ -25,5 +28,6 @@ val run_multi :
   ?retailers:int ->
   ?suppliers:int ->
   ?orders_each:int ->
+  ?metrics:Obs.t ->
   Broker.mode ->
   (int list * int list) list

@@ -36,10 +36,13 @@ let handle_order t (v : Value.t) : unit =
   reply_status t ~po (List.length t.orders)
 
 let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
-    (net : Transport.Netsim.t) ~(host : string) ~(port : int)
+    ?(metrics = Obs.null) (net : Transport.Netsim.t) ~(host : string) ~(port : int)
     ~(broker : Transport.Contact.t) (mode : Broker.mode) : t =
   let contact = Transport.Contact.make host port in
-  let receiver = Morph.Receiver.create ~thresholds () in
+  let receiver =
+    Morph.Receiver.create
+      ~config:(Morph.Receiver.Config.v ~thresholds ~metrics ()) ()
+  in
   let t =
     { mode; contact; net; broker; orders = []; endpoint = None; receiver }
   in
@@ -49,12 +52,15 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
      Transport.Netsim.add_node net contact (fun ~src:_ payload ->
          match Pbio_xml.decode Formats.supplier_order payload with
          | Ok v -> handle_order t v
-         | Error msg -> Logs.warn (fun m -> m "supplier: bad order XML: %s" msg))
+         | Error e -> Logs.warn (fun m -> m "supplier: bad order XML: %a" Err.pp e))
    | Broker.Morph_at_receiver ->
-     let ep = Transport.Conn.create ~reliable net contact in
+     let ep = Transport.Conn.create ~reliable ~metrics net contact in
      t.endpoint <- Some ep;
      Transport.Conn.set_handler ep (fun ~src:_ meta v ->
-         match Morph.Receiver.deliver receiver meta v with
+         match
+           Obs.with_span metrics "b2b.deliver" (fun () ->
+               Morph.Receiver.deliver receiver meta v)
+         with
          | Morph.Receiver.Delivered _ | Morph.Receiver.Defaulted -> ()
          | Morph.Receiver.Rejected reason ->
            Logs.warn (fun m -> m "supplier: rejected: %s" reason)));

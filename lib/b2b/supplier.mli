@@ -6,6 +6,7 @@ type t
 val create :
   ?thresholds:Morph.Maxmatch.thresholds ->
   ?reliable:bool ->
+  ?metrics:Obs.t ->
   Transport.Netsim.t ->
   host:string ->
   port:int ->

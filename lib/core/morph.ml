@@ -49,7 +49,7 @@ let meta ?(xforms = []) (body : Ptype.record) : Meta.format_meta =
 
 (* Writer-side sanity check: compile every attached transformation once so a
    broken snippet is reported at registration, not at receivers. *)
-let check_meta (m : Meta.format_meta) : (unit, string) result =
+let check_meta (m : Meta.format_meta) : (unit, Err.t) result =
   let rec go = function
     | [] -> Ok ()
     | (x : Meta.xform_spec) :: rest ->
@@ -67,14 +67,14 @@ let check_meta (m : Meta.format_meta) : (unit, string) result =
    conversion, if the thresholds allow it. *)
 let morph_to ?(thresholds = Maxmatch.default_thresholds) ?(engine = Xform.Compiled)
     (m : Meta.format_meta) ~(target : Ptype.record) (value : Value.t) :
-  (Value.t, string) result =
-  let r = Receiver.create ~thresholds ~engine () in
+  (Value.t, Err.t) result =
+  let r = Receiver.create ~config:(Receiver.Config.v ~thresholds ~engine ()) () in
   let result = ref None in
   Receiver.register r target (fun v -> result := Some v);
   match Receiver.deliver r m value with
   | Receiver.Delivered _ ->
     (match !result with
      | Some v -> Ok v
-     | None -> Error "internal: handler did not run")
-  | Receiver.Defaulted -> Error "fell through to default handler"
-  | Receiver.Rejected reason -> Error reason
+     | None -> Error (`Internal "handler did not run"))
+  | Receiver.Defaulted -> Error (`No_match "fell through to default handler")
+  | Receiver.Rejected reason -> Error (`No_match reason)

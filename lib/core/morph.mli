@@ -38,16 +38,18 @@ val xform : ?source:Ptype.record -> target:Ptype.record -> string -> Meta.xform_
 val meta : ?xforms:Meta.xform_spec list -> Ptype.record -> Meta.format_meta
 
 (** Compile every attached transformation once, so a broken snippet is
-    reported at registration — at the writer, not at some receiver. *)
-val check_meta : Meta.format_meta -> (unit, string) result
+    reported at registration — at the writer, not at some receiver.
+    Failures are [Error (`Xform _)]. *)
+val check_meta : Meta.format_meta -> (unit, Err.t) result
 
 (** One-shot morphing without a standing receiver: convert [value] of the
     meta's body format into [target] using the attached transformations
-    and structural conversion, if the thresholds allow it. *)
+    and structural conversion, if the thresholds allow it.  No acceptable
+    morph path is [Error (`No_match _)]. *)
 val morph_to :
   ?thresholds:Maxmatch.thresholds ->
   ?engine:Xform.engine ->
   Meta.format_meta ->
   target:Ptype.record ->
   Value.t ->
-  (Value.t, string) result
+  (Value.t, Err.t) result

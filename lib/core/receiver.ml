@@ -67,13 +67,74 @@ type cache_entry = {
      quarantine threshold replaces the pipeline with a fast Reject *)
 }
 
+(* All the knobs a receiver is created with, collapsed into one record so
+   call sites name only what they change. *)
+module Config = struct
+  type t = {
+    thresholds : Maxmatch.thresholds;
+    weights : Weighted.t option;
+    (* when set, MaxMatch runs importance-weighted: the thresholds are
+       interpreted on the weighted scale *)
+    engine : Xform.engine;
+    quarantine_after : int;
+    metrics : Obs.t;
+  }
+
+  let default =
+    {
+      thresholds = Maxmatch.default_thresholds;
+      weights = None;
+      engine = Xform.Compiled;
+      quarantine_after = 3;
+      metrics = Obs.null;
+    }
+
+  let v ?(thresholds = default.thresholds) ?weights ?(engine = default.engine)
+      ?(quarantine_after = default.quarantine_after) ?(metrics = Obs.null) () =
+    { thresholds; weights; engine; quarantine_after; metrics }
+end
+
+(* Handles into the configured Obs registry; [rm_on] gates the clock reads
+   around MaxMatch, planning and per-message transforms. *)
+type rmetrics = {
+  rm_on : bool;
+  rm_cache_hits : Obs.Counter.h;
+  rm_cache_misses : Obs.Counter.h;
+  rm_delivered : Obs.Counter.h;
+  rm_rejected : Obs.Counter.h;
+  rm_defaulted : Obs.Counter.h;
+  rm_transform_failures : Obs.Counter.h;
+  rm_quarantined : Obs.Counter.h;
+  rm_maxmatch_ns : Obs.Histogram.h;
+  rm_plan_ns : Obs.Histogram.h;
+  rm_morph_ns : Obs.Histogram.h;
+  rm_mismatch_ratio : Obs.Histogram.h;
+  rm_chain_depth : Obs.Histogram.h;
+}
+
+let make_rmetrics reg =
+  {
+    rm_on = Obs.enabled reg;
+    rm_cache_hits = Obs.Counter.make reg "receiver.cache_hits";
+    rm_cache_misses = Obs.Counter.make reg "receiver.cache_misses";
+    rm_delivered = Obs.Counter.make reg "receiver.delivered";
+    rm_rejected = Obs.Counter.make reg "receiver.rejected";
+    rm_defaulted = Obs.Counter.make reg "receiver.defaulted";
+    rm_transform_failures = Obs.Counter.make reg "receiver.transform_failures";
+    rm_quarantined = Obs.Counter.make reg "receiver.quarantined";
+    rm_maxmatch_ns = Obs.Histogram.make reg ~unit_:"ns" "receiver.maxmatch_ns";
+    rm_plan_ns = Obs.Histogram.make reg ~unit_:"ns" "receiver.plan_ns";
+    rm_morph_ns = Obs.Histogram.make reg ~unit_:"ns" "receiver.morph_ns";
+    rm_mismatch_ratio =
+      Obs.Histogram.make reg ~buckets:Obs.ratio_buckets "receiver.mismatch_ratio";
+    rm_chain_depth =
+      Obs.Histogram.make reg ~buckets:[ 0.; 1.; 2.; 3.; 4.; 6.; 8. ]
+        "receiver.chain_depth";
+  }
+
 type t = {
-  thresholds : Maxmatch.thresholds;
-  weights : Weighted.t option;
-  (* when set, MaxMatch runs importance-weighted: the thresholds are
-     interpreted on the weighted scale *)
-  engine : Xform.engine;
-  quarantine_after : int;
+  config : Config.t;
+  m : rmetrics;
   mutable registered : registered list; (* registration order *)
   mutable default_handler : (Meta.format_meta -> Value.t -> unit) option;
   mutable probe : (Value.t option -> outcome -> unit) option;
@@ -81,14 +142,12 @@ type t = {
   stats : stats;
 }
 
-let create ?(thresholds = Maxmatch.default_thresholds) ?weights
-    ?(engine = Xform.Compiled) ?(quarantine_after = 3) () =
-  if quarantine_after < 1 then invalid_arg "Receiver.create: quarantine_after";
+let create ?(config = Config.default) () =
+  if config.Config.quarantine_after < 1 then
+    invalid_arg "Receiver.create: quarantine_after";
   {
-    thresholds;
-    weights;
-    engine;
-    quarantine_after;
+    config;
+    m = make_rmetrics config.Config.metrics;
     registered = [];
     default_handler = None;
     probe = None;
@@ -97,6 +156,8 @@ let create ?(thresholds = Maxmatch.default_thresholds) ?weights
       { cache_hits = 0; cold_paths = 0; delivered = 0; rejected = 0; defaulted = 0;
         transform_failures = 0; quarantined = 0 };
   }
+
+let config t = t.config
 
 let register t (fmt : Ptype.record) (handler : handler) : unit =
   (match Ptype.validate fmt with
@@ -132,23 +193,33 @@ let identity_transform (v : Value.t) = v
    the result is reduced to the (f1, f2, perfect?) the planner needs. *)
 let run_max_match t (set1 : Ptype.record list) (set2 : Ptype.record list) :
   (Ptype.record * Ptype.record * bool) option =
-  match t.weights with
-  | None ->
-    Option.map
-      (fun (m : Maxmatch.match_result) -> (m.f1, m.f2, Maxmatch.is_perfect m))
-      (Maxmatch.max_match ~thresholds:t.thresholds set1 set2)
-  | Some w ->
-    let thresholds =
-      { Weighted.diff_threshold = float_of_int t.thresholds.Maxmatch.diff_threshold;
-        mismatch_threshold = t.thresholds.Maxmatch.mismatch_threshold }
-    in
-    Option.map
-      (fun (m : Weighted.match_result) ->
-         (m.f1, m.f2, m.Weighted.diff12 = 0.0 && m.Weighted.diff21 = 0.0))
-      (Weighted.max_match ~weights:w ~thresholds set1 set2)
+  let cfg = t.config in
+  let t0 = if t.m.rm_on then Obs.now_ns () else 0. in
+  let result =
+    match cfg.Config.weights with
+    | None ->
+      Option.map
+        (fun (m : Maxmatch.match_result) ->
+           Obs.Histogram.observe t.m.rm_mismatch_ratio m.Maxmatch.ratio;
+           (m.f1, m.f2, Maxmatch.is_perfect m))
+        (Maxmatch.max_match ~thresholds:cfg.Config.thresholds set1 set2)
+    | Some w ->
+      let thresholds =
+        { Weighted.diff_threshold =
+            float_of_int cfg.Config.thresholds.Maxmatch.diff_threshold;
+          mismatch_threshold = cfg.Config.thresholds.Maxmatch.mismatch_threshold }
+      in
+      Option.map
+        (fun (m : Weighted.match_result) ->
+           Obs.Histogram.observe t.m.rm_mismatch_ratio m.Weighted.ratio;
+           (m.f1, m.f2, m.Weighted.diff12 = 0.0 && m.Weighted.diff21 = 0.0))
+        (Weighted.max_match ~weights:w ~thresholds set1 set2)
+  in
+  if t.m.rm_on then Obs.Histogram.observe t.m.rm_maxmatch_ns (Obs.now_ns () -. t0);
+  result
 
 (* Build the per-format pipeline following Algorithm 2, lines 11-30. *)
-let plan t (meta : Meta.format_meta) : pipeline =
+let plan_uninstrumented t (meta : Meta.format_meta) : pipeline =
   let fm = meta.Meta.body in
   (* The set of formats fm can be transformed to — including multi-hop
      chains: a spec whose source is a previously reachable format extends
@@ -209,8 +280,8 @@ let plan t (meta : Meta.format_meta) : pipeline =
          Reject
            (Fmt.str "no acceptable match for format %S within thresholds \
                      (diff <= %d, Mr <= %.2f)"
-              fm.Ptype.rname t.thresholds.Maxmatch.diff_threshold
-              t.thresholds.Maxmatch.mismatch_threshold)
+              fm.Ptype.rname t.config.Config.thresholds.Maxmatch.diff_threshold
+              t.config.Config.thresholds.Maxmatch.mismatch_threshold)
        | Some (mf1, mf2, perfect) ->
          let morph_step =
            if Ptype.equal_record mf1 fm then Ok None
@@ -227,11 +298,15 @@ let plan t (meta : Meta.format_meta) : pipeline =
              | None | Some [] ->
                Error "internal: matched transformation target has no spec path"
              | Some specs ->
+               Obs.Histogram.observe t.m.rm_chain_depth
+                 (float_of_int (List.length specs));
                let rec compile_chain source acc = function
                  | [] -> Ok (Some acc)
                  | (spec : Meta.xform_spec) :: rest ->
-                   (match Xform.compile ~engine:t.engine ~source spec with
-                    | Error e -> Error e
+                   (match
+                      Xform.compile ~engine:t.config.Config.engine ~source spec
+                    with
+                    | Error e -> Error (Err.to_string e)
                     | Ok compiled ->
                       let step = compiled.Xform.run in
                       compile_chain spec.target
@@ -265,6 +340,15 @@ let plan t (meta : Meta.format_meta) : pipeline =
             let handler = Option.get (handler_for t mf2) in
             Accept { format_name = mf2.Ptype.rname; via; transform; handler }))
 
+let plan t (meta : Meta.format_meta) : pipeline =
+  if not t.m.rm_on then plan_uninstrumented t meta
+  else begin
+    let t0 = Obs.now_ns () in
+    let p = plan_uninstrumented t meta in
+    Obs.Histogram.observe t.m.rm_plan_ns (Obs.now_ns () -. t0);
+    p
+  end
+
 (* --- delivery ------------------------------------------------------------ *)
 
 let find_cached t (meta : Meta.format_meta) : cache_entry option =
@@ -289,6 +373,7 @@ let probe t (v : Value.t option) (o : outcome) : unit =
    further message. *)
 let quarantine t (entry : cache_entry) : unit =
   t.stats.quarantined <- t.stats.quarantined + 1;
+  Obs.Counter.incr t.m.rm_quarantined;
   entry.pipeline <-
     Reject
       (Fmt.str "quarantined after %d consecutive transformation failures"
@@ -303,11 +388,15 @@ let run_pipeline t (entry : cache_entry) (meta : Meta.format_meta) (v : Value.t)
          anticipated (hostile or corrupt input); that rejects the message
          rather than crashing the receiver.  Handler exceptions propagate:
          they are application bugs, not message faults. *)
+      let t0 = if t.m.rm_on then Obs.now_ns () else 0. in
       (match transform v with
        | v' ->
+         if t.m.rm_on then
+           Obs.Histogram.observe t.m.rm_morph_ns (Obs.now_ns () -. t0);
          entry.consecutive_failures <- 0;
          handler v';
          t.stats.delivered <- t.stats.delivered + 1;
+         Obs.Counter.incr t.m.rm_delivered;
          let o = Delivered { format_name; via } in
          probe t (Some v') o;
          o
@@ -317,8 +406,11 @@ let run_pipeline t (entry : cache_entry) (meta : Meta.format_meta) (v : Value.t)
            | Ecode.Interp.Runtime_error msg) ->
          t.stats.rejected <- t.stats.rejected + 1;
          t.stats.transform_failures <- t.stats.transform_failures + 1;
+         Obs.Counter.incr t.m.rm_rejected;
+         Obs.Counter.incr t.m.rm_transform_failures;
          entry.consecutive_failures <- entry.consecutive_failures + 1;
-         if entry.consecutive_failures >= t.quarantine_after then quarantine t entry;
+         if entry.consecutive_failures >= t.config.Config.quarantine_after then
+           quarantine t entry;
          let o = Rejected (Fmt.str "transformation failed: %s" msg) in
          probe t None o;
          o)
@@ -327,11 +419,13 @@ let run_pipeline t (entry : cache_entry) (meta : Meta.format_meta) (v : Value.t)
        | Some f ->
          f meta v;
          t.stats.defaulted <- t.stats.defaulted + 1;
+         Obs.Counter.incr t.m.rm_defaulted;
          let o = Defaulted in
          probe t None o;
          o
        | None ->
          t.stats.rejected <- t.stats.rejected + 1;
+         Obs.Counter.incr t.m.rm_rejected;
          let o = Rejected reason in
          probe t None o;
          o)
@@ -342,20 +436,23 @@ let deliver t (meta : Meta.format_meta) (v : Value.t) : outcome =
   match find_cached t meta with
   | Some entry ->
     t.stats.cache_hits <- t.stats.cache_hits + 1;
+    Obs.Counter.incr t.m.rm_cache_hits;
     run_pipeline t entry meta v
   | None ->
     t.stats.cold_paths <- t.stats.cold_paths + 1;
+    Obs.Counter.incr t.m.rm_cache_misses;
     let entry = cache_pipeline t meta (plan t meta) in
     run_pipeline t entry meta v
 
 (* Decode a whole wire message (as produced by [Pbio.Wire.encode]) and
    deliver it.  [meta] must describe the message's wire format. *)
 let deliver_wire t (meta : Meta.format_meta) (message : string) : outcome =
-  match Wire.decode_result meta.Meta.body message with
+  match Wire.decode meta.Meta.body message with
   | Ok v -> deliver t meta v
   | Error e ->
     t.stats.rejected <- t.stats.rejected + 1;
-    Rejected (Fmt.str "wire decode failed: %s" e)
+    Obs.Counter.incr t.m.rm_rejected;
+    Rejected (Fmt.str "wire decode failed: %s" (Err.to_string e))
 
 (* Describe, without delivering or caching, what Algorithm 2 would do with
    messages of this format — for diagnostics and operator tooling. *)

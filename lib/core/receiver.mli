@@ -44,21 +44,49 @@ type stats = {
 
 type t
 
-(** [create ()] makes an empty receiver.  [engine] selects how attached
-    transformations execute (compiled closures by default; the interpreter
-    exists for the A1 ablation).  When [weights] is given, MaxMatch runs
-    importance-weighted and the thresholds apply on the weighted scale.
-    [quarantine_after] (default 3, must be >= 1) is the number of
-    consecutive run-time transformation failures after which a cached
-    pipeline is quarantined — replaced with a fast Reject so a poisonous
-    format stops costing transformation work (see docs/FAULTS.md). *)
-val create :
-  ?thresholds:Maxmatch.thresholds ->
-  ?weights:Weighted.t ->
-  ?engine:Xform.engine ->
-  ?quarantine_after:int ->
-  unit ->
-  t
+(** Everything a receiver is created with, as one record: call sites name
+    only the knobs they change and take {!Config.default} (or the {!Config.v}
+    builder) for the rest. *)
+module Config : sig
+  type t = {
+    thresholds : Maxmatch.thresholds;
+    weights : Weighted.t option;
+        (** when set, MaxMatch runs importance-weighted and the thresholds
+            apply on the weighted scale *)
+    engine : Xform.engine;
+        (** how attached transformations execute: compiled closures in
+            production, the interpreter for the A1 ablation *)
+    quarantine_after : int;
+        (** consecutive run-time transformation failures after which a
+            cached pipeline is quarantined — replaced with a fast Reject so
+            a poisonous format stops costing transformation work (see
+            docs/FAULTS.md); must be >= 1 *)
+    metrics : Obs.t;
+        (** registry receiving the [receiver.*] counters and histograms
+            (see docs/OBSERVABILITY.md) *)
+  }
+
+  (** Default thresholds, no weights, compiled engine, quarantine after 3,
+      [Obs.null] metrics. *)
+  val default : t
+
+  (** Keyword-argument builder over {!default}. *)
+  val v :
+    ?thresholds:Maxmatch.thresholds ->
+    ?weights:Weighted.t ->
+    ?engine:Xform.engine ->
+    ?quarantine_after:int ->
+    ?metrics:Obs.t ->
+    unit ->
+    t
+end
+
+(** [create ()] makes an empty receiver with {!Config.default}.  Raises
+    [Invalid_argument] when the config is out of range
+    ([quarantine_after < 1]). *)
+val create : ?config:Config.t -> unit -> t
+
+val config : t -> Config.t
 
 (** Register a format the application understands, with the handler invoked
     for (possibly morphed) messages delivered in that format.  Clears

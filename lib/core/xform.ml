@@ -24,7 +24,7 @@ type engine =
   | Interpreted
 
 let compile ?(engine = Compiled) ~(source : Ptype.record) (spec : spec) :
-  (compiled, string) result =
+  (compiled, Err.t) result =
   let build =
     match engine with
     | Compiled -> Ecode.compile_xform
@@ -33,8 +33,9 @@ let compile ?(engine = Compiled) ~(source : Ptype.record) (spec : spec) :
   match build ~src:source ~dst:spec.target spec.code with
   | Error e ->
     Error
-      (Fmt.str "transformation %s -> %s: %s"
-         source.Ptype.rname spec.target.Ptype.rname e)
+      (`Xform
+        (Fmt.str "transformation %s -> %s: %s"
+           source.Ptype.rname spec.target.Ptype.rname e))
   | Ok run -> Ok { source; spec; run }
 
 (* Convenience constructor for writer-side registration. *)
@@ -44,7 +45,7 @@ let spec ?source ~(target : Ptype.record) (code : string) : spec =
 (* Validate a spec without keeping the compiled form: writers call this at
    registration time so broken transformation code fails fast, at the
    sender, not at some receiver. *)
-let check ~(source : Ptype.record) (spec : spec) : (unit, string) result =
+let check ~(source : Ptype.record) (spec : spec) : (unit, Err.t) result =
   match compile ~source spec with
   | Ok _ -> Ok ()
   | Error _ as e -> e

@@ -30,10 +30,12 @@ type engine =
 val spec : ?source:Ptype.record -> target:Ptype.record -> string -> spec
 
 (** Parse, typecheck and compile a transformation from messages of
-    [source] format into the spec's target. *)
-val compile : ?engine:engine -> source:Ptype.record -> spec -> (compiled, string) result
+    [source] format into the spec's target.  Failures are
+    [Error (`Xform _)]. *)
+val compile :
+  ?engine:engine -> source:Ptype.record -> spec -> (compiled, Err.t) result
 
 (** Validate without keeping the compiled form: writers call this at
     registration time so broken snippets fail at the sender, not at some
     receiver. *)
-val check : source:Ptype.record -> spec -> (unit, string) result
+val check : source:Ptype.record -> spec -> (unit, Err.t) result

@@ -40,6 +40,12 @@ type t = {
   version : version;
   endpoint : Transport.Conn.endpoint;
   receiver : Morph.Receiver.t;
+  metrics : Obs.t;
+  m_received : Obs.Counter.h;
+  m_forwarded : Obs.Counter.h;
+  m_responses : Obs.Counter.h;
+  m_rejected : Obs.Counter.h;
+  m_evicted : Obs.Counter.h;
   channels : (string, channel_state) Hashtbl.t;
   subs : (string, subscription) Hashtbl.t;
   event_handlers : (string, (string -> unit) list ref) Hashtbl.t;
@@ -170,6 +176,7 @@ let members_of_response_v2 (v : Value.t) : member list =
 let handle_response t (v : Value.t) : unit =
   let channel = Value.to_string_exn (Value.get_field v "channel") in
   t.responses_received <- t.responses_received + 1;
+  Obs.Counter.incr t.m_responses;
   match Hashtbl.find_opt t.subs channel with
   | None ->
     Logs.debug (fun m -> m "%a: unexpected response for %S"
@@ -196,6 +203,7 @@ let handle_event t (v : Value.t) : unit =
        (fun m ->
           if m.is_sink && not (Transport.Contact.equal m.contact origin_contact) then begin
             t.events_forwarded <- t.events_forwarded + 1;
+            Obs.Counter.incr t.m_forwarded;
             (* the forwarded value is in this node's own event format: a
                newer creator re-ships the v2 form (with its transformation),
                an older one the morphed v1 form it received *)
@@ -207,6 +215,11 @@ let handle_event t (v : Value.t) : unit =
   match Hashtbl.find_opt t.event_handlers channel with
   | Some handlers ->
     t.events_received <- t.events_received + 1;
+    Obs.Counter.incr t.m_received;
+    (* per-channel delivery count; make is get-or-create, so the handle is
+       shared across events of the same channel *)
+    Obs.Counter.incr
+      (Obs.Counter.make t.metrics ("echo.channel." ^ channel ^ ".delivered"));
     List.iter (fun f -> f payload) !handlers
   | None -> ()
 
@@ -227,6 +240,7 @@ let evict_member t (dead : Transport.Contact.t) : unit =
        let gone = before - List.length ch.members in
        if gone > 0 then begin
          t.evicted <- t.evicted + gone;
+         Obs.Counter.add t.m_evicted gone;
          Logs.warn (fun m ->
              m "%a: evicting unresponsive member %a from channel %S"
                Transport.Contact.pp (contact t) Transport.Contact.pp dead
@@ -235,16 +249,26 @@ let evict_member t (dead : Transport.Contact.t) : unit =
     t.channels
 
 let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(engine = Morph.Xform.Compiled)
-    ?(reliable = false) (net : Transport.Netsim.t) ~(host : string) ~(port : int)
-    (version : version) : t =
+    ?(reliable = false) ?(metrics = Obs.null) (net : Transport.Netsim.t)
+    ~(host : string) ~(port : int) (version : version) : t =
   let contact = Transport.Contact.make host port in
-  let endpoint = Transport.Conn.create ~reliable net contact in
-  let receiver = Morph.Receiver.create ~thresholds ~engine () in
+  let endpoint = Transport.Conn.create ~reliable ~metrics net contact in
+  let receiver =
+    Morph.Receiver.create
+      ~config:(Morph.Receiver.Config.v ~thresholds ~engine ~metrics ())
+      ()
+  in
   let t =
     {
       version;
       endpoint;
       receiver;
+      metrics;
+      m_received = Obs.Counter.make metrics "echo.events_received";
+      m_forwarded = Obs.Counter.make metrics "echo.events_forwarded";
+      m_responses = Obs.Counter.make metrics "echo.responses_received";
+      m_rejected = Obs.Counter.make metrics "echo.rejected";
+      m_evicted = Obs.Counter.make metrics "echo.evicted";
       channels = Hashtbl.create 8;
       subs = Hashtbl.create 8;
       event_handlers = Hashtbl.create 8;
@@ -269,10 +293,14 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(engine = Morph.Xf
      | V2 -> Wire_formats.event_msg_v2)
     (handle_event t);
   Transport.Conn.set_handler endpoint (fun ~src meta v ->
-      match Morph.Receiver.deliver receiver meta v with
+      match
+        Obs.with_span metrics "echo.deliver" (fun () ->
+            Morph.Receiver.deliver receiver meta v)
+      with
       | Morph.Receiver.Delivered _ | Morph.Receiver.Defaulted -> ()
       | Morph.Receiver.Rejected reason ->
         t.rejected <- t.rejected + 1;
+        Obs.Counter.incr t.m_rejected;
         Logs.warn (fun m ->
             m "%a: rejected message from %a: %s" Transport.Contact.pp contact
               Transport.Contact.pp src reason));

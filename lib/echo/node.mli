@@ -27,11 +27,15 @@ type t
     its morphing receiver.  [reliable] runs the node's endpoint under the
     connection layer's ack + retransmit protocol; a member whose retransmit
     budget is exhausted (missed acks) is presumed dead and evicted from
-    channels this node owns (see docs/FAULTS.md). *)
+    channels this node owns (see docs/FAULTS.md).  [metrics] receives the
+    node's [echo.*] counters (including per-channel
+    [echo.channel.<name>.delivered]) and is threaded through to the
+    endpoint's [conn.*] and the receiver's [receiver.*] instruments. *)
 val create :
   ?thresholds:Morph.Maxmatch.thresholds ->
   ?engine:Morph.Xform.engine ->
   ?reliable:bool ->
+  ?metrics:Obs.t ->
   Transport.Netsim.t ->
   host:string ->
   port:int ->

@@ -20,6 +20,53 @@ open Pbio
 
 type program = Ast.prog
 
+(* --- observability ------------------------------------------------------- *)
+
+type metrics = {
+  mon : bool;
+  compiles : Obs.Counter.h;
+  compile_errors : Obs.Counter.h;
+  compile_ns : Obs.Histogram.h;
+  stmt_count : Obs.Histogram.h;
+}
+
+let make_metrics reg =
+  {
+    mon = Obs.enabled reg;
+    compiles = Obs.Counter.make reg "ecode.compiles";
+    compile_errors = Obs.Counter.make reg "ecode.compile_errors";
+    compile_ns = Obs.Histogram.make reg ~unit_:"ns" "ecode.compile_ns";
+    stmt_count =
+      Obs.Histogram.make reg
+        ~buckets:[ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. ]
+        "ecode.stmt_count";
+  }
+
+let metrics = ref (make_metrics Obs.null)
+let set_metrics reg = metrics := make_metrics reg
+
+(* Statement count of a program: a proxy for the length of the generated
+   closure chain, reported per compile. *)
+let rec stmt_size (s : Ast.stmt) : int =
+  match s.Ast.s with
+  | Ast.Decl _ | Expr _ | Return _ | Break | Continue | Empty -> 1
+  | If (_, a, b) ->
+    1 + stmt_size a + (match b with Some b -> stmt_size b | None -> 0)
+  | For (init, _, _, body) ->
+    1 + (match init with Some s -> stmt_size s | None -> 0) + stmt_size body
+  | While (_, body) | Do_while (body, _) -> 1 + stmt_size body
+  | Switch (_, arms) ->
+    List.fold_left
+      (fun acc (a : Ast.switch_arm) ->
+         List.fold_left (fun acc s -> acc + stmt_size s) acc a.Ast.body)
+      1 arms
+  | Block body -> List.fold_left (fun acc s -> acc + stmt_size s) 1 body
+
+let program_size (p : program) : int =
+  let block acc body = List.fold_left (fun acc s -> acc + stmt_size s) acc body in
+  block (List.fold_left (fun acc (f : Ast.fundef) -> block acc f.Ast.fbody) 0 p.Ast.funs)
+    p.Ast.main
+
 let parse (src : string) : (program, string) result = Parser.parse_program src
 
 let typecheck ~(params : (string * Ptype.t) list) (prog : program) :
@@ -30,12 +77,27 @@ let typecheck ~(params : (string * Ptype.t) list) (prog : program) :
    resulting function takes the parameter values in declaration order. *)
 let compile ~(params : (string * Ptype.t) list) (src : string) :
   (Value.t array -> unit, string) result =
-  match parse src with
-  | Error _ as e -> e
-  | Ok prog ->
-    (match typecheck ~params prog with
-     | Error _ as e -> e
-     | Ok tprog -> Ok (Compile.compile tprog))
+  let m = !metrics in
+  let t0 = if m.mon then Obs.now_ns () else 0. in
+  let result =
+    match parse src with
+    | Error _ as e -> e
+    | Ok prog ->
+      (match typecheck ~params prog with
+       | Error _ as e -> e
+       | Ok tprog ->
+         if m.mon then
+           Obs.Histogram.observe m.stmt_count (float_of_int (program_size prog));
+         Ok (Compile.compile tprog))
+  in
+  if m.mon then begin
+    (match result with
+     | Ok _ ->
+       Obs.Counter.incr m.compiles;
+       Obs.Histogram.observe m.compile_ns (Obs.now_ns () -. t0)
+     | Error _ -> Obs.Counter.incr m.compile_errors)
+  end;
+  result
 
 (* The paper's transformation shape: convert a [src]-format message into a
    fresh [dst]-format message.  Inside the snippet, [new] is the incoming

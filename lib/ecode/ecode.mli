@@ -22,6 +22,12 @@ type program = Ast.prog
 
 val parse : string -> (program, string) result
 
+(** Point the compiler's instrumentation at a registry: [ecode.compiles] /
+    [ecode.compile_errors] counters, [ecode.compile_ns] latency and
+    [ecode.stmt_count] (statement count per compiled program — a proxy for
+    the generated closure-chain length).  Defaults to [Obs.null]. *)
+val set_metrics : Obs.t -> unit
+
 val typecheck :
   params:(string * Ptype.t) list -> program -> (Typecheck.tprog, string) result
 

@@ -63,20 +63,21 @@ let roundtrip_case st =
   let endian = if Rgen.bool st then Wire.Little else Wire.Big in
   let format_id = Rgen.int_range 0 0xffff st in
   let msg = Wire.encode ~endian ~format_id r v in
-  (match Wire.decode_result r msg with
-   | Error e -> fail "decode failed on own encoding: %s@ format %s" e (Ptype.record_to_string r)
+  (match Wire.decode r msg with
+   | Error e ->
+     fail "decode failed on own encoding: %a@ format %s" Err.pp e (Ptype.record_to_string r)
    | Ok v' ->
      if not (Value.equal v v') then
        fail "roundtrip mismatch:@ format %s@ in  %s@ out %s"
          (Ptype.record_to_string r) (Value.to_string v) (Value.to_string v'));
-  (match Wire.read_header_result msg with
-   | Error e -> fail "header rejected: %s" e
+  (match Wire.read_header msg with
+   | Error e -> fail "header rejected: %a" Err.pp e
    | Ok h ->
      if h.Wire.format_id <> format_id then
        fail "header format id %d, expected %d" h.Wire.format_id format_id);
   let payload = Wire.encode_payload ~endian r v in
-  match Wire.decode_payload_result ~endian r payload with
-  | Error e -> fail "payload decode failed: %s" e
+  match Wire.decode_payload ~endian r payload with
+  | Error e -> fail "payload decode failed: %a" Err.pp e
   | Ok v' ->
     if not (Value.equal v v') then fail "payload roundtrip mismatch on format %s"
         (Ptype.record_to_string r)
@@ -122,7 +123,7 @@ let chain_case st =
   let expected = List.fold_left (fun x f -> f x) (Value.copy v) rollbacks in
   match Morph.morph_to meta ~target:c.Evolve.base (Value.copy v) with
   | Error e ->
-    fail "receiver rejected a valid %d-hop chain: %s" (List.length c.Evolve.steps) e
+    fail "receiver rejected a valid %d-hop chain: %a" (List.length c.Evolve.steps) Err.pp e
   | Ok got ->
     if not (Value.equal got expected) then
       fail "chain mismatch over %d hops [%a]:@ input %s@ receiver %s@ direct %s"
@@ -191,9 +192,9 @@ let fuzz_wire_case st =
   let msg = Wire.encode ~format_id:3 r v in
   let bad = Fuzz.mutate msg st in
   (* must return, never raise *)
-  (match Wire.read_header_result bad with Ok _ | Error _ -> ());
-  (match Wire.decode_result r bad with Ok _ | Error _ -> ());
-  match Wire.decode_payload_result r bad with Ok _ | Error _ -> ()
+  (match Wire.read_header bad with Ok _ | Error _ -> ());
+  (match Wire.decode r bad with Ok _ | Error _ -> ());
+  match Wire.decode_payload r bad with Ok _ | Error _ -> ()
 
 let fuzz_meta_case st =
   let base = Gen.record st in
@@ -216,7 +217,7 @@ let fuzz_framing_case st =
       st
   in
   let bad = Fuzz.mutate (Transport.Framing.encode frame) st in
-  match Transport.Framing.decode_result bad with Ok _ | Error _ -> ()
+  match Transport.Framing.decode bad with Ok _ | Error _ -> ()
 
 let fuzz_receiver_case st =
   let base = Gen.record st in

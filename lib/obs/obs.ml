@@ -1,0 +1,361 @@
+(* Metric registry with handle-based recording.
+
+   The design constraint is the null path: PR acceptance requires the
+   instrumented hot loops (wire codec, receiver cache) to regress < 2 %
+   when observability is off.  So components never look metrics up by
+   name per event; they mint handles once and every handle carries its
+   own [on] flag.  The disabled registry hands out shared inert handles
+   backed by dummy cells, making each disabled record one load, one
+   branch. *)
+
+let clock = ref (fun () -> Unix.gettimeofday () *. 1e9)
+let set_clock f = clock := f
+let now_ns () = !clock ()
+
+type counter_cell = { mutable n : int }
+type gauge_cell = { mutable g : float; mutable gset : bool }
+
+type hist_cell = {
+  bounds : float array; (* ascending upper bounds, excluding +inf *)
+  hcounts : int array; (* length bounds + 1; last is the +inf bucket *)
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type data =
+  | Dcounter of counter_cell
+  | Dgauge of gauge_cell
+  | Dhist of hist_cell
+
+type entry = { ename : string; eunit : string option; data : data }
+
+type t = {
+  on : bool;
+  tbl : (string, entry) Hashtbl.t;
+  mutable rev_order : entry list;
+  mutable spans : string list; (* innermost first *)
+}
+
+let create () = { on = true; tbl = Hashtbl.create 64; rev_order = []; spans = [] }
+let null = { on = false; tbl = Hashtbl.create 1; rev_order = []; spans = [] }
+let enabled t = t.on
+
+let default_latency_buckets = [ 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 ]
+let ratio_buckets = [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5; 0.75; 1.0 ]
+
+let kind_name = function
+  | Dcounter _ -> "counter"
+  | Dgauge _ -> "gauge"
+  | Dhist _ -> "histogram"
+
+let same_kind a b =
+  match (a, b) with
+  | Dcounter _, Dcounter _ | Dgauge _, Dgauge _ | Dhist _, Dhist _ -> true
+  | _ -> false
+
+(* Get the entry for [name], creating it with [fresh ()] on first use.
+   Re-attaching to an existing name of the same kind returns the
+   existing cell, so two components sharing a registry aggregate into
+   one metric; a kind clash is a programming error. *)
+let intern t name unit_ fresh =
+  match Hashtbl.find_opt t.tbl name with
+  | Some e ->
+    if not (same_kind e.data (fresh ())) then
+      invalid_arg
+        (Printf.sprintf "Obs: metric %S already registered as a %s" name
+           (kind_name e.data));
+    e
+  | None ->
+    let e = { ename = name; eunit = unit_; data = fresh () } in
+    Hashtbl.add t.tbl name e;
+    t.rev_order <- e :: t.rev_order;
+    e
+
+let reset (t : t) =
+  List.iter
+    (fun e ->
+       match e.data with
+       | Dcounter c -> c.n <- 0
+       | Dgauge g ->
+         g.g <- 0.;
+         g.gset <- false
+       | Dhist h ->
+         Array.fill h.hcounts 0 (Array.length h.hcounts) 0;
+         h.hcount <- 0;
+         h.hsum <- 0.;
+         h.hmin <- infinity;
+         h.hmax <- neg_infinity)
+    t.rev_order;
+  t.spans <- []
+
+module Counter = struct
+  type h = { on : bool; cell : counter_cell }
+
+  let inert = { on = false; cell = { n = 0 } }
+
+  let make (t : t) ?unit_ name =
+    if not t.on then inert
+    else
+      let e = intern t name unit_ (fun () -> Dcounter { n = 0 }) in
+      (match e.data with
+       | Dcounter c -> { on = true; cell = c }
+       | _ -> assert false)
+
+  let incr h = if h.on then h.cell.n <- h.cell.n + 1
+  let add h k = if h.on then h.cell.n <- h.cell.n + k
+
+  let value (t : t) name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some { data = Dcounter c; _ } -> c.n
+    | _ -> 0
+end
+
+module Gauge = struct
+  type h = { on : bool; cell : gauge_cell }
+
+  let inert = { on = false; cell = { g = 0.; gset = false } }
+
+  let make (t : t) ?unit_ name =
+    if not t.on then inert
+    else
+      let e = intern t name unit_ (fun () -> Dgauge { g = 0.; gset = false }) in
+      (match e.data with
+       | Dgauge g -> { on = true; cell = g }
+       | _ -> assert false)
+
+  let set h v =
+    if h.on then begin
+      h.cell.g <- v;
+      h.cell.gset <- true
+    end
+
+  let value (t : t) name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some { data = Dgauge g; _ } when g.gset -> Some g.g
+    | _ -> None
+end
+
+module Histogram = struct
+  type h = { on : bool; cell : hist_cell }
+
+  type snapshot = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : (float * int) list;
+  }
+
+  let fresh_cell buckets =
+    let bounds = Array.of_list buckets in
+    Array.iteri
+      (fun i b ->
+         if i > 0 && b <= bounds.(i - 1) then
+           invalid_arg "Obs.Histogram.make: buckets must be strictly ascending")
+      bounds;
+    {
+      bounds;
+      hcounts = Array.make (Array.length bounds + 1) 0;
+      hcount = 0;
+      hsum = 0.;
+      hmin = infinity;
+      hmax = neg_infinity;
+    }
+
+  let inert = { on = false; cell = fresh_cell [] }
+
+  let make (t : t) ?unit_ ?(buckets = default_latency_buckets) name =
+    if not t.on then inert
+    else
+      let e = intern t name unit_ (fun () -> Dhist (fresh_cell buckets)) in
+      (match e.data with
+       | Dhist c -> { on = true; cell = c }
+       | _ -> assert false)
+
+  let observe h v =
+    if h.on then begin
+      let c = h.cell in
+      let n = Array.length c.bounds in
+      let i = ref 0 in
+      while !i < n && v > c.bounds.(!i) do
+        incr i
+      done;
+      c.hcounts.(!i) <- c.hcounts.(!i) + 1;
+      c.hcount <- c.hcount + 1;
+      c.hsum <- c.hsum +. v;
+      if v < c.hmin then c.hmin <- v;
+      if v > c.hmax then c.hmax <- v
+    end
+
+  let snapshot_cell c =
+    let buckets =
+      Array.to_list
+        (Array.mapi
+           (fun i n ->
+              let le =
+                if i < Array.length c.bounds then c.bounds.(i) else infinity
+              in
+              (le, n))
+           c.hcounts)
+    in
+    {
+      count = c.hcount;
+      sum = c.hsum;
+      min = (if c.hcount = 0 then 0. else c.hmin);
+      max = (if c.hcount = 0 then 0. else c.hmax);
+      buckets;
+    }
+
+  let snapshot (t : t) name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some { data = Dhist c; _ } -> Some (snapshot_cell c)
+    | _ -> None
+
+  let count (t : t) name =
+    match snapshot t name with Some s -> s.count | None -> 0
+
+  let sum (t : t) name = match snapshot t name with Some s -> s.sum | None -> 0.
+end
+
+let with_span (t : t) name f =
+  if not t.on then f ()
+  else begin
+    t.spans <- name :: t.spans;
+    let path = String.concat "/" (List.rev t.spans) in
+    let h = Histogram.make t ~unit_:"ns" ("span:" ^ path) in
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        Histogram.observe h (now_ns () -. t0);
+        match t.spans with [] -> () | _ :: rest -> t.spans <- rest)
+      f
+  end
+
+(* --- rendering --------------------------------------------------------- *)
+
+let names (t : t) = List.rev_map (fun e -> e.ename) t.rev_order
+
+let entries (t : t) = List.rev t.rev_order
+
+let fmt_float f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.3f" f
+
+let fmt_bound le = if le = infinity then "+inf" else Printf.sprintf "%g" le
+
+let render_table t =
+  let buf = Buffer.create 1024 in
+  let es = entries t in
+  let width =
+    List.fold_left (fun w e -> max w (String.length e.ename)) 6 es
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  %-9s  %s\n" width "metric" "kind" "value");
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  %-9s  %s\n" width "------" "----" "-----");
+  List.iter
+    (fun e ->
+       let unit_suffix =
+         match e.eunit with None -> "" | Some u -> " " ^ u
+       in
+       match e.data with
+       | Dcounter c ->
+         Buffer.add_string buf
+           (Printf.sprintf "%-*s  %-9s  %d%s\n" width e.ename "counter" c.n
+              unit_suffix)
+       | Dgauge g ->
+         let v = if g.gset then fmt_float g.g else "-" in
+         Buffer.add_string buf
+           (Printf.sprintf "%-*s  %-9s  %s%s\n" width e.ename "gauge" v
+              unit_suffix)
+       | Dhist c ->
+         let s = Histogram.snapshot_cell c in
+         let mean = if s.count = 0 then 0. else s.sum /. float_of_int s.count in
+         Buffer.add_string buf
+           (Printf.sprintf
+              "%-*s  %-9s  count=%d mean=%s min=%s max=%s%s\n" width e.ename
+              "histogram" s.count (fmt_float mean) (fmt_float s.min)
+              (fmt_float s.max) unit_suffix);
+         if s.count > 0 then begin
+           Buffer.add_string buf (Printf.sprintf "%-*s    " width "");
+           Buffer.add_string buf
+             (String.concat "  "
+                (List.filter_map
+                   (fun (le, n) ->
+                      if n = 0 then None
+                      else Some (Printf.sprintf "le %s: %d" (fmt_bound le) n))
+                   s.buckets));
+           Buffer.add_char buf '\n'
+         end)
+    es;
+  Buffer.contents buf
+
+(* JSON helpers: numbers must be finite, strings escaped. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_json_lines t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+       let unit_ = match e.eunit with None -> "" | Some u -> u in
+       let head =
+         Printf.sprintf "{\"metric\":\"%s\",\"kind\":\"%s\",\"unit\":\"%s\""
+           (json_escape e.ename) (kind_name e.data) (json_escape unit_)
+       in
+       Buffer.add_string buf head;
+       (match e.data with
+        | Dcounter c -> Buffer.add_string buf (Printf.sprintf ",\"value\":%d" c.n)
+        | Dgauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\"value\":%s" (json_float (if g.gset then g.g else 0.)))
+        | Dhist c ->
+          let s = Histogram.snapshot_cell c in
+          Buffer.add_string buf
+            (Printf.sprintf ",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s"
+               s.count (json_float s.sum) (json_float s.min) (json_float s.max));
+          Buffer.add_string buf ",\"buckets\":[";
+          Buffer.add_string buf
+            (String.concat ","
+               (List.map
+                  (fun (le, n) ->
+                     let le_json =
+                       if le = infinity then "\"+inf\"" else json_float le
+                     in
+                     Printf.sprintf "{\"le\":%s,\"n\":%d}" le_json n)
+                  s.buckets));
+          Buffer.add_char buf ']');
+       Buffer.add_string buf "}\n")
+    (entries t);
+  Buffer.contents buf
+
+type sink = Null | Text of (string -> unit) | Json of (string -> unit)
+
+let emit t = function
+  | Null -> ()
+  | Text k -> k (render_table t)
+  | Json k -> k (to_json_lines t)

@@ -1,0 +1,130 @@
+(** Zero-dependency metrics and tracing for the morphing stack.
+
+    A {!t} is a registry of named counters, gauges and fixed-bucket
+    histograms.  Instrumented code holds pre-created {e handles} rather
+    than looking metrics up by name on the hot path; every handle
+    operation is a single mutable-field update guarded by one boolean,
+    so a disabled registry ({!null}) costs one branch per event.
+
+    Latencies are measured with {!with_span}, which times a thunk with
+    the registry clock and records the duration (in nanoseconds) into a
+    histogram named after the current span {e path}: nested spans
+    concatenate their names with ["/"], so a span ["plan"] opened inside
+    a span ["deliver"] records into the metric ["span:deliver/plan"],
+    giving a flat registry the shape of a trace tree.
+
+    Snapshots leave the registry through a {!sink}: a pretty text table,
+    line-oriented JSON (one metric per line, the same schema the bench
+    trajectory files use), or nothing. *)
+
+type t
+(** A metric registry.  Registries are independent; components accept
+    one at construction time and default to {!null}. *)
+
+val create : unit -> t
+(** A fresh, enabled registry. *)
+
+val null : t
+(** The shared disabled registry.  Handles minted from it are inert:
+    recording into them is a no-op and they register nothing. *)
+
+val enabled : t -> bool
+
+val reset : t -> unit
+(** Zero every metric in [t] without forgetting registrations. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the global span clock.  The clock returns nanoseconds as a
+    float; it only needs to be monotonic between the start and end of a
+    span.  The default derives from [Unix.gettimeofday].  Intended for
+    tests and for callers that have a better monotonic source. *)
+
+val now_ns : unit -> float
+(** Read the current span clock. *)
+
+module Counter : sig
+  type h
+  (** Handle to a monotonically increasing integer. *)
+
+  val make : t -> ?unit_:string -> string -> h
+  (** [make t name] registers (or re-attaches to) the counter [name].
+      Raises [Invalid_argument] if [name] is already registered with a
+      different metric kind. *)
+
+  val incr : h -> unit
+  val add : h -> int -> unit
+
+  val value : t -> string -> int
+  (** Current value, or [0] when [name] was never registered. *)
+end
+
+module Gauge : sig
+  type h
+  (** Handle to a last-write-wins float. *)
+
+  val make : t -> ?unit_:string -> string -> h
+  val set : h -> float -> unit
+
+  val value : t -> string -> float option
+  (** [None] until the gauge is first set. *)
+end
+
+module Histogram : sig
+  type h
+  (** Handle to a fixed-bucket histogram. *)
+
+  type snapshot = {
+    count : int;
+    sum : float;
+    min : float;  (** 0. when [count = 0] *)
+    max : float;  (** 0. when [count = 0] *)
+    buckets : (float * int) list;
+        (** cumulative-free per-bucket counts, keyed by inclusive upper
+            bound; the final bucket's bound is [infinity]. *)
+  }
+
+  val make : t -> ?unit_:string -> ?buckets:float list -> string -> h
+  (** [make t name] registers histogram [name].  [buckets] lists the
+      inclusive upper bounds in ascending order (an implicit [+inf]
+      bucket is always appended); defaults to
+      {!default_latency_buckets}. *)
+
+  val observe : h -> float -> unit
+
+  val snapshot : t -> string -> snapshot option
+  val count : t -> string -> int
+  val sum : t -> string -> float
+end
+
+val default_latency_buckets : float list
+(** Powers of ten from 100 ns to 1 s. *)
+
+val ratio_buckets : float list
+(** Buckets suited to mismatch ratios in [\[0, 1\]]. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] times [f ()] and records the duration in ns
+    into the histogram ["span:" ^ path] where [path] joins the names of
+    all open spans with ["/"].  The duration is recorded (and the span
+    popped) even when [f] raises.  On {!null} this is just [f ()]. *)
+
+(** {1 Sinks} *)
+
+type sink =
+  | Null
+  | Text of (string -> unit)  (** receives a rendered table *)
+  | Json of (string -> unit)  (** receives line-oriented JSON *)
+
+val emit : t -> sink -> unit
+
+val names : t -> string list
+(** Registered metric names, in registration order. *)
+
+val render_table : t -> string
+(** Human-readable table of every registered metric. *)
+
+val to_json_lines : t -> string
+(** One JSON object per line, ["\n"]-terminated.  Schema:
+    [{"metric":NAME,"kind":"counter","unit":U,"value":N}] for counters
+    and gauges; histograms add ["count"], ["sum"], ["min"], ["max"] and
+    ["buckets":[{"le":BOUND,"n":N},...]] with ["le":"+inf"] last. *)

@@ -135,8 +135,32 @@ and compile_record (src : Ptype.record) (dst : Ptype.record) : conv =
     in
     Value.Record out
 
+(* --- observability ------------------------------------------------------- *)
+
+type metrics = {
+  mon : bool;
+  compiles : Obs.Counter.h;
+  compile_ns : Obs.Histogram.h;
+}
+
+let make_metrics reg =
+  {
+    mon = Obs.enabled reg;
+    compiles = Obs.Counter.make reg "convert.compiles";
+    compile_ns = Obs.Histogram.make reg ~unit_:"ns" "convert.compile_ns";
+  }
+
+let metrics = ref (make_metrics Obs.null)
+let set_metrics reg = metrics := make_metrics reg
+
 let compile ~(from_ : Ptype.record) ~(into : Ptype.record) : conv =
+  let m = !metrics in
+  let t0 = if m.mon then Obs.now_ns () else 0. in
   let body = compile_record from_ into in
+  if m.mon then begin
+    Obs.Counter.incr m.compiles;
+    Obs.Histogram.observe m.compile_ns (Obs.now_ns () -. t0)
+  end;
   fun v ->
     let out = body v in
     (* Length fields may have been matched by name from the source; make
@@ -144,7 +168,12 @@ let compile ~(from_ : Ptype.record) ~(into : Ptype.record) : conv =
     Value.sync_lengths into out;
     out
 
-let convert ~from_ ~into v = (compile ~from_ ~into) v
+let convert_exn ~from_ ~into v = (compile ~from_ ~into) v
+
+let convert ~from_ ~into v =
+  match (compile ~from_ ~into) v with
+  | out -> Ok out
+  | exception Value.Type_error msg -> Error (`Type msg)
 
 (* Identity check used by the receiver: a conversion is unnecessary exactly
    when the two formats are structurally equal. *)

@@ -18,8 +18,14 @@ type conv = Value.t -> Value.t
     reusable across any number of messages of the [from_] format. *)
 val compile : from_:Ptype.record -> into:Ptype.record -> conv
 
-(** One-shot conversion (compiles, then applies). *)
-val convert : from_:Ptype.record -> into:Ptype.record -> Value.t -> Value.t
+(** One-shot conversion (compiles, then applies).  [Error (`Type _)] when
+    the value does not conform to [from_]. *)
+val convert :
+  from_:Ptype.record -> into:Ptype.record -> Value.t -> (Value.t, Err.t) result
+
+val convert_exn : from_:Ptype.record -> into:Ptype.record -> Value.t -> Value.t
+[@@deprecated "use convert"]
+(** Raises [Value.Type_error]. *)
 
 (** A conversion is unnecessary exactly when the formats are structurally
     equal. *)
@@ -28,3 +34,8 @@ val is_identity : from_:Ptype.record -> into:Ptype.record -> bool
 (** Coercion between basic types, or [None] when no sensible coercion
     exists (the target field then takes its default). *)
 val coerce_basic : Ptype.basic -> Ptype.basic -> conv option
+
+(** Point the converter's instrumentation ([convert.compiles] counter,
+    [convert.compile_ns] histogram) at a registry.  Defaults to
+    {!Obs.null}. *)
+val set_metrics : Obs.t -> unit

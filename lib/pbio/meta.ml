@@ -170,7 +170,7 @@ and take_record cur : Ptype.record =
   in
   { rname; fields }
 
-let decode (data : string) : (format_meta, string) result =
+let decode (data : string) : (format_meta, Err.t) result =
   try
     let cur = { data; pos = 0 } in
     if take cur 4 <> meta_magic then meta_error "bad meta magic";
@@ -191,7 +191,9 @@ let decode (data : string) : (format_meta, string) result =
     in
     if cur.pos <> String.length data then meta_error "trailing garbage in meta-data";
     Ok { body; xforms }
-  with Meta_error msg -> Error msg
+  with Meta_error msg -> Error (`Meta msg)
+
+let decode_result data = Err.msg (decode data)
 
 (* Structural identity of a full meta block (body plus transformations):
    receiver-side caches key on this. *)

@@ -168,7 +168,7 @@ let encode_payload ?(endian = Little) (r : Ptype.record) (v : Value.t) : string 
   encode_record endian buf r v;
   Buffer.contents buf
 
-let encode ?(endian = Little) ~format_id (r : Ptype.record) (v : Value.t) : string =
+let encode_core ?(endian = Little) ~format_id (r : Ptype.record) (v : Value.t) : string =
   let payload = encode_payload ~endian r v in
   let buf = Buffer.create (header_size + String.length payload) in
   Buffer.add_string buf magic;
@@ -251,14 +251,14 @@ and decode_record_inner endian cur (r : Ptype.record) : Value.t =
     r.fields;
   Value.Record es
 
-let decode_payload ?(endian = Little) (r : Ptype.record) (data : string) : Value.t =
+let decode_payload_core ?(endian = Little) (r : Ptype.record) (data : string) : Value.t =
   let cur = { data; pos = 0; limit = String.length data } in
   let v = decode_record_inner endian cur r in
   if cur.pos <> cur.limit then
     decode_error "trailing garbage: %d bytes left after record %s" (cur.limit - cur.pos) r.rname;
   v
 
-let read_header (data : string) : header =
+let read_header_core (data : string) : header =
   if String.length data < header_size then decode_error "message shorter than header";
   if String.sub data 0 4 <> magic then decode_error "bad magic";
   let endian =
@@ -277,26 +277,93 @@ let read_header (data : string) : header =
       payload_len (String.length data - header_size);
   { endian; format_id; payload_len }
 
-let decode (r : Ptype.record) (data : string) : Value.t =
-  let h = read_header data in
+let decode_core (r : Ptype.record) (data : string) : Value.t =
+  let h = read_header_core data in
   let cur = { data; pos = header_size; limit = String.length data } in
   let v = decode_record_inner h.endian cur r in
   if cur.pos <> cur.limit then
     decode_error "trailing garbage after record %s" r.rname;
   v
 
-(* --- result-typed decoding ----------------------------------------------- *)
+(* --- observability ------------------------------------------------------- *)
 
-(* Total variants for untrusted input: every decoding failure — including a
-   type error surfaced while interpreting a hostile format description —
-   comes back as [Error] instead of an exception. *)
+type metrics = {
+  mon : bool;
+  encodes : Obs.Counter.h;
+  decodes : Obs.Counter.h;
+  decode_errors : Obs.Counter.h;
+  bytes_out : Obs.Counter.h;
+  bytes_in : Obs.Counter.h;
+  encode_ns : Obs.Histogram.h;
+  decode_ns : Obs.Histogram.h;
+}
 
-let wrap (f : unit -> 'a) : ('a, string) result =
+let make_metrics reg =
+  {
+    mon = Obs.enabled reg;
+    encodes = Obs.Counter.make reg "wire.encodes";
+    decodes = Obs.Counter.make reg "wire.decodes";
+    decode_errors = Obs.Counter.make reg "wire.decode_errors";
+    bytes_out = Obs.Counter.make reg ~unit_:"bytes" "wire.bytes_out";
+    bytes_in = Obs.Counter.make reg ~unit_:"bytes" "wire.bytes_in";
+    encode_ns = Obs.Histogram.make reg ~unit_:"ns" "wire.encode_ns";
+    decode_ns = Obs.Histogram.make reg ~unit_:"ns" "wire.decode_ns";
+  }
+
+let metrics = ref (make_metrics Obs.null)
+let set_metrics reg = metrics := make_metrics reg
+
+let encode ?endian ~format_id (r : Ptype.record) (v : Value.t) : string =
+  let m = !metrics in
+  if not m.mon then encode_core ?endian ~format_id r v
+  else begin
+    let t0 = Obs.now_ns () in
+    let s = encode_core ?endian ~format_id r v in
+    Obs.Counter.incr m.encodes;
+    Obs.Counter.add m.bytes_out (String.length s);
+    Obs.Histogram.observe m.encode_ns (Obs.now_ns () -. t0);
+    s
+  end
+
+(* --- public decoding API ------------------------------------------------- *)
+
+(* Raising *_exn compatibility wrappers; the uninstrumented cores are kept
+   separate so the metered path only pays clock reads when a live registry
+   is installed. *)
+
+let read_header_exn = read_header_core
+let decode_payload_exn = decode_payload_core
+
+let decode_exn (r : Ptype.record) (data : string) : Value.t =
+  let m = !metrics in
+  if not m.mon then decode_core r data
+  else begin
+    let t0 = Obs.now_ns () in
+    match decode_core r data with
+    | v ->
+      Obs.Counter.incr m.decodes;
+      Obs.Counter.add m.bytes_in (String.length data);
+      Obs.Histogram.observe m.decode_ns (Obs.now_ns () -. t0);
+      v
+    | exception e ->
+      Obs.Counter.incr m.decode_errors;
+      raise e
+  end
+
+(* Total on untrusted input: every decoding failure — including a type
+   error surfaced while interpreting a hostile format description — comes
+   back as [Error] instead of an exception. *)
+
+let wrap (f : unit -> 'a) : ('a, Err.t) result =
   match f () with
   | v -> Ok v
-  | exception Decode_error msg -> Error msg
-  | exception Value.Type_error msg -> Error msg
+  | exception Decode_error msg -> Error (`Decode msg)
+  | exception Value.Type_error msg -> Error (`Type msg)
 
-let read_header_result data = wrap (fun () -> read_header data)
-let decode_result r data = wrap (fun () -> decode r data)
-let decode_payload_result ?endian r data = wrap (fun () -> decode_payload ?endian r data)
+let read_header data = wrap (fun () -> read_header_core data)
+let decode r data = wrap (fun () -> decode_exn r data)
+let decode_payload ?endian r data = wrap (fun () -> decode_payload_core ?endian r data)
+
+let read_header_result data = Err.msg (read_header data)
+let decode_result r data = Err.msg (decode r data)
+let decode_payload_result ?endian r data = Err.msg (decode_payload ?endian r data)

@@ -8,14 +8,21 @@
     field; no count travels on the wire.
 
     The sender writes in its native byte order (PBIO's "native data
-    representation"); the receiver byte-swaps only when orders differ. *)
+    representation"); the receiver byte-swaps only when orders differ.
+
+    Decoding is result-typed: wire input is untrusted, so every decoding
+    entry point returns [('a, Err.t) result].  Encoding raises
+    {!Encode_error} — the value and format come from the sender itself,
+    and a mismatch there is a programming error, not an input error. *)
 
 type endian =
   | Little
   | Big
 
 exception Encode_error of string
+
 exception Decode_error of string
+(** Raised only by the deprecated [*_exn] decoders. *)
 
 (** Header size in bytes (16 — the paper reports PBIO adds <30 bytes). *)
 val header_size : int
@@ -41,33 +48,58 @@ val encode : ?endian:endian -> format_id:int -> Ptype.record -> Value.t -> strin
 (** Payload only, without the header. *)
 val encode_payload : ?endian:endian -> Ptype.record -> Value.t -> string
 
-(** {1 Decoding} *)
+(** {1 Decoding}
 
-(** Parse and check the 16-byte header. Raises {!Decode_error}. *)
-val read_header : string -> header
+    Total on any input: a decoding failure is [Error (`Decode _)], and a
+    type error surfaced while interpreting a hostile format description is
+    [Error (`Type _)]; corrupted length fields are rejected before any
+    large allocation. *)
+
+(** Parse and check the 16-byte header. *)
+val read_header : string -> (header, Err.t) result
 
 (** [decode fmt message] decodes a complete wire message against [fmt]
     (which must be the {e writer's} format — conversion to the reader's
-    format is the morphing layer's job).  Raises {!Decode_error} on
-    malformed input; corrupted length fields are rejected before any large
-    allocation. *)
-val decode : Ptype.record -> string -> Value.t
+    format is the morphing layer's job). *)
+val decode : Ptype.record -> string -> (Value.t, Err.t) result
 
 (** Decode a bare payload (no header) in the given byte order. *)
-val decode_payload : ?endian:endian -> Ptype.record -> string -> Value.t
-
-(** {1 Result-typed decoding}
-
-    Total variants for untrusted input: any decoding failure — including a
-    type error surfaced while interpreting a hostile format description —
-    is returned as [Error] instead of raising. *)
-
-val read_header_result : string -> (header, string) result
-val decode_result : Ptype.record -> string -> (Value.t, string) result
-
-val decode_payload_result :
-  ?endian:endian -> Ptype.record -> string -> (Value.t, string) result
+val decode_payload :
+  ?endian:endian -> Ptype.record -> string -> (Value.t, Err.t) result
 
 (** Minimum wire footprint of one value of a type, used to validate length
     fields. *)
 val min_wire_size : Ptype.t -> int
+
+(** {1 Observability}
+
+    [set_metrics reg] points the codec's instrumentation at [reg]:
+    [wire.encodes]/[wire.decodes]/[wire.decode_errors] counters,
+    [wire.bytes_out]/[wire.bytes_in] byte counters and
+    [wire.encode_ns]/[wire.decode_ns] latency histograms.  Defaults to
+    {!Obs.null}, which skips the clock reads entirely. *)
+val set_metrics : Obs.t -> unit
+
+(** {1 Deprecated compatibility wrappers} *)
+
+val read_header_exn : string -> header
+[@@deprecated "use read_header"]
+(** Raises {!Decode_error}. *)
+
+val decode_exn : Ptype.record -> string -> Value.t
+[@@deprecated "use decode"]
+(** Raises {!Decode_error}. *)
+
+val decode_payload_exn : ?endian:endian -> Ptype.record -> string -> Value.t
+[@@deprecated "use decode_payload"]
+(** Raises {!Decode_error}. *)
+
+val read_header_result : string -> (header, string) result
+[@@deprecated "use read_header"]
+
+val decode_result : Ptype.record -> string -> (Value.t, string) result
+[@@deprecated "use decode"]
+
+val decode_payload_result :
+  ?endian:endian -> Ptype.record -> string -> (Value.t, string) result
+[@@deprecated "use decode_payload"]

@@ -82,8 +82,43 @@ type park = {
   mutable requested : bool; (* a Meta_request retry loop is running *)
 }
 
+(* Handles into an optional Obs registry, mirroring [stats]; the parked
+   queue depth is also exported as a gauge so operators can see a morph
+   mismatch backing up behind a lost Meta frame. *)
+type metrics = {
+  m_sent : Obs.Counter.h;
+  m_delivered : Obs.Counter.h;
+  m_decode_failures : Obs.Counter.h;
+  m_retransmits : Obs.Counter.h;
+  m_acks : Obs.Counter.h;
+  m_dup_suppressed : Obs.Counter.h;
+  m_meta_requests : Obs.Counter.h;
+  m_meta_retries : Obs.Counter.h;
+  m_parked_evicted : Obs.Counter.h;
+  m_parked_dropped : Obs.Counter.h;
+  m_peer_failures : Obs.Counter.h;
+  m_parked_depth : Obs.Gauge.h;
+}
+
+let make_metrics reg =
+  {
+    m_sent = Obs.Counter.make reg "conn.records_sent";
+    m_delivered = Obs.Counter.make reg "conn.records_delivered";
+    m_decode_failures = Obs.Counter.make reg "conn.decode_failures";
+    m_retransmits = Obs.Counter.make reg "conn.retransmits";
+    m_acks = Obs.Counter.make reg "conn.acks_received";
+    m_dup_suppressed = Obs.Counter.make reg "conn.duplicates_suppressed";
+    m_meta_requests = Obs.Counter.make reg "conn.meta_requests";
+    m_meta_retries = Obs.Counter.make reg "conn.meta_retries";
+    m_parked_evicted = Obs.Counter.make reg "conn.parked_evicted";
+    m_parked_dropped = Obs.Counter.make reg "conn.parked_dropped";
+    m_peer_failures = Obs.Counter.make reg "conn.peer_failures";
+    m_parked_depth = Obs.Gauge.make reg "conn.parked_depth";
+  }
+
 type endpoint = {
   net : Netsim.t;
+  m : metrics;
   contact : Contact.t;
   registry : Registry.t; (* local (writer-side) formats *)
   peer_formats : (peer_key, Meta.format_meta) Hashtbl.t;
@@ -119,6 +154,7 @@ let peer_failed ep (dst : Contact.t) : unit =
   if not (Hashtbl.mem ep.failed_peers dst) then begin
     Hashtbl.replace ep.failed_peers dst ();
     ep.stats.peer_failures <- ep.stats.peer_failures + 1;
+    Obs.Counter.incr ep.m.m_peer_failures;
     (* stop retransmitting everything else bound for the dead peer *)
     let stale =
       Hashtbl.fold
@@ -144,6 +180,7 @@ let rec schedule_retransmit ep ~dst ~seq ~delay : unit =
         else begin
           p.p_attempts <- p.p_attempts + 1;
           ep.stats.retransmits <- ep.stats.retransmits + 1;
+          Obs.Counter.incr ep.m.m_retransmits;
           raw_send ep ~dst p.p_bytes;
           schedule_retransmit ep ~dst ~seq
             ~delay:(Float.min (delay *. ep.retransmit.multiplier) ep.retransmit.max_s)
@@ -199,8 +236,15 @@ let mark_seen ep (src : Contact.t) (seq : int) : unit =
 
 (* --- meta-data recovery ----------------------------------------------------- *)
 
+let parked_messages ep =
+  Hashtbl.fold (fun _ p acc -> acc + Queue.length p.q) ep.parked 0
+
+let note_parked_depth ep =
+  Obs.Gauge.set ep.m.m_parked_depth (float_of_int (parked_messages ep))
+
 let send_meta_request ep (key : peer_key) : unit =
   ep.stats.meta_requests <- ep.stats.meta_requests + 1;
+  Obs.Counter.incr ep.m.m_meta_requests;
   (* raw on purpose: the timer loop below is the retry mechanism, and it
      also covers the reply being lost, which an acked request would not *)
   raw_send ep ~dst:key.peer
@@ -213,7 +257,9 @@ let rec schedule_meta_retry ep (key : peer_key) ~attempt ~delay : unit =
       | Some p ->
         if attempt >= ep.meta_retry.max_attempts then begin
           ep.stats.parked_dropped <- ep.stats.parked_dropped + Queue.length p.q;
+          Obs.Counter.add ep.m.m_parked_dropped (Queue.length p.q);
           Hashtbl.remove ep.parked key;
+          note_parked_depth ep;
           Logs.warn (fun m ->
               m "%a: giving up on meta-data for format %d from %a after %d \
                  requests; dropping %d parked message(s)"
@@ -222,6 +268,7 @@ let rec schedule_meta_retry ep (key : peer_key) ~attempt ~delay : unit =
         end
         else begin
           ep.stats.meta_retries <- ep.stats.meta_retries + 1;
+          Obs.Counter.incr ep.m.m_meta_retries;
           send_meta_request ep key;
           schedule_meta_retry ep key ~attempt:(attempt + 1)
             ~delay:(Float.min (delay *. ep.meta_retry.multiplier) ep.meta_retry.max_s)
@@ -243,30 +290,35 @@ let park_message ep (key : peer_key) ~src (message : string) : unit =
   end;
   if Queue.length p.q >= ep.parked_cap then begin
     ignore (Queue.pop p.q); (* oldest-first eviction *)
-    ep.stats.parked_evicted <- ep.stats.parked_evicted + 1
+    ep.stats.parked_evicted <- ep.stats.parked_evicted + 1;
+    Obs.Counter.incr ep.m.m_parked_evicted
   end;
-  Queue.add (src, message) p.q
+  Queue.add (src, message) p.q;
+  note_parked_depth ep
 
 (* --- receiving -------------------------------------------------------------- *)
 
 let deliver ep ~src (fm : Meta.format_meta) (message : string) : unit =
   match Wire.decode fm.Meta.body message with
-  | v ->
+  | Ok v ->
     ep.stats.records_delivered <- ep.stats.records_delivered + 1;
+    Obs.Counter.incr ep.m.m_delivered;
     ep.on_message ~src fm v
-  | exception (Wire.Decode_error msg | Value.Type_error msg) ->
+  | Error e ->
     (* a corrupted record must not take the endpoint down *)
+    Obs.Counter.incr ep.m.m_decode_failures;
     Logs.warn (fun m ->
-        m "%a: dropping undecodable message from %a: %s" Contact.pp ep.contact
-          Contact.pp src msg)
+        m "%a: dropping undecodable message from %a: %a" Contact.pp ep.contact
+          Contact.pp src Err.pp e)
 
 let rec handle_inner ep ~src (frame : Framing.frame) : unit =
   match frame with
   | Framing.Meta { format_id; meta } ->
     (match Meta.decode meta with
-     | Error msg ->
+     | Error e ->
        Logs.warn (fun m ->
-           m "%a: bad meta-data from %a: %s" Contact.pp ep.contact Contact.pp src msg)
+           m "%a: bad meta-data from %a: %a" Contact.pp ep.contact Contact.pp src
+             Err.pp e)
      | Ok fm ->
        let key = { peer = src; id = format_id } in
        Hashtbl.replace ep.peer_formats key fm;
@@ -275,6 +327,7 @@ let rec handle_inner ep ~src (frame : Framing.frame) : unit =
         | None -> ()
         | Some p ->
           Hashtbl.remove ep.parked key;
+          note_parked_depth ep;
           Queue.iter (fun (src, message) -> deliver ep ~src fm message) p.q))
   | Framing.Data { format_id; message } ->
     let key = { peer = src; id = format_id } in
@@ -292,34 +345,39 @@ let rec handle_inner ep ~src (frame : Framing.frame) : unit =
          (Framing.Meta { format_id; meta = Meta.encode f.Registry.meta }))
   | Framing.Ack { seq } ->
     ep.stats.acks_received <- ep.stats.acks_received + 1;
+    Obs.Counter.incr ep.m.m_acks;
     Hashtbl.remove ep.unacked (src, seq)
   | Framing.Reliable { seq; frame } ->
     (* always acknowledge — the previous ack may itself have been lost *)
     raw_send ep ~dst:src (Framing.encode (Framing.Ack { seq }));
-    if already_seen ep src seq then
-      ep.stats.duplicates_suppressed <- ep.stats.duplicates_suppressed + 1
+    if already_seen ep src seq then begin
+      ep.stats.duplicates_suppressed <- ep.stats.duplicates_suppressed + 1;
+      Obs.Counter.incr ep.m.m_dup_suppressed
+    end
     else begin
       mark_seen ep src seq;
       handle_inner ep ~src frame
     end
 
 let handle_frame ep ~src (payload : string) : unit =
-  match Framing.decode_result payload with
-  | Error msg ->
+  match Framing.decode payload with
+  | Error e ->
     Logs.warn (fun m ->
-        m "%a: dropping malformed frame from %a: %s" Contact.pp ep.contact
-          Contact.pp src msg)
+        m "%a: dropping malformed frame from %a: %a" Contact.pp ep.contact
+          Contact.pp src Err.pp e)
   | Ok frame -> handle_inner ep ~src frame
 
 (* --- construction ----------------------------------------------------------- *)
 
 let create ?(endian = Wire.Little) ?(reliable = false)
     ?(retransmit = default_retransmit) ?(meta_retry = default_meta_retry)
-    ?(parked_cap = 64) (net : Netsim.t) (contact : Contact.t) : endpoint =
+    ?(parked_cap = 64) ?(metrics = Obs.null) (net : Netsim.t)
+    (contact : Contact.t) : endpoint =
   if parked_cap < 1 then invalid_arg "Conn.create: parked_cap must be positive";
   let ep =
     {
       net;
+      m = make_metrics metrics;
       contact;
       registry = Registry.create ();
       peer_formats = Hashtbl.create 16;
@@ -364,6 +422,7 @@ let send ep ~(dst : Contact.t) (meta : Meta.format_meta) (v : Value.t) : unit =
   let f = register ep meta in
   let key = { peer = dst; id = f.Registry.id } in
   ep.stats.records_sent <- ep.stats.records_sent + 1;
+  Obs.Counter.incr ep.m.m_sent;
   if not (Hashtbl.mem ep.announced key) then begin
     Hashtbl.replace ep.announced key ();
     send_frame ep ~dst
@@ -379,8 +438,5 @@ let send ep ~(dst : Contact.t) (meta : Meta.format_meta) (v : Value.t) : unit =
 let forget_peer_formats ep = Hashtbl.reset ep.peer_formats
 
 let known_peer_formats ep = Hashtbl.length ep.peer_formats
-
-let parked_messages ep =
-  Hashtbl.fold (fun _ p acc -> acc + Queue.length p.q) ep.parked 0
 
 let unacked_frames ep = Hashtbl.length ep.unacked

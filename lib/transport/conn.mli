@@ -62,13 +62,16 @@ type endpoint
     frames — any endpoint understands the envelope on receipt, so
     reliable and fire-and-forget endpoints interoperate.  [retransmit]
     and [meta_retry] tune the backoff schedules; [parked_cap] bounds each
-    (peer, format) parked queue. *)
+    (peer, format) parked queue.  [metrics] mirrors {!stats} into an Obs
+    registry ([conn.*] counters plus the [conn.parked_depth] gauge);
+    defaults to [Obs.null]. *)
 val create :
   ?endian:Wire.endian ->
   ?reliable:bool ->
   ?retransmit:backoff ->
   ?meta_retry:backoff ->
   ?parked_cap:int ->
+  ?metrics:Obs.t ->
   Netsim.t ->
   Contact.t ->
   endpoint

@@ -55,7 +55,7 @@ let rec encode (f : frame) : string =
   Buffer.add_string buf body;
   Buffer.contents buf
 
-let rec decode (s : string) : frame =
+let rec decode_exn (s : string) : frame =
   if String.length s < 9 then frame_error "short frame (%d bytes)" (String.length s);
   let id_field = Int32.to_int (String.get_int32_le s 1) in
   let len = Int32.to_int (String.get_int32_le s 5) in
@@ -72,15 +72,17 @@ let rec decode (s : string) : frame =
     Ack { seq = id_field }
   | '\x05' ->
     if id_field < 0 then frame_error "negative sequence number %d" id_field;
-    (match decode body with
+    (match decode_exn body with
      | Ack _ | Reliable _ -> frame_error "nested reliable envelope"
      | inner -> Reliable { seq = id_field; frame = inner })
   | c -> frame_error "unknown frame kind %C" c
 
 (* Total variant for untrusted input. *)
-let decode_result (s : string) : (frame, string) result =
-  match decode s with
+let decode (s : string) : (frame, Pbio.Err.t) result =
+  match decode_exn s with
   | f -> Ok f
-  | exception Frame_error msg -> Error msg
+  | exception Frame_error msg -> Error (`Frame msg)
+
+let decode_result s = Pbio.Err.msg (decode s)
 
 let overhead = 9

@@ -26,11 +26,15 @@ exception Frame_error of string
     reliable envelope. *)
 val encode : frame -> string
 
-(** Raises {!Frame_error} on malformed frames. *)
-val decode : string -> frame
+(** Total on untrusted input: malformed frames are [Error (`Frame _)]. *)
+val decode : string -> (frame, Pbio.Err.t) result
 
-(** Total variant: malformed frames come back as [Error]. *)
+val decode_exn : string -> frame
+[@@deprecated "use decode"]
+(** Raises {!Frame_error} on malformed frames. *)
+
 val decode_result : string -> (frame, string) result
+[@@deprecated "use decode"]
 
 (** Per-frame byte overhead. *)
 val overhead : int

@@ -87,8 +87,34 @@ type queued =
     }
   | Timer of (unit -> unit)
 
+(* Handles into an optional Obs registry, mirroring [stats] so a shared
+   registry aggregates across simulators and shows up in `morphctl stats`. *)
+type metrics = {
+  m_delivered : Obs.Counter.h;
+  m_bytes : Obs.Counter.h;
+  m_duplicated : Obs.Counter.h;
+  m_drops_unknown_dst : Obs.Counter.h;
+  m_drops_link_down : Obs.Counter.h;
+  m_drops_loss : Obs.Counter.h;
+  m_drops_overflow : Obs.Counter.h;
+  m_timers : Obs.Counter.h;
+}
+
+let make_metrics reg =
+  {
+    m_delivered = Obs.Counter.make reg "netsim.delivered";
+    m_bytes = Obs.Counter.make reg ~unit_:"bytes" "netsim.bytes";
+    m_duplicated = Obs.Counter.make reg "netsim.duplicated";
+    m_drops_unknown_dst = Obs.Counter.make reg "netsim.drops.unknown_dst";
+    m_drops_link_down = Obs.Counter.make reg "netsim.drops.link_down";
+    m_drops_loss = Obs.Counter.make reg "netsim.drops.loss";
+    m_drops_overflow = Obs.Counter.make reg "netsim.drops.overflow";
+    m_timers = Obs.Counter.make reg "netsim.timers_fired";
+  }
+
 type t = {
   config : config;
+  m : metrics;
   mutable corrupt : (string -> string) option;
   (* fault injection: applied to every delivered payload when set *)
   mutable now : float;
@@ -110,9 +136,10 @@ type t = {
   stats : stats;
 }
 
-let create ?(config = default_config) ?(seed = 0) () =
+let create ?(config = default_config) ?(seed = 0) ?(metrics = Obs.null) () =
   {
     config;
+    m = make_metrics metrics;
     corrupt = None;
     now = 0.0;
     queue = Pqueue.create ();
@@ -233,10 +260,18 @@ let enqueue_frame t ~src ~dst ~(faults : faults) (payload : string) : unit =
 let send t ~(src : Contact.t) ~(dst : Contact.t) (payload : string) : unit =
   let drop reason =
     (match reason with
-     | Unknown_destination -> t.stats.drops_unknown_dst <- t.stats.drops_unknown_dst + 1
-     | Link_down -> t.stats.drops_link_down <- t.stats.drops_link_down + 1
-     | Injected_loss -> t.stats.drops_loss <- t.stats.drops_loss + 1
-     | Queue_overflow -> t.stats.drops_overflow <- t.stats.drops_overflow + 1);
+     | Unknown_destination ->
+       t.stats.drops_unknown_dst <- t.stats.drops_unknown_dst + 1;
+       Obs.Counter.incr t.m.m_drops_unknown_dst
+     | Link_down ->
+       t.stats.drops_link_down <- t.stats.drops_link_down + 1;
+       Obs.Counter.incr t.m.m_drops_link_down
+     | Injected_loss ->
+       t.stats.drops_loss <- t.stats.drops_loss + 1;
+       Obs.Counter.incr t.m.m_drops_loss
+     | Queue_overflow ->
+       t.stats.drops_overflow <- t.stats.drops_overflow + 1;
+       Obs.Counter.incr t.m.m_drops_overflow);
     trace t (Trace_dropped { src; dst; reason })
   in
   if not (Hashtbl.mem t.nodes dst) then drop Unknown_destination
@@ -257,6 +292,7 @@ let send t ~(src : Contact.t) ~(dst : Contact.t) (payload : string) : unit =
                | None -> true)
         then begin
           t.stats.duplicated <- t.stats.duplicated + 1;
+          Obs.Counter.incr t.m.m_duplicated;
           trace t (Trace_duplicated { src; dst });
           enqueue_frame t ~src ~dst ~faults payload
         end
@@ -276,6 +312,7 @@ let step t : bool =
     t.now <- Float.max t.now at;
     (match item with
      | Timer f ->
+       Obs.Counter.incr t.m.m_timers;
        trace t (Trace_timer_fired { at = t.now });
        f ()
      | Frame ev ->
@@ -284,11 +321,14 @@ let step t : bool =
        (match Hashtbl.find_opt t.nodes ev.dst with
         | None ->
           t.stats.drops_unknown_dst <- t.stats.drops_unknown_dst + 1;
+          Obs.Counter.incr t.m.m_drops_unknown_dst;
           trace t
             (Trace_dropped { src = ev.src; dst = ev.dst; reason = Unknown_destination })
         | Some node ->
           t.stats.messages <- t.stats.messages + 1;
           t.stats.bytes <- t.stats.bytes + String.length ev.payload;
+          Obs.Counter.incr t.m.m_delivered;
+          Obs.Counter.add t.m.m_bytes (String.length ev.payload);
           trace t
             (Trace_delivered
                { src = ev.src; dst = ev.dst; bytes = String.length ev.payload });

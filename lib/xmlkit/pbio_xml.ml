@@ -178,8 +178,11 @@ let of_xml (r : Ptype.record) (doc : Xml.t) : Value.t =
   | Xml.Element e -> xml_decode_error "expected root <%s>, got <%s>" r.rname e.tag
   | Xml.Text _ -> xml_decode_error "expected root element"
 
-let decode (r : Ptype.record) (src : string) : (Value.t, string) result =
+let decode (r : Ptype.record) (src : string) : (Value.t, Err.t) result =
   match Xml_parser.parse src with
-  | Error _ as e -> e
+  | Error msg -> Error (`Decode msg)
   | Ok doc ->
-    (try Ok (of_xml r doc) with Xml_decode_error msg -> Error msg)
+    (try Ok (of_xml r doc) with Xml_decode_error msg -> Error (`Decode msg))
+
+let decode_result (r : Ptype.record) (src : string) : (Value.t, string) result =
+  Err.msg (decode r src)

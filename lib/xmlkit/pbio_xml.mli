@@ -25,8 +25,12 @@ val to_xml : Ptype.record -> Value.t -> Xml.t
     fields are re-synchronised from the actual element counts. *)
 val of_xml : Ptype.record -> Xml.t -> Value.t
 
-(** [decode fmt text] = parse, then {!of_xml}. *)
-val decode : Ptype.record -> string -> (Value.t, string) result
+(** [decode fmt text] = parse, then {!of_xml}.  Failures — malformed XML or
+    content that does not fit the format — are [Error (`Decode _)]. *)
+val decode : Ptype.record -> string -> (Value.t, Err.t) result
+
+val decode_result : Ptype.record -> string -> (Value.t, string) result
+[@@deprecated "use decode, which returns (_, Pbio.Err.t) result"]
 
 (** Raw (unescaped) text for a basic value. *)
 val basic_to_string : Value.t -> string

@@ -30,6 +30,11 @@ let check_ok = function
   | Ok v -> v
   | Error msg -> Alcotest.failf "unexpected error: %s" msg
 
+(* Like [check_ok] for the canonical [(_, Pbio.Err.t) result] APIs. *)
+let check_ok_err = function
+  | Ok v -> v
+  | Error (e : Err.t) -> Alcotest.failf "unexpected error: %s" (Err.to_string e)
+
 let check_valid = function
   | Ok () -> ()
   | Error (e : Ptype.error) ->

@@ -7,7 +7,7 @@ open Pbio
 let test_order_xform_fields () =
   let order = B2b.Formats.gen_order 1 in
   let converted =
-    Helpers.check_ok
+    Helpers.check_ok_err
       (Morph.morph_to B2b.Formats.order_with_xform ~target:B2b.Formats.supplier_order order)
   in
   Alcotest.(check int) "po = order_id" 1001 (Value.to_int (Value.get_field converted "po"));
@@ -27,7 +27,7 @@ let test_status_xform_enum_to_string () =
     (fun (state, expected) ->
        let status = B2b.Formats.supplier_status_value ~po:5 ~state ~eta_days:2 in
        let converted =
-         Helpers.check_ok
+         Helpers.check_ok_err
            (Morph.morph_to B2b.Formats.status_with_xform ~target:B2b.Formats.retail_status
               status)
        in
@@ -41,7 +41,7 @@ let test_status_xform_enum_to_string () =
 let test_xslt_order_sheet_equals_morphing () =
   let order = B2b.Formats.gen_order 3 in
   let morphed =
-    Helpers.check_ok
+    Helpers.check_ok_err
       (Morph.morph_to B2b.Formats.order_with_xform ~target:B2b.Formats.supplier_order order)
   in
   let sheet = Xslt.Stylesheet.of_string B2b.Formats.retail_to_supplier_order_xslt in
@@ -53,7 +53,7 @@ let test_xslt_order_sheet_equals_morphing () =
 let test_xslt_status_sheet_equals_morphing () =
   let status = B2b.Formats.gen_status_for ~po:9 4 in
   let morphed =
-    Helpers.check_ok
+    Helpers.check_ok_err
       (Morph.morph_to B2b.Formats.status_with_xform ~target:B2b.Formats.retail_status status)
   in
   let sheet = Xslt.Stylesheet.of_string B2b.Formats.supplier_to_retail_status_xslt in

@@ -76,7 +76,7 @@ let test_spec_order_irrelevant () =
           Morph.xform ~target:rev1 rev2_to_rev1;
         ]
   in
-  let out = Helpers.check_ok (Morph.morph_to shuffled ~target:rev0 sample) in
+  let out = Helpers.check_ok_err (Morph.morph_to shuffled ~target:rev0 sample) in
   Alcotest.(check int) "order of specs does not matter" 15
     (Value.to_int (Value.get_field out "total"))
 
@@ -134,9 +134,9 @@ let test_broken_hop_rejects () =
 
 let test_chain_meta_survives_wire () =
   (* sources round-trip through the out-of-band encoding *)
-  let m = Helpers.check_ok (Meta.decode (Meta.encode rev2_meta)) in
+  let m = Helpers.check_ok_err (Meta.decode (Meta.encode rev2_meta)) in
   Alcotest.(check bool) "meta equal" true (Meta.equal rev2_meta m);
-  let out = Helpers.check_ok (Morph.morph_to m ~target:rev0 sample) in
+  let out = Helpers.check_ok_err (Morph.morph_to m ~target:rev0 sample) in
   Alcotest.(check int) "morphs from decoded meta" 15
     (Value.to_int (Value.get_field out "total"))
 
@@ -176,7 +176,7 @@ let test_long_chain () =
   let v =
     Value.record (List.init 6 (fun i -> (Printf.sprintf "g%d" i, Value.Int (i + 1))))
   in
-  let out = Helpers.check_ok (Morph.morph_to meta ~target:(rev 0) v) in
+  let out = Helpers.check_ok_err (Morph.morph_to meta ~target:(rev 0) v) in
   (* all values folded into g0: 1+2+3+4+5+6 = 21 *)
   Alcotest.(check int) "five hops composed" 21
     (Value.to_int (Value.get_field out "g0"))

@@ -5,7 +5,7 @@ open Pbio
 
 let fmt = Ptype_dsl.format_of_string_exn
 
-let conv ~from_ ~into v = Convert.convert ~from_ ~into v
+let conv ~from_ ~into v = Helpers.check_ok_err (Convert.convert ~from_ ~into v)
 
 let test_identity () =
   let v = Helpers.sample_v2 3 in
@@ -149,13 +149,16 @@ let prop_convert_conforms =
   QCheck.Test.make ~name:"conversion output conforms to target format" ~count:200
     QCheck.(pair Helpers.arb_format_and_value Helpers.arb_format)
     (fun ((src, v), dst) ->
-       let out = Convert.convert ~from_:src ~into:dst v in
-       Value.conforms (Ptype.Record dst) out)
+       match Convert.convert ~from_:src ~into:dst v with
+       | Ok out -> Value.conforms (Ptype.Record dst) out
+       | Error _ -> false)
 
 let prop_identity_conversion =
   QCheck.Test.make ~name:"converting to the same format preserves the value" ~count:200
     Helpers.arb_format_and_value (fun (r, v) ->
-        Value.equal v (Convert.convert ~from_:r ~into:r v))
+        match Convert.convert ~from_:r ~into:r v with
+        | Ok v' -> Value.equal v v'
+        | Error _ -> false)
 
 let suite =
   [

@@ -144,7 +144,12 @@ let test_strict_thresholds_reject_unknown_format () =
   (* a strict v1 node still interoperates thanks to the shipped
      transformation, but a plain v2 response (no xform) would be rejected;
      here we drive the receiver directly *)
-  let r = Morph.Receiver.create ~thresholds:Morph.Maxmatch.strict_thresholds () in
+  let r =
+    Morph.Receiver.create
+      ~config:
+        (Morph.Receiver.Config.v ~thresholds:Morph.Maxmatch.strict_thresholds ())
+      ()
+  in
   Morph.Receiver.register r Echo.Wire_formats.channel_open_response_v1 (fun _ -> ());
   (match
      Morph.Receiver.deliver r

@@ -28,7 +28,7 @@ let test_framing_envelope_roundtrip () =
   in
   List.iter
     (fun f ->
-       let f' = Framing.decode (Framing.encode f) in
+       let f' = Helpers.check_ok_err (Framing.decode (Framing.encode f)) in
        Alcotest.(check bool) "roundtrip" true (f = f'))
     frames
 
@@ -43,7 +43,7 @@ let test_framing_envelope_errors () =
     [ Framing.Ack { seq = 2 };
       Framing.Reliable { seq = 3; frame = Framing.Meta_request { format_id = 1 } } ];
   let expect_err s =
-    match Framing.decode_result s with
+    match Framing.decode s with
     | Ok _ -> Alcotest.fail "expected decode error"
     | Error _ -> ()
   in
@@ -98,6 +98,27 @@ let test_netsim_loss_is_seeded () =
   Alcotest.(check bool) "different seed, different trace" true (d1 <> d3 || d1 = d3)
   (* the last check only documents that seeds are independent; equality by
      coincidence is fine *)
+
+let test_netsim_drop_metrics () =
+  (* a metrics-enabled simulator mirrors its drop accounting into Obs
+     counters, one per drop reason *)
+  let metrics = Obs.create () in
+  let net = Netsim.create ~seed:1 ~metrics () in
+  let a, b, _ = pair net in
+  Netsim.set_faults net { Netsim.no_faults with Netsim.loss = 1.0 };
+  for _ = 1 to 10 do Netsim.send net ~src:a ~dst:b "x" done;
+  (* also provoke an unknown-destination drop *)
+  Netsim.send net ~src:a ~dst:(Contact.make "ghost" 9) "x";
+  ignore (Netsim.run net);
+  Alcotest.(check int) "loss drops counted" 10
+    (Obs.Counter.value metrics "netsim.drops.loss");
+  Alcotest.(check int) "unknown destination counted" 1
+    (Obs.Counter.value metrics "netsim.drops.unknown_dst");
+  Alcotest.(check int) "nothing delivered" 0
+    (Obs.Counter.value metrics "netsim.delivered");
+  (* the Obs counter agrees with the stats record *)
+  Alcotest.(check int) "stats agree" (Netsim.stats net).Netsim.drops_loss
+    (Obs.Counter.value metrics "netsim.drops.loss")
 
 let test_netsim_duplication () =
   let net = Netsim.create ~seed:2 () in
@@ -432,6 +453,7 @@ let suite =
     Alcotest.test_case "framing: envelope errors" `Quick test_framing_envelope_errors;
     Alcotest.test_case "netsim: total loss" `Quick test_netsim_total_loss;
     Alcotest.test_case "netsim: loss is seeded" `Quick test_netsim_loss_is_seeded;
+    Alcotest.test_case "netsim: drop metrics" `Quick test_netsim_drop_metrics;
     Alcotest.test_case "netsim: duplication" `Quick test_netsim_duplication;
     Alcotest.test_case "netsim: reordering" `Quick test_netsim_reordering;
     Alcotest.test_case "netsim: latency jitter" `Quick test_netsim_jitter;

@@ -27,7 +27,7 @@ let test_full_pipeline_v2_to_v1 () =
   Alcotest.(check int) "all messages" 20 (List.length !seen);
   (* compare against direct (no network) morphing *)
   let direct =
-    Helpers.check_ok
+    Helpers.check_ok_err
       (Morph.morph_to Helpers.response_v2_meta ~target:Helpers.response_v1
          (Helpers.sample_v2 20))
   in
@@ -47,7 +47,7 @@ let test_pipeline_with_big_endian_writer () =
   Conn.send writer ~dst:(Contact.make "r" 2) Helpers.response_v2_meta (Helpers.sample_v2 4);
   ignore (Netsim.run net);
   let direct =
-    Helpers.check_ok
+    Helpers.check_ok_err
       (Morph.morph_to Helpers.response_v2_meta ~target:Helpers.response_v1
          (Helpers.sample_v2 4))
   in
@@ -130,9 +130,9 @@ let test_morphing_off_meta_roundtrip () =
   (* meta encoded to bytes, decoded, and used for morphing: the code path a
      real receiver takes (the transformation source text crossed the wire) *)
   let bytes = Meta.encode Helpers.response_v2_meta in
-  let meta = Helpers.check_ok (Meta.decode bytes) in
+  let meta = Helpers.check_ok_err (Meta.decode bytes) in
   let out =
-    Helpers.check_ok (Morph.morph_to meta ~target:Helpers.response_v1 (Helpers.sample_v2 3))
+    Helpers.check_ok_err (Morph.morph_to meta ~target:Helpers.response_v1 (Helpers.sample_v2 3))
   in
   Alcotest.(check int) "morphed from wire meta" 3
     (Value.to_int (Value.get_field out "member_count"))

@@ -10,6 +10,7 @@ let () =
       ("ecode exec", Test_ecode_exec.suite);
       ("diff+maxmatch", Test_diff_maxmatch.suite);
       ("weighted", Test_weighted.suite);
+      ("obs", Test_obs.suite);
       ("morphcheck", Test_morphcheck.suite);
       ("receiver", Test_receiver.suite);
       ("chains", Test_chain.suite);

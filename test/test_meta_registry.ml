@@ -9,12 +9,12 @@ let meta_t : Meta.format_meta Alcotest.testable =
 
 let test_meta_roundtrip_plain () =
   let m = Meta.plain Helpers.response_v1 in
-  let m' = Helpers.check_ok (Meta.decode (Meta.encode m)) in
+  let m' = Helpers.check_ok_err (Meta.decode (Meta.encode m)) in
   Alcotest.check meta_t "plain roundtrip" m m'
 
 let test_meta_roundtrip_with_xforms () =
   let m = Helpers.response_v2_meta in
-  let m' = Helpers.check_ok (Meta.decode (Meta.encode m)) in
+  let m' = Helpers.check_ok_err (Meta.decode (Meta.encode m)) in
   Alcotest.check meta_t "with transformations" m m';
   Alcotest.(check int) "one transformation" 1 (List.length m'.Meta.xforms);
   let x = List.hd m'.Meta.xforms in
@@ -39,7 +39,7 @@ let test_meta_roundtrip_defaults_and_enums () =
       |}
   in
   let m = Meta.plain fmt in
-  let m' = Helpers.check_ok (Meta.decode (Meta.encode m)) in
+  let m' = Helpers.check_ok_err (Meta.decode (Meta.encode m)) in
   Alcotest.check meta_t "defaults survive" m m'
 
 let test_meta_decode_errors () =
@@ -118,7 +118,7 @@ let prop_meta_hash_consistent =
   QCheck.Test.make ~name:"meta hash consistent with equality" ~count:200
     Helpers.arb_format (fun r ->
         let m = Meta.plain r in
-        let m' = Helpers.check_ok (Meta.decode (Meta.encode m)) in
+        let m' = Helpers.check_ok_err (Meta.decode (Meta.encode m)) in
         Meta.hash m = Meta.hash m')
 
 let suite =

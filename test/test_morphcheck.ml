@@ -102,6 +102,7 @@ let expect_meta_error needle data =
   match Meta.decode data with
   | Ok _ -> Alcotest.failf "meta decode accepted hostile input (wanted %S)" needle
   | Error e ->
+    let e = Pbio.Err.to_string e in
     if not (Helpers.contains e needle) then
       Alcotest.failf "meta error %S does not mention %S" e needle
 
@@ -123,13 +124,13 @@ let test_wire_truncation_errors () =
   let msg = Wire.encode ~format_id:2 ping_fmt ping in
   List.iter
     (fun n ->
-       match Wire.decode_result ping_fmt (String.sub msg 0 n) with
+       match Wire.decode ping_fmt (String.sub msg 0 n) with
        | Ok _ -> Alcotest.failf "decode accepted %d-byte truncation" n
        | Error _ -> ())
     [ 0; 3; 10; 16; String.length msg - 1 ];
-  match Wire.decode_result ping_fmt msg with
+  match Wire.decode ping_fmt msg with
   | Ok v -> Alcotest.check Helpers.value "full message intact" ping v
-  | Error e -> Alcotest.failf "full message rejected: %s" e
+  | Error e -> Alcotest.failf "full message rejected: %s" (Pbio.Err.to_string e)
 
 let test_wire_hostile_format () =
   (* a format description arriving over the network can itself be hostile:
@@ -141,7 +142,7 @@ let test_wire_hostile_format () =
             ftype = Array { elem = Basic Int; size = Fixed (-1) };
             fdefault = None } ] }
   in
-  (match Wire.decode_payload_result hostile (String.make 32 '\x00') with
+  (match Wire.decode_payload hostile (String.make 32 '\x00') with
    | Ok _ -> Alcotest.fail "decoded under a negative fixed-size array"
    | Error _ -> ());
   (* huge claimed length field: error, not allocation *)
@@ -154,7 +155,7 @@ let test_wire_hostile_format () =
             fdefault = None } ] }
   in
   let payload = le32 0x7fffffff in
-  match Wire.decode_payload_result claims_many payload with
+  match Wire.decode_payload claims_many payload with
   | Ok _ -> Alcotest.fail "decoded an array longer than the message"
   | Error _ -> ()
 

@@ -1,0 +1,172 @@
+(* Tests for the observability registry (lib/obs): counters, gauges,
+   histograms, span nesting, the null registry and both sinks. *)
+
+let test_counter_basics () =
+  let t = Obs.create () in
+  let c = Obs.Counter.make t ~unit_:"B" "bytes" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 9;
+  Alcotest.(check int) "accumulated" 10 (Obs.Counter.value t "bytes");
+  Alcotest.(check int) "unknown name reads 0" 0 (Obs.Counter.value t "nope");
+  (* a second handle for the same name shares the cell *)
+  let c2 = Obs.Counter.make t "bytes" in
+  Obs.Counter.incr c2;
+  Alcotest.(check int) "handles aggregate" 11 (Obs.Counter.value t "bytes")
+
+let test_gauge_basics () =
+  let t = Obs.create () in
+  let g = Obs.Gauge.make t "depth" in
+  Alcotest.(check (option (float 0.))) "unset" None (Obs.Gauge.value t "depth");
+  Obs.Gauge.set g 3.0;
+  Obs.Gauge.set g 1.5;
+  Alcotest.(check (option (float 0.))) "last write wins" (Some 1.5)
+    (Obs.Gauge.value t "depth")
+
+let test_kind_clash_rejected () =
+  let t = Obs.create () in
+  ignore (Obs.Counter.make t "m");
+  (try
+     ignore (Obs.Gauge.make t "m");
+     Alcotest.fail "expected Invalid_argument on kind clash"
+   with Invalid_argument _ -> ())
+
+let test_histogram_bucketing () =
+  let t = Obs.create () in
+  let h = Obs.Histogram.make t ~buckets:[ 10.; 100. ] "lat" in
+  List.iter (Obs.Histogram.observe h) [ 5.; 10.; 11.; 1000. ];
+  match Obs.Histogram.snapshot t "lat" with
+  | None -> Alcotest.fail "histogram not registered"
+  | Some s ->
+    Alcotest.(check int) "count" 4 s.Obs.Histogram.count;
+    Alcotest.(check (float 0.)) "sum" 1026. s.Obs.Histogram.sum;
+    Alcotest.(check (float 0.)) "min" 5. s.Obs.Histogram.min;
+    Alcotest.(check (float 0.)) "max" 1000. s.Obs.Histogram.max;
+    (* bounds are inclusive upper limits; the implicit +inf bucket is last *)
+    (match s.Obs.Histogram.buckets with
+     | [ (b1, n1); (b2, n2); (binf, n3) ] ->
+       Alcotest.(check (float 0.)) "first bound" 10. b1;
+       Alcotest.(check int) "le 10" 2 n1;
+       Alcotest.(check (float 0.)) "second bound" 100. b2;
+       Alcotest.(check int) "le 100" 1 n2;
+       Alcotest.(check bool) "last bound is +inf" true (binf = infinity);
+       Alcotest.(check int) "overflow" 1 n3
+     | l -> Alcotest.failf "expected 3 buckets, got %d" (List.length l))
+
+let test_span_nesting () =
+  let t = Obs.create () in
+  (* deterministic clock: each read advances 100 ns *)
+  let ticks = ref 0. in
+  Obs.set_clock (fun () -> ticks := !ticks +. 100.; !ticks);
+  Fun.protect
+    ~finally:(fun () -> Obs.set_clock (fun () -> Unix.gettimeofday () *. 1e9))
+    (fun () ->
+       let got =
+         Obs.with_span t "outer" (fun () ->
+             Obs.with_span t "inner" (fun () -> 42))
+       in
+       Alcotest.(check int) "body result returned" 42 got;
+       Alcotest.(check int) "outer recorded" 1 (Obs.Histogram.count t "span:outer");
+       Alcotest.(check int) "nested path recorded" 1
+         (Obs.Histogram.count t "span:outer/inner");
+       (* inner: one clock delta (100); outer: inner + its own reads (300) *)
+       Alcotest.(check (float 0.)) "inner duration" 100.
+         (Obs.Histogram.sum t "span:outer/inner");
+       Alcotest.(check (float 0.)) "outer duration" 300.
+         (Obs.Histogram.sum t "span:outer");
+       (* the stack pops even when the thunk raises *)
+       (try Obs.with_span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+       Alcotest.(check int) "raised span still recorded" 1
+         (Obs.Histogram.count t "span:boom"))
+
+let test_null_registry_inert () =
+  let t = Obs.null in
+  Alcotest.(check bool) "disabled" false (Obs.enabled t);
+  let c = Obs.Counter.make t "c" in
+  Obs.Counter.add c 5;
+  let h = Obs.Histogram.make t "h" in
+  Obs.Histogram.observe h 1.0;
+  Alcotest.(check int) "counter stays 0" 0 (Obs.Counter.value t "c");
+  Alcotest.(check int) "histogram stays empty" 0 (Obs.Histogram.count t "h");
+  Alcotest.(check int) "nothing registered" 0 (List.length (Obs.names t));
+  Alcotest.(check int) "with_span runs the body" 7
+    (Obs.with_span t "s" (fun () -> 7))
+
+let test_reset () =
+  let t = Obs.create () in
+  let c = Obs.Counter.make t "c" in
+  Obs.Counter.add c 5;
+  Obs.reset t;
+  Alcotest.(check int) "zeroed" 0 (Obs.Counter.value t "c");
+  Obs.Counter.incr c;
+  Alcotest.(check int) "handle still live after reset" 1 (Obs.Counter.value t "c")
+
+let test_text_sink () =
+  let t = Obs.create () in
+  Obs.Counter.add (Obs.Counter.make t "hits") 3;
+  Obs.Histogram.observe (Obs.Histogram.make t ~unit_:"ns" "lat") 250.;
+  let buf = Buffer.create 256 in
+  Obs.emit t (Obs.Text (Buffer.add_string buf));
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "mentions counter" true (Helpers.contains out "hits");
+  Alcotest.(check bool) "mentions histogram" true (Helpers.contains out "lat");
+  Alcotest.(check bool) "shows the value" true (Helpers.contains out "3");
+  (* the null sink writes nothing and the emit is harmless *)
+  Obs.emit t Obs.Null
+
+let test_json_sink_schema () =
+  let t = Obs.create () in
+  Obs.Counter.add (Obs.Counter.make t ~unit_:"B" "bytes") 42;
+  Obs.Gauge.set (Obs.Gauge.make t "depth") 2.5;
+  Obs.Histogram.observe (Obs.Histogram.make t ~buckets:[ 10. ] "lat") 7.;
+  let buf = Buffer.create 256 in
+  Obs.emit t (Obs.Json (Buffer.add_string buf));
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Alcotest.(check int) "one line per metric" 3 (List.length lines);
+  List.iter
+    (fun l ->
+       Alcotest.(check bool) "line is an object" true
+         (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}');
+       Alcotest.(check bool) "has metric key" true
+         (Helpers.contains l "\"metric\":"))
+    lines;
+  let counter_line = List.nth lines 0 in
+  Alcotest.(check bool) "counter kind" true
+    (Helpers.contains counter_line "\"kind\":\"counter\"");
+  Alcotest.(check bool) "counter unit" true
+    (Helpers.contains counter_line "\"unit\":\"B\"");
+  Alcotest.(check bool) "counter value" true
+    (Helpers.contains counter_line "\"value\":42");
+  let hist_line = List.nth lines 2 in
+  List.iter
+    (fun key ->
+       Alcotest.(check bool) ("histogram has " ^ key) true
+         (Helpers.contains hist_line ("\"" ^ key ^ "\":")))
+    [ "count"; "sum"; "min"; "max"; "buckets" ];
+  Alcotest.(check bool) "+inf bucket last" true
+    (Helpers.contains hist_line "\"le\":\"+inf\"")
+
+let test_registration_order_preserved () =
+  let t = Obs.create () in
+  ignore (Obs.Counter.make t "a");
+  ignore (Obs.Gauge.make t "b");
+  ignore (Obs.Counter.make t "c");
+  Alcotest.(check (list string)) "names in registration order" [ "a"; "b"; "c" ]
+    (Obs.names t)
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
+    Alcotest.test_case "kind clash rejected" `Quick test_kind_clash_rejected;
+    Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "null registry is inert" `Quick test_null_registry_inert;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "text sink" `Quick test_text_sink;
+    Alcotest.test_case "json sink schema" `Quick test_json_sink_schema;
+    Alcotest.test_case "registration order preserved" `Quick
+      test_registration_order_preserved;
+  ]

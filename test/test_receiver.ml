@@ -6,7 +6,7 @@ module Receiver = Morph.Receiver
 let fmt = Ptype_dsl.format_of_string_exn
 
 let make_receiver ?thresholds ?engine target =
-  let r = Receiver.create ?thresholds ?engine () in
+  let r = Receiver.create ~config:(Receiver.Config.v ?thresholds ?engine ()) () in
   let got = ref [] in
   Receiver.register r target (fun v -> got := v :: !got);
   (r, got)
@@ -196,7 +196,7 @@ let test_interpreted_engine_equivalent () =
 
 let test_morph_to_facade () =
   let out =
-    Helpers.check_ok
+    Helpers.check_ok_err
       (Morph.morph_to Helpers.response_v2_meta ~target:Helpers.response_v1
          (Helpers.sample_v2 4))
   in
@@ -242,7 +242,7 @@ let test_explain () =
     (Receiver.stats r).Receiver.cold_paths
 
 let test_check_meta () =
-  Helpers.check_ok (Morph.check_meta Helpers.response_v2_meta);
+  Helpers.check_ok_err (Morph.check_meta Helpers.response_v2_meta);
   let bad =
     { Meta.body = Helpers.response_v2;
       xforms = [ { Meta.source = None; target = Helpers.response_v1; code = "old.nope = 1;" } ] }
@@ -311,13 +311,13 @@ let test_quarantine_success_resets_streak () =
 let test_quarantine_threshold_configurable () =
   let registered = fmt "format Telemetry { int q; }" in
   let meta = quarantine_meta registered in
-  let r = Receiver.create ~quarantine_after:1 () in
+  let r = Receiver.create ~config:(Receiver.Config.v ~quarantine_after:1 ()) () in
   Receiver.register r registered (fun _ -> ());
   ignore (Receiver.deliver r meta (sample ~num:1 ~den:0));
   Alcotest.(check int) "one strike is enough" 1
     (Receiver.stats r).Receiver.quarantined;
   (try
-     ignore (Receiver.create ~quarantine_after:0 ());
+     ignore (Receiver.create ~config:(Receiver.Config.v ~quarantine_after:0 ()) ());
      Alcotest.fail "expected Invalid_argument"
    with Invalid_argument _ -> ())
 
@@ -337,6 +337,30 @@ let test_delivery_probe_observes_outcomes () =
   Receiver.set_delivery_probe r None;
   ignore (Receiver.deliver r meta (sample ~num:6 ~den:3));
   Alcotest.(check int) "no further entries" 2 (List.length !seen)
+
+let test_metrics_counters () =
+  (* a receiver built over a live registry reports the same cache
+     behaviour through Obs counters as through [stats] *)
+  let metrics = Obs.create () in
+  let r = Receiver.create ~config:(Receiver.Config.v ~metrics ()) () in
+  Receiver.register r Helpers.response_v1 (fun _ -> ());
+  for _ = 1 to 10 do
+    ignore (Receiver.deliver r Helpers.response_v2_meta (Helpers.sample_v2 1))
+  done;
+  Alcotest.(check int) "one miss" 1 (Obs.Counter.value metrics "receiver.cache_misses");
+  Alcotest.(check int) "nine hits" 9 (Obs.Counter.value metrics "receiver.cache_hits");
+  Alcotest.(check int) "all delivered" 10
+    (Obs.Counter.value metrics "receiver.delivered");
+  Alcotest.(check int) "nothing rejected" 0
+    (Obs.Counter.value metrics "receiver.rejected");
+  Alcotest.(check bool) "morph latency observed" true
+    (Obs.Histogram.count metrics "receiver.morph_ns" > 0);
+  Alcotest.(check int) "mismatch ratio observed on the cold path" 1
+    (Obs.Histogram.count metrics "receiver.mismatch_ratio");
+  (* counters agree with the receiver's own stats record *)
+  let s = Receiver.stats r in
+  Alcotest.(check int) "stats agree on hits" s.Receiver.cache_hits
+    (Obs.Counter.value metrics "receiver.cache_hits")
 
 (* Robustness: whatever formats arrive, deliver returns an outcome — it
    never raises, even when the incoming format shares a name but nothing
@@ -394,6 +418,7 @@ let suite =
       test_quarantine_threshold_configurable;
     Alcotest.test_case "delivery probe observes outcomes" `Quick
       test_delivery_probe_observes_outcomes;
+    Alcotest.test_case "metrics counters mirror stats" `Quick test_metrics_counters;
     Helpers.qtest prop_deliver_total;
     Helpers.qtest prop_delivered_value_conforms;
   ]

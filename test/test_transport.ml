@@ -137,16 +137,16 @@ let test_framing_roundtrip () =
   in
   List.iter
     (fun f ->
-       let f' = Framing.decode (Framing.encode f) in
+       let f' = Helpers.check_ok_err (Framing.decode (Framing.encode f)) in
        Alcotest.(check bool) "roundtrip" true (f = f'))
     frames
 
 let test_framing_errors () =
   let expect_err s =
-    try
-      ignore (Framing.decode s);
-      Alcotest.fail "expected Frame_error"
-    with Framing.Frame_error _ -> ()
+    match Framing.decode s with
+    | Ok _ -> Alcotest.fail "expected a `Frame error"
+    | Error (`Frame _) -> ()
+    | Error e -> Alcotest.failf "expected a `Frame error, got: %s" (Pbio.Err.to_string e)
   in
   expect_err "";
   expect_err "\x02short";
@@ -169,13 +169,13 @@ let test_framing_decode_result () =
     (fun f ->
        let enc = Framing.encode f in
        for n = 0 to String.length enc - 1 do
-         match Framing.decode_result (String.sub enc 0 n) with
+         match Framing.decode (String.sub enc 0 n) with
          | Ok _ -> Alcotest.failf "accepted a %d-byte prefix of a %d-byte frame" n (String.length enc)
          | Error _ -> ()
        done;
-       match Framing.decode_result enc with
+       match Framing.decode enc with
        | Ok f' -> Alcotest.(check bool) "full frame roundtrips" true (f = f')
-       | Error e -> Alcotest.failf "rejected a well-formed frame: %s" e)
+       | Error e -> Alcotest.failf "rejected a well-formed frame: %s" (Pbio.Err.to_string e))
     frames
 
 let test_framing_garbage_kinds () =
@@ -183,11 +183,11 @@ let test_framing_garbage_kinds () =
   List.iter
     (fun k ->
        let bogus = String.make 1 (Char.chr k) ^ String.make 8 '\x00' in
-       match Framing.decode_result bogus with
+       match Framing.decode bogus with
        | Ok _ -> Alcotest.failf "accepted kind byte %d" k
        | Error e ->
          Alcotest.(check bool) "mentions the kind" true
-           (Helpers.contains e "kind"))
+           (Helpers.contains (Pbio.Err.to_string e) "kind"))
     [ 0; 6; 9; 0x41; 255 ]
 
 (* --- connection protocol ---------------------------------------------------------- *)

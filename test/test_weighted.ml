@@ -100,15 +100,21 @@ let test_weighted_receiver_end_to_end () =
   let incoming = fmt "format T { int key; int debug_hint; }" in
   let registered = fmt "format T { int key; }" in
   let strict = Morph.Maxmatch.strict_thresholds in
-  let plain = Morph.Receiver.create ~thresholds:strict () in
+  let plain =
+    Morph.Receiver.create
+      ~config:(Morph.Receiver.Config.v ~thresholds:strict ()) ()
+  in
   Morph.Receiver.register plain registered (fun _ -> ());
   (match Morph.Receiver.deliver plain (Pbio.Meta.plain incoming)
            (Value.record [ ("key", Value.Int 1); ("debug_hint", Value.Int 9) ]) with
    | Morph.Receiver.Rejected _ -> ()
    | o -> Alcotest.failf "expected rejection, got %a" Morph.Receiver.pp_outcome o);
   let weighted =
-    Morph.Receiver.create ~thresholds:strict
-      ~weights:(Weighted.make [ ("debug_hint", 0.0) ]) ()
+    Morph.Receiver.create
+      ~config:
+        (Morph.Receiver.Config.v ~thresholds:strict
+           ~weights:(Weighted.make [ ("debug_hint", 0.0) ]) ())
+      ()
   in
   let got = ref [] in
   Morph.Receiver.register weighted registered (fun v -> got := v :: !got);

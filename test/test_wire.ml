@@ -4,9 +4,9 @@ open Pbio
 
 let roundtrip ?(endian = Wire.Little) r v =
   let bytes = Wire.encode ~endian ~format_id:42 r v in
-  let h = Wire.read_header bytes in
+  let h = Helpers.check_ok_err (Wire.read_header bytes) in
   Alcotest.(check int) "format id" 42 h.Wire.format_id;
-  Wire.decode r bytes
+  Helpers.check_ok_err (Wire.decode r bytes)
 
 let test_roundtrip_all_basics () =
   let fmt =
@@ -90,10 +90,10 @@ let test_int_range_checked () =
    with Wire.Encode_error _ -> ())
 
 let expect_decode_error f =
-  try
-    ignore (f ());
-    Alcotest.fail "expected Decode_error"
-  with Wire.Decode_error _ -> ()
+  match f () with
+  | Ok _ -> Alcotest.fail "expected a `Decode error"
+  | Error (`Decode _) -> ()
+  | Error e -> Alcotest.failf "expected a `Decode error, got: %s" (Err.to_string e)
 
 let test_decode_errors () =
   let fmt = Ptype_dsl.format_of_string_exn "format F { int x; string s; }" in
@@ -123,9 +123,8 @@ let test_decode_with_wrong_format_fails_or_differs () =
   let v = Helpers.sample_v2 2 in
   let bytes = Wire.encode ~format_id:1 Helpers.response_v2 v in
   (match Wire.decode Helpers.response_v1 bytes with
-   | exception Wire.Decode_error _ -> ()
-   | exception Value.Type_error _ -> ()
-   | v' ->
+   | Error _ -> ()
+   | Ok v' ->
      Alcotest.(check bool) "misdecoded value differs" false (Value.equal v v'))
 
 let test_negative_length_field_rejected () =
@@ -142,12 +141,16 @@ let test_negative_length_field_rejected () =
 let prop_roundtrip_le =
   QCheck.Test.make ~name:"wire roundtrip (little-endian)" ~count:300
     Helpers.arb_format_and_value (fun (r, v) ->
-        Value.equal v (Wire.decode r (Wire.encode ~format_id:7 r v)))
+        match Wire.decode r (Wire.encode ~format_id:7 r v) with
+        | Ok v' -> Value.equal v v'
+        | Error _ -> false)
 
 let prop_roundtrip_be =
   QCheck.Test.make ~name:"wire roundtrip (big-endian)" ~count:300
     Helpers.arb_format_and_value (fun (r, v) ->
-        Value.equal v (Wire.decode r (Wire.encode ~endian:Wire.Big ~format_id:7 r v)))
+        match Wire.decode r (Wire.encode ~endian:Wire.Big ~format_id:7 r v) with
+        | Ok v' -> Value.equal v v'
+        | Error _ -> false)
 
 let prop_sizeof_exact =
   QCheck.Test.make ~name:"Sizeof.wire_payload predicts encoder output" ~count:300
@@ -167,10 +170,9 @@ let prop_fuzz_single_byte_corruption =
        let bad = Bytes.of_string good in
        let newbyte = Char.chr ((Char.code (Bytes.get bad pos) + 1 + byte_seed) land 0xff) in
        Bytes.set bad pos newbyte;
+       (* the result API must return, never raise *)
        match Wire.decode r (Bytes.to_string bad) with
-       | _ -> true
-       | exception Wire.Decode_error _ -> true
-       | exception Value.Type_error _ -> true)
+       | Ok _ | Error _ -> true)
 
 let prop_truncation_fails_cleanly =
   QCheck.Test.make ~name:"truncated messages fail cleanly" ~count:200
@@ -179,9 +181,8 @@ let prop_truncation_fails_cleanly =
        let good = Wire.encode ~format_id:1 r v in
        let keep = cut_seed mod String.length good in
        match Wire.decode r (String.sub good 0 keep) with
-       | _ -> false (* a strict prefix can never decode completely *)
-       | exception Wire.Decode_error _ -> true
-       | exception Value.Type_error _ -> true)
+       | Ok _ -> false (* a strict prefix can never decode completely *)
+       | Error _ -> true)
 
 let prop_endianness_size_invariant =
   QCheck.Test.make ~name:"byte order does not change message size" ~count:200

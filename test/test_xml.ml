@@ -136,7 +136,7 @@ let test_sax_errors () =
 let test_pbio_xml_roundtrip () =
   let v = Helpers.sample_v2 5 in
   let s = Pbio_xml.encode Helpers.response_v2 v in
-  let back = Helpers.check_ok (Pbio_xml.decode Helpers.response_v2 s) in
+  let back = Helpers.check_ok_err (Pbio_xml.decode Helpers.response_v2 s) in
   Alcotest.check Helpers.value "roundtrip" v back
 
 let test_pbio_xml_tree_and_string_agree () =
@@ -149,7 +149,7 @@ let test_pbio_xml_missing_fields_default () =
   let fmt =
     Ptype_dsl.format_of_string_exn {|format F { int x; string s = "dflt"; int y = 3; }|}
   in
-  let v = Helpers.check_ok (Pbio_xml.decode fmt "<F><x>9</x></F>") in
+  let v = Helpers.check_ok_err (Pbio_xml.decode fmt "<F><x>9</x></F>") in
   Alcotest.(check int) "present" 9 (Value.to_int (Value.get_field v "x"));
   Alcotest.(check string) "missing string keeps zero default" ""
     (Value.to_string_exn (Value.get_field v "s"));
@@ -159,14 +159,14 @@ let test_pbio_xml_unknown_elements_ignored () =
   (* XML-style tolerance: unknown elements in a message do not break an old
      reader (paper, Section 2) *)
   let fmt = Ptype_dsl.format_of_string_exn "format F { int x; }" in
-  let v = Helpers.check_ok (Pbio_xml.decode fmt "<F><x>1</x><added>zzz</added></F>") in
+  let v = Helpers.check_ok_err (Pbio_xml.decode fmt "<F><x>1</x><added>zzz</added></F>") in
   Alcotest.(check int) "parsed" 1 (Value.to_int (Value.get_field v "x"))
 
 let test_pbio_xml_arrays_and_counts () =
   let fmt = Ptype_dsl.format_of_string_exn "format F { int n; int xs[n]; }" in
   (* the count element disagrees with the actual list: the decoder trusts
      the actual elements and resyncs *)
-  let v = Helpers.check_ok (Pbio_xml.decode fmt "<F><n>99</n><xs>1</xs><xs>2</xs></F>") in
+  let v = Helpers.check_ok_err (Pbio_xml.decode fmt "<F><n>99</n><xs>1</xs><xs>2</xs></F>") in
   Alcotest.(check int) "resynced count" 2 (Value.to_int (Value.get_field v "n"));
   Alcotest.(check int) "len" 2 (Value.array_len (Value.get_field v "xs"))
 
@@ -181,7 +181,7 @@ let test_pbio_xml_escaping () =
   let v = Value.record [ ("s", Value.String "<a & \"b\">") ] in
   let s = Pbio_xml.encode fmt v in
   Alcotest.check Helpers.value "escapes survive" v
-    (Helpers.check_ok (Pbio_xml.decode fmt s))
+    (Helpers.check_ok_err (Pbio_xml.decode fmt s))
 
 let test_xml_size_blowup () =
   (* Table 1: the XML encoding is several times the binary/unencoded size *)

@@ -333,7 +333,7 @@ let test_fig5_stylesheet_matches_ecode_morphing () =
   let v2_val = Helpers.sample_v2 12 in
   (* morphing path *)
   let morphed =
-    Helpers.check_ok
+    Helpers.check_ok_err
       (Morph.morph_to Helpers.response_v2_meta ~target:Helpers.response_v1 v2_val)
   in
   (* XML/XSLT path *)
@@ -352,7 +352,7 @@ let test_fig5_sheet_across_sizes () =
     (fun n ->
        let v2_val = Echo.Wire_formats.gen_response_v2 n in
        let morphed =
-         Helpers.check_ok
+         Helpers.check_ok_err
            (Morph.morph_to Helpers.response_v2_meta ~target:Helpers.response_v1 v2_val)
        in
        let xml_v1 =
@@ -393,11 +393,11 @@ let prop_three_paths_agree =
        in
        QCheck.assume (clean v);
        let compiled =
-         Helpers.check_ok
+         Helpers.check_ok_err
            (Morph.morph_to Helpers.response_v2_meta ~target:Helpers.response_v1 v)
        in
        let interpreted =
-         Helpers.check_ok
+         Helpers.check_ok_err
            (Morph.morph_to ~engine:Morph.Xform.Interpreted Helpers.response_v2_meta
               ~target:Helpers.response_v1 v)
        in
