@@ -7,6 +7,7 @@
      morphctl sizes             Table-1-style size table for the ECho workload
      morphctl demo              run the ECho evolution scenario
      morphctl stats             run an instrumented scenario, dump all metrics
+     morphctl trace             run a traced scenario, export Perfetto JSON
 
    Format files use the DSL of Pbio.Ptype_dsl, e.g.:
 
@@ -390,6 +391,125 @@ let stats_cmd =
        ~doc:"Run an instrumented scenario and dump every collected metric")
     Term.(const run $ scenario $ json $ orders)
 
+(* --- trace --------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run scenario json out orders reliable loss dup reorder seed =
+    let faults =
+      if loss = 0.0 && dup = 0.0 && reorder = 0.0 then None
+      else
+        Some
+          { Transport.Netsim.loss; duplication = dup; reorder; jitter_s = 0.0 }
+    in
+    (* lost frames without retransmission mean lost orders, so a fault
+       profile implies the reliable wrapping *)
+    let reliable = reliable || faults <> None in
+    let traces =
+      match scenario with
+      | "b2b" ->
+        let t =
+          B2b.Scenario.run_traced ~orders ~reliable ?faults ~seed
+            B2b.Broker.Morph_at_receiver
+        in
+        Format.eprintf "# %a@." B2b.Scenario.pp_result t.B2b.Scenario.result;
+        t.B2b.Scenario.traces
+      | "echo" ->
+        (* the cross-version publish/subscribe pair of the stats command,
+           with a tracing registry per node, clocked to the simulator *)
+        let net_reg = Obs.create ~label:"net" () in
+        let c_reg = Obs.create ~label:"creator" () in
+        let l_reg = Obs.create ~label:"legacy" () in
+        let net = Transport.Netsim.create ~seed ~metrics:net_reg () in
+        let clock () = Transport.Netsim.now net *. 1e9 in
+        List.iter
+          (fun r -> Obs.set_registry_clock r clock)
+          [ net_reg; c_reg; l_reg ];
+        (match faults with
+         | Some f -> Transport.Netsim.set_faults net f
+         | None -> ());
+        let creator =
+          Echo.Node.create ~reliable ~metrics:c_reg net ~host:"creator" ~port:1
+            Echo.Node.V2
+        in
+        let old_sink =
+          Echo.Node.create ~reliable ~metrics:l_reg net ~host:"legacy" ~port:2
+            Echo.Node.V1
+        in
+        Echo.Node.create_channel creator "demo" ~as_source:true ~as_sink:false;
+        Echo.Node.subscribe_events old_sink "demo" (fun _ -> ());
+        Echo.Node.join old_sink ~creator:(Echo.Node.contact creator) "demo"
+          ~as_source:false ~as_sink:true;
+        ignore (Echo.settle net);
+        for i = 1 to orders do
+          Echo.Node.publish creator "demo" (Printf.sprintf "event-%d" i);
+          ignore (Echo.settle net)
+        done;
+        Obs.Trace.assemble
+          (List.concat_map Obs.Trace.spans [ c_reg; l_reg; net_reg ])
+      | s ->
+        Printf.eprintf "trace: unknown scenario %S (expected b2b or echo)\n" s;
+        exit 2
+    in
+    let output =
+      if json then Obs.Trace.to_chrome_json traces
+      else Obs.Trace.to_waterfall traces
+    in
+    match out with
+    | None -> print_string output
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc output);
+      Printf.printf "trace: wrote %d trace(s) to %s\n" (List.length traces) path
+  in
+  let scenario =
+    Arg.(value & opt string "b2b"
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:"Scenario to trace: b2b or echo")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit Chrome trace-event JSON (loadable in Perfetto) instead \
+                   of a text waterfall")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the export to FILE")
+  in
+  let orders =
+    Arg.(value & opt int 3
+         & info [ "orders"; "n" ] ~docv:"N"
+             ~doc:"Orders (b2b) or events (echo) to push through the scenario")
+  in
+  let reliable =
+    Arg.(value & flag
+         & info [ "reliable" ]
+             ~doc:"Wrap frames in the ack/retransmit protocol (implied by any \
+                   fault flag)")
+  in
+  let loss =
+    Arg.(value & opt float 0.0
+         & info [ "loss" ] ~docv:"P" ~doc:"Per-frame loss probability")
+  in
+  let dup =
+    Arg.(value & opt float 0.0
+         & info [ "dup" ] ~docv:"P" ~doc:"Per-frame duplication probability")
+  in
+  let reorder =
+    Arg.(value & opt float 0.0
+         & info [ "reorder" ] ~docv:"P" ~doc:"Per-frame reordering probability")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed"; "s" ] ~docv:"N" ~doc:"Fault-model seed")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a scenario with distributed tracing on and export the spans")
+    Term.(const run $ scenario $ json $ out $ orders $ reliable $ loss $ dup
+          $ reorder $ seed)
+
 (* --- morphcheck --------------------------------------------------------------- *)
 
 let morphcheck_cmd =
@@ -501,4 +621,4 @@ let () =
     Cmd.info "morphctl" ~version:"1.0.0"
       ~doc:"Message-morphing toolkit (ICDCS 2005 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; stats_cmd; morphcheck_cmd; chaos_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; stats_cmd; trace_cmd; morphcheck_cmd; chaos_cmd ]))

@@ -31,6 +31,7 @@ type counters = {
 (* Observability handles mirroring [counters]; inert when the broker was
    created without a registry. *)
 type bmetrics = {
+  bm_reg : Obs.t;
   m_routed : Obs.Counter.h;
   m_transforms : Obs.Counter.h;
   m_bytes_in : Obs.Counter.h;
@@ -39,6 +40,7 @@ type bmetrics = {
 
 let make_bmetrics (reg : Obs.t) : bmetrics =
   {
+    bm_reg = reg;
     m_routed = Obs.Counter.make reg "b2b.broker.routed";
     m_transforms = Obs.Counter.make reg "b2b.broker.transforms";
     m_bytes_in = Obs.Counter.make reg ~unit_:"B" "b2b.broker.bytes_in";
@@ -165,7 +167,19 @@ let handle_binary t ~src (meta : Meta.format_meta) (v : Value.t) : unit =
     let meta = augment_meta meta in
     t.counters.routed <- t.counters.routed + 1;
     Obs.Counter.incr t.bm.m_routed;
-    Transport.Conn.send ep ~dst meta v
+    if not (Obs.enabled t.bm.bm_reg) then Transport.Conn.send ep ~dst meta v
+    else
+      (* nested in the delivery span of the incoming frame, so the
+         forwarded hop keeps the originating order's trace id *)
+      Obs.Trace.with_span
+        ~attrs:
+          [
+            ("from", Fmt.str "%a" Transport.Contact.pp src);
+            ("to", Fmt.str "%a" Transport.Contact.pp dst);
+            ("format", meta.Meta.body.Ptype.rname);
+          ]
+        t.bm.bm_reg "broker.route"
+        (fun () -> Transport.Conn.send ep ~dst meta v)
   | _, _ ->
     Logs.warn (fun m -> m "broker: no route for message from %a" Transport.Contact.pp src)
 

@@ -66,6 +66,69 @@ let run_multi ?(retailers = 3) ?(suppliers = 2) ?(orders_each = 10)
        (List.sort Int.compare placed, List.sort Int.compare answered))
     rs placed
 
+(* Like [run], but with a tracing registry per node so the assembled traces
+   show which process each span ran in.  All registries share the network's
+   virtual clock, so span timestamps are simulated nanoseconds and the
+   waterfall lines up with [sim_seconds]. *)
+type traced = {
+  result : result;
+  traces : Obs.Trace.trace list;
+}
+
+let run_traced ?(orders = 5) ?(reliable = false) ?faults ?(seed = 0)
+    (mode : Broker.mode) : traced =
+  let net_reg = Obs.create ~label:"net" () in
+  let r_reg = Obs.create ~label:"retailer" () in
+  let b_reg = Obs.create ~label:"broker" () in
+  let s_reg = Obs.create ~label:"supplier" () in
+  let net = Transport.Netsim.create ~seed ~metrics:net_reg () in
+  let clock () = Transport.Netsim.now net *. 1e9 in
+  List.iter
+    (fun reg -> Obs.set_registry_clock reg clock)
+    [ net_reg; r_reg; b_reg; s_reg ];
+  (match faults with
+   | Some f -> Transport.Netsim.set_faults net f
+   | None -> ());
+  let broker = Broker.create ~reliable ~metrics:b_reg net ~host:"broker" ~port:9000 mode in
+  let retailer =
+    Retailer.create ~reliable ~metrics:r_reg net ~host:"retailer" ~port:9001
+      ~broker:(Broker.contact broker) mode
+  in
+  let supplier =
+    Supplier.create ~reliable ~metrics:s_reg net ~host:"supplier" ~port:9002
+      ~broker:(Broker.contact broker) mode
+  in
+  Broker.connect broker ~retailer:(Retailer.contact retailer)
+    ~supplier:(Supplier.contact supplier);
+  for i = 1 to orders do
+    Retailer.send_order retailer (Formats.gen_order i);
+    ignore (Transport.Netsim.run net)
+  done;
+  let receiver_morphs =
+    match mode with
+    | Broker.Xslt_at_broker -> 0
+    | Broker.Morph_at_receiver ->
+      let count receiver =
+        (Morph.Receiver.stats receiver).Morph.Receiver.delivered
+      in
+      count (Supplier.receiver supplier) + count (Retailer.receiver retailer)
+  in
+  let net_stats = Transport.Netsim.stats net in
+  let result =
+    {
+      mode;
+      orders;
+      statuses_received = List.length (Retailer.statuses retailer);
+      broker_transforms = (Broker.counters broker).Broker.transforms;
+      receiver_morphs;
+      network_bytes = net_stats.Transport.Netsim.bytes;
+      network_messages = net_stats.Transport.Netsim.messages;
+      sim_seconds = Transport.Netsim.now net;
+    }
+  in
+  let spans = List.concat_map Obs.Trace.spans [ r_reg; b_reg; s_reg; net_reg ] in
+  { result; traces = Obs.Trace.assemble spans }
+
 let run ?(orders = 100) ?(metrics = Obs.null) (mode : Broker.mode) : result =
   let net = Transport.Netsim.create ~metrics () in
   let broker = Broker.create ~metrics net ~host:"broker" ~port:9000 mode in

@@ -20,6 +20,27 @@ val pp_result : Format.formatter -> result -> unit
     scenario's [netsim.*], [conn.*], [receiver.*] and [b2b.*] instruments. *)
 val run : ?orders:int -> ?metrics:Obs.t -> Broker.mode -> result
 
+(** The scenario {!result} plus the distributed traces assembled from every
+    node's span buffer (one trace per order in [Morph_at_receiver] mode). *)
+type traced = {
+  result : result;
+  traces : Obs.Trace.trace list;
+}
+
+(** Like {!run}, but with a tracing registry per node — labelled [retailer],
+    [broker], [supplier] and [net] — all clocked to the network simulator so
+    span timestamps are simulated nanoseconds.  [faults] applies a
+    {!Transport.Netsim.faults} profile (pair it with [reliable:true] so lost
+    frames are retransmitted rather than lost orders); [seed] drives the
+    fault model's RNG.  Defaults: 5 orders, unreliable, no faults, seed 0. *)
+val run_traced :
+  ?orders:int ->
+  ?reliable:bool ->
+  ?faults:Transport.Netsim.faults ->
+  ?seed:int ->
+  Broker.mode ->
+  traced
+
 (** Multi-peer variant: [retailers] x [suppliers] through one broker, each
     retailer placing [orders_each] orders.  Returns per retailer the sorted
     order ids it placed and the sorted order ids its statuses answered —

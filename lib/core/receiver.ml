@@ -56,6 +56,9 @@ type pipeline =
       via : via;
       transform : Value.t -> Value.t; (* identity when [via] is Exact *)
       handler : handler;
+      provenance : (string * string) list;
+      (* how the plan was derived (source/target formats, chain hops,
+         mismatch ratio); attached to the delivery trace span *)
     }
   | Reject of string
 
@@ -98,6 +101,7 @@ end
    around MaxMatch, planning and per-message transforms. *)
 type rmetrics = {
   rm_on : bool;
+  rm_reg : Obs.t;
   rm_cache_hits : Obs.Counter.h;
   rm_cache_misses : Obs.Counter.h;
   rm_delivered : Obs.Counter.h;
@@ -115,6 +119,7 @@ type rmetrics = {
 let make_rmetrics reg =
   {
     rm_on = Obs.enabled reg;
+    rm_reg = reg;
     rm_cache_hits = Obs.Counter.make reg "receiver.cache_hits";
     rm_cache_misses = Obs.Counter.make reg "receiver.cache_misses";
     rm_delivered = Obs.Counter.make reg "receiver.delivered";
@@ -192,16 +197,16 @@ let identity_transform (v : Value.t) = v
    the importance-weighted generalisation when weights are set.  Either way
    the result is reduced to the (f1, f2, perfect?) the planner needs. *)
 let run_max_match t (set1 : Ptype.record list) (set2 : Ptype.record list) :
-  (Ptype.record * Ptype.record * bool) option =
+  (Ptype.record * Ptype.record * bool * float) option =
   let cfg = t.config in
-  let t0 = if t.m.rm_on then Obs.now_ns () else 0. in
+  let t0 = if t.m.rm_on then Obs.now t.m.rm_reg else 0. in
   let result =
     match cfg.Config.weights with
     | None ->
       Option.map
         (fun (m : Maxmatch.match_result) ->
            Obs.Histogram.observe t.m.rm_mismatch_ratio m.Maxmatch.ratio;
-           (m.f1, m.f2, Maxmatch.is_perfect m))
+           (m.f1, m.f2, Maxmatch.is_perfect m, m.Maxmatch.ratio))
         (Maxmatch.max_match ~thresholds:cfg.Config.thresholds set1 set2)
     | Some w ->
       let thresholds =
@@ -212,11 +217,28 @@ let run_max_match t (set1 : Ptype.record list) (set2 : Ptype.record list) :
       Option.map
         (fun (m : Weighted.match_result) ->
            Obs.Histogram.observe t.m.rm_mismatch_ratio m.Weighted.ratio;
-           (m.f1, m.f2, m.Weighted.diff12 = 0.0 && m.Weighted.diff21 = 0.0))
+           ( m.f1,
+             m.f2,
+             m.Weighted.diff12 = 0.0 && m.Weighted.diff21 = 0.0,
+             m.Weighted.ratio ))
         (Weighted.max_match ~weights:w ~thresholds set1 set2)
   in
-  if t.m.rm_on then Obs.Histogram.observe t.m.rm_maxmatch_ns (Obs.now_ns () -. t0);
+  if t.m.rm_on then
+    Obs.Histogram.observe t.m.rm_maxmatch_ns (Obs.now t.m.rm_reg -. t0);
   result
+
+(* The provenance record attached to the delivery trace span: which
+   format morphed into which, over how many chain hops, at what
+   mismatch ratio. *)
+let provenance_attrs ~(source : Ptype.record) ~(target : Ptype.record) ~via
+    ~hops ~ratio =
+  [
+    ("source", source.Ptype.rname);
+    ("target", target.Ptype.rname);
+    ("via", Fmt.str "%a" pp_via via);
+    ("chain_hops", string_of_int hops);
+    ("mismatch_ratio", Printf.sprintf "%.3f" ratio);
+  ]
 
 (* Build the per-format pipeline following Algorithm 2, lines 11-30. *)
 let plan_uninstrumented t (meta : Meta.format_meta) : pipeline =
@@ -265,13 +287,20 @@ let plan_uninstrumented t (meta : Meta.format_meta) : pipeline =
     let fr_same = List.filter (fun f -> f.Ptype.rname = fm.Ptype.rname) fr in
     let direct = run_max_match t [ fm ] fr_same in
     match direct with
-    | Some (_, f2, true) ->
+    | Some (_, f2, true, ratio) ->
       let via, transform =
         if Ptype.equal_record fm f2 then (Exact, identity_transform)
         else (Reordered, Convert.compile ~from_:fm ~into:f2)
       in
       let handler = Option.get (handler_for t f2) in
-      Accept { format_name = f2.Ptype.rname; via; transform; handler }
+      Accept
+        {
+          format_name = f2.Ptype.rname;
+          via;
+          transform;
+          handler;
+          provenance = provenance_attrs ~source:fm ~target:f2 ~via ~hops:0 ~ratio;
+        }
     | Some _ | None ->
       (* Line 16: MaxMatch(Ft, Fr). *)
       let ft = List.map fst reachable in
@@ -282,7 +311,7 @@ let plan_uninstrumented t (meta : Meta.format_meta) : pipeline =
                      (diff <= %d, Mr <= %.2f)"
               fm.Ptype.rname t.config.Config.thresholds.Maxmatch.diff_threshold
               t.config.Config.thresholds.Maxmatch.mismatch_threshold)
-       | Some (mf1, mf2, perfect) ->
+       | Some (mf1, mf2, perfect, ratio) ->
          let morph_step =
            if Ptype.equal_record mf1 fm then Ok None
            else begin
@@ -301,7 +330,7 @@ let plan_uninstrumented t (meta : Meta.format_meta) : pipeline =
                Obs.Histogram.observe t.m.rm_chain_depth
                  (float_of_int (List.length specs));
                let rec compile_chain source acc = function
-                 | [] -> Ok (Some acc)
+                 | [] -> Ok (Some (acc, List.length specs))
                  | (spec : Meta.xform_spec) :: rest ->
                    (match
                       Xform.compile ~engine:t.config.Config.engine ~source spec
@@ -333,19 +362,28 @@ let plan_uninstrumented t (meta : Meta.format_meta) : pipeline =
               | None, Some conv ->
                 let via = if perfect then Reordered else Converted in
                 (conv, via)
-              | Some run, None -> (run, Morphed mf1.Ptype.rname)
-              | Some run, Some conv ->
+              | Some (run, _), None -> (run, Morphed mf1.Ptype.rname)
+              | Some (run, _), Some conv ->
                 ((fun v -> conv (run v)), Morphed_converted mf1.Ptype.rname)
             in
+            let hops = match morph with Some (_, h) -> h | None -> 0 in
             let handler = Option.get (handler_for t mf2) in
-            Accept { format_name = mf2.Ptype.rname; via; transform; handler }))
+            Accept
+              {
+                format_name = mf2.Ptype.rname;
+                via;
+                transform;
+                handler;
+                provenance =
+                  provenance_attrs ~source:fm ~target:mf2 ~via ~hops ~ratio;
+              }))
 
 let plan t (meta : Meta.format_meta) : pipeline =
   if not t.m.rm_on then plan_uninstrumented t meta
   else begin
-    let t0 = Obs.now_ns () in
+    let t0 = Obs.now t.m.rm_reg in
     let p = plan_uninstrumented t meta in
-    Obs.Histogram.observe t.m.rm_plan_ns (Obs.now_ns () -. t0);
+    Obs.Histogram.observe t.m.rm_plan_ns (Obs.now t.m.rm_reg -. t0);
     p
   end
 
@@ -383,16 +421,16 @@ let run_pipeline t (entry : cache_entry) (meta : Meta.format_meta) (v : Value.t)
   outcome =
   let outcome =
     match entry.pipeline with
-    | Accept { format_name; via; transform; handler } ->
+    | Accept { format_name; via; transform; handler; _ } ->
       (* A transformation can still fail at run time on values its code never
          anticipated (hostile or corrupt input); that rejects the message
          rather than crashing the receiver.  Handler exceptions propagate:
          they are application bugs, not message faults. *)
-      let t0 = if t.m.rm_on then Obs.now_ns () else 0. in
+      let t0 = if t.m.rm_on then Obs.now t.m.rm_reg else 0. in
       (match transform v with
        | v' ->
          if t.m.rm_on then
-           Obs.Histogram.observe t.m.rm_morph_ns (Obs.now_ns () -. t0);
+           Obs.Histogram.observe t.m.rm_morph_ns (Obs.now t.m.rm_reg -. t0);
          entry.consecutive_failures <- 0;
          handler v';
          t.stats.delivered <- t.stats.delivered + 1;
@@ -433,16 +471,39 @@ let run_pipeline t (entry : cache_entry) (meta : Meta.format_meta) (v : Value.t)
   outcome
 
 let deliver t (meta : Meta.format_meta) (v : Value.t) : outcome =
-  match find_cached t meta with
-  | Some entry ->
-    t.stats.cache_hits <- t.stats.cache_hits + 1;
-    Obs.Counter.incr t.m.rm_cache_hits;
-    run_pipeline t entry meta v
-  | None ->
-    t.stats.cold_paths <- t.stats.cold_paths + 1;
-    Obs.Counter.incr t.m.rm_cache_misses;
-    let entry = cache_pipeline t meta (plan t meta) in
-    run_pipeline t entry meta v
+  let hit, entry =
+    match find_cached t meta with
+    | Some entry ->
+      t.stats.cache_hits <- t.stats.cache_hits + 1;
+      Obs.Counter.incr t.m.rm_cache_hits;
+      (true, entry)
+    | None ->
+      t.stats.cold_paths <- t.stats.cold_paths + 1;
+      Obs.Counter.incr t.m.rm_cache_misses;
+      (false, cache_pipeline t meta (plan t meta))
+  in
+  if not t.m.rm_on then run_pipeline t entry meta v
+  else begin
+    (* Trace-only span (no histogram, so the flat [span:*] metric names
+       stay unchanged) carrying the morph provenance of this message. *)
+    let cache = ("cache", if hit then "hit" else "miss") in
+    let attrs =
+      match entry.pipeline with
+      | Accept { provenance; _ } ->
+        let hops =
+          match List.assoc_opt "chain_hops" provenance with
+          | Some h -> h
+          | None -> "0"
+        in
+        let ecode =
+          if hops = "0" then "none" else if hit then "reuse" else "compile"
+        in
+        cache :: ("ecode", ecode) :: provenance
+      | Reject _ -> [ cache ]
+    in
+    Obs.Trace.with_span ~attrs t.m.rm_reg "morph.deliver" (fun () ->
+        run_pipeline t entry meta v)
+  end
 
 (* Decode a whole wire message (as produced by [Pbio.Wire.encode]) and
    deliver it.  [meta] must describe the message's wire format. *)

@@ -189,6 +189,9 @@ let handle_response t (v : Value.t) : unit =
 
 let handle_event t (v : Value.t) : unit =
   let channel = Value.to_string_exn (Value.get_field v "channel") in
+  (* tag the delivery span (opened around Receiver.deliver) with the
+     channel so traces can be filtered per channel *)
+  Obs.Trace.add_attr t.metrics "channel" channel;
   let payload = Value.to_string_exn (Value.get_field v "payload") in
   let origin = Value.get_field v "origin" in
   let origin_contact =

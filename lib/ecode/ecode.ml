@@ -24,6 +24,7 @@ type program = Ast.prog
 
 type metrics = {
   mon : bool;
+  mreg : Obs.t;
   compiles : Obs.Counter.h;
   compile_errors : Obs.Counter.h;
   compile_ns : Obs.Histogram.h;
@@ -33,6 +34,7 @@ type metrics = {
 let make_metrics reg =
   {
     mon = Obs.enabled reg;
+    mreg = reg;
     compiles = Obs.Counter.make reg "ecode.compiles";
     compile_errors = Obs.Counter.make reg "ecode.compile_errors";
     compile_ns = Obs.Histogram.make reg ~unit_:"ns" "ecode.compile_ns";
@@ -78,7 +80,7 @@ let typecheck ~(params : (string * Ptype.t) list) (prog : program) :
 let compile ~(params : (string * Ptype.t) list) (src : string) :
   (Value.t array -> unit, string) result =
   let m = !metrics in
-  let t0 = if m.mon then Obs.now_ns () else 0. in
+  let t0 = if m.mon then Obs.now m.mreg else 0. in
   let result =
     match parse src with
     | Error _ as e -> e
@@ -94,7 +96,7 @@ let compile ~(params : (string * Ptype.t) list) (src : string) :
     (match result with
      | Ok _ ->
        Obs.Counter.incr m.compiles;
-       Obs.Histogram.observe m.compile_ns (Obs.now_ns () -. t0)
+       Obs.Histogram.observe m.compile_ns (Obs.now m.mreg -. t0)
      | Error _ -> Obs.Counter.incr m.compile_errors)
   end;
   result

@@ -8,9 +8,17 @@
    backed by dummy cells, making each disabled record one load, one
    branch. *)
 
-let clock = ref (fun () -> Unix.gettimeofday () *. 1e9)
-let set_clock f = clock := f
-let now_ns () = !clock ()
+(* Clocks are per registry so independent registries (one per simulated
+   node, or one per test) cannot leak virtual time into each other.  The
+   process-wide override remains only as a deprecated escape hatch: when
+   set, it wins over every registry clock. *)
+let default_clock () = Unix.gettimeofday () *. 1e9
+let clock_override : (unit -> float) option ref = ref None
+let set_clock f = clock_override := Some f
+let clear_clock () = clock_override := None
+
+let now_ns () =
+  match !clock_override with Some f -> f () | None -> default_clock ()
 
 type counter_cell = { mutable n : int }
 type gauge_cell = { mutable g : float; mutable gset : bool }
@@ -31,16 +39,76 @@ type data =
 
 type entry = { ename : string; eunit : string option; data : data }
 
+(* A finished (or still-open) trace span instance.  [sp_parent] is 0 for a
+   root; [sp_attrs] is kept newest-first and reversed on export. *)
+type tr_span = {
+  sp_trace : int;
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_node : string;
+  sp_start : float;
+  mutable sp_end : float;
+  mutable sp_attrs : (string * string) list;
+}
+
 type t = {
   on : bool;
+  label : string;
+  mutable clock : unit -> float;
   tbl : (string, entry) Hashtbl.t;
   mutable rev_order : entry list;
   mutable spans : string list; (* innermost first *)
+  (* trace ring buffer: [tr_head] indexes the oldest stored span,
+     [tr_len] counts stored spans, writes go to (head + len) mod cap *)
+  mutable tr_cap : int;
+  mutable tr_buf : tr_span array;
+  mutable tr_head : int;
+  mutable tr_len : int;
+  mutable tr_dropped : int;
+  mutable tr_stack : tr_span list; (* open trace spans, innermost first *)
 }
 
-let create () = { on = true; tbl = Hashtbl.create 64; rev_order = []; spans = [] }
-let null = { on = false; tbl = Hashtbl.create 1; rev_order = []; spans = [] }
+let default_trace_capacity = 4096
+
+let create ?(label = "main") () =
+  {
+    on = true;
+    label;
+    clock = default_clock;
+    tbl = Hashtbl.create 64;
+    rev_order = [];
+    spans = [];
+    tr_cap = default_trace_capacity;
+    tr_buf = [||];
+    tr_head = 0;
+    tr_len = 0;
+    tr_dropped = 0;
+    tr_stack = [];
+  }
+
+let null =
+  {
+    on = false;
+    label = "null";
+    clock = default_clock;
+    tbl = Hashtbl.create 1;
+    rev_order = [];
+    spans = [];
+    tr_cap = 0;
+    tr_buf = [||];
+    tr_head = 0;
+    tr_len = 0;
+    tr_dropped = 0;
+    tr_stack = [];
+  }
+
 let enabled t = t.on
+let label t = t.label
+let set_registry_clock t f = if t.on then t.clock <- f
+
+let now t =
+  match !clock_override with Some f -> f () | None -> t.clock ()
 
 let default_latency_buckets = [ 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 ]
 let ratio_buckets = [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5; 0.75; 1.0 ]
@@ -88,7 +156,66 @@ let reset (t : t) =
          h.hmin <- infinity;
          h.hmax <- neg_infinity)
     t.rev_order;
-  t.spans <- []
+  t.spans <- [];
+  t.tr_buf <- [||];
+  t.tr_head <- 0;
+  t.tr_len <- 0;
+  t.tr_dropped <- 0;
+  t.tr_stack <- []
+
+(* Span and trace ids come from one process-wide counter so spans from
+   different registries (one per simulated node) can be merged without
+   collisions.  0 is reserved for "no parent". *)
+let id_counter = ref 0
+
+let next_id () =
+  incr id_counter;
+  !id_counter
+
+type trace_ctx = { trace_id : int; span_id : int }
+
+let tr_push t sp =
+  if t.tr_cap > 0 then begin
+    if Array.length t.tr_buf = 0 then t.tr_buf <- Array.make t.tr_cap sp;
+    if t.tr_len = t.tr_cap then begin
+      t.tr_buf.(t.tr_head) <- sp;
+      t.tr_head <- (t.tr_head + 1) mod t.tr_cap;
+      t.tr_dropped <- t.tr_dropped + 1
+    end
+    else begin
+      t.tr_buf.((t.tr_head + t.tr_len) mod t.tr_cap) <- sp;
+      t.tr_len <- t.tr_len + 1
+    end
+  end
+
+let open_trace_span ?ctx t name t0 =
+  let parent, trace =
+    match ctx with
+    | Some c -> (c.span_id, c.trace_id)
+    | None -> (
+      match t.tr_stack with
+      | sp :: _ -> (sp.sp_id, sp.sp_trace)
+      | [] -> (0, next_id ()))
+  in
+  let sp =
+    {
+      sp_trace = trace;
+      sp_id = next_id ();
+      sp_parent = parent;
+      sp_name = name;
+      sp_node = t.label;
+      sp_start = t0;
+      sp_end = t0;
+      sp_attrs = [];
+    }
+  in
+  t.tr_stack <- sp :: t.tr_stack;
+  sp
+
+let close_trace_span t sp t1 =
+  sp.sp_end <- t1;
+  (match t.tr_stack with [] -> () | _ :: rest -> t.tr_stack <- rest);
+  tr_push t sp
 
 module Counter = struct
   type h = { on : bool; cell : counter_cell }
@@ -225,10 +352,13 @@ let with_span (t : t) name f =
     t.spans <- name :: t.spans;
     let path = String.concat "/" (List.rev t.spans) in
     let h = Histogram.make t ~unit_:"ns" ("span:" ^ path) in
-    let t0 = now_ns () in
+    let t0 = now t in
+    let sp = open_trace_span t name t0 in
     Fun.protect
       ~finally:(fun () ->
-        Histogram.observe h (now_ns () -. t0);
+        let t1 = now t in
+        Histogram.observe h (t1 -. t0);
+        close_trace_span t sp t1;
         match t.spans with [] -> () | _ :: rest -> t.spans <- rest)
       f
   end
@@ -359,3 +489,335 @@ let emit t = function
   | Null -> ()
   | Text k -> k (render_table t)
   | Json k -> k (to_json_lines t)
+
+(* --- distributed tracing ----------------------------------------------- *)
+
+module Trace = struct
+  type ctx = trace_ctx = { trace_id : int; span_id : int }
+
+  type span = {
+    trace_id : int;
+    span_id : int;
+    parent_id : int option;
+    name : string;
+    node : string;
+    start_ns : float;
+    end_ns : float;
+    attrs : (string * string) list;
+  }
+
+  let set_capacity t n =
+    if t.on then begin
+      if n < 0 then invalid_arg "Obs.Trace.set_capacity: negative capacity";
+      t.tr_cap <- n;
+      t.tr_buf <- [||];
+      t.tr_head <- 0;
+      t.tr_len <- 0;
+      t.tr_dropped <- 0
+    end
+
+  let capacity t = t.tr_cap
+  let dropped t = t.tr_dropped
+
+  let clear t =
+    t.tr_buf <- [||];
+    t.tr_head <- 0;
+    t.tr_len <- 0;
+    t.tr_dropped <- 0;
+    t.tr_stack <- []
+
+  let current t =
+    match t.tr_stack with
+    | sp :: _ -> Some { trace_id = sp.sp_trace; span_id = sp.sp_id }
+    | [] -> None
+
+  let add_attr t k v =
+    match t.tr_stack with
+    | sp :: _ -> sp.sp_attrs <- (k, v) :: sp.sp_attrs
+    | [] -> ()
+
+  let export sp =
+    {
+      trace_id = sp.sp_trace;
+      span_id = sp.sp_id;
+      parent_id = (if sp.sp_parent = 0 then None else Some sp.sp_parent);
+      name = sp.sp_name;
+      node = sp.sp_node;
+      start_ns = sp.sp_start;
+      end_ns = sp.sp_end;
+      attrs = List.rev sp.sp_attrs;
+    }
+
+  let spans t =
+    List.init t.tr_len (fun i -> export t.tr_buf.((t.tr_head + i) mod t.tr_cap))
+
+  let with_span ?ctx ?(attrs = []) t name f =
+    if not t.on then f ()
+    else begin
+      let t0 = now t in
+      let sp = open_trace_span ?ctx t name t0 in
+      sp.sp_attrs <- List.rev attrs;
+      Fun.protect ~finally:(fun () -> close_trace_span t sp (now t)) f
+    end
+
+  let record ?ctx ?(attrs = []) t name ~start_ns ~end_ns =
+    if t.on then begin
+      let parent, trace =
+        match ctx with
+        | Some (c : ctx) -> (c.span_id, c.trace_id)
+        | None -> (
+          match t.tr_stack with
+          | sp :: _ -> (sp.sp_id, sp.sp_trace)
+          | [] -> (0, next_id ()))
+      in
+      tr_push t
+        {
+          sp_trace = trace;
+          sp_id = next_id ();
+          sp_parent = parent;
+          sp_name = name;
+          sp_node = t.label;
+          sp_start = start_ns;
+          sp_end = end_ns;
+          sp_attrs = List.rev attrs;
+        }
+    end
+
+  (* --- assembly -------------------------------------------------------- *)
+
+  type tree = { span : span; children : tree list }
+
+  type trace = {
+    id : int;
+    roots : tree list;
+    orphans : span list;
+    duplicates : int;
+    span_count : int;
+  }
+
+  let by_start a b = compare a.start_ns b.start_ns
+
+  (* Merge span dumps from any number of registries into per-trace trees.
+     Assembly is deliberately forgiving: duplicate span ids (frame
+     duplication) are counted and dropped, spans whose parent is missing
+     (ring overflow, lost frame) become roots and are reported as
+     orphans, and parent cycles are broken rather than looping. *)
+  let assemble (all : span list) : trace list =
+    let seen = Hashtbl.create 64 in
+    let dup_counts = Hashtbl.create 8 in
+    let uniq =
+      List.filter
+        (fun s ->
+           if Hashtbl.mem seen s.span_id then begin
+             Hashtbl.replace dup_counts s.trace_id
+               (1
+                +
+                match Hashtbl.find_opt dup_counts s.trace_id with
+                | Some n -> n
+                | None -> 0);
+             false
+           end
+           else begin
+             Hashtbl.add seen s.span_id ();
+             true
+           end)
+        all
+    in
+    let groups = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+         let l =
+           match Hashtbl.find_opt groups s.trace_id with
+           | Some l -> l
+           | None -> []
+         in
+         Hashtbl.replace groups s.trace_id (s :: l))
+      uniq;
+    let traces =
+      Hashtbl.fold
+        (fun id rev_members acc ->
+           let members = List.rev rev_members in
+           let by_id = Hashtbl.create 16 in
+           List.iter (fun s -> Hashtbl.replace by_id s.span_id s) members;
+           let child_tbl = Hashtbl.create 16 in
+           let roots = ref [] in
+           let orphans = ref [] in
+           List.iter
+             (fun s ->
+                match s.parent_id with
+                | None -> roots := s :: !roots
+                | Some p when Hashtbl.mem by_id p ->
+                  let l =
+                    match Hashtbl.find_opt child_tbl p with
+                    | Some l -> l
+                    | None -> []
+                  in
+                  Hashtbl.replace child_tbl p (s :: l)
+                | Some _ ->
+                  orphans := s :: !orphans;
+                  roots := s :: !roots)
+             members;
+           let visited = Hashtbl.create 16 in
+           let rec build s =
+             Hashtbl.replace visited s.span_id ();
+             let kids =
+               match Hashtbl.find_opt child_tbl s.span_id with
+               | Some l -> l
+               | None -> []
+             in
+             let kids =
+               List.filter (fun k -> not (Hashtbl.mem visited k.span_id)) kids
+             in
+             List.iter (fun k -> Hashtbl.replace visited k.span_id ()) kids;
+             let kids = List.sort by_start kids in
+             { span = s; children = List.map build kids }
+           in
+           let root_spans = List.sort by_start (List.rev !roots) in
+           let trees = List.map build root_spans in
+           (* anything unreachable from a root sits on a parent cycle:
+              promote it to an orphan root so it still shows up *)
+           let extra =
+             List.filter (fun s -> not (Hashtbl.mem visited s.span_id)) members
+           in
+           let extra_trees =
+             List.filter_map
+               (fun s ->
+                  if Hashtbl.mem visited s.span_id then None
+                  else begin
+                    orphans := s :: !orphans;
+                    Some (build s)
+                  end)
+               (List.sort by_start extra)
+           in
+           {
+             id;
+             roots = trees @ extra_trees;
+             orphans = List.rev !orphans;
+             duplicates =
+               (match Hashtbl.find_opt dup_counts id with
+                | Some n -> n
+                | None -> 0);
+             span_count = List.length members;
+           }
+           :: acc)
+        groups []
+    in
+    let start_of tr =
+      List.fold_left (fun m node -> min m node.span.start_ns) infinity tr.roots
+    in
+    List.sort (fun a b -> compare (start_of a) (start_of b)) traces
+
+  let rec tree_spans node = node.span :: List.concat_map tree_spans node.children
+  let trace_spans tr = List.concat_map tree_spans tr.roots
+
+  (* --- exporters ------------------------------------------------------- *)
+
+  (* Chrome trace-event JSON (the "JSON Array Format" with metadata),
+     loadable in Perfetto / chrome://tracing.  Each node label becomes a
+     process (pid) named via a "process_name" metadata event; each trace
+     becomes one tid row so concurrent traces don't overlap. *)
+  let to_chrome_json (traces : trace list) : string =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    let first = ref true in
+    let add_obj s =
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf s
+    in
+    let pids = Hashtbl.create 8 in
+    let next_pid = ref 0 in
+    let pid_of node =
+      match Hashtbl.find_opt pids node with
+      | Some p -> p
+      | None ->
+        incr next_pid;
+        Hashtbl.add pids node !next_pid;
+        add_obj
+          (Printf.sprintf
+             "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
+             !next_pid (json_escape node));
+        !next_pid
+    in
+    let emit_span tid (s : span) =
+      let pid = pid_of s.node in
+      let dur_us = Float.max 0. (s.end_ns -. s.start_ns) /. 1e3 in
+      let args =
+        List.map
+          (fun (k, v) ->
+             Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+          s.attrs
+        @ [
+            Printf.sprintf "\"trace_id\":%d" s.trace_id;
+            Printf.sprintf "\"span_id\":%d" s.span_id;
+          ]
+        @ (match s.parent_id with
+           | None -> []
+           | Some p -> [ Printf.sprintf "\"parent_id\":%d" p ])
+      in
+      add_obj
+        (Printf.sprintf
+           "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"cat\":\"morph\",\"ts\":%s,\"dur\":%s,\"args\":{%s}}"
+           pid tid (json_escape s.name)
+           (json_float (s.start_ns /. 1e3))
+           (json_float dur_us)
+           (String.concat "," args))
+    in
+    let rec walk tid node =
+      emit_span tid node.span;
+      List.iter (walk tid) node.children
+    in
+    List.iteri (fun i tr -> List.iter (walk (i + 1)) tr.roots) traces;
+    Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+    Buffer.contents buf
+
+  let to_waterfall (traces : trace list) : string =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun tr ->
+         let spans = trace_spans tr in
+         let t0 =
+           List.fold_left (fun m s -> min m s.start_ns) infinity spans
+         in
+         let t1 =
+           List.fold_left (fun m s -> max m s.end_ns) neg_infinity spans
+         in
+         let extras =
+           (if tr.orphans = [] then []
+            else [ Printf.sprintf "%d orphaned" (List.length tr.orphans) ])
+           @
+           if tr.duplicates = 0 then []
+           else [ Printf.sprintf "%d duplicate" tr.duplicates ]
+         in
+         let extras =
+           if extras = [] then ""
+           else " (" ^ String.concat ", " extras ^ ")"
+         in
+         Buffer.add_string buf
+           (Printf.sprintf "trace %d: %d spans, %.3f ms%s\n" tr.id
+              tr.span_count
+              ((t1 -. t0) /. 1e6)
+              extras);
+         Buffer.add_string buf
+           (Printf.sprintf "  %10s %10s  %s\n" "start ms" "end ms" "span");
+         let rec walk depth node =
+           let s = node.span in
+           let attrs =
+             match s.attrs with
+             | [] -> ""
+             | l ->
+               " ["
+               ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+               ^ "]"
+           in
+           Buffer.add_string buf
+             (Printf.sprintf "  %10.3f %10.3f  %s%s:%s%s\n"
+                ((s.start_ns -. t0) /. 1e6)
+                ((s.end_ns -. t0) /. 1e6)
+                (String.make (2 * depth) ' ')
+                s.node s.name attrs);
+           List.iter (walk (depth + 1)) node.children
+         in
+         List.iter (walk 0) tr.roots)
+      traces;
+    Buffer.contents buf
+end

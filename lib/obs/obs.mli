@@ -21,8 +21,10 @@ type t
 (** A metric registry.  Registries are independent; components accept
     one at construction time and default to {!null}. *)
 
-val create : unit -> t
-(** A fresh, enabled registry. *)
+val create : ?label:string -> unit -> t
+(** A fresh, enabled registry.  [label] (default ["main"]) names the
+    node this registry instruments; it becomes the [node] field of every
+    trace span recorded here and the process name in Perfetto. *)
 
 val null : t
 (** The shared disabled registry.  Handles minted from it are inert:
@@ -30,17 +32,40 @@ val null : t
 
 val enabled : t -> bool
 
+val label : t -> string
+(** The node label given at {!create} time (["null"] for {!null}). *)
+
 val reset : t -> unit
-(** Zero every metric in [t] without forgetting registrations. *)
+(** Zero every metric in [t] without forgetting registrations, and
+    discard all recorded trace spans. *)
+
+val set_registry_clock : t -> (unit -> float) -> unit
+(** Replace [t]'s clock.  The clock returns nanoseconds as a float; it
+    only needs to be monotonic between the start and end of a span.  The
+    default derives from [Unix.gettimeofday].  Each registry has its own
+    clock so one simulated node (or one test) cannot leak virtual time
+    into another.  No-op on {!null}. *)
+
+val now : t -> float
+(** Read [t]'s clock (nanoseconds).  A process-wide {!set_clock}
+    override, when installed, wins over the registry clock. *)
 
 val set_clock : (unit -> float) -> unit
-(** Replace the global span clock.  The clock returns nanoseconds as a
-    float; it only needs to be monotonic between the start and end of a
-    span.  The default derives from [Unix.gettimeofday].  Intended for
-    tests and for callers that have a better monotonic source. *)
+  [@@deprecated "use Obs.set_registry_clock: the global clock override \
+                 leaks virtual time across registries"]
+(** Install a process-wide clock override that shadows {e every}
+    registry's clock.  Deprecated: use {!set_registry_clock}. *)
+
+val clear_clock : unit -> unit
+  [@@deprecated "use Obs.set_registry_clock: the global clock override \
+                 leaks virtual time across registries"]
+(** Remove the {!set_clock} override, restoring per-registry clocks. *)
 
 val now_ns : unit -> float
-(** Read the current span clock. *)
+  [@@deprecated "use Obs.now: reads the global override or the default \
+                 wall clock, never a registry clock"]
+(** Read the global override (or default wall clock).  Deprecated: use
+    {!now}. *)
 
 module Counter : sig
   type h
@@ -105,8 +130,116 @@ val ratio_buckets : float list
 val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [with_span t name f] times [f ()] and records the duration in ns
     into the histogram ["span:" ^ path] where [path] joins the names of
-    all open spans with ["/"].  The duration is recorded (and the span
-    popped) even when [f] raises.  On {!null} this is just [f ()]. *)
+    all open spans with ["/"].  It {e also} records a trace span (see
+    {!Trace}) as a child of the innermost open trace span.  The
+    duration is recorded (and the span popped) even when [f] raises.
+    On {!null} this is just [f ()]. *)
+
+(** {1 Distributed tracing}
+
+    Alongside the flat span histograms, every enabled registry keeps a
+    bounded ring buffer of span {e instances}: trace id, span id, parent
+    id, start/end timestamps from the registry clock, and string
+    attributes.  Contexts propagate across the simulated wire via
+    [Transport.Framing.Traced]; {!Trace.assemble} merges the buffers of
+    many registries (one per simulated node) back into trees. *)
+
+module Trace : sig
+  type ctx = { trace_id : int; span_id : int }
+  (** The propagated part of a span: enough to parent a remote child. *)
+
+  type span = {
+    trace_id : int;
+    span_id : int;
+    parent_id : int option;  (** [None] for a trace root *)
+    name : string;
+    node : string;  (** {!label} of the recording registry *)
+    start_ns : float;
+    end_ns : float;
+    attrs : (string * string) list;  (** in the order they were added *)
+  }
+
+  val current : t -> ctx option
+  (** Context of the innermost open trace span, to be carried across a
+      process boundary.  [None] when no span is open (or on {!null}). *)
+
+  val with_span :
+    ?ctx:ctx -> ?attrs:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
+  (** Trace-only variant of {!Obs.with_span}: records a span instance
+      but no histogram (so it never perturbs existing [span:*] metric
+      names).  [ctx] explicitly parents the span — use it when
+      continuing a context received from the wire; otherwise the
+      innermost open span is the parent, and a fresh trace id is minted
+      at top level.  On {!null} this is just [f ()]. *)
+
+  val record :
+    ?ctx:ctx ->
+    ?attrs:(string * string) list ->
+    t ->
+    string ->
+    start_ns:float ->
+    end_ns:float ->
+    unit
+  (** Record an already-timed span (e.g. a network hop whose arrival
+      time the simulator computed) without opening it on the stack. *)
+
+  val add_attr : t -> string -> string -> unit
+  (** Attach [key = value] to the innermost open span.  No-op when no
+      span is open or on {!null}. *)
+
+  val spans : t -> span list
+  (** Buffered spans, oldest first. *)
+
+  val set_capacity : t -> int -> unit
+  (** Resize the ring buffer, discarding buffered spans.  Default
+      capacity is 4096 spans; 0 disables buffering.  No-op on {!null}. *)
+
+  val capacity : t -> int
+
+  val dropped : t -> int
+  (** Spans overwritten since the last {!clear}/[reset]. *)
+
+  val clear : t -> unit
+  (** Drop all buffered spans and abandon open ones. *)
+
+  (** {2 Assembly} *)
+
+  type tree = { span : span; children : tree list }
+  (** Children are sorted by [start_ns]. *)
+
+  type trace = {
+    id : int;  (** the shared [trace_id] *)
+    roots : tree list;
+        (** true roots first, then orphaned subtrees, by start time *)
+    orphans : span list;
+        (** spans whose parent never surfaced (lost frame, ring
+            overflow) or that sat on a parent cycle; they still appear
+            under [roots] *)
+    duplicates : int;  (** spans dropped for reusing a span id *)
+    span_count : int;
+  }
+
+  val assemble : span list -> trace list
+  (** Merge span dumps from any number of registries into per-trace
+      trees, sorted by start time.  Never raises on malformed input:
+      duplicates are counted and dropped, orphans are kept and flagged,
+      cycles are broken. *)
+
+  val trace_spans : trace -> span list
+  (** All spans of an assembled trace, preorder. *)
+
+  (** {2 Exporters} *)
+
+  val to_chrome_json : trace list -> string
+  (** Chrome trace-event JSON ("JSON Object Format"), loadable in
+      Perfetto ({:https://ui.perfetto.dev}) or [chrome://tracing].  Node
+      labels become processes; each trace gets its own [tid] row;
+      attributes and ids land in each event's ["args"]. *)
+
+  val to_waterfall : trace list -> string
+  (** Plain-text waterfall: one indented line per span with start/end
+      milliseconds relative to the trace start. *)
+end
 
 (** {1 Sinks} *)
 

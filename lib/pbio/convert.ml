@@ -139,6 +139,7 @@ and compile_record (src : Ptype.record) (dst : Ptype.record) : conv =
 
 type metrics = {
   mon : bool;
+  mreg : Obs.t;
   compiles : Obs.Counter.h;
   compile_ns : Obs.Histogram.h;
 }
@@ -146,6 +147,7 @@ type metrics = {
 let make_metrics reg =
   {
     mon = Obs.enabled reg;
+    mreg = reg;
     compiles = Obs.Counter.make reg "convert.compiles";
     compile_ns = Obs.Histogram.make reg ~unit_:"ns" "convert.compile_ns";
   }
@@ -155,11 +157,12 @@ let set_metrics reg = metrics := make_metrics reg
 
 let compile ~(from_ : Ptype.record) ~(into : Ptype.record) : conv =
   let m = !metrics in
-  let t0 = if m.mon then Obs.now_ns () else 0. in
+  let t0 = if m.mon then Obs.now m.mreg else 0. in
   let body = compile_record from_ into in
   if m.mon then begin
     Obs.Counter.incr m.compiles;
-    Obs.Histogram.observe m.compile_ns (Obs.now_ns () -. t0)
+    Obs.Histogram.observe m.compile_ns (Obs.now m.mreg -. t0);
+    Obs.Trace.add_attr m.mreg "convert" "compiled"
   end;
   fun v ->
     let out = body v in

@@ -289,6 +289,7 @@ let decode_core (r : Ptype.record) (data : string) : Value.t =
 
 type metrics = {
   mon : bool;
+  mreg : Obs.t;
   encodes : Obs.Counter.h;
   decodes : Obs.Counter.h;
   decode_errors : Obs.Counter.h;
@@ -301,6 +302,7 @@ type metrics = {
 let make_metrics reg =
   {
     mon = Obs.enabled reg;
+    mreg = reg;
     encodes = Obs.Counter.make reg "wire.encodes";
     decodes = Obs.Counter.make reg "wire.decodes";
     decode_errors = Obs.Counter.make reg "wire.decode_errors";
@@ -317,11 +319,11 @@ let encode ?endian ~format_id (r : Ptype.record) (v : Value.t) : string =
   let m = !metrics in
   if not m.mon then encode_core ?endian ~format_id r v
   else begin
-    let t0 = Obs.now_ns () in
+    let t0 = Obs.now m.mreg in
     let s = encode_core ?endian ~format_id r v in
     Obs.Counter.incr m.encodes;
     Obs.Counter.add m.bytes_out (String.length s);
-    Obs.Histogram.observe m.encode_ns (Obs.now_ns () -. t0);
+    Obs.Histogram.observe m.encode_ns (Obs.now m.mreg -. t0);
     s
   end
 
@@ -338,12 +340,12 @@ let decode_exn (r : Ptype.record) (data : string) : Value.t =
   let m = !metrics in
   if not m.mon then decode_core r data
   else begin
-    let t0 = Obs.now_ns () in
+    let t0 = Obs.now m.mreg in
     match decode_core r data with
     | v ->
       Obs.Counter.incr m.decodes;
       Obs.Counter.add m.bytes_in (String.length data);
-      Obs.Histogram.observe m.decode_ns (Obs.now_ns () -. t0);
+      Obs.Histogram.observe m.decode_ns (Obs.now m.mreg -. t0);
       v
     | exception e ->
       Obs.Counter.incr m.decode_errors;

@@ -63,9 +63,13 @@ type stats = {
   mutable peer_failures : int;
 }
 
-(* An unacknowledged reliable frame awaiting its ack; keyed by (dst, seq). *)
+(* An unacknowledged reliable frame awaiting its ack; keyed by (dst, seq).
+   [p_bytes] is the frame's full encoding — including any Traced envelope —
+   so a retransmission replays the original trace context byte for byte;
+   [p_ctx] parents the retransmission's hop span under the original send. *)
 type pending = {
   p_bytes : string;
+  p_ctx : Obs.Trace.ctx option;
   mutable p_attempts : int;
 }
 
@@ -80,6 +84,9 @@ type seen = {
 type park = {
   q : (Contact.t * string) Queue.t;
   mutable requested : bool; (* a Meta_request retry loop is running *)
+  pk_ctx : Obs.Trace.ctx option;
+  (* trace context of the first parked message: meta re-request hops and
+     their retries stay linked to the trace that triggered them *)
 }
 
 (* Handles into an optional Obs registry, mirroring [stats]; the parked
@@ -119,6 +126,8 @@ let make_metrics reg =
 type endpoint = {
   net : Netsim.t;
   m : metrics;
+  obs : Obs.t;
+  traced : bool; (* [Obs.enabled obs], hoisted out of the hot path *)
   contact : Contact.t;
   registry : Registry.t; (* local (writer-side) formats *)
   peer_formats : (peer_key, Meta.format_meta) Hashtbl.t;
@@ -149,6 +158,31 @@ let set_on_peer_failure ep f = ep.on_peer_failure <- Some f
 
 let raw_send ep ~dst (bytes : string) : unit =
   Netsim.send ep.net ~src:ep.contact ~dst bytes
+
+(* Send and record a "net.hop" trace span covering the frame's simulated
+   flight time (sender-side: the Traced envelope carries no timestamps,
+   so the hop is timed from the scheduled arrival the simulator reports).
+   A frame dropped at send time still records a zero-length hop span
+   marked dropped=true, so traces show where a message died. *)
+let hop_send ?ctx ?(attrs = []) ep ~dst (bytes : string) : unit =
+  if not ep.traced then raw_send ep ~dst bytes
+  else begin
+    let start_ns = Obs.now ep.obs in
+    let sim0 = Netsim.now ep.net in
+    let base =
+      ("dst", Fmt.str "%a" Contact.pp dst)
+      :: ("bytes", string_of_int (String.length bytes))
+      :: attrs
+    in
+    match Netsim.send_arrival ep.net ~src:ep.contact ~dst bytes with
+    | Some arrival ->
+      Obs.Trace.record ?ctx ~attrs:base ep.obs "net.hop" ~start_ns
+        ~end_ns:(start_ns +. ((arrival -. sim0) *. 1e9))
+    | None ->
+      Obs.Trace.record ?ctx
+        ~attrs:(("dropped", "true") :: base)
+        ep.obs "net.hop" ~start_ns ~end_ns:start_ns
+  end
 
 let peer_failed ep (dst : Contact.t) : unit =
   if not (Hashtbl.mem ep.failed_peers dst) then begin
@@ -181,15 +215,27 @@ let rec schedule_retransmit ep ~dst ~seq ~delay : unit =
           p.p_attempts <- p.p_attempts + 1;
           ep.stats.retransmits <- ep.stats.retransmits + 1;
           Obs.Counter.incr ep.m.m_retransmits;
-          raw_send ep ~dst p.p_bytes;
+          hop_send ?ctx:p.p_ctx
+            ~attrs:[ ("retransmit", string_of_int (p.p_attempts - 1)) ]
+            ep ~dst p.p_bytes;
           schedule_retransmit ep ~dst ~seq
             ~delay:(Float.min (delay *. ep.retransmit.multiplier) ep.retransmit.max_s)
         end)
 
-(* Transmit a protocol frame, under the reliability envelope when this
-   endpoint runs reliable. *)
+(* Transmit a protocol frame, wrapped in the ambient trace context (when
+   a span is open on this endpoint's registry) and under the reliability
+   envelope when this endpoint runs reliable.  Reliable composes around
+   Traced, so the stored retransmission bytes replay the original trace
+   context. *)
 let send_frame ep ~dst (f : Framing.frame) : unit =
-  if not ep.reliable then raw_send ep ~dst (Framing.encode f)
+  let ctx = if ep.traced then Obs.Trace.current ep.obs else None in
+  let f =
+    match ctx with
+    | Some (c : Obs.Trace.ctx) ->
+      Framing.Traced { trace_id = c.trace_id; parent_span = c.span_id; frame = f }
+    | None -> f
+  in
+  if not ep.reliable then hop_send ?ctx ep ~dst (Framing.encode f)
   else begin
     (* a fresh send to a failed peer gives it another chance *)
     Hashtbl.remove ep.failed_peers dst;
@@ -204,8 +250,9 @@ let send_frame ep ~dst (f : Framing.frame) : unit =
     let seq = !ctr in
     incr ctr;
     let bytes = Framing.encode (Framing.Reliable { seq; frame = f }) in
-    Hashtbl.replace ep.unacked (dst, seq) { p_bytes = bytes; p_attempts = 1 };
-    raw_send ep ~dst bytes;
+    Hashtbl.replace ep.unacked (dst, seq)
+      { p_bytes = bytes; p_ctx = ctx; p_attempts = 1 };
+    hop_send ?ctx ep ~dst bytes;
     schedule_retransmit ep ~dst ~seq ~delay:ep.retransmit.initial_s
   end
 
@@ -242,13 +289,26 @@ let parked_messages ep =
 let note_parked_depth ep =
   Obs.Gauge.set ep.m.m_parked_depth (float_of_int (parked_messages ep))
 
-let send_meta_request ep (key : peer_key) : unit =
+let send_meta_request ?ctx ep (key : peer_key) : unit =
   ep.stats.meta_requests <- ep.stats.meta_requests + 1;
   Obs.Counter.incr ep.m.m_meta_requests;
-  (* raw on purpose: the timer loop below is the retry mechanism, and it
-     also covers the reply being lost, which an acked request would not *)
-  raw_send ep ~dst:key.peer
-    (Framing.encode (Framing.Meta_request { format_id = key.id }))
+  let ctx =
+    match ctx with
+    | Some _ as c -> c
+    | None -> if ep.traced then Obs.Trace.current ep.obs else None
+  in
+  let f = Framing.Meta_request { format_id = key.id } in
+  let f =
+    match ctx with
+    | Some (c : Obs.Trace.ctx) ->
+      Framing.Traced { trace_id = c.trace_id; parent_span = c.span_id; frame = f }
+    | None -> f
+  in
+  (* unacknowledged on purpose: the timer loop below is the retry
+     mechanism, and it also covers the reply being lost, which an acked
+     request would not *)
+  hop_send ?ctx ~attrs:[ ("kind", "meta_request") ] ep ~dst:key.peer
+    (Framing.encode f)
 
 let rec schedule_meta_retry ep (key : peer_key) ~attempt ~delay : unit =
   Netsim.after ep.net delay (fun () ->
@@ -269,7 +329,7 @@ let rec schedule_meta_retry ep (key : peer_key) ~attempt ~delay : unit =
         else begin
           ep.stats.meta_retries <- ep.stats.meta_retries + 1;
           Obs.Counter.incr ep.m.m_meta_retries;
-          send_meta_request ep key;
+          send_meta_request ?ctx:p.pk_ctx ep key;
           schedule_meta_retry ep key ~attempt:(attempt + 1)
             ~delay:(Float.min (delay *. ep.meta_retry.multiplier) ep.meta_retry.max_s)
         end)
@@ -279,13 +339,19 @@ let park_message ep (key : peer_key) ~src (message : string) : unit =
     match Hashtbl.find_opt ep.parked key with
     | Some p -> p
     | None ->
-      let p = { q = Queue.create (); requested = false } in
+      let p =
+        {
+          q = Queue.create ();
+          requested = false;
+          pk_ctx = (if ep.traced then Obs.Trace.current ep.obs else None);
+        }
+      in
       Hashtbl.replace ep.parked key p;
       p
   in
   if not p.requested then begin
     p.requested <- true;
-    send_meta_request ep key;
+    send_meta_request ?ctx:p.pk_ctx ep key;
     schedule_meta_retry ep key ~attempt:1 ~delay:ep.meta_retry.initial_s
   end;
   if Queue.length p.q >= ep.parked_cap then begin
@@ -348,8 +414,18 @@ let rec handle_inner ep ~src (frame : Framing.frame) : unit =
     Obs.Counter.incr ep.m.m_acks;
     Hashtbl.remove ep.unacked (src, seq)
   | Framing.Reliable { seq; frame } ->
-    (* always acknowledge — the previous ack may itself have been lost *)
-    raw_send ep ~dst:src (Framing.encode (Framing.Ack { seq }));
+    (* always acknowledge — the previous ack may itself have been lost;
+       the ack hop joins the inner frame's trace when it carries one *)
+    let ctx =
+      if not ep.traced then None
+      else
+        match frame with
+        | Framing.Traced { trace_id; parent_span; _ } ->
+          Some { Obs.Trace.trace_id; span_id = parent_span }
+        | _ -> None
+    in
+    hop_send ?ctx ~attrs:[ ("kind", "ack") ] ep ~dst:src
+      (Framing.encode (Framing.Ack { seq }));
     if already_seen ep src seq then begin
       ep.stats.duplicates_suppressed <- ep.stats.duplicates_suppressed + 1;
       Obs.Counter.incr ep.m.m_dup_suppressed
@@ -358,6 +434,15 @@ let rec handle_inner ep ~src (frame : Framing.frame) : unit =
       mark_seen ep src seq;
       handle_inner ep ~src frame
     end
+  | Framing.Traced { trace_id; parent_span; frame } ->
+    (* continue the sender's trace: everything this delivery does —
+       decode, morph planning, conversion, application handling, even
+       replies sent from inside the handler — parents under the
+       sender's span *)
+    Obs.Trace.with_span
+      ~ctx:{ Obs.Trace.trace_id; span_id = parent_span }
+      ep.obs "conn.deliver"
+      (fun () -> handle_inner ep ~src frame)
 
 let handle_frame ep ~src (payload : string) : unit =
   match Framing.decode payload with
@@ -378,6 +463,8 @@ let create ?(endian = Wire.Little) ?(reliable = false)
     {
       net;
       m = make_metrics metrics;
+      obs = metrics;
+      traced = Obs.enabled metrics;
       contact;
       registry = Registry.create ();
       peer_formats = Hashtbl.create 16;
@@ -418,7 +505,8 @@ let set_handler ep f = ep.on_message <- f
 let register ep (meta : Meta.format_meta) : Registry.fmt =
   Registry.register ep.registry meta
 
-let send ep ~(dst : Contact.t) (meta : Meta.format_meta) (v : Value.t) : unit =
+let send_plain ep ~(dst : Contact.t) (meta : Meta.format_meta) (v : Value.t) :
+  unit =
   let f = register ep meta in
   let key = { peer = dst; id = f.Registry.id } in
   ep.stats.records_sent <- ep.stats.records_sent + 1;
@@ -429,9 +517,25 @@ let send ep ~(dst : Contact.t) (meta : Meta.format_meta) (v : Value.t) : unit =
       (Framing.Meta { format_id = f.Registry.id; meta = Meta.encode meta })
   end;
   let message =
-    Wire.encode ~endian:ep.endian ~format_id:f.Registry.id meta.Meta.body v
+    Obs.Trace.with_span ep.obs "wire.encode" (fun () ->
+        Wire.encode ~endian:ep.endian ~format_id:f.Registry.id meta.Meta.body v)
   in
   send_frame ep ~dst (Framing.Data { format_id = f.Registry.id; message })
+
+let send ep ~(dst : Contact.t) (meta : Meta.format_meta) (v : Value.t) : unit =
+  if not ep.traced then send_plain ep ~dst meta v
+  else
+    (* when called inside an open span (e.g. a handler continuing a
+       received context) this nests there and the whole send inherits
+       the caller's trace id; at top level it roots a fresh trace *)
+    Obs.Trace.with_span
+      ~attrs:
+        [
+          ("dst", Fmt.str "%a" Contact.pp dst);
+          ("format", meta.Meta.body.Ptype.rname);
+        ]
+      ep.obs "conn.send"
+      (fun () -> send_plain ep ~dst meta v)
 
 (* Simulate a receiver losing its soft state (format caches): subsequent
    unknown Data frames trigger the Meta_request recovery path. *)

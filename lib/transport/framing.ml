@@ -8,13 +8,20 @@
        recovery paths (e.g. a receiver restarted and lost its format cache);
      - Ack: acknowledge receipt of a sequence-numbered frame;
      - Reliable: a sequence-numbered envelope around a Meta/Data/Meta_request
-       frame, used by endpoints running the ack + retransmit protocol over a
-       lossy network.
+       frame (possibly Traced), used by endpoints running the ack +
+       retransmit protocol over a lossy network;
+     - Traced: a trace-context envelope around a Meta/Data/Meta_request
+       frame, carrying the sender's trace id and open span so the receiver
+       can continue the distributed trace (see Obs.Trace).
 
    Layout: 1-byte kind, 4-byte LE id field (format id, or sequence number
-   for Ack/Reliable), 4-byte LE body length, body.  A Reliable body is the
-   complete encoding of the inner frame; nesting Reliable or Ack inside a
-   Reliable frame is a protocol error. *)
+   for Ack/Reliable; 0 for Traced), 4-byte LE body length, body.  A
+   Reliable body is the complete encoding of the inner frame; a Traced
+   body is 8-byte LE trace id, 8-byte LE parent span id, then the complete
+   encoding of the inner frame.  Nesting Reliable or Ack inside either
+   envelope is a protocol error, as is Traced inside Traced; the one legal
+   composition is Reliable around Traced (reliability is a hop property,
+   tracing an end-to-end one). *)
 
 type frame =
   | Meta of { format_id : int; meta : string }
@@ -22,6 +29,7 @@ type frame =
   | Meta_request of { format_id : int }
   | Ack of { seq : int }
   | Reliable of { seq : int; frame : frame }
+  | Traced of { trace_id : int; parent_span : int; frame : frame }
 
 exception Frame_error of string
 
@@ -33,6 +41,9 @@ let kind_byte = function
   | Meta_request _ -> '\x03'
   | Ack _ -> '\x04'
   | Reliable _ -> '\x05'
+  | Traced _ -> '\x06'
+
+let add_int64_le buf n = Buffer.add_int64_le buf (Int64.of_int n)
 
 let rec encode (f : frame) : string =
   let id_field, body =
@@ -47,6 +58,22 @@ let rec encode (f : frame) : string =
          frame_error "cannot nest an %s frame inside a reliable envelope"
            (match frame with Ack _ -> "ack" | _ -> "reliable")
        | _ -> (seq, encode frame))
+    | Traced { trace_id; parent_span; frame } ->
+      (match frame with
+       | Ack _ | Reliable _ | Traced _ ->
+         frame_error "cannot nest a %s frame inside a traced envelope"
+           (match frame with
+            | Ack _ -> "ack"
+            | Reliable _ -> "reliable"
+            | _ -> "traced")
+       | _ ->
+         if trace_id < 0 || parent_span < 0 then
+           frame_error "negative trace context (%d, %d)" trace_id parent_span;
+         let b = Buffer.create 32 in
+         add_int64_le b trace_id;
+         add_int64_le b parent_span;
+         Buffer.add_string b (encode frame);
+         (0, Buffer.contents b))
   in
   let buf = Buffer.create (9 + String.length body) in
   Buffer.add_char buf (kind_byte f);
@@ -75,6 +102,15 @@ let rec decode_exn (s : string) : frame =
     (match decode_exn body with
      | Ack _ | Reliable _ -> frame_error "nested reliable envelope"
      | inner -> Reliable { seq = id_field; frame = inner })
+  | '\x06' ->
+    if len < 16 then frame_error "traced frame with a %d-byte body" len;
+    let trace_id = Int64.to_int (String.get_int64_le body 0) in
+    let parent_span = Int64.to_int (String.get_int64_le body 8) in
+    if trace_id < 0 || parent_span < 0 then
+      frame_error "negative trace context (%d, %d)" trace_id parent_span;
+    (match decode_exn (String.sub body 16 (len - 16)) with
+     | Ack _ | Reliable _ | Traced _ -> frame_error "nested traced envelope"
+     | inner -> Traced { trace_id; parent_span; frame = inner })
   | c -> frame_error "unknown frame kind %C" c
 
 (* Total variant for untrusted input. *)

@@ -1,7 +1,8 @@
 (** Frames carried by the simulated network: out-of-band format meta-data,
-    PBIO-encoded records, meta-data re-requests for recovery, and the
+    PBIO-encoded records, meta-data re-requests for recovery, the
     sequence-numbered envelope + acknowledgement used by reliable
-    endpoints. *)
+    endpoints, and the trace-context envelope used to propagate
+    {!Obs.Trace} contexts across the wire. *)
 
 type frame =
   | Meta of {
@@ -17,13 +18,25 @@ type frame =
   | Reliable of {
       seq : int;
       frame : frame;
-          (** the enveloped frame; never itself [Reliable] or [Ack] *)
+          (** the enveloped frame; never itself [Reliable] or [Ack], but
+              possibly [Traced] *)
     }
+  | Traced of {
+      trace_id : int;
+      parent_span : int;
+      frame : frame;
+          (** the enveloped frame; never itself an envelope or [Ack] *)
+    }
+      (** Carries the sender's {!Obs.Trace.ctx} so the receiver parents
+          its delivery spans under the sender's open span.  [Reliable]
+          composes {e around} [Traced], never inside it: reliability is a
+          per-hop concern, tracing an end-to-end one. *)
 
 exception Frame_error of string
 
 (** Raises {!Frame_error} when asked to nest [Reliable]/[Ack] inside a
-    reliable envelope. *)
+    reliable envelope, an envelope or [Ack] inside a traced envelope, or
+    encode a negative trace context. *)
 val encode : frame -> string
 
 (** Total on untrusted input: malformed frames are [Error (`Frame _)]. *)

@@ -227,7 +227,7 @@ let partitioned t ~src ~dst =
 let in_flight_count t link =
   Option.value ~default:0 (Hashtbl.find_opt t.in_flight link)
 
-let enqueue_frame t ~src ~dst ~(faults : faults) (payload : string) : unit =
+let enqueue_frame t ~src ~dst ~(faults : faults) (payload : string) : float =
   let jitter =
     if faults.jitter_s > 0.0 then Random.State.float t.rng faults.jitter_s else 0.0
   in
@@ -252,12 +252,16 @@ let enqueue_frame t ~src ~dst ~(faults : faults) (payload : string) : unit =
   in
   Hashtbl.replace t.in_flight (src, dst) (in_flight_count t (src, dst) + 1);
   trace t (Trace_sent { src; dst; bytes = String.length payload; arrival });
-  Pqueue.push t.queue arrival (Frame { dst; src; payload })
+  Pqueue.push t.queue arrival (Frame { dst; src; payload });
+  arrival
 
 (* Queue a message for delivery.  Unknown destinations, downed or
    partitioned links, injected losses and full link queues drop silently
-   (like UDP), each counted under its reason. *)
-let send t ~(src : Contact.t) ~(dst : Contact.t) (payload : string) : unit =
+   (like UDP), each counted under its reason.  Returns the scheduled
+   arrival time of the (first copy of the) frame, or [None] when it was
+   dropped — which is how the connection layer times its hop spans. *)
+let send_arrival t ~(src : Contact.t) ~(dst : Contact.t) (payload : string) :
+  float option =
   let drop reason =
     (match reason with
      | Unknown_destination ->
@@ -272,7 +276,8 @@ let send t ~(src : Contact.t) ~(dst : Contact.t) (payload : string) : unit =
      | Queue_overflow ->
        t.stats.drops_overflow <- t.stats.drops_overflow + 1;
        Obs.Counter.incr t.m.m_drops_overflow);
-    trace t (Trace_dropped { src; dst; reason })
+    trace t (Trace_dropped { src; dst; reason });
+    None
   in
   if not (Hashtbl.mem t.nodes dst) then drop Unknown_destination
   else if (not (link_up t ~src ~dst)) || partitioned t ~src ~dst then drop Link_down
@@ -284,7 +289,7 @@ let send t ~(src : Contact.t) ~(dst : Contact.t) (payload : string) : unit =
       match t.link_capacity with
       | Some cap when in_flight_count t (src, dst) >= cap -> drop Queue_overflow
       | _ ->
-        enqueue_frame t ~src ~dst ~faults payload;
+        let arrival = enqueue_frame t ~src ~dst ~faults payload in
         if faults.duplication > 0.0
            && Random.State.float t.rng 1.0 < faults.duplication
            && (match t.link_capacity with
@@ -294,9 +299,13 @@ let send t ~(src : Contact.t) ~(dst : Contact.t) (payload : string) : unit =
           t.stats.duplicated <- t.stats.duplicated + 1;
           Obs.Counter.incr t.m.m_duplicated;
           trace t (Trace_duplicated { src; dst });
-          enqueue_frame t ~src ~dst ~faults payload
-        end
+          ignore (enqueue_frame t ~src ~dst ~faults payload : float)
+        end;
+        Some arrival
   end
+
+let send t ~(src : Contact.t) ~(dst : Contact.t) (payload : string) : unit =
+  ignore (send_arrival t ~src ~dst payload : float option)
 
 (* Schedule [f] to run [delay] simulated seconds from now.  Timers share the
    event queue with frames, so [step]/[run]/[advance] drive them. *)

@@ -137,6 +137,13 @@ val add_partition :
     its {!drop_reason}. *)
 val send : t -> src:Contact.t -> dst:Contact.t -> string -> unit
 
+(** Like {!send}, but reports the scheduled arrival time of the (first
+    copy of the) frame in simulated seconds, or [None] when it was
+    dropped at send time.  The connection layer uses this to time
+    network-hop trace spans without peeking into the event queue. *)
+val send_arrival :
+  t -> src:Contact.t -> dst:Contact.t -> string -> float option
+
 (** Schedule a callback [delay] simulated seconds from now.  Timers share
     the event queue with frames, so {!step}, {!run} and {!advance} drive
     them. *)

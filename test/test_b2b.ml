@@ -132,6 +132,137 @@ let test_multi_peer_routing () =
          results)
     [ B2b.Broker.Xslt_at_broker; B2b.Broker.Morph_at_receiver ]
 
+(* --- distributed tracing ------------------------------------------------- *)
+
+let trace_spans (t : Obs.Trace.trace) = Obs.Trace.trace_spans t
+
+(* structural well-formedness of an assembled trace: unique span ids, every
+   span either a flagged orphan or parented within the trace, and the
+   preorder walk reaches every counted span (i.e. no cycle ate any) *)
+let check_well_formed (t : Obs.Trace.trace) =
+  let spans = trace_spans t in
+  Alcotest.(check int) "walk covers every span" t.Obs.Trace.span_count
+    (List.length spans);
+  let ids = List.map (fun s -> s.Obs.Trace.span_id) spans in
+  Alcotest.(check int) "span ids unique" (List.length ids)
+    (List.length (List.sort_uniq Int.compare ids));
+  let orphan_ids =
+    List.map (fun s -> s.Obs.Trace.span_id) t.Obs.Trace.orphans
+  in
+  List.iter
+    (fun s ->
+       Alcotest.(check int) "span belongs to the trace" t.Obs.Trace.id
+         s.Obs.Trace.trace_id;
+       match s.Obs.Trace.parent_id with
+       | None -> ()
+       | Some p ->
+         Alcotest.(check bool) "parent resolved or span flagged orphan" true
+           (List.mem p ids || List.mem s.Obs.Trace.span_id orphan_ids))
+    spans
+
+let test_traced_order_end_to_end () =
+  let { B2b.Scenario.result; traces } =
+    B2b.Scenario.run_traced ~orders:1 B2b.Broker.Morph_at_receiver
+  in
+  Alcotest.(check int) "status came back" 1 result.B2b.Scenario.statuses_received;
+  (* one order, one trace id linking every node *)
+  Alcotest.(check int) "a single trace" 1 (List.length traces);
+  let t = List.hd traces in
+  check_well_formed t;
+  Alcotest.(check int) "no duplicates" 0 t.Obs.Trace.duplicates;
+  Alcotest.(check (list Alcotest.reject)) "no orphans" [] t.Obs.Trace.orphans;
+  let spans = trace_spans t in
+  let nodes =
+    List.sort_uniq String.compare (List.map (fun s -> s.Obs.Trace.node) spans)
+  in
+  Alcotest.(check (list string)) "spans from every node"
+    [ "broker"; "retailer"; "supplier" ] nodes;
+  let named n = List.filter (fun s -> s.Obs.Trace.name = n) spans in
+  Alcotest.(check bool) "sender encode span" true (named "wire.encode" <> []);
+  Alcotest.(check bool) "network hops present" true
+    (List.length (named "net.hop") >= 2);
+  Alcotest.(check bool) "broker routed within the trace" true
+    (named "broker.route" <> []);
+  (* receiver morph spans carry the provenance attributes *)
+  (match named "morph.deliver" with
+   | [] -> Alcotest.fail "expected morph.deliver spans"
+   | morphs ->
+     List.iter
+       (fun s ->
+          List.iter
+            (fun key ->
+               match List.assoc_opt key s.Obs.Trace.attrs with
+               | Some _ -> ()
+               | None ->
+                 Alcotest.failf "morph.deliver span missing %S attribute" key)
+            [ "source"; "target"; "mismatch_ratio"; "cache"; "ecode" ])
+       morphs);
+  (* the root is the retailer's send *)
+  match t.Obs.Trace.roots with
+  | [ root ] ->
+    Alcotest.(check string) "root span" "conn.send"
+      root.Obs.Trace.span.Obs.Trace.name;
+    Alcotest.(check string) "rooted at the retailer" "retailer"
+      root.Obs.Trace.span.Obs.Trace.node
+  | l -> Alcotest.failf "expected 1 root, got %d" (List.length l)
+
+let test_traced_under_faults () =
+  let faults =
+    {
+      Transport.Netsim.loss = 0.15;
+      duplication = 0.1;
+      reorder = 0.15;
+      jitter_s = 0.0002;
+    }
+  in
+  let { B2b.Scenario.result; traces } =
+    B2b.Scenario.run_traced ~orders:5 ~reliable:true ~faults ~seed:11
+      B2b.Broker.Morph_at_receiver
+  in
+  (* the reliable layer recovers every order despite the faults *)
+  Alcotest.(check int) "all statuses back" 5
+    result.B2b.Scenario.statuses_received;
+  Alcotest.(check int) "one trace per order" 5 (List.length traces);
+  List.iter check_well_formed traces;
+  List.iter
+    (fun t -> Alcotest.(check int) "no duplicate span ids" 0 t.Obs.Trace.duplicates)
+    traces;
+  (* retransmitted frames reuse the original trace id: every hop tagged as a
+     retransmit sits inside the order's trace, parented to the span that
+     first sent the frame *)
+  let retransmits =
+    List.concat_map
+      (fun t ->
+         List.filter_map
+           (fun s ->
+              match List.assoc_opt "retransmit" s.Obs.Trace.attrs with
+              | Some _ -> Some (t, s)
+              | None -> None)
+           (trace_spans t))
+      traces
+  in
+  Alcotest.(check bool) "the fault profile forced retransmissions" true
+    (retransmits <> []);
+  List.iter
+    (fun ((t : Obs.Trace.trace), (s : Obs.Trace.span)) ->
+       Alcotest.(check string) "retransmit is a network hop" "net.hop"
+         s.Obs.Trace.name;
+       match s.Obs.Trace.parent_id with
+       | None -> Alcotest.fail "retransmit hop should be parented"
+       | Some p ->
+         let original =
+           List.filter
+             (fun o ->
+                o.Obs.Trace.span_id = p
+                || (o.Obs.Trace.parent_id = Some p
+                    && o.Obs.Trace.name = "net.hop"
+                    && o.Obs.Trace.span_id <> s.Obs.Trace.span_id))
+             (trace_spans t)
+         in
+         Alcotest.(check bool)
+           "original send lives in the same trace" true (original <> []))
+    retransmits
+
 let suite =
   [
     Alcotest.test_case "order transformation fields" `Quick test_order_xform_fields;
@@ -147,4 +278,8 @@ let suite =
       test_modes_agree_on_application_state;
     Alcotest.test_case "morphing mode moves fewer bytes" `Quick test_morph_mode_smaller_wire;
     Alcotest.test_case "multi-peer content routing" `Quick test_multi_peer_routing;
+    Alcotest.test_case "traced order links all nodes" `Quick
+      test_traced_order_end_to_end;
+    Alcotest.test_case "traces stay well-formed under faults" `Quick
+      test_traced_under_faults;
   ]

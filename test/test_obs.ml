@@ -52,31 +52,33 @@ let test_histogram_bucketing () =
        Alcotest.(check int) "overflow" 1 n3
      | l -> Alcotest.failf "expected 3 buckets, got %d" (List.length l))
 
+(* deterministic clock: each read advances 100 ns; per-registry, so no
+   restore dance is needed *)
+let tick_clock () =
+  let ticks = ref 0. in
+  fun () ->
+    ticks := !ticks +. 100.;
+    !ticks
+
 let test_span_nesting () =
   let t = Obs.create () in
-  (* deterministic clock: each read advances 100 ns *)
-  let ticks = ref 0. in
-  Obs.set_clock (fun () -> ticks := !ticks +. 100.; !ticks);
-  Fun.protect
-    ~finally:(fun () -> Obs.set_clock (fun () -> Unix.gettimeofday () *. 1e9))
-    (fun () ->
-       let got =
-         Obs.with_span t "outer" (fun () ->
-             Obs.with_span t "inner" (fun () -> 42))
-       in
-       Alcotest.(check int) "body result returned" 42 got;
-       Alcotest.(check int) "outer recorded" 1 (Obs.Histogram.count t "span:outer");
-       Alcotest.(check int) "nested path recorded" 1
-         (Obs.Histogram.count t "span:outer/inner");
-       (* inner: one clock delta (100); outer: inner + its own reads (300) *)
-       Alcotest.(check (float 0.)) "inner duration" 100.
-         (Obs.Histogram.sum t "span:outer/inner");
-       Alcotest.(check (float 0.)) "outer duration" 300.
-         (Obs.Histogram.sum t "span:outer");
-       (* the stack pops even when the thunk raises *)
-       (try Obs.with_span t "boom" (fun () -> failwith "x") with Failure _ -> ());
-       Alcotest.(check int) "raised span still recorded" 1
-         (Obs.Histogram.count t "span:boom"))
+  Obs.set_registry_clock t (tick_clock ());
+  let got =
+    Obs.with_span t "outer" (fun () -> Obs.with_span t "inner" (fun () -> 42))
+  in
+  Alcotest.(check int) "body result returned" 42 got;
+  Alcotest.(check int) "outer recorded" 1 (Obs.Histogram.count t "span:outer");
+  Alcotest.(check int) "nested path recorded" 1
+    (Obs.Histogram.count t "span:outer/inner");
+  (* inner: one clock delta (100); outer: inner + its own reads (300) *)
+  Alcotest.(check (float 0.)) "inner duration" 100.
+    (Obs.Histogram.sum t "span:outer/inner");
+  Alcotest.(check (float 0.)) "outer duration" 300.
+    (Obs.Histogram.sum t "span:outer");
+  (* the stack pops even when the thunk raises *)
+  (try Obs.with_span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "raised span still recorded" 1
+    (Obs.Histogram.count t "span:boom")
 
 let test_null_registry_inert () =
   let t = Obs.null in
@@ -156,6 +158,184 @@ let test_registration_order_preserved () =
   Alcotest.(check (list string)) "names in registration order" [ "a"; "b"; "c" ]
     (Obs.names t)
 
+(* --- distributed tracing ------------------------------------------------- *)
+
+(* the deprecated global clock override, accessed without tripping the
+   deprecation alert so we can test that it still wins *)
+module Deprecated_clock = struct
+  [@@@alert "-deprecated"]
+
+  let set = Obs.set_clock
+  let clear = Obs.clear_clock
+end
+
+let test_trace_span_recording () =
+  let t = Obs.create ~label:"n0" () in
+  Obs.set_registry_clock t (tick_clock ());
+  Alcotest.(check (option reject)) "no open span" None (Obs.Trace.current t);
+  Obs.Trace.with_span ~attrs:[ ("k", "v") ] t "outer" (fun () ->
+      Obs.Trace.add_attr t "extra" "1";
+      Obs.Trace.with_span t "inner" (fun () ->
+          match Obs.Trace.current t with
+          | None -> Alcotest.fail "expected an open span"
+          | Some ctx ->
+            Alcotest.(check bool) "ctx ids positive" true
+              (ctx.Obs.Trace.trace_id > 0 && ctx.Obs.Trace.span_id > 0)));
+  match Obs.Trace.spans t with
+  | [ inner; outer ] ->
+    (* closed innermost-first, so [inner] lands in the buffer first *)
+    Alcotest.(check string) "inner name" "inner" inner.Obs.Trace.name;
+    Alcotest.(check string) "outer name" "outer" outer.Obs.Trace.name;
+    Alcotest.(check string) "node label" "n0" outer.Obs.Trace.node;
+    Alcotest.(check int) "same trace" outer.Obs.Trace.trace_id
+      inner.Obs.Trace.trace_id;
+    Alcotest.(check (option int)) "outer is a root" None
+      outer.Obs.Trace.parent_id;
+    Alcotest.(check (option int)) "inner parented to outer"
+      (Some outer.Obs.Trace.span_id) inner.Obs.Trace.parent_id;
+    Alcotest.(check bool) "outer spans inner" true
+      (outer.Obs.Trace.start_ns < inner.Obs.Trace.start_ns
+       && inner.Obs.Trace.end_ns <= outer.Obs.Trace.end_ns);
+    Alcotest.(check (list (pair string string))) "attrs in order"
+      [ ("k", "v"); ("extra", "1") ]
+      outer.Obs.Trace.attrs
+  | l -> Alcotest.failf "expected 2 buffered spans, got %d" (List.length l)
+
+let test_trace_explicit_ctx_and_record () =
+  let t = Obs.create () in
+  Obs.set_registry_clock t (tick_clock ());
+  (* continuing a wire context parents the span without any open stack *)
+  let ctx = { Obs.Trace.trace_id = 77; span_id = 9 } in
+  Obs.Trace.with_span ~ctx t "deliver" (fun () -> ());
+  Obs.Trace.record ~ctx ~attrs:[ ("kind", "hop") ] t "hop" ~start_ns:5.
+    ~end_ns:6.;
+  (match Obs.Trace.spans t with
+   | [ d; h ] ->
+     Alcotest.(check int) "ctx trace id kept" 77 d.Obs.Trace.trace_id;
+     Alcotest.(check (option int)) "ctx span is the parent" (Some 9)
+       d.Obs.Trace.parent_id;
+     Alcotest.(check int) "record keeps trace id" 77 h.Obs.Trace.trace_id;
+     Alcotest.(check (float 0.)) "record keeps timestamps" 5.
+       h.Obs.Trace.start_ns
+   | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+  (* the ring overwrites oldest and counts drops *)
+  Obs.Trace.clear t;
+  Obs.Trace.set_capacity t 2;
+  for i = 1 to 5 do
+    Obs.Trace.with_span t (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "capacity held" 2 (List.length (Obs.Trace.spans t));
+  Alcotest.(check int) "drops counted" 3 (Obs.Trace.dropped t);
+  Alcotest.(check (list string)) "oldest overwritten" [ "s4"; "s5" ]
+    (List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.spans t))
+
+let test_trace_null_inert () =
+  let t = Obs.null in
+  Alcotest.(check int) "body still runs" 3
+    (Obs.Trace.with_span t "s" (fun () -> 3));
+  Obs.Trace.add_attr t "k" "v";
+  Obs.Trace.record t "r" ~start_ns:0. ~end_ns:1.;
+  Alcotest.(check (option reject)) "no current ctx" None (Obs.Trace.current t);
+  Alcotest.(check int) "nothing buffered" 0 (List.length (Obs.Trace.spans t))
+
+let test_trace_registry_clock () =
+  let a = Obs.create () in
+  let b = Obs.create () in
+  Obs.set_registry_clock a (fun () -> 10.);
+  Obs.set_registry_clock b (fun () -> 20.);
+  Alcotest.(check (float 0.)) "a's clock" 10. (Obs.now a);
+  Alcotest.(check (float 0.)) "b's clock" 20. (Obs.now b);
+  (* the deprecated process-wide override still wins over both *)
+  Deprecated_clock.set (fun () -> 99.);
+  Fun.protect
+    ~finally:(fun () -> Deprecated_clock.clear ())
+    (fun () ->
+       Alcotest.(check (float 0.)) "override wins on a" 99. (Obs.now a);
+       Alcotest.(check (float 0.)) "override wins on b" 99. (Obs.now b));
+  Alcotest.(check (float 0.)) "cleared override restores" 10. (Obs.now a)
+
+(* hand-craft a span (the record type is public precisely so merge logic
+   can be tested on malformed input) *)
+let mk ?(trace = 1) ?parent ~id ?(start = 0.) ?(stop = 1.) name node =
+  {
+    Obs.Trace.trace_id = trace;
+    span_id = id;
+    parent_id = parent;
+    name;
+    node;
+    start_ns = start;
+    end_ns = stop;
+    attrs = [];
+  }
+
+let rec tree_size (n : Obs.Trace.tree) =
+  1 + List.fold_left (fun acc c -> acc + tree_size c) 0 n.Obs.Trace.children
+
+let test_trace_assemble_malformed () =
+  let spans =
+    [
+      mk ~id:1 ~start:0. "root" "a";
+      mk ~id:2 ~parent:1 ~start:1. "child" "b";
+      mk ~id:2 ~parent:1 ~start:1. "child-dup" "b" (* duplicate span id *);
+      mk ~id:3 ~parent:42 ~start:2. "orphan" "c" (* parent never surfaced *);
+      mk ~id:4 ~parent:5 ~start:3. "cycle-a" "c" (* parent cycle 4 <-> 5 *);
+      mk ~id:5 ~parent:4 ~start:4. "cycle-b" "c";
+      mk ~trace:9 ~id:6 ~start:9. "other-root" "a" (* separate trace *);
+    ]
+  in
+  match Obs.Trace.assemble spans with
+  | [ t1; t9 ] ->
+    Alcotest.(check int) "first trace id" 1 t1.Obs.Trace.id;
+    Alcotest.(check int) "second trace id" 9 t9.Obs.Trace.id;
+    Alcotest.(check int) "duplicate dropped and counted" 1
+      t1.Obs.Trace.duplicates;
+    Alcotest.(check int) "five live spans" 5 t1.Obs.Trace.span_count;
+    Alcotest.(check int) "all spans reachable from roots" 5
+      (List.fold_left (fun acc r -> acc + tree_size r) 0 t1.Obs.Trace.roots);
+    let orphan_names =
+      List.sort String.compare
+        (List.map (fun s -> s.Obs.Trace.name) t1.Obs.Trace.orphans)
+    in
+    Alcotest.(check (list string)) "orphans flagged, cycles broken"
+      [ "cycle-a"; "orphan" ] orphan_names;
+    Alcotest.(check int) "preorder walk matches count" 5
+      (List.length (Obs.Trace.trace_spans t1));
+    Alcotest.(check int) "singleton trace intact" 1 t9.Obs.Trace.span_count
+  | l -> Alcotest.failf "expected 2 traces, got %d" (List.length l)
+
+let test_trace_chrome_json () =
+  let t = Obs.create ~label:"nodeA" () in
+  Obs.set_registry_clock t (tick_clock ());
+  Obs.Trace.with_span ~attrs:[ ("cache", "hit") ] t "outer" (fun () ->
+      Obs.Trace.with_span t "inner" (fun () -> ()));
+  let json = Obs.Trace.to_chrome_json (Obs.Trace.assemble (Obs.Trace.spans t)) in
+  let has s = Helpers.contains json s in
+  Alcotest.(check bool) "top-level traceEvents array" true
+    (has "{\"traceEvents\":[");
+  Alcotest.(check bool) "display unit" true
+    (has "\"displayTimeUnit\":\"ms\"");
+  Alcotest.(check bool) "process metadata event" true
+    (has "\"ph\":\"M\"" && has "\"name\":\"process_name\"");
+  Alcotest.(check bool) "node label becomes the process" true
+    (has "{\"name\":\"nodeA\"}");
+  Alcotest.(check bool) "complete events" true (has "\"ph\":\"X\"");
+  List.iter
+    (fun key -> Alcotest.(check bool) ("event has " ^ key) true (has key))
+    [ "\"ts\":"; "\"dur\":"; "\"pid\":"; "\"tid\":"; "\"args\":" ];
+  Alcotest.(check bool) "attrs exported in args" true
+    (has "\"cache\":\"hit\"");
+  Alcotest.(check bool) "ids exported in args" true
+    (has "\"trace_id\":" && has "\"span_id\":");
+  Alcotest.(check bool) "balanced object" true
+    (json.[0] = '{' && json.[String.length json - 1] = '}');
+  (* the waterfall names both spans and the node *)
+  let text = Obs.Trace.to_waterfall (Obs.Trace.assemble (Obs.Trace.spans t)) in
+  List.iter
+    (fun s ->
+       Alcotest.(check bool) ("waterfall mentions " ^ s) true
+         (Helpers.contains text s))
+    [ "outer"; "inner"; "nodeA"; "cache=hit" ]
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -169,4 +349,14 @@ let suite =
     Alcotest.test_case "json sink schema" `Quick test_json_sink_schema;
     Alcotest.test_case "registration order preserved" `Quick
       test_registration_order_preserved;
+    Alcotest.test_case "trace span recording" `Quick test_trace_span_recording;
+    Alcotest.test_case "trace explicit ctx, record, ring" `Quick
+      test_trace_explicit_ctx_and_record;
+    Alcotest.test_case "trace null registry inert" `Quick test_trace_null_inert;
+    Alcotest.test_case "per-registry clock and override" `Quick
+      test_trace_registry_clock;
+    Alcotest.test_case "assemble tolerates malformed input" `Quick
+      test_trace_assemble_malformed;
+    Alcotest.test_case "chrome json + waterfall export" `Quick
+      test_trace_chrome_json;
   ]

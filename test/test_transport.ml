@@ -188,7 +188,43 @@ let test_framing_garbage_kinds () =
        | Error e ->
          Alcotest.(check bool) "mentions the kind" true
            (Helpers.contains (Pbio.Err.to_string e) "kind"))
-    [ 0; 6; 9; 0x41; 255 ]
+    [ 0; 7; 9; 0x41; 255 ]
+
+let test_framing_traced () =
+  (* the traced envelope round-trips, composes under Reliable, and both
+     truncated and nested-envelope bodies are rejected *)
+  let inner = Framing.Data { format_id = 5; message = "payload" } in
+  let traced = Framing.Traced { trace_id = 123456789; parent_span = 42; frame = inner } in
+  let enc = Framing.encode traced in
+  Alcotest.(check bool) "roundtrip" true
+    (Helpers.check_ok_err (Framing.decode enc) = traced);
+  let rel = Framing.Reliable { seq = 7; frame = traced } in
+  Alcotest.(check bool) "reliable-around-traced roundtrips" true
+    (Helpers.check_ok_err (Framing.decode (Framing.encode rel)) = rel);
+  for n = 0 to String.length enc - 1 do
+    match Framing.decode (String.sub enc 0 n) with
+    | Ok _ -> Alcotest.failf "accepted a %d-byte prefix" n
+    | Error _ -> ()
+  done;
+  let expect_raise f =
+    try
+      ignore (Framing.encode f);
+      Alcotest.fail "expected Frame_error"
+    with Framing.Frame_error _ -> ()
+  in
+  (* tracing is end-to-end, reliability per-hop: Traced never nests an
+     envelope, and the context must be non-negative *)
+  expect_raise (Framing.Traced { trace_id = 1; parent_span = 0; frame = traced });
+  expect_raise (Framing.Traced { trace_id = 1; parent_span = 0; frame = rel });
+  expect_raise
+    (Framing.Traced { trace_id = 1; parent_span = 0; frame = Framing.Ack { seq = 1 } });
+  expect_raise (Framing.Traced { trace_id = -1; parent_span = 0; frame = inner });
+  expect_raise (Framing.Traced { trace_id = 1; parent_span = -2; frame = inner });
+  (* a traced frame whose body is too short for the context is an error *)
+  match Framing.decode ("\x06" ^ String.make 4 '\x00' ^ "\x08\x00\x00\x00" ^ String.make 8 '\x00') with
+  | Ok _ -> Alcotest.fail "accepted a context-truncated traced frame"
+  | Error (`Frame _) -> ()
+  | Error e -> Alcotest.failf "expected a `Frame error, got: %s" (Pbio.Err.to_string e)
 
 (* --- connection protocol ---------------------------------------------------------- *)
 
@@ -353,6 +389,7 @@ let suite =
     Alcotest.test_case "framing: truncated frames are errors" `Quick
       test_framing_decode_result;
     Alcotest.test_case "framing: garbage kind bytes" `Quick test_framing_garbage_kinds;
+    Alcotest.test_case "framing: traced envelope" `Quick test_framing_traced;
     Alcotest.test_case "conn: meta pushed once" `Quick test_conn_meta_sent_once;
     Alcotest.test_case "conn: meta carries transformations" `Quick
       test_conn_meta_carries_xforms;
