@@ -50,10 +50,17 @@ let recorded : (string * float) list ref = ref []
    Bechamel OLS fits (scheduler blips on a shared container otherwise leak
    into single estimates); slow ones repeat directly. *)
 let measure ~(name : string) (f : unit -> unit) : float =
+  (* each point starts from a compacted heap: megabyte-scale points would
+     otherwise hand ever-larger, fragmented heaps to whichever variant
+     happens to run later in the suite *)
+  Gc.compact ();
   f (); (* warm up: fill caches, trigger compilation paths *)
   let first = time_once f in
   let ns =
-    if first < 1e7 then
+    (* past ~1 ms a single run amortises GC well enough that best-of direct
+       repetition is both faster and far less noisy than an OLS fit whose
+       samples straddle major collections *)
+    if first < 1e6 then
       Float.min (measure_bechamel ~name f) (measure_bechamel ~name f)
     else measure_manual f first
   in

@@ -10,12 +10,18 @@
      abl2-cache       cold (MaxMatch + codegen) vs cached receiver path
      abl3-maxmatch    MaxMatch cost vs number of candidate formats
      abl4-b2b         broker-side XSLT vs receiver-side morphing (Figs 6/7)
+     codec            wire codec: per-field interpreter vs compiled plans
+                      vs the fused decode->morph path
 
    The workload is the paper's: a ChannelOpenResponse v2.0 message whose
    member list is sized so the unencoded struct is 100 B ... 1 MB.
 
-   Usage: dune exec bench/main.exe [-- --quick] [-- --only fig8,table1]
-          [-- --json FILE]   write every measurement as Obs line-JSON *)
+   Usage: dune exec bench/main.exe -- [SECTION]... [--quick]
+            [--only fig8,table1] [--json [FILE]] [--check-codec]
+   Bare SECTION tokens filter like --only entries; --json without a file
+   writes BENCH_morph.json; --check-codec exits non-zero unless the
+   compiled decode beats the interpreter (and fused beats staged) at the
+   10 KB point — the CI guard against the fast path silently regressing. *)
 
 open Pbio
 module WF = Echo.Wire_formats
@@ -379,6 +385,96 @@ let abl6 () =
   H.row "   morphing overhead on the full stack: %.0f%%\n"
     ((v1_ns -. v2_ns) /. v2_ns *. 100.)
 
+(* --- codec suite: interpreter vs compiled plans vs fused morph --------------------- *)
+
+(* Structural target for the fused path: v2.0 with the per-member
+   source/sink flags dropped — a shape the receiver resolves with a pure
+   conversion (no Ecode step), so wire delivery can fuse decode and morph. *)
+let response_v2_trim : Ptype.record =
+  Ptype.record "ChannelOpenResponse"
+    [
+      Ptype.field "channel" Ptype.string_;
+      Ptype.field "member_count" Ptype.int_;
+      Ptype.field "member_list" (Ptype.array_var "member_count" (Ptype.Record WF.member_v1));
+    ]
+
+(* requested size -> (interp decode, compiled decode, staged, fused), in ns;
+   read back by the --check-codec guard *)
+let codec_results : (int * (float * float * float * float)) list ref = ref []
+
+let codec sized_points =
+  H.section "codec"
+    "Codec plans: per-field interpreter vs compiled plans, and fused \
+     decode->morph vs staged (compiled decode, then compiled convert) \
+     against a trimmed v2.0 target";
+  let v2 = WF.channel_open_response_v2 in
+  let enc = Codec.compile_encode ~endian:Codec.Little v2 in
+  let dec = Codec.compile_decode ~endian:Codec.Little v2 in
+  let conv = Convert.compile ~from_:v2 ~into:response_v2_trim in
+  let mor = Codec.compile_morph ~endian:Codec.Little ~from_:v2 ~into:response_v2_trim in
+  H.row "   %-8s %11s %11s %6s %11s %11s %6s %11s %11s %6s\n" "size" "enc/int"
+    "enc/cmp" "x" "dec/int" "dec/cmp" "x" "staged" "fused" "x";
+  List.iter
+    (fun (requested, p) ->
+       let payload = Codec.Interp.encode_payload ~endian:Codec.Little v2 p.v2_value in
+       (* the paths must agree before we time them *)
+       assert (String.equal payload (Codec.encode_payload enc p.v2_value));
+       assert (
+         Value.equal
+           (conv (Codec.decode_payload dec payload))
+           (Codec.morph_payload mor payload));
+       let ei =
+         H.measure ~name:("codec/interp-encode/" ^ p.label) (fun () ->
+             ignore (Codec.Interp.encode_payload ~endian:Codec.Little v2 p.v2_value))
+       in
+       let ec =
+         H.measure ~name:("codec/compiled-encode/" ^ p.label) (fun () ->
+             ignore (Codec.encode_payload enc p.v2_value))
+       in
+       let di =
+         H.measure ~name:("codec/interp-decode/" ^ p.label) (fun () ->
+             ignore (Codec.Interp.decode_payload ~endian:Codec.Little v2 payload))
+       in
+       let dc =
+         H.measure ~name:("codec/compiled-decode/" ^ p.label) (fun () ->
+             ignore (Codec.decode_payload dec payload))
+       in
+       let st =
+         H.measure ~name:("codec/staged/" ^ p.label) (fun () ->
+             ignore (conv (Codec.decode_payload dec payload)))
+       in
+       let fu =
+         H.measure ~name:("codec/fused/" ^ p.label) (fun () ->
+             ignore (Codec.morph_payload mor payload))
+       in
+       codec_results := (requested, (di, dc, st, fu)) :: !codec_results;
+       H.row "   %-8s %11s %11s %5.1fx %11s %11s %5.1fx %11s %11s %5.1fx\n" p.label
+         (ns ei) (ns ec) (ei /. ec) (ns di) (ns dc) (di /. dc) (ns st) (ns fu)
+         (st /. fu))
+    sized_points
+
+(* The CI guard: the 10 KB point must show the compiled decoder measurably
+   ahead of the interpreter and the fused plan ahead of staged.  Thresholds
+   are deliberately looser than the typical speedup so only a real
+   fast-path regression (e.g. silently falling back to the interpreter)
+   trips them on noisy CI machines. *)
+let check_codec () : int =
+  match List.assoc_opt 10_000 !codec_results with
+  | None ->
+    prerr_endline "check-codec: no 10KB codec measurement (did filters skip 'codec'?)";
+    1
+  | Some (di, dc, st, fu) ->
+    let decode_ratio = di /. dc and fused_ratio = st /. fu in
+    Printf.printf
+      "check-codec @10KB: compiled decode %.2fx interpretive (need >= 1.25), \
+       fused %.2fx staged (need > 1.00)\n"
+      decode_ratio fused_ratio;
+    if decode_ratio >= 1.25 && fused_ratio > 1.0 then 0
+    else begin
+      prerr_endline "check-codec: FAILED — compiled/fused fast path regressed";
+      1
+    end
+
 (* --- driver ------------------------------------------------------------------------ *)
 
 let contains (hay : string) (needle : string) : bool =
@@ -386,32 +482,50 @@ let contains (hay : string) (needle : string) : bool =
   let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
   n = 0 || go 0
 
+type opts = {
+  quick : bool;
+  filters : string list; (* from --only and bare positional tokens *)
+  json : string option;
+  check : bool;
+}
+
+let parse_args () : opts =
+  let is_flag s = String.length s > 1 && s.[0] = '-' in
+  let rec go acc = function
+    | [] -> acc
+    | "--quick" :: rest -> go { acc with quick = true } rest
+    | "--check-codec" :: rest -> go { acc with check = true } rest
+    | "--only" :: v :: rest when not (is_flag v) ->
+      go { acc with filters = acc.filters @ String.split_on_char ',' v } rest
+    | "--json" :: v :: rest when not (is_flag v) -> go { acc with json = Some v } rest
+    | "--json" :: rest -> go { acc with json = Some "BENCH_morph.json" } rest
+    | tok :: rest when not (is_flag tok) ->
+      (* bare section name, e.g. `bench/main.exe codec --json` *)
+      go { acc with filters = acc.filters @ [ tok ] } rest
+    | tok :: _ ->
+      prerr_endline ("bench: unknown option " ^ tok);
+      exit 2
+  in
+  go
+    { quick = false; filters = []; json = None; check = false }
+    (List.tl (Array.to_list Sys.argv))
+
 let () =
-  let quick = Array.exists (( = ) "--quick") Sys.argv in
-  let opt_arg name =
-    let rec find i =
-      if i >= Array.length Sys.argv then None
-      else if Sys.argv.(i) = name && i + 1 < Array.length Sys.argv then
-        Some Sys.argv.(i + 1)
-      else find (i + 1)
-    in
-    find 1
-  in
-  let only = Option.map (String.split_on_char ',') (opt_arg "--only") in
-  let json_path = opt_arg "--json" in
+  let opts = parse_args () in
   let want name =
-    match only with
-    | None -> true
-    | Some names -> List.exists (fun n -> contains name n) names
+    match opts.filters with
+    | [] -> true
+    | names -> List.exists (fun n -> contains name n) names
   in
-  let sizes = if quick then quick_sizes else full_sizes in
+  let sizes = if opts.quick then quick_sizes else full_sizes in
   Printf.printf
     "Message Morphing evaluation (ICDCS 2005 reproduction)%s\n\
      workload: ChannelOpenResponse v2.0, member list sized for unencoded \
      targets %s\n"
-    (if quick then " [quick]" else "")
+    (if opts.quick then " [quick]" else "")
     (String.concat ", " (List.map (Fmt.str "%a" H.pp_bytes) sizes));
   let points = List.map make_point sizes in
+  let sized_points = List.combine sizes points in
   if want "fig8" then fig8 points;
   if want "fig9" then fig9 points;
   if want "table1" then table1 points;
@@ -422,9 +536,11 @@ let () =
   if want "abl4" then abl4 ();
   if want "abl5" then abl5 ();
   if want "abl6" then abl6 ();
+  if want "codec" then codec sized_points;
   Option.iter
     (fun path ->
        H.write_json path;
        Printf.printf "\nmeasurements written to %s\n" path)
-    json_path;
-  print_newline ()
+    opts.json;
+  print_newline ();
+  if opts.check then exit (check_codec ())

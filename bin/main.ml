@@ -335,11 +335,13 @@ let stats_cmd =
     let metrics = Obs.create () in
     (* module-level instruments for the stateless layers *)
     Wire.set_metrics metrics;
+    Codec.set_metrics metrics;
     Convert.set_metrics metrics;
     Ecode.set_metrics metrics;
     Fun.protect
       ~finally:(fun () ->
           Wire.set_metrics Obs.null;
+          Codec.set_metrics Obs.null;
           Convert.set_metrics Obs.null;
           Ecode.set_metrics Obs.null)
       (fun () ->

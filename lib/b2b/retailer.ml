@@ -63,10 +63,10 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
    | Broker.Morph_at_receiver ->
      let ep = Transport.Conn.create ~reliable ~metrics net contact in
      t.endpoint <- Some ep;
-     Transport.Conn.set_handler ep (fun ~src:_ meta v ->
+     Transport.Conn.set_wire_handler ep (fun ~src:_ meta message ->
          match
            Obs.with_span metrics "b2b.deliver" (fun () ->
-               Morph.Receiver.deliver receiver meta v)
+               Morph.Receiver.deliver_wire receiver meta message)
          with
          | Morph.Receiver.Delivered _ | Morph.Receiver.Defaulted -> ()
          | Morph.Receiver.Rejected reason ->

@@ -59,6 +59,11 @@ type pipeline =
       provenance : (string * string) list;
       (* how the plan was derived (source/target formats, chain hops,
          mismatch ratio); attached to the delivery trace span *)
+      fused : (Ptype.record * Ptype.record) option;
+      (* when the whole transform is a structural conversion (no Ecode
+         step), [deliver_wire] can run the fused decode->morph plan from
+         [Codec]: bytes of the first format straight into a value of the
+         second, no intermediate source-format tree *)
     }
   | Reject of string
 
@@ -114,6 +119,8 @@ type rmetrics = {
   rm_morph_ns : Obs.Histogram.h;
   rm_mismatch_ratio : Obs.Histogram.h;
   rm_chain_depth : Obs.Histogram.h;
+  rm_fused_ns : Obs.Histogram.h;
+  rm_staged_ns : Obs.Histogram.h;
 }
 
 let make_rmetrics reg =
@@ -135,6 +142,10 @@ let make_rmetrics reg =
     rm_chain_depth =
       Obs.Histogram.make reg ~buckets:[ 0.; 1.; 2.; 3.; 4.; 6.; 8. ]
         "receiver.chain_depth";
+    (* wire-to-delivery latency split by path, so the fused win shows up
+       in [stats] next to the staged decode-then-convert baseline *)
+    rm_fused_ns = Obs.Histogram.make reg ~unit_:"ns" "codec.fused_ns";
+    rm_staged_ns = Obs.Histogram.make reg ~unit_:"ns" "codec.staged_ns";
   }
 
 type t = {
@@ -288,9 +299,9 @@ let plan_uninstrumented t (meta : Meta.format_meta) : pipeline =
     let direct = run_max_match t [ fm ] fr_same in
     match direct with
     | Some (_, f2, true, ratio) ->
-      let via, transform =
-        if Ptype.equal_record fm f2 then (Exact, identity_transform)
-        else (Reordered, Convert.compile ~from_:fm ~into:f2)
+      let via, transform, fused =
+        if Ptype.equal_record fm f2 then (Exact, identity_transform, None)
+        else (Reordered, Convert.compile ~from_:fm ~into:f2, Some (fm, f2))
       in
       let handler = Option.get (handler_for t f2) in
       Accept
@@ -300,6 +311,7 @@ let plan_uninstrumented t (meta : Meta.format_meta) : pipeline =
           transform;
           handler;
           provenance = provenance_attrs ~source:fm ~target:f2 ~via ~hops:0 ~ratio;
+          fused;
         }
     | Some _ | None ->
       (* Line 16: MaxMatch(Ft, Fr). *)
@@ -356,15 +368,17 @@ let plan_uninstrumented t (meta : Meta.format_meta) : pipeline =
                 else Some (Convert.compile ~from_:mf1 ~into:mf2)
               else Some (Convert.compile ~from_:mf1 ~into:mf2)
             in
-            let transform, via =
+            let transform, via, fused =
               match morph, finish with
-              | None, None -> (identity_transform, Exact)
+              | None, None -> (identity_transform, Exact, None)
               | None, Some conv ->
                 let via = if perfect then Reordered else Converted in
-                (conv, via)
-              | Some (run, _), None -> (run, Morphed mf1.Ptype.rname)
+                (* mf1 = fm here (no morph step): the whole transform is a
+                   structural conversion, so wire delivery can fuse it *)
+                (conv, via, Some (fm, mf2))
+              | Some (run, _), None -> (run, Morphed mf1.Ptype.rname, None)
               | Some (run, _), Some conv ->
-                ((fun v -> conv (run v)), Morphed_converted mf1.Ptype.rname)
+                ((fun v -> conv (run v)), Morphed_converted mf1.Ptype.rname, None)
             in
             let hops = match morph with Some (_, h) -> h | None -> 0 in
             let handler = Option.get (handler_for t mf2) in
@@ -376,6 +390,7 @@ let plan_uninstrumented t (meta : Meta.format_meta) : pipeline =
                 handler;
                 provenance =
                   provenance_attrs ~source:fm ~target:mf2 ~via ~hops ~ratio;
+                fused;
               }))
 
 let plan t (meta : Meta.format_meta) : pipeline =
@@ -470,18 +485,21 @@ let run_pipeline t (entry : cache_entry) (meta : Meta.format_meta) (v : Value.t)
   in
   outcome
 
-let deliver t (meta : Meta.format_meta) (v : Value.t) : outcome =
-  let hit, entry =
-    match find_cached t meta with
-    | Some entry ->
-      t.stats.cache_hits <- t.stats.cache_hits + 1;
-      Obs.Counter.incr t.m.rm_cache_hits;
-      (true, entry)
-    | None ->
-      t.stats.cold_paths <- t.stats.cold_paths + 1;
-      Obs.Counter.incr t.m.rm_cache_misses;
-      (false, cache_pipeline t meta (plan t meta))
-  in
+(* Cache lookup with hit/miss accounting; plans and caches the pipeline on
+   a miss. *)
+let lookup t (meta : Meta.format_meta) : bool * cache_entry =
+  match find_cached t meta with
+  | Some entry ->
+    t.stats.cache_hits <- t.stats.cache_hits + 1;
+    Obs.Counter.incr t.m.rm_cache_hits;
+    (true, entry)
+  | None ->
+    t.stats.cold_paths <- t.stats.cold_paths + 1;
+    Obs.Counter.incr t.m.rm_cache_misses;
+    (false, cache_pipeline t meta (plan t meta))
+
+let deliver_entry t ~hit (entry : cache_entry) (meta : Meta.format_meta)
+    (v : Value.t) : outcome =
   if not t.m.rm_on then run_pipeline t entry meta v
   else begin
     (* Trace-only span (no histogram, so the flat [span:*] metric names
@@ -505,15 +523,71 @@ let deliver t (meta : Meta.format_meta) (v : Value.t) : outcome =
         run_pipeline t entry meta v)
   end
 
+let deliver t (meta : Meta.format_meta) (v : Value.t) : outcome =
+  let hit, entry = lookup t meta in
+  deliver_entry t ~hit entry meta v
+
+let reject_wire t e : outcome =
+  t.stats.rejected <- t.stats.rejected + 1;
+  Obs.Counter.incr t.m.rm_rejected;
+  Rejected (Fmt.str "wire decode failed: %s" (Err.to_string e))
+
+(* Successful fused delivery: the value is already in the target layout, so
+   only the bookkeeping of [run_pipeline]'s Accept branch remains.  Handler
+   exceptions propagate, as on the staged path. *)
+let deliver_fused t ~hit (entry : cache_entry) ~format_name ~via ~handler
+    ~provenance (v' : Value.t) : outcome =
+  let finish () =
+    entry.consecutive_failures <- 0;
+    handler v';
+    t.stats.delivered <- t.stats.delivered + 1;
+    Obs.Counter.incr t.m.rm_delivered;
+    let o = Delivered { format_name; via } in
+    probe t (Some v') o;
+    o
+  in
+  if not t.m.rm_on then finish ()
+  else
+    let attrs =
+      ("cache", if hit then "hit" else "miss")
+      :: ("ecode", "none") :: ("convert", "fused") :: provenance
+    in
+    Obs.Trace.with_span ~attrs t.m.rm_reg "morph.deliver" finish
+
 (* Decode a whole wire message (as produced by [Pbio.Wire.encode]) and
-   deliver it.  [meta] must describe the message's wire format. *)
+   deliver it.  [meta] must describe the message's wire format.
+
+   When the cached pipeline's transform is purely structural (no Ecode
+   step), the decode and the conversion run as one fused [Codec] plan —
+   the sender-format value tree is never built.  Ecode pipelines and plain
+   value delivery keep the staged decode-then-transform path. *)
 let deliver_wire t (meta : Meta.format_meta) (message : string) : outcome =
-  match Wire.decode meta.Meta.body message with
-  | Ok v -> deliver t meta v
-  | Error e ->
-    t.stats.rejected <- t.stats.rejected + 1;
-    Obs.Counter.incr t.m.rm_rejected;
-    Rejected (Fmt.str "wire decode failed: %s" (Err.to_string e))
+  let hit, entry = lookup t meta in
+  match entry.pipeline with
+  | Accept { fused = Some (from_, into); format_name; via; handler; provenance; _ } ->
+    let t0 = if t.m.rm_on then Obs.now t.m.rm_reg else 0. in
+    (match
+       let h = Codec.read_header message in
+       let mor = Codec.morpher_for ~endian:h.Codec.endian ~from_ ~into in
+       Codec.morph_payload mor ~pos:Codec.header_size message
+     with
+     | v' ->
+       if t.m.rm_on then
+         Obs.Histogram.observe t.m.rm_fused_ns (Obs.now t.m.rm_reg -. t0);
+       deliver_fused t ~hit entry ~format_name ~via ~handler ~provenance v'
+     | exception Codec.Decode_error msg -> reject_wire t (`Decode msg)
+     | exception Value.Type_error msg -> reject_wire t (`Type msg))
+  | Accept _ | Reject _ ->
+    let t0 = if t.m.rm_on then Obs.now t.m.rm_reg else 0. in
+    (match Wire.decode meta.Meta.body message with
+     | Ok v ->
+       let o = deliver_entry t ~hit entry meta v in
+       (match entry.pipeline, o with
+        | Accept _, Delivered _ when t.m.rm_on ->
+          Obs.Histogram.observe t.m.rm_staged_ns (Obs.now t.m.rm_reg -. t0)
+        | _ -> ());
+       o
+     | Error e -> reject_wire t e)
 
 (* Describe, without delivering or caching, what Algorithm 2 would do with
    messages of this format — for diagnostics and operator tooling. *)

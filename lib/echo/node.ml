@@ -295,10 +295,12 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(engine = Morph.Xf
      | V1 -> Wire_formats.event_msg
      | V2 -> Wire_formats.event_msg_v2)
     (handle_event t);
-  Transport.Conn.set_handler endpoint (fun ~src meta v ->
+  (* raw-bytes delivery: the receiver decodes, running the fused
+     decode->morph plan when the cached pipeline allows it *)
+  Transport.Conn.set_wire_handler endpoint (fun ~src meta message ->
       match
         Obs.with_span metrics "echo.deliver" (fun () ->
-            Morph.Receiver.deliver receiver meta v)
+            Morph.Receiver.deliver_wire receiver meta message)
       with
       | Morph.Receiver.Delivered _ | Morph.Receiver.Defaulted -> ()
       | Morph.Receiver.Rejected reason ->

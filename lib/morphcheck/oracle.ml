@@ -185,6 +185,106 @@ let weighted_case st =
         m.Maxmatch.diff12 m.Maxmatch.diff21 m.Maxmatch.ratio
         w.Weighted.diff12 w.Weighted.diff21 w.Weighted.ratio
 
+(* An evolved-looking sibling of [r]: same format name, a field dropped
+   and/or an extra one appended.  That is the shape MaxMatch resolves with
+   a structural conversion — exactly when the receiver's fused
+   decode->morph plan applies.  Fields backing variable-array lengths are
+   never dropped, so the variant still validates. *)
+let structural_variant (r : Ptype.record) st : Ptype.record =
+  let referenced =
+    let rec refs acc (ty : Ptype.t) =
+      match ty with
+      | Ptype.Basic _ | Record _ -> acc
+      | Array { elem; size } ->
+        let acc = match size with Ptype.Length_field n -> n :: acc | Fixed _ -> acc in
+        refs acc elem
+    in
+    List.fold_left (fun acc (f : Ptype.field) -> refs acc f.ftype) [] r.Ptype.fields
+  in
+  let droppable =
+    List.filter
+      (fun (f : Ptype.field) -> not (List.mem f.fname referenced))
+      r.Ptype.fields
+  in
+  let fields, dropped =
+    if List.length r.Ptype.fields >= 2 && droppable <> [] && Rgen.bool st then begin
+      let victim = List.nth droppable (Rgen.int_range 0 (List.length droppable - 1) st) in
+      ( List.filter (fun (f : Ptype.field) -> f.fname <> victim.Ptype.fname) r.Ptype.fields,
+        true )
+    end
+    else (r.Ptype.fields, false)
+  in
+  let fields =
+    if (not dropped) || Rgen.bool st then fields @ [ Ptype.field "zz_extra" Ptype.int_ ]
+    else fields
+  in
+  Ptype.record r.Ptype.rname fields
+
+(* Interpretive vs compiled/fused codec: byte-identical encodings,
+   value-identical decodings, and fused decode->morph equal to
+   decode-then-convert — including through [Receiver.deliver_wire], whose
+   cached pipeline picks the fused plan on its own. *)
+let codec_case st =
+  let r, v = Gen.format_and_value st in
+  let endian = if Rgen.bool st then Codec.Little else Codec.Big in
+  let format_id = Rgen.int_range 0 0xffff st in
+  let ip = Codec.Interp.encode_payload ~endian r v in
+  let enc = Codec.encoder_for ~endian r in
+  if not (String.equal ip (Codec.encode_payload enc v)) then
+    fail "compiled encode differs from interpretive on format %s"
+      (Ptype.record_to_string r);
+  let im = Codec.Interp.encode_message ~endian ~format_id r v in
+  if not (String.equal im (Codec.encode_message enc ~format_id v)) then
+    fail "compiled message encode differs from interpretive on format %s"
+      (Ptype.record_to_string r);
+  let iv = Codec.Interp.decode_payload ~endian r ip in
+  if not (Value.equal iv v) then
+    fail "interpretive decode is not the identity on format %s"
+      (Ptype.record_to_string r);
+  let cv = Codec.decode_payload (Codec.decoder_for ~endian r) ip in
+  if not (Value.equal cv iv) then
+    fail "compiled decode differs from interpretive:@ format %s@ interp %s@ compiled %s"
+      (Ptype.record_to_string r) (Value.to_string iv) (Value.to_string cv);
+  (* fused = staged, against an unrelated target and an evolved sibling *)
+  let check_target (tgt : Ptype.record) =
+    let staged =
+      match Convert.convert ~from_:r ~into:tgt iv with
+      | Ok x -> x
+      | Error e ->
+        fail "staged convert failed on conforming value: %a@ %s -> %s" Err.pp e
+          (Ptype.record_to_string r) (Ptype.record_to_string tgt)
+    in
+    let fused = Codec.morph_payload (Codec.morpher_for ~endian ~from_:r ~into:tgt) ip in
+    if not (Value.equal staged fused) then
+      fail "fused morph differs from decode-then-convert:@ %s -> %s@ staged %s@ fused %s"
+        (Ptype.record_to_string r) (Ptype.record_to_string tgt)
+        (Value.to_string staged) (Value.to_string fused)
+  in
+  check_target (Gen.record st);
+  let tgt = structural_variant r st in
+  check_target tgt;
+  (* receiver level: a wire delivery (fused when the pipeline allows) must
+     agree with decode-then-deliver on a twin receiver *)
+  let meta = Meta.plain r in
+  let got_wire = ref None and got_val = ref None in
+  let ra = Morph.Receiver.create () in
+  Morph.Receiver.register ra tgt (fun x -> got_wire := Some x);
+  let rb = Morph.Receiver.create () in
+  Morph.Receiver.register rb tgt (fun x -> got_val := Some x);
+  let oa = Morph.Receiver.deliver_wire ra meta im in
+  let ob =
+    match Wire.decode r im with
+    | Ok dv -> Morph.Receiver.deliver rb meta dv
+    | Error e -> fail "wire decode failed on own encoding: %a" Err.pp e
+  in
+  let show o = Fmt.str "%a" Morph.Receiver.pp_outcome o in
+  if show oa <> show ob then
+    fail "deliver_wire and deliver disagree:@ wire %s@ value %s" (show oa) (show ob);
+  if not (Option.equal Value.equal !got_wire !got_val) then
+    fail "delivered values differ:@ wire %s@ value %s"
+      (match !got_wire with Some x -> Value.to_string x | None -> "<none>")
+      (match !got_val with Some x -> Value.to_string x | None -> "<none>")
+
 (* --- fuzz targets --------------------------------------------------------- *)
 
 let fuzz_wire_case st =
@@ -219,6 +319,53 @@ let fuzz_framing_case st =
   let bad = Fuzz.mutate (Transport.Framing.encode frame) st in
   match Transport.Framing.decode bad with Ok _ | Error _ -> ()
 
+(* Corrupted payloads: interpretive and compiled decoders must agree on
+   acceptance (with equal values) or rejection, and the fused plan must
+   agree with staged decode-then-convert — same discipline the codec_case
+   oracle checks on well-formed input, under mutation. *)
+let fuzz_codec_case st =
+  let r, v = Gen.format_and_value st in
+  let endian = if Rgen.bool st then Codec.Little else Codec.Big in
+  let payload = Codec.Interp.encode_payload ~endian r v in
+  let bad = Fuzz.mutate payload st in
+  let catch f =
+    match f () with
+    | x -> Ok x
+    | exception Codec.Decode_error m -> Error m
+    | exception Value.Type_error m -> Error m
+  in
+  let interp = catch (fun () -> Codec.Interp.decode_payload ~endian r bad) in
+  let compiled = catch (fun () -> Codec.decode_payload (Codec.decoder_for ~endian r) bad) in
+  (match interp, compiled with
+   | Ok a, Ok b ->
+     if not (Value.equal a b) then
+       fail "decoders accept mutated payload with different values:@ interp %s@ compiled %s"
+         (Value.to_string a) (Value.to_string b)
+   | Error _, Error _ -> ()
+   | Ok _, Error m -> fail "compiled rejects what the interpreter accepts: %s" m
+   | Error m, Ok _ -> fail "compiled accepts what the interpreter rejects (interp: %s)" m);
+  let tgt = structural_variant r st in
+  let staged =
+    match interp with
+    | Error m -> Error m
+    | Ok a ->
+      (match Convert.convert ~from_:r ~into:tgt a with
+       | Ok x -> Ok x
+       | Error e -> Error (Err.to_string e))
+  in
+  let fused =
+    catch (fun () ->
+        Codec.morph_payload (Codec.morpher_for ~endian ~from_:r ~into:tgt) bad)
+  in
+  match staged, fused with
+  | Ok a, Ok b ->
+    if not (Value.equal a b) then
+      fail "staged and fused accept mutated payload with different values:@ staged %s@ fused %s"
+        (Value.to_string a) (Value.to_string b)
+  | Error _, Error _ -> ()
+  | Ok _, Error m -> fail "fused rejects what the staged path accepts: %s" m
+  | Error m, Ok _ -> fail "fused accepts what the staged path rejects (staged: %s)" m
+
 let fuzz_receiver_case st =
   let base = Gen.record st in
   let c = Evolve.chain ~max_steps:2 base st in
@@ -240,7 +387,9 @@ let oracles : (string * (Random.State.t -> unit)) list =
     ("engines", engines_case);
     ("chain", chain_case);
     ("weighted", weighted_case);
+    ("codec", codec_case);
     ("fuzz-wire", fuzz_wire_case);
+    ("fuzz-codec", fuzz_codec_case);
     ("fuzz-meta", fuzz_meta_case);
     ("fuzz-framing", fuzz_framing_case);
     ("fuzz-receiver", fuzz_receiver_case);

@@ -1,0 +1,1277 @@
+(* Compiled wire-codec plans.
+
+   The interpretive codec (kept below as [Interp], the reference
+   implementation) pattern-matches on [Ptype.t] for every field of every
+   message.  This module is the wire-layer half of the paper's "dynamic
+   code generation" substitution (DESIGN.md, S1): [compile_encode],
+   [compile_decode] and [compile_morph] walk a format description once and
+   emit a flat plan of specialised closures — per-endian primitive
+   readers/writers, enum value<->case lookup tables instead of
+   [List.find_opt], length-field references resolved to slot indices,
+   [min_wire_size] precomputed per array element, and a reusable scratch
+   buffer sized from [Sizeof.static_wire_bound].  Per message only direct
+   calls remain.
+
+   [compile_morph] goes one step further and fuses wire decoding of the
+   sender's format into construction of the *receiver's* value layout:
+   source fields the target drops are skipped on the wire (never
+   materialised), matched fields decode straight into the target slot
+   (through the [Convert] coercion when the types differ), and missing
+   target fields take their defaults — one pass, no intermediate
+   source-format value tree.  The fused plan is observationally identical
+   to decode-then-convert; the morphcheck "codec" oracle enforces this
+   differentially.
+
+   Hostile input discipline is inherited from the interpreter: every
+   length is bounds-checked before allocation, unknown enum values reject
+   the message (even when the field is skipped), and decoding failures
+   raise [Decode_error], which the [Wire] wrappers turn into [Error]. *)
+
+type endian = Little | Big
+
+exception Encode_error of string
+exception Decode_error of string
+
+let encode_error fmt = Fmt.kstr (fun s -> raise (Encode_error s)) fmt
+let decode_error fmt = Fmt.kstr (fun s -> raise (Decode_error s)) fmt
+
+let header_size = 16
+let magic = "PBIO"
+let wire_version = 1
+
+type header = {
+  endian : endian;
+  format_id : int;
+  payload_len : int;
+}
+
+(* --- primitive writers ------------------------------------------------- *)
+
+let int32_min = -0x8000_0000
+let int32_max = 0x7fff_ffff
+let uint32_max = 0xffff_ffff
+
+let add_i32 endian buf n =
+  if n < int32_min || n > int32_max then encode_error "int %d out of 32-bit range" n;
+  let x = Int32.of_int n in
+  match endian with
+  | Little -> Buffer.add_int32_le buf x
+  | Big -> Buffer.add_int32_be buf x
+
+let add_u32 endian buf n =
+  if n < 0 || n > uint32_max then encode_error "unsigned %d out of 32-bit range" n;
+  let x = Int32.of_int (if n > int32_max then n - (uint32_max + 1) else n) in
+  match endian with
+  | Little -> Buffer.add_int32_le buf x
+  | Big -> Buffer.add_int32_be buf x
+
+let add_f64 endian buf x =
+  let bits = Int64.bits_of_float x in
+  match endian with
+  | Little -> Buffer.add_int64_le buf bits
+  | Big -> Buffer.add_int64_be buf bits
+
+let set_u32 endian b off n =
+  if n < 0 || n > uint32_max then encode_error "unsigned %d out of 32-bit range" n;
+  let x = Int32.of_int (if n > int32_max then n - (uint32_max + 1) else n) in
+  match endian with
+  | Little -> Bytes.set_int32_le b off x
+  | Big -> Bytes.set_int32_be b off x
+
+(* Specialised writers for compiled plans: the endian branch is resolved
+   when the plan is built, not per value. *)
+
+let w_i32 = function
+  | Little ->
+    fun buf n ->
+      if n < int32_min || n > int32_max then encode_error "int %d out of 32-bit range" n;
+      Buffer.add_int32_le buf (Int32.of_int n)
+  | Big ->
+    fun buf n ->
+      if n < int32_min || n > int32_max then encode_error "int %d out of 32-bit range" n;
+      Buffer.add_int32_be buf (Int32.of_int n)
+
+let w_u32 = function
+  | Little ->
+    fun buf n ->
+      if n < 0 || n > uint32_max then encode_error "unsigned %d out of 32-bit range" n;
+      Buffer.add_int32_le buf
+        (Int32.of_int (if n > int32_max then n - (uint32_max + 1) else n))
+  | Big ->
+    fun buf n ->
+      if n < 0 || n > uint32_max then encode_error "unsigned %d out of 32-bit range" n;
+      Buffer.add_int32_be buf
+        (Int32.of_int (if n > int32_max then n - (uint32_max + 1) else n))
+
+let w_f64 = function
+  | Little -> fun buf x -> Buffer.add_int64_le buf (Int64.bits_of_float x)
+  | Big -> fun buf x -> Buffer.add_int64_be buf (Int64.bits_of_float x)
+
+(* --- primitive readers ------------------------------------------------- *)
+
+type cursor = {
+  data : string;
+  mutable pos : int;
+  limit : int;
+}
+
+let need cur n =
+  if cur.pos + n > cur.limit then
+    decode_error "truncated message: need %d bytes at offset %d (limit %d)" n cur.pos cur.limit
+
+let read_i32 endian cur =
+  need cur 4;
+  let x =
+    match endian with
+    | Little -> String.get_int32_le cur.data cur.pos
+    | Big -> String.get_int32_be cur.data cur.pos
+  in
+  cur.pos <- cur.pos + 4;
+  Int32.to_int x
+
+let read_u32 endian cur =
+  let n = read_i32 endian cur in
+  if n < 0 then n + uint32_max + 1 else n
+
+let read_f64 endian cur =
+  need cur 8;
+  let bits =
+    match endian with
+    | Little -> String.get_int64_le cur.data cur.pos
+    | Big -> String.get_int64_be cur.data cur.pos
+  in
+  cur.pos <- cur.pos + 8;
+  Int64.float_of_bits bits
+
+let read_byte cur =
+  need cur 1;
+  let c = cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  c
+
+let read_bytes cur n =
+  need cur n;
+  let s = String.sub cur.data cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+(* Endian-resolved readers for compiled plans. *)
+
+let reader_i32 = function
+  | Little ->
+    fun cur ->
+      need cur 4;
+      let x = String.get_int32_le cur.data cur.pos in
+      cur.pos <- cur.pos + 4;
+      Int32.to_int x
+  | Big ->
+    fun cur ->
+      need cur 4;
+      let x = String.get_int32_be cur.data cur.pos in
+      cur.pos <- cur.pos + 4;
+      Int32.to_int x
+
+let reader_u32 endian =
+  let rd = reader_i32 endian in
+  fun cur ->
+    let n = rd cur in
+    if n < 0 then n + uint32_max + 1 else n
+
+
+(* --- enum lookup tables -------------------------------------------------- *)
+
+(* Value -> case-name tables, memoised per enum description so the
+   interpretive path shares them with compiled plans.  First binding wins,
+   matching the [List.find_opt] the tables replace.  The memo is bounded:
+   fuzzed meta-data can mint unlimited distinct enum types. *)
+
+let enum_tables : (Ptype.enum, (int, string) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+
+let enum_table (e : Ptype.enum) : (int, string) Hashtbl.t =
+  match Hashtbl.find_opt enum_tables e with
+  | Some t -> t
+  | None ->
+    if Hashtbl.length enum_tables >= 256 then Hashtbl.reset enum_tables;
+    let t = Hashtbl.create (2 * List.length e.cases) in
+    List.iter (fun (c, n) -> if not (Hashtbl.mem t n) then Hashtbl.add t n c) e.cases;
+    Hashtbl.replace enum_tables e t;
+    t
+
+(* --- sizes ---------------------------------------------------------------- *)
+
+(* Minimum wire footprint of one value of a type: used to reject corrupted
+   length fields before allocating huge element arrays. *)
+let rec min_wire_size (ty : Ptype.t) : int =
+  match ty with
+  | Ptype.Basic (Int | Uint | Enum _ | String) -> 4
+  | Basic Float -> 8
+  | Basic (Char | Bool) -> 1
+  | Record r ->
+    List.fold_left (fun acc (f : Ptype.field) -> acc + min_wire_size f.ftype) 0 r.fields
+  | Array { elem; size = Fixed k } -> max k 0 * min_wire_size elem
+  | Array { size = Length_field _; _ } -> 0
+
+(* Per-decode-call memo so the interpretive path computes each element
+   type's footprint once per message instead of once per nested array
+   occurrence (physical identity is enough: type nodes are shared within
+   one format description). *)
+let min_wire_size_memo (memo : (Ptype.t * int) list ref) (ty : Ptype.t) : int =
+  let rec find = function
+    | [] -> None
+    | (t, n) :: rest -> if t == ty then Some n else find rest
+  in
+  match find !memo with
+  | Some n -> n
+  | None ->
+    let n = min_wire_size ty in
+    memo := (ty, n) :: !memo;
+    n
+
+(* Exact wire span of a type when it is statically fixed, [None] when the
+   span depends on the value (strings, variable arrays) or the type can
+   reject bytes while being skipped (enums) or reject statically-invalid
+   sizes (negative fixed arrays). *)
+let rec fixed_span (ty : Ptype.t) : int option =
+  match ty with
+  | Ptype.Basic (Int | Uint) -> Some 4
+  | Basic Float -> Some 8
+  | Basic (Char | Bool) -> Some 1
+  | Basic (Enum _ | String) -> None
+  | Record r ->
+    List.fold_left
+      (fun acc (f : Ptype.field) ->
+         match acc, fixed_span f.ftype with
+         | Some a, Some b -> Some (a + b)
+         | _ -> None)
+      (Some 0) r.fields
+  | Array { elem; size = Fixed k } ->
+    if k < 0 then None else Option.map (fun m -> k * m) (fixed_span elem)
+  | Array { size = Length_field _; _ } -> None
+
+(* --- header ---------------------------------------------------------------- *)
+
+let read_header (data : string) : header =
+  if String.length data < header_size then decode_error "message shorter than header";
+  if String.sub data 0 4 <> magic then decode_error "bad magic";
+  let endian =
+    match data.[4] with
+    | '\x00' -> Little
+    | '\x01' -> Big
+    | c -> decode_error "bad endian flag %C" c
+  in
+  let v = Char.code data.[5] in
+  if v <> wire_version then decode_error "unsupported wire version %d" v;
+  let cur = { data; pos = 8; limit = String.length data } in
+  let format_id = read_u32 endian cur in
+  let payload_len = read_u32 endian cur in
+  if header_size + payload_len <> String.length data then
+    decode_error "payload length %d does not match message size %d"
+      payload_len (String.length data - header_size);
+  { endian; format_id; payload_len }
+
+(* --- observability ---------------------------------------------------------- *)
+
+type metrics = {
+  mon : bool;
+  mreg : Obs.t;
+  compiles : Obs.Counter.h;
+  cache_hits : Obs.Counter.h;
+  compile_ns : Obs.Histogram.h;
+}
+
+let make_metrics reg =
+  {
+    mon = Obs.enabled reg;
+    mreg = reg;
+    compiles = Obs.Counter.make reg "codec.plan_compiles";
+    cache_hits = Obs.Counter.make reg "codec.plan_cache_hits";
+    compile_ns = Obs.Histogram.make reg ~unit_:"ns" "codec.compile_ns";
+  }
+
+let metrics = ref (make_metrics Obs.null)
+let set_metrics reg = metrics := make_metrics reg
+
+(* Time one plan compilation and tick [codec.plan_compiles]. *)
+let timed_compile (f : unit -> 'a) : 'a =
+  let m = !metrics in
+  if not m.mon then f ()
+  else begin
+    let t0 = Obs.now m.mreg in
+    let p = f () in
+    Obs.Counter.incr m.compiles;
+    Obs.Histogram.observe m.compile_ns (Obs.now m.mreg -. t0);
+    p
+  end
+
+(* --- interpretive reference implementation ----------------------------------- *)
+
+module Interp = struct
+  let rec encode_type endian buf (ty : Ptype.t) (v : Value.t) : unit =
+    match ty, v with
+    | Ptype.Basic Int, Value.Int n -> add_i32 endian buf n
+    | Basic Uint, Uint n -> add_u32 endian buf n
+    | Basic Float, Float x -> add_f64 endian buf x
+    | Basic Char, Char c -> Buffer.add_char buf c
+    | Basic Bool, Bool b -> Buffer.add_char buf (if b then '\x01' else '\x00')
+    | Basic (Enum _), Enum (_, n) -> add_i32 endian buf n
+    | Basic String, String s ->
+      add_u32 endian buf (String.length s);
+      Buffer.add_string buf s
+    | Record r, (Record _ as v) -> encode_record endian buf r v
+    | Array { elem; size }, (Array _ as v) ->
+      let n = Value.array_len v in
+      (match size with
+       | Fixed k when k <> n -> encode_error "fixed array expects %d elements, value has %d" k n
+       | Fixed _ | Length_field _ -> ());
+      for i = 0 to n - 1 do
+        encode_type endian buf elem (Value.array_get v i)
+      done
+    | _, _ ->
+      encode_error "value %s does not match field type %a"
+        (Value.to_string v) Ptype.pp_type ty
+
+  and encode_record endian buf (r : Ptype.record) (v : Value.t) : unit =
+    let es = Value.entries v in
+    if Array.length es <> List.length r.fields then
+      encode_error "record %s: value has %d fields, format declares %d"
+        r.rname (Array.length es) (List.length r.fields);
+    List.iteri
+      (fun i (f : Ptype.field) ->
+         let e = es.(i) in
+         if e.Value.name <> f.fname then
+           encode_error "record %s: field %d is %S in value but %S in format"
+             r.rname i e.Value.name f.fname;
+         (* Enforce the wire invariant: a variable array's length field holds
+            the actual element count, since no count travels on the wire. *)
+         (match f.ftype with
+          | Array { size = Length_field lf; _ } ->
+            let declared = Value.to_int (Value.get_field v lf) in
+            let actual = Value.array_len e.Value.v in
+            if declared <> actual then
+              encode_error
+                "record %s: length field %S = %d but array %S has %d elements \
+                 (call Value.sync_lengths before encoding)"
+                r.rname lf declared f.fname actual
+          | _ -> ());
+         encode_type endian buf f.ftype e.Value.v)
+      r.fields
+
+  let encode_payload ~endian (r : Ptype.record) (v : Value.t) : string =
+    let buf = Buffer.create 256 in
+    encode_record endian buf r v;
+    Buffer.contents buf
+
+  let encode_message ~endian ~format_id (r : Ptype.record) (v : Value.t) : string =
+    let payload = encode_payload ~endian r v in
+    let buf = Buffer.create (header_size + String.length payload) in
+    Buffer.add_string buf magic;
+    Buffer.add_char buf (match endian with Little -> '\x00' | Big -> '\x01');
+    Buffer.add_char buf (Char.chr wire_version);
+    Buffer.add_string buf "\x00\x00";
+    add_u32 endian buf format_id;
+    add_u32 endian buf (String.length payload);
+    Buffer.add_string buf payload;
+    Buffer.contents buf
+
+  let rec decode_type endian cur (ty : Ptype.t) ~(length_of : string -> int)
+      ~(msize : (Ptype.t * int) list ref) : Value.t =
+    match ty with
+    | Ptype.Basic Int -> Value.Int (read_i32 endian cur)
+    | Basic Uint -> Value.Uint (read_u32 endian cur)
+    | Basic Float -> Value.Float (read_f64 endian cur)
+    | Basic Char -> Value.Char (read_byte cur)
+    | Basic Bool -> Value.Bool (read_byte cur <> '\x00')
+    | Basic (Enum e) ->
+      let n = read_i32 endian cur in
+      (match Hashtbl.find_opt (enum_table e) n with
+       | Some case -> Value.Enum (case, n)
+       | None -> decode_error "enum %s: unknown value %d" e.ename n)
+    | Basic String ->
+      let n = read_u32 endian cur in
+      if n > cur.limit - cur.pos then decode_error "string length %d exceeds message" n;
+      Value.String (read_bytes cur n)
+    | Record r -> decode_record_inner endian cur r ~msize
+    | Array { elem; size } ->
+      (* Both size sources are untrusted here: length fields come off the wire
+         and fixed sizes may come from a hostile format description (shipped
+         meta-data), so both are bounds-checked before any allocation. *)
+      let check_len ~what n =
+        if n < 0 then decode_error "negative array length %d for %s" n what;
+        let remaining = cur.limit - cur.pos in
+        let m = min_wire_size_memo msize elem in
+        if (m > 0 && n > remaining / m) || (m = 0 && n > cur.limit) then
+          decode_error "array length %d for %s exceeds message size" n what;
+        n
+      in
+      let n =
+        match size with
+        | Fixed k -> check_len ~what:"fixed-size array" k
+        | Length_field name -> check_len ~what:(Printf.sprintf "%S" name) (length_of name)
+      in
+      let items = Array.init n (fun _ -> decode_type endian cur elem ~length_of ~msize) in
+      Value.Array { items; len = n; model = Some (Value.default elem) }
+
+  and decode_record_inner endian cur (r : Ptype.record)
+      ~(msize : (Ptype.t * int) list ref) : Value.t =
+    let es =
+      Array.of_list
+        (List.map (fun (f : Ptype.field) -> { Value.name = f.fname; v = Value.Int 0 }) r.fields)
+    in
+    let length_of name =
+      (* Length fields are declared before the arrays that use them (enforced
+         by Ptype.validate), so they are already decoded here. *)
+      match Value.field_index es name with
+      | Some i -> Value.to_int es.(i).Value.v
+      | None -> decode_error "record %s: missing length field %S" r.rname name
+    in
+    List.iteri
+      (fun i (f : Ptype.field) ->
+         es.(i).Value.v <- decode_type endian cur f.ftype ~length_of ~msize)
+      r.fields;
+    Value.Record es
+
+  let decode_payload ~endian ?(pos = 0) (r : Ptype.record) (data : string) : Value.t =
+    let msize = ref [] in
+    let cur = { data; pos; limit = String.length data } in
+    let v = decode_record_inner endian cur r ~msize in
+    if cur.pos <> cur.limit then
+      decode_error "trailing garbage: %d bytes left after record %s"
+        (cur.limit - cur.pos) r.rname;
+    v
+end
+
+(* --- compiled encode plans ----------------------------------------------------- *)
+
+type encoder = {
+  efmt : Ptype.record;
+  eendian : endian;
+  scratch : Buffer.t;
+  (* reusable between messages: the plan never runs user code, so the
+     buffer cannot be re-entered while an encode is in flight *)
+  erun : Buffer.t -> Value.t -> unit;
+}
+
+let rec comp_encode_type endian (ty : Ptype.t) : Buffer.t -> Value.t -> unit =
+  let mismatch v =
+    encode_error "value %s does not match field type %a" (Value.to_string v) Ptype.pp_type ty
+  in
+  match ty with
+  | Ptype.Basic Int ->
+    let w = w_i32 endian in
+    (fun buf v -> match v with Value.Int n -> w buf n | v -> mismatch v)
+  | Basic Uint ->
+    let w = w_u32 endian in
+    (fun buf v -> match v with Value.Uint n -> w buf n | v -> mismatch v)
+  | Basic Float ->
+    let w = w_f64 endian in
+    (fun buf v -> match v with Value.Float x -> w buf x | v -> mismatch v)
+  | Basic Char ->
+    (fun buf v -> match v with Value.Char c -> Buffer.add_char buf c | v -> mismatch v)
+  | Basic Bool ->
+    (fun buf v ->
+       match v with
+       | Value.Bool b -> Buffer.add_char buf (if b then '\x01' else '\x00')
+       | v -> mismatch v)
+  | Basic (Enum _) ->
+    let w = w_i32 endian in
+    (fun buf v -> match v with Value.Enum (_, n) -> w buf n | v -> mismatch v)
+  | Basic String ->
+    let w = w_u32 endian in
+    (fun buf v ->
+       match v with
+       | Value.String s ->
+         w buf (String.length s);
+         Buffer.add_string buf s
+       | v -> mismatch v)
+  | Record r -> comp_encode_record endian r
+  | Array { elem; size } ->
+    let we = comp_encode_type endian elem in
+    (match size with
+     | Fixed k ->
+       fun buf v ->
+         (match v with
+          | Value.Array d ->
+            if k <> d.Value.len then
+              encode_error "fixed array expects %d elements, value has %d" k d.Value.len;
+            for i = 0 to d.Value.len - 1 do we buf d.Value.items.(i) done
+          | v -> mismatch v)
+     | Length_field _ ->
+       fun buf v ->
+         (match v with
+          | Value.Array d -> for i = 0 to d.Value.len - 1 do we buf d.Value.items.(i) done
+          | v -> mismatch v))
+
+and comp_encode_record endian (r : Ptype.record) : Buffer.t -> Value.t -> unit =
+  let fields = Array.of_list r.fields in
+  let nf = Array.length fields in
+  let first_index name =
+    let rec go i =
+      if i >= nf then None
+      else if fields.(i).Ptype.fname = name then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let steps =
+    Array.map
+      (fun (f : Ptype.field) ->
+         let w = comp_encode_type endian f.ftype in
+         let lcheck =
+           match f.ftype with
+           | Ptype.Array { size = Ptype.Length_field lf; _ } -> Some (lf, first_index lf)
+           | _ -> None
+         in
+         (f.fname, lcheck, w))
+      fields
+  in
+  fun buf v ->
+    match v with
+    | Value.Record es ->
+      if Array.length es <> nf then
+        encode_error "record %s: value has %d fields, format declares %d"
+          r.rname (Array.length es) nf;
+      for i = 0 to nf - 1 do
+        let name, lcheck, w = steps.(i) in
+        let e = es.(i) in
+        if e.Value.name <> name then
+          encode_error "record %s: field %d is %S in value but %S in format"
+            r.rname i e.Value.name name;
+        (match lcheck with
+         | None -> ()
+         | Some (lf, j) ->
+           let declared =
+             match j with
+             | Some j when es.(j).Value.name = lf -> Value.to_int es.(j).Value.v
+             | Some _ | None -> Value.to_int (Value.get_field v lf)
+           in
+           let actual = Value.array_len e.Value.v in
+           if declared <> actual then
+             encode_error
+               "record %s: length field %S = %d but array %S has %d elements \
+                (call Value.sync_lengths before encoding)"
+               r.rname lf declared name actual);
+        w buf e.Value.v
+      done
+    | v ->
+      encode_error "value %s does not match field type %a"
+        (Value.to_string v) Ptype.pp_type (Ptype.Record r)
+
+let compile_encode ~endian (r : Ptype.record) : encoder =
+  timed_compile (fun () ->
+      let erun = comp_encode_record endian r in
+      let bound, _exact = Sizeof.static_wire_bound r in
+      (* pre-size the scratch buffer from the static bound; cap the initial
+         allocation, Buffer grows on demand past it *)
+      let scratch = Buffer.create (min (max bound 256) 65536) in
+      { efmt = r; eendian = endian; scratch; erun })
+
+let encode_payload (enc : encoder) (v : Value.t) : string =
+  Buffer.clear enc.scratch;
+  enc.erun enc.scratch v;
+  Buffer.contents enc.scratch
+
+let encode_message (enc : encoder) ~format_id (v : Value.t) : string =
+  Buffer.clear enc.scratch;
+  enc.erun enc.scratch v;
+  let plen = Buffer.length enc.scratch in
+  let b = Bytes.create (header_size + plen) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (match enc.eendian with Little -> '\x00' | Big -> '\x01');
+  Bytes.set b 5 (Char.chr wire_version);
+  Bytes.set b 6 '\x00';
+  Bytes.set b 7 '\x00';
+  set_u32 enc.eendian b 8 format_id;
+  set_u32 enc.eendian b 12 plen;
+  Buffer.blit enc.scratch 0 b header_size plen;
+  Bytes.unsafe_to_string b
+
+let encoder_format enc = enc.efmt
+let encoder_endian enc = enc.eendian
+
+(* --- compiled decode plans ------------------------------------------------------ *)
+
+type decoder = {
+  dfmt : Ptype.record;
+  drun : cursor -> Value.t;
+}
+
+(* One record scope: which fields back length slots.  A slot is assigned to
+   every name referenced by a [Length_field] in this scope (arrays nest
+   through arrays but not through records — an inner record resolves its
+   lengths against its own fields, exactly like the interpreter's
+   [length_of]).  Slot k mirrors the first field with that name, matching
+   [Value.field_index]'s first-match rule on duplicate names. *)
+let record_layout (r : Ptype.record) =
+  let fields = Array.of_list r.fields in
+  let nf = Array.length fields in
+  let rec refs acc (ty : Ptype.t) =
+    match ty with
+    | Ptype.Basic _ | Record _ -> acc
+    | Array { elem; size } ->
+      let acc =
+        match size with
+        | Ptype.Length_field nm -> if List.mem nm acc then acc else nm :: acc
+        | Fixed _ -> acc
+      in
+      refs acc elem
+  in
+  let referenced =
+    Array.fold_left (fun acc (f : Ptype.field) -> refs acc f.ftype) [] fields
+  in
+  let first_index nm =
+    let rec go i =
+      if i >= nf then None
+      else if fields.(i).Ptype.fname = nm then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let slots =
+    List.mapi (fun k (nm, i) -> (nm, i, k))
+      (List.filter_map (fun nm -> Option.map (fun i -> (nm, i)) (first_index nm)) referenced)
+  in
+  let nslots = List.length slots in
+  let slot_for_field i =
+    List.find_map (fun (_, j, k) -> if j = i then Some k else None) slots
+  in
+  let slot_for_name nm =
+    List.find_map (fun (n, _, k) -> if n = nm then Some k else None) slots
+  in
+  (fields, nf, nslots, slot_for_field, slot_for_name, first_index)
+
+(* Resolve a length-field name to a reader over the scope's slot array.
+   Slots start as [Int 0], reproducing the interpreter's placeholder
+   semantics when a hostile format references a not-yet-decoded field. *)
+let lf_of (r : Ptype.record) slot_for_name (nm : string) : Value.t array -> int =
+  match slot_for_name nm with
+  | Some k -> fun lens -> Value.to_int lens.(k)
+  | None -> fun _ -> decode_error "record %s: missing length field %S" r.rname nm
+
+let no_lens : Value.t array = [||]
+let vtrue = Value.Bool true
+let vfalse = Value.Bool false
+
+(* Step closures inline the primitive read (bounds check, byte extraction,
+   cursor advance) rather than calling the shared readers: one fewer
+   indirect call per field, which is most of the interpreter's remaining
+   per-field overhead once dispatch is gone. *)
+let rec comp_decode_type endian (lf : string -> Value.t array -> int) (ty : Ptype.t) :
+  cursor -> Value.t array -> Value.t =
+  match ty with
+  | Ptype.Basic Int ->
+    (match endian with
+     | Little ->
+       fun cur _ ->
+         need cur 4;
+         let x = String.get_int32_le cur.data cur.pos in
+         cur.pos <- cur.pos + 4;
+         Value.Int (Int32.to_int x)
+     | Big ->
+       fun cur _ ->
+         need cur 4;
+         let x = String.get_int32_be cur.data cur.pos in
+         cur.pos <- cur.pos + 4;
+         Value.Int (Int32.to_int x))
+  | Basic Uint ->
+    (match endian with
+     | Little ->
+       fun cur _ ->
+         need cur 4;
+         let x = Int32.to_int (String.get_int32_le cur.data cur.pos) in
+         cur.pos <- cur.pos + 4;
+         Value.Uint (if x < 0 then x + uint32_max + 1 else x)
+     | Big ->
+       fun cur _ ->
+         need cur 4;
+         let x = Int32.to_int (String.get_int32_be cur.data cur.pos) in
+         cur.pos <- cur.pos + 4;
+         Value.Uint (if x < 0 then x + uint32_max + 1 else x))
+  | Basic Float ->
+    (match endian with
+     | Little ->
+       fun cur _ ->
+         need cur 8;
+         let bits = String.get_int64_le cur.data cur.pos in
+         cur.pos <- cur.pos + 8;
+         Value.Float (Int64.float_of_bits bits)
+     | Big ->
+       fun cur _ ->
+         need cur 8;
+         let bits = String.get_int64_be cur.data cur.pos in
+         cur.pos <- cur.pos + 8;
+         Value.Float (Int64.float_of_bits bits))
+  | Basic Char ->
+    fun cur _ ->
+      need cur 1;
+      let c = String.unsafe_get cur.data cur.pos in
+      cur.pos <- cur.pos + 1;
+      Value.Char c
+  | Basic Bool ->
+    fun cur _ ->
+      need cur 1;
+      let c = String.unsafe_get cur.data cur.pos in
+      cur.pos <- cur.pos + 1;
+      if c <> '\x00' then vtrue else vfalse
+  | Basic (Enum e) ->
+    let rd = reader_i32 endian in
+    let tbl = enum_table e in
+    let ename = e.ename in
+    fun cur _ ->
+      let n = rd cur in
+      (match Hashtbl.find_opt tbl n with
+       | Some case -> Value.Enum (case, n)
+       | None -> decode_error "enum %s: unknown value %d" ename n)
+  | Basic String ->
+    let rd = reader_i32 endian in
+    fun cur _ ->
+      let n0 = rd cur in
+      let n = if n0 < 0 then n0 + uint32_max + 1 else n0 in
+      if n > cur.limit - cur.pos then decode_error "string length %d exceeds message" n;
+      let s = String.sub cur.data cur.pos n in
+      cur.pos <- cur.pos + n;
+      Value.String s
+  | Record r ->
+    let sub = comp_decode_record endian r in
+    fun cur _ -> sub cur
+  | Array { elem; size } ->
+    let m = min_wire_size elem in
+    let edec = comp_decode_type endian lf elem in
+    (* the model is shared across every array this plan decodes: growth
+       fills copy it ([Value.fill_for]) and equality ignores it *)
+    let model = Some (Value.default elem) in
+    let getn, what =
+      match size with
+      | Ptype.Fixed k -> (fun _ -> k), "fixed-size array"
+      | Length_field nm -> lf nm, Printf.sprintf "%S" nm
+    in
+    fun cur lens ->
+      let n = getn lens in
+      if n < 0 then decode_error "negative array length %d for %s" n what;
+      let remaining = cur.limit - cur.pos in
+      if (m > 0 && n > remaining / m) || (m = 0 && n > cur.limit) then
+        decode_error "array length %d for %s exceeds message size" n what;
+      let items = Array.init n (fun _ -> edec cur lens) in
+      Value.Array { items; len = n; model }
+
+and comp_decode_record endian (r : Ptype.record) : cursor -> Value.t =
+  let fields, nf, nslots, slot_for_field, slot_for_name, _ = record_layout r in
+  let lf = lf_of r slot_for_name in
+  let names = Array.map (fun (f : Ptype.field) -> f.fname) fields in
+  let steps =
+    Array.init nf (fun i ->
+        let base = comp_decode_type endian lf fields.(i).Ptype.ftype in
+        match slot_for_field i with
+        | None -> base
+        | Some k ->
+          fun cur lens ->
+            let v = base cur lens in
+            lens.(k) <- v;
+            v)
+  in
+  (* Entries are built with their final values (initializing stores, no
+     placeholder pass and no write barriers); common small arities get
+     straight-line closures.  The lets force wire-order evaluation. *)
+  let build : cursor -> Value.t array -> Value.t =
+    match steps, names with
+    | [| s0 |], [| n0 |] ->
+      fun cur lens -> Value.Record [| { Value.name = n0; v = s0 cur lens } |]
+    | [| s0; s1 |], [| n0; n1 |] ->
+      fun cur lens ->
+        let v0 = s0 cur lens in
+        let v1 = s1 cur lens in
+        Value.Record [| { Value.name = n0; v = v0 }; { Value.name = n1; v = v1 } |]
+    | [| s0; s1; s2 |], [| n0; n1; n2 |] ->
+      fun cur lens ->
+        let v0 = s0 cur lens in
+        let v1 = s1 cur lens in
+        let v2 = s2 cur lens in
+        Value.Record
+          [| { Value.name = n0; v = v0 }; { Value.name = n1; v = v1 };
+             { Value.name = n2; v = v2 } |]
+    | [| s0; s1; s2; s3 |], [| n0; n1; n2; n3 |] ->
+      fun cur lens ->
+        let v0 = s0 cur lens in
+        let v1 = s1 cur lens in
+        let v2 = s2 cur lens in
+        let v3 = s3 cur lens in
+        Value.Record
+          [| { Value.name = n0; v = v0 }; { Value.name = n1; v = v1 };
+             { Value.name = n2; v = v2 }; { Value.name = n3; v = v3 } |]
+    | [| s0; s1; s2; s3; s4 |], [| n0; n1; n2; n3; n4 |] ->
+      fun cur lens ->
+        let v0 = s0 cur lens in
+        let v1 = s1 cur lens in
+        let v2 = s2 cur lens in
+        let v3 = s3 cur lens in
+        let v4 = s4 cur lens in
+        Value.Record
+          [| { Value.name = n0; v = v0 }; { Value.name = n1; v = v1 };
+             { Value.name = n2; v = v2 }; { Value.name = n3; v = v3 };
+             { Value.name = n4; v = v4 } |]
+    | _ ->
+      fun cur lens ->
+        let es = Array.init nf (fun i -> { Value.name = names.(i); v = Value.Int 0 }) in
+        for i = 0 to nf - 1 do
+          es.(i).Value.v <- steps.(i) cur lens
+        done;
+        Value.Record es
+  in
+  if nslots = 0 then fun cur -> build cur no_lens
+  else fun cur -> build cur (Array.make nslots (Value.Int 0))
+
+(* Skip a value on the wire without materialising it, enforcing the same
+   guards as decoding (bounds, enum validity), so a fused plan accepts and
+   rejects exactly the messages the staged path does. *)
+let rec comp_skip_type endian (lf : string -> Value.t array -> int) (ty : Ptype.t) :
+  cursor -> Value.t array -> unit =
+  match fixed_span ty with
+  | Some k ->
+    fun cur _ ->
+      need cur k;
+      cur.pos <- cur.pos + k
+  | None ->
+    (match ty with
+     | Ptype.Basic (Int | Uint) ->
+       fun cur _ ->
+         need cur 4;
+         cur.pos <- cur.pos + 4
+     | Basic Float ->
+       fun cur _ ->
+         need cur 8;
+         cur.pos <- cur.pos + 8
+     | Basic (Char | Bool) ->
+       fun cur _ ->
+         need cur 1;
+         cur.pos <- cur.pos + 1
+     | Basic (Enum e) ->
+       let rd = reader_i32 endian in
+       let tbl = enum_table e in
+       let ename = e.ename in
+       fun cur _ ->
+         let n = rd cur in
+         if not (Hashtbl.mem tbl n) then decode_error "enum %s: unknown value %d" ename n
+     | Basic String ->
+       let rd = reader_u32 endian in
+       fun cur _ ->
+         let n = rd cur in
+         if n > cur.limit - cur.pos then decode_error "string length %d exceeds message" n;
+         cur.pos <- cur.pos + n
+     | Record r ->
+       let sub = comp_skip_record endian r in
+       fun cur _ -> sub cur
+     | Array { elem; size } ->
+       let m = min_wire_size elem in
+       let espan = fixed_span elem in
+       let eskip = comp_skip_type endian lf elem in
+       let getn, what =
+         match size with
+         | Ptype.Fixed k -> (fun _ -> k), "fixed-size array"
+         | Length_field nm -> lf nm, Printf.sprintf "%S" nm
+       in
+       fun cur lens ->
+         let n = getn lens in
+         if n < 0 then decode_error "negative array length %d for %s" n what;
+         let remaining = cur.limit - cur.pos in
+         if (m > 0 && n > remaining / m) || (m = 0 && n > cur.limit) then
+           decode_error "array length %d for %s exceeds message size" n what;
+         (match espan with
+          | Some k ->
+            need cur (n * k);
+            cur.pos <- cur.pos + (n * k)
+          | None -> for _ = 1 to n do eskip cur lens done))
+
+and comp_skip_record endian (r : Ptype.record) : cursor -> unit =
+  let fields, nf, nslots, slot_for_field, slot_for_name, _ = record_layout r in
+  let lf = lf_of r slot_for_name in
+  let steps =
+    Array.init nf (fun i ->
+        match slot_for_field i with
+        | Some k ->
+          (* a skipped field other arrays size from must still be read *)
+          let dec = comp_decode_type endian lf fields.(i).Ptype.ftype in
+          fun cur lens -> lens.(k) <- dec cur lens
+        | None -> comp_skip_type endian lf fields.(i).Ptype.ftype)
+  in
+  fun cur ->
+    let lens = Array.make nslots (Value.Int 0) in
+    for i = 0 to nf - 1 do
+      steps.(i) cur lens
+    done
+
+let compile_decode ~endian (r : Ptype.record) : decoder =
+  timed_compile (fun () -> { dfmt = r; drun = comp_decode_record endian r })
+
+let decode_payload (d : decoder) ?(pos = 0) (data : string) : Value.t =
+  let cur = { data; pos; limit = String.length data } in
+  let v = d.drun cur in
+  if cur.pos <> cur.limit then
+    decode_error "trailing garbage: %d bytes left after record %s"
+      (cur.limit - cur.pos) d.dfmt.Ptype.rname;
+  v
+
+let decoder_format d = d.dfmt
+
+(* --- fused decode->morph plans ---------------------------------------------------- *)
+
+type morpher = {
+  mfrom : Ptype.record;
+  minto : Ptype.record;
+  mrun : cursor -> Value.t;
+}
+
+(* Fused type decoder: read a [src]-formatted value off the wire and build
+   it directly in the [dst] layout, with no intermediate source-format
+   value.  Returns None exactly when [Convert.compile_type] would (the
+   shapes are incompatible; the caller then skips the source bytes and
+   materialises the target default).  Fusion recurses through records and
+   arrays, so e.g. fields dropped from an array element are skipped on the
+   wire instead of decoded and discarded. *)
+let rec comp_morph_type endian (lf : string -> Value.t array -> int) (src : Ptype.t)
+    (dst : Ptype.t) : (cursor -> Value.t array -> Value.t) option =
+  if Ptype.equal_type src dst then Some (comp_decode_type endian lf src)
+  else
+    match src, dst with
+    | Ptype.Basic _, Ptype.Basic _ ->
+      (match Convert.compile_type src dst with
+       | None -> None
+       | Some co ->
+         let dec = comp_decode_type endian lf src in
+         Some (fun cur lens -> co (dec cur lens)))
+    | Record r1, Record r2 ->
+      let sub = comp_morph_record endian r1 r2 in
+      Some (fun cur _ -> sub cur)
+    | Array a1, Array a2 ->
+      let m = min_wire_size a1.elem in
+      (* like [Convert.compile_type]: an inconvertible element becomes a
+         copy of the target default, but the source bytes must still be
+         consumed (and validated) *)
+      let elem =
+        match comp_morph_type endian lf a1.elem a2.elem with
+        | Some f -> f
+        | None ->
+          let sk = comp_skip_type endian lf a1.elem in
+          let d = Value.default a2.elem in
+          fun cur lens ->
+            sk cur lens;
+            Value.copy d
+      in
+      let dmodel = Value.default a2.elem in
+      let getn, what =
+        match a1.size with
+        | Ptype.Fixed k -> (fun _ -> k), "fixed-size array"
+        | Length_field nm -> lf nm, Printf.sprintf "%S" nm
+      in
+      let check cur lens =
+        let n = getn lens in
+        if n < 0 then decode_error "negative array length %d for %s" n what;
+        let remaining = cur.limit - cur.pos in
+        if (m > 0 && n > remaining / m) || (m = 0 && n > cur.limit) then
+          decode_error "array length %d for %s exceeds message size" n what;
+        n
+      in
+      (match a2.size with
+       | Ptype.Length_field _ ->
+         Some
+           (fun cur lens ->
+              let n = check cur lens in
+              let items = Array.init n (fun _ -> elem cur lens) in
+              Value.Array { items; len = n; model = Some dmodel })
+       | Fixed k ->
+         let eskip = comp_skip_type endian lf a1.elem in
+         Some
+           (fun cur lens ->
+              let n = check cur lens in
+              let take = if k < n then k else n in
+              let items =
+                Array.init k (fun i ->
+                    if i < take then elem cur lens else Value.copy dmodel)
+              in
+              for _ = take + 1 to n do
+                eskip cur lens
+              done;
+              Value.Array { items; len = k; model = Some dmodel }))
+    | (Basic _ | Record _ | Array _), _ -> None
+
+and comp_morph_record endian (src : Ptype.record) (dst : Ptype.record) :
+  cursor -> Value.t =
+  let fields, nf, nslots, slot_for_field, slot_for_name, first_index =
+    record_layout src
+  in
+  let lf = lf_of src slot_for_name in
+  let dst_fields = Array.of_list dst.fields in
+  let nt = Array.length dst_fields in
+  let tnames = Array.map (fun (f : Ptype.field) -> f.fname) dst_fields in
+  (* source index -> matched target index (first source occurrence of each
+     target name, as in [Convert.compile_record]); injective since target
+     names are unique *)
+  let target_of = Array.make (max nf 1) (-1) in
+  Array.iteri
+    (fun j (f : Ptype.field) ->
+       match first_index f.fname with
+       | Some i -> target_of.(i) <- j
+       | None -> ())
+    dst_fields;
+  (* how each target slot is produced: fused in wire order into [tmp], or
+     defaulted at assembly time *)
+  let finals =
+    Array.init (max nt 1) (fun j ->
+        if j < nt then `Default (Convert.field_default dst_fields.(j))
+        else `Default (fun () -> Value.Int 0))
+  in
+  (* [Fskip n] marks a field whose bytes are dropped with a statically
+     known span; adjacent ones coalesce into a single bounds check and
+     cursor bump (e.g. two bools dropped from an array element cost one
+     2-byte skip per element, not two closure calls) *)
+  let raw =
+    List.init nf (fun i ->
+        let sty = fields.(i).Ptype.ftype in
+        let j = target_of.(i) in
+        if j >= 0 then begin
+          let dty = dst_fields.(j).Ptype.ftype in
+          match slot_for_field i with
+          | Some k ->
+            (* length-referenced AND matched: the lens needs the
+               source-formed value, so convert it separately like the
+               staged path instead of fusing *)
+            let dec = comp_decode_type endian lf sty in
+            let co =
+              if Ptype.equal_type sty dty then Some (fun v -> v)
+              else Convert.compile_type sty dty
+            in
+            (match co with
+             | Some co ->
+               finals.(j) <- `Tmp;
+               `Step
+                 (fun cur lens tmp ->
+                    let v = dec cur lens in
+                    lens.(k) <- v;
+                    tmp.(j) <- co v)
+             | None -> `Step (fun cur lens _ -> lens.(k) <- dec cur lens))
+          | None ->
+            (match comp_morph_type endian lf sty dty with
+             | Some dec ->
+               finals.(j) <- `Tmp;
+               `Step (fun cur lens tmp -> tmp.(j) <- dec cur lens)
+             | None ->
+               (match fixed_span sty with
+                | Some n -> `Fskip n
+                | None ->
+                  let sk = comp_skip_type endian lf sty in
+                  `Step (fun cur lens _ -> sk cur lens)))
+        end
+        else
+          match slot_for_field i with
+          | Some k ->
+            let dec = comp_decode_type endian lf sty in
+            `Step (fun cur lens _ -> lens.(k) <- dec cur lens)
+          | None ->
+            (match fixed_span sty with
+             | Some n -> `Fskip n
+             | None ->
+               let sk = comp_skip_type endian lf sty in
+               `Step (fun cur lens _ -> sk cur lens)))
+  in
+  let rec coalesce = function
+    | `Fskip a :: `Fskip b :: rest -> coalesce (`Fskip (a + b) :: rest)
+    | `Fskip n :: rest ->
+      (fun cur _ _ ->
+         need cur n;
+         cur.pos <- cur.pos + n)
+      :: coalesce rest
+    | `Step f :: rest -> f :: coalesce rest
+    | [] -> []
+  in
+  let steps = Array.of_list (coalesce raw) in
+  let ns = Array.length steps in
+  (* assembly closures resolved now: pull from [tmp] or build the default *)
+  let g =
+    Array.init (max nt 1) (fun j ->
+        match finals.(j) with
+        | `Tmp -> fun tmp -> tmp.(j)
+        | `Default d -> fun _ -> d ())
+  in
+  let assemble : Value.t array -> Value.t =
+    match g, tnames with
+    | [| g0 |], [| n0 |] -> fun tmp -> Value.Record [| { Value.name = n0; v = g0 tmp } |]
+    | [| g0; g1 |], [| n0; n1 |] ->
+      fun tmp ->
+        Value.Record
+          [| { Value.name = n0; v = g0 tmp }; { Value.name = n1; v = g1 tmp } |]
+    | [| g0; g1; g2 |], [| n0; n1; n2 |] ->
+      fun tmp ->
+        Value.Record
+          [| { Value.name = n0; v = g0 tmp }; { Value.name = n1; v = g1 tmp };
+             { Value.name = n2; v = g2 tmp } |]
+    | [| g0; g1; g2; g3 |], [| n0; n1; n2; n3 |] ->
+      fun tmp ->
+        Value.Record
+          [| { Value.name = n0; v = g0 tmp }; { Value.name = n1; v = g1 tmp };
+             { Value.name = n2; v = g2 tmp }; { Value.name = n3; v = g3 tmp } |]
+    | _ ->
+      fun tmp -> Value.Record (Array.init nt (fun j -> { Value.name = tnames.(j); v = g.(j) tmp }))
+  in
+  fun cur ->
+    let lens = if nslots = 0 then no_lens else Array.make nslots (Value.Int 0) in
+    let tmp = Array.make (max nt 1) (Value.Int 0) in
+    for i = 0 to ns - 1 do
+      steps.(i) cur lens tmp
+    done;
+    assemble tmp
+
+let compile_morph ~endian ~(from_ : Ptype.record) ~(into : Ptype.record) : morpher =
+  timed_compile (fun () ->
+      let body = comp_morph_record endian from_ into in
+      let mrun cur =
+        let res = body cur in
+        (* target length fields matched by name from the source may disagree
+           with converted arrays, exactly as in [Convert.compile] *)
+        Value.sync_lengths into res;
+        res
+      in
+      { mfrom = from_; minto = into; mrun })
+
+let morph_payload (m : morpher) ?(pos = 0) (data : string) : Value.t =
+  let cur = { data; pos; limit = String.length data } in
+  let v = m.mrun cur in
+  if cur.pos <> cur.limit then
+    decode_error "trailing garbage: %d bytes left after record %s"
+      (cur.limit - cur.pos) m.mfrom.Ptype.rname;
+  v
+
+let morpher_formats m = (m.mfrom, m.minto)
+
+(* --- plan caches ------------------------------------------------------------------- *)
+
+(* Per-format plans, both endians built lazily on first use.  Buckets hang
+   off [Ptype.hash_record] and resolve collisions with structural equality.
+   Bounded: hostile shipped meta-data can mint unlimited formats, so the
+   whole cache resets rather than grow without bound. *)
+
+type plans = {
+  enc_le : encoder Lazy.t;
+  enc_be : encoder Lazy.t;
+  dec_le : decoder Lazy.t;
+  dec_be : decoder Lazy.t;
+}
+
+let max_cached_plans = 512
+
+let plan_cache : (int, (Ptype.record * plans) list) Hashtbl.t = Hashtbl.create 64
+let plan_count = ref 0
+
+type mplans = {
+  mor_le : morpher Lazy.t;
+  mor_be : morpher Lazy.t;
+}
+
+let morph_cache : (int, ((Ptype.record * Ptype.record) * mplans) list) Hashtbl.t =
+  Hashtbl.create 32
+
+let morph_count = ref 0
+
+(* One-slot physical-identity memo in front of each hashed cache: almost
+   every caller passes the same statically-defined [Ptype.record] value
+   per message, and [Ptype.hash_record] walks the whole description — at
+   100-byte messages that walk costs as much as decoding.  A [==] hit
+   skips it; dynamically minted formats just fall through to the hashed
+   lookup. *)
+let last_plans : (Ptype.record * plans) option ref = ref None
+let last_mplans : ((Ptype.record * Ptype.record) * mplans) option ref = ref None
+
+let reset_plans () =
+  Hashtbl.reset plan_cache;
+  plan_count := 0;
+  Hashtbl.reset morph_cache;
+  morph_count := 0;
+  last_plans := None;
+  last_mplans := None
+
+let plans_for_slow (r : Ptype.record) : plans =
+  let h = Ptype.hash_record r in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt plan_cache h) in
+  match List.find_opt (fun (r', _) -> Ptype.equal_record r r') bucket with
+  | Some (_, p) ->
+    let m = !metrics in
+    if m.mon then Obs.Counter.incr m.cache_hits;
+    p
+  | None ->
+    if !plan_count >= max_cached_plans then begin
+      Hashtbl.reset plan_cache;
+      plan_count := 0
+    end;
+    let p =
+      {
+        enc_le = lazy (compile_encode ~endian:Little r);
+        enc_be = lazy (compile_encode ~endian:Big r);
+        dec_le = lazy (compile_decode ~endian:Little r);
+        dec_be = lazy (compile_decode ~endian:Big r);
+      }
+    in
+    Hashtbl.replace plan_cache h
+      ((r, p) :: Option.value ~default:[] (Hashtbl.find_opt plan_cache h));
+    incr plan_count;
+    p
+
+let plans_for (r : Ptype.record) : plans =
+  match !last_plans with
+  | Some (r0, p) when r0 == r ->
+    let m = !metrics in
+    if m.mon then Obs.Counter.incr m.cache_hits;
+    p
+  | _ ->
+    let p = plans_for_slow r in
+    last_plans := Some (r, p);
+    p
+
+let encoder_for ~endian (r : Ptype.record) : encoder =
+  let p = plans_for r in
+  Lazy.force (match endian with Little -> p.enc_le | Big -> p.enc_be)
+
+let decoder_for ~endian (r : Ptype.record) : decoder =
+  let p = plans_for r in
+  Lazy.force (match endian with Little -> p.dec_le | Big -> p.dec_be)
+
+let mplans_slow ~(from_ : Ptype.record) ~(into : Ptype.record) : mplans =
+  let h = ((Ptype.hash_record from_ * 31) + Ptype.hash_record into) land max_int in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt morph_cache h) in
+  let p =
+    match
+      List.find_opt
+        (fun ((f, i), _) -> Ptype.equal_record f from_ && Ptype.equal_record i into)
+        bucket
+    with
+    | Some (_, p) ->
+      let m = !metrics in
+      if m.mon then Obs.Counter.incr m.cache_hits;
+      p
+    | None ->
+      if !morph_count >= max_cached_plans then begin
+        Hashtbl.reset morph_cache;
+        morph_count := 0
+      end;
+      let p =
+        {
+          mor_le = lazy (compile_morph ~endian:Little ~from_ ~into);
+          mor_be = lazy (compile_morph ~endian:Big ~from_ ~into);
+        }
+      in
+      Hashtbl.replace morph_cache h
+        (((from_, into), p) :: Option.value ~default:[] (Hashtbl.find_opt morph_cache h));
+      incr morph_count;
+      p
+  in
+  p
+
+let morpher_for ~endian ~(from_ : Ptype.record) ~(into : Ptype.record) : morpher =
+  let p =
+    match !last_mplans with
+    | Some ((f0, i0), p) when f0 == from_ && i0 == into ->
+      let m = !metrics in
+      if m.mon then Obs.Counter.incr m.cache_hits;
+      p
+    | _ ->
+      let p = mplans_slow ~from_ ~into in
+      last_mplans := Some ((from_, into), p);
+      p
+  in
+  Lazy.force (match endian with Little -> p.mor_le | Big -> p.mor_be)

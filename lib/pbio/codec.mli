@@ -1,0 +1,134 @@
+(** Compiled wire-codec plans: the wire-layer half of substitution S1.
+
+    {!compile_encode}, {!compile_decode} and {!compile_morph} walk a
+    format description once and emit flat plans of specialised closures —
+    per-endian primitive readers/writers resolved at compile time, enum
+    value<->case hash tables instead of [List.find_opt], length-field
+    references bound to slot indices, [min_wire_size] precomputed per
+    array element, and a reusable scratch buffer sized from
+    {!Sizeof.static_wire_bound}.  Per message, only direct calls remain.
+
+    {!compile_morph} additionally fuses wire decoding of the sender's
+    format into construction of the {e receiver's} value layout: dropped
+    source fields are skipped on the wire (with identical bounds and enum
+    validity checks), matched fields decode straight into the target slot
+    through the {!Convert} coercion when types differ, and missing target
+    fields take defaults — one pass, no intermediate source-format value.
+    Fused plans are observationally identical to decode-then-convert; the
+    morphcheck "codec" oracle enforces this differentially.
+
+    [Wire] re-exports the message-level API as thin wrappers over the
+    {!encoder_for}/{!decoder_for} plan cache; [Morph.Receiver] caches
+    {!morpher_for} plans alongside its match pipelines.  The interpretive
+    cores live in {!Interp} as the reference implementation. *)
+
+type endian = Little | Big
+
+exception Encode_error of string
+exception Decode_error of string
+
+val header_size : int
+val magic : string
+val wire_version : int
+
+type header = {
+  endian : endian;
+  format_id : int;
+  payload_len : int;
+}
+
+(** Parse and validate the 16-byte message header.
+    @raise Decode_error on any malformation. *)
+val read_header : string -> header
+
+(** Minimum wire footprint of one value of a type; used to reject
+    corrupted length fields before allocating element arrays. *)
+val min_wire_size : Ptype.t -> int
+
+(** {1 Compiled plans} *)
+
+type encoder
+type decoder
+type morpher
+
+(** Compile an encode plan for one format at one endianness.  The plan
+    owns a scratch buffer reused across messages (not thread-safe).
+    Counted in [codec.plan_compiles]. *)
+val compile_encode : endian:endian -> Ptype.record -> encoder
+
+val compile_decode : endian:endian -> Ptype.record -> decoder
+
+(** Compile a fused decode->morph plan: bytes of [from_] in, value laid
+    out as [into] out. *)
+val compile_morph : endian:endian -> from_:Ptype.record -> into:Ptype.record -> morpher
+
+(** [encode_payload enc v] renders the payload bytes (no header).
+    @raise Encode_error when [v] does not conform to the plan's format
+    @raise Value.Type_error on malformed values. *)
+val encode_payload : encoder -> Value.t -> string
+
+(** Full message: header + payload. *)
+val encode_message : encoder -> format_id:int -> Value.t -> string
+
+(** [decode_payload dec ?pos data] decodes from [pos] (default 0) to the
+    end of [data]; trailing bytes are an error.
+    @raise Decode_error on malformed or truncated input. *)
+val decode_payload : decoder -> ?pos:int -> string -> Value.t
+
+(** Fused decode->morph over a payload, same contract as
+    {!decode_payload}. *)
+val morph_payload : morpher -> ?pos:int -> string -> Value.t
+
+val encoder_format : encoder -> Ptype.record
+val encoder_endian : encoder -> endian
+val decoder_format : decoder -> Ptype.record
+val morpher_formats : morpher -> Ptype.record * Ptype.record
+
+(** {1 Plan cache}
+
+    Global, bounded (reset past 512 formats so hostile shipped meta-data
+    cannot grow it without limit), keyed by {!Ptype.hash_record} with
+    structural equality.  Hits tick [codec.plan_cache_hits]. *)
+
+val encoder_for : endian:endian -> Ptype.record -> encoder
+val decoder_for : endian:endian -> Ptype.record -> decoder
+val morpher_for : endian:endian -> from_:Ptype.record -> into:Ptype.record -> morpher
+
+(** Drop every cached plan (tests and long-lived fuzz drivers). *)
+val reset_plans : unit -> unit
+
+(** {1 Interpretive reference implementation}
+
+    The original per-field interpreter, kept as the differential-testing
+    baseline.  Same error behaviour as the compiled plans. *)
+module Interp : sig
+  val encode_payload : endian:endian -> Ptype.record -> Value.t -> string
+  val encode_message : endian:endian -> format_id:int -> Ptype.record -> Value.t -> string
+  val decode_payload : endian:endian -> ?pos:int -> Ptype.record -> string -> Value.t
+end
+
+(** {1 Primitives shared with [Wire]} *)
+
+type cursor = {
+  data : string;
+  mutable pos : int;
+  limit : int;
+}
+
+val need : cursor -> int -> unit
+val read_i32 : endian -> cursor -> int
+val read_u32 : endian -> cursor -> int
+val read_f64 : endian -> cursor -> float
+val read_byte : cursor -> char
+val read_bytes : cursor -> int -> string
+val add_i32 : endian -> Buffer.t -> int -> unit
+val add_u32 : endian -> Buffer.t -> int -> unit
+val add_f64 : endian -> Buffer.t -> float -> unit
+
+val encode_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val decode_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Point the codec's instrumentation ([codec.plan_compiles],
+    [codec.plan_cache_hits] counters, [codec.compile_ns] histogram) at a
+    registry.  Defaults to {!Obs.null}. *)
+val set_metrics : Obs.t -> unit

@@ -31,22 +31,29 @@ let coerce_basic (src : Ptype.basic) (dst : Ptype.basic) : conv option =
   | (Int | Uint | Float | Char | Enum _), Bool -> Some (fun v -> Value.Bool (Value.to_bool v))
   | (Int | Uint), Char -> Some (fun v -> Value.Char (Char.chr (Value.to_int v land 0xff)))
   | (Int | Uint | Char | Bool), Enum e ->
+    (* value -> case-name table built once when the coercion is compiled;
+       first binding wins, like the [List.find_opt] it replaces *)
+    let tbl = Hashtbl.create (2 * List.length e.cases) in
+    List.iter (fun (c, n) -> if not (Hashtbl.mem tbl n) then Hashtbl.add tbl n c) e.cases;
     let fallback = Value.zero_basic (Enum e) in
     Some
       (fun v ->
          let n = Value.to_int v in
-         match List.find_opt (fun (_, x) -> x = n) e.cases with
-         | Some (case, _) -> Value.Enum (case, n)
+         match Hashtbl.find_opt tbl n with
+         | Some case -> Value.Enum (case, n)
          | None -> fallback)
   | Enum _, Enum e2 ->
     (* Map by case name where possible, falling back to the target's first
-       case: renumbered enums keep their meaning across versions. *)
+       case: renumbered enums keep their meaning across versions.  The
+       name -> value table keeps the first binding, like [List.assoc_opt]. *)
+    let tbl = Hashtbl.create (2 * List.length e2.cases) in
+    List.iter (fun (c, n) -> if not (Hashtbl.mem tbl c) then Hashtbl.add tbl c n) e2.cases;
     let fallback = Value.zero_basic (Enum e2) in
     Some
       (fun v ->
          match v with
          | Value.Enum (case, _) ->
-           (match List.assoc_opt case e2.cases with
+           (match Hashtbl.find_opt tbl case with
             | Some n -> Value.Enum (case, n)
             | None -> fallback)
          | _ -> fallback)
@@ -171,10 +178,44 @@ let compile ~(from_ : Ptype.record) ~(into : Ptype.record) : conv =
     Value.sync_lengths into out;
     out
 
-let convert_exn ~from_ ~into v = (compile ~from_ ~into) v
+(* Memo for the one-shot entry points: [convert]/[convert_exn] used to
+   recompile the closure chain on every call.  Keyed by the format pair's
+   combined structural hash, resolved with structural equality; bounded so
+   fuzzed meta-data cannot grow it without limit.  [compile] itself stays
+   uncached — callers like [Morph.Receiver] manage their own plan caches. *)
+
+let max_cached_convs = 512
+
+let conv_cache : (int, ((Ptype.record * Ptype.record) * conv) list) Hashtbl.t =
+  Hashtbl.create 64
+
+let conv_count = ref 0
+
+let reset_cache () =
+  Hashtbl.reset conv_cache;
+  conv_count := 0
+
+let cached ~(from_ : Ptype.record) ~(into : Ptype.record) : conv =
+  let h = ((Ptype.hash_record from_ * 31) + Ptype.hash_record into) land max_int in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt conv_cache h) in
+  match
+    List.find_opt
+      (fun ((f, i), _) -> Ptype.equal_record f from_ && Ptype.equal_record i into)
+      bucket
+  with
+  | Some (_, c) -> c
+  | None ->
+    if !conv_count >= max_cached_convs then reset_cache ();
+    let c = compile ~from_ ~into in
+    Hashtbl.replace conv_cache h
+      (((from_, into), c) :: Option.value ~default:[] (Hashtbl.find_opt conv_cache h));
+    incr conv_count;
+    c
+
+let convert_exn ~from_ ~into v = (cached ~from_ ~into) v
 
 let convert ~from_ ~into v =
-  match (compile ~from_ ~into) v with
+  match (cached ~from_ ~into) v with
   | out -> Ok out
   | exception Value.Type_error msg -> Error (`Type msg)
 

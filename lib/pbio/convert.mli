@@ -15,25 +15,43 @@
 type conv = Value.t -> Value.t
 
 (** [compile ~from_ ~into] builds the specialised converter.  The plan is
-    reusable across any number of messages of the [from_] format. *)
+    reusable across any number of messages of the [from_] format.  Always
+    compiles afresh — callers with a plan cache (e.g. [Morph.Receiver],
+    [Pbio.Codec]) use this; one-shot callers should prefer {!convert},
+    which memoizes per format pair. *)
 val compile : from_:Ptype.record -> into:Ptype.record -> conv
 
-(** One-shot conversion (compiles, then applies).  [Error (`Type _)] when
-    the value does not conform to [from_]. *)
+(** One-shot conversion.  The compiled plan is memoized per structurally
+    equal [(from_, into)] pair, so repeated calls compile once
+    ([convert.compiles] stays flat).  [Error (`Type _)] when the value does
+    not conform to [from_]. *)
 val convert :
   from_:Ptype.record -> into:Ptype.record -> Value.t -> (Value.t, Err.t) result
 
 val convert_exn : from_:Ptype.record -> into:Ptype.record -> Value.t -> Value.t
 [@@deprecated "use convert"]
-(** Raises [Value.Type_error]. *)
+(** Raises [Value.Type_error].  Memoized like {!convert}. *)
+
+(** Drop all memoized conversion plans (tests and long-lived fuzz drivers). *)
+val reset_cache : unit -> unit
 
 (** A conversion is unnecessary exactly when the formats are structurally
     equal. *)
 val is_identity : from_:Ptype.record -> into:Ptype.record -> bool
 
 (** Coercion between basic types, or [None] when no sensible coercion
-    exists (the target field then takes its default). *)
+    exists (the target field then takes its default).  Enum lookups are
+    resolved through hash tables built when the coercion is compiled. *)
 val coerce_basic : Ptype.basic -> Ptype.basic -> conv option
+
+(** Conversion between two types, or [None] when the shapes are
+    incompatible (the target field then takes its default).  Building
+    block for fused plans ({!Codec.compile_morph}). *)
+val compile_type : Ptype.t -> Ptype.t -> conv option
+
+(** Default-value thunk for a field, honouring declared constant defaults;
+    immutable scalars are shared, complex values copied per call. *)
+val field_default : Ptype.field -> unit -> Value.t
 
 (** Point the converter's instrumentation ([convert.compiles] counter,
     [convert.compile_ns] histogram) at a registry.  Defaults to

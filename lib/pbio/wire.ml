@@ -1,4 +1,4 @@
-(* Binary wire codec for PBIO records.
+(* Binary wire codec for PBIO records — public, instrumented entry points.
 
    Message layout:
      header (16 bytes):
@@ -17,273 +17,29 @@
                  its (earlier) length field, a fixed array's count is static.
 
    The sender writes in its native byte order (PBIO's "native data
-   representation"); the receiver byte-swaps only when orders differ. *)
+   representation"); the receiver byte-swaps only when orders differ.
 
-type endian = Little | Big
+   The actual encoding/decoding lives in [Codec]: each call here pulls a
+   compiled plan from the bounded per-format cache (building it on first
+   use) and runs it.  The per-field interpreter survives as
+   [Codec.Interp], the differential-testing reference. *)
 
-exception Encode_error of string
-exception Decode_error of string
+type endian = Codec.endian = Little | Big
 
-let encode_error fmt = Fmt.kstr (fun s -> raise (Encode_error s)) fmt
-let decode_error fmt = Fmt.kstr (fun s -> raise (Decode_error s)) fmt
+exception Encode_error = Codec.Encode_error
+exception Decode_error = Codec.Decode_error
 
-let header_size = 16
-let magic = "PBIO"
-let wire_version = 1
+let header_size = Codec.header_size
+let magic = Codec.magic
+let wire_version = Codec.wire_version
 
-type header = {
+type header = Codec.header = {
   endian : endian;
   format_id : int;
   payload_len : int;
 }
 
-(* --- primitive writers ------------------------------------------------- *)
-
-let int32_min = -0x8000_0000
-let int32_max = 0x7fff_ffff
-let uint32_max = 0xffff_ffff
-
-let add_i32 endian buf n =
-  if n < int32_min || n > int32_max then encode_error "int %d out of 32-bit range" n;
-  let x = Int32.of_int n in
-  match endian with
-  | Little -> Buffer.add_int32_le buf x
-  | Big -> Buffer.add_int32_be buf x
-
-let add_u32 endian buf n =
-  if n < 0 || n > uint32_max then encode_error "unsigned %d out of 32-bit range" n;
-  let x = Int32.of_int (if n > int32_max then n - (uint32_max + 1) else n) in
-  match endian with
-  | Little -> Buffer.add_int32_le buf x
-  | Big -> Buffer.add_int32_be buf x
-
-let add_f64 endian buf x =
-  let bits = Int64.bits_of_float x in
-  match endian with
-  | Little -> Buffer.add_int64_le buf bits
-  | Big -> Buffer.add_int64_be buf bits
-
-(* --- primitive readers ------------------------------------------------- *)
-
-type cursor = {
-  data : string;
-  mutable pos : int;
-  limit : int;
-}
-
-let need cur n =
-  if cur.pos + n > cur.limit then
-    decode_error "truncated message: need %d bytes at offset %d (limit %d)" n cur.pos cur.limit
-
-let read_i32 endian cur =
-  need cur 4;
-  let x =
-    match endian with
-    | Little -> String.get_int32_le cur.data cur.pos
-    | Big -> String.get_int32_be cur.data cur.pos
-  in
-  cur.pos <- cur.pos + 4;
-  Int32.to_int x
-
-let read_u32 endian cur =
-  let n = read_i32 endian cur in
-  if n < 0 then n + uint32_max + 1 else n
-
-let read_f64 endian cur =
-  need cur 8;
-  let bits =
-    match endian with
-    | Little -> String.get_int64_le cur.data cur.pos
-    | Big -> String.get_int64_be cur.data cur.pos
-  in
-  cur.pos <- cur.pos + 8;
-  Int64.float_of_bits bits
-
-let read_byte cur =
-  need cur 1;
-  let c = cur.data.[cur.pos] in
-  cur.pos <- cur.pos + 1;
-  c
-
-let read_bytes cur n =
-  need cur n;
-  let s = String.sub cur.data cur.pos n in
-  cur.pos <- cur.pos + n;
-  s
-
-(* --- payload encoding --------------------------------------------------- *)
-
-let rec encode_type endian buf (ty : Ptype.t) (v : Value.t) : unit =
-  match ty, v with
-  | Ptype.Basic Int, Value.Int n -> add_i32 endian buf n
-  | Basic Uint, Uint n -> add_u32 endian buf n
-  | Basic Float, Float x -> add_f64 endian buf x
-  | Basic Char, Char c -> Buffer.add_char buf c
-  | Basic Bool, Bool b -> Buffer.add_char buf (if b then '\x01' else '\x00')
-  | Basic (Enum _), Enum (_, n) -> add_i32 endian buf n
-  | Basic String, String s ->
-    add_u32 endian buf (String.length s);
-    Buffer.add_string buf s
-  | Record r, (Record _ as v) -> encode_record endian buf r v
-  | Array { elem; size }, (Array _ as v) ->
-    let n = Value.array_len v in
-    (match size with
-     | Fixed k when k <> n -> encode_error "fixed array expects %d elements, value has %d" k n
-     | Fixed _ | Length_field _ -> ());
-    for i = 0 to n - 1 do
-      encode_type endian buf elem (Value.array_get v i)
-    done
-  | _, _ ->
-    encode_error "value %s does not match field type %a"
-      (Value.to_string v) Ptype.pp_type ty
-
-and encode_record endian buf (r : Ptype.record) (v : Value.t) : unit =
-  let es = Value.entries v in
-  if Array.length es <> List.length r.fields then
-    encode_error "record %s: value has %d fields, format declares %d"
-      r.rname (Array.length es) (List.length r.fields);
-  List.iteri
-    (fun i (f : Ptype.field) ->
-       let e = es.(i) in
-       if e.Value.name <> f.fname then
-         encode_error "record %s: field %d is %S in value but %S in format"
-           r.rname i e.Value.name f.fname;
-       (* Enforce the wire invariant: a variable array's length field holds
-          the actual element count, since no count travels on the wire. *)
-       (match f.ftype with
-        | Array { size = Length_field lf; _ } ->
-          let declared = Value.to_int (Value.get_field v lf) in
-          let actual = Value.array_len e.Value.v in
-          if declared <> actual then
-            encode_error
-              "record %s: length field %S = %d but array %S has %d elements \
-               (call Value.sync_lengths before encoding)"
-              r.rname lf declared f.fname actual
-        | _ -> ());
-       encode_type endian buf f.ftype e.Value.v)
-    r.fields
-
-let encode_payload ?(endian = Little) (r : Ptype.record) (v : Value.t) : string =
-  let buf = Buffer.create 256 in
-  encode_record endian buf r v;
-  Buffer.contents buf
-
-let encode_core ?(endian = Little) ~format_id (r : Ptype.record) (v : Value.t) : string =
-  let payload = encode_payload ~endian r v in
-  let buf = Buffer.create (header_size + String.length payload) in
-  Buffer.add_string buf magic;
-  Buffer.add_char buf (match endian with Little -> '\x00' | Big -> '\x01');
-  Buffer.add_char buf (Char.chr wire_version);
-  Buffer.add_string buf "\x00\x00";
-  add_u32 endian buf format_id;
-  add_u32 endian buf (String.length payload);
-  Buffer.add_string buf payload;
-  Buffer.contents buf
-
-(* --- payload decoding --------------------------------------------------- *)
-
-(* Minimum wire footprint of one value of a type: used to reject corrupted
-   length fields before allocating huge element arrays. *)
-let rec min_wire_size (ty : Ptype.t) : int =
-  match ty with
-  | Ptype.Basic (Int | Uint | Enum _ | String) -> 4
-  | Basic Float -> 8
-  | Basic (Char | Bool) -> 1
-  | Record r ->
-    List.fold_left (fun acc (f : Ptype.field) -> acc + min_wire_size f.ftype) 0 r.fields
-  | Array { elem; size = Fixed k } -> max k 0 * min_wire_size elem
-  | Array { size = Length_field _; _ } -> 0
-
-let rec decode_type endian cur (ty : Ptype.t) ~(length_of : string -> int) : Value.t =
-  match ty with
-  | Ptype.Basic Int -> Value.Int (read_i32 endian cur)
-  | Basic Uint -> Value.Uint (read_u32 endian cur)
-  | Basic Float -> Value.Float (read_f64 endian cur)
-  | Basic Char -> Value.Char (read_byte cur)
-  | Basic Bool -> Value.Bool (read_byte cur <> '\x00')
-  | Basic (Enum e) ->
-    let n = read_i32 endian cur in
-    let case =
-      match List.find_opt (fun (_, v) -> v = n) e.cases with
-      | Some (c, _) -> c
-      | None -> decode_error "enum %s: unknown value %d" e.ename n
-    in
-    Value.Enum (case, n)
-  | Basic String ->
-    let n = read_u32 endian cur in
-    if n > cur.limit - cur.pos then decode_error "string length %d exceeds message" n;
-    Value.String (read_bytes cur n)
-  | Record r -> decode_record_inner endian cur r
-  | Array { elem; size } ->
-    (* Both size sources are untrusted here: length fields come off the wire
-       and fixed sizes may come from a hostile format description (shipped
-       meta-data), so both are bounds-checked before any allocation. *)
-    let check_len ~what n =
-      if n < 0 then decode_error "negative array length %d for %s" n what;
-      let remaining = cur.limit - cur.pos in
-      let m = min_wire_size elem in
-      if (m > 0 && n > remaining / m) || (m = 0 && n > cur.limit) then
-        decode_error "array length %d for %s exceeds message size" n what;
-      n
-    in
-    let n =
-      match size with
-      | Fixed k -> check_len ~what:"fixed-size array" k
-      | Length_field name -> check_len ~what:(Printf.sprintf "%S" name) (length_of name)
-    in
-    let items = Array.init n (fun _ -> decode_type endian cur elem ~length_of) in
-    Value.Array { items; len = n; model = Some (Value.default elem) }
-
-and decode_record_inner endian cur (r : Ptype.record) : Value.t =
-  let es =
-    Array.of_list
-      (List.map (fun (f : Ptype.field) -> { Value.name = f.fname; v = Value.Int 0 }) r.fields)
-  in
-  let length_of name =
-    (* Length fields are declared before the arrays that use them (enforced
-       by Ptype.validate), so they are already decoded here. *)
-    match Value.field_index es name with
-    | Some i -> Value.to_int es.(i).Value.v
-    | None -> decode_error "record %s: missing length field %S" r.rname name
-  in
-  List.iteri
-    (fun i (f : Ptype.field) -> es.(i).Value.v <- decode_type endian cur f.ftype ~length_of)
-    r.fields;
-  Value.Record es
-
-let decode_payload_core ?(endian = Little) (r : Ptype.record) (data : string) : Value.t =
-  let cur = { data; pos = 0; limit = String.length data } in
-  let v = decode_record_inner endian cur r in
-  if cur.pos <> cur.limit then
-    decode_error "trailing garbage: %d bytes left after record %s" (cur.limit - cur.pos) r.rname;
-  v
-
-let read_header_core (data : string) : header =
-  if String.length data < header_size then decode_error "message shorter than header";
-  if String.sub data 0 4 <> magic then decode_error "bad magic";
-  let endian =
-    match data.[4] with
-    | '\x00' -> Little
-    | '\x01' -> Big
-    | c -> decode_error "bad endian flag %C" c
-  in
-  let v = Char.code data.[5] in
-  if v <> wire_version then decode_error "unsupported wire version %d" v;
-  let cur = { data; pos = 8; limit = String.length data } in
-  let format_id = read_u32 endian cur in
-  let payload_len = read_u32 endian cur in
-  if header_size + payload_len <> String.length data then
-    decode_error "payload length %d does not match message size %d"
-      payload_len (String.length data - header_size);
-  { endian; format_id; payload_len }
-
-let decode_core (r : Ptype.record) (data : string) : Value.t =
-  let h = read_header_core data in
-  let cur = { data; pos = header_size; limit = String.length data } in
-  let v = decode_record_inner h.endian cur r in
-  if cur.pos <> cur.limit then
-    decode_error "trailing garbage after record %s" r.rname;
-  v
+let min_wire_size = Codec.min_wire_size
 
 (* --- observability ------------------------------------------------------- *)
 
@@ -315,6 +71,14 @@ let make_metrics reg =
 let metrics = ref (make_metrics Obs.null)
 let set_metrics reg = metrics := make_metrics reg
 
+(* --- encoding ------------------------------------------------------------- *)
+
+let encode_payload ?(endian = Little) (r : Ptype.record) (v : Value.t) : string =
+  Codec.encode_payload (Codec.encoder_for ~endian r) v
+
+let encode_core ?(endian = Little) ~format_id (r : Ptype.record) (v : Value.t) : string =
+  Codec.encode_message (Codec.encoder_for ~endian r) ~format_id v
+
 let encode ?endian ~format_id (r : Ptype.record) (v : Value.t) : string =
   let m = !metrics in
   if not m.mon then encode_core ?endian ~format_id r v
@@ -327,13 +91,16 @@ let encode ?endian ~format_id (r : Ptype.record) (v : Value.t) : string =
     s
   end
 
-(* --- public decoding API ------------------------------------------------- *)
+(* --- decoding ------------------------------------------------------------- *)
 
-(* Raising *_exn compatibility wrappers; the uninstrumented cores are kept
-   separate so the metered path only pays clock reads when a live registry
-   is installed. *)
+let decode_payload_core ?(endian = Little) (r : Ptype.record) (data : string) : Value.t =
+  Codec.decode_payload (Codec.decoder_for ~endian r) data
 
-let read_header_exn = read_header_core
+let decode_core (r : Ptype.record) (data : string) : Value.t =
+  let h = Codec.read_header data in
+  Codec.decode_payload (Codec.decoder_for ~endian:h.endian r) ~pos:header_size data
+
+let read_header_exn = Codec.read_header
 let decode_payload_exn = decode_payload_core
 
 let decode_exn (r : Ptype.record) (data : string) : Value.t =
@@ -362,7 +129,7 @@ let wrap (f : unit -> 'a) : ('a, Err.t) result =
   | exception Decode_error msg -> Error (`Decode msg)
   | exception Value.Type_error msg -> Error (`Type msg)
 
-let read_header data = wrap (fun () -> read_header_core data)
+let read_header data = wrap (fun () -> Codec.read_header data)
 let decode r data = wrap (fun () -> decode_exn r data)
 let decode_payload ?endian r data = wrap (fun () -> decode_payload_core ?endian r data)
 

@@ -13,16 +13,23 @@
     Decoding is result-typed: wire input is untrusted, so every decoding
     entry point returns [('a, Err.t) result].  Encoding raises
     {!Encode_error} — the value and format come from the sender itself,
-    and a mismatch there is a programming error, not an input error. *)
+    and a mismatch there is a programming error, not an input error.
 
-type endian =
+    Every call runs a compiled plan from {!Codec}'s bounded per-format
+    cache, built on first use for the format/endianness pair (counted in
+    [codec.plan_compiles]); the original per-field interpreter survives
+    as {!Codec.Interp}, the differential-testing reference. *)
+
+type endian = Codec.endian =
   | Little
   | Big
 
 exception Encode_error of string
+(** The same exception as {!Codec.Encode_error}. *)
 
 exception Decode_error of string
-(** Raised only by the deprecated [*_exn] decoders. *)
+(** The same exception as {!Codec.Decode_error}; raised only by the
+    deprecated [*_exn] decoders. *)
 
 (** Header size in bytes (16 — the paper reports PBIO adds <30 bytes). *)
 val header_size : int
@@ -30,7 +37,7 @@ val header_size : int
 val magic : string
 val wire_version : int
 
-type header = {
+type header = Codec.header = {
   endian : endian;
   format_id : int;
   payload_len : int;

@@ -28,6 +28,7 @@
 open Pbio
 
 type message_handler = src:Contact.t -> Meta.format_meta -> Value.t -> unit
+type wire_handler = src:Contact.t -> Meta.format_meta -> string -> unit
 
 type peer_key = {
   peer : Contact.t;
@@ -143,6 +144,10 @@ type endpoint = {
   failed_peers : (Contact.t, unit) Hashtbl.t;
   mutable on_peer_failure : (Contact.t -> unit) option;
   mutable on_message : message_handler;
+  mutable on_wire : wire_handler option;
+  (* raw-bytes delivery: when set, the endpoint hands the undecoded wire
+     message (plus its format meta) to the handler and skips the eager
+     [Wire.decode] — the receiver can then run a fused decode->morph plan *)
   endian : Wire.endian;
   stats : stats;
 }
@@ -365,17 +370,24 @@ let park_message ep (key : peer_key) ~src (message : string) : unit =
 (* --- receiving -------------------------------------------------------------- *)
 
 let deliver ep ~src (fm : Meta.format_meta) (message : string) : unit =
-  match Wire.decode fm.Meta.body message with
-  | Ok v ->
+  match ep.on_wire with
+  | Some f ->
+    (* raw path: decoding (and its failure handling) is the handler's job *)
     ep.stats.records_delivered <- ep.stats.records_delivered + 1;
     Obs.Counter.incr ep.m.m_delivered;
-    ep.on_message ~src fm v
-  | Error e ->
-    (* a corrupted record must not take the endpoint down *)
-    Obs.Counter.incr ep.m.m_decode_failures;
-    Logs.warn (fun m ->
-        m "%a: dropping undecodable message from %a: %a" Contact.pp ep.contact
-          Contact.pp src Err.pp e)
+    f ~src fm message
+  | None ->
+    (match Wire.decode fm.Meta.body message with
+     | Ok v ->
+       ep.stats.records_delivered <- ep.stats.records_delivered + 1;
+       Obs.Counter.incr ep.m.m_delivered;
+       ep.on_message ~src fm v
+     | Error e ->
+       (* a corrupted record must not take the endpoint down *)
+       Obs.Counter.incr ep.m.m_decode_failures;
+       Logs.warn (fun m ->
+           m "%a: dropping undecodable message from %a: %a" Contact.pp ep.contact
+             Contact.pp src Err.pp e))
 
 let rec handle_inner ep ~src (frame : Framing.frame) : unit =
   match frame with
@@ -480,6 +492,7 @@ let create ?(endian = Wire.Little) ?(reliable = false)
       failed_peers = Hashtbl.create 4;
       on_peer_failure = None;
       on_message = default_handler;
+      on_wire = None;
       endian;
       stats =
         {
@@ -499,7 +512,11 @@ let create ?(endian = Wire.Little) ?(reliable = false)
   Netsim.add_node net contact (fun ~src payload -> handle_frame ep ~src payload);
   ep
 
-let set_handler ep f = ep.on_message <- f
+let set_handler ep f =
+  ep.on_message <- f;
+  ep.on_wire <- None
+
+let set_wire_handler ep f = ep.on_wire <- Some f
 
 (* Register a format for sending; idempotent. *)
 let register ep (meta : Meta.format_meta) : Registry.fmt =

@@ -20,6 +20,11 @@ open Pbio
 
 type message_handler = src:Contact.t -> Meta.format_meta -> Value.t -> unit
 
+(** Raw delivery: the complete, undecoded wire message plus its format
+    meta-data.  Lets a receiver run a fused decode->morph plan instead of
+    decoding into the sender's layout first. *)
+type wire_handler = src:Contact.t -> Meta.format_meta -> string -> unit
+
 type peer_key = {
   peer : Contact.t;
   id : int;
@@ -77,7 +82,14 @@ val create :
   endpoint
 
 val contact : endpoint -> Contact.t
+
+(** Install the decoded-value handler (and clear any wire handler). *)
 val set_handler : endpoint -> message_handler -> unit
+
+(** Install a raw-bytes handler; it supersedes the decoded-value handler
+    until {!set_handler} is called again.  The handler owns decoding and
+    decode-failure handling (typically {!Morph.Receiver.deliver_wire}). *)
+val set_wire_handler : endpoint -> wire_handler -> unit
 
 (** Called when a reliable peer exhausts its retransmit budget (missed
     acks): the peer is presumed dead.  A later fresh send to that peer

@@ -1,0 +1,244 @@
+(* Tests for the compiled wire-codec plans (Pbio.Codec): byte- and
+   value-equivalence against the interpretive reference, fused
+   decode->morph against decode-then-convert, and the plan cache. *)
+
+open Pbio
+
+let fmt = Ptype_dsl.format_of_string_exn
+
+let both_endians f =
+  f Codec.Little;
+  f Codec.Big
+
+(* --- compiled vs interpretive, fixture formats ---------------------------- *)
+
+let test_fixture_equivalence () =
+  let v = Helpers.sample_v2 5 in
+  both_endians (fun endian ->
+      let enc = Codec.compile_encode ~endian Helpers.response_v2 in
+      let bytes_c = Codec.encode_payload enc v in
+      let bytes_i = Codec.Interp.encode_payload ~endian Helpers.response_v2 v in
+      Alcotest.(check string) "payload bytes identical" bytes_i bytes_c;
+      let msg_c = Codec.encode_message enc ~format_id:7 v in
+      let msg_i =
+        Codec.Interp.encode_message ~endian ~format_id:7 Helpers.response_v2 v
+      in
+      Alcotest.(check string) "message bytes identical" msg_i msg_c;
+      let dec = Codec.compile_decode ~endian Helpers.response_v2 in
+      Alcotest.check Helpers.value "decode matches value" v
+        (Codec.decode_payload dec bytes_c);
+      Alcotest.check Helpers.value "interp decode agrees"
+        (Codec.Interp.decode_payload ~endian Helpers.response_v2 bytes_c)
+        (Codec.decode_payload dec bytes_c))
+
+let expect_decode_error f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Decode_error"
+  with Codec.Decode_error _ -> ()
+
+(* --- enum handling -------------------------------------------------------- *)
+
+let enum_fmt = fmt "enum level { low = 1, high = 5 } format E { level l; }"
+
+let test_unknown_enum_rejected_both_paths () =
+  both_endians (fun endian ->
+      let enc = Codec.compile_encode ~endian enum_fmt in
+      let good = Codec.encode_payload enc (Value.record [ ("l", Value.Enum ("low", 1)) ]) in
+      (* patch the enum word to a value outside the declared cases *)
+      let bad = Bytes.of_string good in
+      Bytes.set_int32_le bad 0 99l;
+      Bytes.set_int32_be bad 0 99l;
+      let bad = Bytes.to_string bad in
+      let dec = Codec.compile_decode ~endian enum_fmt in
+      expect_decode_error (fun () -> Codec.decode_payload dec bad);
+      expect_decode_error (fun () ->
+          Codec.Interp.decode_payload ~endian enum_fmt bad))
+
+let test_int_to_enum_unknown_falls_back () =
+  (* sender int value with no case in the receiver enum: the fused plan
+     must produce the same zero_basic fallback the staged path does *)
+  let src = fmt "format E { int l; }" in
+  let dst = enum_fmt in
+  both_endians (fun endian ->
+      let enc = Codec.compile_encode ~endian src in
+      let payload = Codec.encode_payload enc (Value.record [ ("l", Value.Int 42) ]) in
+      let staged =
+        Helpers.check_ok_err
+          (Convert.convert ~from_:src ~into:dst
+             (Codec.decode_payload (Codec.compile_decode ~endian src) payload))
+      in
+      let fused =
+        Codec.morph_payload (Codec.compile_morph ~endian ~from_:src ~into:dst) payload
+      in
+      Alcotest.check Helpers.value "fallback identical" staged fused)
+
+let test_enum_to_enum_unmapped_falls_back () =
+  let src = fmt "enum level { mid = 3 } format E { level l; }" in
+  let dst = enum_fmt in
+  both_endians (fun endian ->
+      let enc = Codec.compile_encode ~endian src in
+      let payload =
+        Codec.encode_payload enc (Value.record [ ("l", Value.Enum ("mid", 3)) ])
+      in
+      let staged =
+        Helpers.check_ok_err
+          (Convert.convert ~from_:src ~into:dst
+             (Codec.decode_payload (Codec.compile_decode ~endian src) payload))
+      in
+      let fused =
+        Codec.morph_payload (Codec.compile_morph ~endian ~from_:src ~into:dst) payload
+      in
+      Alcotest.check Helpers.value "unmapped case falls back" staged fused)
+
+(* --- fused decode->morph -------------------------------------------------- *)
+
+let test_fused_equals_staged_on_fixtures () =
+  let v = Helpers.sample_v2 6 in
+  both_endians (fun endian ->
+      let payload =
+        Codec.encode_payload (Codec.compile_encode ~endian Helpers.response_v2) v
+      in
+      let staged =
+        Helpers.check_ok_err
+          (Convert.convert ~from_:Helpers.response_v2 ~into:Helpers.response_v1
+             (Codec.decode_payload
+                (Codec.compile_decode ~endian Helpers.response_v2)
+                payload))
+      in
+      let fused =
+        Codec.morph_payload
+          (Codec.compile_morph ~endian ~from_:Helpers.response_v2
+             ~into:Helpers.response_v1)
+          payload
+      in
+      Alcotest.check Helpers.value "v2 -> v1 fused = staged" staged fused)
+
+let test_fused_skipped_length_field_still_sizes () =
+  (* [n] is dropped by the target but sizes the source array: the fused
+     plan must still read it to know how many elements to consume *)
+  let src = fmt "format R { int n; int xs[n]; string tail; }" in
+  let dst = fmt "format R { string tail; }" in
+  let v =
+    Value.record
+      [ ("n", Value.Int 3);
+        ("xs", Value.array_of_list [ Value.Int 1; Value.Int 2; Value.Int 3 ]);
+        ("tail", Value.String "end") ]
+  in
+  both_endians (fun endian ->
+      let payload = Codec.encode_payload (Codec.compile_encode ~endian src) v in
+      let fused =
+        Codec.morph_payload (Codec.compile_morph ~endian ~from_:src ~into:dst) payload
+      in
+      Alcotest.(check string) "tail survives the skip" "end"
+        (Value.to_string_exn (Value.get_field fused "tail")))
+
+(* --- hostile lengths ------------------------------------------------------ *)
+
+let test_hostile_length_rejected_cheaply () =
+  (* a length field claiming far more elements than the message holds must
+     be rejected by the min-wire-size guard on both paths, including for
+     nested (array-of-record-of-array) elements *)
+  let r = fmt "format R { int n; float xs[n]; }" in
+  let nested = fmt "record Row { int m; int ys[m]; } format R { int n; Row rows[n]; }" in
+  both_endians (fun endian ->
+      let patch payload n =
+        let b = Bytes.of_string payload in
+        (match endian with
+         | Codec.Little -> Bytes.set_int32_le b 0 (Int32.of_int n)
+         | Codec.Big -> Bytes.set_int32_be b 0 (Int32.of_int n));
+        Bytes.to_string b
+      in
+      let good =
+        Codec.encode_payload
+          (Codec.compile_encode ~endian r)
+          (Value.record [ ("n", Value.Int 1); ("xs", Value.array_of_list [ Value.Float 1. ]) ])
+      in
+      let bad = patch good 0x1000000 in
+      expect_decode_error (fun () ->
+          Codec.decode_payload (Codec.compile_decode ~endian r) bad);
+      expect_decode_error (fun () -> Codec.Interp.decode_payload ~endian r bad);
+      let goodn =
+        Codec.encode_payload
+          (Codec.compile_encode ~endian nested)
+          (Value.record
+             [ ("n", Value.Int 1);
+               ( "rows",
+                 Value.array_of_list
+                   [ Value.record
+                       [ ("m", Value.Int 1); ("ys", Value.array_of_list [ Value.Int 9 ]) ] ] )
+             ])
+      in
+      let badn = patch goodn 0x1000000 in
+      expect_decode_error (fun () ->
+          Codec.decode_payload (Codec.compile_decode ~endian nested) badn);
+      expect_decode_error (fun () ->
+          Codec.Interp.decode_payload ~endian nested badn))
+
+(* --- plan cache metrics --------------------------------------------------- *)
+
+let with_codec_metrics f =
+  let reg = Obs.create () in
+  Codec.set_metrics reg;
+  Codec.reset_plans ();
+  Fun.protect
+    ~finally:(fun () ->
+        Codec.set_metrics Obs.null;
+        Codec.reset_plans ())
+    (fun () -> f reg)
+
+let test_plan_cache_compiles_once () =
+  with_codec_metrics (fun reg ->
+      let r = fmt "format C { int x; string s; }" in
+      let v = Value.record [ ("x", Value.Int 1); ("s", Value.String "a") ] in
+      let enc () = Codec.encoder_for ~endian:Codec.Little r in
+      let payload = Codec.encode_payload (enc ()) v in
+      for _ = 1 to 4 do
+        ignore (Codec.encode_payload (enc ()) v);
+        ignore
+          (Codec.decode_payload (Codec.decoder_for ~endian:Codec.Little r) payload)
+      done;
+      (* one encoder + one decoder compile, every other lookup a hit *)
+      Alcotest.(check int) "plan compiles" 2 (Obs.Counter.value reg "codec.plan_compiles");
+      Alcotest.(check int) "cache hits" 8 (Obs.Counter.value reg "codec.plan_cache_hits"))
+
+let test_morph_plan_cached () =
+  with_codec_metrics (fun reg ->
+      let from_ = fmt "format M { int x; int gone; }" in
+      let into = fmt "format M { int x; }" in
+      let payload =
+        Codec.encode_payload
+          (Codec.compile_encode ~endian:Codec.Little from_)
+          (Value.record [ ("x", Value.Int 4); ("gone", Value.Int 9) ])
+      in
+      let before = Obs.Counter.value reg "codec.plan_compiles" in
+      for _ = 1 to 5 do
+        ignore
+          (Codec.morph_payload
+             (Codec.morpher_for ~endian:Codec.Little ~from_ ~into)
+             payload)
+      done;
+      Alcotest.(check int) "one fused compile" (before + 1)
+        (Obs.Counter.value reg "codec.plan_compiles");
+      Alcotest.(check bool) "repeat lookups hit" true
+        (Obs.Counter.value reg "codec.plan_cache_hits" >= 4))
+
+let suite =
+  [
+    Alcotest.test_case "compiled = interpretive on fixtures" `Quick
+      test_fixture_equivalence;
+    Alcotest.test_case "unknown enum value rejected on both paths" `Quick
+      test_unknown_enum_rejected_both_paths;
+    Alcotest.test_case "int->enum unknown value falls back" `Quick
+      test_int_to_enum_unknown_falls_back;
+    Alcotest.test_case "enum->enum unmapped case falls back" `Quick
+      test_enum_to_enum_unmapped_falls_back;
+    Alcotest.test_case "fused = staged on fixtures" `Quick
+      test_fused_equals_staged_on_fixtures;
+    Alcotest.test_case "fused reads skipped length fields" `Quick
+      test_fused_skipped_length_field_still_sizes;
+    Alcotest.test_case "hostile lengths rejected cheaply" `Quick
+      test_hostile_length_rejected_cheaply;
+    Alcotest.test_case "plan cache compiles once" `Quick test_plan_cache_compiles_once;
+    Alcotest.test_case "fused plans cached" `Quick test_morph_plan_cached;
+  ]

@@ -4,6 +4,7 @@ let () =
       ("ptype", Test_ptype.suite);
       ("value", Test_value.suite);
       ("wire", Test_wire.suite);
+      ("codec", Test_codec.suite);
       ("meta+registry", Test_meta_registry.suite);
       ("convert", Test_convert.suite);
       ("ecode syntax", Test_ecode_syntax.suite);

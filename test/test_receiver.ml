@@ -388,9 +388,39 @@ let prop_delivered_value_conforms =
        | Receiver.Delivered _ -> !ok
        | Receiver.Defaulted | Receiver.Rejected _ -> true)
 
+let test_wire_fused_plan_cached () =
+  (* repeated wire deliveries of one format must be served entirely from
+     the cached fused plan: [codec.plan_compiles] ticks once, then every
+     lookup is a hit *)
+  let a = fmt "format W { int x; string s; }" in
+  let b = fmt "format W { string s; int x; }" in
+  let v = Value.record [ ("x", Value.Int 7); ("s", Value.String "m") ] in
+  let message = Wire.encode ~format_id:3 a v in
+  let reg = Obs.create () in
+  Codec.set_metrics reg;
+  Codec.reset_plans ();
+  Fun.protect
+    ~finally:(fun () ->
+        Codec.set_metrics Obs.null;
+        Codec.reset_plans ())
+    (fun () ->
+       let r, got = make_receiver b in
+       for _ = 1 to 5 do
+         match Receiver.deliver_wire r (Meta.plain a) message with
+         | Receiver.Delivered { via = Receiver.Reordered; _ } -> ()
+         | o -> Alcotest.failf "expected reordered delivery, got %a" Receiver.pp_outcome o
+       done;
+       Alcotest.(check int) "messages delivered" 5 (List.length !got);
+       Alcotest.(check int) "one fused compile" 1
+         (Obs.Counter.value reg "codec.plan_compiles");
+       Alcotest.(check int) "repeats hit the plan cache" 4
+         (Obs.Counter.value reg "codec.plan_cache_hits"))
+
 let suite =
   [
     Alcotest.test_case "exact match" `Quick test_exact_match;
+    Alcotest.test_case "wire: fused plan compiled once" `Quick
+      test_wire_fused_plan_cached;
     Alcotest.test_case "perfect match with reorder" `Quick test_reordered_perfect_match;
     Alcotest.test_case "imperfect match converts" `Quick test_converted_imperfect_match;
     Alcotest.test_case "morphed via transformation" `Quick test_morphed_via_transformation;
