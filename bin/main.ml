@@ -618,9 +618,147 @@ let chaos_cmd =
     Term.(const run $ seed $ cases $ records $ loss $ dup $ reorder $ jitter
           $ no_partition)
 
+(* --- loadgen ------------------------------------------------------------- *)
+
+let loadgen_cmd =
+  let run scenario mode clients dist duration churn versions mix sinks loss dup
+      reorder jitter reliable seed samples ndjson json =
+    let parse name = function
+      | Ok v -> v
+      | Error msg ->
+        Printf.eprintf "loadgen: --%s: %s\n" name msg;
+        exit 2
+    in
+    let scenario = parse "scenario" (Loadgen.scenario_of_string scenario) in
+    let mode = parse "mode" (Loadgen.mode_of_string mode) in
+    let dist = parse "dist" (Loadgen.Dist.of_string dist) in
+    let mix =
+      match mix with
+      | None -> None
+      | Some s ->
+        Some
+          (String.split_on_char ',' s
+           |> List.map (fun w ->
+                  match float_of_string_opt (String.trim w) with
+                  | Some f -> f
+                  | None ->
+                    Printf.eprintf "loadgen: --mix: not a number: %S\n" w;
+                    exit 2))
+    in
+    let faults =
+      { Transport.Netsim.loss; duplication = dup; reorder; jitter_s = jitter }
+    in
+    let cfg =
+      { Loadgen.scenario; mode; clients; dist; duration_s = duration;
+        churn_per_s = churn; versions; mix; sinks; faults; reliable; seed;
+        samples }
+    in
+    let report =
+      try Loadgen.run cfg
+      with Invalid_argument msg ->
+        Printf.eprintf "loadgen: %s\n" msg;
+        exit 2
+    in
+    print_string (Loadgen.summary report);
+    (match ndjson with
+     | None -> ()
+     | Some path ->
+       let oc = open_out_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc report.Loadgen.trajectory));
+    if json then print_string (Obs.to_json_lines report.Loadgen.metrics)
+  in
+  let scenario =
+    Arg.(value & opt string "echo"
+         & info [ "scenario" ] ~docv:"NAME" ~doc:"Scenario: echo or b2b")
+  in
+  let mode =
+    Arg.(value & opt string "fused"
+         & info [ "mode" ] ~docv:"NAME"
+             ~doc:"Ingress receiver mode: fused, staged or interp")
+  in
+  let clients =
+    Arg.(value & opt int Loadgen.default.Loadgen.clients
+         & info [ "clients"; "c" ] ~docv:"N" ~doc:"Simulated client population")
+  in
+  let dist =
+    Arg.(value & opt string (Loadgen.Dist.to_string Loadgen.default.Loadgen.dist)
+         & info [ "dist" ] ~docv:"SPEC"
+             ~doc:"Arrival process: constant:R, poisson:R or \
+                   bursty:RON:ROFF:ON:OFF (rates per simulated second)")
+  in
+  let duration =
+    Arg.(value & opt float Loadgen.default.Loadgen.duration_s
+         & info [ "duration"; "d" ] ~docv:"S"
+             ~doc:"Load window, simulated seconds")
+  in
+  let churn =
+    Arg.(value & opt float 0.
+         & info [ "churn" ] ~docv:"R"
+             ~doc:"Membership events (alternating leave/join) per simulated second")
+  in
+  let versions =
+    Arg.(value & opt int Loadgen.default.Loadgen.versions
+         & info [ "versions" ] ~docv:"N"
+             ~doc:"Format lineage length (v0 base .. v[N-1] head)")
+  in
+  let mix =
+    Arg.(value & opt (some string) None
+         & info [ "mix" ] ~docv:"W,W,..."
+             ~doc:"Newest-first version weights, e.g. 70,25,5; default 70/25/5")
+  in
+  let sinks =
+    Arg.(value & opt int Loadgen.default.Loadgen.sinks
+         & info [ "sinks" ] ~docv:"N"
+             ~doc:"Echo scenario: sink subscribers (alternating V2/V1)")
+  in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P" ~doc:"Per-frame loss probability")
+  in
+  let dup =
+    Arg.(value & opt float 0.
+         & info [ "dup" ] ~docv:"P" ~doc:"Per-frame duplication probability")
+  in
+  let reorder =
+    Arg.(value & opt float 0.
+         & info [ "reorder" ] ~docv:"P" ~doc:"Per-frame reordering probability")
+  in
+  let jitter =
+    Arg.(value & opt float 0.
+         & info [ "jitter" ] ~docv:"S" ~doc:"Max extra latency, simulated seconds")
+  in
+  let reliable =
+    Arg.(value & flag
+         & info [ "reliable" ]
+             ~doc:"Run inner hops (echo/b2b endpoints) under ack + retransmit")
+  in
+  let seed =
+    Arg.(value & opt int Loadgen.default.Loadgen.seed
+         & info [ "seed"; "s" ] ~docv:"N" ~doc:"Run seed (faults, mix, arrivals)")
+  in
+  let samples =
+    Arg.(value & opt int Loadgen.default.Loadgen.samples
+         & info [ "samples" ] ~docv:"N" ~doc:"Trajectory samples across the window")
+  in
+  let ndjson =
+    Arg.(value & opt (some string) None
+         & info [ "ndjson" ] ~docv:"FILE" ~doc:"Write the ndjson trajectory to FILE")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Also dump the run's full metrics registry as line JSON")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Open-loop load harness: seeded traffic over the virtual clock")
+    Term.(const run $ scenario $ mode $ clients $ dist $ duration $ churn
+          $ versions $ mix $ sinks $ loss $ dup $ reorder $ jitter $ reliable
+          $ seed $ samples $ ndjson $ json)
+
 let () =
   let info =
     Cmd.info "morphctl" ~version:"1.0.0"
       ~doc:"Message-morphing toolkit (ICDCS 2005 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; stats_cmd; trace_cmd; morphcheck_cmd; chaos_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; stats_cmd; trace_cmd; morphcheck_cmd; chaos_cmd; loadgen_cmd ]))

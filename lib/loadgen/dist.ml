@@ -1,0 +1,75 @@
+(* Arrival processes for the open-loop generator. *)
+
+type t =
+  | Constant of float
+  | Poisson of float
+  | Bursty of {
+      rate_on : float;
+      rate_off : float;
+      period_on_s : float;
+      period_off_s : float;
+    }
+
+let mean_rate = function
+  | Constant r | Poisson r -> r
+  | Bursty { rate_on; rate_off; period_on_s; period_off_s } ->
+    let cycle = period_on_s +. period_off_s in
+    if cycle <= 0. then 0.
+    else ((rate_on *. period_on_s) +. (rate_off *. period_off_s)) /. cycle
+
+(* Inverse-CDF exponential gap; 1 - u keeps the argument of [log]
+   strictly positive. *)
+let exp_gap rate st =
+  if rate <= 0. then invalid_arg "Dist.next_gap: non-positive rate";
+  -.log (1. -. Random.State.float st 1.) /. rate
+
+let next_gap t ~now st =
+  match t with
+  | Constant r ->
+    if r <= 0. then invalid_arg "Dist.next_gap: non-positive rate";
+    1. /. r
+  | Poisson r -> exp_gap r st
+  | Bursty { rate_on; rate_off; period_on_s; period_off_s } ->
+    let cycle = period_on_s +. period_off_s in
+    let phase = Float.rem now cycle in
+    if phase < period_on_s then exp_gap rate_on st
+    else if rate_off > 0. then exp_gap rate_off st
+    else (* quiet and silent: jump to the start of the next burst *)
+      cycle -. phase +. exp_gap rate_on st
+
+let to_string = function
+  | Constant r -> Printf.sprintf "constant:%g" r
+  | Poisson r -> Printf.sprintf "poisson:%g" r
+  | Bursty { rate_on; rate_off; period_on_s; period_off_s } ->
+    Printf.sprintf "bursty:%g:%g:%g:%g" rate_on rate_off period_on_s
+      period_off_s
+
+let of_string s =
+  let num x =
+    match float_of_string_opt x with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "not a number: %S" x)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "constant"; r ] ->
+    let* r = num r in
+    if r > 0. then Ok (Constant r) else Error "constant rate must be > 0"
+  | [ "poisson"; r ] ->
+    let* r = num r in
+    if r > 0. then Ok (Poisson r) else Error "poisson rate must be > 0"
+  | [ "bursty"; ron; roff; ton; toff ] ->
+    let* rate_on = num ron in
+    let* rate_off = num roff in
+    let* period_on_s = num ton in
+    let* period_off_s = num toff in
+    if rate_on <= 0. then Error "bursty on-rate must be > 0"
+    else if rate_off < 0. then Error "bursty off-rate must be >= 0"
+    else if period_on_s <= 0. || period_off_s <= 0. then
+      Error "bursty periods must be > 0"
+    else Ok (Bursty { rate_on; rate_off; period_on_s; period_off_s })
+  | _ ->
+    Error
+      (Printf.sprintf
+         "cannot parse %S (want constant:R, poisson:R or bursty:RON:ROFF:ON:OFF)"
+         s)

@@ -1,0 +1,35 @@
+(** Arrival-rate distributions for the open-loop generator.
+
+    Each process yields the gap (simulated seconds) until the next
+    arrival; the generator never waits for deliveries, so offered load is
+    independent of how the system keeps up (open-loop, the property that
+    makes tail latencies honest).  Gaps are drawn from a caller-owned
+    [Random.State.t], so runs with equal seeds replay identically. *)
+
+type t =
+  | Constant of float  (** fixed rate: every gap is exactly [1/rate] *)
+  | Poisson of float  (** memoryless arrivals at [rate] per second *)
+  | Bursty of {
+      rate_on : float;  (** Poisson rate inside a burst *)
+      rate_off : float;  (** Poisson rate between bursts (may be 0) *)
+      period_on_s : float;  (** burst length, simulated seconds *)
+      period_off_s : float;  (** quiet-phase length, simulated seconds *)
+    }
+      (** on/off modulated Poisson: the phase is derived from the virtual
+          clock, so bursts line up across runs with the same config *)
+
+(** Aggregate arrivals per simulated second (time-averaged for
+    {!Bursty}). *)
+val mean_rate : t -> float
+
+(** Gap until the next arrival given the current virtual time.  Raises
+    [Invalid_argument] on a non-positive rate for the current phase
+    unless the distribution is {!Bursty} with [rate_off = 0], which
+    skips to the next burst. *)
+val next_gap : t -> now:float -> Random.State.t -> float
+
+(** [constant:RATE], [poisson:RATE] or
+    [bursty:RATE_ON:RATE_OFF:ON_S:OFF_S]; inverse of {!to_string}. *)
+val of_string : string -> (t, string) result
+
+val to_string : t -> string

@@ -1,0 +1,474 @@
+(* The open-loop load harness: seeded traffic over the virtual clock. *)
+
+module Dist = Dist
+module Population = Population
+
+open Pbio
+module Netsim = Transport.Netsim
+module Contact = Transport.Contact
+module Receiver = Morph.Receiver
+
+type scenario =
+  | Echo
+  | B2b
+
+type mode =
+  | Fused
+  | Staged
+  | Interp
+
+let scenario_to_string = function Echo -> "echo" | B2b -> "b2b"
+
+let scenario_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "echo" -> Ok Echo
+  | "b2b" -> Ok B2b
+  | other -> Error (Printf.sprintf "unknown scenario %S (want echo or b2b)" other)
+
+let mode_to_string = function
+  | Fused -> "fused"
+  | Staged -> "staged"
+  | Interp -> "interp"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fused" -> Ok Fused
+  | "staged" -> Ok Staged
+  | "interp" -> Ok Interp
+  | other ->
+    Error (Printf.sprintf "unknown mode %S (want fused, staged or interp)" other)
+
+type config = {
+  scenario : scenario;
+  mode : mode;
+  clients : int;
+  dist : Dist.t;
+  duration_s : float;
+  churn_per_s : float;
+  versions : int;
+  mix : float list option;
+  sinks : int;
+  faults : Netsim.faults;
+  reliable : bool;
+  seed : int;
+  samples : int;
+}
+
+let default =
+  {
+    scenario = Echo;
+    mode = Fused;
+    clients = 1_000;
+    dist = Dist.Poisson 2_000.;
+    duration_s = 0.5;
+    churn_per_s = 0.;
+    versions = 3;
+    mix = None;
+    sinks = 2;
+    faults = Netsim.no_faults;
+    reliable = false;
+    seed = 42;
+    samples = 10;
+  }
+
+type via_counts = {
+  mutable exact : int;
+  mutable reordered : int;
+  mutable converted : int;
+  mutable morphed : int;
+  mutable morphed_converted : int;
+}
+
+type report = {
+  config : config;
+  mix_desc : string;
+  sent : int;
+  ingress_delivered : int;
+  ingress_rejected : int;
+  ingress_defaulted : int;
+  vias : via_counts;
+  delivered : int;
+  joins : int;
+  leaves : int;
+  active_end : int;
+  net_delivered : int;
+  net_bytes : int;
+  net_dropped : int;
+  net_duplicated : int;
+  latency : Obs.Histogram.snapshot option;
+  sim_end : float;
+  quiesced : bool;
+  trajectory : string;
+  metrics : Obs.t;
+}
+
+(* Simulated-latency buckets: per-decade 1/1.5/2/3/5/7 steps from 100 us
+   to 10 s, fine enough that bucket-derived p50/p99/p999 move when tails
+   do.  Virtual latencies start at the 100 us link delay and grow with
+   FIFO queueing, retransmits and jitter. *)
+let latency_buckets =
+  List.concat_map
+    (fun e ->
+       List.map
+         (fun m -> m *. (10. ** float_of_int e))
+         [ 1.; 1.5; 2.; 3.; 5.; 7. ])
+    [ -4; -3; -2; -1; 0 ]
+
+(* Loadgen frame: a 20-byte header (client, seq, version, send time) in
+   front of the pre-encoded wire message.  The header rides outside the
+   PBIO message so latency bookkeeping never depends on which fields
+   survive the lineage's evolution steps. *)
+let header_len = 20
+
+let frame ~client ~seq ~version ~t0 (body : string) : string =
+  let b = Bytes.create (header_len + String.length body) in
+  Bytes.set_int32_le b 0 (Int32.of_int client);
+  Bytes.set_int32_le b 4 (Int32.of_int seq);
+  Bytes.set_int32_le b 8 (Int32.of_int version);
+  Bytes.set_int64_le b 12 (Int64.bits_of_float t0);
+  Bytes.blit_string body 0 b header_len (String.length body);
+  Bytes.unsafe_to_string b
+
+let parse_frame (s : string) : (int * int * int * float * string) option =
+  if String.length s < header_len then None
+  else
+    Some
+      ( Int32.to_int (String.get_int32_le s 0),
+        Int32.to_int (String.get_int32_le s 4),
+        Int32.to_int (String.get_int32_le s 8),
+        Int64.float_of_bits (String.get_int64_le s 12),
+        String.sub s header_len (String.length s - header_len) )
+
+(* Event payloads carry "client:seq:hex-float-send-time"; %h round-trips
+   floats exactly, so end-to-end latency is bit-stable. *)
+let payload_of ~client ~seq ~t0 = Printf.sprintf "%d:%d:%h" client seq t0
+
+let parse_payload (s : string) : (int * int * float) option =
+  match String.split_on_char ':' s with
+  | [ c; q; t ] ->
+    (try Some (int_of_string c, int_of_string q, float_of_string t)
+     with _ -> None)
+  | _ -> None
+
+let validate (cfg : config) =
+  if cfg.clients < 1 then invalid_arg "Loadgen.run: clients must be >= 1";
+  if cfg.duration_s <= 0. then invalid_arg "Loadgen.run: duration must be > 0";
+  if cfg.versions < 1 then invalid_arg "Loadgen.run: versions must be >= 1";
+  if cfg.sinks < 1 then invalid_arg "Loadgen.run: sinks must be >= 1";
+  if cfg.churn_per_s < 0. then invalid_arg "Loadgen.run: churn must be >= 0";
+  if cfg.samples < 1 then invalid_arg "Loadgen.run: samples must be >= 1"
+
+let run (cfg : config) : report =
+  validate cfg;
+  let reg = Obs.create ~label:"loadgen" () in
+  let net = Netsim.create ~seed:cfg.seed ~metrics:reg () in
+  Obs.set_registry_clock reg (fun () -> Netsim.now net *. 1e9);
+  if cfg.faults <> Netsim.no_faults then Netsim.set_faults net cfg.faults;
+  let pop = Population.make ?mix:cfg.mix ~versions:cfg.versions ~seed:cfg.seed () in
+  let pvs = Population.versions pop in
+  (* Independent RNG streams so arrivals, churn and client picks cannot
+     perturb each other (or the fault model, which owns the netsim seed). *)
+  let arr_rng = Random.State.make [| 0x10adc3; cfg.seed; 17 |] in
+  let churn_rng = Random.State.make [| 0x10adc3; cfg.seed; 23 |] in
+  let pick_rng = Random.State.make [| 0x10adc3; cfg.seed; 29 |] in
+
+  (* Clients are O(1) records: netsim only requires the *destination* of
+     a send to be registered, so 100k+ senders need no per-client node,
+     endpoint or format-cache state. *)
+  let contacts = Array.init cfg.clients (fun i -> Contact.make "client" i) in
+  let version_of = Array.init cfg.clients (fun _ -> Population.pick pop pick_rng) in
+
+  (* Active set: [order.(0 .. !n_active-1)] are active, the rest parked;
+     swap-remove keeps joins and leaves O(1). *)
+  let order = Array.init cfg.clients (fun i -> i) in
+  let pos = Array.init cfg.clients (fun i -> i) in
+  let n_active = ref cfg.clients in
+  let joins = ref 0 and leaves = ref 0 in
+  let swap i j =
+    let a = order.(i) and b = order.(j) in
+    order.(i) <- b;
+    order.(j) <- a;
+    pos.(a) <- j;
+    pos.(b) <- i
+  in
+  let leave () =
+    if !n_active > 1 then begin
+      swap (Random.State.int churn_rng !n_active) (!n_active - 1);
+      decr n_active;
+      incr leaves
+    end
+  in
+  let join () =
+    let parked = cfg.clients - !n_active in
+    if parked > 0 then begin
+      swap (!n_active + Random.State.int churn_rng parked) !n_active;
+      incr n_active;
+      incr joins
+    end
+  in
+
+  let m_ingress =
+    Obs.Histogram.make reg ~unit_:"s" ~buckets:latency_buckets
+      "loadgen.ingress_latency_s"
+  in
+  let m_e2e =
+    Obs.Histogram.make reg ~unit_:"s" ~buckets:latency_buckets
+      "loadgen.latency_s"
+  in
+  let sent = ref 0 in
+  let delivered = ref 0 in
+  let rejected = ref 0 and defaulted = ref 0 in
+  let vias =
+    { exact = 0; reordered = 0; converted = 0; morphed = 0; morphed_converted = 0 }
+  in
+  let observe_e2e t0 =
+    incr delivered;
+    Obs.Histogram.observe m_e2e (Netsim.now net -. t0)
+  in
+
+  let engine =
+    match cfg.mode with
+    | Interp -> Morph.Xform.Interpreted
+    | Fused | Staged -> Morph.Xform.Compiled
+  in
+  let recv =
+    Receiver.create ~config:(Receiver.Config.v ~engine ~metrics:reg ()) ()
+  in
+
+  (* The header of the message being delivered; delivery is synchronous,
+     so the base-format handler reads it from here. *)
+  let cur_client = ref 0 and cur_seq = ref 0 and cur_t0 = ref 0. in
+
+  (* Scenario back-ends: [on_base] consumes each message the ingress
+     receiver delivered (morphed into the base format). *)
+  let on_base =
+    match cfg.scenario with
+    | Echo ->
+      let creator =
+        Echo.Node.create ~engine ~reliable:cfg.reliable ~metrics:reg net
+          ~host:"creator" ~port:1 Echo.Node.V2
+      in
+      Echo.Node.create_channel creator "load" ~as_source:true ~as_sink:false;
+      for i = 0 to cfg.sinks - 1 do
+        let version = if i mod 2 = 1 then Echo.Node.V1 else Echo.Node.V2 in
+        let sink =
+          Echo.Node.create ~engine ~reliable:cfg.reliable ~metrics:reg net
+            ~host:"sink" ~port:(100 + i) version
+        in
+        Echo.Node.join sink ~creator:(Echo.Node.contact creator) "load"
+          ~as_source:false ~as_sink:true;
+        Echo.Node.subscribe_events sink "load" (fun payload ->
+            match parse_payload payload with
+            | Some (_, _, t0) -> observe_e2e t0
+            | None -> ())
+      done;
+      fun () ->
+        Echo.Node.publish creator "load"
+          (payload_of ~client:!cur_client ~seq:!cur_seq ~t0:!cur_t0)
+    | B2b ->
+      let bmode = B2b.Broker.Morph_at_receiver in
+      let broker =
+        B2b.Broker.create ~reliable:cfg.reliable ~metrics:reg net ~host:"broker"
+          ~port:1 bmode
+      in
+      let bc = B2b.Broker.contact broker in
+      let supplier =
+        B2b.Supplier.create ~reliable:cfg.reliable ~metrics:reg net
+          ~host:"supplier" ~port:2 ~broker:bc bmode
+      in
+      let retailer =
+        B2b.Retailer.create ~reliable:cfg.reliable ~metrics:reg net
+          ~host:"retailer" ~port:3 ~broker:bc bmode
+      in
+      B2b.Broker.connect broker
+        ~retailer:(B2b.Retailer.contact retailer)
+        ~supplier:(B2b.Supplier.contact supplier);
+      let sent_at : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+      Receiver.set_delivery_probe
+        (B2b.Retailer.receiver retailer)
+        (Some
+           (fun v _outcome ->
+             match v with
+             | Some v when Value.has_field v "order_id" ->
+               let oid = Value.to_int (Value.get_field v "order_id") in
+               (match Hashtbl.find_opt sent_at oid with
+                | Some t0 ->
+                  Hashtbl.remove sent_at oid;
+                  observe_e2e t0
+                | None -> ())
+             | _ -> ()));
+      fun () ->
+        (* gen_order i stamps order_id = 1000 + i *)
+        Hashtbl.replace sent_at (1000 + !cur_seq) !cur_t0;
+        B2b.Retailer.send_order retailer (B2b.Formats.gen_order !cur_seq)
+  in
+  Receiver.register recv (Population.base pop) (fun _v -> on_base ());
+
+  let deliver_one (pv : Population.version) (body : string) =
+    match cfg.mode with
+    | Fused -> Receiver.deliver_wire recv pv.meta body
+    | Staged | Interp -> (
+      match Wire.decode pv.format body with
+      | Ok v -> Receiver.deliver recv pv.meta v
+      | Error e -> Receiver.Rejected (Err.to_string e))
+  in
+  let ingress = Contact.make "ingress" 1 in
+  Netsim.add_node net ingress (fun ~src:_ payload ->
+      match parse_frame payload with
+      | None -> incr rejected
+      | Some (client, seq, version, t0, body) ->
+        if version < 0 || version >= Array.length pvs then incr rejected
+        else begin
+          Obs.Histogram.observe m_ingress (Netsim.now net -. t0);
+          cur_client := client;
+          cur_seq := seq;
+          cur_t0 := t0;
+          match deliver_one pvs.(version) body with
+          | Receiver.Delivered { via; _ } -> (
+            match via with
+            | Receiver.Exact -> vias.exact <- vias.exact + 1
+            | Receiver.Reordered -> vias.reordered <- vias.reordered + 1
+            | Receiver.Converted -> vias.converted <- vias.converted + 1
+            | Receiver.Morphed _ -> vias.morphed <- vias.morphed + 1
+            | Receiver.Morphed_converted _ ->
+              vias.morphed_converted <- vias.morphed_converted + 1)
+          | Receiver.Defaulted -> incr defaulted
+          | Receiver.Rejected _ -> incr rejected
+        end);
+
+  (* Settle the setup traffic (channel joins, broker wiring) so the load
+     window starts from a quiet network. *)
+  ignore (Netsim.run ~max_steps:1_000_000 net);
+  let t_start = Netsim.now net in
+  let elapsed () = Netsim.now net -. t_start in
+
+  let seq = ref 0 in
+  let send_one () =
+    if !n_active > 0 then begin
+      let client = order.(Random.State.int pick_rng !n_active) in
+      let version = version_of.(client) in
+      let t0 = Netsim.now net in
+      incr seq;
+      incr sent;
+      Netsim.send net ~src:contacts.(client) ~dst:ingress
+        (frame ~client ~seq:!seq ~version ~t0 pvs.(version).bytes)
+    end
+  in
+  let schedule_chain gap_of action =
+    let rec tick () =
+      if elapsed () < cfg.duration_s then begin
+        action ();
+        let gap = gap_of () in
+        if elapsed () +. gap < cfg.duration_s then Netsim.after net gap tick
+      end
+    in
+    let first = gap_of () in
+    if first < cfg.duration_s then Netsim.after net first tick
+  in
+  schedule_chain
+    (fun () -> Dist.next_gap cfg.dist ~now:(elapsed ()) arr_rng)
+    send_one;
+  if cfg.churn_per_s > 0. then begin
+    let k = ref 0 in
+    schedule_chain
+      (fun () -> Dist.next_gap (Dist.Poisson cfg.churn_per_s) ~now:(elapsed ()) churn_rng)
+      (fun () ->
+        if !k land 1 = 0 then leave () else join ();
+        incr k)
+  end;
+
+  (* Trajectory sampling: fixed wall-free cadence over the load window,
+     plus one final sample after the drain. *)
+  let traj = Buffer.create 512 in
+  let sample ~final () =
+    let p q =
+      match Obs.Histogram.snapshot reg "loadgen.latency_s" with
+      | Some s -> Obs.Histogram.quantile s q
+      | None -> 0.
+    in
+    Buffer.add_string traj
+      (Printf.sprintf
+         {|{"t":%.6f,"sent":%d,"delivered":%d,"active":%d,"p50":%.6f,"p99":%.6f,"p999":%.6f,"net_drops":%d,"final":%b}|}
+         (elapsed ()) !sent !delivered !n_active (p 0.50) (p 0.99) (p 0.999)
+         (Netsim.dropped (Netsim.stats net))
+         final);
+    Buffer.add_char traj '\n'
+  in
+  let sample_gap = cfg.duration_s /. float_of_int cfg.samples in
+  schedule_chain (fun () -> sample_gap) (fun () -> sample ~final:false ());
+
+  let res = Netsim.run ~max_steps:1_000_000_000 net in
+  sample ~final:true ();
+
+  let st = Netsim.stats net in
+  {
+    config = cfg;
+    mix_desc = Population.describe_mix pop;
+    sent = !sent;
+    ingress_delivered =
+      vias.exact + vias.reordered + vias.converted + vias.morphed
+      + vias.morphed_converted;
+    ingress_rejected = !rejected;
+    ingress_defaulted = !defaulted;
+    vias;
+    delivered = !delivered;
+    joins = !joins;
+    leaves = !leaves;
+    active_end = !n_active;
+    net_delivered = st.Netsim.messages;
+    net_bytes = st.Netsim.bytes;
+    net_dropped = Netsim.dropped st;
+    net_duplicated = st.Netsim.duplicated;
+    latency = Obs.Histogram.snapshot reg "loadgen.latency_s";
+    sim_end = elapsed ();
+    quiesced = res.Netsim.quiesced;
+    trajectory = Buffer.contents traj;
+    metrics = reg;
+  }
+
+let percentile (r : report) q =
+  match r.latency with Some s -> Obs.Histogram.quantile s q | None -> 0.
+
+(* Engine-independent by design: [mode] never appears, so the parity
+   gates can diff summaries across fused/staged/interp verbatim. *)
+let summary (r : report) : string =
+  let cfg = r.config in
+  let b = Buffer.create 512 in
+  let p fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let f = cfg.faults in
+  p "loadgen v1";
+  p "scenario=%s seed=%d clients=%d dist=%s duration=%.3fs churn=%g/s sinks=%d"
+    (scenario_to_string cfg.scenario)
+    cfg.seed cfg.clients (Dist.to_string cfg.dist) cfg.duration_s
+    cfg.churn_per_s cfg.sinks;
+  p "versions=%d mix=%s" cfg.versions r.mix_desc;
+  p "faults loss=%.3f dup=%.3f reorder=%.3f jitter=%.4fs reliable=%b"
+    f.Netsim.loss f.Netsim.duplication f.Netsim.reorder f.Netsim.jitter_s
+    cfg.reliable;
+  p "sent=%d ingress_delivered=%d delivered=%d rejected=%d defaulted=%d"
+    r.sent r.ingress_delivered r.delivered r.ingress_rejected
+    r.ingress_defaulted;
+  p "via exact=%d reordered=%d converted=%d morphed=%d morphed_converted=%d"
+    r.vias.exact r.vias.reordered r.vias.converted r.vias.morphed
+    r.vias.morphed_converted;
+  p "churn joins=%d leaves=%d active_end=%d" r.joins r.leaves r.active_end;
+  p "net delivered=%d bytes=%d dropped=%d duplicated=%d" r.net_delivered
+    r.net_bytes r.net_dropped r.net_duplicated;
+  (match r.latency with
+   | Some s ->
+     p "latency p50=%.6fs p99=%.6fs p999=%.6fs max=%.6fs n=%d"
+       (Obs.Histogram.quantile s 0.50)
+       (Obs.Histogram.quantile s 0.99)
+       (Obs.Histogram.quantile s 0.999)
+       s.Obs.Histogram.max s.Obs.Histogram.count
+   | None -> p "latency n=0");
+  p "throughput=%.1f/s sim_end=%.6fs quiesced=%b"
+    (float_of_int r.delivered /. cfg.duration_s)
+    r.sim_end r.quiesced;
+  Buffer.contents b

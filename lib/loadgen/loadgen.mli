@@ -1,0 +1,94 @@
+(** Open-loop load harness over the virtual clock.
+
+    A run drives a weighted population of sender format versions
+    ({!Population}) through one of the end-to-end scenarios — ECho
+    fan-out or the B2B broker — at a configured arrival rate
+    ({!Dist}), with connection churn and optional fault profiles, all
+    on {!Transport.Netsim}'s virtual clock.  Everything is seeded, so a
+    run is a pure function of its {!config}: the {!summary} string and
+    ndjson trajectory are byte-stable across processes, which is what
+    the golden and parity regression gates in [test/] assert on. *)
+
+module Dist = Dist
+module Population = Population
+
+type scenario =
+  | Echo  (** clients -> ingress morph -> channel fan-out to mixed V1/V2 sinks *)
+  | B2b  (** clients -> ingress morph -> retailer order -> broker -> supplier -> status *)
+
+(** How the ingress receiver processes each message; virtual time is
+    oblivious to real compute cost, so all three must yield identical
+    delivery outcomes for the same seed (the parity gate). *)
+type mode =
+  | Fused  (** [Receiver.deliver_wire], compiled engine *)
+  | Staged  (** [Wire.decode] then [Receiver.deliver], compiled engine *)
+  | Interp  (** staged delivery on the interpreted engine (A1 ablation) *)
+
+val scenario_to_string : scenario -> string
+val scenario_of_string : string -> (scenario, string) result
+val mode_to_string : mode -> string
+val mode_of_string : string -> (mode, string) result
+
+type config = {
+  scenario : scenario;
+  mode : mode;
+  clients : int;  (** population size; senders cost O(1) sim state each *)
+  dist : Dist.t;  (** aggregate arrival process across active clients *)
+  duration_s : float;  (** arrival window in simulated seconds *)
+  churn_per_s : float;  (** membership events (alternating leave/join) per second *)
+  versions : int;  (** lineage length: v0 (base) .. v[versions-1] (head) *)
+  mix : float list option;  (** newest-first weights; [None] = 70/25/5 default *)
+  sinks : int;  (** ECho scenario: sink subscribers (alternating V2/V1) *)
+  faults : Transport.Netsim.faults;
+  reliable : bool;  (** run inner hops (echo/b2b endpoints) reliably *)
+  seed : int;
+  samples : int;  (** trajectory sample count across the duration *)
+}
+
+val default : config
+
+type via_counts = {
+  mutable exact : int;
+  mutable reordered : int;
+  mutable converted : int;
+  mutable morphed : int;
+  mutable morphed_converted : int;
+}
+
+type report = {
+  config : config;
+  mix_desc : string;  (** {!Population.describe_mix} of the run's population *)
+  sent : int;
+  ingress_delivered : int;
+  ingress_rejected : int;
+  ingress_defaulted : int;
+  vias : via_counts;
+  delivered : int;  (** end-to-end: sink events (echo) or order statuses (b2b) *)
+  joins : int;
+  leaves : int;
+  active_end : int;
+  net_delivered : int;
+  net_bytes : int;
+  net_dropped : int;
+  net_duplicated : int;
+  latency : Obs.Histogram.snapshot option;
+      (** end-to-end delivery latency, simulated seconds *)
+  sim_end : float;
+  quiesced : bool;
+  trajectory : string;  (** ndjson, one sample object per line *)
+  metrics : Obs.t;  (** the run's full registry, for [--json] dumps *)
+}
+
+(** Execute a run to quiescence.  Raises [Invalid_argument] on
+    out-of-range config fields. *)
+val run : config -> report
+
+(** Latency percentile of the end-to-end histogram ([0.] when empty). *)
+val percentile : report -> float -> float
+
+(** The deterministic multi-line run summary the golden gates snapshot:
+    config echo plus outcome, via, churn, network and latency
+    (p50/p99/p999) lines.  Engine-independent by construction — {!mode}
+    is deliberately excluded so parity tests can compare summaries
+    across engines verbatim. *)
+val summary : report -> string

@@ -344,6 +344,32 @@ module Histogram = struct
     match snapshot t name with Some s -> s.count | None -> 0
 
   let sum (t : t) name = match snapshot t name with Some s -> s.sum | None -> 0.
+
+  (* Conservative bucket-based estimate: the upper bound of the bucket
+     holding the rank-[ceil (q * count)] observation, clamped to the
+     observed extrema so q=0 and q=1 stay meaningful.  Samples landing in
+     the implicit +inf bucket report [s.max]. *)
+  let quantile (s : snapshot) (q : float) : float =
+    if s.count = 0 then 0.
+    else begin
+      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int s.count)) in
+        if r < 1 then 1 else r
+      in
+      let rec walk cum = function
+        | [] -> s.max
+        | (le, n) :: rest ->
+          let cum = cum + n in
+          if cum >= rank then
+            if le = infinity then s.max
+            else if le > s.max then s.max
+            else if le < s.min then s.min
+            else le
+          else walk cum rest
+      in
+      walk 0 s.buckets
+    end
 end
 
 let with_span (t : t) name f =

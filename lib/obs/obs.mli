@@ -119,6 +119,13 @@ module Histogram : sig
   val snapshot : t -> string -> snapshot option
   val count : t -> string -> int
   val sum : t -> string -> float
+
+  val quantile : snapshot -> float -> float
+  (** [quantile s q] estimates the [q]-quantile (0 to 1) of the recorded
+      observations from the bucket counts: the upper bound of the bucket
+      holding the rank-[ceil (q * count)] sample, clamped to
+      [\[s.min, s.max\]].  Deterministic for a given snapshot, so golden
+      tests can assert on it.  0. when the histogram is empty. *)
 end
 
 val default_latency_buckets : float list

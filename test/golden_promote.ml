@@ -1,0 +1,25 @@
+(* Golden-fixture refresh: regenerates every snapshot in test/golden/
+   from the exact configs and samples the test suites assert against, so
+   the fixtures can never drift from the tests.  Invoked via the test
+   binary itself (see test_main.ml):
+
+     GOLDEN_PROMOTE=$PWD/test/golden dune exec test/test_main.exe
+
+   Review the resulting diff before committing — a changed fixture means
+   delivery outcomes changed, which is exactly what the gates exist to
+   catch. *)
+
+let write dir name body =
+  let path = Filename.concat dir name in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc body);
+  Printf.printf "wrote %s (%d bytes)\n%!" path (String.length body)
+
+let write_all ~dir =
+  write dir "loadgen_echo.txt" (Loadgen.summary (Loadgen.run Test_loadgen.echo_cfg));
+  write dir "loadgen_b2b.txt" (Loadgen.summary (Loadgen.run Test_loadgen.b2b_cfg));
+  write dir "loadgen_faulty.txt"
+    (Loadgen.summary (Loadgen.run Test_loadgen.faulty_cfg));
+  write dir "trace_chrome.json" (Test_obs.chrome_sample_json ())

@@ -40,6 +40,12 @@ let check_valid = function
   | Error (e : Ptype.error) ->
     Alcotest.failf "unexpected validation error: %s: %s" e.Ptype.where e.Ptype.what
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 (* substring test for smoke-checking printed output *)
 let contains (hay : string) (needle : string) : bool =
   let n = String.length needle and h = String.length hay in

@@ -1,0 +1,136 @@
+(* Schema checks for the bench JSON trajectory (bench --json /
+   BENCH_morph.json): the CI trend job and external dashboards consume
+   these lines, so their shape is a contract, not an accident of
+   Obs.to_json_lines.  Validated here as a unit test instead of only a
+   grep guard in the workflow. *)
+
+let read_file = Helpers.read_file
+
+(* Minimal line-level validator (the repo deliberately has no JSON
+   dependency): checks the envelope, extracts the metric name and kind,
+   and checks the kind's required keys are present and numeric. *)
+
+let fail line msg = Alcotest.failf "%s in line: %s" msg line
+
+let field_string line key =
+  let marker = Printf.sprintf "\"%s\":\"" key in
+  match Helpers.contains line marker with
+  | false -> None
+  | true ->
+    let rec find i =
+      if i + String.length marker > String.length line then None
+      else if String.sub line i (String.length marker) = marker then
+        Some (i + String.length marker)
+      else find (i + 1)
+    in
+    Option.bind (find 0) (fun start ->
+        String.index_from_opt line start '"'
+        |> Option.map (fun stop -> String.sub line start (stop - start)))
+
+let has_numeric_field line key =
+  let marker = Printf.sprintf "\"%s\":" key in
+  let rec find i =
+    if i + String.length marker > String.length line then None
+    else if String.sub line i (String.length marker) = marker then
+      Some (i + String.length marker)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < String.length line
+      && (match line.[!stop] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false)
+    do
+      incr stop
+    done;
+    !stop > start
+    && Option.is_some (float_of_string_opt (String.sub line start (!stop - start)))
+
+let validate_line line : string =
+  let n = String.length line in
+  if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then
+    fail line "not a JSON object";
+  let metric =
+    match field_string line "metric" with
+    | Some m when m <> "" -> m
+    | _ -> fail line "missing metric name"
+  in
+  (match field_string line "kind" with
+   | Some ("counter" | "gauge") ->
+     if not (has_numeric_field line "value") then
+       fail line "counter/gauge without numeric value"
+   | Some "histogram" ->
+     List.iter
+       (fun k ->
+          if not (has_numeric_field line k) then
+            fail line (Printf.sprintf "histogram without numeric %S" k))
+       [ "count"; "sum"; "min"; "max" ];
+     if not (Helpers.contains line "\"buckets\":[") then
+       fail line "histogram without buckets";
+     if not (Helpers.contains line "\"le\":\"+inf\"") then
+       fail line "histogram buckets missing the +inf bound"
+   | Some k -> fail line (Printf.sprintf "unknown kind %S" k)
+   | None -> fail line "missing kind");
+  metric
+
+let validate_lines (body : string) : string list =
+  String.split_on_char '\n' body
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map validate_line
+
+(* The series every bench --json run must produce (quick and full runs
+   both cover these figures). *)
+let required_prefixes =
+  [ "bench.fig8/"; "bench.fig9/"; "bench.fig10/"; "bench.codec/" ]
+
+let test_committed_trajectory () =
+  (* the checked-in artifact CI trends; declared as a dune dep *)
+  let metrics = validate_lines (read_file "../BENCH_morph.json") in
+  Alcotest.(check bool) "non-empty series" true (List.length metrics > 0);
+  List.iter
+    (fun prefix ->
+       let covered =
+         List.exists
+           (fun m ->
+              String.length m >= String.length prefix
+              && String.sub m 0 (String.length prefix) = prefix)
+           metrics
+       in
+       Alcotest.(check bool) (prefix ^ " series present") true covered)
+    required_prefixes
+
+let test_synthetic_registry () =
+  (* every metric kind Obs emits passes the validator... *)
+  let reg = Obs.create ~label:"bench-schema" () in
+  Obs.set_registry_clock reg (fun () -> 0.);
+  let c = Obs.Counter.make reg ~unit_:"ops" "bench.fake/counter" in
+  Obs.Counter.add c 3;
+  let g = Obs.Gauge.make reg ~unit_:"ns" "bench.fake/gauge" in
+  Obs.Gauge.set g 123.5;
+  let h = Obs.Histogram.make reg ~unit_:"s" ~buckets:[ 0.1; 1. ] "bench.fake/hist" in
+  Obs.Histogram.observe h 0.05;
+  Obs.Histogram.observe h 2.0;
+  let metrics = validate_lines (Obs.to_json_lines reg) in
+  Alcotest.(check int) "three metrics" 3 (List.length metrics);
+  (* ...and the validator actually rejects broken lines *)
+  let rejects line =
+    match validate_line line with
+    | exception _ -> ()
+    | m -> Alcotest.failf "validator accepted %s as %S" line m
+  in
+  rejects {|{"kind":"gauge","value":1}|};
+  rejects {|{"metric":"x","kind":"gauge"}|};
+  rejects {|{"metric":"x","kind":"gauge","value":nope}|};
+  rejects {|{"metric":"x","kind":"histogram","count":1,"sum":1,"min":1,"max":1,"buckets":[{"le":1,"n":1}]}|}
+
+let suite =
+  [
+    Alcotest.test_case "BENCH_morph.json matches the schema" `Quick
+      test_committed_trajectory;
+    Alcotest.test_case "Obs.to_json_lines matches the schema" `Quick
+      test_synthetic_registry;
+  ]

@@ -1,0 +1,246 @@
+(* The load-harness regression gates: golden tests snapshot the
+   deterministic summary of canonical workload mixes; parity tests assert
+   the fused / staged / interp ingress paths produce identical delivery
+   outcomes under the same seed (virtual time is oblivious to compute
+   cost, so the summaries must match byte for byte). *)
+
+module L = Loadgen
+module D = Loadgen.Dist
+module P = Loadgen.Population
+
+let read_file = Helpers.read_file
+
+(* --- canonical workload mixes ---------------------------------------------- *)
+(* Each config has a CLI equivalent documented in docs/LOADGEN.md; refresh
+   a fixture by running that command and redirecting over the file. *)
+
+let echo_cfg =
+  { L.default with
+    L.scenario = L.Echo; clients = 500; dist = D.Poisson 2000.;
+    duration_s = 0.5; churn_per_s = 50.; versions = 3; sinks = 3; seed = 42 }
+
+let b2b_cfg =
+  { L.default with
+    L.scenario = L.B2b; clients = 300; dist = D.Constant 800.;
+    duration_s = 0.25; churn_per_s = 40.; versions = 2; seed = 11 }
+
+let faulty_cfg =
+  { L.default with
+    L.scenario = L.Echo; clients = 400;
+    dist =
+      D.Bursty
+        { rate_on = 3000.; rate_off = 200.; period_on_s = 0.05;
+          period_off_s = 0.05 };
+    duration_s = 0.4; churn_per_s = 25.;
+    faults =
+      { Transport.Netsim.loss = 0.05; duplication = 0.02; reorder = 0.05;
+        jitter_s = 0.001 };
+    reliable = true; seed = 13 }
+
+(* --- arrival distributions -------------------------------------------------- *)
+
+let test_dist_strings () =
+  let roundtrip d =
+    match D.of_string (D.to_string d) with
+    | Ok d' -> Alcotest.(check string) "round trip" (D.to_string d) (D.to_string d')
+    | Error e -> Alcotest.failf "%s did not parse back: %s" (D.to_string d) e
+  in
+  roundtrip (D.Constant 150.);
+  roundtrip (D.Poisson 2000.);
+  roundtrip
+    (D.Bursty
+       { rate_on = 3000.; rate_off = 200.; period_on_s = 0.05; period_off_s = 0.1 });
+  List.iter
+    (fun s ->
+       match D.of_string s with
+       | Ok _ -> Alcotest.failf "%S should not parse" s
+       | Error _ -> ())
+    [ "constant:0"; "poisson:-1"; "uniform:5"; "bursty:1:2:3"; "" ]
+
+let test_dist_gaps () =
+  let st () = Random.State.make [| 5 |] in
+  Alcotest.(check (float 1e-12)) "constant gap" 0.01
+    (D.next_gap (D.Constant 100.) ~now:0. (st ()));
+  let g1 = D.next_gap (D.Poisson 500.) ~now:0. (st ()) in
+  let g2 = D.next_gap (D.Poisson 500.) ~now:0. (st ()) in
+  Alcotest.(check (float 0.)) "poisson gaps are seeded" g1 g2;
+  Alcotest.(check bool) "poisson gap positive" true (g1 > 0.);
+  let b =
+    D.Bursty { rate_on = 100.; rate_off = 0.; period_on_s = 0.1; period_off_s = 0.1 }
+  in
+  let gap = D.next_gap b ~now:0.15 (st ()) in
+  Alcotest.(check bool) "silent off-phase jumps to the next burst" true
+    (gap >= 0.05);
+  Alcotest.(check (float 1e-9)) "bursty mean rate" 50. (D.mean_rate b)
+
+(* --- version populations ---------------------------------------------------- *)
+
+let test_population_lineage () =
+  let pop = P.make ~versions:4 ~seed:42 () in
+  let vs = P.versions pop in
+  Alcotest.(check int) "exactly 4 versions" 4 (Array.length vs);
+  Alcotest.(check int) "v0 ships no xforms" 0
+    (List.length vs.(0).P.meta.Pbio.Meta.xforms);
+  Alcotest.(check int) "head ships the full retro chain" 3
+    (List.length vs.(3).P.meta.Pbio.Meta.xforms);
+  Array.iter
+    (fun (v : P.version) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "v%d has a wire message" v.P.index)
+         true
+         (String.length v.P.bytes > 0))
+    vs;
+  let total = Array.fold_left (fun a v -> a +. v.P.weight) 0. vs in
+  Alcotest.(check (float 1e-9)) "weights sum to 1" 1.0 total;
+  (* deterministic in the seed *)
+  let pop' = P.make ~versions:4 ~seed:42 () in
+  Alcotest.(check bool) "same seed, same head format" true
+    (Pbio.Ptype.equal_record vs.(3).P.format (P.versions pop').(3).P.format)
+
+let test_population_mix () =
+  (* newest-first weights: [100] puts everything on the head version *)
+  let pop = P.make ~mix:[ 100. ] ~versions:3 ~seed:1 () in
+  let st = Random.State.make [| 9 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "only the head is picked" 2 (P.pick pop st)
+  done;
+  Alcotest.(check string) "mix description" "v0:0.0% v1:0.0% v2:100.0%"
+    (P.describe_mix pop)
+
+(* --- histogram quantiles ---------------------------------------------------- *)
+
+let test_quantile () =
+  let reg = Obs.create ~label:"q" () in
+  let h = Obs.Histogram.make reg ~buckets:[ 1.; 2.; 3. ] "h" in
+  List.iter (Obs.Histogram.observe h) [ 0.5; 1.5; 2.5 ];
+  let s = Option.get (Obs.Histogram.snapshot reg "h") in
+  Alcotest.(check (float 0.)) "p0 is the first bucket bound" 1.0
+    (Obs.Histogram.quantile s 0.0);
+  Alcotest.(check (float 0.)) "p50 lands in the middle bucket" 2.0
+    (Obs.Histogram.quantile s 0.5);
+  Alcotest.(check (float 0.)) "p100 clamps to the observed max" 2.5
+    (Obs.Histogram.quantile s 1.0);
+  let h2 = Obs.Histogram.make reg ~buckets:[ 1. ] "h2" in
+  Obs.Histogram.observe h2 5.0;
+  let s2 = Option.get (Obs.Histogram.snapshot reg "h2") in
+  Alcotest.(check (float 0.)) "+inf bucket reports the max" 5.0
+    (Obs.Histogram.quantile s2 0.99);
+  let h3 = Obs.Histogram.make reg "h3" in
+  ignore h3;
+  let s3 = Option.get (Obs.Histogram.snapshot reg "h3") in
+  Alcotest.(check (float 0.)) "empty histogram" 0. (Obs.Histogram.quantile s3 0.5)
+
+(* --- golden gates ----------------------------------------------------------- *)
+
+let golden fixture cfg () =
+  let got = L.summary (L.run cfg) in
+  let want = read_file ("golden/" ^ fixture) in
+  Alcotest.(check string) fixture want got
+
+let test_golden_twice () =
+  (* the gate the CI smoke also runs: two fresh runs of the same seed
+     must be byte-identical, summary and trajectory both *)
+  let a = L.run echo_cfg and b = L.run echo_cfg in
+  Alcotest.(check string) "summaries identical" (L.summary a) (L.summary b);
+  Alcotest.(check string) "trajectories identical" a.L.trajectory b.L.trajectory
+
+let test_golden_perturbation () =
+  (* any outcome perturbation must fail the golden comparison *)
+  let want = read_file "golden/loadgen_echo.txt" in
+  let differs what cfg =
+    Alcotest.(check bool) what false (String.equal want (L.summary (L.run cfg)))
+  in
+  differs "seed change perturbs the summary" { echo_cfg with L.seed = 43 };
+  differs "mix change perturbs the summary" { echo_cfg with L.mix = Some [ 50.; 50. ] };
+  differs "fault change perturbs the summary"
+    { echo_cfg with
+      L.faults = { Transport.Netsim.no_faults with Transport.Netsim.loss = 0.01 } }
+
+(* --- parity gates ----------------------------------------------------------- *)
+
+let parity name cfg () =
+  let s mode = L.summary (L.run { cfg with L.mode = mode }) in
+  let fused = s L.Fused in
+  Alcotest.(check string) (name ^ ": staged == fused") fused (s L.Staged);
+  Alcotest.(check string) (name ^ ": interp == fused") fused (s L.Interp)
+
+let small_echo =
+  { echo_cfg with L.clients = 200; dist = D.Poisson 1000.; duration_s = 0.2 }
+
+let small_b2b =
+  { b2b_cfg with L.clients = 150; dist = D.Constant 600.; duration_s = 0.15 }
+
+(* --- trajectories ----------------------------------------------------------- *)
+
+let test_trajectory_shape () =
+  let r = L.run { small_echo with L.samples = 5 } in
+  let lines =
+    String.split_on_char '\n' r.L.trajectory
+    |> List.filter (fun l -> String.length l > 0)
+  in
+  Alcotest.(check bool) "at least the final sample plus one" true
+    (List.length lines >= 2);
+  List.iter
+    (fun l ->
+       Alcotest.(check bool) "object per line" true
+         (l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  let last = List.nth lines (List.length lines - 1) in
+  Alcotest.(check bool) "last sample is final" true
+    (Helpers.contains last {|"final":true|});
+  List.iteri
+    (fun i l ->
+       if i < List.length lines - 1 then
+         Alcotest.(check bool) "intermediate samples are not final" true
+           (Helpers.contains l {|"final":false|}))
+    lines
+
+(* --- scale ------------------------------------------------------------------ *)
+
+let test_scale_100k () =
+  let cfg =
+    { L.default with
+      L.clients = 100_000; dist = D.Poisson 20_000.; duration_s = 0.5;
+      churn_per_s = 200.; versions = 4; seed = 11 }
+  in
+  let r = L.run cfg in
+  Alcotest.(check bool) "offered load arrived" true (r.L.sent > 9_000);
+  Alcotest.(check int) "every message was delivered at the ingress"
+    r.L.sent r.L.ingress_delivered;
+  Alcotest.(check bool) "fan-out delivered" true (r.L.delivered >= r.L.sent);
+  Alcotest.(check bool) "network drained" true r.L.quiesced;
+  Alcotest.(check int) "active set bookkeeping" r.L.active_end
+    (cfg.L.clients + r.L.joins - r.L.leaves);
+  let p50 = L.percentile r 0.5 and p999 = L.percentile r 0.999 in
+  Alcotest.(check bool) "p50 positive" true (p50 > 0.);
+  Alcotest.(check bool) "p999 >= p50" true (p999 >= p50);
+  (* determinism holds at scale too *)
+  let r' = L.run cfg in
+  Alcotest.(check string) "100k run replays byte-identically" (L.summary r)
+    (L.summary r')
+
+let suite =
+  [
+    Alcotest.test_case "dist: parse/print round trip" `Quick test_dist_strings;
+    Alcotest.test_case "dist: gap behaviour" `Quick test_dist_gaps;
+    Alcotest.test_case "population: lineage + metas" `Quick test_population_lineage;
+    Alcotest.test_case "population: explicit mix" `Quick test_population_mix;
+    Alcotest.test_case "obs: histogram quantile" `Quick test_quantile;
+    Alcotest.test_case "golden: echo mix" `Quick (golden "loadgen_echo.txt" echo_cfg);
+    Alcotest.test_case "golden: b2b mix" `Quick (golden "loadgen_b2b.txt" b2b_cfg);
+    Alcotest.test_case "golden: faulty bursty mix" `Quick
+      (golden "loadgen_faulty.txt" faulty_cfg);
+    Alcotest.test_case "golden: same seed twice is byte-identical" `Quick
+      test_golden_twice;
+    Alcotest.test_case "golden: perturbations fail the gate" `Quick
+      test_golden_perturbation;
+    Alcotest.test_case "parity: echo fused/staged/interp" `Quick
+      (parity "echo" small_echo);
+    Alcotest.test_case "parity: b2b fused/staged/interp" `Quick
+      (parity "b2b" small_b2b);
+    Alcotest.test_case "parity: faulted echo fused/staged/interp" `Slow
+      (parity "faulty" faulty_cfg);
+    Alcotest.test_case "trajectory: ndjson shape" `Quick test_trajectory_shape;
+    Alcotest.test_case "scale: 100k clients on the virtual clock" `Slow
+      test_scale_100k;
+  ]

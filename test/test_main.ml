@@ -1,4 +1,9 @@
 let () =
+  (* Fixture refresh (docs/LOADGEN.md): regenerate the golden snapshots
+     instead of running the suites. *)
+  match Sys.getenv_opt "GOLDEN_PROMOTE" with
+  | Some dir when String.trim dir <> "" -> Golden_promote.write_all ~dir
+  | _ ->
   Alcotest.run "message-morphing"
     [
       ("ptype", Test_ptype.suite);
@@ -23,4 +28,6 @@ let () =
       ("echo", Test_echo.suite);
       ("b2b", Test_b2b.suite);
       ("integration", Test_integration.suite);
+      ("bench schema", Test_bench_schema.suite);
+      ("loadgen", Test_loadgen.suite);
     ]

@@ -336,6 +336,39 @@ let test_trace_chrome_json () =
          (Helpers.contains text s))
     [ "outer"; "inner"; "nodeA"; "cache=hit" ]
 
+(* A fixed span set with hand-assigned ids (the live id counter is
+   process-global, so golden output must never depend on it): one
+   cross-node trace with a retransmitted hop, plus an orphan in a second
+   trace.  [Golden_promote] exports the same sample when refreshing the
+   fixture. *)
+let chrome_sample_spans =
+  let sp ~trace_id ~span_id ~parent_id ~name ~node ~t0 ~t1 attrs =
+    { Obs.Trace.trace_id; span_id; parent_id; name; node; start_ns = t0;
+      end_ns = t1; attrs }
+  in
+  [
+    sp ~trace_id:7 ~span_id:1 ~parent_id:None ~name:"conn.send" ~node:"a"
+      ~t0:1_000. ~t1:9_000. [ ("bytes", "64") ];
+    sp ~trace_id:7 ~span_id:2 ~parent_id:(Some 1) ~name:"net.hop" ~node:"a"
+      ~t0:1_200. ~t1:2_400.
+      [ ("dst", "b:2"); ("bytes", "64"); ("retransmit", "1") ];
+    sp ~trace_id:7 ~span_id:3 ~parent_id:(Some 1) ~name:"conn.deliver"
+      ~node:"b" ~t0:2_500. ~t1:8_000. [];
+    sp ~trace_id:9 ~span_id:4 ~parent_id:(Some 99) ~name:"orphan.span"
+      ~node:"b" ~t0:10_000. ~t1:11_000. [];
+  ]
+
+let chrome_sample_json () =
+  Obs.Trace.to_chrome_json (Obs.Trace.assemble chrome_sample_spans)
+
+(* Snapshot of the Perfetto exporter: byte-stable field ordering is part
+   of the contract (external tooling parses it), so any drift must show
+   up as a golden diff, not silently. *)
+let test_trace_chrome_json_golden () =
+  Alcotest.(check string) "chrome json snapshot"
+    (Helpers.read_file "golden/trace_chrome.json")
+    (chrome_sample_json ())
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -359,4 +392,6 @@ let suite =
       test_trace_assemble_malformed;
     Alcotest.test_case "chrome json + waterfall export" `Quick
       test_trace_chrome_json;
+    Alcotest.test_case "chrome json golden snapshot" `Quick
+      test_trace_chrome_json_golden;
   ]

@@ -374,6 +374,96 @@ let test_conn_meta_lost_in_flight () =
   Alcotest.(check int) "recovered via meta request" 1 !got;
   Alcotest.(check int) "format learned on the retry" 1 (Conn.known_peer_formats b)
 
+(* Reliable composes *around* Traced: the stored retransmission bytes
+   replay the original Traced envelope byte for byte, so a frame that only
+   gets through after a timed partition heals still carries the trace ids
+   it was born with, and the receive-side span parents correctly across
+   the gap. *)
+let test_reliable_traced_partition () =
+  let net = Netsim.create () in
+  let ca = Contact.make "a" 1 and cb = Contact.make "b" 2 in
+  let reg_a = Obs.create ~label:"a" () and reg_b = Obs.create ~label:"b" () in
+  Obs.set_registry_clock reg_a (fun () -> Netsim.now net *. 1e9);
+  Obs.set_registry_clock reg_b (fun () -> Netsim.now net *. 1e9);
+  let a = Conn.create ~reliable:true ~metrics:reg_a net ca in
+  let b = Conn.create ~reliable:true ~metrics:reg_b net cb in
+  let got = ref [] in
+  Conn.set_handler b (fun ~src:_ _meta v -> got := v :: !got);
+  (* every link a<->b is dead until t = 0.05: the first transmission and
+     the early retransmits (5, 15, 35 ms) all drop *)
+  Netsim.add_partition net ~group_a:[ ca ] ~group_b:[ cb ] ~start:0.0 ~stop:0.05;
+  Obs.Trace.with_span reg_a "app.send" (fun () ->
+      Conn.send a ~dst:cb (Meta.plain fmt) (ping 7));
+  ignore (Netsim.run net);
+  Alcotest.(check int) "delivered exactly once after heal" 1 (List.length !got);
+  (match !got with
+   | [ v ] -> Alcotest.(check int) "payload intact" 7
+       (Value.to_int (Value.get_field v "seq"))
+   | _ -> ());
+  Alcotest.(check bool) "retransmits happened" true
+    ((Conn.stats a).Conn.retransmits > 0);
+  Alcotest.(check bool) "healed only after the partition window" true
+    (Netsim.now net >= 0.05);
+  (* trace continuity: sender and receiver spans share one trace id *)
+  let root =
+    match
+      List.find_opt
+        (fun s -> s.Obs.Trace.name = "app.send")
+        (Obs.Trace.spans reg_a)
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "sender recorded no app.send span"
+  in
+  let delivers =
+    List.filter
+      (fun s -> s.Obs.Trace.name = "conn.deliver")
+      (Obs.Trace.spans reg_b)
+  in
+  Alcotest.(check bool) "receiver recorded deliveries" true (delivers <> []);
+  (* Conn.send opens its own conn.send span under app.send; the wire ctx
+     the receiver parents on is whichever sender-side span was ambient *)
+  let sender_span_ids =
+    List.filter_map
+      (fun s ->
+         if s.Obs.Trace.trace_id = root.Obs.Trace.trace_id then
+           Some s.Obs.Trace.span_id
+         else None)
+      (Obs.Trace.spans reg_a)
+  in
+  List.iter
+    (fun s ->
+       Alcotest.(check int) "deliver keeps the sender's trace id"
+         root.Obs.Trace.trace_id s.Obs.Trace.trace_id;
+       Alcotest.(check bool) "deliver parents on a sender-side span" true
+         (match s.Obs.Trace.parent_id with
+          | Some p -> List.mem p sender_span_ids
+          | None -> false))
+    delivers;
+  (* the retransmitted hops replay the original trace context *)
+  let retransmit_hops =
+    List.filter
+      (fun s ->
+         s.Obs.Trace.name = "net.hop"
+         && List.mem_assoc "retransmit" s.Obs.Trace.attrs)
+      (Obs.Trace.spans reg_a)
+  in
+  Alcotest.(check bool) "retransmit hops were traced" true
+    (retransmit_hops <> []);
+  List.iter
+    (fun s ->
+       Alcotest.(check int) "retransmit hop keeps the trace id"
+         root.Obs.Trace.trace_id s.Obs.Trace.trace_id)
+    retransmit_hops;
+  (* assembled across both registries: one trace, deliveries nested under
+     the sender's root, no orphans *)
+  match Obs.Trace.assemble (Obs.Trace.spans reg_a @ Obs.Trace.spans reg_b) with
+  | [ tr ] ->
+    Alcotest.(check int) "single trace id" root.Obs.Trace.trace_id tr.Obs.Trace.id;
+    Alcotest.(check (list string)) "no orphaned spans" []
+      (List.map (fun s -> s.Obs.Trace.name) tr.Obs.Trace.orphans);
+    Alcotest.(check int) "one root" 1 (List.length tr.Obs.Trace.roots)
+  | l -> Alcotest.failf "expected one assembled trace, got %d" (List.length l)
+
 let suite =
   [
     Alcotest.test_case "contact parse/print" `Quick test_contact;
@@ -402,4 +492,6 @@ let suite =
       test_conn_survives_corruption;
     Alcotest.test_case "conn: mid-stream link drop" `Quick test_conn_mid_stream_link_drop;
     Alcotest.test_case "conn: meta lost in flight" `Quick test_conn_meta_lost_in_flight;
+    Alcotest.test_case "conn: reliable around traced across a timed partition"
+      `Quick test_reliable_traced_partition;
   ]
