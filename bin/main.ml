@@ -8,6 +8,8 @@
      morphctl demo              run the ECho evolution scenario
      morphctl stats             run an instrumented scenario, dump all metrics
      morphctl trace             run a traced scenario, export Perfetto JSON
+     morphctl loadgen           open-loop load harness over the virtual clock
+     morphctl gateway           multi-tenant gateway load run or chaos soak
 
    Format files use the DSL of Pbio.Ptype_dsl, e.g.:
 
@@ -756,9 +758,235 @@ let loadgen_cmd =
           $ versions $ mix $ sinks $ loss $ dup $ reorder $ jitter $ reliable
           $ seed $ samples $ ndjson $ json)
 
+(* --- gateway ------------------------------------------------------------- *)
+
+let gateway_cmd =
+  let run soak tenants lineages dist duration churn versions push_at deadline
+      admit_rate admit_burst max_plans quota budget window mode parity loss dup
+      reorder jitter seed samples ndjson json =
+    match soak with
+    | Some cases ->
+      (* chaos-soak mode: the stressed-by-design campaign instead of a
+         configurable load run *)
+      if cases < 1 then begin
+        Printf.eprintf "gateway: --soak must be positive\n";
+        exit 2
+      end;
+      let d = Morphcheck.Chaos.default_profile in
+      let profile =
+        { Morphcheck.Chaos.loss = (if loss > 0. then loss else d.Morphcheck.Chaos.loss);
+          duplication = (if dup > 0. then dup else d.Morphcheck.Chaos.duplication);
+          reorder = (if reorder > 0. then reorder else d.Morphcheck.Chaos.reorder);
+          jitter_s = (if jitter > 0. then jitter else d.Morphcheck.Chaos.jitter_s);
+          partition = true }
+      in
+      Printf.printf
+        "gateway soak: seed=%d cases=%d loss=%.3f dup=%.3f reorder=%.3f jitter=%gs\n"
+        seed cases profile.Morphcheck.Chaos.loss
+        profile.Morphcheck.Chaos.duplication profile.Morphcheck.Chaos.reorder
+        profile.Morphcheck.Chaos.jitter_s;
+      let report = Morphcheck.Gateway_chaos.run ~profile ~seed ~cases () in
+      Format.printf "%a@." Morphcheck.Gateway_chaos.pp_report report;
+      if not (Morphcheck.Gateway_chaos.passed report) then begin
+        Printf.printf "gateway soak: reproduce with --seed %d\n" seed;
+        exit 1
+      end
+    | None ->
+      let dist =
+        match Loadgen.Dist.of_string dist with
+        | Ok d -> d
+        | Error msg ->
+          Printf.eprintf "gateway: --dist: %s\n" msg;
+          exit 2
+      in
+      let mode_override =
+        match mode with
+        | "governor" -> None
+        | "fused" -> Some Gateway.Fused
+        | "staged" -> Some Gateway.Staged
+        | "interp" -> Some Gateway.Interp
+        | "shed" -> Some Gateway.Shed
+        | m ->
+          Printf.eprintf
+            "gateway: --mode: unknown mode %S (expected governor, fused, \
+             staged, interp or shed)\n"
+            m;
+          exit 2
+      in
+      let gcfg =
+        { Gateway.default_config with
+          Gateway.max_plans;
+          tenant_quota = quota;
+          admit_rate;
+          admit_burst;
+          governor =
+            { Gateway.Governor.default with
+              Gateway.Governor.budget;
+              window_s = window };
+          mode_override;
+          parity }
+      in
+      let cfg =
+        { Loadgen.g_tenants = tenants;
+          g_lineages = lineages;
+          g_dist = dist;
+          g_duration_s = duration;
+          g_churn_per_s = churn;
+          g_versions = versions;
+          g_push_at = push_at;
+          g_deadline_s = deadline;
+          g_gateway = gcfg;
+          g_faults =
+            { Transport.Netsim.loss; duplication = dup; reorder;
+              jitter_s = jitter };
+          g_seed = seed;
+          g_samples = samples }
+      in
+      (match Loadgen.check_gateway cfg with
+       | Error e ->
+         Printf.eprintf "gateway: %s\n" (Err.message e);
+         exit 2
+       | Ok () -> ());
+      let report = Loadgen.run_gateway cfg in
+      print_string (Loadgen.gateway_summary report);
+      (match ndjson with
+       | None -> ()
+       | Some path ->
+         let oc = open_out_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () -> output_string oc report.Loadgen.g_trajectory));
+      if json then print_string (Obs.to_json_lines report.Loadgen.g_metrics)
+  in
+  let dg = Loadgen.default_gateway in
+  let g0 = dg.Loadgen.g_gateway in
+  let soak =
+    Arg.(value & opt (some int) None
+         & info [ "soak" ] ~docv:"N"
+             ~doc:"Run the N-case chaos-soak campaign (schema-push storm + \
+                   overload burst under faults) instead of a load run")
+  in
+  let tenants =
+    Arg.(value & opt int dg.Loadgen.g_tenants
+         & info [ "tenants"; "t" ] ~docv:"N" ~doc:"Tenant population")
+  in
+  let lineages =
+    Arg.(value & opt int dg.Loadgen.g_lineages
+         & info [ "lineages" ] ~docv:"N"
+             ~doc:"Distinct format lineages shared across the tenants")
+  in
+  let dist =
+    Arg.(value & opt string (Loadgen.Dist.to_string dg.Loadgen.g_dist)
+         & info [ "dist" ] ~docv:"SPEC"
+             ~doc:"Aggregate arrival process: constant:R, poisson:R or \
+                   bursty:RON:ROFF:ON:OFF (messages per simulated second)")
+  in
+  let duration =
+    Arg.(value & opt float dg.Loadgen.g_duration_s
+         & info [ "duration"; "d" ] ~docv:"S" ~doc:"Load window, simulated seconds")
+  in
+  let churn =
+    Arg.(value & opt float dg.Loadgen.g_churn_per_s
+         & info [ "churn" ] ~docv:"R"
+             ~doc:"Tenant leave/join events per simulated second")
+  in
+  let versions =
+    Arg.(value & opt int dg.Loadgen.g_versions
+         & info [ "versions" ] ~docv:"N" ~doc:"Format lineage length")
+  in
+  let push_at =
+    Arg.(value & opt_all float dg.Loadgen.g_push_at
+         & info [ "push-at" ] ~docv:"S"
+             ~doc:"Mass schema-push storm at this simulated time (repeatable)")
+  in
+  let deadline =
+    Arg.(value & opt float dg.Loadgen.g_deadline_s
+         & info [ "deadline" ] ~docv:"S"
+             ~doc:"Per-message deadline budget carried in the envelope; 0 \
+                   disables deadlines")
+  in
+  let admit_rate =
+    Arg.(value & opt float g0.Gateway.admit_rate
+         & info [ "admit-rate" ] ~docv:"R"
+             ~doc:"Per-tenant admission rate, messages per simulated second; \
+                   0 disables rate admission")
+  in
+  let admit_burst =
+    Arg.(value & opt float g0.Gateway.admit_burst
+         & info [ "admit-burst" ] ~docv:"N" ~doc:"Per-tenant admission burst size")
+  in
+  let max_plans =
+    Arg.(value & opt int g0.Gateway.max_plans
+         & info [ "max-plans" ] ~docv:"N" ~doc:"Shared plan-cache entry bound")
+  in
+  let quota =
+    Arg.(value & opt int g0.Gateway.tenant_quota
+         & info [ "tenant-quota" ] ~docv:"N" ~doc:"Per-tenant plan-cache quota")
+  in
+  let budget =
+    Arg.(value & opt float g0.Gateway.governor.Gateway.Governor.budget
+         & info [ "budget" ] ~docv:"UNITS"
+             ~doc:"Governor compile budget per window (cost units)")
+  in
+  let window =
+    Arg.(value & opt float g0.Gateway.governor.Gateway.Governor.window_s
+         & info [ "window" ] ~docv:"S" ~doc:"Governor accounting window, seconds")
+  in
+  let mode =
+    Arg.(value & opt string "governor"
+         & info [ "mode" ] ~docv:"NAME"
+             ~doc:"Pin the degradation ladder: governor (dynamic), fused, \
+                   staged, interp or shed")
+  in
+  let parity =
+    Arg.(value & flag
+         & info [ "parity" ]
+             ~doc:"Cross-check every delivery against the interpretive \
+                   reference decoder")
+  in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P" ~doc:"Per-frame loss probability")
+  in
+  let dup =
+    Arg.(value & opt float 0.
+         & info [ "dup" ] ~docv:"P" ~doc:"Per-frame duplication probability")
+  in
+  let reorder =
+    Arg.(value & opt float 0.
+         & info [ "reorder" ] ~docv:"P" ~doc:"Per-frame reordering probability")
+  in
+  let jitter =
+    Arg.(value & opt float 0.
+         & info [ "jitter" ] ~docv:"S" ~doc:"Max extra latency, simulated seconds")
+  in
+  let seed =
+    Arg.(value & opt int dg.Loadgen.g_seed
+         & info [ "seed"; "s" ] ~docv:"N" ~doc:"Run / campaign seed")
+  in
+  let samples =
+    Arg.(value & opt int dg.Loadgen.g_samples
+         & info [ "samples" ] ~docv:"N" ~doc:"Trajectory samples across the window")
+  in
+  let ndjson =
+    Arg.(value & opt (some string) None
+         & info [ "ndjson" ] ~docv:"FILE" ~doc:"Write the ndjson trajectory to FILE")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Also dump the run's full metrics registry as line JSON")
+  in
+  Cmd.v
+    (Cmd.info "gateway"
+       ~doc:"Multi-tenant morphing gateway under seeded load, or its chaos-soak \
+             campaign (--soak)")
+    Term.(const run $ soak $ tenants $ lineages $ dist $ duration $ churn
+          $ versions $ push_at $ deadline $ admit_rate $ admit_burst $ max_plans
+          $ quota $ budget $ window $ mode $ parity $ loss $ dup $ reorder
+          $ jitter $ seed $ samples $ ndjson $ json)
+
 let () =
   let info =
     Cmd.info "morphctl" ~version:"1.0.0"
       ~doc:"Message-morphing toolkit (ICDCS 2005 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; stats_cmd; trace_cmd; morphcheck_cmd; chaos_cmd; loadgen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; stats_cmd; trace_cmd; morphcheck_cmd; chaos_cmd; loadgen_cmd; gateway_cmd ]))

@@ -1,0 +1,59 @@
+(** Per-pipeline circuit breaker: closed / open / half-open.
+
+    Generalises the PR-2 receiver quarantine.  Consecutive failures up to a
+    threshold trip the breaker [Open]; with no cooldown it stays open for
+    good (the old quarantine semantics), with a cooldown it turns
+    [Half_open] after [cooldown_s] of (simulated) time and admits probe
+    deliveries — a probe success closes the circuit, a probe failure
+    re-opens it for another cooldown.
+
+    Time is always passed in by the caller ([~now], seconds), so breakers
+    are deterministic under [Transport.Netsim]'s virtual clock and the
+    per-registry {!Obs} clocks (docs/GATEWAY.md). *)
+
+type state = Closed | Open | Half_open
+
+val pp_state : Format.formatter -> state -> unit
+
+(** 0 = closed, 1 = half-open, 2 = open — the encoding used by the
+    [gateway.breaker_open] style gauges. *)
+val state_level : state -> int
+
+type t
+
+(** [create ~threshold ~cooldown_s ()] — trip after [threshold] consecutive
+    failures (default 3, must be >= 1).  [cooldown_s] enables half-open
+    probing; omit it for a permanently-open trip.  Raises
+    [Invalid_argument] on out-of-range arguments. *)
+val create : ?threshold:int -> ?cooldown_s:float -> unit -> t
+
+(** Whether a delivery may proceed at time [now].  [Closed] always admits;
+    [Open] admits nothing until the cooldown elapses, then flips to
+    [Half_open]; [Half_open] admits the delivery as a probe. *)
+val admit : t -> now:float -> bool
+
+(** Record a successful delivery.  Returns [true] when this closed a
+    half-open circuit (a probe recovery). *)
+val record_success : t -> bool
+
+(** Record a failed delivery at time [now].  Returns [true] when this
+    failure tripped the breaker open (threshold reached, or a half-open
+    probe failed). *)
+val record_failure : t -> now:float -> bool
+
+val state : t -> state
+val threshold : t -> int
+val consecutive_failures : t -> int
+
+(** Times the breaker tripped open over its lifetime. *)
+val trips : t -> int
+
+(** Probe deliveries admitted while half-open. *)
+val probes : t -> int
+
+(** Earliest time an open breaker will admit a probe ([None] when closed,
+    or open with no cooldown). *)
+val retry_at : t -> float option
+
+(** Force the breaker closed and clear the failure streak. *)
+val reset : t -> unit

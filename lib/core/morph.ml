@@ -20,6 +20,7 @@
      ignore (Morph.Receiver.deliver recv meta incoming_value)
    ]} *)
 
+module Breaker = Breaker
 module Diff = Diff
 module Maxmatch = Maxmatch
 module Weighted = Weighted

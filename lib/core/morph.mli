@@ -20,6 +20,7 @@
       ignore (Morph.Receiver.deliver recv meta incoming_value)
     ]} *)
 
+module Breaker : module type of Breaker
 module Diff : module type of Diff
 module Maxmatch : module type of Maxmatch
 module Weighted : module type of Weighted

@@ -48,6 +48,7 @@ type stats = {
   mutable defaulted : int;
   mutable transform_failures : int;
   mutable quarantined : int;
+  mutable recovered : int;
 }
 
 type pipeline =
@@ -70,9 +71,12 @@ type pipeline =
 type cache_entry = {
   key : Meta.format_meta;
   mutable pipeline : pipeline;
-  mutable consecutive_failures : int;
-  (* run-time transform failures since the last success; reaching the
-     quarantine threshold replaces the pipeline with a fast Reject *)
+  breaker : Breaker.t;
+  (* counts run-time transform failures since the last success; tripping
+     quarantines the pipeline.  Without a cooldown (the default) the trip
+     replaces the pipeline with a fast Reject for good; with
+     [quarantine_cooldown_s] the breaker re-admits a probe delivery after
+     the cooldown (closed / open / half-open). *)
 }
 
 (* All the knobs a receiver is created with, collapsed into one record so
@@ -85,6 +89,7 @@ module Config = struct
        interpreted on the weighted scale *)
     engine : Xform.engine;
     quarantine_after : int;
+    quarantine_cooldown_s : float option;
     metrics : Obs.t;
   }
 
@@ -94,12 +99,15 @@ module Config = struct
       weights = None;
       engine = Xform.Compiled;
       quarantine_after = 3;
+      quarantine_cooldown_s = None;
       metrics = Obs.null;
     }
 
   let v ?(thresholds = default.thresholds) ?weights ?(engine = default.engine)
-      ?(quarantine_after = default.quarantine_after) ?(metrics = Obs.null) () =
-    { thresholds; weights; engine; quarantine_after; metrics }
+      ?(quarantine_after = default.quarantine_after) ?quarantine_cooldown_s
+      ?(metrics = Obs.null) () =
+    { thresholds; weights; engine; quarantine_after; quarantine_cooldown_s;
+      metrics }
 end
 
 (* Handles into the configured Obs registry; [rm_on] gates the clock reads
@@ -114,6 +122,7 @@ type rmetrics = {
   rm_defaulted : Obs.Counter.h;
   rm_transform_failures : Obs.Counter.h;
   rm_quarantined : Obs.Counter.h;
+  rm_recovered : Obs.Counter.h;
   rm_maxmatch_ns : Obs.Histogram.h;
   rm_plan_ns : Obs.Histogram.h;
   rm_morph_ns : Obs.Histogram.h;
@@ -134,6 +143,7 @@ let make_rmetrics reg =
     rm_defaulted = Obs.Counter.make reg "receiver.defaulted";
     rm_transform_failures = Obs.Counter.make reg "receiver.transform_failures";
     rm_quarantined = Obs.Counter.make reg "receiver.quarantined";
+    rm_recovered = Obs.Counter.make reg "receiver.recovered";
     rm_maxmatch_ns = Obs.Histogram.make reg ~unit_:"ns" "receiver.maxmatch_ns";
     rm_plan_ns = Obs.Histogram.make reg ~unit_:"ns" "receiver.plan_ns";
     rm_morph_ns = Obs.Histogram.make reg ~unit_:"ns" "receiver.morph_ns";
@@ -161,6 +171,10 @@ type t = {
 let create ?(config = Config.default) () =
   if config.Config.quarantine_after < 1 then
     invalid_arg "Receiver.create: quarantine_after";
+  (match config.Config.quarantine_cooldown_s with
+   | Some c when not (c > 0.) ->
+     invalid_arg "Receiver.create: quarantine_cooldown_s"
+   | _ -> ());
   {
     config;
     m = make_rmetrics config.Config.metrics;
@@ -170,7 +184,7 @@ let create ?(config = Config.default) () =
     cache = Hashtbl.create 32;
     stats =
       { cache_hits = 0; cold_paths = 0; delivered = 0; rejected = 0; defaulted = 0;
-        transform_failures = 0; quarantined = 0 };
+        transform_failures = 0; quarantined = 0; recovered = 0 };
   }
 
 let config t = t.config
@@ -413,75 +427,104 @@ let find_cached t (meta : Meta.format_meta) : cache_entry option =
 let cache_pipeline t (meta : Meta.format_meta) (p : pipeline) : cache_entry =
   let h = Meta.hash meta in
   let prev = Option.value ~default:[] (Hashtbl.find_opt t.cache h) in
-  let entry = { key = meta; pipeline = p; consecutive_failures = 0 } in
+  let breaker =
+    Breaker.create ~threshold:t.config.Config.quarantine_after
+      ?cooldown_s:t.config.Config.quarantine_cooldown_s ()
+  in
+  let entry = { key = meta; pipeline = p; breaker } in
   Hashtbl.replace t.cache h (entry :: prev);
   entry
+
+let breaker_state t (meta : Meta.format_meta) : Breaker.state option =
+  Option.map (fun e -> Breaker.state e.breaker) (find_cached t meta)
 
 let probe t (v : Value.t option) (o : outcome) : unit =
   match t.probe with Some f -> f v o | None -> ()
 
 (* A transformation that keeps failing at run time is quarantined: its
-   cached pipeline becomes a fast Reject, so a poisonous format neither
-   crashes the receiver nor pays planning or transformation work on every
-   further message. *)
+   breaker trips.  Without a cooldown (the default) the cached pipeline
+   becomes a fast Reject for good, so a poisonous format neither crashes
+   the receiver nor pays planning or transformation work on every further
+   message.  With [quarantine_cooldown_s] the pipeline is kept and the
+   breaker gates it: open until the cooldown elapses, then a half-open
+   probe decides whether to close or re-open the circuit. *)
 let quarantine t (entry : cache_entry) : unit =
   t.stats.quarantined <- t.stats.quarantined + 1;
   Obs.Counter.incr t.m.rm_quarantined;
-  entry.pipeline <-
-    Reject
-      (Fmt.str "quarantined after %d consecutive transformation failures"
-         entry.consecutive_failures)
+  if t.config.Config.quarantine_cooldown_s = None then
+    entry.pipeline <-
+      Reject
+        (Fmt.str "quarantined after %d consecutive transformation failures"
+           (Breaker.consecutive_failures entry.breaker))
+
+(* Algorithm 2's fallback: the default handler when one is set, otherwise a
+   rejection.  Shared by unmatched formats, quarantined pipelines and
+   open-breaker fast-fails. *)
+let reject_or_default t (meta : Meta.format_meta) (v : Value.t) reason : outcome =
+  match t.default_handler with
+  | Some f ->
+    f meta v;
+    t.stats.defaulted <- t.stats.defaulted + 1;
+    Obs.Counter.incr t.m.rm_defaulted;
+    let o = Defaulted in
+    probe t None o;
+    o
+  | None ->
+    t.stats.rejected <- t.stats.rejected + 1;
+    Obs.Counter.incr t.m.rm_rejected;
+    let o = Rejected reason in
+    probe t None o;
+    o
 
 let run_pipeline t (entry : cache_entry) (meta : Meta.format_meta) (v : Value.t) :
   outcome =
   let outcome =
     match entry.pipeline with
     | Accept { format_name; via; transform; handler; _ } ->
-      (* A transformation can still fail at run time on values its code never
-         anticipated (hostile or corrupt input); that rejects the message
-         rather than crashing the receiver.  Handler exceptions propagate:
-         they are application bugs, not message faults. *)
-      let t0 = if t.m.rm_on then Obs.now t.m.rm_reg else 0. in
-      (match transform v with
-       | v' ->
-         if t.m.rm_on then
-           Obs.Histogram.observe t.m.rm_morph_ns (Obs.now t.m.rm_reg -. t0);
-         entry.consecutive_failures <- 0;
-         handler v';
-         t.stats.delivered <- t.stats.delivered + 1;
-         Obs.Counter.incr t.m.rm_delivered;
-         let o = Delivered { format_name; via } in
-         probe t (Some v') o;
-         o
-       | exception
-           (Value.Type_error msg
-           | Ecode.Compile.Runtime_error msg
-           | Ecode.Interp.Runtime_error msg) ->
-         t.stats.rejected <- t.stats.rejected + 1;
-         t.stats.transform_failures <- t.stats.transform_failures + 1;
-         Obs.Counter.incr t.m.rm_rejected;
-         Obs.Counter.incr t.m.rm_transform_failures;
-         entry.consecutive_failures <- entry.consecutive_failures + 1;
-         if entry.consecutive_failures >= t.config.Config.quarantine_after then
-           quarantine t entry;
-         let o = Rejected (Fmt.str "transformation failed: %s" msg) in
-         probe t None o;
-         o)
-    | Reject reason ->
-      (match t.default_handler with
-       | Some f ->
-         f meta v;
-         t.stats.defaulted <- t.stats.defaulted + 1;
-         Obs.Counter.incr t.m.rm_defaulted;
-         let o = Defaulted in
-         probe t None o;
-         o
-       | None ->
-         t.stats.rejected <- t.stats.rejected + 1;
-         Obs.Counter.incr t.m.rm_rejected;
-         let o = Rejected reason in
-         probe t None o;
-         o)
+      (* the registry clock ticks nanoseconds; breakers count seconds *)
+      let now = Obs.now t.m.rm_reg *. 1e-9 in
+      if not (Breaker.admit entry.breaker ~now) then
+        (* Open circuit: fast-fail without paying the transform.  Only
+           reachable with a cooldown configured (otherwise the trip already
+           replaced the pipeline with a Reject). *)
+        reject_or_default t meta v
+          (Fmt.str "quarantined after %d consecutive transformation failures"
+             (Breaker.consecutive_failures entry.breaker))
+      else begin
+        (* A transformation can still fail at run time on values its code
+           never anticipated (hostile or corrupt input); that rejects the
+           message rather than crashing the receiver.  Handler exceptions
+           propagate: they are application bugs, not message faults. *)
+        let t0 = if t.m.rm_on then Obs.now t.m.rm_reg else 0. in
+        match transform v with
+        | v' ->
+          if t.m.rm_on then
+            Obs.Histogram.observe t.m.rm_morph_ns (Obs.now t.m.rm_reg -. t0);
+          if Breaker.record_success entry.breaker then begin
+            t.stats.recovered <- t.stats.recovered + 1;
+            Obs.Counter.incr t.m.rm_recovered
+          end;
+          handler v';
+          t.stats.delivered <- t.stats.delivered + 1;
+          Obs.Counter.incr t.m.rm_delivered;
+          let o = Delivered { format_name; via } in
+          probe t (Some v') o;
+          o
+        | exception
+            (Value.Type_error msg
+            | Ecode.Compile.Runtime_error msg
+            | Ecode.Interp.Runtime_error msg) ->
+          t.stats.rejected <- t.stats.rejected + 1;
+          t.stats.transform_failures <- t.stats.transform_failures + 1;
+          Obs.Counter.incr t.m.rm_rejected;
+          Obs.Counter.incr t.m.rm_transform_failures;
+          if Breaker.record_failure entry.breaker ~now then
+            quarantine t entry;
+          let o = Rejected (Fmt.str "transformation failed: %s" msg) in
+          probe t None o;
+          o
+      end
+    | Reject reason -> reject_or_default t meta v reason
   in
   outcome
 
@@ -538,7 +581,7 @@ let reject_wire t e : outcome =
 let deliver_fused t ~hit (entry : cache_entry) ~format_name ~via ~handler
     ~provenance (v' : Value.t) : outcome =
   let finish () =
-    entry.consecutive_failures <- 0;
+    ignore (Breaker.record_success entry.breaker : bool);
     handler v';
     t.stats.delivered <- t.stats.delivered + 1;
     Obs.Counter.incr t.m.rm_delivered;

@@ -39,7 +39,10 @@ type stats = {
   mutable rejected : int;
   mutable defaulted : int;
   mutable transform_failures : int;  (** run-time transformation errors *)
-  mutable quarantined : int;  (** pipelines replaced with a fast Reject *)
+  mutable quarantined : int;  (** breaker trips (pipelines quarantined) *)
+  mutable recovered : int;
+      (** half-open probe deliveries that closed a tripped breaker again
+          (only with [quarantine_cooldown_s]) *)
 }
 
 type t
@@ -58,9 +61,16 @@ module Config : sig
             production, the interpreter for the A1 ablation *)
     quarantine_after : int;
         (** consecutive run-time transformation failures after which a
-            cached pipeline is quarantined — replaced with a fast Reject so
-            a poisonous format stops costing transformation work (see
-            docs/FAULTS.md); must be >= 1 *)
+            cached pipeline's {!Breaker} trips — without a cooldown the
+            pipeline is replaced with a fast Reject so a poisonous format
+            stops costing transformation work (see docs/FAULTS.md); must
+            be >= 1 *)
+    quarantine_cooldown_s : float option;
+        (** when set, a quarantined pipeline is not discarded: its breaker
+            re-admits a probe delivery after this many seconds of registry
+            time — probe success recovers the pipeline, probe failure
+            re-opens it (closed / open / half-open, docs/GATEWAY.md);
+            must be > 0 when given *)
     metrics : Obs.t;
         (** registry receiving the [receiver.*] counters and histograms
             (see docs/OBSERVABILITY.md) *)
@@ -76,6 +86,7 @@ module Config : sig
     ?weights:Weighted.t ->
     ?engine:Xform.engine ->
     ?quarantine_after:int ->
+    ?quarantine_cooldown_s:float ->
     ?metrics:Obs.t ->
     unit ->
     t
@@ -121,3 +132,7 @@ val explain : t -> Meta.format_meta -> string
 val stats : t -> stats
 val registered_formats : t -> Ptype.record list
 val handler_for : t -> Ptype.record -> handler option
+
+(** Breaker state of the cached pipeline for this format meta, when one has
+    been planned ([None] before the first delivery). *)
+val breaker_state : t -> Meta.format_meta -> Breaker.state option

@@ -1,0 +1,845 @@
+(* The broker-side morphing gateway: thousands of tenants, one process.
+
+   Each tenant owns a format registry (fingerprint -> meta, fed by
+   Described{Meta} pushes) and a target format its deliveries morph into
+   (the first pushed lineage base, or whatever [add_tenant] pinned).  The
+   robustness machinery around the morphing core:
+
+     - admission: a deadline carried in the Described envelope (work past
+       its deadline is shed before any decode), a per-tenant token
+       bucket, and a per-tenant circuit breaker over delivery failures;
+     - one bounded, cost-aware plan cache shared across tenants
+       (Plan_cache: LRU + per-tenant quotas), with singleflight compile
+       coalescing so a mass schema push compiles each (tenant, format)
+       plan once, not once per queued message;
+     - the degradation ladder (Governor): compile pressure moves new
+       plans from fused to staged to interpreted; cache thrash sheds new
+       plan work entirely.  Already-compiled plans keep delivering at
+       their compiled rung — degradation throttles *new* compilation, not
+       the hot path.
+
+   Everything runs on Netsim's virtual clock: compiles take simulated
+   time proportional to their deterministic cost units, so seeded runs
+   replay byte-identically. *)
+
+module Plan_cache = Plan_cache
+module Governor = Governor
+
+open Pbio
+module Netsim = Transport.Netsim
+module Contact = Transport.Contact
+module Framing = Transport.Framing
+module Breaker = Morph.Breaker
+module Maxmatch = Morph.Maxmatch
+module Xform = Morph.Xform
+
+type rung = Governor.rung = Fused | Staged | Interp | Shed
+
+(* --- configuration ------------------------------------------------------- *)
+
+type config = {
+  max_plans : int;
+  max_plan_cost : float;
+  tenant_quota : int;
+  admit_rate : float;
+  admit_burst : float;
+  breaker_threshold : int;
+  breaker_cooldown_s : float option;
+  thresholds : Maxmatch.thresholds;
+  governor : Governor.config;
+  compile_s_per_unit : float;
+  pending_cap : int;
+  mode_override : rung option;
+  parity : bool;
+}
+
+let default_config =
+  {
+    max_plans = 1024;
+    max_plan_cost = infinity;
+    tenant_quota = 8;
+    admit_rate = 0.;
+    admit_burst = 16.;
+    breaker_threshold = 3;
+    breaker_cooldown_s = Some 0.05;
+    thresholds = Maxmatch.default_thresholds;
+    governor = Governor.default;
+    compile_s_per_unit = 2e-5;
+    pending_cap = 256;
+    mode_override = None;
+    parity = false;
+  }
+
+(* --- outcomes ------------------------------------------------------------ *)
+
+type shed_reason =
+  | Deadline  (* envelope deadline already expired *)
+  | Quota  (* tenant token bucket empty *)
+  | Breaker  (* tenant circuit open *)
+  | Overload  (* governor at Shed, or pending queue full *)
+  | Unknown_tenant
+  | No_meta  (* fingerprint never pushed *)
+
+let shed_reason_to_string = function
+  | Deadline -> "deadline"
+  | Quota -> "quota"
+  | Breaker -> "breaker"
+  | Overload -> "overload"
+  | Unknown_tenant -> "unknown_tenant"
+  | No_meta -> "no_meta"
+
+type outcome =
+  | Delivered of rung
+  | Parked  (* waiting on an in-flight singleflight compile *)
+  | Shed of shed_reason
+  | Rejected of string  (* decode or transform failure *)
+  | Onboarded  (* meta push accepted *)
+  | Ignored of string  (* frame the gateway does not terminate *)
+
+type delivery = {
+  tenant : int;
+  fingerprint : int;
+  deadline_ns : int;
+  rung : rung;
+  degraded : bool;
+  value : Value.t;
+}
+
+(* --- mutable stats (mirrored to Obs when a registry is attached) --------- *)
+
+type stats = {
+  mutable meta_pushes : int;
+  mutable onboarded : int;
+  mutable admitted : int;
+  mutable delivered : int;
+  mutable delivered_fused : int;
+  mutable delivered_staged : int;
+  mutable delivered_interp : int;
+  mutable degraded_deliveries : int;
+  mutable shed_deadline : int;
+  mutable shed_quota : int;
+  mutable shed_breaker : int;
+  mutable shed_overload : int;
+  mutable shed_unknown : int;
+  mutable shed_no_meta : int;
+  mutable rejected : int;
+  mutable bad_frames : int;
+  mutable plan_compiles : int;
+  mutable plan_recompiles : int;
+  mutable plan_upgrades : int;
+  mutable singleflight_coalesced : int;
+  mutable parity_mismatches : int;
+  mutable breaker_trips : int;
+  mutable breaker_recoveries : int;
+}
+
+let shed_total (s : stats) =
+  s.shed_deadline + s.shed_quota + s.shed_breaker + s.shed_overload
+  + s.shed_unknown + s.shed_no_meta
+
+type gmetrics = {
+  gm_on : bool;
+  gm_reg : Obs.t;
+  gm_meta_pushes : Obs.Counter.h;
+  gm_admitted : Obs.Counter.h;
+  gm_delivered : Obs.Counter.h;
+  gm_degraded : Obs.Counter.h;
+  gm_shed : Obs.Counter.h;
+  gm_shed_deadline : Obs.Counter.h;
+  gm_shed_quota : Obs.Counter.h;
+  gm_shed_breaker : Obs.Counter.h;
+  gm_shed_overload : Obs.Counter.h;
+  gm_rejected : Obs.Counter.h;
+  gm_compiles : Obs.Counter.h;
+  gm_recompiles : Obs.Counter.h;
+  gm_upgrades : Obs.Counter.h;
+  gm_coalesced : Obs.Counter.h;
+  gm_evictions : Obs.Counter.h;
+  gm_parity_mismatches : Obs.Counter.h;
+  gm_breaker_trips : Obs.Counter.h;
+  gm_tenants : Obs.Gauge.h;
+  gm_degrade_level : Obs.Gauge.h;
+  gm_breakers_open : Obs.Gauge.h;
+  gm_cache_entries : Obs.Gauge.h;
+  gm_cache_cost : Obs.Gauge.h;
+  gm_pending : Obs.Gauge.h;
+}
+
+let make_gmetrics reg =
+  {
+    gm_on = Obs.enabled reg;
+    gm_reg = reg;
+    gm_meta_pushes = Obs.Counter.make reg "gateway.meta_pushes";
+    gm_admitted = Obs.Counter.make reg "gateway.admitted";
+    gm_delivered = Obs.Counter.make reg "gateway.delivered";
+    gm_degraded = Obs.Counter.make reg "gateway.degraded_deliveries";
+    gm_shed = Obs.Counter.make reg "gateway.shed";
+    gm_shed_deadline = Obs.Counter.make reg "gateway.shed_deadline";
+    gm_shed_quota = Obs.Counter.make reg "gateway.shed_quota";
+    gm_shed_breaker = Obs.Counter.make reg "gateway.shed_breaker";
+    gm_shed_overload = Obs.Counter.make reg "gateway.shed_overload";
+    gm_rejected = Obs.Counter.make reg "gateway.rejected";
+    gm_compiles = Obs.Counter.make reg "gateway.plan_compiles";
+    gm_recompiles = Obs.Counter.make reg "gateway.plan_recompiles";
+    gm_upgrades = Obs.Counter.make reg "gateway.plan_upgrades";
+    gm_coalesced = Obs.Counter.make reg "gateway.singleflight_coalesced";
+    gm_evictions = Obs.Counter.make reg "gateway.plan_evictions";
+    gm_parity_mismatches = Obs.Counter.make reg "gateway.parity_mismatches";
+    gm_breaker_trips = Obs.Counter.make reg "gateway.breaker_trips";
+    gm_tenants = Obs.Gauge.make reg "gateway.tenants";
+    gm_degrade_level = Obs.Gauge.make reg "gateway.degrade_level";
+    gm_breakers_open = Obs.Gauge.make reg "gateway.breakers_open";
+    gm_cache_entries = Obs.Gauge.make reg "gateway.plan_cache_entries";
+    gm_cache_cost = Obs.Gauge.make reg "gateway.plan_cache_cost";
+    gm_pending = Obs.Gauge.make reg "gateway.pending_depth";
+  }
+
+(* --- plans ---------------------------------------------------------------- *)
+
+(* The transform shape — what Algorithm 2 planning decided — is computed
+   once per (tenant, fingerprint), synchronously; the wire-plan artifacts
+   (fused morphers / staged decoders) are what the ladder modulates and
+   what the simulated compile delay stands for. *)
+type shape = {
+  s_chain : (Value.t -> Value.t) option;  (* composed Ecode hops to the base *)
+  s_conv : (Value.t -> Value.t) option;  (* structural conversion into target *)
+  s_fusable : bool;  (* no Ecode step: eligible for a fused wire plan *)
+}
+
+type arts =
+  | Fused_plans of Codec.morpher Lazy.t * Codec.morpher Lazy.t  (* LE, BE *)
+  | Staged_plans of Codec.decoder Lazy.t * Codec.decoder Lazy.t
+  | Interp_only
+
+let arts_level = function
+  | Fused_plans _ -> 0
+  | Staged_plans _ -> 1
+  | Interp_only -> 2
+
+type plan = {
+  p_source : Ptype.record;
+  p_target : Ptype.record;
+  p_shape : shape;
+  mutable p_arts : arts;
+  mutable p_upgrading : bool;
+}
+
+(* What the cache holds: planning failures are cached too, so a format
+   with no acceptable morph path costs one lookup per message, not one
+   MaxMatch per message. *)
+type cached =
+  | Ready of plan
+  | Refused of string
+
+(* --- tenants -------------------------------------------------------------- *)
+
+type bucket = {
+  b_rate : float;
+  b_burst : float;
+  mutable b_tokens : float;
+  mutable b_last : float;
+}
+
+let bucket_admit b ~now =
+  b.b_tokens <- Float.min b.b_burst (b.b_tokens +. ((now -. b.b_last) *. b.b_rate));
+  b.b_last <- now;
+  if b.b_tokens >= 1. then begin
+    b.b_tokens <- b.b_tokens -. 1.;
+    true
+  end
+  else false
+
+type tstate = {
+  ts_id : int;
+  mutable ts_target : Ptype.record option;
+  ts_registry : (int, Meta.format_meta) Hashtbl.t;
+  ts_breaker : Breaker.t;
+  ts_bucket : bucket option;
+  ts_compiled : (int, unit) Hashtbl.t;
+      (* fingerprints that ever had a plan compiled: a later compile for
+         one of these is a recompile (its plan was evicted) *)
+}
+
+(* --- the gateway ---------------------------------------------------------- *)
+
+type pending = { pd_deadline_ns : int; pd_message : string }
+
+type t = {
+  config : config;
+  net : Netsim.t;
+  contact : Contact.t;
+  m : gmetrics;
+  tenants : (int, tstate) Hashtbl.t;
+  cache : cached Plan_cache.t;
+  gov : Governor.t;
+  inflight : (int * int, pending Queue.t) Hashtbl.t;
+  mutable pending_depth : int;
+  mutable on_delivery : delivery -> unit;
+  stats : stats;
+}
+
+let now_s t = Netsim.now t.net
+let now_ns t = Netsim.now t.net *. 1e9
+
+let fingerprint (meta : Meta.format_meta) : int = Meta.hash meta land max_int
+
+let envelope ~tenant ~fingerprint ?(deadline_ns = 0) frame =
+  Framing.Described { tenant; fingerprint; deadline_ns; frame }
+
+let create ?(config = default_config) ?(metrics = Obs.null) ~net contact
+    (on_delivery : delivery -> unit) : t =
+  if config.breaker_threshold < 1 then
+    invalid_arg "Gateway.create: breaker_threshold must be >= 1";
+  if config.pending_cap < 1 then
+    invalid_arg "Gateway.create: pending_cap must be >= 1";
+  if not (config.compile_s_per_unit >= 0.) then
+    invalid_arg "Gateway.create: compile_s_per_unit must be >= 0";
+  if config.admit_rate > 0. && not (config.admit_burst >= 1.) then
+    invalid_arg "Gateway.create: admit_burst must be >= 1";
+  let m = make_gmetrics metrics in
+  let gov = Governor.create ~now:(Netsim.now net) config.governor in
+  let t_ref = ref None in
+  let cache =
+    Plan_cache.create ~max_entries:config.max_plans
+      ~max_cost:config.max_plan_cost ~tenant_quota:config.tenant_quota
+      ~on_evict:(fun ~tenant:_ ~key:_ ->
+        match !t_ref with
+        | Some t ->
+          Governor.note_eviction t.gov ~now:(now_s t);
+          if t.m.gm_on then Obs.Counter.incr t.m.gm_evictions
+        | None -> ())
+      ()
+  in
+  let t =
+    {
+      config;
+      net;
+      contact;
+      m;
+      tenants = Hashtbl.create 256;
+      cache;
+      gov;
+      inflight = Hashtbl.create 64;
+      pending_depth = 0;
+      on_delivery;
+      stats =
+        {
+          meta_pushes = 0; onboarded = 0; admitted = 0; delivered = 0;
+          delivered_fused = 0; delivered_staged = 0; delivered_interp = 0;
+          degraded_deliveries = 0; shed_deadline = 0; shed_quota = 0;
+          shed_breaker = 0; shed_overload = 0; shed_unknown = 0;
+          shed_no_meta = 0; rejected = 0; bad_frames = 0; plan_compiles = 0;
+          plan_recompiles = 0; plan_upgrades = 0; singleflight_coalesced = 0;
+          parity_mismatches = 0; breaker_trips = 0; breaker_recoveries = 0;
+        };
+    }
+  in
+  t_ref := Some t;
+  t
+
+let contact t = t.contact
+let stats t = t.stats
+let cache_stats t = Plan_cache.stats t.cache
+let set_handler t f = t.on_delivery <- f
+let tenant_count t = Hashtbl.length t.tenants
+let degrade_rung t = Governor.rung t.gov ~now:(now_s t)
+
+let breaker_state t tenant =
+  Option.map (fun ts -> Breaker.state ts.ts_breaker)
+    (Hashtbl.find_opt t.tenants tenant)
+
+let breakers_open t =
+  Hashtbl.fold
+    (fun _ ts acc ->
+       if Breaker.state ts.ts_breaker <> Breaker.Closed then acc + 1 else acc)
+    t.tenants 0
+
+let new_tenant t id target =
+  let ts =
+    {
+      ts_id = id;
+      ts_target = target;
+      ts_registry = Hashtbl.create 8;
+      ts_breaker =
+        Breaker.create ~threshold:t.config.breaker_threshold
+          ?cooldown_s:t.config.breaker_cooldown_s ();
+      ts_bucket =
+        (if t.config.admit_rate > 0. then
+           Some
+             { b_rate = t.config.admit_rate; b_burst = t.config.admit_burst;
+               b_tokens = t.config.admit_burst; b_last = Netsim.now t.net }
+         else None);
+      ts_compiled = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.replace t.tenants id ts;
+  t.stats.onboarded <- t.stats.onboarded + 1;
+  if t.m.gm_on then
+    Obs.Gauge.set t.m.gm_tenants (float_of_int (Hashtbl.length t.tenants));
+  ts
+
+let add_tenant t ~id ?target () =
+  if id < 0 then invalid_arg "Gateway.add_tenant: negative tenant id";
+  match Hashtbl.find_opt t.tenants id with
+  | Some ts -> (match target with Some _ -> ts.ts_target <- target | None -> ())
+  | None -> ignore (new_tenant t id target : tstate)
+
+let drop_tenant t id =
+  match Hashtbl.find_opt t.tenants id with
+  | None -> false
+  | Some _ ->
+    Hashtbl.remove t.tenants id;
+    ignore (Plan_cache.drop_tenant t.cache id : int);
+    if t.m.gm_on then
+      Obs.Gauge.set t.m.gm_tenants (float_of_int (Hashtbl.length t.tenants));
+    true
+
+(* --- planning -------------------------------------------------------------- *)
+
+(* The gateway's slice of Algorithm 2, with the candidate set pinned to
+   the tenant's single target format: direct structural match, else the
+   shortest retro-transformation chain whose endpoint matches. *)
+let build_shape ~thresholds (meta : Meta.format_meta) (target : Ptype.record) :
+  (shape, string) result =
+  let fm = meta.Meta.body in
+  let direct_shape f2 =
+    if Ptype.equal_record fm f2 then
+      Some { s_chain = None; s_conv = None; s_fusable = true }
+    else if Maxmatch.qualifies thresholds (Maxmatch.evaluate_pair fm f2) then
+      Some
+        { s_chain = None;
+          s_conv = Some (Convert.compile ~from_:fm ~into:f2); s_fusable = true }
+    else None
+  in
+  match direct_shape target with
+  | Some s -> Ok s
+  | None ->
+    (* breadth-first over the shipped transformation graph, shortest spec
+       path per reachable format (as in Morph.Receiver) *)
+    let visited = ref [ fm ] in
+    let seen f = List.exists (Ptype.equal_record f) !visited in
+    let rec bfs acc frontier =
+      match frontier with
+      | [] -> List.rev acc
+      | (f, path) :: rest ->
+        let extensions =
+          List.filter_map
+            (fun (x : Meta.xform_spec) ->
+               let src = Option.value x.source ~default:fm in
+               if Ptype.equal_record src f && not (seen x.target) then begin
+                 visited := x.target :: !visited;
+                 Some (x.target, path @ [ x ])
+               end
+               else None)
+            meta.Meta.xforms
+        in
+        bfs ((f, path) :: acc) (rest @ extensions)
+    in
+    let reachable = bfs [] [ (fm, []) ] in
+    let matched =
+      List.find_map
+        (fun (f, path) ->
+           if path = [] then None
+           else if
+             Ptype.equal_record f target
+             || Maxmatch.qualifies thresholds (Maxmatch.evaluate_pair f target)
+           then Some (f, path)
+           else None)
+        reachable
+    in
+    (match matched with
+     | None ->
+       Error
+         (Fmt.str "no acceptable match for format %S against the tenant target %S"
+            fm.Ptype.rname target.Ptype.rname)
+     | Some (f, specs) ->
+       let rec compile_chain source acc = function
+         | [] -> Ok acc
+         | (spec : Meta.xform_spec) :: rest ->
+           (match Xform.compile ~engine:Xform.Compiled ~source spec with
+            | Error e -> Error (Err.to_string e)
+            | Ok compiled ->
+              let step = compiled.Xform.run in
+              compile_chain spec.target (fun v -> step (acc v)) rest)
+       in
+       (match compile_chain fm (fun v -> v) specs with
+        | Error e -> Error e
+        | Ok chain ->
+          let conv =
+            if Ptype.equal_record f target then None
+            else Some (Convert.compile ~from_:f ~into:target)
+          in
+          Ok
+            { s_chain = Some chain; s_conv = conv; s_fusable = false }))
+
+(* Deterministic compile-cost units per ladder level ([Ptype.weight], not
+   wall time): a fused plan compiles reader plans over both formats, a
+   staged plan only the source decoder, interp compiles nothing. *)
+let cost_of_level ~(shape : shape) ~(source : Ptype.record)
+    ~(target : Ptype.record) level : float =
+  if level <= 0 && shape.s_fusable then
+    float_of_int (Ptype.weight source + Ptype.weight target)
+  else if level <= 1 then float_of_int (Ptype.weight source)
+  else 1.
+
+let build_arts ~(shape : shape) ~(source : Ptype.record)
+    ~(target : Ptype.record) level : arts =
+  if level <= 0 && shape.s_fusable then
+    Fused_plans
+      ( lazy (Codec.compile_morph ~endian:Codec.Little ~from_:source ~into:target),
+        lazy (Codec.compile_morph ~endian:Codec.Big ~from_:source ~into:target) )
+  else if level <= 1 then
+    Staged_plans
+      ( lazy (Codec.compile_decode ~endian:Codec.Little source),
+        lazy (Codec.compile_decode ~endian:Codec.Big source) )
+  else Interp_only
+
+(* The rung at which *new* plan work compiles right now. *)
+let compile_rung t =
+  match t.config.mode_override with
+  | Some r -> r
+  | None ->
+    let r = Governor.rung t.gov ~now:(now_s t) in
+    if t.m.gm_on then
+      Obs.Gauge.set t.m.gm_degrade_level (float_of_int (Governor.rung_level r));
+    r
+
+(* --- delivery -------------------------------------------------------------- *)
+
+let apply_shape (shape : shape) v =
+  let v = match shape.s_chain with Some f -> f v | None -> v in
+  match shape.s_conv with Some c -> c v | None -> v
+
+let pick (le, be) = function Codec.Little -> Lazy.force le | Codec.Big -> Lazy.force be
+
+(* Decode + transform one message under the plan's compiled artifacts.
+   Returns the target-format value and the rung this delivery ran at. *)
+let run_plan (plan : plan) ~endian (message : string) : Value.t * rung =
+  match plan.p_arts with
+  | Fused_plans (le, be) ->
+    ( Codec.morph_payload (pick (le, be) endian) ~pos:Codec.header_size message,
+      Fused )
+  | Staged_plans (le, be) ->
+    let v = Codec.decode_payload (pick (le, be) endian) ~pos:Codec.header_size message in
+    (apply_shape plan.p_shape v, Staged)
+  | Interp_only ->
+    let v =
+      Codec.Interp.decode_payload ~endian ~pos:Codec.header_size plan.p_source
+        message
+    in
+    (apply_shape plan.p_shape v, Interp)
+
+(* The interpretive reference outcome for the same message — what every
+   rung must agree with, byte-for-byte under the target format. *)
+let reference_bytes (plan : plan) ~endian (message : string) : string =
+  let v =
+    Codec.Interp.decode_payload ~endian ~pos:Codec.header_size plan.p_source
+      message
+  in
+  Codec.Interp.encode_payload ~endian:Codec.Little plan.p_target
+    (apply_shape plan.p_shape v)
+
+let record_failure t (ts : tstate) msg : outcome =
+  t.stats.rejected <- t.stats.rejected + 1;
+  if t.m.gm_on then Obs.Counter.incr t.m.gm_rejected;
+  if Breaker.record_failure ts.ts_breaker ~now:(now_s t) then begin
+    t.stats.breaker_trips <- t.stats.breaker_trips + 1;
+    if t.m.gm_on then begin
+      Obs.Counter.incr t.m.gm_breaker_trips;
+      Obs.Gauge.set t.m.gm_breakers_open (float_of_int (breakers_open t))
+    end
+  end;
+  Rejected msg
+
+(* Upgrade a degraded plan's artifacts once pressure is off: scheduled
+   like any compile (charged, simulated delay), but the plan keeps
+   delivering at its current rung meanwhile. *)
+let maybe_upgrade t (plan : plan) =
+  if t.config.mode_override = None && not plan.p_upgrading then begin
+    let cur = arts_level plan.p_arts in
+    let best = if plan.p_shape.s_fusable then 0 else 1 in
+    if cur > best then
+      match Governor.rung t.gov ~now:(now_s t) with
+      | Shed | Interp -> ()
+      | (Fused | Staged) as r ->
+        let want = Int.max best (Governor.rung_level r) in
+        if want < cur then begin
+          plan.p_upgrading <- true;
+          let cost =
+            cost_of_level ~shape:plan.p_shape ~source:plan.p_source
+              ~target:plan.p_target want
+          in
+          Governor.charge t.gov ~now:(now_s t) cost;
+          t.stats.plan_upgrades <- t.stats.plan_upgrades + 1;
+          if t.m.gm_on then Obs.Counter.incr t.m.gm_upgrades;
+          Netsim.after t.net (t.config.compile_s_per_unit *. cost) (fun () ->
+              plan.p_upgrading <- false;
+              if arts_level plan.p_arts > want then
+                plan.p_arts <-
+                  build_arts ~shape:plan.p_shape ~source:plan.p_source
+                    ~target:plan.p_target want)
+        end
+  end
+
+let deliver_now t (ts : tstate) (plan : plan) ~fingerprint:fp ~deadline_ns
+    (message : string) : outcome =
+  match
+    let hdr = Codec.read_header message in
+    let endian = hdr.Codec.endian in
+    let v, rung = run_plan plan ~endian message in
+    (v, rung, endian)
+  with
+  | v, rung, endian ->
+    let best = if plan.p_shape.s_fusable then 0 else 1 in
+    let degraded = Governor.rung_level rung > best in
+    if t.config.parity then begin
+      let agree =
+        match
+          ( Codec.Interp.encode_payload ~endian:Codec.Little plan.p_target v,
+            reference_bytes plan ~endian message )
+        with
+        | got, want -> String.equal got want
+        | exception _ -> false
+      in
+      if not agree then begin
+        t.stats.parity_mismatches <- t.stats.parity_mismatches + 1;
+        if t.m.gm_on then Obs.Counter.incr t.m.gm_parity_mismatches
+      end
+    end;
+    if Breaker.record_success ts.ts_breaker then begin
+      t.stats.breaker_recoveries <- t.stats.breaker_recoveries + 1;
+      if t.m.gm_on then
+        Obs.Gauge.set t.m.gm_breakers_open (float_of_int (breakers_open t))
+    end;
+    t.stats.delivered <- t.stats.delivered + 1;
+    (match rung with
+     | Fused -> t.stats.delivered_fused <- t.stats.delivered_fused + 1
+     | Staged -> t.stats.delivered_staged <- t.stats.delivered_staged + 1
+     | Interp | Shed -> t.stats.delivered_interp <- t.stats.delivered_interp + 1);
+    if degraded then begin
+      t.stats.degraded_deliveries <- t.stats.degraded_deliveries + 1;
+      if t.m.gm_on then Obs.Counter.incr t.m.gm_degraded
+    end;
+    if t.m.gm_on then Obs.Counter.incr t.m.gm_delivered;
+    let d =
+      { tenant = ts.ts_id; fingerprint = fp; deadline_ns; rung; degraded;
+        value = v }
+    in
+    if t.m.gm_on then
+      Obs.Trace.with_span
+        ~attrs:
+          [ ("gateway.tenant", string_of_int ts.ts_id);
+            ("gateway.degraded",
+             if degraded then Governor.rung_to_string rung else "no") ]
+        t.m.gm_reg "gateway.deliver"
+        (fun () -> t.on_delivery d)
+    else t.on_delivery d;
+    maybe_upgrade t plan;
+    Delivered rung
+  | exception Codec.Decode_error msg ->
+    record_failure t ts (Fmt.str "decode failed: %s" msg)
+  | exception Value.Type_error msg ->
+    record_failure t ts (Fmt.str "transformation failed: %s" msg)
+  | exception Ecode.Compile.Runtime_error msg ->
+    record_failure t ts (Fmt.str "transformation failed: %s" msg)
+  | exception Ecode.Interp.Runtime_error msg ->
+    record_failure t ts (Fmt.str "transformation failed: %s" msg)
+
+let shed t (reason : shed_reason) : outcome =
+  (match reason with
+   | Deadline -> t.stats.shed_deadline <- t.stats.shed_deadline + 1
+   | Quota -> t.stats.shed_quota <- t.stats.shed_quota + 1
+   | Breaker -> t.stats.shed_breaker <- t.stats.shed_breaker + 1
+   | Overload -> t.stats.shed_overload <- t.stats.shed_overload + 1
+   | Unknown_tenant -> t.stats.shed_unknown <- t.stats.shed_unknown + 1
+   | No_meta -> t.stats.shed_no_meta <- t.stats.shed_no_meta + 1);
+  if t.m.gm_on then begin
+    Obs.Counter.incr t.m.gm_shed;
+    match reason with
+    | Deadline -> Obs.Counter.incr t.m.gm_shed_deadline
+    | Quota -> Obs.Counter.incr t.m.gm_shed_quota
+    | Breaker -> Obs.Counter.incr t.m.gm_shed_breaker
+    | Overload -> Obs.Counter.incr t.m.gm_shed_overload
+    | Unknown_tenant | No_meta -> ()
+  end;
+  Shed reason
+
+let set_cache_gauges t =
+  if t.m.gm_on then begin
+    Obs.Gauge.set t.m.gm_cache_entries (float_of_int (Plan_cache.size t.cache));
+    Obs.Gauge.set t.m.gm_cache_cost (Plan_cache.cost t.cache)
+  end
+
+(* Singleflight compile for (tenant, fingerprint): the first message
+   charges the governor, starts the simulated compile and parks; every
+   further message while it is in flight parks behind it (coalesced).
+   Completion caches the plan — or the planning refusal — and drains the
+   parked queue, re-checking each message's deadline. *)
+let start_compile t (ts : tstate) ~fingerprint:fp (meta : Meta.format_meta)
+    (target : Ptype.record) ~deadline_ns (message : string) : outcome =
+  let key = (ts.ts_id, fp) in
+  let q = Queue.create () in
+  Queue.push { pd_deadline_ns = deadline_ns; pd_message = message } q;
+  Hashtbl.replace t.inflight key q;
+  t.pending_depth <- t.pending_depth + 1;
+  if t.m.gm_on then Obs.Gauge.set t.m.gm_pending (float_of_int t.pending_depth);
+  match build_shape ~thresholds:t.config.thresholds meta target with
+  | Error msg ->
+    (* planning refusals are cached (cost 1) and immediate: there is no
+       artifact to compile, so nothing to wait for *)
+    Hashtbl.remove t.inflight key;
+    t.pending_depth <- t.pending_depth - 1;
+    Plan_cache.add t.cache ~tenant:ts.ts_id ~key:fp ~cost:1. (Refused msg);
+    set_cache_gauges t;
+    record_failure t ts msg
+  | Ok shape ->
+    let level = Governor.rung_level (compile_rung t) in
+    let source = meta.Meta.body in
+    let cost = cost_of_level ~shape ~source ~target level in
+    Governor.charge t.gov ~now:(now_s t) cost;
+    t.stats.plan_compiles <- t.stats.plan_compiles + 1;
+    if t.m.gm_on then Obs.Counter.incr t.m.gm_compiles;
+    if Hashtbl.mem ts.ts_compiled fp then begin
+      t.stats.plan_recompiles <- t.stats.plan_recompiles + 1;
+      if t.m.gm_on then Obs.Counter.incr t.m.gm_recompiles
+    end
+    else Hashtbl.replace ts.ts_compiled fp ();
+    Netsim.after t.net (t.config.compile_s_per_unit *. cost) (fun () ->
+        Hashtbl.remove t.inflight key;
+        let plan =
+          { p_source = source; p_target = target; p_shape = shape;
+            p_arts = build_arts ~shape ~source ~target level;
+            p_upgrading = false }
+        in
+        Plan_cache.add t.cache ~tenant:ts.ts_id ~key:fp ~cost (Ready plan);
+        set_cache_gauges t;
+        Queue.iter
+          (fun { pd_deadline_ns; pd_message } ->
+             t.pending_depth <- t.pending_depth - 1;
+             if pd_deadline_ns > 0 && now_ns t > float_of_int pd_deadline_ns
+             then ignore (shed t Deadline : outcome)
+             else
+               ignore
+                 (deliver_now t ts plan ~fingerprint:fp
+                    ~deadline_ns:pd_deadline_ns pd_message
+                  : outcome))
+          q;
+        if t.m.gm_on then
+          Obs.Gauge.set t.m.gm_pending (float_of_int t.pending_depth));
+    Parked
+
+let handle_data t (ts : tstate) ~fingerprint:fp ~deadline_ns (message : string) :
+  outcome =
+  t.stats.admitted <- t.stats.admitted + 1;
+  if t.m.gm_on then Obs.Counter.incr t.m.gm_admitted;
+  match Plan_cache.find t.cache ~tenant:ts.ts_id ~key:fp with
+  | Some (Ready plan) -> deliver_now t ts plan ~fingerprint:fp ~deadline_ns message
+  | Some (Refused msg) -> record_failure t ts msg
+  | None ->
+    (match Hashtbl.find_opt t.inflight (ts.ts_id, fp) with
+     | Some q ->
+       (* singleflight: a compile for this (tenant, format) is already in
+          flight; park behind it rather than compiling again *)
+       if Queue.length q >= t.config.pending_cap then shed t Overload
+       else begin
+         Queue.push { pd_deadline_ns = deadline_ns; pd_message = message } q;
+         t.pending_depth <- t.pending_depth + 1;
+         t.stats.singleflight_coalesced <- t.stats.singleflight_coalesced + 1;
+         if t.m.gm_on then begin
+           Obs.Counter.incr t.m.gm_coalesced;
+           Obs.Gauge.set t.m.gm_pending (float_of_int t.pending_depth)
+         end;
+         Parked
+       end
+     | None ->
+       (match Hashtbl.find_opt ts.ts_registry fp with
+        | None -> shed t No_meta
+        | Some meta ->
+          (match ts.ts_target with
+           | None -> shed t No_meta
+           | Some target ->
+             if compile_rung t = Shed then shed t Overload
+             else start_compile t ts ~fingerprint:fp meta target ~deadline_ns message)))
+
+let handle_meta t ~tenant ~fingerprint:fp (encoded : string) : outcome =
+  match Meta.decode encoded with
+  | Error e ->
+    t.stats.bad_frames <- t.stats.bad_frames + 1;
+    Ignored (Fmt.str "bad meta push: %s" (Err.to_string e))
+  | Ok meta ->
+    let want = fingerprint meta in
+    if fp <> 0 && fp <> want then begin
+      t.stats.bad_frames <- t.stats.bad_frames + 1;
+      Ignored (Fmt.str "meta push fingerprint %d does not match content %d" fp want)
+    end
+    else begin
+      let ts =
+        match Hashtbl.find_opt t.tenants tenant with
+        | Some ts -> ts
+        | None ->
+          (* self-describing onboarding: the first push creates the
+             tenant, and its lineage base becomes the delivery target *)
+          new_tenant t tenant None
+      in
+      Hashtbl.replace ts.ts_registry want meta;
+      (* the first pushed format pins the tenant's target: senders push
+         their base (v0) before evolving, so deliveries morph back to it *)
+      (match ts.ts_target with
+       | None -> ts.ts_target <- Some meta.Meta.body
+       | Some _ -> ());
+      t.stats.meta_pushes <- t.stats.meta_pushes + 1;
+      if t.m.gm_on then Obs.Counter.incr t.m.gm_meta_pushes;
+      Onboarded
+    end
+
+let handle_described t ~tenant ~fingerprint:fp ~deadline_ns
+    (frame : Framing.frame) : outcome =
+  match frame with
+  | Framing.Meta { meta; _ } -> handle_meta t ~tenant ~fingerprint:fp meta
+  | Framing.Data { message; _ } ->
+    (match Hashtbl.find_opt t.tenants tenant with
+     | None -> shed t Unknown_tenant
+     | Some ts ->
+       (* admission control, strictly before any decode work: deadline
+          first (expired work helps nobody), then the circuit, then the
+          tenant's rate quota *)
+       if deadline_ns > 0 && now_ns t > float_of_int deadline_ns then
+         shed t Deadline
+       else if not (Breaker.admit ts.ts_breaker ~now:(now_s t)) then
+         shed t Breaker
+       else if
+         match ts.ts_bucket with
+         | Some b -> not (bucket_admit b ~now:(now_s t))
+         | None -> false
+       then shed t Quota
+       else handle_data t ts ~fingerprint:fp ~deadline_ns message)
+  | Framing.Meta_request _ | Framing.Ack _ | Framing.Reliable _
+  | Framing.Traced _ | Framing.Described _ ->
+    t.stats.bad_frames <- t.stats.bad_frames + 1;
+    Ignored "described envelope around a frame the gateway does not terminate"
+
+let handle_frame t (frame : Framing.frame) : outcome =
+  match frame with
+  | Framing.Described { tenant; fingerprint = fp; deadline_ns; frame } ->
+    handle_described t ~tenant ~fingerprint:fp ~deadline_ns frame
+  | Framing.Traced
+      { trace_id; parent_span;
+        frame = Framing.Described { tenant; fingerprint = fp; deadline_ns; frame } } ->
+    if t.m.gm_on then
+      Obs.Trace.with_span
+        ~ctx:{ Obs.Trace.trace_id; span_id = parent_span }
+        t.m.gm_reg "gateway.ingress"
+        (fun () -> handle_described t ~tenant ~fingerprint:fp ~deadline_ns frame)
+    else handle_described t ~tenant ~fingerprint:fp ~deadline_ns frame
+  | _ ->
+    t.stats.bad_frames <- t.stats.bad_frames + 1;
+    Ignored "not a described frame"
+
+(* Attach the gateway to the network.  Wire garbage never raises. *)
+let attach t =
+  Netsim.add_node t.net t.contact (fun ~src:_ payload ->
+      match Framing.decode payload with
+      | Ok frame -> ignore (handle_frame t frame : outcome)
+      | Error _ -> t.stats.bad_frames <- t.stats.bad_frames + 1)
+
+let pending_depth t = t.pending_depth

@@ -1,0 +1,176 @@
+(** Multi-tenant morphing gateway with overload protection and a
+    graceful-degradation ladder (docs/GATEWAY.md).
+
+    A broker-side node multiplexing many tenants over one process: each
+    tenant pushes format meta-data (self-describing onboarding), then
+    sends {!Transport.Framing.Described} data envelopes; the gateway
+    sheds expired/over-quota/circuit-open work {e before} decoding,
+    plans morphs into the tenant's target format through one shared
+    bounded {!Plan_cache} (singleflight-coalesced compiles), and lets
+    the {!Governor} degrade new plan work fused -> staged -> interp ->
+    shed under compile pressure.  Every rung decodes and transforms to
+    byte-identical results — degradation trades latency, never
+    fidelity. *)
+
+module Plan_cache = Plan_cache
+module Governor = Governor
+
+(** = {!Governor.rung}. *)
+type rung = Governor.rung = Fused | Staged | Interp | Shed
+
+type config = {
+  max_plans : int;  (** shared plan-cache entry bound *)
+  max_plan_cost : float;  (** shared plan-cache cost bound *)
+  tenant_quota : int;  (** per-tenant plan-cache entry quota *)
+  admit_rate : float;
+      (** per-tenant token-bucket refill, messages per simulated second;
+          [0.] disables rate admission *)
+  admit_burst : float;  (** token-bucket capacity (>= 1 when rate > 0) *)
+  breaker_threshold : int;
+      (** consecutive delivery failures that open a tenant's circuit *)
+  breaker_cooldown_s : float option;
+      (** open -> half-open probe delay; [None] = open circuits stay
+          open (the PR-2 permanent-quarantine behaviour) *)
+  thresholds : Morph.Maxmatch.thresholds;  (** match acceptance *)
+  governor : Governor.config;  (** degradation ladder tuning *)
+  compile_s_per_unit : float;
+      (** simulated seconds of compile latency per cost unit *)
+  pending_cap : int;
+      (** max messages parked behind one in-flight compile; overflow is
+          shed as {!Overload} *)
+  mode_override : rung option;
+      (** pin the ladder to one rung (parity testing); [None] = let the
+          governor drive *)
+  parity : bool;
+      (** cross-check every delivery against the interpretive reference
+          decoder and count [gateway.parity_mismatches] *)
+}
+
+val default_config : config
+
+(** Why a message was shed (before decode, never after). *)
+type shed_reason =
+  | Deadline  (** envelope deadline already expired *)
+  | Quota  (** tenant token bucket empty *)
+  | Breaker  (** tenant circuit open *)
+  | Overload  (** governor at {!Shed}, or pending queue full *)
+  | Unknown_tenant  (** data before any meta push for this tenant *)
+  | No_meta  (** fingerprint never pushed by this tenant *)
+
+val shed_reason_to_string : shed_reason -> string
+
+type outcome =
+  | Delivered of rung  (** handed to the delivery handler at this rung *)
+  | Parked  (** waiting on an in-flight singleflight compile *)
+  | Shed of shed_reason
+  | Rejected of string  (** decode or transform failure (feeds the breaker) *)
+  | Onboarded  (** meta push accepted *)
+  | Ignored of string  (** frame the gateway does not terminate *)
+
+type delivery = {
+  tenant : int;
+  fingerprint : int;
+  deadline_ns : int;
+  rung : rung;  (** the rung this message actually decoded at *)
+  degraded : bool;
+      (** [rung] is below the best this plan's shape supports *)
+  value : Pbio.Value.t;  (** the message, morphed into the tenant's target *)
+}
+
+type stats = {
+  mutable meta_pushes : int;
+  mutable onboarded : int;  (** tenants created *)
+  mutable admitted : int;  (** data messages past all admission gates *)
+  mutable delivered : int;
+  mutable delivered_fused : int;
+  mutable delivered_staged : int;
+  mutable delivered_interp : int;
+  mutable degraded_deliveries : int;
+  mutable shed_deadline : int;
+  mutable shed_quota : int;
+  mutable shed_breaker : int;
+  mutable shed_overload : int;
+  mutable shed_unknown : int;
+  mutable shed_no_meta : int;
+  mutable rejected : int;
+  mutable bad_frames : int;
+  mutable plan_compiles : int;
+  mutable plan_recompiles : int;
+      (** compiles for a (tenant, format) that had a plan before — the
+          recompile-storm signal *)
+  mutable plan_upgrades : int;  (** degraded plans re-compiled upward *)
+  mutable singleflight_coalesced : int;
+      (** messages parked behind an already-in-flight compile *)
+  mutable parity_mismatches : int;
+  mutable breaker_trips : int;
+  mutable breaker_recoveries : int;  (** half-open probes that re-closed *)
+}
+
+val shed_total : stats -> int
+
+type t
+
+(** [create ~net contact handler] builds a gateway that will deliver
+    morphed values to [handler]; call {!attach} to register it on the
+    network.  [metrics] feeds the [gateway.*] counter/gauge catalogue
+    and delivery trace spans.  Raises [Invalid_argument] on non-positive
+    [breaker_threshold]/[pending_cap], negative [compile_s_per_unit], or
+    [admit_burst < 1] with a rate set. *)
+val create :
+  ?config:config ->
+  ?metrics:Obs.t ->
+  net:Transport.Netsim.t ->
+  Transport.Contact.t ->
+  (delivery -> unit) ->
+  t
+
+(** Register the gateway's handler at its contact on the network.
+    Undecodable payloads count [bad_frames]; nothing raises. *)
+val attach : t -> unit
+
+(** Process one already-decoded frame (tests drive this directly).
+    Terminates [Described] and [Traced (Described _)] envelopes —
+    anything else is [Ignored]. *)
+val handle_frame : t -> Transport.Framing.frame -> outcome
+
+(** Pre-provision a tenant, optionally pinning its delivery target
+    format.  Without this, a tenant's first meta push onboards it and
+    the pushed lineage base becomes the target. *)
+val add_tenant : t -> id:int -> ?target:Pbio.Ptype.record -> unit -> unit
+
+(** Offboard: forget the tenant and drop its cached plans.  [false] if
+    unknown. *)
+val drop_tenant : t -> int -> bool
+
+(** The routing fingerprint of a format description: what senders put in
+    their {!Transport.Framing.Described} envelopes. *)
+val fingerprint : Pbio.Meta.format_meta -> int
+
+(** Convenience constructor for the sender side. *)
+val envelope :
+  tenant:int ->
+  fingerprint:int ->
+  ?deadline_ns:int ->
+  Transport.Framing.frame ->
+  Transport.Framing.frame
+
+val contact : t -> Transport.Contact.t
+val stats : t -> stats
+val cache_stats : t -> Plan_cache.stats
+
+(** Replace the delivery handler. *)
+val set_handler : t -> (delivery -> unit) -> unit
+
+val tenant_count : t -> int
+
+(** The ladder rung new plan work would compile at right now. *)
+val degrade_rung : t -> rung
+
+(** [None] for an unknown tenant. *)
+val breaker_state : t -> int -> Morph.Breaker.state option
+
+(** Tenants whose circuit is not closed. *)
+val breakers_open : t -> int
+
+(** Messages currently parked behind in-flight compiles. *)
+val pending_depth : t -> int

@@ -1,0 +1,227 @@
+(* The gateway's shared plan cache: one bounded, cost-aware store across
+   every tenant.
+
+   Three limits interact:
+     - [max_entries]: total live entries, the memory bound;
+     - [max_cost]: total cost units (compile weight) held, so a few huge
+       plans cannot crowd out hundreds of cheap ones unnoticed;
+     - [tenant_quota]: per-tenant entry cap, so one tenant churning
+       through formats evicts its own plans, not its neighbours'.
+
+   Recency is a lazy-deletion LRU (same scheme as the [Codec] plan cache):
+   each touch stamps the entry and pushes it on a queue; eviction pops
+   until a stamp still matches.  Per-tenant eviction scans only that
+   tenant's entries (at most [tenant_quota] of them). *)
+
+type 'v entry = {
+  e_tenant : int;
+  e_key : int;
+  e_value : 'v;
+  e_cost : float;
+  mutable e_tick : int;
+  mutable e_alive : bool;
+}
+
+type stats = {
+  entries : int;
+  cost : float;
+  high_water : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  quota_evictions : int;
+}
+
+type 'v t = {
+  max_entries : int;
+  max_cost : float;
+  tenant_quota : int;
+  on_evict : (tenant:int -> key:int -> unit) option;
+  table : (int * int, 'v entry) Hashtbl.t;
+  queue : ('v entry * int) Queue.t;
+  by_tenant : (int, 'v entry list ref) Hashtbl.t;
+  mutable count : int;
+  mutable total_cost : float;
+  mutable clock : int;
+  mutable high_water : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable quota_evictions : int;
+}
+
+let create ?(max_entries = 1024) ?(max_cost = infinity) ?(tenant_quota = max_int)
+    ?on_evict () =
+  if max_entries < 1 then invalid_arg "Plan_cache.create: max_entries must be >= 1";
+  if tenant_quota < 1 then invalid_arg "Plan_cache.create: tenant_quota must be >= 1";
+  if not (max_cost > 0.) then invalid_arg "Plan_cache.create: max_cost must be > 0";
+  {
+    max_entries;
+    max_cost;
+    tenant_quota;
+    on_evict;
+    table = Hashtbl.create 256;
+    queue = Queue.create ();
+    by_tenant = Hashtbl.create 64;
+    count = 0;
+    total_cost = 0.;
+    clock = 0;
+    high_water = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    quota_evictions = 0;
+  }
+
+let size t = t.count
+let cost t = t.total_cost
+let high_water t = t.high_water
+
+let stats t =
+  {
+    entries = t.count;
+    cost = t.total_cost;
+    high_water = t.high_water;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    quota_evictions = t.quota_evictions;
+  }
+
+let tenant_entries t tenant =
+  match Hashtbl.find_opt t.by_tenant tenant with
+  | None -> []
+  | Some l ->
+    (* prune dead entries while we are here *)
+    let live = List.filter (fun e -> e.e_alive) !l in
+    l := live;
+    live
+
+let tenant_count t tenant = List.length (tenant_entries t tenant)
+
+let compact t =
+  let q' = Queue.create () in
+  Queue.iter
+    (fun ((e, tk) as pair) -> if e.e_alive && e.e_tick = tk then Queue.push pair q')
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer q' t.queue
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.e_tick <- t.clock;
+  Queue.push (e, t.clock) t.queue;
+  if Queue.length t.queue > (4 * t.count) + 64 then compact t
+
+let find t ~tenant ~key =
+  match Hashtbl.find_opt t.table (tenant, key) with
+  | Some e when e.e_alive ->
+    t.hits <- t.hits + 1;
+    touch t e;
+    Some e.e_value
+  | _ ->
+    t.misses <- t.misses + 1;
+    None
+
+let mem t ~tenant ~key =
+  match Hashtbl.find_opt t.table (tenant, key) with
+  | Some e -> e.e_alive
+  | None -> false
+
+(* Unlink [e] from every index.  [evicted] says whether this removal is an
+   eviction (capacity pressure) as opposed to an explicit [remove]. *)
+let delete t e ~evicted ~quota =
+  if e.e_alive then begin
+    e.e_alive <- false;
+    Hashtbl.remove t.table (e.e_tenant, e.e_key);
+    (match Hashtbl.find_opt t.by_tenant e.e_tenant with
+     | Some l -> l := List.filter (fun e' -> e' != e) !l
+     | None -> ());
+    t.count <- t.count - 1;
+    t.total_cost <- t.total_cost -. e.e_cost;
+    if evicted then begin
+      t.evictions <- t.evictions + 1;
+      if quota then t.quota_evictions <- t.quota_evictions + 1;
+      match t.on_evict with
+      | Some f -> f ~tenant:e.e_tenant ~key:e.e_key
+      | None -> ()
+    end
+  end
+
+(* Evict the globally least-recently-used entry; [false] when empty. *)
+let evict_lru t =
+  let rec go () =
+    match Queue.take_opt t.queue with
+    | None -> false
+    | Some (e, tk) ->
+      if e.e_alive && e.e_tick = tk then begin
+        delete t e ~evicted:true ~quota:false;
+        true
+      end
+      else go ()
+  in
+  go ()
+
+(* Evict [tenant]'s least-recently-used entry (a quota eviction). *)
+let evict_tenant_lru t tenant =
+  match tenant_entries t tenant with
+  | [] -> false
+  | e0 :: rest ->
+    let lru =
+      List.fold_left (fun a e -> if e.e_tick < a.e_tick then e else a) e0 rest
+    in
+    delete t lru ~evicted:true ~quota:true;
+    true
+
+let remove t ~tenant ~key =
+  match Hashtbl.find_opt t.table (tenant, key) with
+  | Some e -> delete t e ~evicted:false ~quota:false
+  | None -> ()
+
+let drop_tenant t tenant =
+  let es = tenant_entries t tenant in
+  List.iter (fun e -> delete t e ~evicted:false ~quota:false) es;
+  Hashtbl.remove t.by_tenant tenant;
+  List.length es
+
+let add t ~tenant ~key ~cost v =
+  if not (cost >= 0.) then invalid_arg "Plan_cache.add: cost must be >= 0";
+  remove t ~tenant ~key;
+  (* per-tenant quota first: a tenant over quota pays with its own LRU
+     entry, leaving the shared pool alone *)
+  while tenant_count t tenant >= t.tenant_quota && evict_tenant_lru t tenant do
+    ()
+  done;
+  (* then the shared bounds *)
+  while
+    (t.count >= t.max_entries || (t.count > 0 && t.total_cost +. cost > t.max_cost))
+    && evict_lru t
+  do
+    ()
+  done;
+  let e =
+    { e_tenant = tenant; e_key = key; e_value = v; e_cost = cost; e_tick = 0;
+      e_alive = true }
+  in
+  Hashtbl.replace t.table (tenant, key) e;
+  let l =
+    match Hashtbl.find_opt t.by_tenant tenant with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace t.by_tenant tenant l;
+      l
+  in
+  l := e :: !l;
+  t.count <- t.count + 1;
+  t.total_cost <- t.total_cost +. cost;
+  if t.count > t.high_water then t.high_water <- t.count;
+  touch t e
+
+let clear t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.by_tenant;
+  Queue.clear t.queue;
+  t.count <- 0;
+  t.total_cost <- 0.;
+  t.clock <- 0

@@ -17,6 +17,26 @@ let mean_rate = function
     if cycle <= 0. then 0.
     else ((rate_on *. period_on_s) +. (rate_off *. period_off_s)) /. cycle
 
+(* One validation shared by [of_string], [Loadgen.check] and (indirectly)
+   [next_gap]: a distribution that passes never raises at gap time. *)
+let validate = function
+  | Constant r ->
+    if r > 0. then Ok ()
+    else Error (Printf.sprintf "constant rate must be > 0 (got %g)" r)
+  | Poisson r ->
+    if r > 0. then Ok ()
+    else Error (Printf.sprintf "poisson rate must be > 0 (got %g)" r)
+  | Bursty { rate_on; rate_off; period_on_s; period_off_s } ->
+    if rate_on <= 0. then
+      Error (Printf.sprintf "bursty on-rate must be > 0 (got %g)" rate_on)
+    else if rate_off < 0. then
+      Error (Printf.sprintf "bursty off-rate must be >= 0 (got %g)" rate_off)
+    else if period_on_s <= 0. || period_off_s <= 0. then
+      Error
+        (Printf.sprintf "bursty periods must be > 0 (got %g and %g)"
+           period_on_s period_off_s)
+    else Ok ()
+
 (* Inverse-CDF exponential gap; 1 - u keeps the argument of [log]
    strictly positive. *)
 let exp_gap rate st =

@@ -22,10 +22,15 @@ type t =
     {!Bursty}). *)
 val mean_rate : t -> float
 
+(** Check the distribution's rates and periods up front: a distribution
+    that validates never makes {!next_gap} raise.  The error is the
+    human-readable reason. *)
+val validate : t -> (unit, string) result
+
 (** Gap until the next arrival given the current virtual time.  Raises
     [Invalid_argument] on a non-positive rate for the current phase
     unless the distribution is {!Bursty} with [rate_off = 0], which
-    skips to the next burst. *)
+    skips to the next burst; {!validate} rejects such rates up front. *)
 val next_gap : t -> now:float -> Random.State.t -> float
 
 (** [constant:RATE], [poisson:RATE] or

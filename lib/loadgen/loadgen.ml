@@ -150,13 +150,35 @@ let parse_payload (s : string) : (int * int * float) option =
      with _ -> None)
   | _ -> None
 
+(* Every config field checked up front, as data: a config that passes
+   [check] cannot raise later from inside the run (notably
+   [Dist.next_gap], which otherwise only rejects a non-positive rate at
+   gap time, mid-simulation). *)
+let check (cfg : config) : (unit, Err.t) result =
+  let err fmt = Printf.ksprintf (fun m -> Error (`Config m)) fmt in
+  if cfg.clients < 1 then err "clients must be >= 1 (got %d)" cfg.clients
+  else if cfg.duration_s <= 0. then
+    err "duration must be > 0 (got %g)" cfg.duration_s
+  else if cfg.versions < 1 then err "versions must be >= 1 (got %d)" cfg.versions
+  else if cfg.sinks < 1 then err "sinks must be >= 1 (got %d)" cfg.sinks
+  else if cfg.churn_per_s < 0. then
+    err "churn must be >= 0 (got %g)" cfg.churn_per_s
+  else if cfg.samples < 1 then err "samples must be >= 1 (got %d)" cfg.samples
+  else
+    match Dist.validate cfg.dist with
+    | Error m -> err "arrival distribution: %s" m
+    | Ok () ->
+      (match cfg.mix with
+       | Some mix when List.exists (fun w -> w < 0. || Float.is_nan w) mix ->
+         err "mix weights must be >= 0"
+       | Some mix when not (List.exists (fun w -> w > 0.) mix) ->
+         err "mix needs at least one positive weight"
+       | _ -> Ok ())
+
 let validate (cfg : config) =
-  if cfg.clients < 1 then invalid_arg "Loadgen.run: clients must be >= 1";
-  if cfg.duration_s <= 0. then invalid_arg "Loadgen.run: duration must be > 0";
-  if cfg.versions < 1 then invalid_arg "Loadgen.run: versions must be >= 1";
-  if cfg.sinks < 1 then invalid_arg "Loadgen.run: sinks must be >= 1";
-  if cfg.churn_per_s < 0. then invalid_arg "Loadgen.run: churn must be >= 0";
-  if cfg.samples < 1 then invalid_arg "Loadgen.run: samples must be >= 1"
+  match check cfg with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Loadgen.run: " ^ Err.message e)
 
 let run (cfg : config) : report =
   validate cfg;
@@ -471,4 +493,392 @@ let summary (r : report) : string =
   p "throughput=%.1f/s sim_end=%.6fs quiesced=%b"
     (float_of_int r.delivered /. cfg.duration_s)
     r.sim_end r.quiesced;
+  Buffer.contents b
+
+(* --- the gateway scenario -------------------------------------------------
+
+   Open-loop load against one multi-tenant morphing gateway: [g_tenants]
+   senders share [g_lineages] distinct format lineages, push their
+   meta-data through the same Described envelopes as their data, and the
+   [g_push_at] times fire mass schema-push storms (every tenant advances
+   one version and re-pushes at once — the recompile-storm case the
+   gateway's singleflight and governor exist for).
+
+   Latency is deadline-derived: when [g_deadline_s > 0] every message
+   carries [now + deadline] and the delivery handler recovers the send
+   time as [deadline - g_deadline_s], so the measurement needs no side
+   channel through the gateway. *)
+
+type gateway_config = {
+  g_tenants : int;
+  g_lineages : int;  (* distinct lineages shared across tenants *)
+  g_dist : Dist.t;  (* aggregate arrivals across all tenants *)
+  g_duration_s : float;
+  g_churn_per_s : float;
+  g_versions : int;
+  g_push_at : float list;  (* storm times, seconds into the load window *)
+  g_deadline_s : float;  (* per-message deadline; 0 = none *)
+  g_gateway : Gateway.config;
+  g_faults : Netsim.faults;
+  g_seed : int;
+  g_samples : int;
+}
+
+let default_gateway =
+  {
+    g_tenants = 200;
+    g_lineages = 8;
+    g_dist = Dist.Poisson 4_000.;
+    g_duration_s = 0.5;
+    g_churn_per_s = 0.;
+    g_versions = 3;
+    g_push_at = [];
+    g_deadline_s = 0.02;
+    g_gateway = Gateway.default_config;
+    g_faults = Netsim.no_faults;
+    g_seed = 42;
+    g_samples = 10;
+  }
+
+type gateway_report = {
+  g_config : gateway_config;
+  g_sent : int;
+  g_pushes : int;
+  g_joins : int;
+  g_leaves : int;
+  g_active_end : int;
+  g_stats : Gateway.stats;
+  g_cache : Gateway.Plan_cache.stats;
+  g_degrade_max : int;  (* worst ladder level observed at a sample point *)
+  g_breakers_open_end : int;
+  g_latency : Obs.Histogram.snapshot option;
+  g_sim_end : float;
+  g_quiesced : bool;
+  g_trajectory : string;
+  g_metrics : Obs.t;
+}
+
+(* Same contract as [check]: a config that passes cannot raise later from
+   inside [run_gateway] — including [Gateway.create], whose
+   [Invalid_argument] conditions are re-stated here as data. *)
+let check_gateway (cfg : gateway_config) : (unit, Err.t) result =
+  let err fmt = Printf.ksprintf (fun m -> Error (`Config m)) fmt in
+  let g = cfg.g_gateway in
+  if cfg.g_tenants < 1 then err "tenants must be >= 1 (got %d)" cfg.g_tenants
+  else if cfg.g_lineages < 1 then
+    err "lineages must be >= 1 (got %d)" cfg.g_lineages
+  else if cfg.g_duration_s <= 0. then
+    err "duration must be > 0 (got %g)" cfg.g_duration_s
+  else if cfg.g_versions < 1 then
+    err "versions must be >= 1 (got %d)" cfg.g_versions
+  else if cfg.g_churn_per_s < 0. then
+    err "churn must be >= 0 (got %g)" cfg.g_churn_per_s
+  else if cfg.g_samples < 1 then err "samples must be >= 1 (got %d)" cfg.g_samples
+  else if not (cfg.g_deadline_s >= 0.) then
+    err "deadline must be >= 0 (got %g)" cfg.g_deadline_s
+  else if List.exists (fun at -> not (at >= 0.)) cfg.g_push_at then
+    err "push times must be >= 0"
+  else if g.Gateway.max_plans < 1 then
+    err "max-plans must be >= 1 (got %d)" g.Gateway.max_plans
+  else if not (g.Gateway.max_plan_cost > 0.) then
+    err "max-plan-cost must be > 0 (got %g)" g.Gateway.max_plan_cost
+  else if g.Gateway.tenant_quota < 1 then
+    err "tenant-quota must be >= 1 (got %d)" g.Gateway.tenant_quota
+  else if not (g.Gateway.admit_rate >= 0.) then
+    err "admit-rate must be >= 0 (got %g)" g.Gateway.admit_rate
+  else if g.Gateway.admit_rate > 0. && not (g.Gateway.admit_burst >= 1.) then
+    err "admit-burst must be >= 1 when a rate is set (got %g)"
+      g.Gateway.admit_burst
+  else if g.Gateway.breaker_threshold < 1 then
+    err "breaker-threshold must be >= 1 (got %d)" g.Gateway.breaker_threshold
+  else if
+    match g.Gateway.breaker_cooldown_s with
+    | Some c -> not (c > 0.)
+    | None -> false
+  then err "breaker-cooldown must be > 0"
+  else if g.Gateway.pending_cap < 1 then
+    err "pending-cap must be >= 1 (got %d)" g.Gateway.pending_cap
+  else if not (g.Gateway.compile_s_per_unit >= 0.) then
+    err "compile cost must be >= 0 (got %g)" g.Gateway.compile_s_per_unit
+  else if not (g.Gateway.governor.Gateway.Governor.window_s > 0.) then
+    err "governor window must be > 0 (got %g)"
+      g.Gateway.governor.Gateway.Governor.window_s
+  else if not (g.Gateway.governor.Gateway.Governor.budget > 0.) then
+    err "governor budget must be > 0 (got %g)"
+      g.Gateway.governor.Gateway.Governor.budget
+  else if not (g.Gateway.governor.Gateway.Governor.interp_over >= 1.) then
+    err "governor interp-over must be >= 1 (got %g)"
+      g.Gateway.governor.Gateway.Governor.interp_over
+  else if g.Gateway.governor.Gateway.Governor.shed_evictions < 0 then
+    err "governor shed-evictions must be >= 0 (got %d)"
+      g.Gateway.governor.Gateway.Governor.shed_evictions
+  else Dist.validate cfg.g_dist |> function
+    | Error m -> err "arrival distribution: %s" m
+    | Ok () -> Ok ()
+
+let run_gateway (cfg : gateway_config) : gateway_report =
+  (match check_gateway cfg with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Loadgen.run_gateway: " ^ Err.message e));
+  let reg = Obs.create ~label:"gateway" () in
+  let net = Netsim.create ~seed:cfg.g_seed ~metrics:reg () in
+  Obs.set_registry_clock reg (fun () -> Netsim.now net *. 1e9);
+  if cfg.g_faults <> Netsim.no_faults then Netsim.set_faults net cfg.g_faults;
+  let lineages = min cfg.g_lineages cfg.g_tenants in
+  let pops =
+    Array.init lineages (fun k ->
+        Population.make ~versions:cfg.g_versions ~seed:(cfg.g_seed + (7919 * k)) ())
+  in
+  let pop_of i = pops.(i mod lineages) in
+  let arr_rng = Random.State.make [| 0x6a7e; cfg.g_seed; 17 |] in
+  let churn_rng = Random.State.make [| 0x6a7e; cfg.g_seed; 23 |] in
+  let pick_rng = Random.State.make [| 0x6a7e; cfg.g_seed; 29 |] in
+
+  let m_lat =
+    Obs.Histogram.make reg ~unit_:"s" ~buckets:latency_buckets
+      "gateway.latency_s"
+  in
+  let gw_contact = Contact.make "gateway" 1 in
+  let gw =
+    Gateway.create ~config:cfg.g_gateway ~metrics:reg ~net gw_contact
+      (fun (d : Gateway.delivery) ->
+        if cfg.g_deadline_s > 0. && d.Gateway.deadline_ns > 0 then begin
+          let t0 =
+            (float_of_int d.Gateway.deadline_ns /. 1e9) -. cfg.g_deadline_s
+          in
+          Obs.Histogram.observe m_lat (Netsim.now net -. t0)
+        end)
+  in
+  Gateway.attach gw;
+
+  let contacts = Array.init cfg.g_tenants (fun i -> Contact.make "tenant" i) in
+  let version_of = Array.make cfg.g_tenants 0 in
+  let pushes = ref 0 in
+  let push_meta i =
+    let pv = (Population.versions (pop_of i)).(version_of.(i)) in
+    let fp = Gateway.fingerprint pv.Population.meta in
+    incr pushes;
+    Netsim.send net ~src:contacts.(i) ~dst:gw_contact
+      (Transport.Framing.encode
+         (Gateway.envelope ~tenant:i ~fingerprint:fp
+            (Transport.Framing.Meta
+               { format_id = pv.Population.index;
+                 meta = Meta.encode pv.Population.meta })))
+  in
+
+  (* Active set, as in [run]: O(1) swap-remove joins and leaves.  A
+     leaving tenant just goes quiet (its plans age out of the LRU); a
+     joining tenant comes back one version newer and re-pushes. *)
+  let order = Array.init cfg.g_tenants (fun i -> i) in
+  let pos = Array.init cfg.g_tenants (fun i -> i) in
+  let n_active = ref cfg.g_tenants in
+  let joins = ref 0 and leaves = ref 0 in
+  let swap i j =
+    let a = order.(i) and b = order.(j) in
+    order.(i) <- b;
+    order.(j) <- a;
+    pos.(a) <- j;
+    pos.(b) <- i
+  in
+  let leave () =
+    if !n_active > 1 then begin
+      swap (Random.State.int churn_rng !n_active) (!n_active - 1);
+      decr n_active;
+      incr leaves
+    end
+  in
+  let join () =
+    let parked = cfg.g_tenants - !n_active in
+    if parked > 0 then begin
+      let slot = !n_active + Random.State.int churn_rng parked in
+      let tenant = order.(slot) in
+      swap slot !n_active;
+      incr n_active;
+      incr joins;
+      version_of.(tenant) <- (version_of.(tenant) + 1) mod cfg.g_versions;
+      push_meta tenant
+    end
+  in
+
+  (* Onboarding: every tenant pushes its v0 meta (pinning the lineage
+     base as its delivery target), then settle before the load window. *)
+  for i = 0 to cfg.g_tenants - 1 do
+    push_meta i
+  done;
+  ignore (Netsim.run ~max_steps:1_000_000_000 net);
+  let t_start = Netsim.now net in
+  let elapsed () = Netsim.now net -. t_start in
+
+  let sent = ref 0 in
+  let send_one () =
+    if !n_active > 0 then begin
+      let i = order.(Random.State.int pick_rng !n_active) in
+      let pv = (Population.versions (pop_of i)).(version_of.(i)) in
+      let fp = Gateway.fingerprint pv.Population.meta in
+      let deadline_ns =
+        if cfg.g_deadline_s > 0. then
+          int_of_float ((Netsim.now net +. cfg.g_deadline_s) *. 1e9)
+        else 0
+      in
+      incr sent;
+      Netsim.send net ~src:contacts.(i) ~dst:gw_contact
+        (Transport.Framing.encode
+           (Gateway.envelope ~tenant:i ~fingerprint:fp ~deadline_ns
+              (Transport.Framing.Data
+                 { format_id = pv.Population.index;
+                   message = pv.Population.bytes })))
+    end
+  in
+  let schedule_chain gap_of action =
+    let rec tick () =
+      if elapsed () < cfg.g_duration_s then begin
+        action ();
+        let gap = gap_of () in
+        if elapsed () +. gap < cfg.g_duration_s then Netsim.after net gap tick
+      end
+    in
+    let first = gap_of () in
+    if first < cfg.g_duration_s then Netsim.after net first tick
+  in
+  schedule_chain
+    (fun () -> Dist.next_gap cfg.g_dist ~now:(elapsed ()) arr_rng)
+    send_one;
+  if cfg.g_churn_per_s > 0. then begin
+    let k = ref 0 in
+    schedule_chain
+      (fun () ->
+        Dist.next_gap (Dist.Poisson cfg.g_churn_per_s) ~now:(elapsed ())
+          churn_rng)
+      (fun () ->
+        if !k land 1 = 0 then leave () else join ();
+        incr k)
+  end;
+
+  (* Schema-push storms: at each [g_push_at], every tenant advances one
+     version and re-pushes its meta-data at once. *)
+  List.iter
+    (fun at ->
+      Netsim.after net at (fun () ->
+          for i = 0 to cfg.g_tenants - 1 do
+            version_of.(i) <- (version_of.(i) + 1) mod cfg.g_versions;
+            push_meta i
+          done))
+    cfg.g_push_at;
+
+  let degrade_max = ref 0 in
+  let traj = Buffer.create 512 in
+  let sample ~final () =
+    let s = Gateway.stats gw in
+    let c = Gateway.cache_stats gw in
+    let level = Gateway.Governor.rung_level (Gateway.degrade_rung gw) in
+    if level > !degrade_max then degrade_max := level;
+    let p q =
+      match Obs.Histogram.snapshot reg "gateway.latency_s" with
+      | Some snap -> Obs.Histogram.quantile snap q
+      | None -> 0.
+    in
+    Buffer.add_string traj
+      (Printf.sprintf
+         {|{"t":%.6f,"sent":%d,"delivered":%d,"shed":%d,"degraded":%d,"pending":%d,"cache":%d,"degrade":%d,"p50":%.6f,"p99":%.6f,"final":%b}|}
+         (elapsed ()) !sent s.Gateway.delivered (Gateway.shed_total s)
+         s.Gateway.degraded_deliveries (Gateway.pending_depth gw)
+         c.Gateway.Plan_cache.entries level (p 0.50) (p 0.99) final);
+    Buffer.add_char traj '\n'
+  in
+  let sample_gap = cfg.g_duration_s /. float_of_int cfg.g_samples in
+  schedule_chain (fun () -> sample_gap) (fun () -> sample ~final:false ());
+
+  let res = Netsim.run ~max_steps:1_000_000_000 net in
+  sample ~final:true ();
+
+  {
+    g_config = cfg;
+    g_sent = !sent;
+    g_pushes = !pushes;
+    g_joins = !joins;
+    g_leaves = !leaves;
+    g_active_end = !n_active;
+    g_stats = Gateway.stats gw;
+    g_cache = Gateway.cache_stats gw;
+    g_degrade_max = !degrade_max;
+    g_breakers_open_end = Gateway.breakers_open gw;
+    g_latency = Obs.Histogram.snapshot reg "gateway.latency_s";
+    g_sim_end = elapsed ();
+    g_quiesced = res.Netsim.quiesced;
+    g_trajectory = Buffer.contents traj;
+    g_metrics = reg;
+  }
+
+let gateway_percentile (r : gateway_report) q =
+  match r.g_latency with Some s -> Obs.Histogram.quantile s q | None -> 0.
+
+let gateway_summary (r : gateway_report) : string =
+  let cfg = r.g_config in
+  let g = cfg.g_gateway in
+  let s = r.g_stats in
+  let c = r.g_cache in
+  let b = Buffer.create 512 in
+  let p fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let f = cfg.g_faults in
+  p "gateway v1";
+  p "tenants=%d lineages=%d seed=%d dist=%s duration=%.3fs churn=%g/s versions=%d"
+    cfg.g_tenants cfg.g_lineages cfg.g_seed (Dist.to_string cfg.g_dist)
+    cfg.g_duration_s cfg.g_churn_per_s cfg.g_versions;
+  p "storms=%d deadline=%gs" (List.length cfg.g_push_at) cfg.g_deadline_s;
+  p "gateway max_plans=%d quota=%d admit=%g/s burst=%g breaker=%d cooldown=%s \
+     budget=%g/%gs interp_over=%g shed_evictions=%d mode=%s parity=%b"
+    g.Gateway.max_plans g.Gateway.tenant_quota g.Gateway.admit_rate
+    g.Gateway.admit_burst g.Gateway.breaker_threshold
+    (match g.Gateway.breaker_cooldown_s with
+     | Some c -> Printf.sprintf "%gs" c
+     | None -> "none")
+    g.Gateway.governor.Gateway.Governor.budget
+    g.Gateway.governor.Gateway.Governor.window_s
+    g.Gateway.governor.Gateway.Governor.interp_over
+    g.Gateway.governor.Gateway.Governor.shed_evictions
+    (match g.Gateway.mode_override with
+     | Some m -> Gateway.Governor.rung_to_string m
+     | None -> "auto")
+    g.Gateway.parity;
+  p "faults loss=%.3f dup=%.3f reorder=%.3f jitter=%.4fs" f.Netsim.loss
+    f.Netsim.duplication f.Netsim.reorder f.Netsim.jitter_s;
+  p "sent=%d pushes=%d onboarded=%d churn joins=%d leaves=%d active_end=%d"
+    r.g_sent r.g_pushes s.Gateway.onboarded r.g_joins r.g_leaves r.g_active_end;
+  p "admitted=%d delivered=%d fused=%d staged=%d interp=%d degraded=%d"
+    s.Gateway.admitted s.Gateway.delivered s.Gateway.delivered_fused
+    s.Gateway.delivered_staged s.Gateway.delivered_interp
+    s.Gateway.degraded_deliveries;
+  p "shed total=%d deadline=%d quota=%d breaker=%d overload=%d unknown=%d \
+     no_meta=%d"
+    (Gateway.shed_total s) s.Gateway.shed_deadline s.Gateway.shed_quota
+    s.Gateway.shed_breaker s.Gateway.shed_overload s.Gateway.shed_unknown
+    s.Gateway.shed_no_meta;
+  p "rejected=%d bad_frames=%d parity_mismatches=%d" s.Gateway.rejected
+    s.Gateway.bad_frames s.Gateway.parity_mismatches;
+  p "plans compiles=%d recompiles=%d upgrades=%d coalesced=%d degrade_max=%d"
+    s.Gateway.plan_compiles s.Gateway.plan_recompiles s.Gateway.plan_upgrades
+    s.Gateway.singleflight_coalesced r.g_degrade_max;
+  p "cache entries=%d high_water=%d cost=%g hits=%d misses=%d evictions=%d \
+     quota_evictions=%d"
+    c.Gateway.Plan_cache.entries c.Gateway.Plan_cache.high_water
+    c.Gateway.Plan_cache.cost c.Gateway.Plan_cache.hits
+    c.Gateway.Plan_cache.misses c.Gateway.Plan_cache.evictions
+    c.Gateway.Plan_cache.quota_evictions;
+  p "breakers trips=%d recoveries=%d open_end=%d" s.Gateway.breaker_trips
+    s.Gateway.breaker_recoveries r.g_breakers_open_end;
+  (match r.g_latency with
+   | Some snap ->
+     p "latency p50=%.6fs p99=%.6fs p999=%.6fs max=%.6fs n=%d"
+       (Obs.Histogram.quantile snap 0.50)
+       (Obs.Histogram.quantile snap 0.99)
+       (Obs.Histogram.quantile snap 0.999)
+       snap.Obs.Histogram.max snap.Obs.Histogram.count
+   | None -> p "latency n=0");
+  p "sim_end=%.6fs quiesced=%b" r.g_sim_end r.g_quiesced;
   Buffer.contents b

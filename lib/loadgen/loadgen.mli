@@ -79,8 +79,16 @@ type report = {
   metrics : Obs.t;  (** the run's full registry, for [--json] dumps *)
 }
 
-(** Execute a run to quiescence.  Raises [Invalid_argument] on
-    out-of-range config fields. *)
+(** Validate every config field up front — non-positive client counts,
+    durations, version counts, sinks or samples, negative churn,
+    non-positive arrival rates (via {!Dist.validate}) and degenerate
+    mixes are all [Error (`Config _)] with the reason.  A config that
+    passes cannot raise from inside {!run}. *)
+val check : config -> (unit, Pbio.Err.t) result
+
+(** Execute a run to quiescence.  Raises [Invalid_argument] (with the
+    {!check} error's message) on an invalid config; CLI front-ends call
+    {!check} and render the error themselves. *)
 val run : config -> report
 
 (** Latency percentile of the end-to-end histogram ([0.] when empty). *)
@@ -92,3 +100,72 @@ val percentile : report -> float -> float
     is deliberately excluded so parity tests can compare summaries
     across engines verbatim. *)
 val summary : report -> string
+
+(** {1 The gateway scenario}
+
+    Load against one multi-tenant morphing {!Gateway}: tenants sharing a
+    handful of format lineages push meta-data and send
+    {!Transport.Framing.Described} data envelopes, with optional
+    mass schema-push storms and tenant churn (docs/GATEWAY.md). *)
+
+type gateway_config = {
+  g_tenants : int;
+  g_lineages : int;
+      (** distinct {!Population} lineages shared across tenants
+          (tenant [i] uses lineage [i mod g_lineages]) *)
+  g_dist : Dist.t;  (** aggregate arrivals across all active tenants *)
+  g_duration_s : float;
+  g_churn_per_s : float;
+      (** alternating leave/join; a joining tenant returns one version
+          newer and re-pushes its meta-data *)
+  g_versions : int;
+  g_push_at : float list;
+      (** storm times (seconds into the load window): every tenant
+          advances one version and re-pushes at once *)
+  g_deadline_s : float;
+      (** per-message deadline carried in the envelope; [0.] = none.
+          Also how delivery latency is recovered (send time =
+          deadline - [g_deadline_s]), so latency needs a deadline. *)
+  g_gateway : Gateway.config;
+  g_faults : Transport.Netsim.faults;
+  g_seed : int;
+  g_samples : int;
+}
+
+(** 200 tenants over 8 lineages, Poisson 4k/s for 0.5 s, 20 ms
+    deadlines, no storms, default gateway config. *)
+val default_gateway : gateway_config
+
+type gateway_report = {
+  g_config : gateway_config;
+  g_sent : int;
+  g_pushes : int;  (** meta pushes sent (onboarding + storms + rejoins) *)
+  g_joins : int;
+  g_leaves : int;
+  g_active_end : int;
+  g_stats : Gateway.stats;
+  g_cache : Gateway.Plan_cache.stats;
+  g_degrade_max : int;
+      (** worst {!Gateway.Governor.rung_level} observed at a sample point *)
+  g_breakers_open_end : int;
+  g_latency : Obs.Histogram.snapshot option;
+      (** admitted-delivery latency, simulated seconds (empty when
+          [g_deadline_s = 0]) *)
+  g_sim_end : float;
+  g_quiesced : bool;
+  g_trajectory : string;  (** ndjson, one sample object per line *)
+  g_metrics : Obs.t;
+}
+
+(** Same contract as {!check}: every flag validated up front as
+    [Error (`Config _)] data — including the embedded {!Gateway.config},
+    whose [Invalid_argument] conditions are re-stated here — so a
+    passing config cannot raise from inside {!run_gateway}. *)
+val check_gateway : gateway_config -> (unit, Pbio.Err.t) result
+
+val run_gateway : gateway_config -> gateway_report
+val gateway_percentile : gateway_report -> float -> float
+
+(** Deterministic multi-line summary ("gateway v1"): config echo plus
+    delivery/shed/plan/cache/breaker/latency outcome lines. *)
+val gateway_summary : gateway_report -> string

@@ -1,0 +1,42 @@
+(** Chaos soak for the multi-tenant morphing gateway.
+
+    Each case stresses one gateway on purpose — tiny plan cache, tight
+    compile budget and quotas, a mass schema-push storm and a 3x
+    overload burst — fault-free and then under the {!Chaos.profile}
+    fault model, with parity cross-checking on for every delivery.
+    Shedding and degradation are expected; crashes, bound violations,
+    reference divergence and non-determinism are failures.  See
+    docs/GATEWAY.md and docs/FAULTS.md. *)
+
+type failure = {
+  case : int;
+  seed : int;  (** the case's derived sub-seed, for standalone replay *)
+  reason : string;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type report = {
+  cases : int;
+  tenants_per_case : int;
+  messages_per_case : int;
+  failures : failure list;
+}
+
+val passed : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+(** Run [cases] gateway chaos cases under sub-seeds derived from [seed];
+    equal arguments replay identically.  Each case runs fault-free, then
+    twice under [profile] (the two faulted runs must produce identical
+    outcome digests).  [shed_budget] bounds the tolerated shed fraction
+    of sent messages (default 0.6 — the cases are built to overload). *)
+val run :
+  ?profile:Chaos.profile ->
+  ?shed_budget:float ->
+  seed:int ->
+  cases:int ->
+  ?tenants:int ->
+  ?messages:int ->
+  unit ->
+  report

@@ -352,7 +352,10 @@ module Histogram = struct
   let quantile (s : snapshot) (q : float) : float =
     if s.count = 0 then 0.
     else begin
-      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      (* every q maps to a defined rank: NaN and q <= 0 to the lowest
+         sample, q >= 1 to the highest; a single-sample snapshot has
+         min = max, so the clamp below returns that sample exactly *)
+      let q = if not (q >= 0.) then 0. else if q > 1. then 1. else q in
       let rank =
         let r = int_of_float (ceil (q *. float_of_int s.count)) in
         if r < 1 then 1 else r

@@ -125,7 +125,10 @@ module Histogram : sig
       observations from the bucket counts: the upper bound of the bucket
       holding the rank-[ceil (q * count)] sample, clamped to
       [\[s.min, s.max\]].  Deterministic for a given snapshot, so golden
-      tests can assert on it.  0. when the histogram is empty. *)
+      tests can assert on it.  Every input is defined: 0. when the
+      histogram is empty, the one observed value (for any [q], including
+      p999) on a single-sample snapshot, and [q] values outside [\[0, 1\]]
+      — or NaN — clamp to the nearest end of the range. *)
 end
 
 val default_latency_buckets : float list

@@ -276,6 +276,7 @@ type metrics = {
   mreg : Obs.t;
   compiles : Obs.Counter.h;
   cache_hits : Obs.Counter.h;
+  evictions : Obs.Counter.h;
   compile_ns : Obs.Histogram.h;
 }
 
@@ -285,6 +286,7 @@ let make_metrics reg =
     mreg = reg;
     compiles = Obs.Counter.make reg "codec.plan_compiles";
     cache_hits = Obs.Counter.make reg "codec.plan_cache_hits";
+    evictions = Obs.Counter.make reg "codec.plan_evictions";
     compile_ns = Obs.Histogram.make reg ~unit_:"ns" "codec.compile_ns";
   }
 
@@ -1145,7 +1147,103 @@ let morpher_formats m = (m.mfrom, m.minto)
 (* Per-format plans, both endians built lazily on first use.  Buckets hang
    off [Ptype.hash_record] and resolve collisions with structural equality.
    Bounded: hostile shipped meta-data can mint unlimited formats, so the
-   whole cache resets rather than grow without bound. *)
+   cache evicts its least-recently-used entry at the cap — a burst of fresh
+   formats cannot flush the hot ones (the old behaviour was a whole-cache
+   reset).  Evictions tick [codec.plan_evictions]. *)
+
+(* Bounded map with lazy-deletion LRU: each touch stamps the entry with a
+   fresh clock tick and pushes (entry, tick) on the queue; eviction pops
+   until it finds a pair whose tick still matches (stale pairs are
+   superseded touches).  The queue is compacted when it outgrows the live
+   entry count, keeping it O(live) amortised. *)
+module Lru = struct
+  type ('k, 'v) entry = {
+    ekey : 'k;
+    ev : 'v;
+    ehash : int;
+    mutable tick : int;
+    mutable alive : bool;
+  }
+
+  type ('k, 'v) t = {
+    table : (int, ('k, 'v) entry list) Hashtbl.t;
+    queue : (('k, 'v) entry * int) Queue.t;
+    equal : 'k -> 'k -> bool;
+    mutable count : int;
+    mutable clock : int;
+  }
+
+  let create ~equal n =
+    { table = Hashtbl.create n; queue = Queue.create (); equal; count = 0;
+      clock = 0 }
+
+  let size t = t.count
+
+  let compact t =
+    let q' = Queue.create () in
+    Queue.iter
+      (fun ((e, tk) as pair) -> if e.alive && e.tick = tk then Queue.push pair q')
+      t.queue;
+    Queue.clear t.queue;
+    Queue.transfer q' t.queue
+
+  let touch t e =
+    t.clock <- t.clock + 1;
+    e.tick <- t.clock;
+    Queue.push (e, t.clock) t.queue;
+    if Queue.length t.queue > (4 * t.count) + 64 then compact t
+
+  let find t ~hash k =
+    match Hashtbl.find_opt t.table hash with
+    | None -> None
+    | Some bucket ->
+      (match List.find_opt (fun e -> t.equal e.ekey k) bucket with
+       | Some e ->
+         touch t e;
+         Some e.ev
+       | None -> None)
+
+  (* Evict the least-recently-used live entry; [false] when empty. *)
+  let evict_one t =
+    let rec go () =
+      match Queue.take_opt t.queue with
+      | None -> false
+      | Some (e, tk) ->
+        if e.alive && e.tick = tk then begin
+          e.alive <- false;
+          let bucket =
+            Option.value ~default:[] (Hashtbl.find_opt t.table e.ehash)
+          in
+          (match List.filter (fun e' -> e' != e) bucket with
+           | [] -> Hashtbl.remove t.table e.ehash
+           | rest -> Hashtbl.replace t.table e.ehash rest);
+          t.count <- t.count - 1;
+          true
+        end
+        else go ()
+    in
+    go ()
+
+  (* Insert under [hash], evicting LRU entries down to [max - 1] first.
+     Returns how many entries were evicted. *)
+  let add t ~hash ~max k v =
+    let evicted = ref 0 in
+    while t.count >= max && evict_one t do
+      incr evicted
+    done;
+    let e = { ekey = k; ev = v; ehash = hash; tick = 0; alive = true } in
+    Hashtbl.replace t.table hash
+      (e :: Option.value ~default:[] (Hashtbl.find_opt t.table hash));
+    t.count <- t.count + 1;
+    touch t e;
+    !evicted
+
+  let reset t =
+    Hashtbl.reset t.table;
+    Queue.clear t.queue;
+    t.count <- 0;
+    t.clock <- 0
+end
 
 type plans = {
   enc_le : encoder Lazy.t;
@@ -1154,51 +1252,62 @@ type plans = {
   dec_be : decoder Lazy.t;
 }
 
-let max_cached_plans = 512
+let default_max_plans = 512
+let max_plans_ref = ref default_max_plans
 
-let plan_cache : (int, (Ptype.record * plans) list) Hashtbl.t = Hashtbl.create 64
-let plan_count = ref 0
+let set_max_plans n =
+  if n < 1 then invalid_arg "Codec.set_max_plans: must be >= 1";
+  max_plans_ref := n
+
+let max_plans () = !max_plans_ref
+
+let plan_cache : (Ptype.record, plans) Lru.t =
+  Lru.create ~equal:Ptype.equal_record 64
 
 type mplans = {
   mor_le : morpher Lazy.t;
   mor_be : morpher Lazy.t;
 }
 
-let morph_cache : (int, ((Ptype.record * Ptype.record) * mplans) list) Hashtbl.t =
-  Hashtbl.create 32
+let morph_cache : (Ptype.record * Ptype.record, mplans) Lru.t =
+  Lru.create
+    ~equal:(fun (f, i) (f', i') ->
+      Ptype.equal_record f f' && Ptype.equal_record i i')
+    32
 
-let morph_count = ref 0
+let plan_cache_size () = Lru.size plan_cache + Lru.size morph_cache
+
+let note_evictions n =
+  if n > 0 then begin
+    let m = !metrics in
+    if m.mon then Obs.Counter.add m.evictions n
+  end
 
 (* One-slot physical-identity memo in front of each hashed cache: almost
    every caller passes the same statically-defined [Ptype.record] value
    per message, and [Ptype.hash_record] walks the whole description — at
    100-byte messages that walk costs as much as decoding.  A [==] hit
    skips it; dynamically minted formats just fall through to the hashed
-   lookup. *)
+   lookup.  A memo hit does not refresh LRU order, but the memo only holds
+   while no other format interleaves — interleaved workloads go through
+   the hashed lookup and keep the hot entry recent. *)
 let last_plans : (Ptype.record * plans) option ref = ref None
 let last_mplans : ((Ptype.record * Ptype.record) * mplans) option ref = ref None
 
 let reset_plans () =
-  Hashtbl.reset plan_cache;
-  plan_count := 0;
-  Hashtbl.reset morph_cache;
-  morph_count := 0;
+  Lru.reset plan_cache;
+  Lru.reset morph_cache;
   last_plans := None;
   last_mplans := None
 
 let plans_for_slow (r : Ptype.record) : plans =
   let h = Ptype.hash_record r in
-  let bucket = Option.value ~default:[] (Hashtbl.find_opt plan_cache h) in
-  match List.find_opt (fun (r', _) -> Ptype.equal_record r r') bucket with
-  | Some (_, p) ->
+  match Lru.find plan_cache ~hash:h r with
+  | Some p ->
     let m = !metrics in
     if m.mon then Obs.Counter.incr m.cache_hits;
     p
   | None ->
-    if !plan_count >= max_cached_plans then begin
-      Hashtbl.reset plan_cache;
-      plan_count := 0
-    end;
     let p =
       {
         enc_le = lazy (compile_encode ~endian:Little r);
@@ -1207,9 +1316,7 @@ let plans_for_slow (r : Ptype.record) : plans =
         dec_be = lazy (compile_decode ~endian:Big r);
       }
     in
-    Hashtbl.replace plan_cache h
-      ((r, p) :: Option.value ~default:[] (Hashtbl.find_opt plan_cache h));
-    incr plan_count;
+    note_evictions (Lru.add plan_cache ~hash:h ~max:!max_plans_ref r p);
     p
 
 let plans_for (r : Ptype.record) : plans =
@@ -1233,34 +1340,20 @@ let decoder_for ~endian (r : Ptype.record) : decoder =
 
 let mplans_slow ~(from_ : Ptype.record) ~(into : Ptype.record) : mplans =
   let h = ((Ptype.hash_record from_ * 31) + Ptype.hash_record into) land max_int in
-  let bucket = Option.value ~default:[] (Hashtbl.find_opt morph_cache h) in
-  let p =
-    match
-      List.find_opt
-        (fun ((f, i), _) -> Ptype.equal_record f from_ && Ptype.equal_record i into)
-        bucket
-    with
-    | Some (_, p) ->
-      let m = !metrics in
-      if m.mon then Obs.Counter.incr m.cache_hits;
-      p
-    | None ->
-      if !morph_count >= max_cached_plans then begin
-        Hashtbl.reset morph_cache;
-        morph_count := 0
-      end;
-      let p =
-        {
-          mor_le = lazy (compile_morph ~endian:Little ~from_ ~into);
-          mor_be = lazy (compile_morph ~endian:Big ~from_ ~into);
-        }
-      in
-      Hashtbl.replace morph_cache h
-        (((from_, into), p) :: Option.value ~default:[] (Hashtbl.find_opt morph_cache h));
-      incr morph_count;
-      p
-  in
-  p
+  match Lru.find morph_cache ~hash:h (from_, into) with
+  | Some p ->
+    let m = !metrics in
+    if m.mon then Obs.Counter.incr m.cache_hits;
+    p
+  | None ->
+    let p =
+      {
+        mor_le = lazy (compile_morph ~endian:Little ~from_ ~into);
+        mor_be = lazy (compile_morph ~endian:Big ~from_ ~into);
+      }
+    in
+    note_evictions (Lru.add morph_cache ~hash:h ~max:!max_plans_ref (from_, into) p);
+    p
 
 let morpher_for ~endian ~(from_ : Ptype.record) ~(into : Ptype.record) : morpher =
   let p =

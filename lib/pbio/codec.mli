@@ -86,9 +86,11 @@ val morpher_formats : morpher -> Ptype.record * Ptype.record
 
 (** {1 Plan cache}
 
-    Global, bounded (reset past 512 formats so hostile shipped meta-data
-    cannot grow it without limit), keyed by {!Ptype.hash_record} with
-    structural equality.  Hits tick [codec.plan_cache_hits]. *)
+    Global, bounded (LRU-evicted at the cap — 512 entries per cache by
+    default — so hostile shipped meta-data cannot grow it without limit
+    and a burst of fresh formats cannot flush the hot ones), keyed by
+    {!Ptype.hash_record} with structural equality.  Hits tick
+    [codec.plan_cache_hits]; evictions tick [codec.plan_evictions]. *)
 
 val encoder_for : endian:endian -> Ptype.record -> encoder
 val decoder_for : endian:endian -> Ptype.record -> decoder
@@ -96,6 +98,16 @@ val morpher_for : endian:endian -> from_:Ptype.record -> into:Ptype.record -> mo
 
 (** Drop every cached plan (tests and long-lived fuzz drivers). *)
 val reset_plans : unit -> unit
+
+(** Cap on cached plan entries (applies separately to the format-plan and
+    morph-plan caches).  Raises [Invalid_argument] below 1.  The gateway
+    lowers this to bound broker-side memory (docs/GATEWAY.md). *)
+val set_max_plans : int -> unit
+
+val max_plans : unit -> int
+
+(** Live entries across both plan caches. *)
+val plan_cache_size : unit -> int
 
 (** {1 Interpretive reference implementation}
 

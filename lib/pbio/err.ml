@@ -6,6 +6,7 @@ type t =
   | `Type of string
   | `Xform of string
   | `No_match of string
+  | `Config of string
   | `Internal of string ]
 
 let tag : t -> string = function
@@ -16,11 +17,12 @@ let tag : t -> string = function
   | `Type _ -> "type"
   | `Xform _ -> "xform"
   | `No_match _ -> "no_match"
+  | `Config _ -> "config"
   | `Internal _ -> "internal"
 
 let message : t -> string = function
   | `Decode m | `Encode m | `Frame m | `Meta m | `Type m | `Xform m
-  | `No_match m | `Internal m ->
+  | `No_match m | `Config m | `Internal m ->
     m
 
 let to_string e = tag e ^ ": " ^ message e

@@ -14,6 +14,7 @@ type t =
   | `Type of string     (** value/type mismatch during conversion *)
   | `Xform of string    (** transformation failed to compile or run *)
   | `No_match of string (** receiver found no acceptable morph path *)
+  | `Config of string   (** out-of-range or contradictory configuration *)
   | `Internal of string (** invariant violation; please report *) ]
 
 val tag : t -> string

@@ -455,6 +455,13 @@ let rec handle_inner ep ~src (frame : Framing.frame) : unit =
       ~ctx:{ Obs.Trace.trace_id; span_id = parent_span }
       ep.obs "conn.deliver"
       (fun () -> handle_inner ep ~src frame)
+  | Framing.Described { tenant; _ } ->
+    (* gateway envelopes are terminated by a Gateway node, not a plain
+       endpoint: a Described frame here is a routing mistake, dropped
+       rather than mis-delivered without its admission context *)
+    Logs.warn (fun m ->
+        m "conn: dropping described frame for tenant %d at a plain endpoint \
+           (no gateway here)" tenant)
 
 let handle_frame ep ~src (payload : string) : unit =
   match Framing.decode payload with

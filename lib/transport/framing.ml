@@ -12,16 +12,25 @@
        retransmit protocol over a lossy network;
      - Traced: a trace-context envelope around a Meta/Data/Meta_request
        frame, carrying the sender's trace id and open span so the receiver
-       can continue the distributed trace (see Obs.Trace).
+       can continue the distributed trace (see Obs.Trace);
+     - Described: the gateway's self-describing envelope around a
+       Meta/Data/Meta_request frame — tenant id, format fingerprint and a
+       delivery deadline, so a multi-tenant gateway can route, admit and
+       shed before decoding the body (see docs/GATEWAY.md).
 
    Layout: 1-byte kind, 4-byte LE id field (format id, or sequence number
-   for Ack/Reliable; 0 for Traced), 4-byte LE body length, body.  A
-   Reliable body is the complete encoding of the inner frame; a Traced
-   body is 8-byte LE trace id, 8-byte LE parent span id, then the complete
-   encoding of the inner frame.  Nesting Reliable or Ack inside either
-   envelope is a protocol error, as is Traced inside Traced; the one legal
-   composition is Reliable around Traced (reliability is a hop property,
-   tracing an end-to-end one). *)
+   for Ack/Reliable; 0 for Traced; tenant id for Described), 4-byte LE
+   body length, body.  A Reliable body is the complete encoding of the
+   inner frame; a Traced body is 8-byte LE trace id, 8-byte LE parent
+   span id, then the complete encoding of the inner frame; a Described
+   body is 8-byte LE format fingerprint, 8-byte LE deadline (ns of
+   simulated time; 0 = none), then the complete encoding of the inner
+   frame.  Nesting Reliable or Ack inside an envelope is a protocol
+   error, as is Traced inside Traced or Described inside Described; the
+   legal compositions are Reliable around Traced or Described, and
+   Traced around Described (reliability is a hop property, tracing an
+   end-to-end one, and the description belongs to the innermost
+   payload). *)
 
 type frame =
   | Meta of { format_id : int; meta : string }
@@ -30,6 +39,7 @@ type frame =
   | Ack of { seq : int }
   | Reliable of { seq : int; frame : frame }
   | Traced of { trace_id : int; parent_span : int; frame : frame }
+  | Described of { tenant : int; fingerprint : int; deadline_ns : int; frame : frame }
 
 exception Frame_error of string
 
@@ -42,6 +52,7 @@ let kind_byte = function
   | Ack _ -> '\x04'
   | Reliable _ -> '\x05'
   | Traced _ -> '\x06'
+  | Described _ -> '\x07'
 
 let add_int64_le buf n = Buffer.add_int64_le buf (Int64.of_int n)
 
@@ -74,6 +85,24 @@ let rec encode (f : frame) : string =
          add_int64_le b parent_span;
          Buffer.add_string b (encode frame);
          (0, Buffer.contents b))
+    | Described { tenant; fingerprint; deadline_ns; frame } ->
+      (match frame with
+       | Ack _ | Reliable _ | Traced _ | Described _ ->
+         frame_error "cannot nest a %s frame inside a described envelope"
+           (match frame with
+            | Ack _ -> "ack"
+            | Reliable _ -> "reliable"
+            | Traced _ -> "traced"
+            | _ -> "described")
+       | _ ->
+         if tenant < 0 then frame_error "negative tenant id %d" tenant;
+         if fingerprint < 0 || deadline_ns < 0 then
+           frame_error "negative description (%d, %d)" fingerprint deadline_ns;
+         let b = Buffer.create 32 in
+         add_int64_le b fingerprint;
+         add_int64_le b deadline_ns;
+         Buffer.add_string b (encode frame);
+         (tenant, Buffer.contents b))
   in
   let buf = Buffer.create (9 + String.length body) in
   Buffer.add_char buf (kind_byte f);
@@ -111,6 +140,18 @@ let rec decode_exn (s : string) : frame =
     (match decode_exn (String.sub body 16 (len - 16)) with
      | Ack _ | Reliable _ | Traced _ -> frame_error "nested traced envelope"
      | inner -> Traced { trace_id; parent_span; frame = inner })
+  | '\x07' ->
+    if len < 16 then frame_error "described frame with a %d-byte body" len;
+    if id_field < 0 then frame_error "negative tenant id %d" id_field;
+    let fingerprint = Int64.to_int (String.get_int64_le body 0) in
+    let deadline_ns = Int64.to_int (String.get_int64_le body 8) in
+    if fingerprint < 0 || deadline_ns < 0 then
+      frame_error "negative description (%d, %d)" fingerprint deadline_ns;
+    (match decode_exn (String.sub body 16 (len - 16)) with
+     | Ack _ | Reliable _ | Traced _ | Described _ ->
+       frame_error "nested described envelope"
+     | inner ->
+       Described { tenant = id_field; fingerprint; deadline_ns; frame = inner })
   | c -> frame_error "unknown frame kind %C" c
 
 (* Total variant for untrusted input. *)

@@ -19,24 +19,43 @@ type frame =
       seq : int;
       frame : frame;
           (** the enveloped frame; never itself [Reliable] or [Ack], but
-              possibly [Traced] *)
+              possibly [Traced] or [Described] *)
     }
   | Traced of {
       trace_id : int;
       parent_span : int;
       frame : frame;
-          (** the enveloped frame; never itself an envelope or [Ack] *)
+          (** the enveloped frame; never itself [Reliable], [Traced] or
+              [Ack], but possibly [Described] *)
     }
       (** Carries the sender's {!Obs.Trace.ctx} so the receiver parents
           its delivery spans under the sender's open span.  [Reliable]
           composes {e around} [Traced], never inside it: reliability is a
           per-hop concern, tracing an end-to-end one. *)
+  | Described of {
+      tenant : int;
+      fingerprint : int;
+          (** the sender's fingerprint of the inner message's wire format
+              (see [Gateway.fingerprint]); lets the gateway route to a
+              cached plan without decoding the body *)
+      deadline_ns : int;
+          (** absolute delivery deadline in nanoseconds of simulated time;
+              [0] means no deadline.  Work past its deadline is shed
+              before decode. *)
+      frame : frame;  (** the enveloped frame; never itself an envelope or [Ack] *)
+    }
+      (** The gateway's self-describing envelope (docs/GATEWAY.md):
+          enough routing and admission context — tenant, format
+          fingerprint, deadline — to admit, shed or route a message
+          without touching its payload.  [Reliable] and [Traced] may
+          compose around [Described], never inside it. *)
 
 exception Frame_error of string
 
 (** Raises {!Frame_error} when asked to nest [Reliable]/[Ack] inside a
-    reliable envelope, an envelope or [Ack] inside a traced envelope, or
-    encode a negative trace context. *)
+    reliable envelope, an envelope or [Ack] inside a traced or described
+    envelope, or encode a negative trace context / tenant / fingerprint /
+    deadline. *)
 val encode : frame -> string
 
 (** Total on untrusted input: malformed frames are [Error (`Frame _)]. *)

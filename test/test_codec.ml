@@ -223,6 +223,42 @@ let test_morph_plan_cached () =
       Alcotest.(check bool) "repeat lookups hit" true
         (Obs.Counter.value reg "codec.plan_cache_hits" >= 4))
 
+(* Regression for the LRU bound: a stream of hundreds of distinct formats
+   (a hostile or churning peer) must not flush the hot format's plan —
+   recency keeps it resident while the one-shot plans cycle through the
+   tail of the cache. *)
+let test_plan_cache_lru_keeps_hot_format () =
+  with_codec_metrics (fun reg ->
+      let saved = Codec.max_plans () in
+      Fun.protect
+        ~finally:(fun () -> Codec.set_max_plans saved)
+        (fun () ->
+           Codec.set_max_plans 32;
+           let hot = fmt "format Hot { int x; string s; }" in
+           let v = Value.record [ ("x", Value.Int 1); ("s", Value.String "a") ] in
+           let use_hot () =
+             ignore
+               (Codec.encode_payload (Codec.encoder_for ~endian:Codec.Little hot) v)
+           in
+           use_hot ();
+           let after_hot = Obs.Counter.value reg "codec.plan_compiles" in
+           for i = 0 to 519 do
+             let r = fmt (Printf.sprintf "format F%d { int a%d; }" i i) in
+             ignore (Codec.encoder_for ~endian:Codec.Little r);
+             use_hot ()
+           done;
+           Alcotest.(check int) "each fresh format compiled once"
+             (after_hot + 520)
+             (Obs.Counter.value reg "codec.plan_compiles");
+           Alcotest.(check bool) "the churn evicted plans" true
+             (Obs.Counter.value reg "codec.plan_evictions" >= 488);
+           Alcotest.(check bool) "cache stayed within its bound" true
+             (Codec.plan_cache_size () <= 32);
+           let before = Obs.Counter.value reg "codec.plan_compiles" in
+           use_hot ();
+           Alcotest.(check int) "hot format never recompiled" before
+             (Obs.Counter.value reg "codec.plan_compiles")))
+
 let suite =
   [
     Alcotest.test_case "compiled = interpretive on fixtures" `Quick
@@ -241,4 +277,6 @@ let suite =
       test_hostile_length_rejected_cheaply;
     Alcotest.test_case "plan cache compiles once" `Quick test_plan_cache_compiles_once;
     Alcotest.test_case "fused plans cached" `Quick test_morph_plan_cached;
+    Alcotest.test_case "lru keeps the hot format under churn" `Quick
+      test_plan_cache_lru_keeps_hot_format;
   ]

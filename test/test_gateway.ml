@@ -1,0 +1,630 @@
+(* The multi-tenant morphing gateway: circuit breaker, shared plan cache,
+   degradation governor, Described-envelope admission, singleflight
+   compile coalescing, parity across the ladder, and the 1k-tenant
+   overload acceptance run (docs/GATEWAY.md). *)
+
+open Pbio
+module G = Gateway
+module PC = Gateway.Plan_cache
+module Gov = Gateway.Governor
+module Breaker = Morph.Breaker
+module Netsim = Transport.Netsim
+module Contact = Transport.Contact
+module Framing = Transport.Framing
+module L = Loadgen
+module D = Loadgen.Dist
+module P = Loadgen.Population
+
+let state_t : Breaker.state Alcotest.testable =
+  Alcotest.testable Breaker.pp_state ( = )
+
+let rung_t : G.rung Alcotest.testable = Alcotest.testable Gov.pp_rung ( = )
+
+(* --- circuit breaker --------------------------------------------------------- *)
+
+let test_breaker_trip_and_recover () =
+  let b = Breaker.create ~threshold:3 ~cooldown_s:0.1 () in
+  Alcotest.check state_t "starts closed" Breaker.Closed (Breaker.state b);
+  Alcotest.(check bool) "admits when closed" true (Breaker.admit b ~now:0.);
+  Alcotest.(check bool) "1st failure" false (Breaker.record_failure b ~now:0.);
+  Alcotest.(check bool) "2nd failure" false (Breaker.record_failure b ~now:0.);
+  Alcotest.(check bool) "3rd failure trips" true (Breaker.record_failure b ~now:0.);
+  Alcotest.check state_t "open after trip" Breaker.Open (Breaker.state b);
+  Alcotest.(check bool) "open blocks" false (Breaker.admit b ~now:0.05);
+  Alcotest.(check bool) "cooldown elapses -> probe admitted" true
+    (Breaker.admit b ~now:0.11);
+  Alcotest.check state_t "half-open during probe" Breaker.Half_open
+    (Breaker.state b);
+  Alcotest.(check bool) "probe success closes" true (Breaker.record_success b);
+  Alcotest.check state_t "closed again" Breaker.Closed (Breaker.state b);
+  Alcotest.(check bool) "success when closed returns false" false
+    (Breaker.record_success b);
+  Alcotest.(check int) "one trip recorded" 1 (Breaker.trips b)
+
+let test_breaker_half_open_failure_retrips () =
+  let b = Breaker.create ~threshold:2 ~cooldown_s:0.1 () in
+  ignore (Breaker.record_failure b ~now:0. : bool);
+  ignore (Breaker.record_failure b ~now:0. : bool);
+  Alcotest.(check bool) "probe at 0.15" true (Breaker.admit b ~now:0.15);
+  Alcotest.(check bool) "probe failure re-trips" true
+    (Breaker.record_failure b ~now:0.15);
+  Alcotest.check state_t "open again" Breaker.Open (Breaker.state b);
+  (* the cooldown restarts from the re-trip *)
+  Alcotest.(check bool) "still open at 0.2" false (Breaker.admit b ~now:0.2);
+  Alcotest.(check bool) "probes again at 0.26" true (Breaker.admit b ~now:0.26);
+  Alcotest.(check int) "two trips" 2 (Breaker.trips b)
+
+let test_breaker_no_cooldown_stays_open () =
+  let b = Breaker.create ~threshold:1 () in
+  Alcotest.(check bool) "trips" true (Breaker.record_failure b ~now:0.);
+  Alcotest.(check bool) "never half-opens" false (Breaker.admit b ~now:1e9);
+  Breaker.reset b;
+  Alcotest.check state_t "reset closes" Breaker.Closed (Breaker.state b)
+
+(* --- shared plan cache -------------------------------------------------------- *)
+
+let test_plan_cache_lru_and_stats () =
+  let evicted = ref [] in
+  let c =
+    PC.create ~max_entries:3
+      ~on_evict:(fun ~tenant ~key -> evicted := (tenant, key) :: !evicted)
+      ()
+  in
+  PC.add c ~tenant:1 ~key:10 ~cost:1. "a";
+  PC.add c ~tenant:1 ~key:11 ~cost:1. "b";
+  PC.add c ~tenant:2 ~key:12 ~cost:1. "c";
+  (* touch 10 so 11 becomes the LRU *)
+  Alcotest.(check (option string)) "hit" (Some "a") (PC.find c ~tenant:1 ~key:10);
+  PC.add c ~tenant:2 ~key:13 ~cost:1. "d";
+  Alcotest.(check (list (pair int int))) "11 evicted" [ (1, 11) ] !evicted;
+  Alcotest.(check (option string)) "evictee gone" None (PC.find c ~tenant:1 ~key:11);
+  let s = PC.stats c in
+  Alcotest.(check int) "entries" 3 s.PC.entries;
+  Alcotest.(check int) "high water" 3 s.PC.high_water;
+  Alcotest.(check int) "evictions" 1 s.PC.evictions;
+  Alcotest.(check int) "hits" 1 s.PC.hits;
+  Alcotest.(check int) "misses" 1 s.PC.misses
+
+let test_plan_cache_tenant_quota () =
+  let c = PC.create ~max_entries:100 ~tenant_quota:2 () in
+  PC.add c ~tenant:7 ~key:1 ~cost:1. "a";
+  PC.add c ~tenant:8 ~key:2 ~cost:1. "n";
+  PC.add c ~tenant:7 ~key:3 ~cost:1. "b";
+  PC.add c ~tenant:7 ~key:4 ~cost:1. "c";
+  (* tenant 7 paid with its own LRU entry; tenant 8 is untouched *)
+  Alcotest.(check int) "tenant 7 at quota" 2 (PC.tenant_count c 7);
+  Alcotest.(check (option string)) "7's oldest gone" None (PC.find c ~tenant:7 ~key:1);
+  Alcotest.(check (option string)) "neighbour intact" (Some "n")
+    (PC.find c ~tenant:8 ~key:2);
+  let s = PC.stats c in
+  Alcotest.(check int) "quota eviction counted" 1 s.PC.quota_evictions;
+  Alcotest.(check int) "also a plain eviction" 1 s.PC.evictions
+
+let test_plan_cache_cost_bound () =
+  let c = PC.create ~max_entries:100 ~max_cost:10. () in
+  PC.add c ~tenant:1 ~key:1 ~cost:4. "a";
+  PC.add c ~tenant:1 ~key:2 ~cost:4. "b";
+  (* 4 + 4 + 6 > 10: evicts until the newcomer fits *)
+  PC.add c ~tenant:1 ~key:3 ~cost:6. "c";
+  Alcotest.(check bool) "cost within bound" true (PC.cost c <= 10.);
+  Alcotest.(check (option string)) "oldest evicted" None (PC.find c ~tenant:1 ~key:1);
+  Alcotest.(check (option string)) "newcomer cached" (Some "c")
+    (PC.find c ~tenant:1 ~key:3)
+
+let test_plan_cache_replace_and_drop () =
+  let evictions = ref 0 in
+  let c = PC.create ~max_entries:10 ~on_evict:(fun ~tenant:_ ~key:_ -> incr evictions) () in
+  PC.add c ~tenant:1 ~key:1 ~cost:1. "a";
+  PC.add c ~tenant:1 ~key:1 ~cost:2. "a2";
+  Alcotest.(check int) "replace is not an eviction" 0 !evictions;
+  Alcotest.(check (option string)) "replaced" (Some "a2") (PC.find c ~tenant:1 ~key:1);
+  Alcotest.(check int) "one entry" 1 (PC.size c);
+  PC.add c ~tenant:1 ~key:2 ~cost:1. "b";
+  PC.add c ~tenant:2 ~key:3 ~cost:1. "z";
+  Alcotest.(check int) "drop removes the tenant's entries" 2 (PC.drop_tenant c 1);
+  Alcotest.(check int) "offboarding is not an eviction" 0 !evictions;
+  Alcotest.(check int) "neighbour remains" 1 (PC.size c)
+
+(* --- degradation governor ------------------------------------------------------ *)
+
+let gov_cfg =
+  { Gov.window_s = 0.1; budget = 100.; interp_over = 3.; shed_evictions = 4 }
+
+let test_governor_ladder () =
+  let g = Gov.create gov_cfg in
+  Alcotest.check rung_t "idle -> fused" Gov.Fused (Gov.rung g ~now:0.);
+  Gov.charge g ~now:0. 90.;
+  Alcotest.check rung_t "under budget -> fused" Gov.Fused (Gov.rung g ~now:0.);
+  Gov.charge g ~now:0. 90.;
+  Alcotest.check rung_t "over budget -> staged" Gov.Staged (Gov.rung g ~now:0.);
+  Gov.charge g ~now:0. 200.;
+  Alcotest.check rung_t "over 3x budget -> interp" Gov.Interp (Gov.rung g ~now:0.);
+  for _ = 1 to 5 do
+    Gov.note_eviction g ~now:0.
+  done;
+  Alcotest.check rung_t "cache thrash -> shed" Gov.Shed (Gov.rung g ~now:0.)
+
+let test_governor_decay_recovers () =
+  let g = Gov.create gov_cfg in
+  Gov.charge g ~now:0. 500.;
+  Alcotest.check rung_t "saturated" Gov.Interp (Gov.rung g ~now:0.);
+  (* one window halves the spend: 250 -> staged *)
+  Alcotest.check rung_t "one window later" Gov.Staged (Gov.rung g ~now:0.1);
+  (* two more halvings: 62.5 -> fused (0.35, not 0.3: window edges land
+     on inexact floats) *)
+  Alcotest.check rung_t "three windows later" Gov.Fused (Gov.rung g ~now:0.35);
+  Gov.charge g ~now:0.3 1e9;
+  (* a long idle gap clears the state entirely *)
+  Alcotest.check rung_t "after a long gap" Gov.Fused (Gov.rung g ~now:100.)
+
+let test_governor_validation () =
+  let bad f = Alcotest.check_raises "rejected" (Invalid_argument (f ())) in
+  bad
+    (fun () -> "Governor.create: window_s must be > 0")
+    (fun () -> ignore (Gov.create { gov_cfg with Gov.window_s = 0. }));
+  bad
+    (fun () -> "Governor.create: budget must be > 0")
+    (fun () -> ignore (Gov.create { gov_cfg with Gov.budget = 0. }));
+  bad
+    (fun () -> "Governor.create: interp_over must be >= 1")
+    (fun () -> ignore (Gov.create { gov_cfg with Gov.interp_over = 0.5 }));
+  bad
+    (fun () -> "Governor.create: shed_evictions must be >= 0")
+    (fun () -> ignore (Gov.create { gov_cfg with Gov.shed_evictions = -1 }))
+
+(* --- the Described envelope ------------------------------------------------------ *)
+
+let test_described_roundtrip () =
+  let data = Framing.Data { format_id = 3; message = "payload" } in
+  let roundtrip f =
+    match Framing.decode (Framing.encode f) with
+    | Ok f' -> Alcotest.(check bool) "roundtrip" true (f = f')
+    | Error e -> Alcotest.failf "did not decode: %s" (Err.to_string e)
+  in
+  roundtrip
+    (Framing.Described { tenant = 42; fingerprint = 0x1234_5678_9abc; deadline_ns = 77; frame = data });
+  roundtrip
+    (Framing.Described { tenant = 0; fingerprint = 0; deadline_ns = 0;
+                         frame = Framing.Meta { format_id = 1; meta = "m" } });
+  (* tracing and reliability compose around the envelope *)
+  roundtrip
+    (Framing.Traced
+       { trace_id = 9; parent_span = 8;
+         frame = Framing.Described
+             { tenant = 1; fingerprint = 2; deadline_ns = 3; frame = data } });
+  roundtrip
+    (Framing.Reliable
+       { seq = 5;
+         frame = Framing.Described
+             { tenant = 1; fingerprint = 2; deadline_ns = 3; frame = data } })
+
+let test_described_hostile () =
+  let data = Framing.Data { format_id = 1; message = "x" } in
+  let raises f =
+    match Framing.encode f with
+    | exception Framing.Frame_error _ -> ()
+    | _ -> Alcotest.fail "hostile frame encoded"
+  in
+  raises (Framing.Described { tenant = -1; fingerprint = 0; deadline_ns = 0; frame = data });
+  raises (Framing.Described { tenant = 0; fingerprint = -1; deadline_ns = 0; frame = data });
+  raises (Framing.Described { tenant = 0; fingerprint = 0; deadline_ns = -1; frame = data });
+  raises
+    (Framing.Described
+       { tenant = 0; fingerprint = 0; deadline_ns = 0;
+         frame = Framing.Described { tenant = 1; fingerprint = 0; deadline_ns = 0; frame = data } });
+  raises
+    (Framing.Described
+       { tenant = 0; fingerprint = 0; deadline_ns = 0; frame = Framing.Ack { seq = 1 } });
+  (* truncated described bodies decode to errors, never exceptions *)
+  let good =
+    Framing.encode
+      (Framing.Described { tenant = 7; fingerprint = 9; deadline_ns = 5; frame = data })
+  in
+  for len = 0 to String.length good - 1 do
+    match Framing.decode (String.sub good 0 len) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation to %d decoded" len
+  done
+
+(* --- gateway end-to-end ----------------------------------------------------------- *)
+
+(* A two-lineage population: [pv k v] is version [v] of lineage [k]. *)
+let mk_net ?(seed = 42) () = Netsim.create ~seed ()
+
+let pop_of_seed seed = P.make ~versions:3 ~seed ()
+
+let data_frame ?(deadline_ns = 0) ~tenant (v : P.version) =
+  G.envelope ~tenant ~fingerprint:(G.fingerprint v.P.meta) ~deadline_ns
+    (Framing.Data { format_id = v.P.index; message = v.P.bytes })
+
+let meta_frame ~tenant (v : P.version) =
+  G.envelope ~tenant ~fingerprint:(G.fingerprint v.P.meta)
+    (Framing.Meta { format_id = v.P.index; meta = Meta.encode v.P.meta })
+
+(* Reference outcome for a v0 message: identity morph, so just the
+   interpretive decode re-encoded canonically.  Evolved versions have no
+   independent byte oracle here — the gateway may pick any qualifying
+   morph path — so those rely on the gateway's own parity cross-check
+   plus cross-rung equality below. *)
+let v0_reference_bytes (pop : P.t) : string =
+  let v = (P.versions pop).(0) in
+  let value =
+    match Wire.decode v.P.format v.P.bytes with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "reference decode: %s" (Err.to_string e)
+  in
+  Codec.Interp.encode_payload ~endian:Codec.Little (P.base pop) value
+
+let delivered_bytes (pop : P.t) (d : G.delivery) : string =
+  Codec.Interp.encode_payload ~endian:Codec.Little (P.base pop) d.G.value
+
+let test_gateway_onboard_and_deliver () =
+  let net = mk_net () in
+  let pop = pop_of_seed 42 in
+  let pvs = P.versions pop in
+  let deliveries = ref [] in
+  let gwc = Contact.make "gw" 1 in
+  let config = { G.default_config with G.parity = true } in
+  let gw = G.create ~config ~net gwc (fun d -> deliveries := d :: !deliveries) in
+  G.attach gw;
+  let tenant_c = Contact.make "tenant" 3 in
+  let send frame = Netsim.send net ~src:tenant_c ~dst:gwc (Framing.encode frame) in
+  (* self-describing onboarding: the first push creates tenant 3 and pins
+     the lineage base as its target *)
+  send (meta_frame ~tenant:3 pvs.(0));
+  send (meta_frame ~tenant:3 pvs.(2));
+  ignore (Netsim.run net);
+  Alcotest.(check int) "tenant onboarded" 1 (G.tenant_count gw);
+  send (data_frame ~tenant:3 pvs.(0));
+  send (data_frame ~tenant:3 pvs.(2));
+  ignore (Netsim.run net);
+  let s = G.stats gw in
+  Alcotest.(check int) "both delivered" 2 s.G.delivered;
+  Alcotest.(check int) "two plans compiled" 2 s.G.plan_compiles;
+  Alcotest.(check int) "nothing shed" 0 (G.shed_total s);
+  (* an unpressured governor compiles at the top rung of each shape *)
+  Alcotest.(check int) "no degraded deliveries" 0 s.G.degraded_deliveries;
+  Alcotest.(check bool) "the v0 identity plan fuses" true (s.G.delivered_fused >= 1);
+  (* every delivery survived the built-in interpretive cross-check *)
+  Alcotest.(check int) "parity clean" 0 s.G.parity_mismatches;
+  let v0_fp = G.fingerprint pvs.(0).P.meta in
+  List.iter
+    (fun (d : G.delivery) ->
+       if d.G.fingerprint = v0_fp then
+         Alcotest.(check string) "v0 delivery matches the reference"
+           (v0_reference_bytes pop) (delivered_bytes pop d))
+    !deliveries;
+  (* cached plans: no further compiles *)
+  send (data_frame ~tenant:3 pvs.(2));
+  ignore (Netsim.run net);
+  Alcotest.(check int) "cache hit, no recompile" 2 (G.stats gw).G.plan_compiles
+
+let test_gateway_sheds_expired_before_decode () =
+  let net = mk_net () in
+  let pop = pop_of_seed 42 in
+  let pvs = P.versions pop in
+  let gw = G.create ~net (Contact.make "gw" 1) (fun _ -> ()) in
+  ignore (G.handle_frame gw (meta_frame ~tenant:1 pvs.(0)) : G.outcome);
+  (* advance the virtual clock so a tiny absolute deadline is in the past *)
+  Netsim.after net 0.01 (fun () -> ());
+  ignore (Netsim.run net);
+  (* an undecodable body with an expired deadline must be shed, not
+     rejected: the deadline gate runs before any decode work *)
+  let garbage =
+    G.envelope ~tenant:1 ~fingerprint:(G.fingerprint pvs.(0).P.meta)
+      ~deadline_ns:1
+      (Framing.Data { format_id = 0; message = "\xff\xff not a message" })
+  in
+  (match G.handle_frame gw garbage with
+   | G.Shed G.Deadline -> ()
+   | _ -> Alcotest.fail "expected a deadline shed");
+  let s = G.stats gw in
+  Alcotest.(check int) "shed_deadline" 1 s.G.shed_deadline;
+  Alcotest.(check int) "not admitted" 0 s.G.admitted;
+  Alcotest.(check int) "not rejected" 0 s.G.rejected;
+  (* unknown tenants shed too, before any tenant state is created *)
+  (match G.handle_frame gw (data_frame ~tenant:99 pvs.(0)) with
+   | G.Shed G.Unknown_tenant -> ()
+   | _ -> Alcotest.fail "expected an unknown-tenant shed")
+
+let test_gateway_quota_shed () =
+  let net = mk_net () in
+  let pop = pop_of_seed 42 in
+  let pvs = P.versions pop in
+  let config = { G.default_config with G.admit_rate = 1.; admit_burst = 1. } in
+  let gw = G.create ~config ~net (Contact.make "gw" 1) (fun _ -> ()) in
+  ignore (G.handle_frame gw (meta_frame ~tenant:1 pvs.(0)) : G.outcome);
+  (match G.handle_frame gw (data_frame ~tenant:1 pvs.(0)) with
+   | G.Parked -> ()
+   | _ -> Alcotest.fail "first message should park behind its compile");
+  (match G.handle_frame gw (data_frame ~tenant:1 pvs.(0)) with
+   | G.Shed G.Quota -> ()
+   | _ -> Alcotest.fail "second message should exhaust the bucket");
+  Alcotest.(check int) "shed_quota" 1 (G.stats gw).G.shed_quota;
+  ignore (Netsim.run net);
+  Alcotest.(check int) "the admitted one still delivers" 1 (G.stats gw).G.delivered
+
+let test_gateway_breaker_trip_and_probe () =
+  let net = mk_net () in
+  let pop = pop_of_seed 42 in
+  let pvs = P.versions pop in
+  let config =
+    { G.default_config with G.breaker_threshold = 3; breaker_cooldown_s = Some 0.05 }
+  in
+  let gw = G.create ~config ~net (Contact.make "gw" 1) (fun _ -> ()) in
+  ignore (G.handle_frame gw (meta_frame ~tenant:1 pvs.(0)) : G.outcome);
+  let good = data_frame ~tenant:1 pvs.(0) in
+  let corrupt =
+    (* a valid header with a truncated payload: decodes start, then fail *)
+    G.envelope ~tenant:1 ~fingerprint:(G.fingerprint pvs.(0).P.meta)
+      (Framing.Data
+         { format_id = 0;
+           message = String.sub pvs.(0).P.bytes 0 (Codec.header_size + 1) })
+  in
+  ignore (G.handle_frame gw good : G.outcome);
+  ignore (Netsim.run net);
+  Alcotest.(check int) "plan warm" 1 (G.stats gw).G.delivered;
+  for _ = 1 to 3 do
+    ignore (G.handle_frame gw corrupt : G.outcome)
+  done;
+  let s = G.stats gw in
+  Alcotest.(check int) "three rejections" 3 s.G.rejected;
+  Alcotest.(check int) "circuit tripped" 1 s.G.breaker_trips;
+  Alcotest.check (Alcotest.option state_t) "open" (Some Breaker.Open)
+    (G.breaker_state gw 1);
+  Alcotest.(check int) "one open breaker" 1 (G.breakers_open gw);
+  (match G.handle_frame gw good with
+   | G.Shed G.Breaker -> ()
+   | _ -> Alcotest.fail "open circuit should shed");
+  (* past the cooldown the circuit half-opens; a good probe closes it *)
+  Netsim.after net 0.06 (fun () ->
+      match G.handle_frame gw good with
+      | G.Delivered _ -> ()
+      | _ -> Alcotest.fail "half-open probe should deliver");
+  ignore (Netsim.run net);
+  Alcotest.check (Alcotest.option state_t) "closed again" (Some Breaker.Closed)
+    (G.breaker_state gw 1);
+  Alcotest.(check int) "recovery counted" 1 (G.stats gw).G.breaker_recoveries;
+  Alcotest.(check int) "no open breakers" 0 (G.breakers_open gw)
+
+let test_gateway_singleflight () =
+  let net = mk_net () in
+  let pop = pop_of_seed 42 in
+  let pvs = P.versions pop in
+  (* compiles take simulated time, so a burst lands while one is in flight *)
+  let config = { G.default_config with G.compile_s_per_unit = 1e-3 } in
+  let gw = G.create ~config ~net (Contact.make "gw" 1) (fun _ -> ()) in
+  ignore (G.handle_frame gw (meta_frame ~tenant:1 pvs.(2)) : G.outcome);
+  for _ = 1 to 10 do
+    ignore (G.handle_frame gw (data_frame ~tenant:1 pvs.(2)) : G.outcome)
+  done;
+  Alcotest.(check int) "ten parked" 10 (G.pending_depth gw);
+  ignore (Netsim.run net);
+  let s = G.stats gw in
+  Alcotest.(check int) "one compile for the whole burst" 1 s.G.plan_compiles;
+  Alcotest.(check int) "nine coalesced" 9 s.G.singleflight_coalesced;
+  Alcotest.(check int) "all delivered at flush" 10 s.G.delivered;
+  Alcotest.(check int) "queue drained" 0 (G.pending_depth gw)
+
+let test_gateway_pending_cap_sheds () =
+  let net = mk_net () in
+  let pop = pop_of_seed 42 in
+  let pvs = P.versions pop in
+  let config =
+    { G.default_config with G.compile_s_per_unit = 1e-3; pending_cap = 4 }
+  in
+  let gw = G.create ~config ~net (Contact.make "gw" 1) (fun _ -> ()) in
+  ignore (G.handle_frame gw (meta_frame ~tenant:1 pvs.(2)) : G.outcome);
+  for _ = 1 to 10 do
+    ignore (G.handle_frame gw (data_frame ~tenant:1 pvs.(2)) : G.outcome)
+  done;
+  let s = G.stats gw in
+  Alcotest.(check int) "overflow shed" 6 s.G.shed_overload;
+  ignore (Netsim.run net);
+  Alcotest.(check int) "capped queue delivered" 4 (G.stats gw).G.delivered
+
+let test_gateway_recompile_after_eviction () =
+  let net = mk_net () in
+  let pop = pop_of_seed 42 in
+  let pvs = P.versions pop in
+  (* room for one plan per tenant: pushing a second format evicts the
+     first, and returning to it is a recompile *)
+  let config = { G.default_config with G.max_plans = 1; tenant_quota = 1 } in
+  let gw = G.create ~config ~net (Contact.make "gw" 1) (fun _ -> ()) in
+  ignore (G.handle_frame gw (meta_frame ~tenant:1 pvs.(0)) : G.outcome);
+  ignore (G.handle_frame gw (meta_frame ~tenant:1 pvs.(1)) : G.outcome);
+  ignore (G.handle_frame gw (data_frame ~tenant:1 pvs.(0)) : G.outcome);
+  ignore (Netsim.run net);
+  ignore (G.handle_frame gw (data_frame ~tenant:1 pvs.(1)) : G.outcome);
+  ignore (Netsim.run net);
+  ignore (G.handle_frame gw (data_frame ~tenant:1 pvs.(0)) : G.outcome);
+  ignore (Netsim.run net);
+  let s = G.stats gw in
+  let c = G.cache_stats gw in
+  Alcotest.(check int) "three compiles" 3 s.G.plan_compiles;
+  Alcotest.(check int) "one was a recompile" 1 s.G.plan_recompiles;
+  Alcotest.(check bool) "cache stayed within its bound" true
+    (c.PC.high_water <= 1);
+  Alcotest.(check int) "all delivered regardless" 3 s.G.delivered
+
+(* Parity across the ladder: the same messages forced through each rung
+   must deliver byte-identical values. *)
+let test_gateway_rung_parity () =
+  let pop = pop_of_seed 42 in
+  let pvs = P.versions pop in
+  let run_mode mode =
+    let net = mk_net () in
+    let out = ref [] in
+    let config = { G.default_config with G.mode_override = Some mode; parity = true } in
+    let gw =
+      G.create ~config ~net (Contact.make "gw" 1)
+        (fun d -> out := delivered_bytes pop d :: !out)
+    in
+    ignore (G.handle_frame gw (meta_frame ~tenant:1 pvs.(0)) : G.outcome);
+    ignore (G.handle_frame gw (meta_frame ~tenant:1 pvs.(1)) : G.outcome);
+    ignore (G.handle_frame gw (meta_frame ~tenant:1 pvs.(2)) : G.outcome);
+    for v = 0 to 2 do
+      ignore (G.handle_frame gw (data_frame ~tenant:1 pvs.(v)) : G.outcome)
+    done;
+    ignore (Netsim.run net);
+    Alcotest.(check int)
+      (Printf.sprintf "%s: all delivered" (Gov.rung_to_string mode))
+      3 (G.stats gw).G.delivered;
+    Alcotest.(check int)
+      (Printf.sprintf "%s: parity clean" (Gov.rung_to_string mode))
+      0 (G.stats gw).G.parity_mismatches;
+    List.rev !out
+  in
+  (* per-rung compile costs differ, so flush order may too: compare as
+     multisets *)
+  let fused = List.sort compare (run_mode G.Fused) in
+  let staged = List.sort compare (run_mode G.Staged) in
+  let interp = List.sort compare (run_mode G.Interp) in
+  Alcotest.(check (list string)) "fused = staged" fused staged;
+  Alcotest.(check (list string)) "fused = interp" fused interp;
+  (* the v0 identity delivery also matches the independent reference *)
+  Alcotest.(check bool) "v0 reference present" true
+    (List.mem (v0_reference_bytes pop) fused)
+
+let test_gateway_degrades_under_compile_pressure () =
+  let net = mk_net () in
+  let pop = pop_of_seed 42 in
+  let pvs = P.versions pop in
+  let config =
+    { G.default_config with
+      G.governor =
+        { Gov.window_s = 10.; budget = 1.; interp_over = 3.; shed_evictions = 0 };
+      parity = true }
+  in
+  let out = ref [] in
+  let gw =
+    G.create ~config ~net (Contact.make "gw" 1)
+      (fun d -> out := d :: !out)
+  in
+  (* three tenants, three compiles: the first fits the 1-unit budget's
+     Fused rung, the spend then pins the ladder down for the others *)
+  for tenant = 1 to 3 do
+    ignore (G.handle_frame gw (meta_frame ~tenant pvs.(0)) : G.outcome);
+    ignore (G.handle_frame gw (data_frame ~tenant pvs.(0)) : G.outcome);
+    ignore (Netsim.run net)
+  done;
+  let s = G.stats gw in
+  Alcotest.(check int) "all delivered" 3 s.G.delivered;
+  Alcotest.(check bool) "some deliveries degraded" true (s.G.degraded_deliveries > 0);
+  Alcotest.check rung_t "ladder pinned down" G.Interp (G.degrade_rung gw);
+  Alcotest.(check int) "degradation never changes bytes" 0 s.G.parity_mismatches;
+  let reference = v0_reference_bytes pop in
+  List.iter
+    (fun d ->
+       Alcotest.(check string) "byte-identical at every rung" reference
+         (delivered_bytes pop d))
+    !out
+
+(* --- the acceptance run: 1k tenants, 3x nominal, mass schema push ------------- *)
+
+let acceptance_cfg =
+  { L.default_gateway with
+    L.g_tenants = 1_000;
+    g_lineages = 8;
+    g_dist = D.Poisson 12_000.;  (* 3x the 4k/s nominal *)
+    g_duration_s = 0.3;
+    g_versions = 3;
+    g_push_at = [ 0.1 ];  (* mass schema push mid-run *)
+    g_deadline_s = 0.02;
+    g_samples = 6;
+    g_seed = 7;
+    g_gateway =
+      { G.default_config with
+        G.max_plans = 512;
+        tenant_quota = 4;
+        admit_rate = 200.;
+        admit_burst = 30.;
+        parity = true } }
+
+let test_gateway_acceptance () =
+  let r = L.run_gateway acceptance_cfg in
+  let s = r.L.g_stats in
+  let c = r.L.g_cache in
+  Alcotest.(check bool) "network quiesced" true r.L.g_quiesced;
+  Alcotest.(check bool) "real load" true (r.L.g_sent > 2_000);
+  Alcotest.(check bool) "the storm recompiled plans" true (s.G.plan_recompiles > 0);
+  (* bounded memory: the shared cache never exceeded its configured cap,
+     1k tenants notwithstanding *)
+  Alcotest.(check bool) "plan cache within bound"
+    true (c.PC.high_water <= 512);
+  (* shedding only for deadline or quota reasons, within budget *)
+  Alcotest.(check int) "no unknown-tenant sheds" 0 s.G.shed_unknown;
+  Alcotest.(check int) "no missing-meta sheds" 0 s.G.shed_no_meta;
+  Alcotest.(check int) "no breaker sheds" 0 s.G.shed_breaker;
+  Alcotest.(check int) "no overload sheds" 0 s.G.shed_overload;
+  Alcotest.(check int) "no failures" 0 s.G.rejected;
+  Alcotest.(check bool) "shed ratio within the 10% budget" true
+    (float_of_int (G.shed_total s) <= 0.10 *. float_of_int r.L.g_sent);
+  (* admitted traffic has bounded latency: deliveries past their deadline
+     are shed, so the p99 of what was delivered sits under the deadline *)
+  Alcotest.(check bool) "delivered most of the load" true
+    (s.G.delivered > (7 * r.L.g_sent) / 10);
+  Alcotest.(check bool) "p99 bounded by the deadline" true
+    (L.gateway_percentile r 0.99 <= acceptance_cfg.L.g_deadline_s +. 1e-9);
+  (* degradation may fire, but it never changes bytes *)
+  Alcotest.(check int) "parity clean under overload" 0 s.G.parity_mismatches
+
+let test_gateway_acceptance_replays () =
+  let a = L.run_gateway acceptance_cfg in
+  let b = L.run_gateway acceptance_cfg in
+  Alcotest.(check string) "summaries identical"
+    (L.gateway_summary a) (L.gateway_summary b);
+  Alcotest.(check string) "trajectories identical" a.L.g_trajectory b.L.g_trajectory
+
+(* --- the chaos campaign ----------------------------------------------------------- *)
+
+let test_gateway_chaos_smoke () =
+  let r = Morphcheck.Gateway_chaos.run ~seed:1 ~cases:2 ~tenants:16 ~messages:300 () in
+  if not (Morphcheck.Gateway_chaos.passed r) then
+    Alcotest.failf "%a" Morphcheck.Gateway_chaos.pp_report r
+
+let suite =
+  [
+    Alcotest.test_case "breaker: trip, cooldown, probe, recover" `Quick
+      test_breaker_trip_and_recover;
+    Alcotest.test_case "breaker: half-open failure re-trips" `Quick
+      test_breaker_half_open_failure_retrips;
+    Alcotest.test_case "breaker: no cooldown stays open" `Quick
+      test_breaker_no_cooldown_stays_open;
+    Alcotest.test_case "plan cache: lru order and stats" `Quick
+      test_plan_cache_lru_and_stats;
+    Alcotest.test_case "plan cache: tenant quota isolates neighbours" `Quick
+      test_plan_cache_tenant_quota;
+    Alcotest.test_case "plan cache: cost bound" `Quick test_plan_cache_cost_bound;
+    Alcotest.test_case "plan cache: replace and offboard" `Quick
+      test_plan_cache_replace_and_drop;
+    Alcotest.test_case "governor: ladder thresholds" `Quick test_governor_ladder;
+    Alcotest.test_case "governor: decay recovers the rung" `Quick
+      test_governor_decay_recovers;
+    Alcotest.test_case "governor: config validation" `Quick test_governor_validation;
+    Alcotest.test_case "framing: described roundtrip" `Quick test_described_roundtrip;
+    Alcotest.test_case "framing: described hostile inputs" `Quick
+      test_described_hostile;
+    Alcotest.test_case "gateway: onboard and deliver" `Quick
+      test_gateway_onboard_and_deliver;
+    Alcotest.test_case "gateway: expired work shed before decode" `Quick
+      test_gateway_sheds_expired_before_decode;
+    Alcotest.test_case "gateway: per-tenant quota shed" `Quick test_gateway_quota_shed;
+    Alcotest.test_case "gateway: breaker trip and half-open probe" `Quick
+      test_gateway_breaker_trip_and_probe;
+    Alcotest.test_case "gateway: singleflight coalesces a compile storm" `Quick
+      test_gateway_singleflight;
+    Alcotest.test_case "gateway: pending cap sheds overflow" `Quick
+      test_gateway_pending_cap_sheds;
+    Alcotest.test_case "gateway: eviction then recompile, bounded cache" `Quick
+      test_gateway_recompile_after_eviction;
+    Alcotest.test_case "gateway: parity across the ladder" `Quick
+      test_gateway_rung_parity;
+    Alcotest.test_case "gateway: degrades under compile pressure" `Quick
+      test_gateway_degrades_under_compile_pressure;
+    Alcotest.test_case "gateway: 1k tenants at 3x with a schema-push storm" `Slow
+      test_gateway_acceptance;
+    Alcotest.test_case "gateway: acceptance run replays identically" `Slow
+      test_gateway_acceptance_replays;
+    Alcotest.test_case "gateway: chaos campaign smoke" `Slow test_gateway_chaos_smoke;
+  ]

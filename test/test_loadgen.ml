@@ -219,6 +219,88 @@ let test_scale_100k () =
   Alcotest.(check string) "100k run replays byte-identically" (L.summary r)
     (L.summary r')
 
+(* --- flag validation ---------------------------------------------------------- *)
+(* Every rejected flag must come back as a structured [`Config] error with
+   a message naming the flag — the CLI prints these verbatim instead of
+   raising, so the text is part of the surface. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let expect_config_error name check cfg needle =
+  match check cfg with
+  | Ok () -> Alcotest.failf "%s: bad config accepted" name
+  | Error (`Config m) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %S mentions %S" name m needle)
+      true (contains ~needle m)
+  | Error e -> Alcotest.failf "%s: wrong error kind: %s" name (Pbio.Err.to_string e)
+
+let test_check_rejects_bad_flags () =
+  (match L.check L.default with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "default config rejected: %s" (Pbio.Err.to_string e));
+  let bad name cfg needle = expect_config_error name L.check cfg needle in
+  bad "clients" { L.default with L.clients = 0 } "clients";
+  bad "duration" { L.default with L.duration_s = 0. } "duration";
+  bad "versions" { L.default with L.versions = 0 } "versions";
+  bad "sinks" { L.default with L.sinks = 0 } "sinks";
+  bad "churn" { L.default with L.churn_per_s = -1. } "churn";
+  bad "samples" { L.default with L.samples = 0 } "samples";
+  bad "dist" { L.default with L.dist = D.Poisson 0. } "distribution";
+  bad "mix negative" { L.default with L.mix = Some [ 1.; -2. ] } "mix";
+  bad "mix all zero" { L.default with L.mix = Some [ 0.; 0. ] } "mix";
+  bad "mix nan" { L.default with L.mix = Some [ Float.nan ] } "mix"
+
+let test_check_gateway_rejects_bad_flags () =
+  (match L.check_gateway L.default_gateway with
+   | Ok () -> ()
+   | Error e ->
+     Alcotest.failf "default gateway config rejected: %s" (Pbio.Err.to_string e));
+  let dg = L.default_gateway in
+  let gw g = { dg with L.g_gateway = g } in
+  let bad name cfg needle = expect_config_error name L.check_gateway cfg needle in
+  bad "tenants" { dg with L.g_tenants = 0 } "tenants";
+  bad "lineages" { dg with L.g_lineages = 0 } "lineages";
+  bad "duration" { dg with L.g_duration_s = -0.1 } "duration";
+  bad "versions" { dg with L.g_versions = 0 } "versions";
+  bad "churn" { dg with L.g_churn_per_s = -1. } "churn";
+  bad "samples" { dg with L.g_samples = 0 } "samples";
+  bad "deadline" { dg with L.g_deadline_s = Float.nan } "deadline";
+  bad "push-at" { dg with L.g_push_at = [ 0.1; -0.2 ] } "push";
+  bad "dist" { dg with L.g_dist = D.Constant 0. } "distribution";
+  let g = dg.L.g_gateway in
+  bad "max-plans" (gw { g with Gateway.max_plans = 0 }) "max-plans";
+  bad "max-plan-cost" (gw { g with Gateway.max_plan_cost = 0. }) "max-plan-cost";
+  bad "tenant-quota" (gw { g with Gateway.tenant_quota = 0 }) "tenant-quota";
+  bad "admit-rate" (gw { g with Gateway.admit_rate = -2. }) "admit-rate";
+  bad "admit-burst"
+    (gw { g with Gateway.admit_rate = 10.; admit_burst = 0.5 })
+    "admit-burst";
+  bad "breaker-threshold" (gw { g with Gateway.breaker_threshold = 0 })
+    "breaker-threshold";
+  bad "breaker-cooldown"
+    (gw { g with Gateway.breaker_cooldown_s = Some 0. })
+    "breaker-cooldown";
+  bad "pending-cap" (gw { g with Gateway.pending_cap = 0 }) "pending-cap";
+  bad "compile cost" (gw { g with Gateway.compile_s_per_unit = -1e-6 }) "compile";
+  let gov (governor : Gateway.Governor.config) = gw { g with Gateway.governor } in
+  let g0 = g.Gateway.governor in
+  bad "governor window" (gov { g0 with Gateway.Governor.window_s = 0. }) "window";
+  bad "governor budget" (gov { g0 with Gateway.Governor.budget = 0. }) "budget";
+  bad "governor interp-over"
+    (gov { g0 with Gateway.Governor.interp_over = 0.9 })
+    "interp-over";
+  bad "governor shed-evictions"
+    (gov { g0 with Gateway.Governor.shed_evictions = -1 })
+    "shed-evictions";
+  (* run_gateway refuses the same configs instead of running them *)
+  (match L.run_gateway { dg with L.g_tenants = 0 } with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "run_gateway accepted a bad config")
+
 let suite =
   [
     Alcotest.test_case "dist: parse/print round trip" `Quick test_dist_strings;
@@ -243,4 +325,8 @@ let suite =
     Alcotest.test_case "trajectory: ndjson shape" `Quick test_trajectory_shape;
     Alcotest.test_case "scale: 100k clients on the virtual clock" `Slow
       test_scale_100k;
+    Alcotest.test_case "flags: bad loadgen configs rejected" `Quick
+      test_check_rejects_bad_flags;
+    Alcotest.test_case "flags: bad gateway configs rejected" `Quick
+      test_check_gateway_rejects_bad_flags;
   ]

@@ -30,4 +30,5 @@ let () =
       ("integration", Test_integration.suite);
       ("bench schema", Test_bench_schema.suite);
       ("loadgen", Test_loadgen.suite);
+      ("gateway", Test_gateway.suite);
     ]

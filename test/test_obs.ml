@@ -52,6 +52,51 @@ let test_histogram_bucketing () =
        Alcotest.(check int) "overflow" 1 n3
      | l -> Alcotest.failf "expected 3 buckets, got %d" (List.length l))
 
+(* Quantile estimation at the awkward ends: empty and single-sample
+   snapshots, tail quantiles (p999) on tiny populations, and out-of-range
+   [q] must all return defined, clamped values — the loadgen and gateway
+   reports read p999 off populations of any size. *)
+let test_histogram_quantile_edge_cases () =
+  let t = Obs.create () in
+  let h = Obs.Histogram.make t ~buckets:[ 1.; 10.; 100. ] "q" in
+  let snap () =
+    match Obs.Histogram.snapshot t "q" with
+    | Some s -> s
+    | None -> Alcotest.fail "histogram not registered"
+  in
+  let empty = snap () in
+  Alcotest.(check (float 0.)) "empty p50" 0. (Obs.Histogram.quantile empty 0.5);
+  Alcotest.(check (float 0.)) "empty p999" 0. (Obs.Histogram.quantile empty 0.999);
+  Obs.Histogram.observe h 7.;
+  let one = snap () in
+  (* a single sample is every quantile of itself *)
+  Alcotest.(check (float 0.)) "single p0" 7. (Obs.Histogram.quantile one 0.);
+  Alcotest.(check (float 0.)) "single p50" 7. (Obs.Histogram.quantile one 0.5);
+  Alcotest.(check (float 0.)) "single p999" 7. (Obs.Histogram.quantile one 0.999);
+  Alcotest.(check (float 0.)) "q above 1 clamps" 7. (Obs.Histogram.quantile one 2.);
+  Alcotest.(check (float 0.)) "q below 0 clamps" 7. (Obs.Histogram.quantile one (-1.));
+  Alcotest.(check (float 0.)) "nan q clamps" 7. (Obs.Histogram.quantile one Float.nan);
+  Obs.Histogram.observe h 0.5;
+  Obs.Histogram.observe h 50.;
+  let tiny = snap () in
+  (* three samples: p999 ranks into the last one, clamped to max *)
+  Alcotest.(check (float 0.)) "tiny p999 = max" 50.
+    (Obs.Histogram.quantile tiny 0.999);
+  (* p0 ranks into the lowest sample's bucket: its upper bound (1.0),
+     within [min, max] so no clamp applies *)
+  Alcotest.(check (float 0.)) "tiny p0" 1. (Obs.Histogram.quantile tiny 0.);
+  (* p50 ranks into the middle sample's bucket (upper bound 10) *)
+  Alcotest.(check (float 0.)) "tiny p50" 10. (Obs.Histogram.quantile tiny 0.5);
+  (* estimates never leave the observed range, whatever the buckets say *)
+  List.iter
+    (fun q ->
+       let e = Obs.Histogram.quantile tiny q in
+       Alcotest.(check bool)
+         (Printf.sprintf "q=%g within [min, max]" q)
+         true
+         (e >= tiny.Obs.Histogram.min && e <= tiny.Obs.Histogram.max))
+    [ 0.; 0.001; 0.25; 0.5; 0.9; 0.99; 0.999; 1. ]
+
 (* deterministic clock: each read advances 100 ns; per-registry, so no
    restore dance is needed *)
 let tick_clock () =
@@ -375,6 +420,8 @@ let suite =
     Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
     Alcotest.test_case "kind clash rejected" `Quick test_kind_clash_rejected;
     Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+    Alcotest.test_case "histogram quantile edge cases" `Quick
+      test_histogram_quantile_edge_cases;
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "null registry is inert" `Quick test_null_registry_inert;
     Alcotest.test_case "reset" `Quick test_reset;

@@ -321,6 +321,88 @@ let test_quarantine_threshold_configurable () =
      Alcotest.fail "expected Invalid_argument"
    with Invalid_argument _ -> ())
 
+(* With a cooldown the quarantine is a circuit, not a death sentence: the
+   pipeline survives the trip, re-admits a probe after the cooldown on the
+   registry clock, and a probe success recovers it (docs/GATEWAY.md). *)
+let test_quarantine_cooldown_recovers () =
+  let registered = fmt "format Telemetry { int q; }" in
+  let meta = quarantine_meta registered in
+  let now_ns = ref 0. in
+  let metrics = Obs.create () in
+  Obs.set_registry_clock metrics (fun () -> !now_ns);
+  let r =
+    Receiver.create
+      ~config:
+        (Receiver.Config.v ~quarantine_after:2 ~quarantine_cooldown_s:0.05
+           ~metrics ())
+      ()
+  in
+  let got = ref 0 in
+  Receiver.register r registered (fun _ -> incr got);
+  (* two failures trip the circuit *)
+  ignore (Receiver.deliver r meta (sample ~num:1 ~den:0));
+  ignore (Receiver.deliver r meta (sample ~num:2 ~den:0));
+  Alcotest.(check int) "tripped" 1 (Receiver.stats r).Receiver.quarantined;
+  (match Receiver.breaker_state r meta with
+   | Some Morph.Breaker.Open -> ()
+   | s ->
+     Alcotest.failf "expected an open breaker, got %a"
+       Fmt.(option Morph.Breaker.pp_state)
+       s);
+  (* inside the cooldown even good values fast-fail as quarantined *)
+  (match Receiver.deliver r meta (sample ~num:6 ~den:3) with
+   | Receiver.Rejected reason ->
+     Alcotest.(check bool) "mentions quarantine" true
+       (Helpers.contains reason "quarantined")
+   | o -> Alcotest.failf "expected rejection, got %a" Receiver.pp_outcome o);
+  Alcotest.(check int) "nothing delivered yet" 0 !got;
+  (* past the cooldown the next good value is the half-open probe: it
+     delivers and closes the circuit again *)
+  now_ns := 0.06 *. 1e9;
+  (match Receiver.deliver r meta (sample ~num:6 ~den:3) with
+   | Receiver.Delivered _ -> ()
+   | o -> Alcotest.failf "probe should deliver, got %a" Receiver.pp_outcome o);
+  let s = Receiver.stats r in
+  Alcotest.(check int) "recovery counted" 1 s.Receiver.recovered;
+  (match Receiver.breaker_state r meta with
+   | Some Morph.Breaker.Closed -> ()
+   | _ -> Alcotest.fail "breaker should be closed after the probe");
+  (* the recovered pipeline keeps working, and no re-planning happened *)
+  (match Receiver.deliver r meta (sample ~num:8 ~den:4) with
+   | Receiver.Delivered _ -> ()
+   | o -> Alcotest.failf "expected delivery, got %a" Receiver.pp_outcome o);
+  Alcotest.(check int) "handler ran twice" 2 !got;
+  Alcotest.(check int) "planned exactly once" 1 s.Receiver.cold_paths
+
+let test_quarantine_cooldown_probe_failure_reopens () =
+  let registered = fmt "format Telemetry { int q; }" in
+  let meta = quarantine_meta registered in
+  let now_ns = ref 0. in
+  let metrics = Obs.create () in
+  Obs.set_registry_clock metrics (fun () -> !now_ns);
+  let r =
+    Receiver.create
+      ~config:
+        (Receiver.Config.v ~quarantine_after:2 ~quarantine_cooldown_s:0.05
+           ~metrics ())
+      ()
+  in
+  Receiver.register r registered (fun _ -> ());
+  ignore (Receiver.deliver r meta (sample ~num:1 ~den:0));
+  ignore (Receiver.deliver r meta (sample ~num:2 ~den:0));
+  (* the probe itself fails: the circuit re-opens for another cooldown *)
+  now_ns := 0.06 *. 1e9;
+  ignore (Receiver.deliver r meta (sample ~num:3 ~den:0));
+  Alcotest.(check int) "tripped twice" 2 (Receiver.stats r).Receiver.quarantined;
+  (match Receiver.breaker_state r meta with
+   | Some Morph.Breaker.Open -> ()
+   | _ -> Alcotest.fail "breaker should be open again");
+  (* still quarantined inside the second cooldown window *)
+  (match Receiver.deliver r meta (sample ~num:6 ~den:3) with
+   | Receiver.Rejected _ -> ()
+   | o -> Alcotest.failf "expected rejection, got %a" Receiver.pp_outcome o);
+  Alcotest.(check int) "no recovery" 0 (Receiver.stats r).Receiver.recovered
+
 let test_delivery_probe_observes_outcomes () =
   let registered = fmt "format Telemetry { int q; }" in
   let meta = quarantine_meta registered in
@@ -446,6 +528,10 @@ let suite =
       test_quarantine_success_resets_streak;
     Alcotest.test_case "quarantine: threshold configurable" `Quick
       test_quarantine_threshold_configurable;
+    Alcotest.test_case "quarantine: cooldown probe recovers" `Quick
+      test_quarantine_cooldown_recovers;
+    Alcotest.test_case "quarantine: failed probe re-opens" `Quick
+      test_quarantine_cooldown_probe_failure_reopens;
     Alcotest.test_case "delivery probe observes outcomes" `Quick
       test_delivery_probe_observes_outcomes;
     Alcotest.test_case "metrics counters mirror stats" `Quick test_metrics_counters;
