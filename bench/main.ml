@@ -12,16 +12,22 @@
      abl4-b2b         broker-side XSLT vs receiver-side morphing (Figs 6/7)
      codec            wire codec: per-field interpreter vs compiled plans
                       vs the fused decode->morph path
+     parallel         domain-sharded fan-out: one batch over many sinks at
+                      pool widths 1/2/4
 
    The workload is the paper's: a ChannelOpenResponse v2.0 message whose
    member list is sized so the unencoded struct is 100 B ... 1 MB.
 
    Usage: dune exec bench/main.exe -- [SECTION]... [--quick]
             [--only fig8,table1] [--json [FILE]] [--check-codec]
+            [--check-parallel]
    Bare SECTION tokens filter like --only entries; --json without a file
    writes BENCH_morph.json; --check-codec exits non-zero unless the
    compiled decode beats the interpreter (and fused beats staged) at the
-   10 KB point — the CI guard against the fast path silently regressing. *)
+   10 KB point — the CI guard against the fast path silently regressing.
+   --check-parallel exits non-zero unless 4-domain fan-out beats the
+   sequential baseline by >= 2x (skipped with a warning on machines with
+   fewer than 4 recommended domains). *)
 
 open Pbio
 module WF = Echo.Wire_formats
@@ -475,6 +481,89 @@ let check_codec () : int =
       1
     end
 
+(* --- parallel: domain-sharded fan-out ---------------------------------------------- *)
+
+(* pool width -> ns per fan-out batch; read back by --check-parallel *)
+let parallel_results : (int * float) list ref = ref []
+
+let parallel_widths = [ 1; 2; 4 ]
+
+let parallel quick =
+  H.section "parallel"
+    "Domain-sharded delivery: one wire batch fanned out to every sink \
+     through Echo.Fanout, pool widths 1/2/4 (width 1 never spawns and is \
+     the sequential baseline)";
+  let v2 = WF.channel_open_response_v2 in
+  let meta = Meta.plain v2 in
+  let members = WF.members_for_unencoded_bytes 10_000 in
+  let value = WF.gen_response_v2_full members in
+  let nsinks = 32 in
+  let nmsgs = if quick then 8 else 24 in
+  let messages = Array.init nmsgs (fun i -> Wire.encode ~format_id:i v2 value) in
+  let deliveries = nsinks * nmsgs in
+  H.row "   %-8s %14s %16s %8s\n" "domains" "batch" "deliveries/s" "x";
+  let base = ref Float.nan in
+  List.iter
+    (fun domains ->
+       (* fresh sinks per width over one shared context: the striped plan
+          cache is exactly what the workers contend on *)
+       let ctx = Ctx.create () in
+       let sinks =
+         Array.init nsinks (fun i ->
+             let recv =
+               Morph.Receiver.create
+                 ~config:(Morph.Receiver.Config.v ~ctx ()) ()
+             in
+             Morph.Receiver.register recv response_v2_trim (fun _ -> ());
+             Echo.Fanout.sink ~name:(Fmt.str "sink%d" i) recv)
+       in
+       (* settle pipelines and plan caches before timing *)
+       let warm = Echo.Fanout.deliver_batch ~sinks meta messages in
+       assert (Echo.Fanout.delivered_count warm = deliveries);
+       let t =
+         Morph.Pool.with_pool ~domains (fun p ->
+             let pool = if domains = 1 then None else Some p in
+             H.measure ~name:(Fmt.str "parallel/fanout/%dd" domains) (fun () ->
+                 ignore (Echo.Fanout.deliver_batch ?pool ~sinks meta messages)))
+       in
+       parallel_results := (domains, t) :: !parallel_results;
+       if domains = 1 then base := t;
+       H.row "   %-8d %14s %16.0f %7.2fx\n" domains (ns t)
+         (float_of_int deliveries /. (t *. 1e-9))
+         (!base /. t))
+    parallel_widths
+
+(* The CI guard: 4 domains must deliver the batch at least 2x faster than
+   the sequential baseline.  Machines without the cores (laptops, small CI
+   runners) skip with a warning instead of failing — the oracle, not this
+   ratio, is what guards correctness there. *)
+let check_parallel () : int =
+  if Domain.recommended_domain_count () < 4 then begin
+    Printf.printf
+      "check-parallel: skipped — %d recommended domain(s) on this machine \
+       (need >= 4 for a meaningful speedup gate)\n"
+      (Domain.recommended_domain_count ());
+    0
+  end
+  else
+    match
+      (List.assoc_opt 1 !parallel_results, List.assoc_opt 4 !parallel_results)
+    with
+    | Some t1, Some t4 ->
+      let ratio = t1 /. t4 in
+      Printf.printf
+        "check-parallel: 4-domain fan-out %.2fx the 1-domain baseline (need >= 2.00)\n"
+        ratio;
+      if ratio >= 2.0 then 0
+      else begin
+        prerr_endline "check-parallel: FAILED — sharded delivery is not scaling";
+        1
+      end
+    | _ ->
+      prerr_endline
+        "check-parallel: no parallel measurements (did filters skip 'parallel'?)";
+      1
+
 (* --- driver ------------------------------------------------------------------------ *)
 
 let contains (hay : string) (needle : string) : bool =
@@ -487,6 +576,7 @@ type opts = {
   filters : string list; (* from --only and bare positional tokens *)
   json : string option;
   check : bool;
+  check_parallel : bool;
 }
 
 let parse_args () : opts =
@@ -495,6 +585,7 @@ let parse_args () : opts =
     | [] -> acc
     | "--quick" :: rest -> go { acc with quick = true } rest
     | "--check-codec" :: rest -> go { acc with check = true } rest
+    | "--check-parallel" :: rest -> go { acc with check_parallel = true } rest
     | "--only" :: v :: rest when not (is_flag v) ->
       go { acc with filters = acc.filters @ String.split_on_char ',' v } rest
     | "--json" :: v :: rest when not (is_flag v) -> go { acc with json = Some v } rest
@@ -507,7 +598,8 @@ let parse_args () : opts =
       exit 2
   in
   go
-    { quick = false; filters = []; json = None; check = false }
+    { quick = false; filters = []; json = None; check = false;
+      check_parallel = false }
     (List.tl (Array.to_list Sys.argv))
 
 let () =
@@ -537,10 +629,15 @@ let () =
   if want "abl5" then abl5 ();
   if want "abl6" then abl6 ();
   if want "codec" then codec sized_points;
+  if want "parallel" then parallel opts.quick;
   Option.iter
     (fun path ->
        H.write_json path;
        Printf.printf "\nmeasurements written to %s\n" path)
     opts.json;
   print_newline ();
-  if opts.check then exit (check_codec ())
+  if opts.check || opts.check_parallel then begin
+    let rc = if opts.check then check_codec () else 0 in
+    let rcp = if opts.check_parallel then check_parallel () else 0 in
+    exit (max rc rcp)
+  end

@@ -335,32 +335,34 @@ let demo_cmd =
 let stats_cmd =
   let run scenario json orders =
     let metrics = Obs.create () in
-    (* module-level instruments for the stateless layers *)
-    Wire.set_metrics metrics;
-    Codec.set_metrics metrics;
-    Convert.set_metrics metrics;
+    (* the wire/codec instruments ride the capability context now; only
+       the compile-side counters ([codec.plan_compiles], [convert.compiles])
+       and Ecode remain process-global registrations, fine for a
+       single-domain diagnostic run *)
+    let ctx = Ctx.create ~metrics () in
+    (Codec.set_metrics metrics [@alert "-deprecated"]);
+    (Convert.set_metrics metrics [@alert "-deprecated"]);
     Ecode.set_metrics metrics;
     Fun.protect
       ~finally:(fun () ->
-          Wire.set_metrics Obs.null;
-          Codec.set_metrics Obs.null;
-          Convert.set_metrics Obs.null;
+          (Codec.set_metrics Obs.null [@alert "-deprecated"]);
+          (Convert.set_metrics Obs.null [@alert "-deprecated"]);
           Ecode.set_metrics Obs.null)
       (fun () ->
          match scenario with
          | "b2b" ->
            let r =
-             B2b.Scenario.run ~orders ~metrics B2b.Broker.Morph_at_receiver
+             B2b.Scenario.run ~orders ~metrics ~ctx B2b.Broker.Morph_at_receiver
            in
            if not json then Format.printf "# %a@.@." B2b.Scenario.pp_result r
          | "echo" ->
            (* cross-version publish/subscribe: a 2.0 creator, a 1.0 sink *)
            let net = Transport.Netsim.create ~metrics () in
            let creator =
-             Echo.Node.create ~metrics net ~host:"creator" ~port:1 Echo.Node.V2
+             Echo.Node.create ~metrics ~ctx net ~host:"creator" ~port:1 Echo.Node.V2
            in
            let old_sink =
-             Echo.Node.create ~metrics net ~host:"legacy" ~port:2 Echo.Node.V1
+             Echo.Node.create ~metrics ~ctx net ~host:"legacy" ~port:2 Echo.Node.V1
            in
            Echo.Node.create_channel creator "demo" ~as_source:true ~as_sink:false;
            Echo.Node.subscribe_events old_sink "demo" (fun _ -> ());
@@ -559,6 +561,65 @@ let morphcheck_cmd =
     (Cmd.info "morphcheck"
        ~doc:"Run the randomized differential oracles and mutation fuzzer")
     Term.(const run $ seed $ count $ oracle)
+
+(* --- parallel ----------------------------------------------------------------- *)
+
+let parallel_cmd =
+  let run seed cases domains scenario =
+    let module P = Morphcheck.Parallel_oracle in
+    let names =
+      match scenario with
+      | "all" -> P.names
+      | name when List.mem name P.names -> [ name ]
+      | name ->
+        Printf.eprintf "parallel: unknown scenario %S (expected all or one of: %s)\n"
+          name (String.concat ", " P.names);
+        exit 2
+    in
+    if cases < 0 then begin
+      Printf.eprintf "parallel: --cases must be non-negative\n";
+      exit 2
+    end;
+    if domains < 1 then begin
+      Printf.eprintf "parallel: --domains must be >= 1\n";
+      exit 2
+    end;
+    Printf.printf "parallel: seed=%d cases=%d domains=%d (recommended %d)\n" seed
+      cases domains (Domain.recommended_domain_count ());
+    let reports = P.run ~names ~seed ~count:cases ~domains () in
+    let module O = Morphcheck.Oracle in
+    List.iter (fun r -> Format.printf "%a@." O.pp_report r) reports;
+    let failed = List.filter (fun r -> not (O.passed r)) reports in
+    if failed = [] then print_endline "parallel: ok"
+    else begin
+      Printf.printf
+        "parallel: %d scenario(s) diverged across domains; reproduce with --seed %d --domains %d\n"
+        (List.length failed) seed domains;
+      exit 1
+    end
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"N" ~doc:"Campaign seed")
+  in
+  let cases =
+    Arg.(value & opt int 50 & info [ "cases"; "n" ] ~docv:"N" ~doc:"Cases per scenario")
+  in
+  let domains =
+    Arg.(value & opt int 4
+         & info [ "domains"; "d" ] ~docv:"N"
+             ~doc:"Pool width for the sharded run (1 never spawns)")
+  in
+  let scenario =
+    Arg.(value & opt string "all"
+         & info [ "scenario"; "o" ] ~docv:"NAME"
+             ~doc:"Scenario to run: all or a single scenario name")
+  in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:
+         "Check that domain-sharded delivery reproduces the single-domain \
+          outcomes, values and merged counters exactly")
+    Term.(const run $ seed $ cases $ domains $ scenario)
 
 (* --- chaos --------------------------------------------------------------- *)
 
@@ -989,4 +1050,4 @@ let () =
     Cmd.info "morphctl" ~version:"1.0.0"
       ~doc:"Message-morphing toolkit (ICDCS 2005 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; stats_cmd; trace_cmd; morphcheck_cmd; chaos_cmd; loadgen_cmd; gateway_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ show_cmd; diff_cmd; maxmatch_cmd; encode_cmd; xform_cmd; explain_cmd; sizes_cmd; demo_cmd; stats_cmd; trace_cmd; morphcheck_cmd; parallel_cmd; chaos_cmd; loadgen_cmd; gateway_cmd ]))

@@ -185,7 +185,7 @@ let handle_binary t ~src (meta : Meta.format_meta) (v : Value.t) : unit =
 
 (* --- construction --------------------------------------------------------------- *)
 
-let create ?(reliable = false) ?(metrics = Obs.null) (net : Transport.Netsim.t)
+let create ?(reliable = false) ?(metrics = Obs.null) ?ctx (net : Transport.Netsim.t)
     ~(host : string) ~(port : int) (mode : mode) : t =
   let contact = Transport.Contact.make host port in
   let t =
@@ -207,7 +207,7 @@ let create ?(reliable = false) ?(metrics = Obs.null) (net : Transport.Netsim.t)
      Transport.Netsim.add_node net contact (fun ~src payload ->
          handle_xml t net ~src payload)
    | Morph_at_receiver ->
-     let ep = Transport.Conn.create ~reliable ~metrics net contact in
+     let ep = Transport.Conn.create ~reliable ~metrics ?ctx net contact in
      t.endpoint <- Some ep;
      Transport.Conn.set_handler ep (fun ~src meta v ->
          t.counters.bytes_in <- t.counters.bytes_in + 1;

@@ -29,6 +29,7 @@ type t
 val create :
   ?reliable:bool ->
   ?metrics:Obs.t ->
+  ?ctx:Pbio.Ctx.t ->
   Transport.Netsim.t ->
   host:string ->
   port:int ->

@@ -38,12 +38,12 @@ let record_status t (v : Value.t) : unit =
     :: t.statuses
 
 let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
-    ?(metrics = Obs.null) (net : Transport.Netsim.t) ~(host : string) ~(port : int)
+    ?(metrics = Obs.null) ?ctx (net : Transport.Netsim.t) ~(host : string) ~(port : int)
     ~(broker : Transport.Contact.t) (mode : Broker.mode) : t =
   let contact = Transport.Contact.make host port in
   let receiver =
     Morph.Receiver.create
-      ~config:(Morph.Receiver.Config.v ~thresholds ~metrics ()) ()
+      ~config:(Morph.Receiver.Config.v ~thresholds ~metrics ?ctx ()) ()
   in
   let t =
     { mode; contact; net; broker; statuses = []; orders_sent = 0;
@@ -61,7 +61,7 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
          | Ok v -> record_status t v
          | Error e -> Logs.warn (fun m -> m "retailer: bad status XML: %a" Err.pp e))
    | Broker.Morph_at_receiver ->
-     let ep = Transport.Conn.create ~reliable ~metrics net contact in
+     let ep = Transport.Conn.create ~reliable ~metrics ?ctx net contact in
      t.endpoint <- Some ep;
      Transport.Conn.set_wire_handler ep (fun ~src:_ meta message ->
          match

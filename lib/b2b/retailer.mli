@@ -13,6 +13,7 @@ val create :
   ?thresholds:Morph.Maxmatch.thresholds ->
   ?reliable:bool ->
   ?metrics:Obs.t ->
+  ?ctx:Pbio.Ctx.t ->
   Transport.Netsim.t ->
   host:string ->
   port:int ->

@@ -129,15 +129,15 @@ let run_traced ?(orders = 5) ?(reliable = false) ?faults ?(seed = 0)
   let spans = List.concat_map Obs.Trace.spans [ r_reg; b_reg; s_reg; net_reg ] in
   { result; traces = Obs.Trace.assemble spans }
 
-let run ?(orders = 100) ?(metrics = Obs.null) (mode : Broker.mode) : result =
+let run ?(orders = 100) ?(metrics = Obs.null) ?ctx (mode : Broker.mode) : result =
   let net = Transport.Netsim.create ~metrics () in
-  let broker = Broker.create ~metrics net ~host:"broker" ~port:9000 mode in
+  let broker = Broker.create ~metrics ?ctx net ~host:"broker" ~port:9000 mode in
   let retailer =
-    Retailer.create ~metrics net ~host:"retailer" ~port:9001
+    Retailer.create ~metrics ?ctx net ~host:"retailer" ~port:9001
       ~broker:(Broker.contact broker) mode
   in
   let supplier =
-    Supplier.create ~metrics net ~host:"supplier" ~port:9002
+    Supplier.create ~metrics ?ctx net ~host:"supplier" ~port:9002
       ~broker:(Broker.contact broker) mode
   in
   Broker.connect broker ~retailer:(Retailer.contact retailer)

@@ -36,12 +36,12 @@ let handle_order t (v : Value.t) : unit =
   reply_status t ~po (List.length t.orders)
 
 let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
-    ?(metrics = Obs.null) (net : Transport.Netsim.t) ~(host : string) ~(port : int)
+    ?(metrics = Obs.null) ?ctx (net : Transport.Netsim.t) ~(host : string) ~(port : int)
     ~(broker : Transport.Contact.t) (mode : Broker.mode) : t =
   let contact = Transport.Contact.make host port in
   let receiver =
     Morph.Receiver.create
-      ~config:(Morph.Receiver.Config.v ~thresholds ~metrics ()) ()
+      ~config:(Morph.Receiver.Config.v ~thresholds ~metrics ?ctx ()) ()
   in
   let t =
     { mode; contact; net; broker; orders = []; endpoint = None; receiver }
@@ -54,7 +54,7 @@ let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(reliable = false)
          | Ok v -> handle_order t v
          | Error e -> Logs.warn (fun m -> m "supplier: bad order XML: %a" Err.pp e))
    | Broker.Morph_at_receiver ->
-     let ep = Transport.Conn.create ~reliable ~metrics net contact in
+     let ep = Transport.Conn.create ~reliable ~metrics ?ctx net contact in
      t.endpoint <- Some ep;
      Transport.Conn.set_wire_handler ep (fun ~src:_ meta message ->
          match

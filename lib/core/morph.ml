@@ -22,6 +22,7 @@
 
 module Breaker = Breaker
 module Diff = Diff
+module Pool = Pool
 module Maxmatch = Maxmatch
 module Weighted = Weighted
 module Xform = Xform

@@ -22,6 +22,7 @@
 
 module Breaker : module type of Breaker
 module Diff : module type of Diff
+module Pool : module type of Pool
 module Maxmatch : module type of Maxmatch
 module Weighted : module type of Weighted
 module Xform : module type of Xform

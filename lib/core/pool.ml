@@ -1,0 +1,135 @@
+(* A small fixed-size domain pool for sharded delivery.
+
+   Design goals, in order:
+     1. Determinism — [map] assigns work by *index stride* (worker [k]
+        handles indices [i] with [i mod width = k]), so the partition of
+        work onto domains is a pure function of the array length and the
+        pool width, never of scheduling.  Each worker processes its own
+        indices in increasing order, so any per-shard mutable state sees
+        the same operation sequence on every run.
+     2. Honest fallback — a pool of width 1 never spawns and [map] is
+        exactly [Array.map], so [--domains 1] runs byte-identical to the
+        pre-pool code path.
+     3. No surprises — exceptions raised by the work function are caught
+        per index and re-raised (the lowest-index one) in the caller, so
+        a failure in a worker domain surfaces exactly where the
+        sequential code would have raised it.
+
+   Workers park on a condition variable between batches; [map] is a
+   synchronous rendezvous (submit strides, run stride 0 inline, await the
+   rest).  The pool is single-owner: one thread calls [map]/[shutdown].
+   See docs/CONCURRENCY.md for the full model. *)
+
+type worker = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable idle : bool; (* no job in flight; flipped by the worker itself *)
+  mutable stop : bool;
+}
+
+type t = {
+  width : int;
+  workers : worker array; (* width - 1 entries; the caller is worker 0 *)
+  handles : unit Domain.t array;
+  mutable closed : bool;
+}
+
+let new_worker () =
+  { lock = Mutex.create ();
+    cond = Condition.create ();
+    job = None;
+    idle = true;
+    stop = false }
+
+let rec worker_loop (w : worker) =
+  Mutex.lock w.lock;
+  while w.job = None && not w.stop do
+    Condition.wait w.cond w.lock
+  done;
+  let job = w.job in
+  let stop = w.stop in
+  Mutex.unlock w.lock;
+  match job with
+  | Some f ->
+    (* [f] is a stride runner built by [map]; it traps its own exceptions
+       per index, so it never raises here. *)
+    f ();
+    Mutex.lock w.lock;
+    w.job <- None;
+    w.idle <- true;
+    Condition.broadcast w.cond;
+    Mutex.unlock w.lock;
+    worker_loop w
+  | None -> if not stop then worker_loop w
+
+let create ~domains =
+  if domains < 1 then
+    invalid_arg (Fmt.str "Morph.Pool.create: domains %d < 1" domains);
+  let workers = Array.init (domains - 1) (fun _ -> new_worker ()) in
+  let handles =
+    Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers
+  in
+  { width = domains; workers; handles; closed = false }
+
+let width t = t.width
+
+let submit (w : worker) f =
+  Mutex.lock w.lock;
+  w.job <- Some f;
+  w.idle <- false;
+  Condition.broadcast w.cond;
+  Mutex.unlock w.lock
+
+let await (w : worker) =
+  Mutex.lock w.lock;
+  while not w.idle do
+    Condition.wait w.cond w.lock
+  done;
+  Mutex.unlock w.lock
+
+let map (t : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  if t.closed then invalid_arg "Morph.Pool.map: pool is shut down";
+  let n = Array.length xs in
+  if t.width = 1 || n <= 1 then Array.map f xs
+  else begin
+    let out : 'b option array = Array.make n None in
+    let errs : exn option array = Array.make n None in
+    let run_stride k () =
+      let i = ref k in
+      while !i < n do
+        (match f xs.(!i) with
+         | y -> out.(!i) <- Some y
+         | exception e -> errs.(!i) <- Some e);
+        i := !i + t.width
+      done
+    in
+    (* Only strides that have at least one index get dispatched. *)
+    let live = min t.width n in
+    for k = 1 to live - 1 do
+      submit t.workers.(k - 1) (run_stride k)
+    done;
+    run_stride 0 ();
+    for k = 1 to live - 1 do
+      await t.workers.(k - 1)
+    done;
+    Array.iter (function Some e -> raise e | None -> ()) errs;
+    Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter
+      (fun w ->
+         Mutex.lock w.lock;
+         w.stop <- true;
+         Condition.broadcast w.cond;
+         Mutex.unlock w.lock)
+      t.workers;
+    Array.iter Domain.join t.handles
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,38 @@
+(** A fixed-width domain pool for sharded delivery.
+
+    [map] partitions array indices across OCaml 5 domains by {e stride}:
+    with a pool of width [w], worker [k] handles every index [i] with
+    [i mod w = k], in increasing order.  The partition is a pure function
+    of the array length and the pool width — never of scheduling — so
+    per-shard mutable state sees the same operation sequence on every
+    run, and a width-1 pool degenerates to [Array.map] without spawning
+    anything ([--domains 1] reproduces goldens byte-for-byte).
+
+    The pool is single-owner: one thread calls {!map} and {!shutdown}.
+    Work functions run on other domains — give them domain-safe state
+    (their own shard, a {!Pbio.Ctx.t}, an [Obs] registry merged at scrape
+    time).  See docs/CONCURRENCY.md. *)
+
+type t
+
+(** [create ~domains] spawns [domains - 1] parked worker domains; the
+    caller acts as worker 0 during {!map}.  [domains = 1] spawns nothing.
+    Raises [Invalid_argument] when [domains < 1]. *)
+val create : domains:int -> t
+
+(** Pool width as given to {!create}. *)
+val width : t -> int
+
+(** [map t f xs] applies [f] to every element, strided across the pool,
+    and returns results in index order.  Exceptions from [f] are trapped
+    per index; after all strides finish, the lowest-index one is
+    re-raised in the caller.  Raises [Invalid_argument] after
+    {!shutdown}. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Stop and join all workers.  Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] brackets [f] between {!create} and
+    {!shutdown}. *)
+val with_pool : domains:int -> (t -> 'a) -> 'a

@@ -91,6 +91,11 @@ module Config = struct
     quarantine_after : int;
     quarantine_cooldown_s : float option;
     metrics : Obs.t;
+    ctx : Ctx.t option;
+    (* capability context for the wire fast paths: fused morph plans come
+       from [Ctx.codecs ctx] and staged decodes run [Wire.decode ~ctx].
+       [None] keeps the legacy process-global caches — required for
+       byte-identical goldens, deprecated for new code. *)
   }
 
   let default =
@@ -101,13 +106,14 @@ module Config = struct
       quarantine_after = 3;
       quarantine_cooldown_s = None;
       metrics = Obs.null;
+      ctx = None;
     }
 
   let v ?(thresholds = default.thresholds) ?weights ?(engine = default.engine)
       ?(quarantine_after = default.quarantine_after) ?quarantine_cooldown_s
-      ?(metrics = Obs.null) () =
+      ?(metrics = Obs.null) ?ctx () =
     { thresholds; weights; engine; quarantine_after; quarantine_cooldown_s;
-      metrics }
+      metrics; ctx }
 end
 
 (* Handles into the configured Obs registry; [rm_on] gates the clock reads
@@ -611,7 +617,12 @@ let deliver_wire t (meta : Meta.format_meta) (message : string) : outcome =
     let t0 = if t.m.rm_on then Obs.now t.m.rm_reg else 0. in
     (match
        let h = Codec.read_header message in
-       let mor = Codec.morpher_for ~endian:h.Codec.endian ~from_ ~into in
+       let mor =
+         match t.config.Config.ctx with
+         | Some ctx ->
+           Codec.morpher_in (Ctx.codecs ctx) ~endian:h.Codec.endian ~from_ ~into
+         | None -> Codec.morpher_for ~endian:h.Codec.endian ~from_ ~into
+       in
        Codec.morph_payload mor ~pos:Codec.header_size message
      with
      | v' ->
@@ -622,7 +633,7 @@ let deliver_wire t (meta : Meta.format_meta) (message : string) : outcome =
      | exception Value.Type_error msg -> reject_wire t (`Type msg))
   | Accept _ | Reject _ ->
     let t0 = if t.m.rm_on then Obs.now t.m.rm_reg else 0. in
-    (match Wire.decode meta.Meta.body message with
+    (match Wire.decode ?ctx:t.config.Config.ctx meta.Meta.body message with
      | Ok v ->
        let o = deliver_entry t ~hit entry meta v in
        (match entry.pipeline, o with

@@ -74,10 +74,16 @@ module Config : sig
     metrics : Obs.t;
         (** registry receiving the [receiver.*] counters and histograms
             (see docs/OBSERVABILITY.md) *)
+    ctx : Ctx.t option;
+        (** capability context for the wire fast paths: fused morph plans
+            come from the context's codec cache and staged decodes run
+            [Wire.decode ~ctx].  [None] (the default) keeps the
+            process-global caches; pass a context when receivers run on
+            multiple domains (docs/CONCURRENCY.md) *)
   }
 
   (** Default thresholds, no weights, compiled engine, quarantine after 3,
-      [Obs.null] metrics. *)
+      [Obs.null] metrics, no context (process-global caches). *)
   val default : t
 
   (** Keyword-argument builder over {!default}. *)
@@ -88,6 +94,7 @@ module Config : sig
     ?quarantine_after:int ->
     ?quarantine_cooldown_s:float ->
     ?metrics:Obs.t ->
+    ?ctx:Ctx.t ->
     unit ->
     t
 end

@@ -8,6 +8,7 @@
 
 module Wire_formats = Wire_formats
 module Node = Node
+module Fanout = Fanout
 
 (* Convenience: run the network until every in-flight message is handled,
    returning the number of deliveries. *)

@@ -8,6 +8,7 @@
 
 module Wire_formats : module type of Wire_formats
 module Node : module type of Node
+module Fanout : module type of Fanout
 
 (** Run the network until every in-flight message is handled; returns the
     number of deliveries. *)

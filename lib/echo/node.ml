@@ -252,13 +252,13 @@ let evict_member t (dead : Transport.Contact.t) : unit =
     t.channels
 
 let create ?(thresholds = Morph.Maxmatch.default_thresholds) ?(engine = Morph.Xform.Compiled)
-    ?(reliable = false) ?(metrics = Obs.null) (net : Transport.Netsim.t)
+    ?(reliable = false) ?(metrics = Obs.null) ?ctx (net : Transport.Netsim.t)
     ~(host : string) ~(port : int) (version : version) : t =
   let contact = Transport.Contact.make host port in
-  let endpoint = Transport.Conn.create ~reliable ~metrics net contact in
+  let endpoint = Transport.Conn.create ~reliable ~metrics ?ctx net contact in
   let receiver =
     Morph.Receiver.create
-      ~config:(Morph.Receiver.Config.v ~thresholds ~engine ~metrics ())
+      ~config:(Morph.Receiver.Config.v ~thresholds ~engine ~metrics ?ctx ())
       ()
   in
   let t =

@@ -30,12 +30,16 @@ type t
     channels this node owns (see docs/FAULTS.md).  [metrics] receives the
     node's [echo.*] counters (including per-channel
     [echo.channel.<name>.delivered]) and is threaded through to the
-    endpoint's [conn.*] and the receiver's [receiver.*] instruments. *)
+    endpoint's [conn.*] and the receiver's [receiver.*] instruments.
+    [ctx] supplies the codec plan caches for the node's endpoint and
+    receiver; omitted, the process-global caches are used
+    (docs/CONCURRENCY.md). *)
 val create :
   ?thresholds:Morph.Maxmatch.thresholds ->
   ?engine:Morph.Xform.engine ->
   ?reliable:bool ->
   ?metrics:Obs.t ->
+  ?ctx:Pbio.Ctx.t ->
   Transport.Netsim.t ->
   host:string ->
   port:int ->

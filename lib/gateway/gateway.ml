@@ -273,6 +273,10 @@ type t = {
   cache : cached Plan_cache.t;
   gov : Governor.t;
   inflight : (int * int, pending Queue.t) Hashtbl.t;
+  g_cache : Codec.cache option;
+  (* codec plan cache from the creating [Ctx.t]: fused/staged wire plans
+     come from (and are shared through) it instead of being compiled
+     privately per tenant; [None] keeps private per-plan compiles *)
   mutable pending_depth : int;
   mutable on_delivery : delivery -> unit;
   stats : stats;
@@ -286,7 +290,7 @@ let fingerprint (meta : Meta.format_meta) : int = Meta.hash meta land max_int
 let envelope ~tenant ~fingerprint ?(deadline_ns = 0) frame =
   Framing.Described { tenant; fingerprint; deadline_ns; frame }
 
-let create ?(config = default_config) ?(metrics = Obs.null) ~net contact
+let create ?(config = default_config) ?(metrics = Obs.null) ?ctx ~net contact
     (on_delivery : delivery -> unit) : t =
   if config.breaker_threshold < 1 then
     invalid_arg "Gateway.create: breaker_threshold must be >= 1";
@@ -320,6 +324,7 @@ let create ?(config = default_config) ?(metrics = Obs.null) ~net contact
       cache;
       gov;
       inflight = Hashtbl.create 64;
+      g_cache = Option.map Ctx.codecs ctx;
       pending_depth = 0;
       on_delivery;
       stats =
@@ -482,16 +487,28 @@ let cost_of_level ~(shape : shape) ~(source : Ptype.record)
   else if level <= 1 then float_of_int (Ptype.weight source)
   else 1.
 
-let build_arts ~(shape : shape) ~(source : Ptype.record)
+let build_arts ?cache ~(shape : shape) ~(source : Ptype.record)
     ~(target : Ptype.record) level : arts =
   if level <= 0 && shape.s_fusable then
-    Fused_plans
-      ( lazy (Codec.compile_morph ~endian:Codec.Little ~from_:source ~into:target),
-        lazy (Codec.compile_morph ~endian:Codec.Big ~from_:source ~into:target) )
+    (match cache with
+     | Some c ->
+       Fused_plans
+         ( lazy (Codec.morpher_in c ~endian:Codec.Little ~from_:source ~into:target),
+           lazy (Codec.morpher_in c ~endian:Codec.Big ~from_:source ~into:target) )
+     | None ->
+       Fused_plans
+         ( lazy (Codec.compile_morph ~endian:Codec.Little ~from_:source ~into:target),
+           lazy (Codec.compile_morph ~endian:Codec.Big ~from_:source ~into:target) ))
   else if level <= 1 then
-    Staged_plans
-      ( lazy (Codec.compile_decode ~endian:Codec.Little source),
-        lazy (Codec.compile_decode ~endian:Codec.Big source) )
+    (match cache with
+     | Some c ->
+       Staged_plans
+         ( lazy (Codec.decoder_for ~cache:c ~endian:Codec.Little source),
+           lazy (Codec.decoder_for ~cache:c ~endian:Codec.Big source) )
+     | None ->
+       Staged_plans
+         ( lazy (Codec.compile_decode ~endian:Codec.Little source),
+           lazy (Codec.compile_decode ~endian:Codec.Big source) ))
   else Interp_only
 
 (* The rung at which *new* plan work compiles right now. *)
@@ -576,8 +593,8 @@ let maybe_upgrade t (plan : plan) =
               plan.p_upgrading <- false;
               if arts_level plan.p_arts > want then
                 plan.p_arts <-
-                  build_arts ~shape:plan.p_shape ~source:plan.p_source
-                    ~target:plan.p_target want)
+                  build_arts ?cache:t.g_cache ~shape:plan.p_shape
+                    ~source:plan.p_source ~target:plan.p_target want)
         end
   end
 
@@ -708,7 +725,7 @@ let start_compile t (ts : tstate) ~fingerprint:fp (meta : Meta.format_meta)
         Hashtbl.remove t.inflight key;
         let plan =
           { p_source = source; p_target = target; p_shape = shape;
-            p_arts = build_arts ~shape ~source ~target level;
+            p_arts = build_arts ?cache:t.g_cache ~shape ~source ~target level;
             p_upgrading = false }
         in
         Plan_cache.add t.cache ~tenant:ts.ts_id ~key:fp ~cost (Ready plan);

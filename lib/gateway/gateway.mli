@@ -113,12 +113,17 @@ type t
 (** [create ~net contact handler] builds a gateway that will deliver
     morphed values to [handler]; call {!attach} to register it on the
     network.  [metrics] feeds the [gateway.*] counter/gauge catalogue
-    and delivery trace spans.  Raises [Invalid_argument] on non-positive
+    and delivery trace spans.  [ctx] supplies the codec plan cache the
+    gateway's fused/staged wire plans are compiled into (shared across
+    tenants and with any other user of the context); omitted, plans are
+    compiled privately per tenant as before (docs/CONCURRENCY.md).
+    Raises [Invalid_argument] on non-positive
     [breaker_threshold]/[pending_cap], negative [compile_s_per_unit], or
     [admit_burst < 1] with a rate set. *)
 val create :
   ?config:config ->
   ?metrics:Obs.t ->
+  ?ctx:Pbio.Ctx.t ->
   net:Transport.Netsim.t ->
   Transport.Contact.t ->
   (delivery -> unit) ->

@@ -9,16 +9,11 @@
    branch. *)
 
 (* Clocks are per registry so independent registries (one per simulated
-   node, or one per test) cannot leak virtual time into each other.  The
-   process-wide override remains only as a deprecated escape hatch: when
-   set, it wins over every registry clock. *)
+   node, or one per test, or one per domain) cannot leak virtual time
+   into each other.  There is deliberately no process-wide override: a
+   registry belongs to one domain, and ambient mutable state would make
+   that ownership rule unenforceable. *)
 let default_clock () = Unix.gettimeofday () *. 1e9
-let clock_override : (unit -> float) option ref = ref None
-let set_clock f = clock_override := Some f
-let clear_clock () = clock_override := None
-
-let now_ns () =
-  match !clock_override with Some f -> f () | None -> default_clock ()
 
 type counter_cell = { mutable n : int }
 type gauge_cell = { mutable g : float; mutable gset : bool }
@@ -107,8 +102,7 @@ let enabled t = t.on
 let label t = t.label
 let set_registry_clock t f = if t.on then t.clock <- f
 
-let now t =
-  match !clock_override with Some f -> f () | None -> t.clock ()
+let now t = t.clock ()
 
 let default_latency_buckets = [ 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 ]
 let ratio_buckets = [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5; 0.75; 1.0 ]
@@ -163,14 +157,75 @@ let reset (t : t) =
   t.tr_dropped <- 0;
   t.tr_stack <- []
 
-(* Span and trace ids come from one process-wide counter so spans from
-   different registries (one per simulated node) can be merged without
-   collisions.  0 is reserved for "no parent". *)
-let id_counter = ref 0
+(* Scrape-time aggregation across per-domain (or per-shard) registries.
+   Counters add, gauges take the source value when it was ever set,
+   histograms add bucket-wise when the bounds agree.  Entries missing
+   from [into] are created on first merge, so merging N registries into
+   a fresh one yields the union in [src] registration order. *)
+let merge_into ~(into : t) (src : t) =
+  if into.on then
+    List.iter
+      (fun (se : entry) ->
+         match se.data with
+         | Dcounter sc ->
+           let e = intern into se.ename se.eunit (fun () -> Dcounter { n = 0 }) in
+           (match e.data with
+            | Dcounter c -> c.n <- c.n + sc.n
+            | _ -> assert false)
+         | Dgauge sg ->
+           let e =
+             intern into se.ename se.eunit (fun () ->
+                 Dgauge { g = 0.; gset = false })
+           in
+           (match e.data with
+            | Dgauge g ->
+              if sg.gset then begin
+                g.g <- sg.g;
+                g.gset <- true
+              end
+            | _ -> assert false)
+         | Dhist sh ->
+           let e =
+             intern into se.ename se.eunit (fun () ->
+                 Dhist
+                   {
+                     bounds = Array.copy sh.bounds;
+                     hcounts = Array.make (Array.length sh.hcounts) 0;
+                     hcount = 0;
+                     hsum = 0.;
+                     hmin = infinity;
+                     hmax = neg_infinity;
+                   })
+           in
+           (match e.data with
+            | Dhist h when h.bounds = sh.bounds ->
+              Array.iteri (fun i n -> h.hcounts.(i) <- h.hcounts.(i) + n)
+                sh.hcounts;
+              h.hcount <- h.hcount + sh.hcount;
+              h.hsum <- h.hsum +. sh.hsum;
+              if sh.hcount > 0 then begin
+                if sh.hmin < h.hmin then h.hmin <- sh.hmin;
+                if sh.hmax > h.hmax then h.hmax <- sh.hmax
+              end
+            | Dhist _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Obs.merge_into: histogram %S has different buckets"
+                   se.ename)
+            | _ -> assert false))
+      (List.rev src.rev_order)
 
-let next_id () =
-  incr id_counter;
-  !id_counter
+let merged ?label srcs =
+  let into = create ?label () in
+  List.iter (fun src -> merge_into ~into src) srcs;
+  into
+
+(* Span and trace ids come from one process-wide counter so spans from
+   different registries (one per simulated node, possibly on different
+   domains) can be merged without collisions.  0 is reserved for "no
+   parent"; the counter is atomic so ids stay unique across domains. *)
+let id_counter = Atomic.make 0
+let next_id () = Atomic.fetch_and_add id_counter 1 + 1
 
 type trace_ctx = { trace_id : int; span_id : int }
 

@@ -47,25 +47,23 @@ val set_registry_clock : t -> (unit -> float) -> unit
     into another.  No-op on {!null}. *)
 
 val now : t -> float
-(** Read [t]'s clock (nanoseconds).  A process-wide {!set_clock}
-    override, when installed, wins over the registry clock. *)
+(** Read [t]'s clock (nanoseconds). *)
 
-val set_clock : (unit -> float) -> unit
-  [@@deprecated "use Obs.set_registry_clock: the global clock override \
-                 leaks virtual time across registries"]
-(** Install a process-wide clock override that shadows {e every}
-    registry's clock.  Deprecated: use {!set_registry_clock}. *)
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src]'s metrics into [into]: counters
+    add, gauges take [src]'s value when it was ever set, histograms add
+    bucket-wise (count, sum, min, max included).  Entries missing from
+    [into] are registered on first merge, preserving [src]'s
+    registration order, so merging per-domain registries into a fresh
+    one yields their union.  Call it at {e scrape} time, from the domain
+    that owns [into], after the domains owning the sources have been
+    joined (see docs/CONCURRENCY.md).  Raises [Invalid_argument] on a
+    metric-kind clash or histogram-bucket mismatch; no-op when [into] is
+    {!null}. *)
 
-val clear_clock : unit -> unit
-  [@@deprecated "use Obs.set_registry_clock: the global clock override \
-                 leaks virtual time across registries"]
-(** Remove the {!set_clock} override, restoring per-registry clocks. *)
-
-val now_ns : unit -> float
-  [@@deprecated "use Obs.now: reads the global override or the default \
-                 wall clock, never a registry clock"]
-(** Read the global override (or default wall clock).  Deprecated: use
-    {!now}. *)
+val merged : ?label:string -> t list -> t
+(** [merged ts] is a fresh registry with every [t] in [ts] merged in,
+    left to right — the scrape-time aggregate of per-domain shards. *)
 
 module Counter : sig
   type h

@@ -183,11 +183,18 @@ let reader_u32 endian =
 (* Value -> case-name tables, memoised per enum description so the
    interpretive path shares them with compiled plans.  First binding wins,
    matching the [List.find_opt] the tables replace.  The memo is bounded:
-   fuzzed meta-data can mint unlimited distinct enum types. *)
+   fuzzed meta-data can mint unlimited distinct enum types.  It is
+   domain-local (a plain Hashtbl mutated on the decode hot path cannot be
+   shared); each table itself is fully built before it is returned, so
+   tables captured inside compiled plans are immutable and safe to share
+   across domains. *)
 
-let enum_tables : (Ptype.enum, (int, string) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+let enum_tables_key :
+  (Ptype.enum, (int, string) Hashtbl.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
 let enum_table (e : Ptype.enum) : (int, string) Hashtbl.t =
+  let enum_tables = Domain.DLS.get enum_tables_key in
   match Hashtbl.find_opt enum_tables e with
   | Some t -> t
   | None ->
@@ -291,7 +298,6 @@ let make_metrics reg =
   }
 
 let metrics = ref (make_metrics Obs.null)
-let set_metrics reg = metrics := make_metrics reg
 
 (* Time one plan compilation and tick [codec.plan_compiles]. *)
 let timed_compile (f : unit -> 'a) : 'a =
@@ -447,11 +453,15 @@ end
 type encoder = {
   efmt : Ptype.record;
   eendian : endian;
-  scratch : Buffer.t;
-  (* reusable between messages: the plan never runs user code, so the
-     buffer cannot be re-entered while an encode is in flight *)
   erun : Buffer.t -> Value.t -> unit;
 }
+
+(* Scratch buffer reused between messages: the plan never runs user
+   code, so the buffer cannot be re-entered while an encode is in
+   flight.  It is domain-local rather than per-encoder so one compiled
+   encoder value can be shared across domains — every other encoder
+   field is immutable. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Buffer.create 4096)
 
 let rec comp_encode_type endian (ty : Ptype.t) : Buffer.t -> Value.t -> unit =
   let mismatch v =
@@ -561,21 +571,19 @@ and comp_encode_record endian (r : Ptype.record) : Buffer.t -> Value.t -> unit =
 let compile_encode ~endian (r : Ptype.record) : encoder =
   timed_compile (fun () ->
       let erun = comp_encode_record endian r in
-      let bound, _exact = Sizeof.static_wire_bound r in
-      (* pre-size the scratch buffer from the static bound; cap the initial
-         allocation, Buffer grows on demand past it *)
-      let scratch = Buffer.create (min (max bound 256) 65536) in
-      { efmt = r; eendian = endian; scratch; erun })
+      { efmt = r; eendian = endian; erun })
 
 let encode_payload (enc : encoder) (v : Value.t) : string =
-  Buffer.clear enc.scratch;
-  enc.erun enc.scratch v;
-  Buffer.contents enc.scratch
+  let scratch = Domain.DLS.get scratch_key in
+  Buffer.clear scratch;
+  enc.erun scratch v;
+  Buffer.contents scratch
 
 let encode_message (enc : encoder) ~format_id (v : Value.t) : string =
-  Buffer.clear enc.scratch;
-  enc.erun enc.scratch v;
-  let plen = Buffer.length enc.scratch in
+  let scratch = Domain.DLS.get scratch_key in
+  Buffer.clear scratch;
+  enc.erun scratch v;
+  let plen = Buffer.length scratch in
   let b = Bytes.create (header_size + plen) in
   Bytes.blit_string magic 0 b 0 4;
   Bytes.set b 4 (match enc.eendian with Little -> '\x00' | Big -> '\x01');
@@ -584,7 +592,7 @@ let encode_message (enc : encoder) ~format_id (v : Value.t) : string =
   Bytes.set b 7 '\x00';
   set_u32 enc.eendian b 8 format_id;
   set_u32 enc.eendian b 12 plen;
-  Buffer.blit enc.scratch 0 b header_size plen;
+  Buffer.blit scratch 0 b header_size plen;
   Bytes.unsafe_to_string b
 
 let encoder_format enc = enc.efmt
@@ -1245,126 +1253,240 @@ module Lru = struct
     t.clock <- 0
 end
 
+(* Per-endian plan slots, filled on demand.  The slots are plain mutable
+   options rather than [Lazy.t]: every write happens under the owning
+   stripe's lock, so two domains can never race a force (which would
+   raise [Lazy.Undefined] on a shared lazy).  A reader outside the lock
+   that observes a stale [None] simply falls through to the locked
+   double-check; one that observes [Some plan] sees a fully-initialised
+   immutable closure tree, which is safe to run anywhere. *)
 type plans = {
-  enc_le : encoder Lazy.t;
-  enc_be : encoder Lazy.t;
-  dec_le : decoder Lazy.t;
-  dec_be : decoder Lazy.t;
+  mutable enc_le : encoder option;
+  mutable enc_be : encoder option;
+  mutable dec_le : decoder option;
+  mutable dec_be : decoder option;
+}
+
+type mplans = {
+  mutable mor_le : morpher option;
+  mutable mor_be : morpher option;
+}
+
+(* One lock stripe of a {!cache}: an LRU of format plans plus an LRU of
+   fused morph plans, both touched only under [lock].  Plan compilation
+   also runs under the stripe lock, which serialises duplicate compiles
+   of the same plan for free (stripe-level singleflight). *)
+type stripe = {
+  lock : Mutex.t;
+  ptbl : (Ptype.record, plans) Lru.t;
+  mtbl : (Ptype.record * Ptype.record, mplans) Lru.t;
+}
+
+(* A plan cache: the codec part of a [Pbio.Ctx.t] capability.  Striped
+   so domains sharing one cache contend on 1/N of it; [cgen] is bumped
+   by {!reset_plans} to invalidate the per-domain 1-slot memos that sit
+   in front (a domain cannot clear another domain's DLS slot). *)
+type cache = {
+  stripes : stripe array; (* power-of-two length *)
+  mutable cmax : int; (* total entry bound per table kind *)
+  mutable cgen : int;
+  mutable cmetrics : metrics;
 }
 
 let default_max_plans = 512
-let max_plans_ref = ref default_max_plans
+let default_stripes = 8
 
-let set_max_plans n =
+let fresh_stripe () =
+  {
+    lock = Mutex.create ();
+    ptbl = Lru.create ~equal:Ptype.equal_record 16;
+    mtbl =
+      Lru.create
+        ~equal:(fun (f, i) (f', i') ->
+          Ptype.equal_record f f' && Ptype.equal_record i i')
+        8;
+  }
+
+let create_cache ?(metrics = Obs.null) ?(max_plans = default_max_plans)
+    ?(stripes = default_stripes) () : cache =
+  if max_plans < 1 then invalid_arg "Codec.create_cache: max_plans must be >= 1";
+  if stripes < 1 then invalid_arg "Codec.create_cache: stripes must be >= 1";
+  let n = ref 1 in
+  while !n < stripes do n := !n * 2 done;
+  {
+    stripes = Array.init !n (fun _ -> fresh_stripe ());
+    cmax = max_plans;
+    cgen = 0;
+    cmetrics = make_metrics metrics;
+  }
+
+let default_cache = create_cache ()
+
+(* Legacy shim: retarget both the compile-side metrics and the default
+   cache's hit/eviction metrics, matching the pre-context behaviour
+   where one global registry saw everything. *)
+let set_metrics reg =
+  metrics := make_metrics reg;
+  default_cache.cmetrics <- !metrics
+
+let with_stripe (s : stripe) f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let stripe_for (c : cache) (h : int) : stripe =
+  c.stripes.(h land (Array.length c.stripes - 1))
+
+(* Per-stripe share of the total bound; stripe counts never sum past
+   [cmax] because the stripe count divides the power-of-two-friendly
+   defaults, and a floor of 1 keeps tiny caches functional. *)
+let stripe_cap (c : cache) : int = max 1 (c.cmax / Array.length c.stripes)
+
+let set_max_plans ?(cache = default_cache) n =
   if n < 1 then invalid_arg "Codec.set_max_plans: must be >= 1";
-  max_plans_ref := n
+  cache.cmax <- n
 
-let max_plans () = !max_plans_ref
+let max_plans ?(cache = default_cache) () = cache.cmax
 
-let plan_cache : (Ptype.record, plans) Lru.t =
-  Lru.create ~equal:Ptype.equal_record 64
+let plan_cache_size ?(cache = default_cache) () =
+  Array.fold_left
+    (fun acc s -> acc + with_stripe s (fun () -> Lru.size s.ptbl + Lru.size s.mtbl))
+    0 cache.stripes
 
-type mplans = {
-  mor_le : morpher Lazy.t;
-  mor_be : morpher Lazy.t;
-}
+let reset_plans ?(cache = default_cache) () =
+  Array.iter
+    (fun s ->
+       with_stripe s (fun () ->
+           Lru.reset s.ptbl;
+           Lru.reset s.mtbl))
+    cache.stripes;
+  cache.cgen <- cache.cgen + 1
 
-let morph_cache : (Ptype.record * Ptype.record, mplans) Lru.t =
-  Lru.create
-    ~equal:(fun (f, i) (f', i') ->
-      Ptype.equal_record f f' && Ptype.equal_record i i')
-    32
-
-let plan_cache_size () = Lru.size plan_cache + Lru.size morph_cache
-
-let note_evictions n =
+let note_evictions (c : cache) n =
   if n > 0 then begin
-    let m = !metrics in
+    let m = c.cmetrics in
     if m.mon then Obs.Counter.add m.evictions n
   end
 
-(* One-slot physical-identity memo in front of each hashed cache: almost
-   every caller passes the same statically-defined [Ptype.record] value
-   per message, and [Ptype.hash_record] walks the whole description — at
-   100-byte messages that walk costs as much as decoding.  A [==] hit
-   skips it; dynamically minted formats just fall through to the hashed
-   lookup.  A memo hit does not refresh LRU order, but the memo only holds
-   while no other format interleaves — interleaved workloads go through
-   the hashed lookup and keep the hot entry recent. *)
-let last_plans : (Ptype.record * plans) option ref = ref None
-let last_mplans : ((Ptype.record * Ptype.record) * mplans) option ref = ref None
+let hit (c : cache) =
+  let m = c.cmetrics in
+  if m.mon then Obs.Counter.incr m.cache_hits
 
-let reset_plans () =
-  Lru.reset plan_cache;
-  Lru.reset morph_cache;
-  last_plans := None;
-  last_mplans := None
+(* One-slot physical-identity memo in front of the hashed stripes:
+   almost every caller passes the same statically-defined [Ptype.record]
+   value per message, and [Ptype.hash_record] walks the whole
+   description — at 100-byte messages that walk costs as much as
+   decoding.  A [==] hit skips both the walk and the stripe lock.  The
+   slot lives in domain-local storage (one per domain per process, not
+   per cache), is keyed by cache identity and generation, and does not
+   refresh LRU order — interleaved workloads fall through to the hashed
+   lookup and keep the hot entry recent, exactly as before. *)
+type local_memo = {
+  mutable lp : (cache * int * Ptype.record * stripe * plans) option;
+  mutable lm :
+    (cache * int * (Ptype.record * Ptype.record) * stripe * mplans) option;
+}
 
-let plans_for_slow (r : Ptype.record) : plans =
-  let h = Ptype.hash_record r in
-  match Lru.find plan_cache ~hash:h r with
-  | Some p ->
-    let m = !metrics in
-    if m.mon then Obs.Counter.incr m.cache_hits;
-    p
-  | None ->
-    let p =
-      {
-        enc_le = lazy (compile_encode ~endian:Little r);
-        enc_be = lazy (compile_encode ~endian:Big r);
-        dec_le = lazy (compile_decode ~endian:Little r);
-        dec_be = lazy (compile_decode ~endian:Big r);
-      }
-    in
-    note_evictions (Lru.add plan_cache ~hash:h ~max:!max_plans_ref r p);
-    p
+let local_memo_key : local_memo Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { lp = None; lm = None })
 
-let plans_for (r : Ptype.record) : plans =
-  match !last_plans with
-  | Some (r0, p) when r0 == r ->
-    let m = !metrics in
-    if m.mon then Obs.Counter.incr m.cache_hits;
-    p
+let plans_for (c : cache) (r : Ptype.record) : stripe * plans =
+  let memo = Domain.DLS.get local_memo_key in
+  match memo.lp with
+  | Some (c0, g0, r0, s, p) when c0 == c && r0 == r && g0 = c.cgen ->
+    hit c;
+    (s, p)
   | _ ->
-    let p = plans_for_slow r in
-    last_plans := Some (r, p);
-    p
-
-let encoder_for ~endian (r : Ptype.record) : encoder =
-  let p = plans_for r in
-  Lazy.force (match endian with Little -> p.enc_le | Big -> p.enc_be)
-
-let decoder_for ~endian (r : Ptype.record) : decoder =
-  let p = plans_for r in
-  Lazy.force (match endian with Little -> p.dec_le | Big -> p.dec_be)
-
-let mplans_slow ~(from_ : Ptype.record) ~(into : Ptype.record) : mplans =
-  let h = ((Ptype.hash_record from_ * 31) + Ptype.hash_record into) land max_int in
-  match Lru.find morph_cache ~hash:h (from_, into) with
-  | Some p ->
-    let m = !metrics in
-    if m.mon then Obs.Counter.incr m.cache_hits;
-    p
-  | None ->
+    let h = Ptype.hash_record r in
+    let s = stripe_for c h in
     let p =
-      {
-        mor_le = lazy (compile_morph ~endian:Little ~from_ ~into);
-        mor_be = lazy (compile_morph ~endian:Big ~from_ ~into);
-      }
+      with_stripe s (fun () ->
+          match Lru.find s.ptbl ~hash:h r with
+          | Some p ->
+            hit c;
+            p
+          | None ->
+            let p = { enc_le = None; enc_be = None; dec_le = None; dec_be = None } in
+            note_evictions c (Lru.add s.ptbl ~hash:h ~max:(stripe_cap c) r p);
+            p)
     in
-    note_evictions (Lru.add morph_cache ~hash:h ~max:!max_plans_ref (from_, into) p);
-    p
+    memo.lp <- Some (c, c.cgen, r, s, p);
+    (s, p)
 
-let morpher_for ~endian ~(from_ : Ptype.record) ~(into : Ptype.record) : morpher =
-  let p =
-    match !last_mplans with
-    | Some ((f0, i0), p) when f0 == from_ && i0 == into ->
-      let m = !metrics in
-      if m.mon then Obs.Counter.incr m.cache_hits;
-      p
-    | _ ->
-      let p = mplans_slow ~from_ ~into in
-      last_mplans := Some ((from_, into), p);
-      p
-  in
-  Lazy.force (match endian with Little -> p.mor_le | Big -> p.mor_be)
+let encoder_for ?(cache = default_cache) ~endian (r : Ptype.record) : encoder =
+  let s, p = plans_for cache r in
+  match (endian, p.enc_le, p.enc_be) with
+  | Little, Some e, _ | Big, _, Some e -> e
+  | _ ->
+    with_stripe s (fun () ->
+        match (endian, p.enc_le, p.enc_be) with
+        | Little, Some e, _ | Big, _, Some e -> e
+        | Little, None, _ ->
+          let e = compile_encode ~endian r in
+          p.enc_le <- Some e;
+          e
+        | Big, _, None ->
+          let e = compile_encode ~endian r in
+          p.enc_be <- Some e;
+          e)
+
+let decoder_for ?(cache = default_cache) ~endian (r : Ptype.record) : decoder =
+  let s, p = plans_for cache r in
+  match (endian, p.dec_le, p.dec_be) with
+  | Little, Some d, _ | Big, _, Some d -> d
+  | _ ->
+    with_stripe s (fun () ->
+        match (endian, p.dec_le, p.dec_be) with
+        | Little, Some d, _ | Big, _, Some d -> d
+        | Little, None, _ ->
+          let d = compile_decode ~endian r in
+          p.dec_le <- Some d;
+          d
+        | Big, _, None ->
+          let d = compile_decode ~endian r in
+          p.dec_be <- Some d;
+          d)
+
+let mplans_for (c : cache) ~(from_ : Ptype.record) ~(into : Ptype.record) :
+  stripe * mplans =
+  let memo = Domain.DLS.get local_memo_key in
+  match memo.lm with
+  | Some (c0, g0, (f0, i0), s, p) when c0 == c && f0 == from_ && i0 == into && g0 = c.cgen ->
+    hit c;
+    (s, p)
+  | _ ->
+    let h = ((Ptype.hash_record from_ * 31) + Ptype.hash_record into) land max_int in
+    let s = stripe_for c h in
+    let p =
+      with_stripe s (fun () ->
+          match Lru.find s.mtbl ~hash:h (from_, into) with
+          | Some p ->
+            hit c;
+            p
+          | None ->
+            let p = { mor_le = None; mor_be = None } in
+            note_evictions c
+              (Lru.add s.mtbl ~hash:h ~max:(stripe_cap c) (from_, into) p);
+            p)
+    in
+    memo.lm <- Some (c, c.cgen, (from_, into), s, p);
+    (s, p)
+
+let morpher_in (cache : cache) ~endian ~(from_ : Ptype.record)
+    ~(into : Ptype.record) : morpher =
+  let s, p = mplans_for cache ~from_ ~into in
+  match (endian, p.mor_le, p.mor_be) with
+  | Little, Some m, _ | Big, _, Some m -> m
+  | _ ->
+    with_stripe s (fun () ->
+        match (endian, p.mor_le, p.mor_be) with
+        | Little, Some m, _ | Big, _, Some m -> m
+        | Little, None, _ ->
+          let m = compile_morph ~endian ~from_ ~into in
+          p.mor_le <- Some m;
+          m
+        | Big, _, None ->
+          let m = compile_morph ~endian ~from_ ~into in
+          p.mor_be <- Some m;
+          m)
+
+let morpher_for ~endian ~from_ ~into = morpher_in default_cache ~endian ~from_ ~into

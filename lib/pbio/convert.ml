@@ -178,44 +178,62 @@ let compile ~(from_ : Ptype.record) ~(into : Ptype.record) : conv =
     Value.sync_lengths into out;
     out
 
-(* Memo for the one-shot entry points: [convert]/[convert_exn] used to
-   recompile the closure chain on every call.  Keyed by the format pair's
-   combined structural hash, resolved with structural equality; bounded so
-   fuzzed meta-data cannot grow it without limit.  [compile] itself stays
-   uncached — callers like [Morph.Receiver] manage their own plan caches. *)
+(* Memo for the one-shot [convert] entry point, which used to recompile
+   the closure chain on every call.  Keyed by the format pair's combined
+   structural hash, resolved with structural equality; bounded so fuzzed
+   meta-data cannot grow it without limit.  [compile] itself stays
+   uncached — callers like [Morph.Receiver] manage their own plan
+   caches.  A [memo] is the convert component of a [Pbio.Ctx.t]
+   capability: one mutex guards lookup, compile and insert, so a memo
+   can be shared across domains (compiles are rare enough that striping
+   would buy nothing here — the compiled closures themselves are
+   immutable and run lock-free). *)
 
 let max_cached_convs = 512
 
-let conv_cache : (int, ((Ptype.record * Ptype.record) * conv) list) Hashtbl.t =
-  Hashtbl.create 64
+type memo = {
+  mlock : Mutex.t;
+  mtbl : (int, ((Ptype.record * Ptype.record) * conv) list) Hashtbl.t;
+  mutable mcount : int;
+}
 
-let conv_count = ref 0
+let create_memo () =
+  { mlock = Mutex.create (); mtbl = Hashtbl.create 64; mcount = 0 }
 
-let reset_cache () =
-  Hashtbl.reset conv_cache;
-  conv_count := 0
+let default_memo = create_memo ()
 
-let cached ~(from_ : Ptype.record) ~(into : Ptype.record) : conv =
+let with_memo (m : memo) f =
+  Mutex.lock m.mlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.mlock) f
+
+let reset_unlocked m =
+  Hashtbl.reset m.mtbl;
+  m.mcount <- 0
+
+let reset_cache ?(memo = default_memo) () =
+  with_memo memo (fun () -> reset_unlocked memo)
+
+let cached (memo : memo) ~(from_ : Ptype.record) ~(into : Ptype.record) : conv =
   let h = ((Ptype.hash_record from_ * 31) + Ptype.hash_record into) land max_int in
-  let bucket = Option.value ~default:[] (Hashtbl.find_opt conv_cache h) in
-  match
-    List.find_opt
-      (fun ((f, i), _) -> Ptype.equal_record f from_ && Ptype.equal_record i into)
-      bucket
-  with
-  | Some (_, c) -> c
-  | None ->
-    if !conv_count >= max_cached_convs then reset_cache ();
-    let c = compile ~from_ ~into in
-    Hashtbl.replace conv_cache h
-      (((from_, into), c) :: Option.value ~default:[] (Hashtbl.find_opt conv_cache h));
-    incr conv_count;
-    c
+  with_memo memo (fun () ->
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt memo.mtbl h) in
+      match
+        List.find_opt
+          (fun ((f, i), _) -> Ptype.equal_record f from_ && Ptype.equal_record i into)
+          bucket
+      with
+      | Some (_, c) -> c
+      | None ->
+        if memo.mcount >= max_cached_convs then reset_unlocked memo;
+        let c = compile ~from_ ~into in
+        Hashtbl.replace memo.mtbl h
+          (((from_, into), c)
+           :: Option.value ~default:[] (Hashtbl.find_opt memo.mtbl h));
+        memo.mcount <- memo.mcount + 1;
+        c)
 
-let convert_exn ~from_ ~into v = (cached ~from_ ~into) v
-
-let convert ~from_ ~into v =
-  match (cached ~from_ ~into) v with
+let convert ?(memo = default_memo) ~from_ ~into v =
+  match (cached memo ~from_ ~into) v with
   | out -> Ok out
   | exception Value.Type_error msg -> Error (`Type msg)
 

@@ -29,5 +29,5 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 val msg : ('a, t) result -> ('a, string) result
-(** Flatten the error to its {!to_string} rendering.  This is what the
-    deprecated [*_result] compatibility wrappers are made of. *)
+(** Flatten the error to its {!to_string} rendering, for callers that
+    only want a printable message. *)

@@ -193,8 +193,6 @@ let decode (data : string) : (format_meta, Err.t) result =
     Ok { body; xforms }
   with Meta_error msg -> Error (`Meta msg)
 
-let decode_result data = Err.msg (decode data)
-
 (* Structural identity of a full meta block (body plus transformations):
    receiver-side caches key on this. *)
 

@@ -36,9 +36,6 @@ val encode : format_meta -> string
 (** Parse meta-data received from a peer. *)
 val decode : string -> (format_meta, Err.t) result
 
-val decode_result : string -> (format_meta, string) result
-[@@deprecated "use decode"]
-
 (** Structural identity of a full meta block (body {e and}
     transformations); receiver caches key on this. *)
 val equal : format_meta -> format_meta -> bool

@@ -71,20 +71,49 @@ let make_metrics reg =
 let metrics = ref (make_metrics Obs.null)
 let set_metrics reg = metrics := make_metrics reg
 
+(* Per-ctx metric handles, minted on first use against the ctx's Obs
+   registry.  The memo is domain-local: handle records are cheap to mint
+   and re-minting per domain keeps registry interning single-domain (a
+   registry is owned by one domain; see docs/CONCURRENCY.md).  The list
+   is bounded — callers cycle through a handful of contexts, not
+   thousands. *)
+let ctx_metrics_key : (Ctx.t * metrics) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let metrics_for (ctx : Ctx.t option) : metrics =
+  match ctx with
+  | None -> !metrics
+  | Some c ->
+    let l = Domain.DLS.get ctx_metrics_key in
+    (match List.find_opt (fun (c0, _) -> c0 == c) l with
+     | Some (_, m) -> m
+     | None ->
+       let m = make_metrics (Ctx.obs c) in
+       let l = List.filteri (fun i _ -> i < 7) l in
+       Domain.DLS.set ctx_metrics_key ((c, m) :: l);
+       m)
+
+let cache_of (ctx : Ctx.t option) : Codec.cache option =
+  match ctx with None -> None | Some c -> Some (Ctx.codecs c)
+
 (* --- encoding ------------------------------------------------------------- *)
 
-let encode_payload ?(endian = Little) (r : Ptype.record) (v : Value.t) : string =
-  Codec.encode_payload (Codec.encoder_for ~endian r) v
+let encode_payload ?ctx ?(endian = Little) (r : Ptype.record) (v : Value.t) :
+  string =
+  Codec.encode_payload (Codec.encoder_for ?cache:(cache_of ctx) ~endian r) v
 
-let encode_core ?(endian = Little) ~format_id (r : Ptype.record) (v : Value.t) : string =
-  Codec.encode_message (Codec.encoder_for ~endian r) ~format_id v
+let encode_core ?ctx ?(endian = Little) ~format_id (r : Ptype.record)
+    (v : Value.t) : string =
+  Codec.encode_message
+    (Codec.encoder_for ?cache:(cache_of ctx) ~endian r)
+    ~format_id v
 
-let encode ?endian ~format_id (r : Ptype.record) (v : Value.t) : string =
-  let m = !metrics in
-  if not m.mon then encode_core ?endian ~format_id r v
+let encode ?ctx ?endian ~format_id (r : Ptype.record) (v : Value.t) : string =
+  let m = metrics_for ctx in
+  if not m.mon then encode_core ?ctx ?endian ~format_id r v
   else begin
     let t0 = Obs.now m.mreg in
-    let s = encode_core ?endian ~format_id r v in
+    let s = encode_core ?ctx ?endian ~format_id r v in
     Obs.Counter.incr m.encodes;
     Obs.Counter.add m.bytes_out (String.length s);
     Obs.Histogram.observe m.encode_ns (Obs.now m.mreg -. t0);
@@ -93,22 +122,22 @@ let encode ?endian ~format_id (r : Ptype.record) (v : Value.t) : string =
 
 (* --- decoding ------------------------------------------------------------- *)
 
-let decode_payload_core ?(endian = Little) (r : Ptype.record) (data : string) : Value.t =
-  Codec.decode_payload (Codec.decoder_for ~endian r) data
+let decode_payload_core ?ctx ?(endian = Little) (r : Ptype.record)
+    (data : string) : Value.t =
+  Codec.decode_payload (Codec.decoder_for ?cache:(cache_of ctx) ~endian r) data
 
-let decode_core (r : Ptype.record) (data : string) : Value.t =
+let decode_core ?ctx (r : Ptype.record) (data : string) : Value.t =
   let h = Codec.read_header data in
-  Codec.decode_payload (Codec.decoder_for ~endian:h.endian r) ~pos:header_size data
+  Codec.decode_payload
+    (Codec.decoder_for ?cache:(cache_of ctx) ~endian:h.endian r)
+    ~pos:header_size data
 
-let read_header_exn = Codec.read_header
-let decode_payload_exn = decode_payload_core
-
-let decode_exn (r : Ptype.record) (data : string) : Value.t =
-  let m = !metrics in
-  if not m.mon then decode_core r data
+let decode_raise ?ctx (r : Ptype.record) (data : string) : Value.t =
+  let m = metrics_for ctx in
+  if not m.mon then decode_core ?ctx r data
   else begin
     let t0 = Obs.now m.mreg in
-    match decode_core r data with
+    match decode_core ?ctx r data with
     | v ->
       Obs.Counter.incr m.decodes;
       Obs.Counter.add m.bytes_in (String.length data);
@@ -130,9 +159,7 @@ let wrap (f : unit -> 'a) : ('a, Err.t) result =
   | exception Value.Type_error msg -> Error (`Type msg)
 
 let read_header data = wrap (fun () -> Codec.read_header data)
-let decode r data = wrap (fun () -> decode_exn r data)
-let decode_payload ?endian r data = wrap (fun () -> decode_payload_core ?endian r data)
+let decode ?ctx r data = wrap (fun () -> decode_raise ?ctx r data)
 
-let read_header_result data = Err.msg (read_header data)
-let decode_result r data = Err.msg (decode r data)
-let decode_payload_result ?endian r data = Err.msg (decode_payload ?endian r data)
+let decode_payload ?ctx ?endian r data =
+  wrap (fun () -> decode_payload_core ?ctx ?endian r data)

@@ -28,8 +28,8 @@ exception Encode_error of string
 (** The same exception as {!Codec.Encode_error}. *)
 
 exception Decode_error of string
-(** The same exception as {!Codec.Decode_error}; raised only by the
-    deprecated [*_exn] decoders. *)
+(** The same exception as {!Codec.Decode_error}; never escapes the
+    result-typed decoders below. *)
 
 (** Header size in bytes (16 — the paper reports PBIO adds <30 bytes). *)
 val header_size : int
@@ -43,17 +43,24 @@ type header = Codec.header = {
   payload_len : int;
 }
 
-(** {1 Encoding} *)
+(** {1 Encoding}
+
+    Every entry point takes an optional [?ctx] {!Ctx.t}: plans are then
+    pulled from that context's cache and metrics recorded into its
+    registry.  Omitting it uses the process-default context
+    ({!Ctx.default} — the pre-context global cache and whatever
+    {!set_metrics} installed). *)
 
 (** [encode ~endian ~format_id fmt v] is the complete wire message (header
     plus payload).  Raises {!Encode_error} if [v] does not conform to
     [fmt], an int exceeds 32 bits, a fixed array has the wrong length, or a
     variable array disagrees with its length field (call
     {!Value.sync_lengths} first). *)
-val encode : ?endian:endian -> format_id:int -> Ptype.record -> Value.t -> string
+val encode :
+  ?ctx:Ctx.t -> ?endian:endian -> format_id:int -> Ptype.record -> Value.t -> string
 
 (** Payload only, without the header. *)
-val encode_payload : ?endian:endian -> Ptype.record -> Value.t -> string
+val encode_payload : ?ctx:Ctx.t -> ?endian:endian -> Ptype.record -> Value.t -> string
 
 (** {1 Decoding}
 
@@ -68,11 +75,11 @@ val read_header : string -> (header, Err.t) result
 (** [decode fmt message] decodes a complete wire message against [fmt]
     (which must be the {e writer's} format — conversion to the reader's
     format is the morphing layer's job). *)
-val decode : Ptype.record -> string -> (Value.t, Err.t) result
+val decode : ?ctx:Ctx.t -> Ptype.record -> string -> (Value.t, Err.t) result
 
 (** Decode a bare payload (no header) in the given byte order. *)
 val decode_payload :
-  ?endian:endian -> Ptype.record -> string -> (Value.t, Err.t) result
+  ?ctx:Ctx.t -> ?endian:endian -> Ptype.record -> string -> (Value.t, Err.t) result
 
 (** Minimum wire footprint of one value of a type, used to validate length
     fields. *)
@@ -84,29 +91,9 @@ val min_wire_size : Ptype.t -> int
     [wire.encodes]/[wire.decodes]/[wire.decode_errors] counters,
     [wire.bytes_out]/[wire.bytes_in] byte counters and
     [wire.encode_ns]/[wire.decode_ns] latency histograms.  Defaults to
-    {!Obs.null}, which skips the clock reads entirely. *)
+    {!Obs.null}, which skips the clock reads entirely.  Deprecated: pass
+    [?ctx] with a metrics registry instead; the global registration
+    applies to every caller in the process and is not domain-safe. *)
 val set_metrics : Obs.t -> unit
-
-(** {1 Deprecated compatibility wrappers} *)
-
-val read_header_exn : string -> header
-[@@deprecated "use read_header"]
-(** Raises {!Decode_error}. *)
-
-val decode_exn : Ptype.record -> string -> Value.t
-[@@deprecated "use decode"]
-(** Raises {!Decode_error}. *)
-
-val decode_payload_exn : ?endian:endian -> Ptype.record -> string -> Value.t
-[@@deprecated "use decode_payload"]
-(** Raises {!Decode_error}. *)
-
-val read_header_result : string -> (header, string) result
-[@@deprecated "use read_header"]
-
-val decode_result : Ptype.record -> string -> (Value.t, string) result
-[@@deprecated "use decode"]
-
-val decode_payload_result :
-  ?endian:endian -> Ptype.record -> string -> (Value.t, string) result
-[@@deprecated "use decode_payload"]
+  [@@deprecated "pass ?ctx (Pbio.Ctx.create ~metrics) instead: the \
+                 process-global metrics registration is not domain-safe"]

@@ -69,7 +69,9 @@ type endpoint
     and [meta_retry] tune the backoff schedules; [parked_cap] bounds each
     (peer, format) parked queue.  [metrics] mirrors {!stats} into an Obs
     registry ([conn.*] counters plus the [conn.parked_depth] gauge);
-    defaults to [Obs.null]. *)
+    defaults to [Obs.null].  [ctx] supplies the codec plan caches used by
+    this endpoint's [Wire.encode]/[Wire.decode] calls; omitted, the
+    process-global caches are used (docs/CONCURRENCY.md). *)
 val create :
   ?endian:Wire.endian ->
   ?reliable:bool ->
@@ -77,6 +79,7 @@ val create :
   ?meta_retry:backoff ->
   ?parked_cap:int ->
   ?metrics:Obs.t ->
+  ?ctx:Ctx.t ->
   Netsim.t ->
   Contact.t ->
   endpoint

@@ -160,6 +160,4 @@ let decode (s : string) : (frame, Pbio.Err.t) result =
   | f -> Ok f
   | exception Frame_error msg -> Error (`Frame msg)
 
-let decode_result s = Pbio.Err.msg (decode s)
-
 let overhead = 9

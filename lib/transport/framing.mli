@@ -61,12 +61,5 @@ val encode : frame -> string
 (** Total on untrusted input: malformed frames are [Error (`Frame _)]. *)
 val decode : string -> (frame, Pbio.Err.t) result
 
-val decode_exn : string -> frame
-[@@deprecated "use decode"]
-(** Raises {!Frame_error} on malformed frames. *)
-
-val decode_result : string -> (frame, string) result
-[@@deprecated "use decode"]
-
 (** Per-frame byte overhead. *)
 val overhead : int

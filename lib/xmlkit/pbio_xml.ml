@@ -183,6 +183,3 @@ let decode (r : Ptype.record) (src : string) : (Value.t, Err.t) result =
   | Error msg -> Error (`Decode msg)
   | Ok doc ->
     (try Ok (of_xml r doc) with Xml_decode_error msg -> Error (`Decode msg))
-
-let decode_result (r : Ptype.record) (src : string) : (Value.t, string) result =
-  Err.msg (decode r src)

@@ -29,8 +29,5 @@ val of_xml : Ptype.record -> Xml.t -> Value.t
     content that does not fit the format — are [Error (`Decode _)]. *)
 val decode : Ptype.record -> string -> (Value.t, Err.t) result
 
-val decode_result : Ptype.record -> string -> (Value.t, string) result
-[@@deprecated "use decode, which returns (_, Pbio.Err.t) result"]
-
 (** Raw (unescaped) text for a basic value. *)
 val basic_to_string : Value.t -> string

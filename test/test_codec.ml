@@ -177,13 +177,17 @@ let test_hostile_length_rejected_cheaply () =
 
 (* --- plan cache metrics --------------------------------------------------- *)
 
+(* Exercises the deprecated global [set_metrics] shim on purpose: the
+   compile-side counters it retargets are process-global, and the shim
+   must keep working for one release (ctx-scoped metrics are covered in
+   test_parallel.ml). *)
 let with_codec_metrics f =
   let reg = Obs.create () in
-  Codec.set_metrics reg;
+  (Codec.set_metrics reg [@alert "-deprecated"]);
   Codec.reset_plans ();
   Fun.protect
     ~finally:(fun () ->
-        Codec.set_metrics Obs.null;
+        (Codec.set_metrics Obs.null [@alert "-deprecated"]);
         Codec.reset_plans ())
     (fun () -> f reg)
 

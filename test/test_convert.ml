@@ -163,12 +163,13 @@ let prop_identity_conversion =
 let test_convert_memoized () =
   (* repeated [convert] over one format pair must reuse the compiled plan:
      [convert.compiles] ticks once, not per message *)
+  (* exercises the deprecated global [set_metrics] shim on purpose *)
   let reg = Obs.create () in
-  Convert.set_metrics reg;
+  (Convert.set_metrics reg [@alert "-deprecated"]);
   Convert.reset_cache ();
   Fun.protect
     ~finally:(fun () ->
-        Convert.set_metrics Obs.null;
+        (Convert.set_metrics Obs.null [@alert "-deprecated"]);
         Convert.reset_cache ())
     (fun () ->
        let a = fmt "format Memo { int x; int gone; }" in

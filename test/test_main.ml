@@ -31,4 +31,5 @@ let () =
       ("bench schema", Test_bench_schema.suite);
       ("loadgen", Test_loadgen.suite);
       ("gateway", Test_gateway.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -203,16 +203,60 @@ let test_registration_order_preserved () =
   Alcotest.(check (list string)) "names in registration order" [ "a"; "b"; "c" ]
     (Obs.names t)
 
+(* --- scrape-time merging ------------------------------------------------- *)
+
+let test_merge_counters_gauges () =
+  let a = Obs.create ~label:"shard0" () in
+  let b = Obs.create ~label:"shard1" () in
+  Obs.Counter.add (Obs.Counter.make a "deliveries") 3;
+  Obs.Counter.add (Obs.Counter.make b "deliveries") 4;
+  Obs.Counter.incr (Obs.Counter.make b "only_b");
+  Obs.Gauge.set (Obs.Gauge.make a "depth") 2.;
+  ignore (Obs.Gauge.make b "depth" : Obs.Gauge.h);
+  (* registered but never set in b *)
+  let m = Obs.merged [ a; b ] in
+  Alcotest.(check int) "counters add" 7 (Obs.Counter.value m "deliveries");
+  Alcotest.(check int) "union keeps b-only entries" 1
+    (Obs.Counter.value m "only_b");
+  Alcotest.(check (option (float 0.))) "unset gauge does not clobber"
+    (Some 2.) (Obs.Gauge.value m "depth");
+  (* merge order: a's entries first, then b's new ones *)
+  Alcotest.(check (list string)) "registration order is union order"
+    [ "deliveries"; "depth"; "only_b" ] (Obs.names m)
+
+let test_merge_histograms () =
+  let a = Obs.create () in
+  let b = Obs.create () in
+  let ha = Obs.Histogram.make a ~buckets:[ 1.; 10. ] "lat" in
+  let hb = Obs.Histogram.make b ~buckets:[ 1.; 10. ] "lat" in
+  Obs.Histogram.observe ha 0.5;
+  Obs.Histogram.observe ha 5.;
+  Obs.Histogram.observe hb 50.;
+  let m = Obs.merged [ a; b ] in
+  (match Obs.Histogram.snapshot m "lat" with
+   | None -> Alcotest.fail "merged histogram missing"
+   | Some s ->
+     Alcotest.(check int) "counts add" 3 s.Obs.Histogram.count;
+     Alcotest.(check (float 1e-9)) "sums add" 55.5 s.Obs.Histogram.sum;
+     Alcotest.(check (float 0.)) "min kept" 0.5 s.Obs.Histogram.min;
+     Alcotest.(check (float 0.)) "max kept" 50. s.Obs.Histogram.max;
+     Alcotest.(check (list (pair (float 0.) int))) "buckets add"
+       [ (1., 1); (10., 1); (infinity, 1) ]
+       s.Obs.Histogram.buckets);
+  (* mismatched bounds are a programming error, not silent corruption *)
+  let c = Obs.create () in
+  ignore (Obs.Histogram.make c ~buckets:[ 2.; 20. ] "lat" : Obs.Histogram.h);
+  Alcotest.check_raises "bucket mismatch raises"
+    (Invalid_argument "Obs.merge_into: histogram \"lat\" has different buckets")
+    (fun () -> Obs.merge_into ~into:c a)
+
+let test_merge_into_null_inert () =
+  let a = Obs.create () in
+  Obs.Counter.incr (Obs.Counter.make a "c");
+  Obs.merge_into ~into:Obs.null a;
+  Alcotest.(check int) "null stays empty" 0 (Obs.Counter.value Obs.null "c")
+
 (* --- distributed tracing ------------------------------------------------- *)
-
-(* the deprecated global clock override, accessed without tripping the
-   deprecation alert so we can test that it still wins *)
-module Deprecated_clock = struct
-  [@@@alert "-deprecated"]
-
-  let set = Obs.set_clock
-  let clear = Obs.clear_clock
-end
 
 let test_trace_span_recording () =
   let t = Obs.create ~label:"n0" () in
@@ -290,14 +334,11 @@ let test_trace_registry_clock () =
   Obs.set_registry_clock b (fun () -> 20.);
   Alcotest.(check (float 0.)) "a's clock" 10. (Obs.now a);
   Alcotest.(check (float 0.)) "b's clock" 20. (Obs.now b);
-  (* the deprecated process-wide override still wins over both *)
-  Deprecated_clock.set (fun () -> 99.);
-  Fun.protect
-    ~finally:(fun () -> Deprecated_clock.clear ())
-    (fun () ->
-       Alcotest.(check (float 0.)) "override wins on a" 99. (Obs.now a);
-       Alcotest.(check (float 0.)) "override wins on b" 99. (Obs.now b));
-  Alcotest.(check (float 0.)) "cleared override restores" 10. (Obs.now a)
+  (* registry clocks are fully independent: retargeting one never
+     affects the other (the old process-wide override is gone) *)
+  Obs.set_registry_clock a (fun () -> 99.);
+  Alcotest.(check (float 0.)) "a retargeted" 99. (Obs.now a);
+  Alcotest.(check (float 0.)) "b unaffected" 20. (Obs.now b)
 
 (* hand-craft a span (the record type is public precisely so merge logic
    can be tested on malformed input) *)
@@ -429,6 +470,11 @@ let suite =
     Alcotest.test_case "json sink schema" `Quick test_json_sink_schema;
     Alcotest.test_case "registration order preserved" `Quick
       test_registration_order_preserved;
+    Alcotest.test_case "merge counters and gauges" `Quick
+      test_merge_counters_gauges;
+    Alcotest.test_case "merge histograms" `Quick test_merge_histograms;
+    Alcotest.test_case "merge into null is inert" `Quick
+      test_merge_into_null_inert;
     Alcotest.test_case "trace span recording" `Quick test_trace_span_recording;
     Alcotest.test_case "trace explicit ctx, record, ring" `Quick
       test_trace_explicit_ctx_and_record;

@@ -478,12 +478,13 @@ let test_wire_fused_plan_cached () =
   let b = fmt "format W { string s; int x; }" in
   let v = Value.record [ ("x", Value.Int 7); ("s", Value.String "m") ] in
   let message = Wire.encode ~format_id:3 a v in
+  (* exercises the deprecated global [set_metrics] shim on purpose *)
   let reg = Obs.create () in
-  Codec.set_metrics reg;
+  (Codec.set_metrics reg [@alert "-deprecated"]);
   Codec.reset_plans ();
   Fun.protect
     ~finally:(fun () ->
-        Codec.set_metrics Obs.null;
+        (Codec.set_metrics Obs.null [@alert "-deprecated"]);
         Codec.reset_plans ())
     (fun () ->
        let r, got = make_receiver b in
