@@ -14,20 +14,23 @@
                       vs the fused decode->morph path
      parallel         domain-sharded fan-out: one batch over many sinks at
                       pool widths 1/2/4
+     obs              telemetry hot paths: inert handles, labeled-family
+                      lookup+record, pre-resolved series
 
    The workload is the paper's: a ChannelOpenResponse v2.0 message whose
    member list is sized so the unencoded struct is 100 B ... 1 MB.
 
    Usage: dune exec bench/main.exe -- [SECTION]... [--quick]
             [--only fig8,table1] [--json [FILE]] [--check-codec]
-            [--check-parallel]
+            [--check-parallel] [--check-obs]
    Bare SECTION tokens filter like --only entries; --json without a file
    writes BENCH_morph.json; --check-codec exits non-zero unless the
    compiled decode beats the interpreter (and fused beats staged) at the
    10 KB point — the CI guard against the fast path silently regressing.
    --check-parallel exits non-zero unless 4-domain fan-out beats the
    sequential baseline by >= 2x (skipped with a warning on machines with
-   fewer than 4 recommended domains). *)
+   fewer than 4 recommended domains).  --check-obs exits non-zero unless
+   the telemetry hot paths stay within their overhead budgets. *)
 
 open Pbio
 module WF = Echo.Wire_formats
@@ -564,6 +567,64 @@ let check_parallel () : int =
         "check-parallel: no parallel measurements (did filters skip 'parallel'?)";
       1
 
+(* --- obs: telemetry hot-path overhead ---------------------------------------------- *)
+
+(* (inert incr, labeled lookup+record, pre-resolved series incr), in ns;
+   read back by --check-obs *)
+let obs_results : (float * float * float) option ref = ref None
+
+let obs_bench () =
+  H.section "obs"
+    "Telemetry hot paths: inert (Obs.null) handle increments, labeled-family \
+     lookup+record, and pre-resolved labeled series handles";
+  let null_c = Obs.Counter.make Obs.null "bench.null" in
+  let inert =
+    H.measure ~name:"obs/inert-incr" (fun () -> Obs.Counter.incr null_c)
+  in
+  let reg = Obs.create () in
+  let fam =
+    Obs.Labeled.counter reg ~keys:[ "tenant"; "reason" ] "bench.labeled"
+  in
+  (* pre-mint the series so the timed loop measures warm lookups, the
+     shape of per-message label recording in the gateway *)
+  for i = 0 to 15 do
+    Obs.Labeled.incr fam [ string_of_int i; "quota" ]
+  done;
+  let k = ref 0 in
+  let lookup =
+    H.measure ~name:"obs/labeled-incr" (fun () ->
+        incr k;
+        Obs.Labeled.incr fam [ string_of_int (!k land 15); "quota" ])
+  in
+  let h = Obs.Labeled.counter_series fam [ "0"; "quota" ] in
+  let resolved =
+    H.measure ~name:"obs/resolved-incr" (fun () -> Obs.Counter.incr h)
+  in
+  obs_results := Some (inert, lookup, resolved);
+  H.row "   %-36s %14s\n" "inert handle incr (Obs.null)" (ns inert);
+  H.row "   %-36s %14s\n" "labeled lookup + record" (ns lookup);
+  H.row "   %-36s %14s\n" "pre-resolved series incr" (ns resolved)
+
+(* The CI guard: telemetry must stay cheap enough to leave on everywhere.
+   Budgets are far above the typical numbers so only a real regression
+   (e.g. an allocation sneaking into the inert or resolved path) trips
+   them on noisy CI machines. *)
+let check_obs () : int =
+  match !obs_results with
+  | None ->
+    prerr_endline "check-obs: no obs measurements (did filters skip 'obs'?)";
+    1
+  | Some (inert, lookup, resolved) ->
+    Printf.printf
+      "check-obs: inert %.1fns (need <= 100), labeled lookup+record %.0fns \
+       (need <= 10000), resolved series %.1fns (need <= 100)\n"
+      inert lookup resolved;
+    if inert <= 100. && lookup <= 10_000. && resolved <= 100. then 0
+    else begin
+      prerr_endline "check-obs: FAILED — telemetry hot path regressed";
+      1
+    end
+
 (* --- driver ------------------------------------------------------------------------ *)
 
 let contains (hay : string) (needle : string) : bool =
@@ -577,6 +638,7 @@ type opts = {
   json : string option;
   check : bool;
   check_parallel : bool;
+  check_obs : bool;
 }
 
 let parse_args () : opts =
@@ -586,6 +648,7 @@ let parse_args () : opts =
     | "--quick" :: rest -> go { acc with quick = true } rest
     | "--check-codec" :: rest -> go { acc with check = true } rest
     | "--check-parallel" :: rest -> go { acc with check_parallel = true } rest
+    | "--check-obs" :: rest -> go { acc with check_obs = true } rest
     | "--only" :: v :: rest when not (is_flag v) ->
       go { acc with filters = acc.filters @ String.split_on_char ',' v } rest
     | "--json" :: v :: rest when not (is_flag v) -> go { acc with json = Some v } rest
@@ -599,7 +662,7 @@ let parse_args () : opts =
   in
   go
     { quick = false; filters = []; json = None; check = false;
-      check_parallel = false }
+      check_parallel = false; check_obs = false }
     (List.tl (Array.to_list Sys.argv))
 
 let () =
@@ -630,14 +693,16 @@ let () =
   if want "abl6" then abl6 ();
   if want "codec" then codec sized_points;
   if want "parallel" then parallel opts.quick;
+  if want "obs" then obs_bench ();
   Option.iter
     (fun path ->
        H.write_json path;
        Printf.printf "\nmeasurements written to %s\n" path)
     opts.json;
   print_newline ();
-  if opts.check || opts.check_parallel then begin
+  if opts.check || opts.check_parallel || opts.check_obs then begin
     let rc = if opts.check then check_codec () else 0 in
     let rcp = if opts.check_parallel then check_parallel () else 0 in
-    exit (max rc rcp)
+    let rco = if opts.check_obs then check_obs () else 0 in
+    exit (max rc (max rcp rco))
   end

@@ -26,6 +26,30 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* Dump every captured flight incident as a Perfetto-loadable Chrome
+   trace plus a text post-mortem report, one pair per incident. *)
+let dump_flight ~dir fl =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (inc : Obs.Flight.incident) ->
+       let base =
+         Filename.concat dir (Printf.sprintf "incident-%03d" inc.Obs.Flight.seq)
+       in
+       write_file (base ^ ".json") (Obs.Flight.to_chrome_json inc);
+       write_file (base ^ ".txt") (Obs.Flight.report inc))
+    (Obs.Flight.incidents fl);
+  Printf.printf "flight: %d incident(s) dumped to %s%s\n" (Obs.Flight.count fl)
+    dir
+    (if Obs.Flight.suppressed fl > 0 then
+       Printf.sprintf " (%d suppressed)" (Obs.Flight.suppressed fl)
+     else "")
+
 let load_formats path : (string * Ptype.record) list =
   match Ptype_dsl.parse_formats (read_file path) with
   | Ok [] -> Fmt.failwith "%s: no 'format' declarations found" path
@@ -333,8 +357,14 @@ let demo_cmd =
 (* --- stats --------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run scenario json orders =
+  let run scenario json prometheus watch orders =
     let metrics = Obs.create () in
+    let emit_now () =
+      if prometheus then print_string (Obs.to_prometheus metrics)
+      else
+        Obs.emit metrics
+          (if json then Obs.Json print_string else Obs.Text print_string)
+    in
     (* the wire/codec instruments ride the capability context now; only
        the compile-side counters ([codec.plan_compiles], [convert.compiles])
        and Ecode remain process-global registrations, fine for a
@@ -351,6 +381,9 @@ let stats_cmd =
       (fun () ->
          match scenario with
          | "b2b" ->
+           if watch > 0 then
+             Printf.eprintf
+               "stats: --watch snapshots the echo event loop; ignored for b2b\n";
            let r =
              B2b.Scenario.run ~orders ~metrics ~ctx B2b.Broker.Morph_at_receiver
            in
@@ -371,12 +404,16 @@ let stats_cmd =
            ignore (Echo.settle net);
            for i = 1 to orders do
              Echo.Node.publish creator "demo" (Printf.sprintf "event-%d" i);
-             ignore (Echo.settle net)
+             ignore (Echo.settle net);
+             if watch > 0 && i mod watch = 0 && i < orders then begin
+               Printf.printf "# watch %d/%d\n" i orders;
+               emit_now ()
+             end
            done
          | s ->
            Printf.eprintf "stats: unknown scenario %S (expected b2b or echo)\n" s;
            exit 2);
-    Obs.emit metrics (if json then Obs.Json print_string else Obs.Text print_string)
+    emit_now ()
   in
   let scenario =
     Arg.(value & opt string "b2b"
@@ -387,6 +424,16 @@ let stats_cmd =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Emit line-oriented JSON instead of a table")
   in
+  let prometheus =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:"Emit Prometheus text exposition instead of a table")
+  in
+  let watch =
+    Arg.(value & opt int 0
+         & info [ "watch" ] ~docv:"N"
+             ~doc:"Also emit a live snapshot every N events (echo scenario)")
+  in
   let orders =
     Arg.(value & opt int 25
          & info [ "orders"; "n" ] ~docv:"N"
@@ -395,7 +442,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run an instrumented scenario and dump every collected metric")
-    Term.(const run $ scenario $ json $ orders)
+    Term.(const run $ scenario $ json $ prometheus $ watch $ orders)
 
 (* --- trace --------------------------------------------------------------- *)
 
@@ -685,7 +732,8 @@ let chaos_cmd =
 
 let loadgen_cmd =
   let run scenario mode clients dist duration churn versions mix sinks loss dup
-      reorder jitter reliable seed samples ndjson json =
+      reorder jitter reliable seed samples scrape_every scrape_out prom_out
+      flight_dir ndjson json =
     let parse name = function
       | Ok v -> v
       | Error msg ->
@@ -714,7 +762,7 @@ let loadgen_cmd =
     let cfg =
       { Loadgen.scenario; mode; clients; dist; duration_s = duration;
         churn_per_s = churn; versions; mix; sinks; faults; reliable; seed;
-        samples }
+        samples; scrape_every_s = scrape_every }
     in
     let report =
       try Loadgen.run cfg
@@ -725,11 +773,16 @@ let loadgen_cmd =
     print_string (Loadgen.summary report);
     (match ndjson with
      | None -> ()
-     | Some path ->
-       let oc = open_out_bin path in
-       Fun.protect
-         ~finally:(fun () -> close_out_noerr oc)
-         (fun () -> output_string oc report.Loadgen.trajectory));
+     | Some path -> write_file path report.Loadgen.trajectory);
+    (match scrape_out with
+     | None -> ()
+     | Some path -> write_file path report.Loadgen.scrape);
+    (match prom_out with
+     | None -> ()
+     | Some path -> write_file path (Obs.to_prometheus report.Loadgen.metrics));
+    (match flight_dir with
+     | None -> ()
+     | Some dir -> dump_flight ~dir report.Loadgen.flight);
     if json then print_string (Obs.to_json_lines report.Loadgen.metrics)
   in
   let scenario =
@@ -804,6 +857,28 @@ let loadgen_cmd =
     Arg.(value & opt int Loadgen.default.Loadgen.samples
          & info [ "samples" ] ~docv:"N" ~doc:"Trajectory samples across the window")
   in
+  let scrape_every =
+    Arg.(value & opt float 0.
+         & info [ "scrape-every" ] ~docv:"S"
+             ~doc:"Scrape the metrics registry every S simulated seconds \
+                   during the run (0 disables); scrapes never perturb the run")
+  in
+  let scrape_out =
+    Arg.(value & opt (some string) None
+         & info [ "scrape-out" ] ~docv:"FILE"
+             ~doc:"Write the periodic-scrape ndjson to FILE")
+  in
+  let prom_out =
+    Arg.(value & opt (some string) None
+         & info [ "prom-out" ] ~docv:"FILE"
+             ~doc:"Write the final Prometheus text exposition to FILE")
+  in
+  let flight_dir =
+    Arg.(value & opt (some string) None
+         & info [ "flight-dir" ] ~docv:"DIR"
+             ~doc:"Dump captured flight incidents (Chrome trace JSON + text \
+                   report per incident) into DIR")
+  in
   let ndjson =
     Arg.(value & opt (some string) None
          & info [ "ndjson" ] ~docv:"FILE" ~doc:"Write the ndjson trajectory to FILE")
@@ -817,14 +892,16 @@ let loadgen_cmd =
        ~doc:"Open-loop load harness: seeded traffic over the virtual clock")
     Term.(const run $ scenario $ mode $ clients $ dist $ duration $ churn
           $ versions $ mix $ sinks $ loss $ dup $ reorder $ jitter $ reliable
-          $ seed $ samples $ ndjson $ json)
+          $ seed $ samples $ scrape_every $ scrape_out $ prom_out $ flight_dir
+          $ ndjson $ json)
 
 (* --- gateway ------------------------------------------------------------- *)
 
 let gateway_cmd =
   let run soak tenants lineages dist duration churn versions push_at deadline
       admit_rate admit_burst max_plans quota budget window mode parity loss dup
-      reorder jitter seed samples ndjson json =
+      reorder jitter seed samples scrape_every scrape_out prom_out flight_dir
+      ndjson json =
     match soak with
     | Some cases ->
       (* chaos-soak mode: the stressed-by-design campaign instead of a
@@ -848,6 +925,34 @@ let gateway_cmd =
         profile.Morphcheck.Chaos.jitter_s;
       let report = Morphcheck.Gateway_chaos.run ~profile ~seed ~cases () in
       Format.printf "%a@." Morphcheck.Gateway_chaos.pp_report report;
+      (* telemetry artifacts ride one extra observed case: same stressed
+         shape plus a poison tenant guaranteeing breaker trips, so the
+         exports always contain per-tenant shed series and >= 1 flight
+         incident *)
+      if scrape_out <> None || prom_out <> None || flight_dir <> None then begin
+        let ob =
+          Morphcheck.Gateway_chaos.run_observed ~profile ~seed
+            ?scrape_every_s:(if scrape_every > 0. then Some scrape_every else None)
+            ()
+        in
+        Printf.printf
+          "observed case: sent=%d delivered=%d trips=%d incidents=%d quiesced=%b\n"
+          ob.Morphcheck.Gateway_chaos.o_sent ob.Morphcheck.Gateway_chaos.o_delivered
+          ob.Morphcheck.Gateway_chaos.o_trips
+          ob.Morphcheck.Gateway_chaos.o_incidents
+          ob.Morphcheck.Gateway_chaos.o_quiesced;
+        (match scrape_out with
+         | None -> ()
+         | Some path -> write_file path ob.Morphcheck.Gateway_chaos.o_scrape);
+        (match prom_out with
+         | None -> ()
+         | Some path ->
+           write_file path
+             (Obs.to_prometheus ob.Morphcheck.Gateway_chaos.o_metrics));
+        (match flight_dir with
+         | None -> ()
+         | Some dir -> dump_flight ~dir ob.Morphcheck.Gateway_chaos.o_flight)
+      end;
       if not (Morphcheck.Gateway_chaos.passed report) then begin
         Printf.printf "gateway soak: reproduce with --seed %d\n" seed;
         exit 1
@@ -901,7 +1006,8 @@ let gateway_cmd =
             { Transport.Netsim.loss; duplication = dup; reorder;
               jitter_s = jitter };
           g_seed = seed;
-          g_samples = samples }
+          g_samples = samples;
+          g_scrape_every_s = scrape_every }
       in
       (match Loadgen.check_gateway cfg with
        | Error e ->
@@ -912,11 +1018,17 @@ let gateway_cmd =
       print_string (Loadgen.gateway_summary report);
       (match ndjson with
        | None -> ()
+       | Some path -> write_file path report.Loadgen.g_trajectory);
+      (match scrape_out with
+       | None -> ()
+       | Some path -> write_file path report.Loadgen.g_scrape);
+      (match prom_out with
+       | None -> ()
        | Some path ->
-         let oc = open_out_bin path in
-         Fun.protect
-           ~finally:(fun () -> close_out_noerr oc)
-           (fun () -> output_string oc report.Loadgen.g_trajectory));
+         write_file path (Obs.to_prometheus report.Loadgen.g_metrics));
+      (match flight_dir with
+       | None -> ()
+       | Some dir -> dump_flight ~dir report.Loadgen.g_flight);
       if json then print_string (Obs.to_json_lines report.Loadgen.g_metrics)
   in
   let dg = Loadgen.default_gateway in
@@ -1028,6 +1140,31 @@ let gateway_cmd =
     Arg.(value & opt int dg.Loadgen.g_samples
          & info [ "samples" ] ~docv:"N" ~doc:"Trajectory samples across the window")
   in
+  let scrape_every =
+    Arg.(value & opt float 0.
+         & info [ "scrape-every" ] ~docv:"S"
+             ~doc:"Scrape the metrics registry every S simulated seconds \
+                   during the run (0 disables; the soak's observed case \
+                   defaults to 0.02); scrapes never perturb the run")
+  in
+  let scrape_out =
+    Arg.(value & opt (some string) None
+         & info [ "scrape-out" ] ~docv:"FILE"
+             ~doc:"Write the periodic-scrape ndjson to FILE (with --soak, \
+                   from the telemetry-observed extra case)")
+  in
+  let prom_out =
+    Arg.(value & opt (some string) None
+         & info [ "prom-out" ] ~docv:"FILE"
+             ~doc:"Write the final Prometheus text exposition (per-tenant \
+                   and per-rung series included) to FILE")
+  in
+  let flight_dir =
+    Arg.(value & opt (some string) None
+         & info [ "flight-dir" ] ~docv:"DIR"
+             ~doc:"Dump captured flight incidents (Chrome trace JSON + text \
+                   report per incident) into DIR")
+  in
   let ndjson =
     Arg.(value & opt (some string) None
          & info [ "ndjson" ] ~docv:"FILE" ~doc:"Write the ndjson trajectory to FILE")
@@ -1043,7 +1180,8 @@ let gateway_cmd =
     Term.(const run $ soak $ tenants $ lineages $ dist $ duration $ churn
           $ versions $ push_at $ deadline $ admit_rate $ admit_burst $ max_plans
           $ quota $ budget $ window $ mode $ parity $ loss $ dup $ reorder
-          $ jitter $ seed $ samples $ ndjson $ json)
+          $ jitter $ seed $ samples $ scrape_every $ scrape_out $ prom_out
+          $ flight_dir $ ndjson $ json)
 
 let () =
   let info =

@@ -20,6 +20,7 @@ let state_level = function Closed -> 0 | Half_open -> 1 | Open -> 2
 type t = {
   threshold : int;
   cooldown_s : float option;
+  on_trip : (t -> unit) option;
   mutable state : state;
   mutable consecutive_failures : int;
   mutable opened_at : float;
@@ -27,7 +28,7 @@ type t = {
   mutable probes : int;
 }
 
-let create ?(threshold = 3) ?cooldown_s () =
+let create ?(threshold = 3) ?cooldown_s ?on_trip () =
   if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
   (match cooldown_s with
    | Some c when not (c > 0.) -> invalid_arg "Breaker.create: cooldown_s must be > 0"
@@ -35,6 +36,7 @@ let create ?(threshold = 3) ?cooldown_s () =
   {
     threshold;
     cooldown_s;
+    on_trip;
     state = Closed;
     consecutive_failures = 0;
     opened_at = neg_infinity;
@@ -86,6 +88,7 @@ let record_failure t ~now =
     t.state <- Open;
     t.opened_at <- now;
     t.trips <- t.trips + 1;
+    (match t.on_trip with Some f -> f t | None -> ());
     true
   in
   match t.state with

@@ -23,9 +23,11 @@ type t
 
 (** [create ~threshold ~cooldown_s ()] — trip after [threshold] consecutive
     failures (default 3, must be >= 1).  [cooldown_s] enables half-open
-    probing; omit it for a permanently-open trip.  Raises
-    [Invalid_argument] on out-of-range arguments. *)
-val create : ?threshold:int -> ?cooldown_s:float -> unit -> t
+    probing; omit it for a permanently-open trip.  [on_trip] runs
+    synchronously each time the breaker trips open, after the state
+    change — the anomaly hook the {!Obs.Flight} recorder attaches to.
+    Raises [Invalid_argument] on out-of-range arguments. *)
+val create : ?threshold:int -> ?cooldown_s:float -> ?on_trip:(t -> unit) -> unit -> t
 
 (** Whether a delivery may proceed at time [now].  [Closed] always admits;
     [Open] admits nothing until the cooldown elapses, then flips to

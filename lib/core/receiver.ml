@@ -96,6 +96,9 @@ module Config = struct
        from [Ctx.codecs ctx] and staged decodes run [Wire.decode ~ctx].
        [None] keeps the legacy process-global caches — required for
        byte-identical goldens, deprecated for new code. *)
+    flight : Obs.Flight.recorder option;
+    (* anomaly hook: each quarantine (breaker trip on a cached pipeline)
+       triggers a flight-recorder incident capture *)
   }
 
   let default =
@@ -107,13 +110,14 @@ module Config = struct
       quarantine_cooldown_s = None;
       metrics = Obs.null;
       ctx = None;
+      flight = None;
     }
 
   let v ?(thresholds = default.thresholds) ?weights ?(engine = default.engine)
       ?(quarantine_after = default.quarantine_after) ?quarantine_cooldown_s
-      ?(metrics = Obs.null) ?ctx () =
+      ?(metrics = Obs.null) ?ctx ?flight () =
     { thresholds; weights; engine; quarantine_after; quarantine_cooldown_s;
-      metrics; ctx }
+      metrics; ctx; flight }
 end
 
 (* Handles into the configured Obs registry; [rm_on] gates the clock reads
@@ -457,6 +461,15 @@ let probe t (v : Value.t option) (o : outcome) : unit =
 let quarantine t (entry : cache_entry) : unit =
   t.stats.quarantined <- t.stats.quarantined + 1;
   Obs.Counter.incr t.m.rm_quarantined;
+  (match t.config.Config.flight with
+   | Some fl ->
+     Obs.Flight.trigger fl ~kind:"quarantine"
+       ~reason:
+         (Fmt.str "pipeline for format #%d quarantined after %d consecutive \
+                   transformation failures"
+            (Meta.hash entry.key)
+            (Breaker.consecutive_failures entry.breaker))
+   | None -> ());
   if t.config.Config.quarantine_cooldown_s = None then
     entry.pipeline <-
       Reject

@@ -80,6 +80,9 @@ module Config : sig
             [Wire.decode ~ctx].  [None] (the default) keeps the
             process-global caches; pass a context when receivers run on
             multiple domains (docs/CONCURRENCY.md) *)
+    flight : Obs.Flight.recorder option;
+        (** when set, every quarantine triggers an {!Obs.Flight} incident
+            capture (kind ["quarantine"]) for post-mortem analysis *)
   }
 
   (** Default thresholds, no weights, compiled engine, quarantine after 3,
@@ -95,6 +98,7 @@ module Config : sig
     ?quarantine_cooldown_s:float ->
     ?metrics:Obs.t ->
     ?ctx:Ctx.t ->
+    ?flight:Obs.Flight.recorder ->
     unit ->
     t
 end

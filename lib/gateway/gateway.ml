@@ -163,9 +163,35 @@ type gmetrics = {
   gm_cache_entries : Obs.Gauge.h;
   gm_cache_cost : Obs.Gauge.h;
   gm_pending : Obs.Gauge.h;
+  (* dimensional families (docs/OBSERVABILITY.md): which tenant is being
+     admitted or shed, and which ladder rung deliveries run at.  Tenant
+     families are capped; tenants beyond the cap share the reserved
+     ["other"] series, so a mass-onboarding storm cannot grow the
+     registry without bound. *)
+  gm_tenant_admitted : Obs.Labeled.counter;
+  gm_tenant_shed : Obs.Labeled.counter;
+  gm_tenant_deadline_missed : Obs.Labeled.counter;
+  gm_rung_fused : Obs.Counter.h;
+  gm_rung_staged : Obs.Counter.h;
+  gm_rung_interp : Obs.Counter.h;
 }
 
+(* Distinct per-tenant series kept before spilling to ["other"]. *)
+let tenant_label_cardinality = 256
+
+let shed_reason_label = function
+  | Deadline -> "deadline"
+  | Quota -> "quota"
+  | Breaker -> "breaker"
+  | Overload -> "overload"
+  | Unknown_tenant -> "unknown_tenant"
+  | No_meta -> "no_meta"
+
 let make_gmetrics reg =
+  let rung_delivered =
+    Obs.Labeled.counter reg ~keys:[ "rung" ] "gateway.rung.delivered"
+  in
+  let rung_series r = Obs.Labeled.counter_series rung_delivered [ r ] in
   {
     gm_on = Obs.enabled reg;
     gm_reg = reg;
@@ -192,6 +218,20 @@ let make_gmetrics reg =
     gm_cache_entries = Obs.Gauge.make reg "gateway.plan_cache_entries";
     gm_cache_cost = Obs.Gauge.make reg "gateway.plan_cache_cost";
     gm_pending = Obs.Gauge.make reg "gateway.pending_depth";
+    gm_tenant_admitted =
+      Obs.Labeled.counter reg ~cardinality:tenant_label_cardinality
+        ~keys:[ "tenant" ] "gateway.tenant.admitted";
+    gm_tenant_shed =
+      (* tuples here are (tenant, reason): give the family headroom for
+         several reasons per tracked tenant before spilling *)
+      Obs.Labeled.counter reg ~cardinality:(4 * tenant_label_cardinality)
+        ~keys:[ "tenant"; "reason" ] "gateway.tenant.shed";
+    gm_tenant_deadline_missed =
+      Obs.Labeled.counter reg ~cardinality:tenant_label_cardinality
+        ~keys:[ "tenant" ] "gateway.tenant.deadline_missed";
+    gm_rung_fused = rung_series "fused";
+    gm_rung_staged = rung_series "staged";
+    gm_rung_interp = rung_series "interp";
   }
 
 (* --- plans ---------------------------------------------------------------- *)
@@ -258,6 +298,9 @@ type tstate = {
   ts_compiled : (int, unit) Hashtbl.t;
       (* fingerprints that ever had a plan compiled: a later compile for
          one of these is a recompile (its plan was evicted) *)
+  ts_m_admitted : Obs.Counter.h;
+      (* this tenant's series of gateway.tenant.admitted, resolved once
+         at onboarding so per-message admission stays handle-speed *)
 }
 
 (* --- the gateway ---------------------------------------------------------- *)
@@ -279,8 +322,22 @@ type t = {
      privately per tenant; [None] keeps private per-plan compiles *)
   mutable pending_depth : int;
   mutable on_delivery : delivery -> unit;
+  flight : Obs.Flight.recorder option;
+  (* anomaly-burst detection for the flight recorder: sheds and cache
+     evictions are counted in short windows of simulated time; crossing
+     a threshold within one window triggers one incident capture *)
+  mutable fl_shed_win_start : float;
+  mutable fl_shed_win_n : int;
+  mutable fl_evict_win_start : float;
+  mutable fl_evict_win_n : int;
   stats : stats;
 }
+
+(* Burst windows: a trigger fires when this many sheds (or evictions)
+   land within one window of simulated time. *)
+let flight_burst_window_s = 0.05
+let flight_shed_burst = 100
+let flight_evict_burst = 32
 
 let now_s t = Netsim.now t.net
 let now_ns t = Netsim.now t.net *. 1e9
@@ -290,8 +347,8 @@ let fingerprint (meta : Meta.format_meta) : int = Meta.hash meta land max_int
 let envelope ~tenant ~fingerprint ?(deadline_ns = 0) frame =
   Framing.Described { tenant; fingerprint; deadline_ns; frame }
 
-let create ?(config = default_config) ?(metrics = Obs.null) ?ctx ~net contact
-    (on_delivery : delivery -> unit) : t =
+let create ?(config = default_config) ?(metrics = Obs.null) ?ctx ?flight ~net
+    contact (on_delivery : delivery -> unit) : t =
   if config.breaker_threshold < 1 then
     invalid_arg "Gateway.create: breaker_threshold must be >= 1";
   if config.pending_cap < 1 then
@@ -310,7 +367,21 @@ let create ?(config = default_config) ?(metrics = Obs.null) ?ctx ~net contact
         match !t_ref with
         | Some t ->
           Governor.note_eviction t.gov ~now:(now_s t);
-          if t.m.gm_on then Obs.Counter.incr t.m.gm_evictions
+          if t.m.gm_on then Obs.Counter.incr t.m.gm_evictions;
+          (match t.flight with
+           | Some fl ->
+             let now = now_s t in
+             if now -. t.fl_evict_win_start > flight_burst_window_s then begin
+               t.fl_evict_win_start <- now;
+               t.fl_evict_win_n <- 0
+             end;
+             t.fl_evict_win_n <- t.fl_evict_win_n + 1;
+             if t.fl_evict_win_n = flight_evict_burst then
+               Obs.Flight.trigger fl ~kind:"eviction_storm"
+                 ~reason:
+                   (Fmt.str "%d plan-cache evictions within %gs"
+                      flight_evict_burst flight_burst_window_s)
+           | None -> ())
         | None -> ())
       ()
   in
@@ -327,6 +398,11 @@ let create ?(config = default_config) ?(metrics = Obs.null) ?ctx ~net contact
       g_cache = Option.map Ctx.codecs ctx;
       pending_depth = 0;
       on_delivery;
+      flight;
+      fl_shed_win_start = neg_infinity;
+      fl_shed_win_n = 0;
+      fl_evict_win_start = neg_infinity;
+      fl_evict_win_n = 0;
       stats =
         {
           meta_pushes = 0; onboarded = 0; admitted = 0; delivered = 0;
@@ -367,7 +443,18 @@ let new_tenant t id target =
       ts_registry = Hashtbl.create 8;
       ts_breaker =
         Breaker.create ~threshold:t.config.breaker_threshold
-          ?cooldown_s:t.config.breaker_cooldown_s ();
+          ?cooldown_s:t.config.breaker_cooldown_s
+          ?on_trip:
+            (match t.flight with
+             | None -> None
+             | Some fl ->
+               Some
+                 (fun b ->
+                    Obs.Flight.trigger fl ~kind:"breaker_trip"
+                      ~reason:
+                        (Fmt.str "tenant %d breaker tripped open (trip #%d)"
+                           id (Breaker.trips b))))
+          ();
       ts_bucket =
         (if t.config.admit_rate > 0. then
            Some
@@ -375,6 +462,9 @@ let new_tenant t id target =
                b_tokens = t.config.admit_burst; b_last = Netsim.now t.net }
          else None);
       ts_compiled = Hashtbl.create 8;
+      ts_m_admitted =
+        Obs.Labeled.counter_series t.m.gm_tenant_admitted
+          [ string_of_int id ];
     }
   in
   Hashtbl.replace t.tenants id ts;
@@ -630,9 +720,15 @@ let deliver_now t (ts : tstate) (plan : plan) ~fingerprint:fp ~deadline_ns
     end;
     t.stats.delivered <- t.stats.delivered + 1;
     (match rung with
-     | Fused -> t.stats.delivered_fused <- t.stats.delivered_fused + 1
-     | Staged -> t.stats.delivered_staged <- t.stats.delivered_staged + 1
-     | Interp | Shed -> t.stats.delivered_interp <- t.stats.delivered_interp + 1);
+     | Fused ->
+       t.stats.delivered_fused <- t.stats.delivered_fused + 1;
+       Obs.Counter.incr t.m.gm_rung_fused
+     | Staged ->
+       t.stats.delivered_staged <- t.stats.delivered_staged + 1;
+       Obs.Counter.incr t.m.gm_rung_staged
+     | Interp | Shed ->
+       t.stats.delivered_interp <- t.stats.delivered_interp + 1;
+       Obs.Counter.incr t.m.gm_rung_interp);
     if degraded then begin
       t.stats.degraded_deliveries <- t.stats.degraded_deliveries + 1;
       if t.m.gm_on then Obs.Counter.incr t.m.gm_degraded
@@ -662,7 +758,7 @@ let deliver_now t (ts : tstate) (plan : plan) ~fingerprint:fp ~deadline_ns
   | exception Ecode.Interp.Runtime_error msg ->
     record_failure t ts (Fmt.str "transformation failed: %s" msg)
 
-let shed t (reason : shed_reason) : outcome =
+let shed t ~tenant (reason : shed_reason) : outcome =
   (match reason with
    | Deadline -> t.stats.shed_deadline <- t.stats.shed_deadline + 1
    | Quota -> t.stats.shed_quota <- t.stats.shed_quota + 1
@@ -672,13 +768,32 @@ let shed t (reason : shed_reason) : outcome =
    | No_meta -> t.stats.shed_no_meta <- t.stats.shed_no_meta + 1);
   if t.m.gm_on then begin
     Obs.Counter.incr t.m.gm_shed;
-    match reason with
-    | Deadline -> Obs.Counter.incr t.m.gm_shed_deadline
-    | Quota -> Obs.Counter.incr t.m.gm_shed_quota
-    | Breaker -> Obs.Counter.incr t.m.gm_shed_breaker
-    | Overload -> Obs.Counter.incr t.m.gm_shed_overload
-    | Unknown_tenant | No_meta -> ()
+    (match reason with
+     | Deadline -> Obs.Counter.incr t.m.gm_shed_deadline
+     | Quota -> Obs.Counter.incr t.m.gm_shed_quota
+     | Breaker -> Obs.Counter.incr t.m.gm_shed_breaker
+     | Overload -> Obs.Counter.incr t.m.gm_shed_overload
+     | Unknown_tenant | No_meta -> ());
+    let tid = string_of_int tenant in
+    Obs.Labeled.incr t.m.gm_tenant_shed [ tid; shed_reason_label reason ];
+    if reason = Deadline then
+      Obs.Labeled.incr t.m.gm_tenant_deadline_missed [ tid ]
   end;
+  (match t.flight with
+   | Some fl ->
+     let now = now_s t in
+     if now -. t.fl_shed_win_start > flight_burst_window_s then begin
+       t.fl_shed_win_start <- now;
+       t.fl_shed_win_n <- 0
+     end;
+     t.fl_shed_win_n <- t.fl_shed_win_n + 1;
+     if t.fl_shed_win_n = flight_shed_burst then
+       Obs.Flight.trigger fl ~kind:"shed_burst"
+         ~reason:
+           (Fmt.str "%d messages shed within %gs (last: tenant %d, %s)"
+              flight_shed_burst flight_burst_window_s tenant
+              (shed_reason_label reason))
+   | None -> ());
   Shed reason
 
 let set_cache_gauges t =
@@ -699,13 +814,16 @@ let start_compile t (ts : tstate) ~fingerprint:fp (meta : Meta.format_meta)
   Queue.push { pd_deadline_ns = deadline_ns; pd_message = message } q;
   Hashtbl.replace t.inflight key q;
   t.pending_depth <- t.pending_depth + 1;
-  if t.m.gm_on then Obs.Gauge.set t.m.gm_pending (float_of_int t.pending_depth);
+  (* maintained as deltas (not [set]) so per-shard pending depths sum
+     correctly when registries merge at scrape time *)
+  if t.m.gm_on then Obs.Gauge.add t.m.gm_pending 1.;
   match build_shape ~thresholds:t.config.thresholds meta target with
   | Error msg ->
     (* planning refusals are cached (cost 1) and immediate: there is no
        artifact to compile, so nothing to wait for *)
     Hashtbl.remove t.inflight key;
     t.pending_depth <- t.pending_depth - 1;
+    if t.m.gm_on then Obs.Gauge.add t.m.gm_pending (-1.);
     Plan_cache.add t.cache ~tenant:ts.ts_id ~key:fp ~cost:1. (Refused msg);
     set_cache_gauges t;
     record_failure t ts msg
@@ -730,25 +848,28 @@ let start_compile t (ts : tstate) ~fingerprint:fp (meta : Meta.format_meta)
         in
         Plan_cache.add t.cache ~tenant:ts.ts_id ~key:fp ~cost (Ready plan);
         set_cache_gauges t;
+        if t.m.gm_on then
+          Obs.Gauge.add t.m.gm_pending (-.float_of_int (Queue.length q));
         Queue.iter
           (fun { pd_deadline_ns; pd_message } ->
              t.pending_depth <- t.pending_depth - 1;
              if pd_deadline_ns > 0 && now_ns t > float_of_int pd_deadline_ns
-             then ignore (shed t Deadline : outcome)
+             then ignore (shed t ~tenant:ts.ts_id Deadline : outcome)
              else
                ignore
                  (deliver_now t ts plan ~fingerprint:fp
                     ~deadline_ns:pd_deadline_ns pd_message
                   : outcome))
-          q;
-        if t.m.gm_on then
-          Obs.Gauge.set t.m.gm_pending (float_of_int t.pending_depth));
+          q);
     Parked
 
 let handle_data t (ts : tstate) ~fingerprint:fp ~deadline_ns (message : string) :
   outcome =
   t.stats.admitted <- t.stats.admitted + 1;
-  if t.m.gm_on then Obs.Counter.incr t.m.gm_admitted;
+  if t.m.gm_on then begin
+    Obs.Counter.incr t.m.gm_admitted;
+    Obs.Counter.incr ts.ts_m_admitted
+  end;
   match Plan_cache.find t.cache ~tenant:ts.ts_id ~key:fp with
   | Some (Ready plan) -> deliver_now t ts plan ~fingerprint:fp ~deadline_ns message
   | Some (Refused msg) -> record_failure t ts msg
@@ -757,25 +878,26 @@ let handle_data t (ts : tstate) ~fingerprint:fp ~deadline_ns (message : string) 
      | Some q ->
        (* singleflight: a compile for this (tenant, format) is already in
           flight; park behind it rather than compiling again *)
-       if Queue.length q >= t.config.pending_cap then shed t Overload
+       if Queue.length q >= t.config.pending_cap then
+         shed t ~tenant:ts.ts_id Overload
        else begin
          Queue.push { pd_deadline_ns = deadline_ns; pd_message = message } q;
          t.pending_depth <- t.pending_depth + 1;
          t.stats.singleflight_coalesced <- t.stats.singleflight_coalesced + 1;
          if t.m.gm_on then begin
            Obs.Counter.incr t.m.gm_coalesced;
-           Obs.Gauge.set t.m.gm_pending (float_of_int t.pending_depth)
+           Obs.Gauge.add t.m.gm_pending 1.
          end;
          Parked
        end
      | None ->
        (match Hashtbl.find_opt ts.ts_registry fp with
-        | None -> shed t No_meta
+        | None -> shed t ~tenant:ts.ts_id No_meta
         | Some meta ->
           (match ts.ts_target with
-           | None -> shed t No_meta
+           | None -> shed t ~tenant:ts.ts_id No_meta
            | Some target ->
-             if compile_rung t = Shed then shed t Overload
+             if compile_rung t = Shed then shed t ~tenant:ts.ts_id Overload
              else start_compile t ts ~fingerprint:fp meta target ~deadline_ns message)))
 
 let handle_meta t ~tenant ~fingerprint:fp (encoded : string) : outcome =
@@ -815,20 +937,20 @@ let handle_described t ~tenant ~fingerprint:fp ~deadline_ns
   | Framing.Meta { meta; _ } -> handle_meta t ~tenant ~fingerprint:fp meta
   | Framing.Data { message; _ } ->
     (match Hashtbl.find_opt t.tenants tenant with
-     | None -> shed t Unknown_tenant
+     | None -> shed t ~tenant Unknown_tenant
      | Some ts ->
        (* admission control, strictly before any decode work: deadline
           first (expired work helps nobody), then the circuit, then the
           tenant's rate quota *)
        if deadline_ns > 0 && now_ns t > float_of_int deadline_ns then
-         shed t Deadline
+         shed t ~tenant Deadline
        else if not (Breaker.admit ts.ts_breaker ~now:(now_s t)) then
-         shed t Breaker
+         shed t ~tenant Breaker
        else if
          match ts.ts_bucket with
          | Some b -> not (bucket_admit b ~now:(now_s t))
          | None -> false
-       then shed t Quota
+       then shed t ~tenant Quota
        else handle_data t ts ~fingerprint:fp ~deadline_ns message)
   | Framing.Meta_request _ | Framing.Ack _ | Framing.Reliable _
   | Framing.Traced _ | Framing.Described _ ->

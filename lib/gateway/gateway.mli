@@ -117,13 +117,17 @@ type t
     gateway's fused/staged wire plans are compiled into (shared across
     tenants and with any other user of the context); omitted, plans are
     compiled privately per tenant as before (docs/CONCURRENCY.md).
-    Raises [Invalid_argument] on non-positive
+    [flight] arms an {!Obs.Flight} recorder: breaker trips, shed bursts
+    and plan-cache eviction storms each freeze a bounded incident
+    capture (spans + metrics snapshot) for post-mortem analysis
+    (docs/OBSERVABILITY.md).  Raises [Invalid_argument] on non-positive
     [breaker_threshold]/[pending_cap], negative [compile_s_per_unit], or
     [admit_burst < 1] with a rate set. *)
 val create :
   ?config:config ->
   ?metrics:Obs.t ->
   ?ctx:Pbio.Ctx.t ->
+  ?flight:Obs.Flight.recorder ->
   net:Transport.Netsim.t ->
   Transport.Contact.t ->
   (delivery -> unit) ->

@@ -52,6 +52,7 @@ type config = {
   reliable : bool;
   seed : int;
   samples : int;
+  scrape_every_s : float;  (* periodic metric scrape cadence; 0 = off *)
 }
 
 let default =
@@ -69,6 +70,7 @@ let default =
     reliable = false;
     seed = 42;
     samples = 10;
+    scrape_every_s = 0.;
   }
 
 type via_counts = {
@@ -99,7 +101,9 @@ type report = {
   sim_end : float;
   quiesced : bool;
   trajectory : string;
+  scrape : string;
   metrics : Obs.t;
+  flight : Obs.Flight.recorder;
 }
 
 (* Simulated-latency buckets: per-decade 1/1.5/2/3/5/7 steps from 100 us
@@ -150,6 +154,21 @@ let parse_payload (s : string) : (int * int * float) option =
      with _ -> None)
   | _ -> None
 
+(* Periodic metric scrapes on the virtual clock: one ndjson object per
+   scrape freezing the whole registry.  A scrape only *reads* the
+   registry — it draws no randomness and sends nothing — and the event
+   queue breaks time ties by insertion order, so a run's summary is
+   byte-identical with scraping on or off (test_loadgen asserts this). *)
+let scrape_append buf ~n ~t reg =
+  let series =
+    Obs.to_json_lines reg |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+    |> String.concat ","
+  in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"scrape":%d,"t":%.6f,"series":[%s]}|} n t series);
+  Buffer.add_char buf '\n'
+
 (* Every config field checked up front, as data: a config that passes
    [check] cannot raise later from inside the run (notably
    [Dist.next_gap], which otherwise only rejects a non-positive rate at
@@ -164,6 +183,8 @@ let check (cfg : config) : (unit, Err.t) result =
   else if cfg.churn_per_s < 0. then
     err "churn must be >= 0 (got %g)" cfg.churn_per_s
   else if cfg.samples < 1 then err "samples must be >= 1 (got %d)" cfg.samples
+  else if not (cfg.scrape_every_s >= 0.) then
+    err "scrape interval must be >= 0 (got %g)" cfg.scrape_every_s
   else
     match Dist.validate cfg.dist with
     | Error m -> err "arrival distribution: %s" m
@@ -253,8 +274,11 @@ let run (cfg : config) : report =
     | Interp -> Morph.Xform.Interpreted
     | Fused | Staged -> Morph.Xform.Compiled
   in
+  let flight = Obs.Flight.create reg in
   let recv =
-    Receiver.create ~config:(Receiver.Config.v ~engine ~metrics:reg ()) ()
+    Receiver.create
+      ~config:(Receiver.Config.v ~engine ~metrics:reg ~flight ())
+      ()
   in
 
   (* The header of the message being delivered; delivery is synchronous,
@@ -419,8 +443,18 @@ let run (cfg : config) : report =
   let sample_gap = cfg.duration_s /. float_of_int cfg.samples in
   schedule_chain (fun () -> sample_gap) (fun () -> sample ~final:false ());
 
+  let scrapes = Buffer.create 256 in
+  let scrape_n = ref 0 in
+  let scrape () =
+    incr scrape_n;
+    scrape_append scrapes ~n:!scrape_n ~t:(elapsed ()) reg
+  in
+  if cfg.scrape_every_s > 0. then
+    schedule_chain (fun () -> cfg.scrape_every_s) (fun () -> scrape ());
+
   let res = Netsim.run ~max_steps:1_000_000_000 net in
   sample ~final:true ();
+  if cfg.scrape_every_s > 0. then scrape ();
 
   let st = Netsim.stats net in
   {
@@ -445,7 +479,9 @@ let run (cfg : config) : report =
     sim_end = elapsed ();
     quiesced = res.Netsim.quiesced;
     trajectory = Buffer.contents traj;
+    scrape = Buffer.contents scrapes;
     metrics = reg;
+    flight;
   }
 
 let percentile (r : report) q =
@@ -522,6 +558,7 @@ type gateway_config = {
   g_faults : Netsim.faults;
   g_seed : int;
   g_samples : int;
+  g_scrape_every_s : float;  (* periodic metric scrape cadence; 0 = off *)
 }
 
 let default_gateway =
@@ -538,6 +575,7 @@ let default_gateway =
     g_faults = Netsim.no_faults;
     g_seed = 42;
     g_samples = 10;
+    g_scrape_every_s = 0.;
   }
 
 type gateway_report = {
@@ -555,7 +593,9 @@ type gateway_report = {
   g_sim_end : float;
   g_quiesced : bool;
   g_trajectory : string;
+  g_scrape : string;
   g_metrics : Obs.t;
+  g_flight : Obs.Flight.recorder;
 }
 
 (* Same contract as [check]: a config that passes cannot raise later from
@@ -574,6 +614,8 @@ let check_gateway (cfg : gateway_config) : (unit, Err.t) result =
   else if cfg.g_churn_per_s < 0. then
     err "churn must be >= 0 (got %g)" cfg.g_churn_per_s
   else if cfg.g_samples < 1 then err "samples must be >= 1 (got %d)" cfg.g_samples
+  else if not (cfg.g_scrape_every_s >= 0.) then
+    err "scrape interval must be >= 0 (got %g)" cfg.g_scrape_every_s
   else if not (cfg.g_deadline_s >= 0.) then
     err "deadline must be >= 0 (got %g)" cfg.g_deadline_s
   else if List.exists (fun at -> not (at >= 0.)) cfg.g_push_at then
@@ -638,15 +680,33 @@ let run_gateway (cfg : gateway_config) : gateway_report =
     Obs.Histogram.make reg ~unit_:"s" ~buckets:latency_buckets
       "gateway.latency_s"
   in
+  (* Per-rung delivery latency, one labeled series per ladder rung.  The
+     gateway reports the rung each message actually decoded at, so a
+     degrading run shows its latency cost split by execution tier. *)
+  let rung_lat =
+    Obs.Labeled.histogram reg ~unit_:"s" ~buckets:latency_buckets
+      ~keys:[ "rung" ] "gateway.rung.latency_s"
+  in
+  let lat_fused = Obs.Labeled.histogram_series rung_lat [ "fused" ] in
+  let lat_staged = Obs.Labeled.histogram_series rung_lat [ "staged" ] in
+  let lat_interp = Obs.Labeled.histogram_series rung_lat [ "interp" ] in
+  let flight = Obs.Flight.create reg in
   let gw_contact = Contact.make "gateway" 1 in
   let gw =
-    Gateway.create ~config:cfg.g_gateway ~metrics:reg ~net gw_contact
+    Gateway.create ~config:cfg.g_gateway ~metrics:reg ~flight ~net gw_contact
       (fun (d : Gateway.delivery) ->
         if cfg.g_deadline_s > 0. && d.Gateway.deadline_ns > 0 then begin
           let t0 =
             (float_of_int d.Gateway.deadline_ns /. 1e9) -. cfg.g_deadline_s
           in
-          Obs.Histogram.observe m_lat (Netsim.now net -. t0)
+          let lat = Netsim.now net -. t0 in
+          Obs.Histogram.observe m_lat lat;
+          Obs.Histogram.observe
+            (match d.Gateway.rung with
+             | Gateway.Fused -> lat_fused
+             | Gateway.Staged -> lat_staged
+             | Gateway.Interp | Gateway.Shed -> lat_interp)
+            lat
         end)
   in
   Gateway.attach gw;
@@ -788,8 +848,18 @@ let run_gateway (cfg : gateway_config) : gateway_report =
   let sample_gap = cfg.g_duration_s /. float_of_int cfg.g_samples in
   schedule_chain (fun () -> sample_gap) (fun () -> sample ~final:false ());
 
+  let scrapes = Buffer.create 256 in
+  let scrape_n = ref 0 in
+  let scrape () =
+    incr scrape_n;
+    scrape_append scrapes ~n:!scrape_n ~t:(elapsed ()) reg
+  in
+  if cfg.g_scrape_every_s > 0. then
+    schedule_chain (fun () -> cfg.g_scrape_every_s) (fun () -> scrape ());
+
   let res = Netsim.run ~max_steps:1_000_000_000 net in
   sample ~final:true ();
+  if cfg.g_scrape_every_s > 0. then scrape ();
 
   {
     g_config = cfg;
@@ -806,7 +876,9 @@ let run_gateway (cfg : gateway_config) : gateway_report =
     g_sim_end = elapsed ();
     g_quiesced = res.Netsim.quiesced;
     g_trajectory = Buffer.contents traj;
+    g_scrape = Buffer.contents scrapes;
     g_metrics = reg;
+    g_flight = flight;
   }
 
 let gateway_percentile (r : gateway_report) q =

@@ -43,6 +43,11 @@ type config = {
   reliable : bool;  (** run inner hops (echo/b2b endpoints) reliably *)
   seed : int;
   samples : int;  (** trajectory sample count across the duration *)
+  scrape_every_s : float;
+      (** periodic metric scrape cadence on the virtual clock, simulated
+          seconds; [0.] (the default) disables scraping.  Scrapes only
+          read the registry, so they never perturb the run: the summary
+          is byte-identical with scraping on or off. *)
 }
 
 val default : config
@@ -76,7 +81,13 @@ type report = {
   sim_end : float;
   quiesced : bool;
   trajectory : string;  (** ndjson, one sample object per line *)
+  scrape : string;
+      (** ndjson periodic metric scrapes
+          ([{"scrape":N,"t":T,"series":[...]}] per line, plus one final
+          scrape after the drain); empty unless [scrape_every_s > 0] *)
   metrics : Obs.t;  (** the run's full registry, for [--json] dumps *)
+  flight : Obs.Flight.recorder;
+      (** incident captures (receiver quarantines trigger one each) *)
 }
 
 (** Validate every config field up front — non-positive client counts,
@@ -130,6 +141,9 @@ type gateway_config = {
   g_faults : Transport.Netsim.faults;
   g_seed : int;
   g_samples : int;
+  g_scrape_every_s : float;
+      (** periodic metric scrape cadence (simulated seconds); [0.] = off;
+          same no-perturbation guarantee as {!config.scrape_every_s} *)
 }
 
 (** 200 tenants over 8 lineages, Poisson 4k/s for 0.5 s, 20 ms
@@ -154,7 +168,17 @@ type gateway_report = {
   g_sim_end : float;
   g_quiesced : bool;
   g_trajectory : string;  (** ndjson, one sample object per line *)
+  g_scrape : string;
+      (** ndjson periodic metric scrapes; empty unless
+          [g_scrape_every_s > 0] *)
   g_metrics : Obs.t;
+      (** full registry, including the per-tenant labeled families
+          ([gateway.tenant.admitted] / [.shed] / [.deadline_missed]),
+          per-rung deliveries and latencies, and [netsim.drops] by
+          reason (docs/OBSERVABILITY.md) *)
+  g_flight : Obs.Flight.recorder;
+      (** incident captures: breaker trips, shed bursts, plan-cache
+          eviction storms *)
 }
 
 (** Same contract as {!check}: every flag validated up front as

@@ -284,3 +284,142 @@ let run ?(profile = Chaos.default_profile) ?(shed_budget = 0.6) ~seed ~cases
     messages_per_case = messages;
     failures = !failures;
   }
+
+(* --- the observed case ------------------------------------------------------
+
+   One extra stressed case run with full telemetry armed: a metrics
+   registry on the virtual clock, an {!Obs.Flight} recorder on the
+   gateway, periodic scrapes, and one *poison* tenant beyond the regular
+   population whose data frames carry garbage bytes under a valid
+   fingerprint.  Every poison frame passes admission and then fails
+   decode, so its breaker accumulates consecutive failures and is
+   guaranteed to trip — which means the run always yields breaker trips,
+   per-tenant shed/admit series and at least one flight incident.  The
+   CLI soak (`morphctl gateway --soak`) exports these as its prometheus,
+   scrape-ndjson and incident-dump artifacts. *)
+
+type observed = {
+  o_metrics : Obs.t;
+  o_flight : Obs.Flight.recorder;
+  o_scrape : string;  (* ndjson, one {"scrape":N,...} object per line *)
+  o_sent : int;
+  o_delivered : int;
+  o_trips : int;
+  o_incidents : int;
+  o_quiesced : bool;
+}
+
+let scrape_append buf ~n ~t reg =
+  let series =
+    Obs.to_json_lines reg |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+    |> String.concat ","
+  in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"scrape":%d,"t":%.6f,"series":[%s]}|} n t series);
+  Buffer.add_char buf '\n'
+
+let poison_frames = 12
+
+let run_observed ?(profile = Chaos.default_profile) ~seed ?(tenants = 24)
+    ?(messages = 600) ?(scrape_every_s = 0.02) () : observed =
+  let reg = Obs.create ~label:"gateway-soak" () in
+  let net = Netsim.create ~seed ~metrics:reg () in
+  Obs.set_registry_clock reg (fun () -> Netsim.now net *. 1e9);
+  let flight = Obs.Flight.create reg in
+  let gw_contact = Contact.make "gw" 1 in
+  let gw =
+    Gateway.create ~config:case_config ~metrics:reg ~flight ~net gw_contact
+      (fun _ -> ())
+  in
+  Gateway.attach gw;
+  let lineages =
+    Array.init lineage_count (fun k -> build_lineage ~seed:(seed + (31 * k)))
+  in
+  let version_of = Array.make tenants 0 in
+  let poison = tenants in
+  let contacts = Array.init (tenants + 1) (fun i -> Contact.make "tenant" i) in
+  let sent = ref 0 in
+  let push_meta i =
+    let meta, _ = lineages.(i mod lineage_count).(version_of.(i)) in
+    Netsim.send net ~src:contacts.(i) ~dst:gw_contact
+      (Framing.encode
+         (Gateway.envelope ~tenant:i
+            ~fingerprint:(Gateway.fingerprint meta)
+            (Framing.Meta { format_id = version_of.(i); meta = Meta.encode meta })))
+  in
+  for i = 0 to tenants - 1 do
+    push_meta i
+  done;
+  (* the poison tenant onboards with a perfectly normal v0 meta push *)
+  let poison_meta, _ = lineages.(0).(0) in
+  let poison_fp = Gateway.fingerprint poison_meta in
+  Netsim.send net ~src:contacts.(poison) ~dst:gw_contact
+    (Framing.encode
+       (Gateway.envelope ~tenant:poison ~fingerprint:poison_fp
+          (Framing.Meta { format_id = 0; meta = Meta.encode poison_meta })));
+  ignore (Netsim.run ~max_steps net);
+  Netsim.set_faults net
+    { Netsim.loss = profile.Chaos.loss;
+      duplication = profile.Chaos.duplication;
+      reorder = profile.Chaos.reorder;
+      jitter_s = profile.Chaos.jitter_s };
+  let nominal_gap = duration_s /. float_of_int messages /. 1.5 in
+  let at = ref 0. in
+  for k = 0 to messages - 1 do
+    let in_burst = !at > duration_s /. 3. && !at < 2. *. duration_s /. 3. in
+    at := !at +. (if in_burst then nominal_gap /. 3. else nominal_gap);
+    let i = k mod tenants in
+    Netsim.after net !at (fun () ->
+        let meta, bytes = lineages.(i mod lineage_count).(version_of.(i)) in
+        incr sent;
+        Netsim.send net ~src:contacts.(i) ~dst:gw_contact
+          (Framing.encode
+             (Gateway.envelope ~tenant:i
+                ~fingerprint:(Gateway.fingerprint meta)
+                ~deadline_ns:(int_of_float ((Netsim.now net +. 0.005) *. 1e9))
+                (Framing.Data { format_id = version_of.(i); message = bytes }))))
+  done;
+  (* poison frames: valid fingerprint, garbage payload — admitted, then a
+     guaranteed decode failure feeding this tenant's breaker *)
+  for k = 0 to poison_frames - 1 do
+    Netsim.after net
+      ((duration_s /. 4.) +. (float_of_int k *. 0.004))
+      (fun () ->
+        incr sent;
+        Netsim.send net ~src:contacts.(poison) ~dst:gw_contact
+          (Framing.encode
+             (Gateway.envelope ~tenant:poison ~fingerprint:poison_fp
+                (Framing.Data { format_id = 0; message = "\xff\xff\xff\xff" }))))
+  done;
+  Netsim.after net (duration_s /. 2.) (fun () ->
+      for i = 0 to tenants - 1 do
+        version_of.(i) <- (version_of.(i) + 1) mod versions_per_lineage;
+        push_meta i
+      done);
+  let scrapes = Buffer.create 512 in
+  let scrape_n = ref 0 in
+  let scrape () =
+    incr scrape_n;
+    scrape_append scrapes ~n:!scrape_n ~t:(Netsim.now net) reg
+  in
+  let rec scrape_tick () =
+    if Netsim.now net < duration_s then begin
+      scrape ();
+      Netsim.after net scrape_every_s scrape_tick
+    end
+  in
+  if scrape_every_s > 0. then Netsim.after net scrape_every_s scrape_tick;
+  let res = Netsim.run ~max_steps net in
+  scrape ();
+  let s = Gateway.stats gw in
+  {
+    o_metrics = reg;
+    o_flight = flight;
+    o_scrape = Buffer.contents scrapes;
+    o_sent = !sent;
+    o_delivered = s.Gateway.delivered;
+    o_trips = s.Gateway.breaker_trips;
+    o_incidents = Obs.Flight.count flight;
+    o_quiesced = res.Netsim.quiesced;
+  }

@@ -40,3 +40,29 @@ val run :
   ?messages:int ->
   unit ->
   report
+
+(** One extra stressed case with full telemetry armed: metrics registry,
+    {!Obs.Flight} recorder and periodic scrapes, plus a poison tenant
+    whose garbage frames guarantee breaker trips (and so at least one
+    flight incident).  What the CLI soak exports as artifacts. *)
+type observed = {
+  o_metrics : Obs.t;
+      (** per-tenant labeled families, per-reason drops, the lot *)
+  o_flight : Obs.Flight.recorder;
+  o_scrape : string;  (** ndjson periodic metric scrapes *)
+  o_sent : int;
+  o_delivered : int;
+  o_trips : int;  (** breaker trips; >= 1 by construction *)
+  o_incidents : int;  (** flight incidents captured; >= 1 by construction *)
+  o_quiesced : bool;
+}
+
+(** Deterministic in [seed] (and the other arguments), like {!run}. *)
+val run_observed :
+  ?profile:Chaos.profile ->
+  seed:int ->
+  ?tenants:int ->
+  ?messages:int ->
+  ?scrape_every_s:float ->
+  unit ->
+  observed

@@ -16,7 +16,11 @@
 let default_clock () = Unix.gettimeofday () *. 1e9
 
 type counter_cell = { mutable n : int }
-type gauge_cell = { mutable g : float; mutable gset : bool }
+
+(* [gdelta] distinguishes gauges driven by up/down deltas ([Gauge.add])
+   from last-write-wins gauges ([Gauge.set]): at merge time delta gauges
+   sum across shards while set gauges keep the source value. *)
+type gauge_cell = { mutable g : float; mutable gset : bool; mutable gdelta : bool }
 
 type hist_cell = {
   bounds : float array; (* ascending upper bounds, excluding +inf *)
@@ -33,6 +37,54 @@ type data =
   | Dhist of hist_cell
 
 type entry = { ename : string; eunit : string option; data : data }
+
+(* A labeled-metric family: one registration covering many {e series},
+   each keyed by a tuple of label values.  A series is an ordinary
+   registry entry whose name is the composed ["family{k=\"v\",...}"]
+   string, so every existing path (merge, reset, rendering, JSON) works
+   on series unchanged.  [fam_series] counts distinct non-overflow
+   series minted {e by this registry}; at [fam_cap] further tuples spill
+   into the reserved all-["other"] series named [fam_other]. *)
+type family = {
+  fam_name : string;
+  fam_keys : string list;
+  fam_kind : string; (* "counter" | "gauge" | "histogram" *)
+  fam_unit : string option;
+  fam_buckets : float list; (* histogram families only *)
+  fam_cap : int;
+  fam_other : string;
+  mutable fam_series : int;
+}
+
+let label_escape v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* ["family{k=\"v\",k2=\"v2\"}"] — exactly the prometheus series syntax,
+   so composed names pass through the text exposition verbatim. *)
+let compose_series name keys values =
+  let buf = Buffer.create (String.length name + 16) in
+  Buffer.add_string buf name;
+  Buffer.add_char buf '{';
+  let first = ref true in
+  List.iter2
+    (fun k v ->
+       if !first then first := false else Buffer.add_char buf ',';
+       Buffer.add_string buf k;
+       Buffer.add_string buf "=\"";
+       Buffer.add_string buf (label_escape v);
+       Buffer.add_char buf '"')
+    keys values;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
 
 (* A finished (or still-open) trace span instance.  [sp_parent] is 0 for a
    root; [sp_attrs] is kept newest-first and reversed on export. *)
@@ -53,6 +105,12 @@ type t = {
   mutable clock : unit -> float;
   tbl : (string, entry) Hashtbl.t;
   mutable rev_order : entry list;
+  families : (string, family) Hashtbl.t;
+  (* lazily-interned cells for the registry's own telemetry, cached so
+     the hot paths that update them stay a couple of field writes *)
+  mutable ovf_cell : counter_cell option; (* obs.label_overflow *)
+  mutable selftr_cells : (counter_cell * gauge_cell) option;
+      (* obs.spans_dropped, obs.trace_buffer_depth *)
   mutable spans : string list; (* innermost first *)
   (* trace ring buffer: [tr_head] indexes the oldest stored span,
      [tr_len] counts stored spans, writes go to (head + len) mod cap *)
@@ -73,6 +131,9 @@ let create ?(label = "main") () =
     clock = default_clock;
     tbl = Hashtbl.create 64;
     rev_order = [];
+    families = Hashtbl.create 8;
+    ovf_cell = None;
+    selftr_cells = None;
     spans = [];
     tr_cap = default_trace_capacity;
     tr_buf = [||];
@@ -89,6 +150,9 @@ let null =
     clock = default_clock;
     tbl = Hashtbl.create 1;
     rev_order = [];
+    families = Hashtbl.create 1;
+    ovf_cell = None;
+    selftr_cells = None;
     spans = [];
     tr_cap = 0;
     tr_buf = [||];
@@ -142,7 +206,8 @@ let reset (t : t) =
        | Dcounter c -> c.n <- 0
        | Dgauge g ->
          g.g <- 0.;
-         g.gset <- false
+         g.gset <- false;
+         g.gdelta <- false
        | Dhist h ->
          Array.fill h.hcounts 0 (Array.length h.hcounts) 0;
          h.hcount <- 0;
@@ -157,13 +222,35 @@ let reset (t : t) =
   t.tr_dropped <- 0;
   t.tr_stack <- []
 
+(* Distinct non-overflow series of [fam] present in [t], by scanning for
+   the composed-name prefix.  Used to refresh [fam_series] after a merge
+   so the cardinality cap keeps meaning "series this registry holds". *)
+let count_series (t : t) (fam : family) =
+  let prefix = fam.fam_name ^ "{" in
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun k _ acc ->
+       if
+         String.length k > plen
+         && String.sub k 0 plen = prefix
+         && k <> fam.fam_other
+       then acc + 1
+       else acc)
+    t.tbl 0
+
 (* Scrape-time aggregation across per-domain (or per-shard) registries.
-   Counters add, gauges take the source value when it was ever set,
-   histograms add bucket-wise when the bounds agree.  Entries missing
-   from [into] are created on first merge, so merging N registries into
-   a fresh one yields the union in [src] registration order. *)
+   Counters add, delta gauges ([Gauge.add]) sum, set gauges take the
+   source value when it was ever set, histograms add bucket-wise when
+   the bounds agree.  Entries missing from [into] are created on first
+   merge, so merging N registries into a fresh one yields the union in
+   [src] registration order.  Labeled series merge like any other entry
+   (shard-disjoint label sets union; matching series aggregate,
+   including the reserved ["other"] overflow series); family metadata is
+   copied over and [into]'s per-family series counts are refreshed.
+   Cardinality caps apply at record time per shard, never at merge, so a
+   union of capped shards may legitimately exceed one shard's cap. *)
 let merge_into ~(into : t) (src : t) =
-  if into.on then
+  if into.on then begin
     List.iter
       (fun (se : entry) ->
          match se.data with
@@ -175,14 +262,21 @@ let merge_into ~(into : t) (src : t) =
          | Dgauge sg ->
            let e =
              intern into se.ename se.eunit (fun () ->
-                 Dgauge { g = 0.; gset = false })
+                 Dgauge { g = 0.; gset = false; gdelta = false })
            in
            (match e.data with
             | Dgauge g ->
-              if sg.gset then begin
-                g.g <- sg.g;
-                g.gset <- true
-              end
+              if sg.gset then
+                if sg.gdelta then begin
+                  g.g <- g.g +. sg.g;
+                  g.gset <- true;
+                  g.gdelta <- true
+                end
+                else begin
+                  g.g <- sg.g;
+                  g.gset <- true;
+                  g.gdelta <- false
+                end
             | _ -> assert false)
          | Dhist sh ->
            let e =
@@ -213,7 +307,24 @@ let merge_into ~(into : t) (src : t) =
                    "Obs.merge_into: histogram %S has different buckets"
                    se.ename)
             | _ -> assert false))
-      (List.rev src.rev_order)
+      (List.rev src.rev_order);
+    Hashtbl.iter
+      (fun name (sf : family) ->
+         match Hashtbl.find_opt into.families name with
+         | Some f ->
+           if f.fam_kind <> sf.fam_kind then
+             invalid_arg
+               (Printf.sprintf
+                  "Obs.merge_into: family %S is a %s family here but a %s \
+                   family in the source"
+                  name f.fam_kind sf.fam_kind);
+           f.fam_series <- count_series into f
+         | None ->
+           let f = { sf with fam_series = 0 } in
+           f.fam_series <- count_series into f;
+           Hashtbl.replace into.families name f)
+      src.families
+  end
 
 let merged ?label srcs =
   let into = create ?label () in
@@ -229,17 +340,43 @@ let next_id () = Atomic.fetch_and_add id_counter 1 + 1
 
 type trace_ctx = { trace_id : int; span_id : int }
 
+(* The ring's own health as ordinary metrics, registered lazily on the
+   first buffered span so registries that never trace keep their metric
+   set unchanged.  [obs.spans_dropped] mirrors [Trace.dropped] and
+   [obs.trace_buffer_depth] mirrors the live occupancy, so span loss is
+   visible in any scrape instead of only via the Trace API. *)
+let selftr_cells t =
+  match t.selftr_cells with
+  | Some cells -> cells
+  | None ->
+    let ce = intern t "obs.spans_dropped" None (fun () -> Dcounter { n = 0 }) in
+    let ge =
+      intern t "obs.trace_buffer_depth" (Some "spans") (fun () ->
+          Dgauge { g = 0.; gset = false; gdelta = false })
+    in
+    let cells =
+      ( (match ce.data with Dcounter c -> c | _ -> assert false),
+        (match ge.data with Dgauge g -> g | _ -> assert false) )
+    in
+    t.selftr_cells <- Some cells;
+    cells
+
 let tr_push t sp =
   if t.tr_cap > 0 then begin
     if Array.length t.tr_buf = 0 then t.tr_buf <- Array.make t.tr_cap sp;
     if t.tr_len = t.tr_cap then begin
       t.tr_buf.(t.tr_head) <- sp;
       t.tr_head <- (t.tr_head + 1) mod t.tr_cap;
-      t.tr_dropped <- t.tr_dropped + 1
+      t.tr_dropped <- t.tr_dropped + 1;
+      let dc, _ = selftr_cells t in
+      dc.n <- dc.n + 1
     end
     else begin
       t.tr_buf.((t.tr_head + t.tr_len) mod t.tr_cap) <- sp;
-      t.tr_len <- t.tr_len + 1
+      t.tr_len <- t.tr_len + 1;
+      let _, dg = selftr_cells t in
+      dg.g <- float_of_int t.tr_len;
+      dg.gset <- true
     end
   end
 
@@ -297,12 +434,15 @@ end
 module Gauge = struct
   type h = { on : bool; cell : gauge_cell }
 
-  let inert = { on = false; cell = { g = 0.; gset = false } }
+  let inert = { on = false; cell = { g = 0.; gset = false; gdelta = false } }
 
   let make (t : t) ?unit_ name =
     if not t.on then inert
     else
-      let e = intern t name unit_ (fun () -> Dgauge { g = 0.; gset = false }) in
+      let e =
+        intern t name unit_ (fun () ->
+            Dgauge { g = 0.; gset = false; gdelta = false })
+      in
       (match e.data with
        | Dgauge g -> { on = true; cell = g }
        | _ -> assert false)
@@ -310,7 +450,19 @@ module Gauge = struct
   let set h v =
     if h.on then begin
       h.cell.g <- v;
-      h.cell.gset <- true
+      h.cell.gset <- true;
+      h.cell.gdelta <- false
+    end
+
+  (* Up/down delta.  Unlike read-modify-write around [set], deltas
+     survive scrape-time merging: each shard accumulates its own +/-
+     and [merge_into] sums them, so a depth gauge split across domains
+     reports the true total instead of one shard's last write. *)
+  let add h d =
+    if h.on then begin
+      h.cell.g <- h.cell.g +. d;
+      h.cell.gset <- true;
+      h.cell.gdelta <- true
     end
 
   let value (t : t) name =
@@ -428,6 +580,185 @@ module Histogram = struct
       in
       walk 0 s.buckets
     end
+end
+
+(* --- labeled families --------------------------------------------------- *)
+
+let label_overflow_name = "obs.label_overflow"
+
+let overflow_incr t =
+  let c =
+    match t.ovf_cell with
+    | Some c -> c
+    | None ->
+      let e =
+        intern t label_overflow_name None (fun () -> Dcounter { n = 0 })
+      in
+      let c = match e.data with Dcounter c -> c | _ -> assert false in
+      t.ovf_cell <- Some c;
+      c
+  in
+  c.n <- c.n + 1
+
+module Labeled = struct
+  let default_cardinality = 64
+  let overflow_value = "other"
+
+  (* One representation for all three kinds; the mli exposes them as
+     distinct abstract types so a counter family cannot hand out gauge
+     handles.  [lf = None] is the inert family from {!null}. *)
+  type fh = { lt : t; lf : family option }
+  type counter = fh
+  type gauge = fh
+  type histogram = fh
+
+  let make_family (t : t) ?unit_ ?(cardinality = default_cardinality) ~kind
+      ~buckets ~keys name =
+    if keys = [] then
+      invalid_arg "Obs.Labeled: a family needs at least one label key";
+    if cardinality < 1 then
+      invalid_arg "Obs.Labeled: cardinality must be >= 1";
+    List.iter
+      (fun k ->
+         if k = "" then invalid_arg "Obs.Labeled: empty label key";
+         String.iter
+           (fun ch ->
+              match ch with
+              | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+              | _ ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Obs.Labeled: label key %S: use [A-Za-z0-9_]" k))
+           k)
+      keys;
+    (* histogram bounds are validated eagerly so a bad bucket list fails
+       at registration, not on the first spilled observation *)
+    if kind = "histogram" then ignore (Histogram.fresh_cell buckets);
+    if not t.on then { lt = t; lf = None }
+    else
+      match Hashtbl.find_opt t.families name with
+      | Some f ->
+        if f.fam_kind <> kind then
+          invalid_arg
+            (Printf.sprintf "Obs: family %S already registered as a %s family"
+               name f.fam_kind);
+        if f.fam_keys <> keys then
+          invalid_arg
+            (Printf.sprintf
+               "Obs: family %S already registered with label keys [%s]" name
+               (String.concat "; " f.fam_keys));
+        { lt = t; lf = Some f }
+      | None ->
+        let fam =
+          {
+            fam_name = name;
+            fam_keys = keys;
+            fam_kind = kind;
+            fam_unit = unit_;
+            fam_buckets = buckets;
+            fam_cap = cardinality;
+            fam_other =
+              compose_series name keys
+                (List.map (fun _ -> overflow_value) keys);
+            fam_series = 0;
+          }
+        in
+        Hashtbl.replace t.families name fam;
+        { lt = t; lf = Some fam }
+
+  let counter t ?unit_ ?cardinality ~keys name : counter =
+    make_family t ?unit_ ?cardinality ~kind:"counter" ~buckets:[] ~keys name
+
+  let gauge t ?unit_ ?cardinality ~keys name : gauge =
+    make_family t ?unit_ ?cardinality ~kind:"gauge" ~buckets:[] ~keys name
+
+  let histogram t ?unit_ ?(buckets = default_latency_buckets) ?cardinality
+      ~keys name : histogram =
+    make_family t ?unit_ ?cardinality ~kind:"histogram" ~buckets ~keys name
+
+  let fresh_of fam () =
+    match fam.fam_kind with
+    | "counter" -> Dcounter { n = 0 }
+    | "gauge" -> Dgauge { g = 0.; gset = false; gdelta = false }
+    | _ -> Dhist (Histogram.fresh_cell fam.fam_buckets)
+
+  (* Series lookup: under the cap a new tuple interns a fresh entry;
+     at the cap the tuple routes to the reserved all-[other] series and
+     bumps [obs.label_overflow] once per spilled lookup.  Asking for
+     the [other] tuple explicitly is always valid and never counts as a
+     spill (nor against the cap) — which is why [other] is a reserved
+     label value. *)
+  let resolve (h : fh) values : entry option =
+    match h.lf with
+    | None -> None
+    | Some fam ->
+      let t = h.lt in
+      if List.length values <> List.length fam.fam_keys then
+        invalid_arg
+          (Printf.sprintf
+             "Obs.Labeled: family %S expects %d label values, got %d"
+             fam.fam_name
+             (List.length fam.fam_keys)
+             (List.length values));
+      let name = compose_series fam.fam_name fam.fam_keys values in
+      if name = fam.fam_other then
+        Some (intern t name fam.fam_unit (fresh_of fam))
+      else
+        match Hashtbl.find_opt t.tbl name with
+        | Some e ->
+          if kind_name e.data <> fam.fam_kind then
+            invalid_arg
+              (Printf.sprintf "Obs: metric %S already registered as a %s" name
+                 (kind_name e.data));
+          Some e
+        | None ->
+          if fam.fam_series < fam.fam_cap then begin
+            fam.fam_series <- fam.fam_series + 1;
+            Some (intern t name fam.fam_unit (fresh_of fam))
+          end
+          else begin
+            overflow_incr t;
+            Some (intern t fam.fam_other fam.fam_unit (fresh_of fam))
+          end
+
+  let counter_series (h : counter) values : Counter.h =
+    match resolve h values with
+    | None -> Counter.inert
+    | Some e -> (
+      match e.data with
+      | Dcounter c -> { Counter.on = true; cell = c }
+      | _ -> assert false)
+
+  let gauge_series (h : gauge) values : Gauge.h =
+    match resolve h values with
+    | None -> Gauge.inert
+    | Some e -> (
+      match e.data with
+      | Dgauge g -> { Gauge.on = true; cell = g }
+      | _ -> assert false)
+
+  let histogram_series (h : histogram) values : Histogram.h =
+    match resolve h values with
+    | None -> Histogram.inert
+    | Some e -> (
+      match e.data with
+      | Dhist c -> { Histogram.on = true; cell = c }
+      | _ -> assert false)
+
+  (* One-shot conveniences for cold paths; hot paths should memoize the
+     series handle instead (one hashtable probe + string build each). *)
+  let incr h values = Counter.incr (counter_series h values)
+  let add h values k = Counter.add (counter_series h values) k
+  let set h values v = Gauge.set (gauge_series h values) v
+  let gauge_add h values d = Gauge.add (gauge_series h values) d
+  let observe h values v = Histogram.observe (histogram_series h values) v
+
+  let series_count (t : t) name =
+    match Hashtbl.find_opt t.families name with
+    | Some f -> f.fam_series
+    | None -> 0
+
+  let overflowed (t : t) = Counter.value t label_overflow_name
 end
 
 let with_span (t : t) name f =
@@ -567,6 +898,86 @@ let to_json_lines t =
     (entries t);
   Buffer.contents buf
 
+(* --- prometheus text exposition ---------------------------------------- *)
+
+(* Prometheus metric names allow [a-zA-Z0-9_:]; dots (and anything else)
+   become underscores.  Label pairs inside a composed series name are
+   already in prometheus syntax and pass through untouched. *)
+let prom_name name =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+       | _ -> '_')
+    name
+
+let split_series name =
+  match String.index_opt name '{' with
+  | Some i when String.length name > 0 && name.[String.length name - 1] = '}'
+    ->
+    (String.sub name 0 i, Some (String.sub name (i + 1) (String.length name - i - 2)))
+  | _ -> (name, None)
+
+let prom_bound le = if le = infinity then "+Inf" else Printf.sprintf "%g" le
+
+let to_prometheus t =
+  let buf = Buffer.create 2048 in
+  (* group series under their family base name, preserving first-seen
+     registration order, so each base gets exactly one # TYPE line *)
+  let order = ref [] in
+  let by_base : (string, (entry * string option) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun e ->
+       let base, labels = split_series e.ename in
+       match Hashtbl.find_opt by_base base with
+       | Some l -> Hashtbl.replace by_base base ((e, labels) :: l)
+       | None ->
+         Hashtbl.add by_base base [ (e, labels) ];
+         order := base :: !order)
+    (entries t);
+  List.iter
+    (fun base ->
+       let members = List.rev (Hashtbl.find by_base base) in
+       let pbase = prom_name base in
+       (match members with
+        | (e, _) :: _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s %s\n" pbase (kind_name e.data))
+        | [] -> ());
+       List.iter
+         (fun (e, labels) ->
+            let series suffix extra v =
+              let lbl =
+                match (labels, extra) with
+                | None, [] -> ""
+                | None, l -> "{" ^ String.concat "," l ^ "}"
+                | Some l, [] -> "{" ^ l ^ "}"
+                | Some l, extra -> "{" ^ l ^ "," ^ String.concat "," extra ^ "}"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s%s %s\n" pbase suffix lbl v)
+            in
+            match e.data with
+            | Dcounter c -> series "" [] (string_of_int c.n)
+            | Dgauge g -> series "" [] (json_float (if g.gset then g.g else 0.))
+            | Dhist c ->
+              let s = Histogram.snapshot_cell c in
+              let cum = ref 0 in
+              List.iter
+                (fun (le, n) ->
+                   cum := !cum + n;
+                   series "_bucket"
+                     [ Printf.sprintf "le=\"%s\"" (prom_bound le) ]
+                     (string_of_int !cum))
+                s.buckets;
+              series "_sum" [] (json_float s.sum);
+              series "_count" [] (string_of_int s.count))
+         members)
+    (List.rev !order);
+  Buffer.contents buf
+
 type sink = Null | Text of (string -> unit) | Json of (string -> unit)
 
 let emit t = function
@@ -590,6 +1001,11 @@ module Trace = struct
     attrs : (string * string) list;
   }
 
+  let note_depth t =
+    match t.selftr_cells with
+    | Some (_, dg) -> dg.g <- float_of_int t.tr_len
+    | None -> ()
+
   let set_capacity t n =
     if t.on then begin
       if n < 0 then invalid_arg "Obs.Trace.set_capacity: negative capacity";
@@ -597,7 +1013,8 @@ module Trace = struct
       t.tr_buf <- [||];
       t.tr_head <- 0;
       t.tr_len <- 0;
-      t.tr_dropped <- 0
+      t.tr_dropped <- 0;
+      note_depth t
     end
 
   let capacity t = t.tr_cap
@@ -608,7 +1025,8 @@ module Trace = struct
     t.tr_head <- 0;
     t.tr_len <- 0;
     t.tr_dropped <- 0;
-    t.tr_stack <- []
+    t.tr_stack <- [];
+    note_depth t
 
   let current t =
     match t.tr_stack with
@@ -903,5 +1321,95 @@ module Trace = struct
          in
          List.iter (walk 0) tr.roots)
       traces;
+    Buffer.contents buf
+end
+
+(* --- flight recorder ---------------------------------------------------- *)
+
+module Flight = struct
+  type incident = {
+    seq : int;
+    kind : string;
+    reason : string;
+    at_ns : float;
+    spans : Trace.span list;
+    metrics : string;
+  }
+
+  type recorder = {
+    fl_reg : t;
+    fl_max : int;
+    mutable fl_seq : int;
+    mutable fl_rev : incident list; (* newest first *)
+    mutable fl_suppressed : int;
+    fl_c_incidents : Counter.h;
+    fl_c_suppressed : Counter.h;
+  }
+
+  let create ?(max_incidents = 8) reg =
+    if max_incidents < 1 then
+      invalid_arg "Obs.Flight.create: max_incidents must be >= 1";
+    {
+      fl_reg = reg;
+      fl_max = max_incidents;
+      fl_seq = 0;
+      fl_rev = [];
+      fl_suppressed = 0;
+      fl_c_incidents = Counter.make reg "obs.flight.incidents";
+      fl_c_suppressed = Counter.make reg "obs.flight.suppressed";
+    }
+
+  let registry r = r.fl_reg
+
+  (* Freeze the registry's current trace ring and metric values.  The
+     buffer is bounded: once [max_incidents] incidents are held, further
+     triggers only count as suppressed — an anomaly storm cannot grow
+     memory without bound or turn the trigger path into a hot loop. *)
+  let trigger r ~kind ~reason =
+    if r.fl_reg.on then begin
+      if List.length r.fl_rev >= r.fl_max then begin
+        r.fl_suppressed <- r.fl_suppressed + 1;
+        Counter.incr r.fl_c_suppressed
+      end
+      else begin
+        r.fl_seq <- r.fl_seq + 1;
+        Counter.incr r.fl_c_incidents;
+        r.fl_rev <-
+          {
+            seq = r.fl_seq;
+            kind;
+            reason;
+            at_ns = now r.fl_reg;
+            spans = Trace.spans r.fl_reg;
+            metrics = to_json_lines r.fl_reg;
+          }
+          :: r.fl_rev
+      end
+    end
+
+  let incidents r = List.rev r.fl_rev
+  let count r = List.length r.fl_rev
+  let suppressed r = r.fl_suppressed
+
+  let clear r =
+    r.fl_rev <- [];
+    r.fl_suppressed <- 0
+
+  let to_chrome_json inc = Trace.to_chrome_json (Trace.assemble inc.spans)
+
+  let report inc =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "incident #%d kind=%s t=%.6fs\n" inc.seq inc.kind
+         (inc.at_ns /. 1e9));
+    Buffer.add_string buf (Printf.sprintf "reason: %s\n" inc.reason);
+    Buffer.add_string buf
+      (Printf.sprintf "spans captured: %d\n" (List.length inc.spans));
+    Buffer.add_string buf "--- metrics at trigger ---\n";
+    Buffer.add_string buf inc.metrics;
+    if inc.spans <> [] then begin
+      Buffer.add_string buf "--- trace waterfall ---\n";
+      Buffer.add_string buf (Trace.to_waterfall (Trace.assemble inc.spans))
+    end;
     Buffer.contents buf
 end

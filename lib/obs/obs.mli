@@ -51,14 +51,19 @@ val now : t -> float
 
 val merge_into : into:t -> t -> unit
 (** [merge_into ~into src] folds [src]'s metrics into [into]: counters
-    add, gauges take [src]'s value when it was ever set, histograms add
-    bucket-wise (count, sum, min, max included).  Entries missing from
-    [into] are registered on first merge, preserving [src]'s
-    registration order, so merging per-domain registries into a fresh
-    one yields their union.  Call it at {e scrape} time, from the domain
-    that owns [into], after the domains owning the sources have been
-    joined (see docs/CONCURRENCY.md).  Raises [Invalid_argument] on a
-    metric-kind clash or histogram-bucket mismatch; no-op when [into] is
+    add, delta gauges ({!Gauge.add}) sum, set gauges take [src]'s value
+    when it was ever set, histograms add bucket-wise (count, sum, min,
+    max included).  Entries missing from [into] are registered on first
+    merge, preserving [src]'s registration order, so merging per-domain
+    registries into a fresh one yields their union.  Labeled series
+    ({!Labeled}) merge like any other entry — shard-disjoint label sets
+    union, matching series (including the reserved ["other"] overflow
+    series) aggregate — and family registrations are carried over;
+    cardinality caps apply at record time per shard, never at merge.
+    Call it at {e scrape} time, from the domain that owns [into], after
+    the domains owning the sources have been joined (see
+    docs/CONCURRENCY.md).  Raises [Invalid_argument] on a metric- or
+    family-kind clash or histogram-bucket mismatch; no-op when [into] is
     {!null}. *)
 
 val merged : ?label:string -> t list -> t
@@ -83,10 +88,20 @@ end
 
 module Gauge : sig
   type h
-  (** Handle to a last-write-wins float. *)
+  (** Handle to a float: last-write-wins via {!set}, or an up/down
+      accumulator via {!add}. *)
 
   val make : t -> ?unit_:string -> string -> h
   val set : h -> float -> unit
+
+  val add : h -> float -> unit
+  (** [add h d] moves the gauge by [d] (negative to decrease).  A gauge
+      driven by [add] merges by {e summing} across shards in
+      {!merge_into}, so depth-style gauges (queue occupancy, parked
+      messages) maintained as deltas on per-domain registries report the
+      true total at scrape time — a read-modify-write around {!set}
+      would keep only one shard's last write.  A later {!set} switches
+      the gauge back to last-write-wins merging. *)
 
   val value : t -> string -> float option
   (** [None] until the gauge is first set. *)
@@ -127,6 +142,85 @@ module Histogram : sig
       histogram is empty, the one observed value (for any [q], including
       p999) on a single-sample snapshot, and [q] values outside [\[0, 1\]]
       — or NaN — clamp to the nearest end of the range. *)
+end
+
+(** {1 Labeled families}
+
+    A {e family} is one registration covering many {e series}, each
+    keyed by a tuple of label values: [gateway.tenant.shed{tenant="3",
+    reason="quota"}].  Series are ordinary registry entries named with
+    the composed prometheus-syntax string, so they merge, reset and
+    render through every existing path unchanged.
+
+    Cardinality is bounded per family: once [cardinality] distinct
+    tuples exist in a registry, further tuples spill into a reserved
+    series whose every label value is ["other"], and each spilled lookup
+    increments the plain counter [obs.label_overflow].  ["other"] is
+    therefore a reserved label value: asking for it explicitly addresses
+    the overflow series directly (never counts against the cap or as a
+    spill).  The cap applies at record time per registry — merging
+    shard registries with disjoint label sets may legitimately union to
+    more series than one shard's cap.
+
+    Hot paths should resolve a series handle once and memoize it; the
+    [*_series] functions cost one hashtable probe plus a string build.
+    Families minted from {!null} are inert, as are their handles. *)
+
+module Labeled : sig
+  type counter
+  type gauge
+  type histogram
+
+  val default_cardinality : int
+  (** 64 distinct series per family. *)
+
+  val overflow_value : string
+  (** The reserved label value ["other"]. *)
+
+  val counter :
+    t -> ?unit_:string -> ?cardinality:int -> keys:string list -> string ->
+    counter
+  (** [counter t ~keys name] registers (or re-attaches to) the counter
+      family [name] with label keys [keys] (non-empty, [A-Za-z0-9_]).
+      Raises [Invalid_argument] on a kind or key-tuple clash with an
+      existing family of the same name. *)
+
+  val gauge :
+    t -> ?unit_:string -> ?cardinality:int -> keys:string list -> string ->
+    gauge
+
+  val histogram :
+    t ->
+    ?unit_:string ->
+    ?buckets:float list ->
+    ?cardinality:int ->
+    keys:string list ->
+    string ->
+    histogram
+
+  val counter_series : counter -> string list -> Counter.h
+  (** [counter_series fam values] is the handle for the series keyed by
+      [values] (arity must match the family's [keys]; raises otherwise).
+      Memoize it on hot paths. *)
+
+  val gauge_series : gauge -> string list -> Gauge.h
+  val histogram_series : histogram -> string list -> Histogram.h
+
+  val incr : counter -> string list -> unit
+  (** One-shot [resolve + incr] for cold paths. *)
+
+  val add : counter -> string list -> int -> unit
+  val set : gauge -> string list -> float -> unit
+  val gauge_add : gauge -> string list -> float -> unit
+  val observe : histogram -> string list -> float -> unit
+
+  val series_count : t -> string -> int
+  (** Distinct non-overflow series the family [name] holds in this
+      registry ([0] for unknown families). *)
+
+  val overflowed : t -> int
+  (** Value of [obs.label_overflow]: spilled lookups across all
+      families of this registry. *)
 end
 
 val default_latency_buckets : float list
@@ -205,7 +299,12 @@ module Trace : sig
   val capacity : t -> int
 
   val dropped : t -> int
-  (** Spans overwritten since the last {!clear}/[reset]. *)
+  (** Spans overwritten since the last {!clear}/[reset].  The ring also
+      exports its own health as ordinary metrics, registered lazily on
+      the first buffered span: the counter [obs.spans_dropped] mirrors
+      this value and the gauge [obs.trace_buffer_depth] mirrors the live
+      occupancy, so span loss shows up in scrapes without the Trace
+      API. *)
 
   val clear : t -> unit
   (** Drop all buffered spans and abandon open ones. *)
@@ -249,6 +348,58 @@ module Trace : sig
       milliseconds relative to the trace start. *)
 end
 
+(** {1 Flight recorder}
+
+    A post-mortem tool built on the trace ring: when an anomaly fires
+    (breaker trip, shed burst, quarantine, eviction storm — hooks live
+    in [Gateway], [Morph.Breaker] and [Morph.Receiver]), {!Flight.trigger}
+    freezes the registry's buffered spans and a metrics snapshot into a
+    bounded incident buffer.  Incidents export as Chrome-trace JSON
+    (Perfetto-loadable) and as a text report; [morphctl] writes both to
+    disk.  Triggers on a full buffer only count as suppressed, so an
+    anomaly storm cannot grow memory without bound. *)
+
+module Flight : sig
+  type incident = {
+    seq : int;  (** 1-based trigger order *)
+    kind : string;  (** e.g. ["breaker_trip"], ["shed_burst"] *)
+    reason : string;  (** free-form detail, e.g. the tenant id *)
+    at_ns : float;  (** registry clock at trigger time *)
+    spans : Trace.span list;  (** the ring's contents, oldest first *)
+    metrics : string;  (** {!to_json_lines} snapshot at trigger time *)
+  }
+
+  type recorder
+
+  val create : ?max_incidents:int -> t -> recorder
+  (** Recorder over a registry (default capacity 8 incidents; raises on
+      [< 1]).  Registers the counters [obs.flight.incidents] and
+      [obs.flight.suppressed].  A recorder over {!null} is inert. *)
+
+  val registry : recorder -> t
+
+  val trigger : recorder -> kind:string -> reason:string -> unit
+  (** Capture an incident now, or count it as suppressed when the
+      buffer already holds [max_incidents].  No-op on {!null}. *)
+
+  val incidents : recorder -> incident list
+  (** Captured incidents, oldest first. *)
+
+  val count : recorder -> int
+  val suppressed : recorder -> int
+
+  val clear : recorder -> unit
+  (** Drop captured incidents and the suppressed count (the cumulative
+      counters in the registry are untouched). *)
+
+  val to_chrome_json : incident -> string
+  (** The incident's frozen spans as Perfetto-loadable Chrome-trace
+      JSON (see {!Trace.to_chrome_json}). *)
+
+  val report : incident -> string
+  (** Text incident report: header, metrics snapshot, span waterfall. *)
+end
+
 (** {1 Sinks} *)
 
 type sink =
@@ -269,3 +420,12 @@ val to_json_lines : t -> string
     [{"metric":NAME,"kind":"counter","unit":U,"value":N}] for counters
     and gauges; histograms add ["count"], ["sum"], ["min"], ["max"] and
     ["buckets":[{"le":BOUND,"n":N},...]] with ["le":"+inf"] last. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition.  Series sharing a base name (a labeled
+    family, or a single plain metric) are grouped under one
+    [# TYPE base kind] line in registration order; metric names are
+    sanitized to [\[a-zA-Z0-9_:\]] (dots become underscores) while label
+    pairs from composed series names pass through verbatim.  Histograms
+    emit cumulative [_bucket{le="..."}] series (["+Inf"] last) plus
+    [_sum] and [_count]; never-set gauges read 0. *)

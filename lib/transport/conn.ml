@@ -295,8 +295,12 @@ let mark_seen ep (src : Contact.t) (seq : int) : unit =
 let parked_messages ep =
   Hashtbl.fold (fun _ p acc -> acc + Queue.length p.q) ep.parked 0
 
-let note_parked_depth ep =
-  Obs.Gauge.set ep.m.m_parked_depth (float_of_int (parked_messages ep))
+(* The depth gauge is maintained as up/down deltas ([Obs.Gauge.add])
+   rather than recomputed with [set]: delta gauges sum across domain
+   shards at merge time, so endpoints split over domains report the
+   true total parked depth instead of one shard's last write. *)
+let parked_delta ep d =
+  if d <> 0 then Obs.Gauge.add ep.m.m_parked_depth (float_of_int d)
 
 let send_meta_request ?ctx ep (key : peer_key) : unit =
   ep.stats.meta_requests <- ep.stats.meta_requests + 1;
@@ -327,8 +331,8 @@ let rec schedule_meta_retry ep (key : peer_key) ~attempt ~delay : unit =
         if attempt >= ep.meta_retry.max_attempts then begin
           ep.stats.parked_dropped <- ep.stats.parked_dropped + Queue.length p.q;
           Obs.Counter.add ep.m.m_parked_dropped (Queue.length p.q);
+          parked_delta ep (-(Queue.length p.q));
           Hashtbl.remove ep.parked key;
-          note_parked_depth ep;
           Logs.warn (fun m ->
               m "%a: giving up on meta-data for format %d from %a after %d \
                  requests; dropping %d parked message(s)"
@@ -366,10 +370,11 @@ let park_message ep (key : peer_key) ~src (message : string) : unit =
   if Queue.length p.q >= ep.parked_cap then begin
     ignore (Queue.pop p.q); (* oldest-first eviction *)
     ep.stats.parked_evicted <- ep.stats.parked_evicted + 1;
-    Obs.Counter.incr ep.m.m_parked_evicted
+    Obs.Counter.incr ep.m.m_parked_evicted;
+    parked_delta ep (-1)
   end;
   Queue.add (src, message) p.q;
-  note_parked_depth ep
+  parked_delta ep 1
 
 (* --- receiving -------------------------------------------------------------- *)
 
@@ -409,7 +414,7 @@ let rec handle_inner ep ~src (frame : Framing.frame) : unit =
         | None -> ()
         | Some p ->
           Hashtbl.remove ep.parked key;
-          note_parked_depth ep;
+          parked_delta ep (-(Queue.length p.q));
           Queue.iter (fun (src, message) -> deliver ep ~src fm message) p.q))
   | Framing.Data { format_id; message } ->
     let key = { peer = src; id = format_id } in

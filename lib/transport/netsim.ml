@@ -101,14 +101,19 @@ type metrics = {
 }
 
 let make_metrics reg =
+  (* per-reason drops are one labeled family so an exposition shows the
+     breakdown as netsim_drops{reason="..."}; the four series handles
+     are resolved once here, keeping the drop paths handle-speed *)
+  let drops = Obs.Labeled.counter reg ~keys:[ "reason" ] "netsim.drops" in
+  let drop_series reason = Obs.Labeled.counter_series drops [ reason ] in
   {
     m_delivered = Obs.Counter.make reg "netsim.delivered";
     m_bytes = Obs.Counter.make reg ~unit_:"bytes" "netsim.bytes";
     m_duplicated = Obs.Counter.make reg "netsim.duplicated";
-    m_drops_unknown_dst = Obs.Counter.make reg "netsim.drops.unknown_dst";
-    m_drops_link_down = Obs.Counter.make reg "netsim.drops.link_down";
-    m_drops_loss = Obs.Counter.make reg "netsim.drops.loss";
-    m_drops_overflow = Obs.Counter.make reg "netsim.drops.overflow";
+    m_drops_unknown_dst = drop_series "unknown_dst";
+    m_drops_link_down = drop_series "link_down";
+    m_drops_loss = drop_series "loss";
+    m_drops_overflow = drop_series "overflow";
     m_timers = Obs.Counter.make reg "netsim.timers_fired";
   }
 

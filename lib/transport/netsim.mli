@@ -92,7 +92,9 @@ exception Unknown_node of Contact.t
 (** [seed] drives the fault model's RNG; runs with equal seeds and equal
     fault profiles replay identically.  [metrics] mirrors {!stats} into an
     Obs registry ([netsim.delivered], [netsim.bytes], [netsim.duplicated],
-    [netsim.drops.*], [netsim.timers_fired]); defaults to [Obs.null]. *)
+    the labeled family [netsim.drops] keyed by [reason] —
+    [unknown_dst] / [link_down] / [loss] / [overflow] —
+    and [netsim.timers_fired]); defaults to [Obs.null]. *)
 val create : ?config:config -> ?seed:int -> ?metrics:Obs.t -> unit -> t
 
 val now : t -> float

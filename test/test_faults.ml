@@ -100,8 +100,8 @@ let test_netsim_loss_is_seeded () =
      coincidence is fine *)
 
 let test_netsim_drop_metrics () =
-  (* a metrics-enabled simulator mirrors its drop accounting into Obs
-     counters, one per drop reason *)
+  (* a metrics-enabled simulator mirrors its drop accounting into the
+     labeled [netsim.drops] family, one series per drop reason *)
   let metrics = Obs.create () in
   let net = Netsim.create ~seed:1 ~metrics () in
   let a, b, _ = pair net in
@@ -111,14 +111,14 @@ let test_netsim_drop_metrics () =
   Netsim.send net ~src:a ~dst:(Contact.make "ghost" 9) "x";
   ignore (Netsim.run net);
   Alcotest.(check int) "loss drops counted" 10
-    (Obs.Counter.value metrics "netsim.drops.loss");
+    (Obs.Counter.value metrics "netsim.drops{reason=\"loss\"}");
   Alcotest.(check int) "unknown destination counted" 1
-    (Obs.Counter.value metrics "netsim.drops.unknown_dst");
+    (Obs.Counter.value metrics "netsim.drops{reason=\"unknown_dst\"}");
   Alcotest.(check int) "nothing delivered" 0
     (Obs.Counter.value metrics "netsim.delivered");
   (* the Obs counter agrees with the stats record *)
   Alcotest.(check int) "stats agree" (Netsim.stats net).Netsim.drops_loss
-    (Obs.Counter.value metrics "netsim.drops.loss")
+    (Obs.Counter.value metrics "netsim.drops{reason=\"loss\"}")
 
 let test_netsim_duplication () =
   let net = Netsim.create ~seed:2 () in

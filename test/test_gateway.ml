@@ -583,6 +583,36 @@ let test_gateway_chaos_smoke () =
   if not (Morphcheck.Gateway_chaos.passed r) then
     Alcotest.failf "%a" Morphcheck.Gateway_chaos.pp_report r
 
+let test_gateway_observed_case () =
+  (* the telemetry-armed soak case: the poison tenant's garbage frames
+     trip its breaker, so the flight recorder must hold at least one
+     incident, the scrape buffer must be populated, and the whole thing
+     must replay deterministically *)
+  let module C = Morphcheck.Gateway_chaos in
+  let o = C.run_observed ~seed:5 ~tenants:12 ~messages:300 () in
+  Alcotest.(check bool) "traffic flowed" true (o.C.o_delivered > 0);
+  Alcotest.(check bool) "breaker tripped" true (o.C.o_trips >= 1);
+  Alcotest.(check bool) "flight incident captured" true (o.C.o_incidents >= 1);
+  Alcotest.(check bool) "network quiesced" true o.C.o_quiesced;
+  Alcotest.(check bool) "scrapes captured" true
+    (String.length o.C.o_scrape > 0);
+  (* incidents carry frozen spans + metrics and export both ways *)
+  (match Obs.Flight.incidents o.C.o_flight with
+   | [] -> Alcotest.fail "no incidents in the recorder"
+   | inc :: _ ->
+     Alcotest.(check bool) "chrome export" true
+       (Helpers.contains (Obs.Flight.to_chrome_json inc) "traceEvents");
+     Alcotest.(check bool) "report names the incident" true
+       (Helpers.contains (Obs.Flight.report inc) "incident #1"));
+  (* per-tenant shed telemetry picked up the poison tenant's breaker *)
+  let prom = Obs.to_prometheus o.C.o_metrics in
+  Alcotest.(check bool) "breaker sheds exposed per tenant" true
+    (Helpers.contains prom {|reason="breaker"|});
+  (* deterministic in the seed: scrape streams replay byte-identically *)
+  let o' = C.run_observed ~seed:5 ~tenants:12 ~messages:300 () in
+  Alcotest.(check string) "observed case replays" o.C.o_scrape o'.C.o_scrape;
+  Alcotest.(check int) "incident count replays" o.C.o_incidents o'.C.o_incidents
+
 let suite =
   [
     Alcotest.test_case "breaker: trip, cooldown, probe, recover" `Quick
@@ -627,4 +657,6 @@ let suite =
     Alcotest.test_case "gateway: acceptance run replays identically" `Slow
       test_gateway_acceptance_replays;
     Alcotest.test_case "gateway: chaos campaign smoke" `Slow test_gateway_chaos_smoke;
+    Alcotest.test_case "gateway: observed case trips flight recorder" `Quick
+      test_gateway_observed_case;
   ]

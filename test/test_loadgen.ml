@@ -195,6 +195,88 @@ let test_trajectory_shape () =
            (Helpers.contains l {|"final":false|}))
     lines
 
+(* --- periodic scrapes --------------------------------------------------------- *)
+
+let scrape_lines s =
+  String.split_on_char '\n' s |> List.filter (fun l -> String.length l > 0)
+
+let test_scrape_neutral_and_shaped () =
+  (* a scrape only reads the registry, so turning it on must not perturb
+     the simulation: same seed, same summary, byte for byte *)
+  let quiet = L.run small_echo in
+  let scraped = L.run { small_echo with L.scrape_every_s = 0.05 } in
+  Alcotest.(check string) "scraping does not perturb the run"
+    (L.summary quiet) (L.summary scraped);
+  Alcotest.(check string) "no cadence, no scrape buffer" "" quiet.L.scrape;
+  let lines = scrape_lines scraped.L.scrape in
+  (* 0.2 s at a 0.05 s cadence plus the final post-drain scrape *)
+  Alcotest.(check bool) "several scrapes captured" true (List.length lines >= 3);
+  List.iteri
+    (fun i l ->
+       Alcotest.(check bool)
+         (Printf.sprintf "scrape %d is numbered and framed" (i + 1))
+         true
+         (Helpers.contains l (Printf.sprintf {|{"scrape":%d,"t":|} (i + 1))
+          && Helpers.contains l {|"series":[{"metric":|}
+          && l.[String.length l - 1] = '}'))
+    lines;
+  (* scrapes freeze the run's own metrics *)
+  Alcotest.(check bool) "series include the latency histogram" true
+    (Helpers.contains scraped.L.scrape {|"metric":"loadgen.latency_s"|})
+
+let test_gateway_scrape_and_tenant_telemetry () =
+  (* 300 tenants against a 256-series label cap: the per-tenant families
+     must spill to ["other"] instead of growing without bound, and the
+     per-rung families must see the traffic *)
+  let cfg =
+    { L.default_gateway with
+      L.g_tenants = 300;
+      g_dist = D.Poisson 4_000.;
+      g_duration_s = 0.2;
+      g_samples = 4;
+      g_seed = 3 }
+  in
+  let quiet = L.run_gateway cfg in
+  let r = L.run_gateway { cfg with L.g_scrape_every_s = 0.05 } in
+  Alcotest.(check string) "gateway scraping does not perturb the run"
+    (L.gateway_summary quiet) (L.gateway_summary r);
+  Alcotest.(check bool) "gateway scrapes captured" true
+    (List.length (scrape_lines r.L.g_scrape) >= 3);
+  let m = r.L.g_metrics in
+  Alcotest.(check int) "admitted family capped at 256" 256
+    (Obs.Labeled.series_count m "gateway.tenant.admitted");
+  Alcotest.(check bool) "overflow tenants spilled to other" true
+    (Obs.Labeled.overflowed m > 0);
+  (* per-tenant admitted series carry real counts *)
+  let tenant_admitted =
+    List.fold_left
+      (fun acc name ->
+         if String.length name > 24
+         && String.sub name 0 24 = "gateway.tenant.admitted{" then
+           acc + Obs.Counter.value m name
+         else acc)
+      0 (Obs.names m)
+  in
+  Alcotest.(check int) "per-tenant admitted sums to the total"
+    r.L.g_stats.Gateway.admitted tenant_admitted;
+  (* per-rung deliveries and latencies *)
+  let rung r' = Obs.Counter.value m (Printf.sprintf {|gateway.rung.delivered{rung="%s"}|} r') in
+  Alcotest.(check int) "per-rung deliveries sum to the total"
+    r.L.g_stats.Gateway.delivered
+    (rung "fused" + rung "staged" + rung "interp");
+  let rlat r' =
+    Obs.Histogram.count m (Printf.sprintf {|gateway.rung.latency_s{rung="%s"}|} r')
+  in
+  Alcotest.(check int) "per-rung latency observations match deliveries"
+    r.L.g_stats.Gateway.delivered
+    (rlat "fused" + rlat "staged" + rlat "interp");
+  (* the whole registry renders as prometheus exposition *)
+  let prom = Obs.to_prometheus m in
+  Alcotest.(check bool) "labeled tenant series exposed" true
+    (Helpers.contains prom {|gateway_tenant_admitted{tenant="|});
+  Alcotest.(check bool) "rung histogram exposed" true
+    (Helpers.contains prom "# TYPE gateway_rung_latency_s histogram")
+
 (* --- scale ------------------------------------------------------------------ *)
 
 let test_scale_100k () =
@@ -323,6 +405,10 @@ let suite =
     Alcotest.test_case "parity: faulted echo fused/staged/interp" `Slow
       (parity "faulty" faulty_cfg);
     Alcotest.test_case "trajectory: ndjson shape" `Quick test_trajectory_shape;
+    Alcotest.test_case "scrape: neutral and well-shaped" `Quick
+      test_scrape_neutral_and_shaped;
+    Alcotest.test_case "scrape: gateway tenant telemetry" `Quick
+      test_gateway_scrape_and_tenant_telemetry;
     Alcotest.test_case "scale: 100k clients on the virtual clock" `Slow
       test_scale_100k;
     Alcotest.test_case "flags: bad loadgen configs rejected" `Quick

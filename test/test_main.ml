@@ -17,6 +17,8 @@ let () =
       ("diff+maxmatch", Test_diff_maxmatch.suite);
       ("weighted", Test_weighted.suite);
       ("obs", Test_obs.suite);
+      ("obs labeled", Test_obs_labeled.suite);
+      ("obs catalog", Test_obs_catalog.suite);
       ("morphcheck", Test_morphcheck.suite);
       ("receiver", Test_receiver.suite);
       ("chains", Test_chain.suite);

@@ -1,0 +1,73 @@
+(* The metric catalogue in docs/OBSERVABILITY.md is executable
+   documentation: this lint runs the load harness (echo, b2b, gateway)
+   and the gateway soak's telemetry-armed observed case, collects every
+   base metric name that actually registered, and fails if one is
+   missing from the doc.  Adding a metric without documenting it — or
+   renaming one and leaving the doc stale — breaks this test. *)
+
+module L = Loadgen
+module D = Loadgen.Dist
+
+let doc = Helpers.read_file "../docs/OBSERVABILITY.md"
+
+(* Strip the label suffix: series of a labeled family document as their
+   family base name. *)
+let base name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* Dynamic or namespaced names documented as a pattern rather than
+   verbatim — span histograms, per-channel echo deliveries, bench
+   gauges.  The pattern prefix itself must still be in the doc. *)
+let pattern_prefixes = [ "span:"; "echo.channel."; "bench." ]
+
+let check_names names =
+  let missing =
+    List.sort_uniq compare (List.map base names)
+    |> List.filter (fun n ->
+           match
+             List.find_opt
+               (fun p ->
+                 String.length n >= String.length p
+                 && String.sub n 0 (String.length p) = p)
+               pattern_prefixes
+           with
+           | Some p -> not (Helpers.contains doc p)
+           | None -> not (Helpers.contains doc n))
+  in
+  if missing <> [] then
+    Alcotest.failf "metrics missing from docs/OBSERVABILITY.md: %s"
+      (String.concat ", " missing)
+
+let test_catalogue_covers_runs () =
+  let echo =
+    L.run
+      { L.default with
+        L.clients = 100; duration_s = 0.1; scrape_every_s = 0.05;
+        faults = { Transport.Netsim.no_faults with Transport.Netsim.loss = 0.02 };
+        reliable = true; seed = 2 }
+  in
+  check_names (Obs.names echo.L.metrics);
+  let b2b =
+    L.run
+      { L.default with
+        L.scenario = L.B2b; clients = 50; duration_s = 0.1; seed = 2 }
+  in
+  check_names (Obs.names b2b.L.metrics);
+  (* 300 tenants overflows the 256-series tenant families, so the doc
+     must also cover obs.label_overflow and the per-rung latencies *)
+  let gw =
+    L.run_gateway
+      { L.default_gateway with
+        L.g_tenants = 300; g_duration_s = 0.15; g_samples = 3; g_seed = 2 }
+  in
+  check_names (Obs.names gw.L.g_metrics);
+  let o = Morphcheck.Gateway_chaos.run_observed ~seed:2 ~tenants:12 ~messages:200 () in
+  check_names (Obs.names o.Morphcheck.Gateway_chaos.o_metrics)
+
+let suite =
+  [
+    Alcotest.test_case "catalogue covers every registered metric" `Quick
+      test_catalogue_covers_runs;
+  ]
