@@ -46,6 +46,10 @@ let measure_bechamel ?(quota_s = 0.4) ~name (f : unit -> unit) : float =
 (* Every completed measurement, in run order, for the JSON trajectory. *)
 let recorded : (string * float) list ref = ref []
 
+(* Allocation profiles recorded alongside: (name, bytes/op, minor
+   collections/op). *)
+let recorded_alloc : (string * float * float) list ref = ref []
+
 (* Nanoseconds per execution of [f].  Fast operations take the best of two
    Bechamel OLS fits (scheduler blips on a shared container otherwise leak
    into single estimates); slow ones repeat directly. *)
@@ -67,8 +71,38 @@ let measure ~(name : string) (f : unit -> unit) : float =
   recorded := (name, ns) :: !recorded;
   ns
 
+(* Bytes allocated and minor collections per execution of [f], by
+   [Gc.allocated_bytes] / [Gc.quick_stat] deltas over a fixed run count.
+   Unlike time, allocation is deterministic per run, so a modest rep
+   count with the two probe calls amortised over it is exact enough for
+   a ratio gate. *)
+let alloc_of ?(reps = 64) (f : unit -> unit) : float * float =
+  f ();
+  (* warm up *)
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  let a1 = Gc.allocated_bytes () in
+  let s1 = Gc.quick_stat () in
+  ( (a1 -. a0) /. float_of_int reps,
+    float_of_int (s1.Gc.minor_collections - s0.Gc.minor_collections)
+    /. float_of_int reps )
+
+(* ns/op plus the allocation profile: (ns, allocated bytes/op, minor
+   collections/op).  Records all three for the JSON trajectory. *)
+let measure_alloc ~(name : string) (f : unit -> unit) : float * float * float =
+  let ns = measure ~name f in
+  let bytes, minors = alloc_of f in
+  recorded_alloc := (name, bytes, minors) :: !recorded_alloc;
+  (ns, bytes, minors)
+
 (* Write every recorded measurement to [path] through the Obs JSON sink:
-   one gauge per benchmark point, value in nanoseconds per execution. *)
+   one gauge per benchmark point (value in nanoseconds per execution),
+   plus [.alloc_bytes] / [.minor_collections] gauges for points measured
+   with an allocation profile. *)
 let write_json (path : string) : unit =
   let reg = Obs.create () in
   List.iter
@@ -76,6 +110,16 @@ let write_json (path : string) : unit =
        if not (Float.is_nan ns) then
          Obs.Gauge.set (Obs.Gauge.make reg ~unit_:"ns" ("bench." ^ name)) ns)
     (List.rev !recorded);
+  List.iter
+    (fun (name, bytes, minors) ->
+       Obs.Gauge.set
+         (Obs.Gauge.make reg ~unit_:"bytes" ("bench." ^ name ^ ".alloc_bytes"))
+         bytes;
+       Obs.Gauge.set
+         (Obs.Gauge.make reg ~unit_:"collections"
+            ("bench." ^ name ^ ".minor_collections"))
+         minors)
+    (List.rev !recorded_alloc);
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)

@@ -12,6 +12,9 @@
      abl4-b2b         broker-side XSLT vs receiver-side morphing (Figs 6/7)
      codec            wire codec: per-field interpreter vs compiled plans
                       vs the fused decode->morph path
+     msgpack          PBIO compiled plans vs a MsgPack-shaped tagged encoding
+     alloc            allocation per morphed delivery: eager fused vs the
+                      lazy zero-copy/arena path (own sizes, incl. 100 KB)
      parallel         domain-sharded fan-out: one batch over many sinks at
                       pool widths 1/2/4
      obs              telemetry hot paths: inert handles, labeled-family
@@ -22,7 +25,7 @@
 
    Usage: dune exec bench/main.exe -- [SECTION]... [--quick]
             [--only fig8,table1] [--json [FILE]] [--check-codec]
-            [--check-parallel] [--check-obs]
+            [--check-parallel] [--check-obs] [--check-alloc]
    Bare SECTION tokens filter like --only entries; --json without a file
    writes BENCH_morph.json; --check-codec exits non-zero unless the
    compiled decode beats the interpreter (and fused beats staged) at the
@@ -30,7 +33,10 @@
    --check-parallel exits non-zero unless 4-domain fan-out beats the
    sequential baseline by >= 2x (skipped with a warning on machines with
    fewer than 4 recommended domains).  --check-obs exits non-zero unless
-   the telemetry hot paths stay within their overhead budgets. *)
+   the telemetry hot paths stay within their overhead budgets.
+   --check-alloc exits non-zero unless the lazy morph path allocates at
+   most a quarter of the eager fused bytes at the ~100 KB point while
+   staying within 1.10x its time at every size. *)
 
 open Pbio
 module WF = Echo.Wire_formats
@@ -484,6 +490,179 @@ let check_codec () : int =
       1
     end
 
+(* --- msgpack: comparison against a tagged compact encoding ------------------------- *)
+
+(* Where PBIO sits against a MessagePack-shaped encoding: schema-driven
+   positional arrays, so no field names travel, but every value still
+   pays a tag byte and big-endian scalars.  Measures both codecs' encode
+   and decode so the ratio is computed from numbers taken in the same
+   process state. *)
+let msgpack sized_points =
+  H.section "msgpack"
+    "PBIO compiled plans vs a MsgPack-shaped tagged encoding (schema-driven \
+     positional arrays, per-value tag bytes)";
+  Msgpack.self_test ();
+  let v2 = WF.channel_open_response_v2 in
+  let enc = Codec.compile_encode ~endian:Codec.Little v2 in
+  let dec = Codec.compile_decode ~endian:Codec.Little v2 in
+  H.row "   %-8s %11s %11s %6s %11s %11s %6s %7s\n" "size" "enc/pbio"
+    "enc/mp" "x" "dec/pbio" "dec/mp" "x" "bytes";
+  List.iter
+    (fun (_requested, p) ->
+       let payload = Codec.encode_payload enc p.v2_value in
+       let mp = Msgpack.encode_payload v2 p.v2_value in
+       (* both codecs must roundtrip the point before we time them *)
+       assert (Value.equal p.v2_value (Msgpack.decode_payload v2 mp));
+       let ep =
+         H.measure ~name:("msgpack/pbio-encode/" ^ p.label) (fun () ->
+             ignore (Codec.encode_payload enc p.v2_value))
+       in
+       let em =
+         H.measure ~name:("msgpack/mp-encode/" ^ p.label) (fun () ->
+             ignore (Msgpack.encode_payload v2 p.v2_value))
+       in
+       let dp =
+         H.measure ~name:("msgpack/pbio-decode/" ^ p.label) (fun () ->
+             ignore (Codec.decode_payload dec payload))
+       in
+       let dm =
+         H.measure ~name:("msgpack/mp-decode/" ^ p.label) (fun () ->
+             ignore (Msgpack.decode_payload v2 mp))
+       in
+       H.row "   %-8s %11s %11s %5.1fx %11s %11s %5.1fx %6.2fx\n" p.label
+         (ns ep) (ns em) (em /. ep) (ns dp) (ns dm) (dm /. dp)
+         (float_of_int (String.length mp) /. float_of_int (String.length payload)))
+    sized_points
+
+(* --- alloc: allocation profile, eager fused vs lazy materialisation ---------------- *)
+
+(* The alloc section keeps its own size list so the 100 KB gate point is
+   measured even under --quick: the lazy win is proportional to the
+   bytes skipped, so the gate only means something on a large message. *)
+let alloc_sizes = [ 100; 1_000; 10_000; 100_000 ]
+
+(* The dropped-field-heavy shape the --check-alloc gate measures: a
+   receiver that only wants the channel-open header, so the morph drops
+   the entire member list.  This is the paper's common evolution case —
+   an old receiver ignoring everything a newer writer added — and the
+   case lazy materialisation exists for: the eager fused plan still
+   builds every member Value before discarding them, while the lazy scan
+   skips the whole array span on the wire. *)
+let response_v2_header : Ptype.record =
+  Ptype.record "ChannelOpenResponse"
+    [
+      Ptype.field "channel" Ptype.string_;
+      Ptype.field "member_count" Ptype.int_;
+    ]
+
+(* requested size -> (staged bytes/op, fused ns, lazy ns, lazy bytes/op)
+   on the drop-heavy header shape; read back by --check-alloc.  The byte
+   gate compares lazy against the eager *staged* path (full-tree decode,
+   then convert — what every pre-lazy receiver pays on a cache miss of
+   the fused plan, and the allocation floor named by the issue); the
+   time gate compares lazy against the fused plan, the fastest eager
+   path. *)
+let alloc_results : (int * (float * float * float * float)) list ref = ref []
+
+let alloc_bench () =
+  H.section "alloc"
+    "Allocation per morphed delivery: eager staged (decode + convert) vs \
+     eager fused vs lazy materialisation (zero-copy slices, arena-pooled \
+     skeletons).  'drop-heavy' morphs v2.0 to the header only (member \
+     list skipped on the wire; the --check-alloc gate shape); 'keep-most' \
+     morphs to the trimmed target that retains the member list — the \
+     shape lazy does NOT win, kept so the trade-off stays visible";
+  let v2 = WF.channel_open_response_v2 in
+  let dec = Codec.compile_decode ~endian:Codec.Little v2 in
+  let shapes =
+    [ ("drop-heavy", response_v2_header, true);
+      ("keep-most", response_v2_trim, false) ]
+  in
+  let arena = Arena.create ~debug:false () in
+  H.row "   %-10s %-8s %11s %11s %11s %6s %12s %12s %8s\n" "shape" "size"
+    "staged" "fused" "lazy" "f/l" "staged B/op" "lazy B/op" "x";
+  List.iter
+    (fun requested ->
+       let p = make_point requested in
+       let payload =
+         Codec.Interp.encode_payload ~endian:Codec.Little v2 p.v2_value
+       in
+       (* the slice is built outside the timed loop: steady-state ingress
+          hands the codec a slice over transport-owned storage *)
+       let slice = Slice.of_string payload in
+       List.iter
+         (fun (tag, into, gated) ->
+            let conv = Convert.compile ~from_:v2 ~into in
+            let mor = Codec.compile_morph ~endian:Codec.Little ~from_:v2 ~into in
+            let lm =
+              Codec.compile_morph_lazy ~endian:Codec.Little ~from_:v2 ~into
+            in
+            let eager = Codec.morph_payload mor payload in
+            let lazy_v = Codec.lmorph_payload lm ~arena slice in
+            assert (Value.equal eager (Value.copy lazy_v));
+            assert (Value.equal eager (conv (Codec.decode_payload dec payload)));
+            Arena.recycle arena;
+            let nm suffix = Fmt.str "alloc/%s/%s/%s" suffix tag p.label in
+            let s_ns, s_bytes, _ =
+              H.measure_alloc ~name:(nm "staged") (fun () ->
+                  ignore (conv (Codec.decode_payload dec payload)))
+            in
+            let f_ns, _, _ =
+              H.measure_alloc ~name:(nm "fused") (fun () ->
+                  ignore (Codec.morph_payload mor payload))
+            in
+            let l_ns, l_bytes, _ =
+              H.measure_alloc ~name:(nm "lazy") (fun () ->
+                  ignore (Codec.lmorph_payload lm ~arena slice);
+                  Arena.recycle arena)
+            in
+            if gated then
+              alloc_results :=
+                (requested, (s_bytes, f_ns, l_ns, l_bytes)) :: !alloc_results;
+            H.row "   %-10s %-8s %11s %11s %11s %5.2fx %12.0f %12.0f %7.1fx\n"
+              tag p.label (ns s_ns) (ns f_ns) (ns l_ns) (f_ns /. l_ns) s_bytes
+              l_bytes (s_bytes /. Float.max l_bytes 1.0))
+         shapes)
+    alloc_sizes
+
+(* The CI guard for this PR's tentpole: on the dropped-field-heavy shape
+   the lazy path must allocate at most a quarter of the eager staged
+   bytes at the large (>= ~97 KB) point, without giving back meaningful
+   time against the fused plan at any size.  The byte ratio is
+   deterministic; the time bound is left slack (1.10x) for
+   shared-machine noise. *)
+let check_alloc () : int =
+  let big =
+    List.filter (fun (req, _) -> req >= 97_000) !alloc_results
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  match big with
+  | [] ->
+    prerr_endline "check-alloc: no >=97KB alloc measurement (did filters skip 'alloc'?)";
+    1
+  | (req, (s_bytes, _, _, l_bytes)) :: _ ->
+    let byte_ratio = l_bytes /. Float.max s_bytes 1.0 in
+    let time_ok =
+      List.for_all
+        (fun (r, (_, f_ns, l_ns, _)) ->
+           let ok = l_ns <= f_ns *. 1.10 in
+           if not ok then
+             Printf.eprintf
+               "check-alloc: lazy %.0fns vs fused %.0fns at %d B (need <= 1.10x)\n"
+               l_ns f_ns r;
+           ok)
+        !alloc_results
+    in
+    Printf.printf
+      "check-alloc @%dB: lazy allocates %.4fx the eager staged bytes \
+       (need <= 0.25), lazy time within 1.10x fused at every size: %b\n"
+      req byte_ratio time_ok;
+    if byte_ratio <= 0.25 && time_ok then 0
+    else begin
+      prerr_endline "check-alloc: FAILED — the allocation floor regressed";
+      1
+    end
+
 (* --- parallel: domain-sharded fan-out ---------------------------------------------- *)
 
 (* pool width -> ns per fan-out batch; read back by --check-parallel *)
@@ -639,6 +818,7 @@ type opts = {
   check : bool;
   check_parallel : bool;
   check_obs : bool;
+  check_alloc : bool;
 }
 
 let parse_args () : opts =
@@ -649,6 +829,7 @@ let parse_args () : opts =
     | "--check-codec" :: rest -> go { acc with check = true } rest
     | "--check-parallel" :: rest -> go { acc with check_parallel = true } rest
     | "--check-obs" :: rest -> go { acc with check_obs = true } rest
+    | "--check-alloc" :: rest -> go { acc with check_alloc = true } rest
     | "--only" :: v :: rest when not (is_flag v) ->
       go { acc with filters = acc.filters @ String.split_on_char ',' v } rest
     | "--json" :: v :: rest when not (is_flag v) -> go { acc with json = Some v } rest
@@ -662,7 +843,7 @@ let parse_args () : opts =
   in
   go
     { quick = false; filters = []; json = None; check = false;
-      check_parallel = false; check_obs = false }
+      check_parallel = false; check_obs = false; check_alloc = false }
     (List.tl (Array.to_list Sys.argv))
 
 let () =
@@ -692,6 +873,8 @@ let () =
   if want "abl5" then abl5 ();
   if want "abl6" then abl6 ();
   if want "codec" then codec sized_points;
+  if want "msgpack" then msgpack sized_points;
+  if want "alloc" then alloc_bench ();
   if want "parallel" then parallel opts.quick;
   if want "obs" then obs_bench ();
   Option.iter
@@ -700,9 +883,11 @@ let () =
        Printf.printf "\nmeasurements written to %s\n" path)
     opts.json;
   print_newline ();
-  if opts.check || opts.check_parallel || opts.check_obs then begin
+  if opts.check || opts.check_parallel || opts.check_obs || opts.check_alloc
+  then begin
     let rc = if opts.check then check_codec () else 0 in
     let rcp = if opts.check_parallel then check_parallel () else 0 in
     let rco = if opts.check_obs then check_obs () else 0 in
-    exit (max rc (max rcp rco))
+    let rca = if opts.check_alloc then check_alloc () else 0 in
+    exit (max (max rc rca) (max rcp rco))
   end

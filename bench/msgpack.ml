@@ -1,0 +1,288 @@
+(* MsgPack-shaped comparison codec for the benchmark suite.
+
+   A schema-driven encoding in the MessagePack family: records are
+   positional arrays (the schema supplies field names, so none travel on
+   the wire), scalars use the standard tag bytes (fixint / int64 /
+   float64 / fixstr / str8-32 / bool), arrays use fixarray / array16 /
+   array32 headers.  This is the "compact self-describing-ish" point in
+   the design space the paper's Section 5 compares against: cheaper than
+   XML, but every value still carries a tag byte the PBIO compiled plans
+   never pay for.
+
+   Benchmark-only code: it lives in bench/ and is not part of the
+   library surface.  It is faithful enough for the comparison (full
+   roundtrip over the Fig-8/Fig-9 shapes, checked at startup by
+   [self_test]) without being a complete MessagePack implementation. *)
+
+open Pbio
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* --- encode ---------------------------------------------------------- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16_be b v =
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_u32_be b v =
+  put_u8 b (v lsr 24);
+  put_u8 b (v lsr 16);
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_u64_be b v =
+  put_u32_be b (v lsr 32);
+  put_u32_be b (v land 0xffffffff)
+
+let put_int b (v : int) =
+  if v >= 0 && v < 0x80 then put_u8 b v (* positive fixint *)
+  else if v < 0 && v >= -32 then put_u8 b (v land 0xff) (* negative fixint *)
+  else if v >= -0x80000000 && v <= 0x7fffffff then begin
+    put_u8 b 0xd2;
+    (* int32 *)
+    put_u32_be b (v land 0xffffffff)
+  end
+  else begin
+    put_u8 b 0xd3;
+    (* int64 *)
+    put_u64_be b v
+  end
+
+let put_float b (v : float) =
+  put_u8 b 0xcb;
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical bits (i * 8)))
+  done
+
+let put_str b (s : string) =
+  let n = String.length s in
+  if n < 32 then put_u8 b (0xa0 lor n) (* fixstr *)
+  else if n < 0x100 then begin
+    put_u8 b 0xd9;
+    put_u8 b n
+  end
+  else if n < 0x10000 then begin
+    put_u8 b 0xda;
+    put_u16_be b n
+  end
+  else begin
+    put_u8 b 0xdb;
+    put_u32_be b n
+  end;
+  Buffer.add_string b s
+
+let put_array_header b (n : int) =
+  if n < 16 then put_u8 b (0x90 lor n) (* fixarray *)
+  else if n < 0x10000 then begin
+    put_u8 b 0xdc;
+    put_u16_be b n
+  end
+  else begin
+    put_u8 b 0xdd;
+    put_u32_be b n
+  end
+
+let put_bool b (v : bool) = put_u8 b (if v then 0xc3 else 0xc2)
+
+let rec enc_type b (ty : Ptype.t) (v : Value.t) =
+  match ty with
+  | Ptype.Basic basic -> enc_basic b basic v
+  | Ptype.Record r -> enc_record b r v
+  | Ptype.Array { elem; size = _ } ->
+    let n = Value.array_len v in
+    put_array_header b n;
+    for i = 0 to n - 1 do
+      enc_type b elem (Value.array_get v i)
+    done
+
+and enc_basic b (basic : Ptype.basic) (v : Value.t) =
+  match basic with
+  | Ptype.Int | Ptype.Uint | Ptype.Enum _ -> put_int b (Value.to_int v)
+  | Ptype.Float -> put_float b (Value.to_float v)
+  | Ptype.Char -> put_int b (Char.code (match v with
+      | Value.Char c -> c
+      | other -> Char.chr (Value.to_int other land 0xff)))
+  | Ptype.Bool -> put_bool b (Value.to_bool v)
+  | Ptype.String -> put_str b (Value.to_string_exn v)
+
+(* Schema-driven record body: a fixed-arity positional array, one slot
+   per schema field, in schema order. *)
+and enc_record b (r : Ptype.record) (v : Value.t) =
+  put_array_header b (List.length r.Ptype.fields);
+  List.iter
+    (fun (f : Ptype.field) ->
+       enc_type b f.Ptype.ftype (Value.get_field v f.Ptype.fname))
+    r.Ptype.fields
+
+let encode_payload (r : Ptype.record) (v : Value.t) : string =
+  let b = Buffer.create 256 in
+  enc_record b r v;
+  Buffer.contents b
+
+(* --- decode ---------------------------------------------------------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.s then
+    fail "msgpack: truncated: need %d bytes at %d (length %d)" n c.pos
+      (String.length c.s)
+
+let take_u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let take_u16_be c =
+  let hi = take_u8 c in
+  let lo = take_u8 c in
+  (hi lsl 8) lor lo
+
+let take_u32_be c =
+  let hi = take_u16_be c in
+  let lo = take_u16_be c in
+  (hi lsl 16) lor lo
+
+let take_int c : int =
+  let tag = take_u8 c in
+  if tag < 0x80 then tag
+  else if tag >= 0xe0 then tag - 0x100
+  else
+    match tag with
+    | 0xd2 ->
+      let v = take_u32_be c in
+      if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+    | 0xd3 ->
+      let hi = take_u32_be c in
+      let lo = take_u32_be c in
+      (hi lsl 32) lor lo
+    | _ -> fail "msgpack: expected integer, got tag 0x%02x" tag
+
+let take_float c : float =
+  (match take_u8 c with
+   | 0xcb -> ()
+   | tag -> fail "msgpack: expected float64, got tag 0x%02x" tag);
+  need c 8;
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code c.s.[c.pos]));
+    c.pos <- c.pos + 1
+  done;
+  Int64.float_of_bits !bits
+
+let take_str c : string =
+  let tag = take_u8 c in
+  let n =
+    if tag land 0xe0 = 0xa0 then tag land 0x1f
+    else
+      match tag with
+      | 0xd9 -> take_u8 c
+      | 0xda -> take_u16_be c
+      | 0xdb -> take_u32_be c
+      | _ -> fail "msgpack: expected string, got tag 0x%02x" tag
+  in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let take_bool c : bool =
+  match take_u8 c with
+  | 0xc3 -> true
+  | 0xc2 -> false
+  | tag -> fail "msgpack: expected bool, got tag 0x%02x" tag
+
+let take_array_header c : int =
+  let tag = take_u8 c in
+  if tag land 0xf0 = 0x90 then tag land 0x0f
+  else
+    match tag with
+    | 0xdc -> take_u16_be c
+    | 0xdd -> take_u32_be c
+    | _ -> fail "msgpack: expected array header, got tag 0x%02x" tag
+
+let rec dec_type c (ty : Ptype.t) : Value.t =
+  match ty with
+  | Ptype.Basic basic -> dec_basic c basic
+  | Ptype.Record r -> dec_record c r
+  | Ptype.Array { elem; size = _ } ->
+    let n = take_array_header c in
+    let items = List.init n (fun _ -> dec_type c elem) in
+    Value.array_of_list items
+
+and dec_basic c (basic : Ptype.basic) : Value.t =
+  match basic with
+  | Ptype.Int -> Value.Int (take_int c)
+  | Ptype.Uint -> Value.Uint (take_int c)
+  | Ptype.Float -> Value.Float (take_float c)
+  | Ptype.Char -> Value.Char (Char.chr (take_int c land 0xff))
+  | Ptype.Bool -> Value.Bool (take_bool c)
+  | Ptype.String -> Value.String (take_str c)
+  | Ptype.Enum e ->
+    let n = take_int c in
+    let case =
+      match List.find_opt (fun (_, v) -> v = n) e.Ptype.cases with
+      | Some (name, _) -> name
+      | None -> fail "msgpack: enum %s has no case %d" e.Ptype.ename n
+    in
+    Value.Enum (case, n)
+
+and dec_record c (r : Ptype.record) : Value.t =
+  let arity = take_array_header c in
+  let want = List.length r.Ptype.fields in
+  if arity <> want then
+    fail "msgpack: record %s arity %d, schema expects %d" r.Ptype.rname arity
+      want;
+  Value.record
+    (List.map
+       (fun (f : Ptype.field) -> (f.Ptype.fname, dec_type c f.Ptype.ftype))
+       r.Ptype.fields)
+
+let decode_payload (r : Ptype.record) (s : string) : Value.t =
+  let c = { s; pos = 0 } in
+  let v = dec_record c r in
+  if c.pos <> String.length s then
+    fail "msgpack: %d trailing bytes after record" (String.length s - c.pos);
+  v
+
+(* --- self test ------------------------------------------------------- *)
+
+(* Roundtrip sanity over a shape exercising every branch; the bench
+   driver calls this once before trusting the comparison numbers. *)
+let self_test () =
+  let r =
+    Ptype.record "mp_self"
+      [ Ptype.field "a" Ptype.int_;
+        Ptype.field "b" Ptype.float_;
+        Ptype.field "c" Ptype.string_;
+        Ptype.field "d" Ptype.bool_;
+        Ptype.field "e" Ptype.char_;
+        Ptype.field "n" Ptype.int_;
+        Ptype.field "xs" (Ptype.array_var "n" Ptype.float_);
+        Ptype.field "sub"
+          (Ptype.Record
+             (Ptype.record "mp_sub"
+                [ Ptype.field "x" Ptype.int_; Ptype.field "s" Ptype.string_ ]));
+      ]
+  in
+  let v =
+    Value.record
+      [ ("a", Value.Int (-70000));
+        ("b", Value.Float 3.25);
+        ("c", Value.String (String.make 40 'q'));
+        ("d", Value.Bool true);
+        ("e", Value.Char 'Z');
+        ("n", Value.Int 3);
+        ("xs", Value.array_of_list [ Value.Float 1.0; Value.Float 2.0; Value.Float 3.0 ]);
+        ("sub", Value.record [ ("x", Value.Int 7); ("s", Value.String "hi") ]);
+      ]
+  in
+  let rt = decode_payload r (encode_payload r v) in
+  if not (Value.equal v rt) then failwith "msgpack self-test: roundtrip mismatch"

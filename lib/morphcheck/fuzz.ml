@@ -52,3 +52,48 @@ let mutate (s : string) : string t =
   let* rounds = frequencyl [ (5, 1); (3, 2); (2, 3) ] in
   let rec go k acc = if k = 0 then return acc else let* acc = mutate_once acc in go (k - 1) acc in
   go rounds s
+
+(* --- slice-boundary hostility ---------------------------------------------
+
+   The lazy decode path reads through a bounds-checked sub-slice window
+   and an extent index built by a single scan; these mutators aim at
+   exactly those seams rather than the byte content. *)
+
+(* A hostile (pos, len) window over an [n]-byte buffer, always in
+   bounds (out-of-bounds extents are [Slice.sub]'s own job to reject):
+   the exact buffer, off-by-one at either end, truncation that lands
+   inside a trailing — typically lazily-skipped — span, or an empty
+   window. *)
+let sub_extent (n : int) : (int * int) t =
+  let* g =
+    frequencyl
+      [ (3, return (0, n));
+        (3, let* k = int_range 1 (max 1 (min 8 n)) in
+            return (0, max 0 (n - k)));
+        (2, let* k = int_range 1 (max 1 (min 4 n)) in
+            let k = min k n in
+            return (k, n - k));
+        (1, return (0, max 0 (n - 1)));
+        (1, let* p = int_range 0 n in return (p, 0)) ]
+  in
+  g
+
+(* Overwrite one 32-bit slot with an inflated (or zeroed) count, so any
+   length reference decoded from it describes a span that overlaps its
+   neighbours or overruns the buffer. *)
+let inflate_slot (s : string) : string t =
+  let n = String.length s in
+  if n < 4 then return s
+  else
+    let* i = int_range 0 (n - 4) in
+    let* vg =
+      frequencyl
+        [ (3, int_range (n / 4) (2 * n));
+          (2, return 0x7fffffff);
+          (2, return (-1));
+          (1, int_range 0 3) ]
+    in
+    let* v = vg in
+    let by = Bytes.of_string s in
+    Bytes.set_int32_le by i (Int32.of_int v);
+    return (Bytes.to_string by)

@@ -1,0 +1,140 @@
+(* Bump-style record-cell pools, recycled per delivery.
+
+   Pooling is keyed by plan site: every record-assembly point in a
+   compiled lazy plan gets a process-unique site id, and one (arena,
+   site) pair always describes the same record shape — so the pooled
+   [Value.entry array] (whose immutable [name] fields were written on
+   first use) can be handed back verbatim, with only the mutable [v]
+   fields rewritten by the decode.  Sites inside arrays are not pooled
+   (N elements would need N arrays); the codec passes those requests to
+   [null].
+
+   Site ids are small dense ints ([Codec.fresh_site] is a counter), so
+   the pool is a plain array indexed by site — [entries] is an array
+   load and a generation compare, no hashing.  Slots handed out in the
+   current generation are kept on a touched list so [recycle] walks
+   exactly the slots the ending delivery used, not the whole pool:
+   both hot-path operations stay a few nanoseconds, which matters
+   because they run once per delivered message.
+
+   No locking anywhere: an arena is owned by one domain.  [Pbio.Ctx]
+   hands out arenas through Domain.DLS, which enforces that by
+   construction. *)
+
+type slot = {
+  names : string array;
+  cells : Value.entry array;
+  mutable gen : int; (* generation of the last [entries] hand-out *)
+}
+
+type t = {
+  enabled : bool;
+  dbg : bool;
+  mutable slots : slot option array; (* indexed by site id *)
+  mutable touched : slot array; (* first [ntouched]: handed out this gen *)
+  mutable ntouched : int;
+  mutable nslots : int;
+  mutable generation : int;
+  mutable bytes_recycled : int;
+}
+
+(* Fills unused [touched] positions so the hot path never wraps slots in
+   an option (one [Some] per delivery adds up at messaging rates). *)
+let dummy_slot = { names = [||]; cells = [||]; gen = max_int }
+
+let poison = Value.String "<arena-recycled>"
+
+let env_debug =
+  match Sys.getenv_opt "PBIO_ARENA_DEBUG" with
+  | Some v when String.trim v <> "" && String.trim v <> "0" -> true
+  | Some _ | None -> false
+
+let create ?(debug = env_debug) () =
+  { enabled = true; dbg = debug; slots = Array.make 16 None;
+    touched = Array.make 8 dummy_slot; ntouched = 0; nslots = 0;
+    generation = 0; bytes_recycled = 0 }
+
+let null =
+  { enabled = false; dbg = false; slots = [||]; touched = [||]; ntouched = 0;
+    nslots = 0; generation = 0; bytes_recycled = 0 }
+
+(* Words held by one skeleton: the array spine (1 header + n slots) plus
+   n entry records (1 header + 2 fields each).  An estimate for the
+   [arena.bytes_recycled] gauge, not an accounting invariant. *)
+let skeleton_bytes n = (1 + n + (n * 3)) * (Sys.word_size / 8)
+
+let fresh_cells (names : string array) : Value.entry array =
+  Array.map (fun name -> { Value.name; v = Value.Int 0 }) names
+
+let grow_to (a : slot option array) (n : int) : slot option array =
+  let b = Array.make n None in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let touch t s =
+  if t.ntouched >= Array.length t.touched then begin
+    let b = Array.make (max 8 (2 * Array.length t.touched)) dummy_slot in
+    Array.blit t.touched 0 b 0 (Array.length t.touched);
+    t.touched <- b
+  end;
+  t.touched.(t.ntouched) <- s;
+  t.ntouched <- t.ntouched + 1
+
+let entries t ~site (names : string array) : Value.entry array =
+  if not t.enabled then fresh_cells names
+  else begin
+    if site >= Array.length t.slots then
+      t.slots <- grow_to t.slots (max (site + 1) (2 * Array.length t.slots));
+    match Array.unsafe_get t.slots site with
+    | Some s when s.gen < t.generation ->
+      (* recycled and shape-stable: reuse the skeleton *)
+      s.gen <- t.generation;
+      touch t s;
+      s.cells
+    | Some _ ->
+      (* same delivery asked twice for one site (re-entrant decode of a
+         rejected-then-retried message): hand out a fresh array rather
+         than alias the live one *)
+      fresh_cells names
+    | None ->
+      let cells = fresh_cells names in
+      let s = { names; cells; gen = t.generation } in
+      t.slots.(site) <- Some s;
+      t.nslots <- t.nslots + 1;
+      touch t s;
+      cells
+  end
+
+(* [bytes_recycled] is accounted here, over the slots the ending
+   delivery actually used (the touched list — freshly created slots
+   included), NOT at [entries] pool-hit time: a hit-based count depends
+   on whether the arena was warm, which varies with how receivers shard
+   across domains, while the recycled count is a pure function of the
+   delivery itself. *)
+let recycle t =
+  if t.enabled then begin
+    for i = 0 to t.ntouched - 1 do
+      let s = Array.unsafe_get t.touched i in
+      t.bytes_recycled <-
+        t.bytes_recycled + skeleton_bytes (Array.length s.names);
+      if t.dbg then
+        Array.iter (fun (e : Value.entry) -> e.Value.v <- poison) s.cells;
+      Array.unsafe_set t.touched i dummy_slot
+    done;
+    t.ntouched <- 0;
+    t.generation <- t.generation + 1
+  end
+
+let generation t = t.generation
+
+let check t gen =
+  if t.generation <> gen then
+    invalid_arg
+      (Printf.sprintf
+         "Arena.check: generation %d has been recycled (now %d); the borrowed \
+          value may alias a later delivery"
+         gen t.generation)
+
+let debug t = t.dbg
+let bytes_recycled t = t.bytes_recycled
+let live_sites t = t.nslots

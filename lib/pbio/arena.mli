@@ -1,0 +1,69 @@
+(** Per-receiver record-cell pools recycled per delivery.
+
+    The lazy decode path materialises records into [Value.entry array]
+    skeletons.  Those skeletons are shape-stable per compiled plan site,
+    so an arena keeps one skeleton per site and hands the same array
+    back delivery after delivery — the steady-state decode of a hot
+    format allocates no record spines at all.
+
+    Ownership discipline (docs/PERFORMANCE.md):
+
+    - An arena is {e single-domain}: it has no lock.  Obtain one through
+      [Pbio.Ctx.arena], which hands each domain its own
+      ([Domain.DLS]-backed) instance — [--domains N] sharding then keeps
+      arenas domain-local with zero sharing by construction.
+    - Values built from pooled cells are valid until the next
+      {!recycle} on the same arena.  A handler that retains a delivered
+      value past its delivery must [Value.copy] it first.
+    - Generation tags make escapes loud in debug builds: create the
+      arena with [~debug:true] (or set [PBIO_ARENA_DEBUG=1]) and every
+      {!recycle} poisons the pooled cells, so a retained cell reads back
+      as the sentinel {!poison} instead of silently aliasing the next
+      message.  {!generation}/{!check} support explicit guard tokens. *)
+
+type t
+
+(** [create ()] makes an empty arena.  [debug] (default: set when the
+    [PBIO_ARENA_DEBUG] environment variable is a non-empty value other
+    than ["0"]) enables poison-on-recycle escape detection. *)
+val create : ?debug:bool -> unit -> t
+
+(** The disabled arena: every request allocates fresh, {!recycle} is a
+    no-op.  Lazy plans run over [null] when no arena is wired in. *)
+val null : t
+
+(** [entries a ~site names] returns an entry array whose names are
+    [names], pooled per [site] (a plan-global site id from
+    [Codec.fresh_site]).  Within one (arena, site) the same array is
+    returned until {!recycle}; entry values are stale and must all be
+    overwritten by the caller.  Never pooled on [null] arenas. *)
+val entries : t -> site:int -> string array -> Value.entry array
+
+(** End of delivery: bump the generation, making every pooled skeleton
+    reusable.  In debug mode, poisons pooled cell values first. *)
+val recycle : t -> unit
+
+(** The value poisoned cells read back as in debug mode. *)
+val poison : Value.t
+
+(** Monotone recycle count: capture it next to a borrowed value as a
+    guard token. *)
+val generation : t -> int
+
+(** [check a gen] raises [Invalid_argument] when the arena has been
+    recycled since [gen] was captured — the borrowed value may alias a
+    later delivery. *)
+val check : t -> int -> unit
+
+val debug : t -> bool
+
+(** Cumulative skeleton bytes returned to the pool by {!recycle} (a
+    words-based estimate over the slots each ending delivery used),
+    feeding the [arena.bytes_recycled] gauge.  Accounted at recycle
+    rather than at pool-hit time so the number is a pure function of
+    the deliveries — independent of whether the arena was warm, and
+    therefore of how receivers shard across domains. *)
+val bytes_recycled : t -> int
+
+(** Pooled skeletons currently held. *)
+val live_sites : t -> int

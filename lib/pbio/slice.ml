@@ -1,0 +1,134 @@
+(* Bigarray-backed immutable byte slices: the zero-copy carrier for
+   received frames.  A slice is a (buffer, off, len) view; sub-slicing
+   shares the buffer.  The multi-byte readers are assembled from byte
+   loads because Bigarray.Array1 exposes none — measured, the assembled
+   form is within noise of String.get_int32_* on the decode hot path,
+   and the bytes were never copied into a string to begin with. *)
+
+type buffer =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  buf : buffer;
+  off : int;
+  len : int;
+}
+
+let length s = s.len
+
+let of_buffer ?(off = 0) ?len buf =
+  let blen = Bigarray.Array1.dim buf in
+  let len = match len with Some l -> l | None -> blen - off in
+  if off < 0 || len < 0 || off + len > blen then
+    invalid_arg
+      (Printf.sprintf "Slice.of_buffer: window (%d, %d) outside buffer of %d"
+         off len blen);
+  { buf; off; len }
+
+let of_string (s : string) : t =
+  let n = String.length s in
+  let buf = Bigarray.Array1.create Bigarray.char Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set buf i (String.unsafe_get s i)
+  done;
+  { buf; off = 0; len = n }
+
+let of_bytes (b : bytes) : t = of_string (Bytes.unsafe_to_string b)
+
+let sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > s.len then
+    invalid_arg
+      (Printf.sprintf "Slice.sub: window (%d, %d) outside slice of %d" pos len
+         s.len);
+  { buf = s.buf; off = s.off + pos; len }
+
+let get s i =
+  if i < 0 || i >= s.len then
+    invalid_arg (Printf.sprintf "Slice.get: index %d outside slice of %d" i s.len);
+  Bigarray.Array1.unsafe_get s.buf (s.off + i)
+
+let unsafe_get s i = Bigarray.Array1.unsafe_get s.buf (s.off + i)
+
+let sub_string s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > s.len then
+    invalid_arg
+      (Printf.sprintf "Slice.sub_string: window (%d, %d) outside slice of %d"
+         pos len s.len);
+  let b = Bytes.create len in
+  let base = s.off + pos in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (Bigarray.Array1.unsafe_get s.buf (base + i))
+  done;
+  Bytes.unsafe_to_string b
+
+let to_string s = sub_string s ~pos:0 ~len:s.len
+
+(* Sign-extend a 32-bit quantity held in the low bits of an int. *)
+let sext32 x = (x lsl (Sys.int_size - 32)) asr (Sys.int_size - 32)
+
+(* The multi-byte readers bind the buffer and resolved base once so the
+   byte loads index a common local instead of refetching the slice
+   fields per byte — the per-element length read in the lazy skip loop
+   runs one of these per wire string.  Written as straight-line lets:
+   an inner helper closure here is a real per-call allocation without
+   cross-module inlining, which would put a heap word on every length
+   read of the zero-copy path. *)
+let i32_le s p =
+  let buf = s.buf in
+  let base = s.off + p in
+  let b0 = Char.code (Bigarray.Array1.unsafe_get buf base) in
+  let b1 = Char.code (Bigarray.Array1.unsafe_get buf (base + 1)) in
+  let b2 = Char.code (Bigarray.Array1.unsafe_get buf (base + 2)) in
+  let b3 = Char.code (Bigarray.Array1.unsafe_get buf (base + 3)) in
+  sext32 (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24))
+
+let i32_be s p =
+  let buf = s.buf in
+  let base = s.off + p in
+  let b0 = Char.code (Bigarray.Array1.unsafe_get buf base) in
+  let b1 = Char.code (Bigarray.Array1.unsafe_get buf (base + 1)) in
+  let b2 = Char.code (Bigarray.Array1.unsafe_get buf (base + 2)) in
+  let b3 = Char.code (Bigarray.Array1.unsafe_get buf (base + 3)) in
+  sext32 (b3 lor (b2 lsl 8) lor (b1 lsl 16) lor (b0 lsl 24))
+
+(* 64-bit reads assemble two 32-bit halves as untagged ints and join
+   them in one Int64 expression, so the only Int64 values are the final
+   (caller-visible) one and no per-byte boxing happens. *)
+let i64_le s p =
+  let buf = s.buf in
+  let base = s.off + p in
+  let b0 = Char.code (Bigarray.Array1.unsafe_get buf base) in
+  let b1 = Char.code (Bigarray.Array1.unsafe_get buf (base + 1)) in
+  let b2 = Char.code (Bigarray.Array1.unsafe_get buf (base + 2)) in
+  let b3 = Char.code (Bigarray.Array1.unsafe_get buf (base + 3)) in
+  let b4 = Char.code (Bigarray.Array1.unsafe_get buf (base + 4)) in
+  let b5 = Char.code (Bigarray.Array1.unsafe_get buf (base + 5)) in
+  let b6 = Char.code (Bigarray.Array1.unsafe_get buf (base + 6)) in
+  let b7 = Char.code (Bigarray.Array1.unsafe_get buf (base + 7)) in
+  let lo = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+  let hi = b4 lor (b5 lsl 8) lor (b6 lsl 16) lor (b7 lsl 24) in
+  Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32)
+
+let i64_be s p =
+  let buf = s.buf in
+  let base = s.off + p in
+  let b0 = Char.code (Bigarray.Array1.unsafe_get buf base) in
+  let b1 = Char.code (Bigarray.Array1.unsafe_get buf (base + 1)) in
+  let b2 = Char.code (Bigarray.Array1.unsafe_get buf (base + 2)) in
+  let b3 = Char.code (Bigarray.Array1.unsafe_get buf (base + 3)) in
+  let b4 = Char.code (Bigarray.Array1.unsafe_get buf (base + 4)) in
+  let b5 = Char.code (Bigarray.Array1.unsafe_get buf (base + 5)) in
+  let b6 = Char.code (Bigarray.Array1.unsafe_get buf (base + 6)) in
+  let b7 = Char.code (Bigarray.Array1.unsafe_get buf (base + 7)) in
+  let hi = b3 lor (b2 lsl 8) lor (b1 lsl 16) lor (b0 lsl 24) in
+  let lo = b7 lor (b6 lsl 8) lor (b5 lsl 16) lor (b4 lsl 24) in
+  Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32)
+
+let equal a b =
+  a.len = b.len
+  &&
+  let rec go i = i >= a.len || (unsafe_get a i = unsafe_get b i && go (i + 1)) in
+  go 0
+
+let pp ppf s =
+  Format.fprintf ppf "slice[%d]" s.len

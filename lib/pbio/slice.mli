@@ -1,0 +1,68 @@
+(** Zero-copy byte slices over Bigarray storage.
+
+    A {!t} is an immutable window [(off, len)] into a shared
+    [Bigarray.Array1] of bytes.  {!sub} produces further windows without
+    copying, so a received frame can be carved into envelope, header and
+    payload views that all alias one buffer.  The buffer lives outside
+    the OCaml minor heap: carving views allocates only the small view
+    record, never the bytes.
+
+    Boundary shims: the simulated transport still traffics in [string]s,
+    so {!of_string} performs the one copy at the API boundary; a slice
+    handed onward is never copied again ([sub], cursor reads and the
+    compiled lazy plans in {!Codec} all run over the shared buffer).
+    Lifetime rule: a slice borrows its buffer — holding a slice (or a
+    [Value.String] carved out of one via {!sub_string}, which copies)
+    past the delivery that produced it is safe, but holding arena-pooled
+    record cells is not; see docs/PERFORMANCE.md. *)
+
+type buffer =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+(** Copying constructor: the shim at the [string] API boundary. *)
+val of_string : string -> t
+
+(** [of_bytes b] copies, like {!of_string} ([b] may be reused after). *)
+val of_bytes : bytes -> t
+
+(** Wrap an existing buffer without copying.  Raises [Invalid_argument]
+    when [(off, len)] does not fit the buffer.  Defaults: the whole
+    buffer. *)
+val of_buffer : ?off:int -> ?len:int -> buffer -> t
+
+val length : t -> int
+
+(** [sub s ~pos ~len] is a zero-copy sub-view.  Raises
+    [Invalid_argument] when [(pos, len)] does not fit [s]. *)
+val sub : t -> pos:int -> len:int -> t
+
+(** Bounds-checked byte read; raises [Invalid_argument] out of range. *)
+val get : t -> int -> char
+
+(** Unchecked byte read — callers must have bounds-checked the access
+    (the compiled codec plans check once per primitive, not per byte). *)
+val unsafe_get : t -> int -> char
+
+(** Copying extraction (a decoded [Value.String] owns its bytes). *)
+val sub_string : t -> pos:int -> len:int -> string
+
+val to_string : t -> string
+
+(** {1 Primitive reads}
+
+    Multi-byte reads are assembled from byte loads ([Bigarray] has no
+    fixed-width accessors); all are {e unchecked} like {!unsafe_get} —
+    the caller guarantees [pos .. pos+width-1] is in range.  [i32]
+    results are sign-extended to the native [int]. *)
+
+val i32_le : t -> int -> int
+val i32_be : t -> int -> int
+val i64_le : t -> int -> int64
+val i64_be : t -> int -> int64
+
+(** Structural equality of contents. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

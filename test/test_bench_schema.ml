@@ -85,7 +85,8 @@ let validate_lines (body : string) : string list =
 (* The series every bench --json run must produce (quick and full runs
    both cover these figures). *)
 let required_prefixes =
-  [ "bench.fig8/"; "bench.fig9/"; "bench.fig10/"; "bench.codec/" ]
+  [ "bench.fig8/"; "bench.fig9/"; "bench.fig10/"; "bench.codec/";
+    "bench.msgpack/"; "bench.alloc/" ]
 
 let test_committed_trajectory () =
   (* the checked-in artifact CI trends; declared as a dune dep *)

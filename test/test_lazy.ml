@@ -1,0 +1,265 @@
+(* The zero-copy decode stack: Slice primitives, Arena pooling
+   semantics, and the lazy decode/morph plans' agreement with the eager
+   plans — both values and error outcomes.  The morphcheck "lazy" and
+   "fuzz-lazy" oracles fuzz the same properties at scale; these are the
+   deterministic anchors. *)
+
+open Pbio
+
+(* --- Slice ------------------------------------------------------------------ *)
+
+let test_slice_reads () =
+  let s = Slice.of_string "\x01\x02\x03\x04\x05\x06\x07\x08" in
+  Alcotest.(check int) "length" 8 (Slice.length s);
+  Alcotest.(check char) "get" '\x03' (Slice.get s 2);
+  Alcotest.(check int) "i32 le" 0x04030201 (Slice.i32_le s 0);
+  Alcotest.(check int) "i32 be" 0x01020304 (Slice.i32_be s 0);
+  Alcotest.(check int64) "i64 le" 0x0807060504030201L (Slice.i64_le s 0);
+  Alcotest.(check int64) "i64 be" 0x0102030405060708L (Slice.i64_be s 0);
+  (* negative 32-bit quantities sign-extend *)
+  let neg = Slice.of_string "\xff\xff\xff\xff" in
+  Alcotest.(check int) "i32 le sign-extends" (-1) (Slice.i32_le neg 0);
+  Alcotest.(check int) "i32 be sign-extends" (-1) (Slice.i32_be neg 0);
+  Alcotest.(check string) "sub_string" "\x03\x04"
+    (Slice.sub_string s ~pos:2 ~len:2);
+  Alcotest.(check string) "to_string round-trips" "\x01\x02\x03\x04\x05\x06\x07\x08"
+    (Slice.to_string s)
+
+let test_slice_sub_views () =
+  let s = Slice.of_string "abcdefgh" in
+  let v = Slice.sub s ~pos:2 ~len:4 in
+  Alcotest.(check int) "sub length" 4 (Slice.length v);
+  Alcotest.(check string) "sub window" "cdef" (Slice.to_string v);
+  (* sub of sub composes offsets *)
+  let vv = Slice.sub v ~pos:1 ~len:2 in
+  Alcotest.(check string) "nested sub" "de" (Slice.to_string vv);
+  Alcotest.(check bool) "equal on same bytes" true
+    (Slice.equal vv (Slice.of_string "de"));
+  Alcotest.(check bool) "equal detects difference" false
+    (Slice.equal vv (Slice.of_string "dx"))
+
+let test_slice_bounds () =
+  let s = Slice.of_string "abcd" in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "get past end" (fun () -> Slice.get s 4);
+  expect_invalid "get negative" (fun () -> Slice.get s (-1));
+  expect_invalid "sub past end" (fun () -> Slice.sub s ~pos:2 ~len:3);
+  expect_invalid "sub negative pos" (fun () -> Slice.sub s ~pos:(-1) ~len:1);
+  expect_invalid "sub negative len" (fun () -> Slice.sub s ~pos:0 ~len:(-1));
+  expect_invalid "sub_string past end" (fun () ->
+      Slice.sub_string s ~pos:3 ~len:2)
+
+(* --- Arena ------------------------------------------------------------------ *)
+
+let test_arena_pooling () =
+  let a = Arena.create ~debug:false () in
+  let site = Codec.fresh_site () in
+  let names = [| "x"; "y" |] in
+  let c1 = Arena.entries a ~site names in
+  Alcotest.(check int) "one live site" 1 (Arena.live_sites a);
+  (* same generation, same site: a fresh array, never an alias *)
+  let c1' = Arena.entries a ~site names in
+  Alcotest.(check bool) "same-delivery re-request is fresh" false (c1 == c1');
+  Arena.recycle a;
+  let c2 = Arena.entries a ~site names in
+  Alcotest.(check bool) "recycled skeleton is reused" true (c1 == c2);
+  Alcotest.(check int) "still one live site" 1 (Arena.live_sites a)
+
+let test_arena_generation_guard () =
+  let a = Arena.create ~debug:false () in
+  let g = Arena.generation a in
+  Arena.check a g;
+  Arena.recycle a;
+  (match Arena.check a g with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "stale generation must be rejected");
+  Arena.check a (Arena.generation a)
+
+let test_arena_debug_poison () =
+  let a = Arena.create ~debug:true () in
+  let site = Codec.fresh_site () in
+  let cells = Arena.entries a ~site [| "f" |] in
+  cells.(0).Value.v <- Value.Int 42;
+  Arena.recycle a;
+  Alcotest.(check bool) "recycled cell reads back as poison" true
+    (Value.equal cells.(0).Value.v Arena.poison)
+
+let test_arena_bytes_recycled () =
+  (* accounting is per delivery, at recycle time: a cold first delivery
+     and a warm second one contribute the same bytes, so the gauge is a
+     pure function of the deliveries (domain-sharding invariance) *)
+  let a = Arena.create ~debug:false () in
+  let site = Codec.fresh_site () in
+  ignore (Arena.entries a ~site [| "x"; "y"; "z" |]);
+  Arena.recycle a;
+  let first = Arena.bytes_recycled a in
+  Alcotest.(check bool) "recycle accounts fresh slots" true (first > 0);
+  ignore (Arena.entries a ~site [| "x"; "y"; "z" |]);
+  Arena.recycle a;
+  Alcotest.(check int) "warm delivery accounts the same bytes" (2 * first)
+    (Arena.bytes_recycled a);
+  (* a delivery that touches nothing accounts nothing *)
+  Arena.recycle a;
+  Alcotest.(check int) "idle recycle accounts nothing" (2 * first)
+    (Arena.bytes_recycled a)
+
+let test_arena_null_never_pools () =
+  let site = Codec.fresh_site () in
+  let c1 = Arena.entries Arena.null ~site [| "x" |] in
+  Arena.recycle Arena.null;
+  let c2 = Arena.entries Arena.null ~site [| "x" |] in
+  Alcotest.(check bool) "null arena always allocates fresh" false (c1 == c2);
+  Alcotest.(check int) "null arena pools nothing" 0 (Arena.live_sites Arena.null)
+
+(* --- lazy decode ------------------------------------------------------------ *)
+
+let fmt_full : Ptype.record =
+  Ptype.record "Lazy_fixture"
+    [
+      Ptype.field "tag" Ptype.int_;
+      Ptype.field "name" Ptype.string_;
+      Ptype.field "n" Ptype.int_;
+      Ptype.field "xs" (Ptype.array_var "n" Ptype.float_);
+      Ptype.field "flag" Ptype.bool_;
+      Ptype.field "who"
+        (Ptype.Record
+           (Ptype.record "Who"
+              [ Ptype.field "host" Ptype.string_; Ptype.field "port" Ptype.int_ ]));
+    ]
+
+let fixture_value : Value.t =
+  Value.record
+    [
+      ("tag", Value.Int 7);
+      ("name", Value.String "lazy-fixture");
+      ("n", Value.Int 3);
+      ("xs", Value.array_of_list [ Value.Float 1.5; Value.Float (-2.0); Value.Float 0.25 ]);
+      ("flag", Value.Bool true);
+      ("who", Value.record [ ("host", Value.String "h0"); ("port", Value.Int 9) ]);
+    ]
+
+let payload endian = Codec.Interp.encode_payload ~endian fmt_full fixture_value
+
+let test_lazy_decode_equals_eager () =
+  List.iter
+    (fun endian ->
+       let bytes = payload endian in
+       let ld = Codec.compile_decode_lazy ~endian fmt_full in
+       let view = Codec.decode_lazy ld (Slice.of_string bytes) in
+       Alcotest.(check int) "field count" 6 (Codec.lview_fields view);
+       let eager =
+         Codec.Interp.decode_payload ~endian fmt_full bytes
+       in
+       Alcotest.(check bool) "lview_value equals eager decode" true
+         (Value.equal eager (Codec.lview_value view)))
+    [ Codec.Little; Codec.Big ]
+
+let test_lazy_field_memoised () =
+  let bytes = payload Codec.Little in
+  let ld = Codec.compile_decode_lazy ~endian:Codec.Little fmt_full in
+  let view = Codec.decode_lazy ld (Slice.of_string bytes) in
+  let a = Codec.lview_field view 1 in
+  let b = Codec.lview_field view 1 in
+  Alcotest.(check bool) "second read returns the memoised cell" true (a == b);
+  Alcotest.(check bool) "field value" true
+    (Value.equal (Value.String "lazy-fixture") a);
+  (match Codec.lview_field view 6 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "out-of-range field index must be rejected")
+
+(* --- lazy morph ------------------------------------------------------------- *)
+
+(* target keeps the scalar header and drops the array + nested record *)
+let fmt_header : Ptype.record =
+  Ptype.record "Lazy_fixture"
+    [ Ptype.field "tag" Ptype.int_; Ptype.field "n" Ptype.int_ ]
+
+let test_lazy_morph_parity () =
+  List.iter
+    (fun endian ->
+       let bytes = payload endian in
+       List.iter
+         (fun into ->
+            let mor = Codec.compile_morph ~endian ~from_:fmt_full ~into in
+            let lm = Codec.compile_morph_lazy ~endian ~from_:fmt_full ~into in
+            let eager = Codec.morph_payload mor bytes in
+            let arena = Arena.create ~debug:false () in
+            let v1 = Codec.lmorph_payload lm ~arena (Slice.of_string bytes) in
+            Alcotest.(check bool) "lazy equals eager (cold arena)" true
+              (Value.equal eager (Value.copy v1));
+            Arena.recycle arena;
+            let v2 = Codec.lmorph_payload lm ~arena (Slice.of_string bytes) in
+            Alcotest.(check bool) "lazy equals eager (warm arena)" true
+              (Value.equal eager (Value.copy v2)))
+         [ fmt_header; fmt_full ])
+    [ Codec.Little; Codec.Big ]
+
+let test_lazy_morph_stats () =
+  let lm =
+    Codec.compile_morph_lazy ~endian:Codec.Little ~from_:fmt_full
+      ~into:fmt_header
+  in
+  let materialized, skipped = Codec.lmorpher_stats lm in
+  (* tag + n materialise; name, xs (one element's worth), flag and the
+     two fields of who are skipped *)
+  Alcotest.(check int) "materialised sites" 2 materialized;
+  Alcotest.(check int) "skipped sites" 5 skipped
+
+let test_lazy_error_agreement () =
+  (* truncations must reject on both paths; error *text* may differ
+     (the lazy scan blames coalesced spans), so only the outcome is
+     compared — same contract as the morphcheck lazy oracles *)
+  let bytes = payload Codec.Little in
+  let dec = Codec.compile_decode ~endian:Codec.Little fmt_full in
+  let lm =
+    Codec.compile_morph_lazy ~endian:Codec.Little ~from_:fmt_full
+      ~into:fmt_header
+  in
+  for cut = 0 to String.length bytes - 1 do
+    let trunc = String.sub bytes 0 cut in
+    let eager_ok =
+      match Codec.decode_payload dec trunc with
+      | _ -> true
+      | exception Codec.Decode_error _ -> false
+    in
+    let lazy_ok =
+      match Codec.lmorph_payload lm (Slice.of_string trunc) with
+      | _ -> true
+      | exception Codec.Decode_error _ -> false
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "outcome agreement at cut %d" cut)
+      eager_ok lazy_ok
+  done;
+  (* the full payload decodes on both *)
+  ignore (Codec.decode_payload dec bytes);
+  ignore (Codec.lmorph_payload lm (Slice.of_string bytes))
+
+let suite =
+  [
+    Alcotest.test_case "slice: primitive reads" `Quick test_slice_reads;
+    Alcotest.test_case "slice: sub views are zero-copy windows" `Quick
+      test_slice_sub_views;
+    Alcotest.test_case "slice: bounds are enforced" `Quick test_slice_bounds;
+    Alcotest.test_case "arena: skeletons pool per site" `Quick test_arena_pooling;
+    Alcotest.test_case "arena: generation guard" `Quick test_arena_generation_guard;
+    Alcotest.test_case "arena: debug poison on recycle" `Quick
+      test_arena_debug_poison;
+    Alcotest.test_case "arena: bytes accounted per delivery" `Quick
+      test_arena_bytes_recycled;
+    Alcotest.test_case "arena: null pools nothing" `Quick
+      test_arena_null_never_pools;
+    Alcotest.test_case "lazy decode equals eager (LE+BE)" `Quick
+      test_lazy_decode_equals_eager;
+    Alcotest.test_case "lazy fields memoise" `Quick test_lazy_field_memoised;
+    Alcotest.test_case "lazy morph parity (LE+BE, cold+warm arena)" `Quick
+      test_lazy_morph_parity;
+    Alcotest.test_case "lazy morph static site counts" `Quick
+      test_lazy_morph_stats;
+    Alcotest.test_case "lazy/eager outcome agreement on truncation" `Quick
+      test_lazy_error_agreement;
+  ]
